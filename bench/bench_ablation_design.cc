@@ -1,0 +1,122 @@
+// Ablations of the design choices DESIGN.md §4 calls out (beyond the
+// paper's own Tables 9-12):
+//   1. negative mining: in-batch (paper's choice) vs removed-overlap hard
+//      negatives — the paper reports in-batch "shows better empirical
+//      results" (§4.1).
+//   2. cell selection under the token budget: frequency-based (§3.2) vs
+//      naive truncation.
+//   3. ANN backend behind the same encoder: flat (exact) vs HNSW vs IVFPQ
+//      — accuracy cost of the approximate index.
+#include "bench/common.h"
+
+using namespace deepjoin;
+using namespace deepjoin::bench;
+
+namespace {
+
+MethodResult RunWithSearcher(BenchEnv& env, core::DeepJoin& dj,
+                             core::AnnBackend backend,
+                             const std::string& name) {
+  core::SearcherConfig sc;
+  sc.backend = backend;
+  core::EmbeddingSearcher searcher(&dj.encoder(), sc);
+  searcher.BuildIndex(env.repo());
+  MethodResult out;
+  out.name = name;
+  TimeAccumulator total;
+  for (const auto& q : env.queries()) {
+    auto s = searcher.Search(q, env.config().k_max);
+    total.Add(s.total_ms / 1e3);
+    out.rankings.push_back(std::move(s.ids));
+  }
+  out.mean_total_ms = total.MeanMillis();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  BenchConfig cfg = BenchConfig::FromFlags(flags);
+  if (!flags.Has("steps")) cfg.steps = 60;
+  BenchEnv env(cfg);
+  auto jn = [&env](size_t q, u32 id) { return env.EquiJn(q, id); };
+
+  // --- 1. negative-mining strategy ---
+  {
+    std::vector<MethodResult> methods;
+    for (auto neg : {core::NegativeStrategy::kInBatch,
+                     core::NegativeStrategy::kRemovedOverlap}) {
+      core::DeepJoinConfig djc;
+      djc.plm.kind = core::PlmKind::kMPNetSim;
+      djc.plm.max_seq_len = cfg.seq_len;
+      djc.plm.transform.dict = &env.tok().dict();
+      djc.plm.transform.cell_budget = cfg.seq_len / 3;
+      djc.training.shuffle_rate = cfg.shuffle_rate;
+      djc.finetune.batch_size = cfg.batch;
+      djc.finetune.max_steps = cfg.steps;
+      djc.finetune.negatives = neg;
+      auto dj = core::DeepJoin::Train(env.sample(), env.ft(), djc);
+      auto result = RunWithSearcher(
+          env, *dj, core::AnnBackend::kHnsw,
+          neg == core::NegativeStrategy::kInBatch ? "in-batch negatives"
+                                                  : "removed-overlap negs");
+      methods.push_back(std::move(result));
+    }
+    PrintAccuracyTable("Ablation: negative mining (equi, " + cfg.corpus + ")",
+                       methods, env.ExactEqui(), jn, {10, 30, 50});
+  }
+
+  // --- 2. cell selection under the budget ---
+  {
+    std::vector<MethodResult> methods;
+    for (bool use_freq : {true, false}) {
+      core::DeepJoinConfig djc;
+      djc.plm.kind = core::PlmKind::kMPNetSim;
+      djc.plm.max_seq_len = cfg.seq_len;
+      djc.plm.transform.cell_budget = 10;  // tight budget: selection matters
+      djc.plm.transform.dict = use_freq ? &env.tok().dict() : nullptr;
+      djc.training.shuffle_rate = cfg.shuffle_rate;
+      djc.finetune.batch_size = cfg.batch;
+      djc.finetune.max_steps = cfg.steps;
+      auto dj = core::DeepJoin::Train(env.sample(), env.ft(), djc);
+      methods.push_back(RunWithSearcher(env, *dj, core::AnnBackend::kHnsw,
+                                        use_freq ? "frequency-based cells"
+                                                 : "naive truncation"));
+    }
+    PrintAccuracyTable(
+        "Ablation: cell selection under a 10-cell budget (equi, " +
+            cfg.corpus + ")",
+        methods, env.ExactEqui(), jn, {10, 30, 50});
+  }
+
+  // --- 3. ANN backend ---
+  {
+    core::DeepJoinConfig djc;
+    djc.plm.kind = core::PlmKind::kMPNetSim;
+    djc.plm.max_seq_len = cfg.seq_len;
+    djc.plm.transform.dict = &env.tok().dict();
+    djc.plm.transform.cell_budget = cfg.seq_len / 3;
+    djc.training.shuffle_rate = cfg.shuffle_rate;
+    djc.finetune.batch_size = cfg.batch;
+    djc.finetune.max_steps = cfg.steps;
+    auto dj = core::DeepJoin::Train(env.sample(), env.ft(), djc);
+    std::vector<MethodResult> methods;
+    methods.push_back(
+        RunWithSearcher(env, *dj, core::AnnBackend::kFlat, "flat (exact)"));
+    methods.push_back(
+        RunWithSearcher(env, *dj, core::AnnBackend::kHnsw, "hnsw"));
+    methods.push_back(
+        RunWithSearcher(env, *dj, core::AnnBackend::kIvfPq, "ivfpq"));
+    PrintAccuracyTable("Ablation: ANN backend (same encoder, equi, " +
+                           cfg.corpus + ")",
+                       methods, env.ExactEqui(), jn, {10, 30, 50});
+    TablePrinter lat({"Backend", "mean query (ms)"});
+    for (const auto& m : methods) {
+      lat.AddRow({m.name, FormatDouble(m.mean_total_ms, 3)});
+    }
+    lat.Print("Ablation: ANN backend latency");
+  }
+  return 0;
+}

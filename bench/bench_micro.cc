@@ -1,0 +1,161 @@
+// Micro-benchmarks (google-benchmark) over the library's hot kernels:
+// column encoding, ANN search, exact search, sketching and training steps.
+// These complement the table harnesses: they isolate per-component cost.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace deepjoin {
+namespace {
+
+using bench::BenchConfig;
+using bench::BenchEnv;
+
+BenchEnv& SharedEnv() {
+  static BenchEnv* env = [] {
+    BenchConfig cfg;
+    cfg.repo_size = 2000;
+    cfg.sample_size = 200;
+    cfg.num_queries = 10;
+    return new BenchEnv(cfg);
+  }();
+  return *env;
+}
+
+void BM_FastTextCellEmbed(benchmark::State& state) {
+  auto& env = SharedEnv();
+  std::vector<float> out(env.ft().dim());
+  size_t i = 0;
+  const auto& cells = env.repo().column(0).cells;
+  for (auto _ : state) {
+    env.ft().TextVectorInto(cells[i++ % cells.size()], out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FastTextCellEmbed);
+
+void BM_TransformColumn(benchmark::State& state) {
+  auto& env = SharedEnv();
+  core::TransformConfig tc;
+  tc.dict = &env.tok().dict();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto text = core::TransformColumn(
+        env.repo().column(static_cast<u32>(i++ % env.repo().size())), tc);
+    benchmark::DoNotOptimize(text.data());
+  }
+}
+BENCHMARK(BM_TransformColumn);
+
+void BM_PlmEncodeColumn(benchmark::State& state) {
+  auto& env = SharedEnv();
+  static core::PlmColumnEncoder* encoder = [&] {
+    core::PlmEncoderConfig pc;
+    pc.kind = core::PlmKind::kMPNetSim;
+    return new core::PlmColumnEncoder(pc, env.sample(), env.ft());
+  }();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto v = encoder->Encode(
+        env.repo().column(static_cast<u32>(i++ % env.repo().size())));
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_PlmEncodeColumn);
+
+void BM_HnswSearch(benchmark::State& state) {
+  auto& env = SharedEnv();
+  const int dim = 32;
+  static ann::HnswIndex* index = [&] {
+    ann::HnswConfig hc;
+    hc.dim = dim;
+    auto* idx = new ann::HnswIndex(hc);
+    Rng rng(1);
+    std::vector<float> v(dim);
+    for (int i = 0; i < 20000; ++i) {
+      for (auto& x : v) x = static_cast<float>(rng.Normal());
+      idx->Add(v.data());
+    }
+    return idx;
+  }();
+  Rng rng(2);
+  std::vector<float> q(dim);
+  for (auto _ : state) {
+    for (auto& x : q) x = static_cast<float>(rng.Normal());
+    auto hits = index->Search(q.data(), static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(hits.data());
+  }
+}
+BENCHMARK(BM_HnswSearch)->Arg(10)->Arg(50);
+
+void BM_JosieSearch(benchmark::State& state) {
+  auto& env = SharedEnv();
+  static join::JosieIndex* index = new join::JosieIndex(&env.tok());
+  std::vector<join::TokenSet> qts;
+  for (const auto& q : env.queries()) qts.push_back(env.tok().EncodeQuery(q));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto hits = index->SearchTopK(qts[i++ % qts.size()], 10);
+    benchmark::DoNotOptimize(hits.data());
+  }
+}
+BENCHMARK(BM_JosieSearch);
+
+void BM_MinHashSignature(benchmark::State& state) {
+  auto& env = SharedEnv();
+  const auto& tokens = env.tok().columns()[0].tokens;
+  for (auto _ : state) {
+    auto sig = join::MinHashSignature::Compute(tokens, 128);
+    benchmark::DoNotOptimize(sig.values().data());
+  }
+}
+BENCHMARK(BM_MinHashSignature);
+
+void BM_SemanticJoinability(benchmark::State& state) {
+  auto& env = SharedEnv();
+  auto& store = const_cast<BenchEnv&>(env).store();
+  const auto& qv = const_cast<BenchEnv&>(env).QueryVectors(0);
+  const size_t nq = env.queries()[0].cells.size();
+  u32 c = 0;
+  for (auto _ : state) {
+    const u32 id = c++ % static_cast<u32>(store.num_columns());
+    benchmark::DoNotOptimize(join::SemanticJoinability(
+        qv.data(), nq, store.column_vectors(id), store.column_count(id),
+        store.dim(), 0.9f));
+  }
+}
+BENCHMARK(BM_SemanticJoinability);
+
+void BM_FineTuneStep(benchmark::State& state) {
+  auto& env = SharedEnv();
+  static core::PlmColumnEncoder* encoder = [&] {
+    core::PlmEncoderConfig pc;
+    pc.kind = core::PlmKind::kMPNetSim;
+    return new core::PlmColumnEncoder(pc, env.sample(), env.ft());
+  }();
+  nn::AdamW opt(encoder->transformer().params().params(), nn::AdamConfig{});
+  const int batch = static_cast<int>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    std::vector<nn::VarPtr> xs, ys;
+    for (int b = 0; b < batch; ++b) {
+      const auto& col =
+          env.sample()[(i + static_cast<size_t>(b)) % env.sample().size()];
+      xs.push_back(encoder->EncodeForTraining(col));
+      ys.push_back(encoder->EncodeForTraining(col));
+    }
+    i += static_cast<size_t>(batch);
+    auto loss = nn::MultipleNegativesRankingLoss(xs, ys);
+    nn::Backward(loss);
+    opt.Step(1.0);
+    encoder->transformer().params().ZeroGrads();
+  }
+}
+BENCHMARK(BM_FineTuneStep)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace deepjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Table 3: Precision@k / NDCG@k of equi-joinable table discovery for
+// k = 10..50 on both corpora. JOSIE is omitted from the accuracy rows (it
+// is exact, i.e. the ground truth), as in the paper.
+#include "bench/common.h"
+
+using namespace deepjoin;
+using namespace deepjoin::bench;
+
+namespace {
+
+void RunCorpus(const BenchConfig& cfg) {
+  BenchEnv env(cfg);
+  std::vector<MethodResult> methods;
+  methods.push_back(env.RunLshEnsemble());
+  methods.push_back(env.RunFastText());
+  methods.push_back(env.RunRawPlm(core::PlmKind::kDistilSim));
+  methods.push_back(env.RunRawPlm(core::PlmKind::kMPNetSim));
+  methods.push_back(env.RunTabert());
+  methods.push_back(env.RunMlp(core::JoinType::kEqui));
+  methods.push_back(env.RunDeepJoin(core::PlmKind::kDistilSim,
+                                    core::JoinType::kEqui,
+                                    core::TransformOption::kTitleColnameStatCol,
+                                    cfg.shuffle_rate)
+                        .result);
+  methods.push_back(env.RunDeepJoin(core::PlmKind::kMPNetSim,
+                                    core::JoinType::kEqui,
+                                    core::TransformOption::kTitleColnameStatCol,
+                                    cfg.shuffle_rate)
+                        .result);
+  auto jn = [&env](size_t q, u32 id) { return env.EquiJn(q, id); };
+  PrintAccuracyTable("Table 3 (" + cfg.corpus + "): accuracy of equi-joins",
+                     methods, env.ExactEqui(), jn);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  const std::string which = flags.GetString("corpus", "both");
+  for (const std::string corpus : {"webtable", "wikitable"}) {
+    if (which != "both" && which != corpus) continue;
+    BenchConfig cfg = BenchConfig::FromFlags(flags);
+    cfg.corpus = corpus;
+    RunCorpus(cfg);
+  }
+  return 0;
+}

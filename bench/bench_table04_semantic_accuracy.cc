@@ -1,0 +1,7 @@
+// Table 4: semantic-join accuracy, tau = 0.9, labelled by the exact
+// semantic solution (PEXESO's definition).
+#include "bench/semantic_accuracy.h"
+
+int main(int argc, char** argv) {
+  return deepjoin::bench::RunSemanticAccuracyMain(argc, argv, 0.9f, 4);
+}

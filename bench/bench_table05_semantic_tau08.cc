@@ -1,0 +1,7 @@
+// Table 5: semantic-join accuracy, tau = 0.8.
+#include "bench/semantic_accuracy.h"
+
+// Defaults to Webtable (pass --corpus=both for the full grid).
+int main(int argc, char** argv) {
+  return deepjoin::bench::RunSemanticAccuracyMain(argc, argv, 0.8f, 5, "webtable");
+}

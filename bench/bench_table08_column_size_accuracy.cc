@@ -1,0 +1,109 @@
+// Table 8: accuracy by target-column size group (5-10, 11-50, >50 cells)
+// on Webtable, k = 10, for equi- and semantic joins. Each group gets its
+// own filtered repository and size-matched queries, as in the paper.
+#include "bench/common.h"
+
+using namespace deepjoin;
+using namespace deepjoin::bench;
+
+namespace {
+
+struct Group {
+  const char* label;
+  size_t lo;
+  size_t hi;
+};
+
+constexpr Group kGroups[] = {
+    {"5-10", 5, 10}, {"11-50", 11, 50}, {">50", 51, 100000}};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  BenchConfig base = BenchConfig::FromFlags(flags);
+  base.corpus = "webtable";
+  // Six fine-tunes (3 groups x 2 join types); default to a lighter profile.
+  if (!flags.Has("steps")) base.steps = 60;
+  const size_t group_repo = base.repo_size / 2;
+  const size_t k = 10;
+
+  TablePrinter equi_printer(
+      {"Method", "P@10 (5-10)", "(11-50)", "(>50)", "N@10 (5-10)", "(11-50)",
+       "(>50)"});
+  TablePrinter sem_printer(
+      {"Method", "P@10 (5-10)", "(11-50)", "(>50)", "N@10 (5-10)", "(11-50)",
+       "(>50)"});
+  // method name -> per-group metric cells
+  std::vector<std::string> equi_names, sem_names;
+  std::vector<std::vector<std::string>> equi_cells, sem_cells;
+
+  for (const Group& g : kGroups) {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(base.seed));
+    auto repo = gen.GenerateRepositoryInSizeRange(group_repo, g.lo, g.hi);
+    auto sample = gen.GenerateQueries(base.sample_size, 0x5A17);
+    auto queries = gen.GenerateQueriesInSizeRange(
+        std::min<size_t>(base.num_queries, 20), g.lo, g.hi, 0xC0FE);
+    std::printf("[group %s] repo=%zu queries=%zu\n", g.label, repo.size(),
+                queries.size());
+    BenchEnv env(base, std::move(repo), std::move(sample),
+                 std::move(queries));
+
+    // --- equi methods ---
+    std::vector<MethodResult> equi;
+    equi.push_back(env.RunLshEnsemble());
+    equi.push_back(env.RunFastText());
+    equi.push_back(env.RunRawPlm(core::PlmKind::kDistilSim));
+    equi.push_back(env.RunRawPlm(core::PlmKind::kMPNetSim));
+    equi.push_back(env.RunTabert());
+    equi.push_back(env.RunMlp(core::JoinType::kEqui));
+    equi.push_back(env.RunDeepJoin(core::JoinType::kEqui).result);
+    auto ejn = [&env](size_t q, u32 id) { return env.EquiJn(q, id); };
+    const auto& exact_equi = env.ExactEqui();
+    // --- semantic methods ---
+    std::vector<MethodResult> sem;
+    sem.push_back(env.RunLshEnsemble());
+    sem.push_back(env.RunFastText());
+    sem.push_back(env.RunDeepJoin(core::JoinType::kSemantic).result);
+    auto exact_sem = env.ExactSemantic(base.tau);
+    auto sjn = [&env, &base](size_t q, u32 id) {
+      return env.SemanticJn(q, id, base.tau);
+    };
+
+    auto fold = [&](const std::vector<MethodResult>& methods,
+                    const std::vector<std::vector<Scored>>& exact,
+                    const std::function<double(size_t, u32)>& jn,
+                    std::vector<std::string>& names,
+                    std::vector<std::vector<std::string>>& cells) {
+      for (size_t m = 0; m < methods.size(); ++m) {
+        if (names.size() <= m) {
+          names.push_back(methods[m].name);
+          cells.emplace_back();
+        }
+        cells[m].push_back(FormatDouble(MeanPrecision(methods[m], exact, k), 3));
+        cells[m].push_back(FormatDouble(MeanNdcg(methods[m], exact, k, jn), 3));
+      }
+    };
+    fold(equi, exact_equi, ejn, equi_names, equi_cells);
+    fold(sem, exact_sem, sjn, sem_names, sem_cells);
+  }
+
+  // Cells arrive (P,N) per group; reorder to P,P,P,N,N,N like the paper.
+  auto emit = [](TablePrinter& printer,
+                 const std::vector<std::string>& names,
+                 const std::vector<std::vector<std::string>>& cells) {
+    for (size_t m = 0; m < names.size(); ++m) {
+      std::vector<std::string> row = {names[m]};
+      for (size_t g = 0; g < 3; ++g) row.push_back(cells[m][2 * g]);
+      for (size_t g = 0; g < 3; ++g) row.push_back(cells[m][2 * g + 1]);
+      printer.AddRow(std::move(row));
+    }
+  };
+  emit(equi_printer, equi_names, equi_cells);
+  emit(sem_printer, sem_names, sem_cells);
+  equi_printer.Print("Table 8 (Webtable, equi-joins): accuracy by column size");
+  sem_printer.Print(
+      "Table 8 (Webtable, semantic joins): accuracy by column size");
+  return 0;
+}

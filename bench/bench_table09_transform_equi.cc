@@ -1,0 +1,36 @@
+// Table 9: ablation of the column-to-text transformation options (Table 1)
+// for equi-joins. One DeepJoin-MPNetSim fine-tune per option. An extra
+// "naive-truncation" row ablates the frequency-based cell selection of
+// §3.2 (a design choice DESIGN.md calls out).
+#include "bench/common.h"
+
+using namespace deepjoin;
+using namespace deepjoin::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  const std::string which = flags.GetString("corpus", "webtable");
+  for (const std::string corpus : {"webtable", "wikitable"}) {
+    if (which != "both" && which != corpus) continue;
+    BenchConfig cfg = BenchConfig::FromFlags(flags);
+    cfg.corpus = corpus;
+    // Ablations train many models; default to a lighter profile.
+    if (!flags.Has("steps")) cfg.steps = 50;
+    BenchEnv env(cfg);
+
+    std::vector<MethodResult> methods;
+    for (core::TransformOption opt : core::AllTransformOptions()) {
+      auto run = env.RunDeepJoin(core::PlmKind::kMPNetSim,
+                                 core::JoinType::kEqui, opt,
+                                 cfg.shuffle_rate);
+      run.result.name = core::TransformOptionName(opt);
+      methods.push_back(std::move(run.result));
+    }
+    auto jn = [&env](size_t q, u32 id) { return env.EquiJn(q, id); };
+    PrintAccuracyTable(
+        "Table 9 (" + corpus + "): column-to-text transformation, equi-joins",
+        methods, env.ExactEqui(), jn);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table 10: ablation of the column-to-text transformation options for
+// semantic joins (labels from the exact semantic solution at tau).
+#include "bench/common.h"
+
+using namespace deepjoin;
+using namespace deepjoin::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  const std::string which = flags.GetString("corpus", "webtable");
+  for (const std::string corpus : {"webtable", "wikitable"}) {
+    if (which != "both" && which != corpus) continue;
+    BenchConfig cfg = BenchConfig::FromFlags(flags);
+    cfg.corpus = corpus;
+    // Ablations train many models; default to a lighter profile.
+    if (!flags.Has("steps")) cfg.steps = 50;
+    BenchEnv env(cfg);
+    auto exact = env.ExactSemantic(cfg.tau);
+
+    std::vector<MethodResult> methods;
+    for (core::TransformOption opt : core::AllTransformOptions()) {
+      auto run = env.RunDeepJoin(core::PlmKind::kMPNetSim,
+                                 core::JoinType::kSemantic, opt,
+                                 cfg.shuffle_rate);
+      run.result.name = core::TransformOptionName(opt);
+      methods.push_back(std::move(run.result));
+    }
+    auto jn = [&env, &cfg](size_t q, u32 id) {
+      return env.SemanticJn(q, id, cfg.tau);
+    };
+    PrintAccuracyTable("Table 10 (" + corpus +
+                           "): column-to-text transformation, semantic joins",
+                       methods, exact, jn);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Table 12: ablation of the cell-shuffle data augmentation for semantic
+// joins.
+#include "bench/common.h"
+
+using namespace deepjoin;
+using namespace deepjoin::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  const std::string which = flags.GetString("corpus", "webtable");
+  for (const std::string corpus : {"webtable", "wikitable"}) {
+    if (which != "both" && which != corpus) continue;
+    BenchConfig cfg = BenchConfig::FromFlags(flags);
+    cfg.corpus = corpus;
+    // Ablations train many models; default to a lighter profile.
+    if (!flags.Has("steps")) cfg.steps = 50;
+    BenchEnv env(cfg);
+    auto exact = env.ExactSemantic(cfg.tau);
+
+    std::vector<MethodResult> methods;
+    for (double rate : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+      auto run = env.RunDeepJoin(core::PlmKind::kMPNetSim,
+                                 core::JoinType::kSemantic,
+                                 core::TransformOption::kTitleColnameStatCol,
+                                 rate);
+      run.result.name =
+          rate == 0.0 ? "no-shuffle" : FormatDouble(rate, 1);
+      methods.push_back(std::move(run.result));
+    }
+    auto jn = [&env, &cfg](size_t q, u32 id) {
+      return env.SemanticJn(q, id, cfg.tau);
+    };
+    PrintAccuracyTable("Table 12 (" + corpus +
+                           "): cell-shuffle augmentation, semantic joins",
+                       methods, exact, jn);
+  }
+  return 0;
+}

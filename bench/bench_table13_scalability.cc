@@ -1,0 +1,206 @@
+// Table 13: mean processing time per query while the repository grows
+// (the paper sweeps 1M-5M Webtable / 200K-1M Wikitable columns; scaled
+// sizes here, --full raises them). Shapes to reproduce: JOSIE / PEXESO /
+// LSH Ensemble grow with |X|; embedding methods are dominated by query
+// encoding and grow only slightly; the batched ("GPU") DeepJoin path has
+// the same profile with cheaper amortised encoding.
+#include <thread>
+
+#include "bench/common.h"
+
+using namespace deepjoin;
+using namespace deepjoin::bench;
+
+namespace {
+
+struct Row {
+  std::string method;
+  double encode_ms = -1.0;  // <0 = not applicable
+  std::vector<double> total_ms;
+};
+
+void PrintRows(const std::string& title, const std::vector<Row>& rows,
+               const std::vector<size_t>& sizes) {
+  std::vector<std::string> header = {"Method", "query encoding (ms)"};
+  for (size_t n : sizes) header.push_back("|X|=" + std::to_string(n));
+  TablePrinter printer(header);
+  for (const auto& r : rows) {
+    std::vector<std::string> cells = {
+        r.method, r.encode_ms < 0 ? "-" : FormatDouble(r.encode_ms, 2)};
+    for (double t : r.total_ms) cells.push_back(FormatDouble(t, 2));
+    printer.AddRow(std::move(cells));
+  }
+  printer.Print(title);
+}
+
+/// Embedding-method sweep: pre-encode the full repository once, then per
+/// size index a prefix and measure per-query encode + ANNS time.
+Row SweepEncoder(core::ColumnEncoder* encoder, const std::string& name,
+                 const lake::Repository& repo,
+                 const std::vector<lake::Column>& queries,
+                 const std::vector<size_t>& sizes, bool batched) {
+  const int dim = encoder->dim();
+  std::vector<float> embeddings(repo.size() * static_cast<size_t>(dim));
+  for (size_t i = 0; i < repo.size(); ++i) {
+    auto v = encoder->Encode(repo.column(static_cast<u32>(i)));
+    std::copy(v.begin(), v.end(),
+              embeddings.begin() + static_cast<long>(i * dim));
+  }
+  Row row;
+  row.method = name;
+  const size_t pool_threads = std::max(2u, std::thread::hardware_concurrency());
+  ThreadPool pool(pool_threads);
+  for (size_t n : sizes) {
+    ann::HnswConfig hc;
+    hc.dim = dim;
+    ann::HnswIndex index(hc);
+    index.AddBatch(embeddings.data(), n);
+    if (batched) {
+      // Amortised batch path (the GPU substitute; DESIGN.md).
+      WallTimer total;
+      std::vector<std::vector<float>> qembs(queries.size());
+      WallTimer enc;
+      pool.ParallelFor(queries.size(), [&](size_t i) {
+        qembs[i] = encoder->Encode(queries[i]);
+      });
+      const double enc_s = enc.ElapsedSeconds();
+      for (const auto& qe : qembs) index.Search(qe.data(), 10);
+      const double total_s = total.ElapsedSeconds();
+      row.encode_ms = enc_s * 1e3 / static_cast<double>(queries.size());
+      row.total_ms.push_back(total_s * 1e3 /
+                             static_cast<double>(queries.size()));
+    } else {
+      TimeAccumulator encode_acc, total_acc;
+      for (const auto& q : queries) {
+        WallTimer total;
+        WallTimer enc;
+        auto qe = encoder->Encode(q);
+        encode_acc.Add(enc.ElapsedSeconds());
+        index.Search(qe.data(), 10);
+        total_acc.Add(total.ElapsedSeconds());
+      }
+      row.encode_ms = encode_acc.MeanMillis();
+      row.total_ms.push_back(total_acc.MeanMillis());
+    }
+  }
+  return row;
+}
+
+lake::Repository Prefix(const lake::Repository& repo, size_t n) {
+  lake::Repository out;
+  for (size_t i = 0; i < n; ++i) out.Add(repo.column(static_cast<u32>(i)));
+  return out;
+}
+
+void RunCorpus(const BenchConfig& base, const std::vector<size_t>& sizes) {
+  BenchConfig cfg = base;
+  cfg.repo_size = sizes.back();
+  cfg.num_queries = std::min<size_t>(cfg.num_queries, 20);
+  BenchEnv env(cfg);
+
+  // Train both DeepJoin variants once (training is size-independent).
+  auto dj_equi = env.RunDeepJoin(core::JoinType::kEqui);
+  auto dj_sem = env.RunDeepJoin(core::JoinType::kSemantic);
+
+  core::TransformConfig ft_tc;
+  ft_tc.option = core::TransformOption::kCol;
+  ft_tc.cell_budget = 0;
+  core::FastTextColumnEncoder ft_encoder(&env.ft(), ft_tc);
+
+  // --- equi-join rows ---
+  std::vector<Row> equi_rows;
+  {
+    Row lsh{"LSH Ensemble", -1.0, {}};
+    Row josie{"JOSIE", -1.0, {}};
+    for (size_t n : sizes) {
+      auto repo = Prefix(env.repo(), n);
+      auto tok = join::TokenizedRepository::Build(repo);
+      join::LshEnsembleIndex lsh_index(&tok, join::LshEnsembleConfig{});
+      join::JosieIndex josie_index(&tok);
+      TimeAccumulator lsh_acc, josie_acc;
+      for (const auto& q : env.queries()) {
+        const auto qt = tok.EncodeQuery(q);
+        WallTimer t1;
+        lsh_index.SearchTopK(qt, 10);
+        lsh_acc.Add(t1.ElapsedSeconds());
+        WallTimer t2;
+        josie_index.SearchTopK(qt, 10);
+        josie_acc.Add(t2.ElapsedSeconds());
+      }
+      lsh.total_ms.push_back(lsh_acc.MeanMillis());
+      josie.total_ms.push_back(josie_acc.MeanMillis());
+    }
+    equi_rows.push_back(std::move(lsh));
+    equi_rows.push_back(std::move(josie));
+    equi_rows.push_back(SweepEncoder(&ft_encoder, "fastText", env.repo(),
+                                     env.queries(), sizes, false));
+    equi_rows.push_back(SweepEncoder(&dj_equi.model->encoder(),
+                                     "DeepJoin (CPU)", env.repo(),
+                                     env.queries(), sizes, false));
+    equi_rows.push_back(SweepEncoder(&dj_equi.model->encoder(),
+                                     "DeepJoin (batched)", env.repo(),
+                                     env.queries(), sizes, true));
+  }
+  PrintRows("Table 13 (" + cfg.corpus + ", equi-joins): time per query vs |X|",
+            equi_rows, sizes);
+
+  // --- semantic-join rows ---
+  std::vector<Row> sem_rows;
+  {
+    Row pexeso{"PEXESO", -1.0, {}};
+    for (size_t n : sizes) {
+      auto repo = Prefix(env.repo(), n);
+      auto store = join::ColumnVectorStore::Build(repo, env.ft());
+      join::PexesoConfig pc;
+      pc.tau = cfg.tau;
+      join::PexesoIndex index(&store, pc);
+      TimeAccumulator acc;
+      for (size_t q = 0; q < env.queries().size(); ++q) {
+        const auto qv =
+            join::ColumnVectorStore::EmbedColumn(env.queries()[q], env.ft());
+        WallTimer t;
+        index.SearchTopK(qv.data(), env.queries()[q].cells.size(), 10);
+        acc.Add(t.ElapsedSeconds());
+      }
+      pexeso.total_ms.push_back(acc.MeanMillis());
+    }
+    sem_rows.push_back(std::move(pexeso));
+    sem_rows.push_back(SweepEncoder(&dj_sem.model->encoder(),
+                                    "DeepJoin (CPU)", env.repo(),
+                                    env.queries(), sizes, false));
+    sem_rows.push_back(SweepEncoder(&dj_sem.model->encoder(),
+                                    "DeepJoin (batched)", env.repo(),
+                                    env.queries(), sizes, true));
+  }
+  PrintRows("Table 13 (" + cfg.corpus +
+                ", semantic joins): time per query vs |X|",
+            sem_rows, sizes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  BenchConfig base = BenchConfig::FromFlags(flags);
+  // Latency does not depend on model quality; train briefly by default.
+  if (!flags.Has("steps")) base.steps = 30;
+  const bool full = flags.GetBool("full", false);
+  const std::string which = flags.GetString("corpus", "both");
+
+  if (which == "both" || which == "webtable") {
+    base.corpus = "webtable";
+    RunCorpus(base, full ? std::vector<size_t>{10000, 20000, 30000, 40000,
+                                               50000}
+                         : std::vector<size_t>{2000, 4000, 6000, 8000,
+                                               10000});
+  }
+  if (which == "both" || which == "wikitable") {
+    base.corpus = "wikitable";
+    RunCorpus(base, full ? std::vector<size_t>{4000, 8000, 12000, 16000,
+                                               20000}
+                         : std::vector<size_t>{1000, 2000, 3000, 4000,
+                                               5000});
+  }
+  return 0;
+}

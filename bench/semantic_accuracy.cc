@@ -1,0 +1,46 @@
+#include "bench/semantic_accuracy.h"
+
+#include "util/string_util.h"
+
+namespace deepjoin {
+namespace bench {
+
+int RunSemanticAccuracyMain(int argc, char** argv, float default_tau,
+                            int table_no, const char* default_corpus) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  const std::string which = flags.GetString("corpus", default_corpus);
+  for (const std::string corpus : {"webtable", "wikitable"}) {
+    if (which != "both" && which != corpus) continue;
+    BenchConfig cfg = BenchConfig::FromFlags(flags);
+    cfg.corpus = corpus;
+    if (!flags.Has("tau")) cfg.tau = default_tau;
+
+    BenchEnv env(cfg);
+    auto exact = env.ExactSemantic(cfg.tau);
+    std::vector<MethodResult> methods;
+    methods.push_back(env.RunLshEnsemble());
+    methods.push_back(env.RunFastText());
+    methods.push_back(env.RunDeepJoin(core::PlmKind::kDistilSim,
+                                      core::JoinType::kSemantic,
+                                      core::TransformOption::kTitleColnameStatCol,
+                                      cfg.shuffle_rate)
+                          .result);
+    methods.push_back(env.RunDeepJoin(core::PlmKind::kMPNetSim,
+                                      core::JoinType::kSemantic,
+                                      core::TransformOption::kTitleColnameStatCol,
+                                      cfg.shuffle_rate)
+                          .result);
+    auto jn = [&env, &cfg](size_t q, u32 id) {
+      return env.SemanticJn(q, id, cfg.tau);
+    };
+    PrintAccuracyTable("Table " + std::to_string(table_no) + " (" + corpus +
+                           "): accuracy of semantic joins, tau = " +
+                           FormatDouble(cfg.tau, 1),
+                       methods, exact, jn);
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace deepjoin

@@ -1,0 +1,20 @@
+// Shared driver for Tables 4-6 (semantic-join accuracy at tau = 0.9 / 0.8
+// / 0.7, labelled by the exact semantic solution as in the paper).
+#ifndef DEEPJOIN_BENCH_SEMANTIC_ACCURACY_H_
+#define DEEPJOIN_BENCH_SEMANTIC_ACCURACY_H_
+
+#include "bench/common.h"
+
+namespace deepjoin {
+namespace bench {
+
+/// Runs the semantic accuracy experiment for one tau; `table_no` only
+/// affects the printed title. Honors --corpus=webtable|wikitable|both.
+int RunSemanticAccuracyMain(int argc, char** argv, float default_tau,
+                            int table_no,
+                            const char* default_corpus = "both");
+
+}  // namespace bench
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_BENCH_SEMANTIC_ACCURACY_H_

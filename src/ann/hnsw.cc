@@ -1,0 +1,235 @@
+#include "ann/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace deepjoin {
+namespace ann {
+
+HnswIndex::HnswIndex(const HnswConfig& config)
+    : config_(config),
+      level_mult_(1.0 / std::log(static_cast<double>(config.M))),
+      rng_(config.seed) {
+  DJ_CHECK(config_.dim > 0 && config_.M >= 2);
+}
+
+u32 HnswIndex::GreedyClosest(const float* query, u32 entry, int level) const {
+  u32 cur = entry;
+  float cur_dist = Dist(query, cur);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (u32 nb : LinksAt(cur, level)) {
+      const float d = Dist(query, nb);
+      if (d < cur_dist) {
+        cur = nb;
+        cur_dist = d;
+        improved = true;
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, u32 entry,
+                                             int ef, int level) const {
+  ++epoch_;
+  if (visited_stamp_.size() < levels_.size()) {
+    visited_stamp_.resize(levels_.size(), 0);
+  }
+  auto visit = [&](u32 id) {
+    if (visited_stamp_[id] == epoch_) return false;
+    visited_stamp_[id] = epoch_;
+    return true;
+  };
+
+  // `candidates`: nearest-first frontier. `results`: farthest-first bounded
+  // set of the best `ef` seen so far.
+  std::priority_queue<Neighbor, std::vector<Neighbor>, std::greater<>>
+      candidates;
+  std::priority_queue<Neighbor> results;
+
+  const float d0 = Dist(query, entry);
+  visit(entry);
+  candidates.push({d0, entry});
+  results.push({d0, entry});
+
+  while (!candidates.empty()) {
+    const Neighbor c = candidates.top();
+    if (c.dist > results.top().dist &&
+        results.size() >= static_cast<size_t>(ef)) {
+      break;
+    }
+    candidates.pop();
+    for (u32 nb : LinksAt(c.id, level)) {
+      if (!visit(nb)) continue;
+      const float d = Dist(query, nb);
+      if (results.size() < static_cast<size_t>(ef) ||
+          d < results.top().dist) {
+        candidates.push({d, nb});
+        results.push({d, nb});
+        if (results.size() > static_cast<size_t>(ef)) results.pop();
+      }
+    }
+  }
+  std::vector<Neighbor> out;
+  out.reserve(results.size());
+  while (!results.empty()) {
+    out.push_back(results.top());
+    results.pop();
+  }
+  std::reverse(out.begin(), out.end());  // ascending by distance
+  return out;
+}
+
+std::vector<u32> HnswIndex::SelectNeighbors(
+    const float* query, const std::vector<Neighbor>& candidates,
+    int m) const {
+  (void)query;
+  std::vector<u32> kept;
+  kept.reserve(static_cast<size_t>(m));
+  for (const Neighbor& c : candidates) {
+    if (static_cast<int>(kept.size()) >= m) break;
+    bool good = true;
+    for (u32 r : kept) {
+      // Candidate is dominated if it is closer to a kept neighbour than to
+      // the query: linking it adds little reach.
+      const float d_cr = SquaredL2Distance(VectorAt(c.id), VectorAt(r),
+                                           config_.dim);
+      if (d_cr < c.dist) {
+        good = false;
+        break;
+      }
+    }
+    if (good) kept.push_back(c.id);
+  }
+  // Backfill with nearest skipped candidates if the heuristic was too
+  // aggressive (keepPrunedConnections in the paper's terms).
+  if (static_cast<int>(kept.size()) < m) {
+    for (const Neighbor& c : candidates) {
+      if (static_cast<int>(kept.size()) >= m) break;
+      if (std::find(kept.begin(), kept.end(), c.id) == kept.end()) {
+        kept.push_back(c.id);
+      }
+    }
+  }
+  return kept;
+}
+
+void HnswIndex::Add(const float* vec) {
+  const u32 id = static_cast<u32>(levels_.size());
+  data_.insert(data_.end(), vec, vec + config_.dim);
+  const int level =
+      static_cast<int>(rng_.Exponential(1.0) * level_mult_);
+  levels_.push_back(level);
+  links_.emplace_back(static_cast<size_t>(level) + 1);
+
+  if (id == 0) {
+    entry_ = 0;
+    max_level_ = level;
+    return;
+  }
+
+  const float* q = VectorAt(id);
+  u32 ep = entry_;
+  // Descend through levels above the new node's level.
+  for (int lev = max_level_; lev > level; --lev) {
+    ep = GreedyClosest(q, ep, lev);
+  }
+  // Connect on each level the node participates in.
+  for (int lev = std::min(level, max_level_); lev >= 0; --lev) {
+    auto candidates = SearchLayer(q, ep, config_.ef_construction, lev);
+    const int max_degree = lev == 0 ? 2 * config_.M : config_.M;
+    auto neighbors = SelectNeighbors(q, candidates, config_.M);
+    for (u32 nb : neighbors) {
+      LinksAt(id, lev).push_back(nb);
+      auto& back = LinksAt(nb, lev);
+      back.push_back(id);
+      if (static_cast<int>(back.size()) > max_degree) {
+        // Shrink the neighbour's adjacency with the same heuristic.
+        std::vector<Neighbor> cand;
+        cand.reserve(back.size());
+        const float* nb_vec = VectorAt(nb);
+        for (u32 x : back) {
+          cand.push_back({SquaredL2Distance(nb_vec, VectorAt(x), config_.dim),
+                          x});
+        }
+        std::sort(cand.begin(), cand.end());
+        back = SelectNeighbors(nb_vec, cand, max_degree);
+      }
+    }
+    if (!candidates.empty()) ep = candidates.front().id;
+  }
+  if (level > max_level_) {
+    entry_ = id;
+    max_level_ = level;
+  }
+}
+
+void HnswIndex::Save(BinaryWriter& writer) const {
+  writer.WriteU32(0xD1A90002);  // format magic
+  writer.WriteI32(config_.dim);
+  writer.WriteI32(config_.M);
+  writer.WriteI32(config_.ef_construction);
+  writer.WriteI32(config_.ef_search);
+  writer.WriteU64(config_.seed);
+  writer.WriteFloatArray(data_.data(), data_.size());
+  writer.WriteU64(levels_.size());
+  for (int lv : levels_) writer.WriteI32(lv);
+  for (const auto& per_node : links_) {
+    writer.WriteU64(per_node.size());
+    for (const auto& adj : per_node) {
+      writer.WriteU64(adj.size());
+      for (u32 id : adj) writer.WriteU32(id);
+    }
+  }
+  writer.WriteU32(entry_);
+  writer.WriteI32(max_level_);
+}
+
+HnswIndex HnswIndex::Load(BinaryReader& reader) {
+  const u32 magic = reader.ReadU32();
+  DJ_CHECK_MSG(magic == 0xD1A90002, "not an HNSW index file");
+  HnswConfig config;
+  config.dim = reader.ReadI32();
+  config.M = reader.ReadI32();
+  config.ef_construction = reader.ReadI32();
+  config.ef_search = reader.ReadI32();
+  config.seed = reader.ReadU64();
+  HnswIndex index(config);
+  index.data_ = reader.ReadFloatArray();
+  const u64 n = reader.ReadU64();
+  index.levels_.resize(n);
+  for (u64 i = 0; i < n; ++i) index.levels_[i] = reader.ReadI32();
+  index.links_.resize(n);
+  for (u64 i = 0; i < n; ++i) {
+    index.links_[i].resize(reader.ReadU64());
+    for (auto& adj : index.links_[i]) {
+      adj.resize(reader.ReadU64());
+      for (auto& id : adj) id = reader.ReadU32();
+    }
+  }
+  index.entry_ = reader.ReadU32();
+  index.max_level_ = reader.ReadI32();
+  DJ_CHECK_MSG(reader.ok() &&
+                   index.data_.size() ==
+                       n * static_cast<size_t>(config.dim),
+               "corrupt HNSW index file");
+  return index;
+}
+
+std::vector<Neighbor> HnswIndex::Search(const float* query, size_t k) const {
+  if (levels_.empty() || k == 0) return {};
+  u32 ep = entry_;
+  for (int lev = max_level_; lev >= 1; --lev) {
+    ep = GreedyClosest(query, ep, lev);
+  }
+  const int ef = std::max<int>(config_.ef_search, static_cast<int>(k));
+  auto results = SearchLayer(query, ep, ef, 0);
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+}  // namespace ann
+}  // namespace deepjoin

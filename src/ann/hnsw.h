@@ -1,0 +1,91 @@
+// Hierarchical Navigable Small World graphs (Malkov & Yashunin, 2020) —
+// the ANNS algorithm DeepJoin uses for sub-linear search (paper §3.3).
+// Implements the standard construction with the neighbour-selection
+// heuristic, per-level degree caps (M on upper levels, 2M on level 0), and
+// ef-bounded best-first layer search.
+#ifndef DEEPJOIN_ANN_HNSW_H_
+#define DEEPJOIN_ANN_HNSW_H_
+
+#include <vector>
+
+#include "ann/vector_index.h"
+#include "util/binary_io.h"
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace ann {
+
+struct HnswConfig {
+  int dim = 0;
+  int M = 16;                ///< max out-degree on upper levels
+  int ef_construction = 200;
+  int ef_search = 64;
+  u64 seed = 11;
+};
+
+class HnswIndex : public VectorIndex {
+ public:
+  explicit HnswIndex(const HnswConfig& config);
+
+  void Add(const float* vec) override;
+  std::vector<Neighbor> Search(const float* query, size_t k) const override;
+  size_t size() const override { return levels_.size(); }
+  int dim() const override { return config_.dim; }
+  const char* name() const override { return "hnsw"; }
+
+  /// Tunable at query time: recall/latency knob.
+  void set_ef_search(int ef) { config_.ef_search = ef; }
+  int max_level() const { return max_level_; }
+
+  /// Persists the full graph + vectors. The offline index build of §3.3
+  /// is the expensive step; serving processes load instead of rebuilding.
+  void Save(BinaryWriter& writer) const;
+  static HnswIndex Load(BinaryReader& reader);
+
+ private:
+  const float* VectorAt(u32 id) const {
+    return &data_[static_cast<size_t>(id) * config_.dim];
+  }
+  float Dist(const float* q, u32 id) const {
+    return SquaredL2Distance(q, VectorAt(id), config_.dim);
+  }
+
+  /// Greedy single-entry descent within one level.
+  u32 GreedyClosest(const float* query, u32 entry, int level) const;
+
+  /// Best-first search within a level; returns up to `ef` nearest,
+  /// ascending by distance.
+  std::vector<Neighbor> SearchLayer(const float* query, u32 entry, int ef,
+                                    int level) const;
+
+  /// Malkov's heuristic: keep candidates that are closer to the query than
+  /// to any already-kept neighbour (diversifies link directions).
+  std::vector<u32> SelectNeighbors(const float* query,
+                                   const std::vector<Neighbor>& candidates,
+                                   int m) const;
+
+  std::vector<u32>& LinksAt(u32 id, int level) {
+    return links_[id][static_cast<size_t>(level)];
+  }
+  const std::vector<u32>& LinksAt(u32 id, int level) const {
+    return links_[id][static_cast<size_t>(level)];
+  }
+
+  HnswConfig config_;
+  double level_mult_;
+  Rng rng_;
+  std::vector<float> data_;               // n x dim
+  std::vector<int> levels_;               // top level of each node
+  std::vector<std::vector<std::vector<u32>>> links_;  // [node][level] -> ids
+  u32 entry_ = 0;
+  int max_level_ = -1;
+
+  // Epoch-stamped visited markers to avoid per-query allocation.
+  mutable std::vector<u32> visited_stamp_;
+  mutable u32 epoch_ = 0;
+};
+
+}  // namespace ann
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_ANN_HNSW_H_

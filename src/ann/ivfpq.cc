@@ -1,0 +1,164 @@
+#include "ann/ivfpq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/top_k.h"
+
+namespace deepjoin {
+namespace ann {
+
+IvfPqIndex::IvfPqIndex(const IvfPqConfig& config) : config_(config) {
+  DJ_CHECK(config_.dim > 0);
+  DJ_CHECK_MSG(config_.dim % config_.m == 0, "dim must be divisible by m");
+  DJ_CHECK(config_.nbits >= 1 && config_.nbits <= 8);
+}
+
+void IvfPqIndex::Train(const float* data, size_t n) {
+  DJ_CHECK_MSG(!trained_, "Train() called twice");
+  DJ_CHECK(n > 0);
+  Rng rng(config_.seed);
+  const int d = config_.dim;
+
+  // Coarse quantizer.
+  const int nlist = std::min<int>(config_.nlist, static_cast<int>(n));
+  coarse_ = KMeans(data, n, d, nlist, config_.train_iters, rng);
+  config_.nlist = nlist;
+  list_ids_.resize(nlist);
+  list_codes_.resize(nlist);
+
+  if (config_.hnsw_coarse) {
+    HnswConfig hc;
+    hc.dim = d;
+    hc.M = 8;
+    hc.ef_construction = 80;
+    hc.ef_search = std::max(16, config_.nprobe * 2);
+    coarse_hnsw_ = std::make_unique<HnswIndex>(hc);
+    for (int c = 0; c < nlist; ++c) {
+      coarse_hnsw_->Add(&coarse_.centroids[static_cast<size_t>(c) * d]);
+    }
+  }
+
+  // PQ codebooks over residuals of the training data.
+  std::vector<float> residuals(n * static_cast<size_t>(d));
+  for (size_t i = 0; i < n; ++i) {
+    const float* v = data + i * d;
+    const float* c =
+        &coarse_.centroids[static_cast<size_t>(coarse_.assignments[i]) * d];
+    for (int j = 0; j < d; ++j) residuals[i * d + j] = v[j] - c[j];
+  }
+  const int ds = dsub();
+  const int ks = ksub();
+  codebooks_.assign(static_cast<size_t>(config_.m) * ks * ds, 0.0f);
+  std::vector<float> sub(n * static_cast<size_t>(ds));
+  for (int s = 0; s < config_.m; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      std::copy(&residuals[i * d + static_cast<size_t>(s) * ds],
+                &residuals[i * d + static_cast<size_t>(s) * ds + ds],
+                &sub[i * ds]);
+    }
+    auto km = KMeans(sub.data(), n, ds, ks, config_.train_iters, rng);
+    std::copy(km.centroids.begin(), km.centroids.end(),
+              codebooks_.begin() + static_cast<size_t>(s) * ks * ds);
+  }
+  trained_ = true;
+}
+
+void IvfPqIndex::EncodeResidual(const float* r, u8* codes) const {
+  const int ds = dsub();
+  const int ks = ksub();
+  for (int s = 0; s < config_.m; ++s) {
+    const float* rsub = r + static_cast<size_t>(s) * ds;
+    const float* cb = &codebooks_[static_cast<size_t>(s) * ks * ds];
+    float best = std::numeric_limits<float>::max();
+    int best_c = 0;
+    for (int c = 0; c < ks; ++c) {
+      const float dist =
+          SquaredL2Distance(rsub, cb + static_cast<size_t>(c) * ds, ds);
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    codes[s] = static_cast<u8>(best_c);
+  }
+}
+
+void IvfPqIndex::Add(const float* vec) {
+  DJ_CHECK_MSG(trained_, "Add() before Train()");
+  const int d = config_.dim;
+  const u32 cell = NearestCentroid(coarse_, vec);
+  std::vector<float> residual(d);
+  const float* c = &coarse_.centroids[static_cast<size_t>(cell) * d];
+  for (int j = 0; j < d; ++j) residual[j] = vec[j] - c[j];
+  std::vector<u8> codes(config_.m);
+  EncodeResidual(residual.data(), codes.data());
+  list_ids_[cell].push_back(static_cast<u32>(count_));
+  list_codes_[cell].insert(list_codes_[cell].end(), codes.begin(),
+                           codes.end());
+  ++count_;
+}
+
+std::vector<Neighbor> IvfPqIndex::Search(const float* query,
+                                         size_t k) const {
+  DJ_CHECK_MSG(trained_, "Search() before Train()");
+  if (count_ == 0 || k == 0) return {};
+  const int d = config_.dim;
+  const int ds = dsub();
+  const int ks = ksub();
+
+  // Rank coarse cells.
+  std::vector<Neighbor> cells;
+  if (coarse_hnsw_) {
+    cells = coarse_hnsw_->Search(query, static_cast<size_t>(config_.nprobe));
+  } else {
+    cells.reserve(coarse_.k);
+    for (int c = 0; c < coarse_.k; ++c) {
+      cells.push_back(
+          {SquaredL2Distance(query,
+                             &coarse_.centroids[static_cast<size_t>(c) * d],
+                             d),
+           static_cast<u32>(c)});
+    }
+    std::sort(cells.begin(), cells.end());
+    if (static_cast<int>(cells.size()) > config_.nprobe) {
+      cells.resize(static_cast<size_t>(config_.nprobe));
+    }
+  }
+
+  TopK top(k);
+  std::vector<float> lut(static_cast<size_t>(config_.m) * ks);
+  std::vector<float> qres(d);
+  for (const Neighbor& cell : cells) {
+    const auto& ids = list_ids_[cell.id];
+    if (ids.empty()) continue;
+    // Query residual w.r.t. this cell, then the ADC lookup table.
+    const float* c = &coarse_.centroids[static_cast<size_t>(cell.id) * d];
+    for (int j = 0; j < d; ++j) qres[j] = query[j] - c[j];
+    for (int s = 0; s < config_.m; ++s) {
+      const float* rsub = &qres[static_cast<size_t>(s) * ds];
+      const float* cb = &codebooks_[static_cast<size_t>(s) * ks * ds];
+      for (int code = 0; code < ks; ++code) {
+        lut[static_cast<size_t>(s) * ks + code] =
+            SquaredL2Distance(rsub, cb + static_cast<size_t>(code) * ds, ds);
+      }
+    }
+    const u8* codes = list_codes_[cell.id].data();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const u8* entry = codes + i * static_cast<size_t>(config_.m);
+      float dist = 0.0f;
+      for (int s = 0; s < config_.m; ++s) {
+        dist += lut[static_cast<size_t>(s) * ks + entry[s]];
+      }
+      top.Push(-static_cast<double>(dist), ids[i]);
+    }
+  }
+  std::vector<Neighbor> out;
+  for (const auto& s : top.Take()) {
+    out.push_back(Neighbor{static_cast<float>(-s.score), s.id});
+  }
+  return out;
+}
+
+}  // namespace ann
+}  // namespace deepjoin

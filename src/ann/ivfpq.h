@@ -1,0 +1,74 @@
+// Inverted file with product quantization (Jégou et al., 2011) — the
+// billion-scale option of paper §3.3 ("construct HNSW over the coarse
+// quantizer of IVFPQ", as Faiss does). A k-means coarse quantizer routes
+// vectors to inverted lists; residuals are PQ-encoded; queries scan the
+// `nprobe` nearest lists with asymmetric distance computation (ADC) using
+// per-subspace lookup tables.
+#ifndef DEEPJOIN_ANN_IVFPQ_H_
+#define DEEPJOIN_ANN_IVFPQ_H_
+
+#include <memory>
+#include <vector>
+
+#include "ann/hnsw.h"
+#include "ann/kmeans.h"
+#include "ann/vector_index.h"
+
+namespace deepjoin {
+namespace ann {
+
+struct IvfPqConfig {
+  int dim = 0;
+  int nlist = 64;       ///< number of coarse cells
+  int m = 8;            ///< PQ subspaces (dim % m == 0)
+  int nbits = 6;        ///< bits per code (ksub = 1 << nbits, <= 8)
+  int nprobe = 8;       ///< coarse cells scanned per query
+  int train_iters = 15;
+  u64 seed = 17;
+  /// When true, the coarse quantizer is searched through a small HNSW
+  /// graph instead of a linear scan — the Faiss-style composition the
+  /// paper references for billion-scale data.
+  bool hnsw_coarse = false;
+};
+
+class IvfPqIndex : public VectorIndex {
+ public:
+  explicit IvfPqIndex(const IvfPqConfig& config);
+
+  /// Trains the coarse quantizer and PQ codebooks. Must precede Add().
+  void Train(const float* data, size_t n);
+  bool trained() const { return trained_; }
+
+  void Add(const float* vec) override;
+  std::vector<Neighbor> Search(const float* query, size_t k) const override;
+  size_t size() const override { return count_; }
+  int dim() const override { return config_.dim; }
+  const char* name() const override {
+    return config_.hnsw_coarse ? "ivfpq+hnsw" : "ivfpq";
+  }
+
+  void set_nprobe(int nprobe) { config_.nprobe = nprobe; }
+
+ private:
+  int dsub() const { return config_.dim / config_.m; }
+  int ksub() const { return 1 << config_.nbits; }
+
+  /// PQ-encodes the residual `r` into `codes` (m bytes).
+  void EncodeResidual(const float* r, u8* codes) const;
+
+  IvfPqConfig config_;
+  bool trained_ = false;
+  KMeansResult coarse_;
+  std::unique_ptr<HnswIndex> coarse_hnsw_;
+  /// PQ codebooks: m * ksub * dsub floats (subspace-major).
+  std::vector<float> codebooks_;
+  /// Inverted lists: per cell, the ids and the packed codes.
+  std::vector<std::vector<u32>> list_ids_;
+  std::vector<std::vector<u8>> list_codes_;
+  size_t count_ = 0;
+};
+
+}  // namespace ann
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_ANN_IVFPQ_H_

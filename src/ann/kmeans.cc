@@ -1,0 +1,129 @@
+#include "ann/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "text/fasttext.h"  // L2Distance
+
+namespace deepjoin {
+namespace ann {
+
+namespace {
+
+float SquaredL2(const float* a, const float* b, int dim) {
+  double s = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return static_cast<float>(s);
+}
+
+}  // namespace
+
+KMeansResult KMeans(const float* data, size_t n, int dim, int k,
+                    int max_iters, Rng& rng) {
+  DJ_CHECK(k > 0 && dim > 0 && n > 0);
+  KMeansResult result;
+  result.k = k;
+  result.dim = dim;
+  result.centroids.assign(static_cast<size_t>(k) * dim, 0.0f);
+  result.assignments.assign(n, 0);
+
+  // k-means++ seeding.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  size_t first = rng.UniformU64(n);
+  std::copy(data + first * dim, data + (first + 1) * dim,
+            result.centroids.begin());
+  for (int c = 1; c < k; ++c) {
+    const float* prev = &result.centroids[static_cast<size_t>(c - 1) * dim];
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = SquaredL2(data + i * dim, prev, dim);
+      min_dist[i] = std::min(min_dist[i], d);
+      total += min_dist[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.UniformDouble() * total;
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += min_dist[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.UniformU64(n);  // all points identical
+    }
+    std::copy(data + chosen * dim, data + (chosen + 1) * dim,
+              result.centroids.begin() + static_cast<size_t>(c) * dim);
+  }
+
+  std::vector<double> sums(static_cast<size_t>(k) * dim);
+  std::vector<size_t> counts(k);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      const float* v = data + i * dim;
+      float best = std::numeric_limits<float>::max();
+      u32 best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const float d =
+            SquaredL2(v, &result.centroids[static_cast<size_t>(c) * dim], dim);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<u32>(c);
+        }
+      }
+      if (result.assignments[i] != best_c) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const u32 c = result.assignments[i];
+      ++counts[c];
+      const float* v = data + i * dim;
+      double* srow = &sums[static_cast<size_t>(c) * dim];
+      for (int j = 0; j < dim; ++j) srow[j] += v[j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster at a random point.
+        const size_t p = rng.UniformU64(n);
+        std::copy(data + p * dim, data + (p + 1) * dim,
+                  result.centroids.begin() + static_cast<size_t>(c) * dim);
+        continue;
+      }
+      float* crow = &result.centroids[static_cast<size_t>(c) * dim];
+      for (int j = 0; j < dim; ++j) {
+        crow[j] = static_cast<float>(sums[static_cast<size_t>(c) * dim + j] /
+                                     static_cast<double>(counts[c]));
+      }
+    }
+  }
+  return result;
+}
+
+u32 NearestCentroid(const KMeansResult& km, const float* vec) {
+  float best = std::numeric_limits<float>::max();
+  u32 best_c = 0;
+  for (int c = 0; c < km.k; ++c) {
+    const float d =
+        SquaredL2(vec, &km.centroids[static_cast<size_t>(c) * km.dim], km.dim);
+    if (d < best) {
+      best = d;
+      best_c = static_cast<u32>(c);
+    }
+  }
+  return best_c;
+}
+
+}  // namespace ann
+}  // namespace deepjoin

@@ -1,0 +1,33 @@
+// Lloyd's k-means with k-means++ seeding. Substrate for IVFPQ's coarse
+// quantizer and product-quantization codebooks, and for PEXESO's pivot
+// selection.
+#ifndef DEEPJOIN_ANN_KMEANS_H_
+#define DEEPJOIN_ANN_KMEANS_H_
+
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace ann {
+
+struct KMeansResult {
+  std::vector<float> centroids;   ///< k x dim, row-major
+  std::vector<u32> assignments;   ///< one per input vector
+  int k = 0;
+  int dim = 0;
+};
+
+/// Clusters `n` vectors of dimension `dim` (row-major in `data`) into `k`
+/// groups under L2. If n < k, duplicates are padded deterministically.
+KMeansResult KMeans(const float* data, size_t n, int dim, int k,
+                    int max_iters, Rng& rng);
+
+/// Index of the nearest centroid to `vec`.
+u32 NearestCentroid(const KMeansResult& km, const float* vec);
+
+}  // namespace ann
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_ANN_KMEANS_H_

@@ -1,0 +1,36 @@
+#include "ann/vector_index.h"
+
+#include <algorithm>
+
+#include "util/top_k.h"
+
+namespace deepjoin {
+namespace ann {
+
+float SquaredL2Distance(const float* a, const float* b, int dim) {
+  double s = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return static_cast<float>(s);
+}
+
+std::vector<Neighbor> FlatIndex::Search(const float* query, size_t k) const {
+  const size_t n = size();
+  if (n == 0 || k == 0) return {};
+  TopK top(k);
+  for (size_t i = 0; i < n; ++i) {
+    const float d = SquaredL2Distance(query, vector(static_cast<u32>(i)),
+                                      dim_);
+    top.Push(-static_cast<double>(d), static_cast<u32>(i));
+  }
+  std::vector<Neighbor> out;
+  for (const auto& s : top.Take()) {
+    out.push_back(Neighbor{static_cast<float>(-s.score), s.id});
+  }
+  return out;
+}
+
+}  // namespace ann
+}  // namespace deepjoin

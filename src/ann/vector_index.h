@@ -1,0 +1,81 @@
+// Common interface for the vector indexes (flat / HNSW / IVFPQ) plus the
+// exact flat index. Paper §3.3: column embeddings are indexed offline and
+// searched under Euclidean distance; HNSW is the default, with IVFPQ for
+// very large repositories.
+#ifndef DEEPJOIN_ANN_VECTOR_INDEX_H_
+#define DEEPJOIN_ANN_VECTOR_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "util/common.h"
+
+namespace deepjoin {
+namespace ann {
+
+/// A search hit: squared L2 distance and the vector's insertion id.
+struct Neighbor {
+  float dist;
+  u32 id;
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+  friend bool operator>(const Neighbor& a, const Neighbor& b) { return b < a; }
+};
+
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Adds one vector; ids are assigned sequentially from 0.
+  virtual void Add(const float* vec) = 0;
+
+  /// Bulk add of n row-major vectors.
+  void AddBatch(const float* data, size_t n) {
+    for (size_t i = 0; i < n; ++i) Add(data + i * static_cast<size_t>(dim()));
+  }
+
+  /// k nearest neighbours of `query` under (squared) L2, nearest first.
+  virtual std::vector<Neighbor> Search(const float* query,
+                                       size_t k) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual int dim() const = 0;
+
+  /// Human-readable name for bench output.
+  virtual const char* name() const = 0;
+};
+
+/// Exact brute-force index; ground truth for recall tests and the fallback
+/// for tiny repositories.
+class FlatIndex : public VectorIndex {
+ public:
+  explicit FlatIndex(int dim) : dim_(dim) { DJ_CHECK(dim > 0); }
+
+  void Add(const float* vec) override {
+    data_.insert(data_.end(), vec, vec + dim_);
+  }
+  std::vector<Neighbor> Search(const float* query, size_t k) const override;
+  size_t size() const override {
+    return data_.size() / static_cast<size_t>(dim_);
+  }
+  int dim() const override { return dim_; }
+  const char* name() const override { return "flat"; }
+
+  const float* vector(u32 id) const {
+    return &data_[static_cast<size_t>(id) * dim_];
+  }
+
+ private:
+  int dim_;
+  std::vector<float> data_;
+};
+
+/// Squared Euclidean distance (the common metric of all indexes).
+float SquaredL2Distance(const float* a, const float* b, int dim);
+
+}  // namespace ann
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_ANN_VECTOR_INDEX_H_

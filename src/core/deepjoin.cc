@@ -1,0 +1,27 @@
+#include "core/deepjoin.h"
+
+namespace deepjoin {
+namespace core {
+
+std::unique_ptr<DeepJoin> DeepJoin::Train(
+    const std::vector<lake::Column>& sample,
+    const FastTextEmbedder& pretrained, const DeepJoinConfig& config) {
+  auto dj = std::unique_ptr<DeepJoin>(new DeepJoin());
+  dj->config_ = config;
+  dj->training_data_ =
+      PrepareTrainingData(sample, &pretrained, config.training);
+  dj->encoder_ =
+      std::make_unique<PlmColumnEncoder>(config.plm, sample, pretrained);
+  dj->train_stats_ =
+      FineTunePlm(*dj->encoder_, dj->training_data_, config.finetune);
+  dj->searcher_ = std::make_unique<EmbeddingSearcher>(dj->encoder_.get(),
+                                                      config.searcher);
+  return dj;
+}
+
+void DeepJoin::BuildIndex(const lake::Repository& repo) {
+  searcher_->BuildIndex(repo);
+}
+
+}  // namespace core
+}  // namespace deepjoin

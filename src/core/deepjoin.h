@@ -1,0 +1,74 @@
+// DeepJoin — the end-to-end pipeline of the paper: prepare training data
+// from a corpus sample by self-join (§4.1), fine-tune the PLM column
+// encoder with in-batch negatives under the MNR loss (§4.2), index the
+// repository's column embeddings, and serve top-k joinable-table discovery
+// through ANNS (§3.3).
+//
+// Quick start:
+//   FastTextEmbedder ft(FastTextConfig{});                 // cell space
+//   DeepJoinConfig cfg;                                    // defaults OK
+//   auto dj = DeepJoin::Train(training_sample, ft, cfg);   // fine-tune
+//   dj->BuildIndex(repository);                            // offline
+//   auto out = dj->Search(query_column, /*k=*/10);         // online
+#ifndef DEEPJOIN_CORE_DEEPJOIN_H_
+#define DEEPJOIN_CORE_DEEPJOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/searcher.h"
+#include "core/trainer.h"
+
+namespace deepjoin {
+namespace core {
+
+struct DeepJoinConfig {
+  PlmEncoderConfig plm;
+  TrainingDataConfig training;
+  FineTuneConfig finetune;
+  SearcherConfig searcher;
+};
+
+class DeepJoin {
+ public:
+  /// Fine-tunes a fresh PLM encoder on `sample` (the paper's 30K-column
+  /// training subset, scaled). `pretrained` provides the subword vectors
+  /// standing in for language-model pre-training.
+  static std::unique_ptr<DeepJoin> Train(
+      const std::vector<lake::Column>& sample,
+      const FastTextEmbedder& pretrained, const DeepJoinConfig& config);
+
+  /// Offline phase: encode + index the repository.
+  void BuildIndex(const lake::Repository& repo);
+
+  /// Online top-k search.
+  EmbeddingSearcher::SearchOutput Search(const lake::Column& query,
+                                         size_t k) {
+    return searcher_->Search(query, k);
+  }
+  /// Batched (accelerated) search; see EmbeddingSearcher::SearchBatch.
+  std::vector<EmbeddingSearcher::SearchOutput> SearchBatch(
+      const std::vector<lake::Column>& queries, size_t k, ThreadPool* pool) {
+    return searcher_->SearchBatch(queries, k, pool);
+  }
+
+  PlmColumnEncoder& encoder() { return *encoder_; }
+  EmbeddingSearcher& searcher() { return *searcher_; }
+  const TrainStats& train_stats() const { return train_stats_; }
+  const TrainingData& training_data() const { return training_data_; }
+  const DeepJoinConfig& config() const { return config_; }
+
+ private:
+  DeepJoin() = default;
+
+  DeepJoinConfig config_;
+  std::unique_ptr<PlmColumnEncoder> encoder_;
+  std::unique_ptr<EmbeddingSearcher> searcher_;
+  TrainingData training_data_;
+  TrainStats train_stats_;
+};
+
+}  // namespace core
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_CORE_DEEPJOIN_H_

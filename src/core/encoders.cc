@@ -1,0 +1,96 @@
+#include "core/encoders.h"
+
+#include "text/tokenizer.h"
+
+namespace deepjoin {
+namespace core {
+
+PlmColumnEncoder::PlmColumnEncoder(const PlmEncoderConfig& config,
+                                   const std::vector<lake::Column>& vocab_corpus,
+                                   const FastTextEmbedder& pretrained)
+    : config_(config),
+      vocab_(static_cast<size_t>(config.max_words),
+             static_cast<size_t>(config.oov_buckets)) {
+  // Vocabulary from the training sample's transformed texts.
+  for (const auto& col : vocab_corpus) {
+    vocab_.Observe(TokenizeWords(TransformColumn(col, config_.transform)));
+  }
+  vocab_.Finalize();
+  BuildTransformer();
+
+  // Pre-training substitute: learned-word embeddings start at their
+  // subword vectors (scaled into the init distribution's range).
+  const auto& words = vocab_.learned_words();
+  for (size_t i = 0; i < words.size(); ++i) {
+    std::vector<float> v = pretrained.WordVector(words[i]);
+    for (auto& x : v) x *= 0.5f;
+    encoder_->InitTokenEmbedding(vocab_.word_base() + static_cast<u32>(i), v);
+  }
+}
+
+PlmColumnEncoder::PlmColumnEncoder(const PlmEncoderConfig& config,
+                                   Vocab vocab)
+    : config_(config), vocab_(std::move(vocab)) {
+  DJ_CHECK_MSG(vocab_.finalized(), "loaded vocab must be finalized");
+  BuildTransformer();
+}
+
+void PlmColumnEncoder::BuildTransformer() {
+  nn::TransformerConfig tc;
+  tc.vocab_size = static_cast<int>(vocab_.size());
+  tc.max_seq_len = config_.max_seq_len;
+  tc.seed = config_.seed;
+  if (config_.kind == PlmKind::kDistilSim) {
+    tc.position_mode = nn::PositionMode::kAbsolute;
+    tc.d_model = 48;
+    tc.d_ff = 192;
+    tc.num_layers = 2;
+    tc.num_heads = 4;
+  } else {
+    // The "larger, better-position-modeling" PLM of the pair.
+    tc.position_mode = nn::PositionMode::kRelativeBias;
+    tc.d_model = 64;
+    tc.d_ff = 256;
+    tc.num_layers = 2;
+    tc.num_heads = 4;
+    tc.rel_radius = 8;
+  }
+  encoder_ = std::make_unique<nn::TransformerEncoder>(tc);
+}
+
+std::vector<u32> PlmColumnEncoder::ColumnToIds(
+    const lake::Column& column) const {
+  const std::string text = TransformColumn(column, config_.transform);
+  std::vector<std::string> tokens;
+  TokenizeWordsInto(text, &tokens);
+  std::vector<u32> ids;
+  ids.reserve(tokens.size() + 1);
+  ids.push_back(Vocab::kClsId);
+  for (const auto& t : tokens) ids.push_back(vocab_.Encode(t));
+  return ids;
+}
+
+std::vector<float> PlmColumnEncoder::Encode(const lake::Column& column) {
+  return encoder_->EncodeToVector(ColumnToIds(column));
+}
+
+nn::VarPtr PlmColumnEncoder::EncodeForTraining(const lake::Column& column) {
+  return encoder_->Encode(ColumnToIds(column));
+}
+
+nn::VarPtr PlmColumnEncoder::EncodeTextForTraining(const std::string& text) {
+  std::vector<std::string> tokens;
+  TokenizeWordsInto(text, &tokens);
+  std::vector<u32> ids;
+  ids.reserve(tokens.size() + 1);
+  ids.push_back(Vocab::kClsId);
+  for (const auto& t : tokens) ids.push_back(vocab_.Encode(t));
+  return encoder_->Encode(ids);
+}
+
+std::vector<float> FastTextColumnEncoder::Encode(const lake::Column& column) {
+  return embedder_->TextVector(TransformColumn(column, transform_));
+}
+
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,84 @@
+#include "core/model_io.h"
+
+#include "util/binary_io.h"
+
+namespace deepjoin {
+namespace core {
+
+namespace {
+constexpr u32 kMagic = 0xDEE90101;  // format id + version
+}  // namespace
+
+Status SaveEncoder(PlmColumnEncoder& encoder, const std::string& path) {
+  BinaryWriter writer(path);
+  if (!writer.ok()) return Status::IoError("cannot open " + path);
+
+  writer.WriteU32(kMagic);
+  const PlmEncoderConfig& cfg = encoder.config();
+  writer.WriteU32(cfg.kind == PlmKind::kDistilSim ? 0u : 1u);
+  writer.WriteU32(static_cast<u32>(cfg.transform.option));
+  writer.WriteI32(cfg.transform.cell_budget);
+  writer.WriteI32(cfg.max_words);
+  writer.WriteI32(cfg.oov_buckets);
+  writer.WriteI32(cfg.max_seq_len);
+  writer.WriteU64(cfg.seed);
+
+  encoder.vocab().Save(writer);
+
+  const auto& store = encoder.transformer().params();
+  writer.WriteU64(store.params().size());
+  for (size_t i = 0; i < store.params().size(); ++i) {
+    const auto& p = store.params()[i];
+    writer.WriteString(store.names()[i]);
+    writer.WriteI32(p->value().rows());
+    writer.WriteI32(p->value().cols());
+    writer.WriteFloatArray(p->value().data(), p->value().size());
+  }
+  return writer.Close();
+}
+
+Result<std::unique_ptr<PlmColumnEncoder>> LoadEncoder(
+    const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) return Status::IoError("cannot open " + path);
+  if (reader.ReadU32() != kMagic) {
+    return Status::InvalidArgument(path + ": not a DeepJoin encoder file");
+  }
+  PlmEncoderConfig cfg;
+  cfg.kind = reader.ReadU32() == 0 ? PlmKind::kDistilSim : PlmKind::kMPNetSim;
+  cfg.transform.option = static_cast<TransformOption>(reader.ReadU32());
+  cfg.transform.cell_budget = reader.ReadI32();
+  cfg.max_words = reader.ReadI32();
+  cfg.oov_buckets = reader.ReadI32();
+  cfg.max_seq_len = reader.ReadI32();
+  cfg.seed = reader.ReadU64();
+
+  Vocab vocab = Vocab::Load(reader);
+  auto encoder = std::make_unique<PlmColumnEncoder>(cfg, std::move(vocab));
+
+  auto& store = encoder->transformer().params();
+  const u64 n = reader.ReadU64();
+  if (n != store.params().size()) {
+    return Status::InvalidArgument("parameter count mismatch");
+  }
+  for (u64 i = 0; i < n; ++i) {
+    const std::string name = reader.ReadString();
+    const i32 rows = reader.ReadI32();
+    const i32 cols = reader.ReadI32();
+    auto& p = store.params()[i];
+    if (name != store.names()[i] || rows != p->value().rows() ||
+        cols != p->value().cols()) {
+      return Status::InvalidArgument("parameter layout mismatch at " + name);
+    }
+    auto data = reader.ReadFloatArray();
+    if (data.size() != p->value().size()) {
+      return Status::InvalidArgument("parameter size mismatch at " + name);
+    }
+    std::copy(data.begin(), data.end(), p->mutable_value().data());
+  }
+  if (!reader.ok()) return Status::IoError("truncated file: " + path);
+  return encoder;
+}
+
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,30 @@
+// Persistence for fine-tuned DeepJoin encoders: fine-tune once, serve many
+// sessions. The file carries the encoder config, the frozen vocabulary and
+// every transformer parameter; the cell-frequency dictionary used by the
+// column-to-text budget is repository state and is *not* stored — reattach
+// it via set_transform_config after loading if frequency-based cell
+// selection is wanted.
+#ifndef DEEPJOIN_CORE_MODEL_IO_H_
+#define DEEPJOIN_CORE_MODEL_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "core/encoders.h"
+#include "util/status.h"
+
+namespace deepjoin {
+namespace core {
+
+/// Writes `encoder` to `path`. Overwrites. Returns IoError on failure.
+Status SaveEncoder(PlmColumnEncoder& encoder, const std::string& path);
+
+/// Reads an encoder previously written by SaveEncoder. Embeddings produced
+/// by the loaded encoder are bit-identical to the saved one's.
+Result<std::unique_ptr<PlmColumnEncoder>> LoadEncoder(
+    const std::string& path);
+
+}  // namespace core
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_CORE_MODEL_IO_H_

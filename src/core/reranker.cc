@@ -1,0 +1,57 @@
+#include "core/reranker.h"
+
+#include "util/timer.h"
+#include "util/top_k.h"
+
+namespace deepjoin {
+namespace core {
+
+TwoStageSearcher::TwoStageSearcher(EmbeddingSearcher* searcher,
+                                   const join::TokenizedRepository* tok,
+                                   const join::ColumnVectorStore* store,
+                                   const FastTextEmbedder* cell_embedder,
+                                   const TwoStageConfig& config)
+    : searcher_(searcher),
+      tok_(tok),
+      store_(store),
+      cell_embedder_(cell_embedder),
+      config_(config) {
+  if (config_.semantic) {
+    DJ_CHECK_MSG(store_ != nullptr && cell_embedder_ != nullptr,
+                 "semantic re-ranking needs a vector store and embedder");
+  } else {
+    DJ_CHECK_MSG(tok_ != nullptr, "equi re-ranking needs a tokenized repo");
+  }
+}
+
+TwoStageSearcher::Output TwoStageSearcher::Search(const lake::Column& query,
+                                                  size_t k) {
+  Output out;
+  WallTimer total;
+  const size_t pool = std::max<size_t>(k, k * config_.pool_multiplier);
+  auto stage1 = searcher_->Search(query, pool);
+  out.encode_ms = stage1.encode_ms;
+
+  TopK top(k);
+  if (config_.semantic) {
+    const auto qv = join::ColumnVectorStore::EmbedColumn(query,
+                                                         *cell_embedder_);
+    for (u32 id : stage1.ids) {
+      const double jn = join::SemanticJoinability(
+          qv.data(), query.cells.size(), store_->column_vectors(id),
+          store_->column_count(id), store_->dim(), config_.tau);
+      top.Push(jn, id);
+    }
+  } else {
+    const auto qt = tok_->EncodeQuery(query);
+    for (u32 id : stage1.ids) {
+      top.Push(join::EquiJoinability(qt, tok_->columns()[id]), id);
+    }
+  }
+  out.results = top.Take();
+  out.total_ms = total.ElapsedMillis();
+  return out;
+}
+
+}  // namespace core
+}  // namespace deepjoin

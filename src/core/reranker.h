@@ -1,0 +1,58 @@
+// Two-stage retrieval — the "more advanced paradigm" the paper's
+// introduction points to as a drop-in upgrade: stage 1 fetches a candidate
+// pool with ANNS over the column embeddings (cheap, approximate); stage 2
+// re-ranks the pool with an exact joinability computation over just those
+// candidates (expensive per pair, but the pool is small). The result keeps
+// DeepJoin's sub-linear candidate generation while returning exactly
+// ordered top-k *within the recalled pool*.
+#ifndef DEEPJOIN_CORE_RERANKER_H_
+#define DEEPJOIN_CORE_RERANKER_H_
+
+#include <memory>
+
+#include "core/searcher.h"
+#include "join/joinability.h"
+
+namespace deepjoin {
+namespace core {
+
+struct TwoStageConfig {
+  /// Candidate pool size = multiplier * k (paper-style "retrieve then
+  /// rank"; 3-5x is the usual sweet spot).
+  size_t pool_multiplier = 4;
+  /// Semantic stage-2 scoring when set; equi otherwise.
+  bool semantic = false;
+  float tau = 0.9f;
+};
+
+class TwoStageSearcher {
+ public:
+  /// `searcher` must already have an index built over `repo`'s encoder
+  /// output. For equi re-ranking pass `tok`; for semantic pass `store`
+  /// and the cell embedder. Non-owning; everything must outlive this.
+  TwoStageSearcher(EmbeddingSearcher* searcher,
+                   const join::TokenizedRepository* tok,
+                   const join::ColumnVectorStore* store,
+                   const FastTextEmbedder* cell_embedder,
+                   const TwoStageConfig& config);
+
+  struct Output {
+    std::vector<Scored> results;  ///< exact jn scores, best first
+    double encode_ms = 0.0;
+    double total_ms = 0.0;
+  };
+
+  Output Search(const lake::Column& query, size_t k);
+
+ private:
+  EmbeddingSearcher* searcher_;
+  const join::TokenizedRepository* tok_;
+  const join::ColumnVectorStore* store_;
+  const FastTextEmbedder* cell_embedder_;
+  TwoStageConfig config_;
+};
+
+}  // namespace core
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_CORE_RERANKER_H_

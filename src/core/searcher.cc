@@ -1,0 +1,141 @@
+#include "core/searcher.h"
+
+#include <mutex>
+
+namespace deepjoin {
+namespace core {
+
+EmbeddingSearcher::EmbeddingSearcher(ColumnEncoder* encoder,
+                                     const SearcherConfig& config)
+    : encoder_(encoder), config_(config), dim_(encoder->dim()) {}
+
+void EmbeddingSearcher::BuildIndex(const lake::Repository& repo,
+                                   ThreadPool* pool) {
+  std::vector<float> embeddings(repo.size() * static_cast<size_t>(dim_));
+  auto encode_one = [&](size_t i) {
+    const auto v = encoder_->Encode(repo.column(static_cast<u32>(i)));
+    std::copy(v.begin(), v.end(),
+              embeddings.begin() + static_cast<long>(i * dim_));
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(repo.size(), encode_one);
+  } else {
+    for (size_t i = 0; i < repo.size(); ++i) encode_one(i);
+  }
+  switch (config_.backend) {
+    case AnnBackend::kFlat:
+      index_ = std::make_unique<ann::FlatIndex>(dim_);
+      break;
+    case AnnBackend::kHnsw: {
+      ann::HnswConfig hc;
+      hc.dim = dim_;
+      hc.M = config_.hnsw_M;
+      hc.ef_construction = config_.hnsw_ef_construction;
+      hc.ef_search = config_.hnsw_ef_search;
+      index_ = std::make_unique<ann::HnswIndex>(hc);
+      break;
+    }
+    case AnnBackend::kIvfPq: {
+      ann::IvfPqConfig ic;
+      ic.dim = dim_;
+      ic.nlist = config_.ivfpq_nlist;
+      ic.m = config_.ivfpq_m;
+      ic.nbits = config_.ivfpq_nbits;
+      ic.nprobe = config_.ivfpq_nprobe;
+      auto idx = std::make_unique<ann::IvfPqIndex>(ic);
+      idx->Train(embeddings.data(), repo.size());
+      index_ = std::move(idx);
+      break;
+    }
+  }
+  index_->AddBatch(embeddings.data(), repo.size());
+}
+
+u32 EmbeddingSearcher::AddColumn(const lake::Column& column) {
+  if (index_ == nullptr) {
+    // First column of an empty searcher: start an index (IVFPQ cannot —
+    // its quantizer needs training data).
+    DJ_CHECK_MSG(config_.backend != AnnBackend::kIvfPq,
+                 "IVFPQ needs BuildIndex() before incremental adds");
+    lake::Repository empty;
+    BuildIndex(empty);
+  }
+  const auto v = encoder_->Encode(column);
+  index_->Add(v.data());
+  return static_cast<u32>(index_->size() - 1);
+}
+
+Status EmbeddingSearcher::SaveIndex(const std::string& path) const {
+  if (config_.backend != AnnBackend::kHnsw || index_ == nullptr) {
+    return Status::FailedPrecondition(
+        "SaveIndex supports a built HNSW index only");
+  }
+  BinaryWriter writer(path);
+  if (!writer.ok()) return Status::IoError("cannot open " + path);
+  static_cast<const ann::HnswIndex*>(index_.get())->Save(writer);
+  return writer.Close();
+}
+
+Status EmbeddingSearcher::LoadIndex(const std::string& path) {
+  if (config_.backend != AnnBackend::kHnsw) {
+    return Status::FailedPrecondition("LoadIndex supports HNSW only");
+  }
+  BinaryReader reader(path);
+  if (!reader.ok()) return Status::IoError("cannot open " + path);
+  auto loaded =
+      std::make_unique<ann::HnswIndex>(ann::HnswIndex::Load(reader));
+  if (loaded->dim() != dim_) {
+    return Status::InvalidArgument("index dimensionality mismatch");
+  }
+  index_ = std::move(loaded);
+  return Status::OK();
+}
+
+EmbeddingSearcher::SearchOutput EmbeddingSearcher::Search(
+    const lake::Column& query, size_t k) {
+  DJ_CHECK_MSG(index_ != nullptr, "Search() before BuildIndex()");
+  SearchOutput out;
+  WallTimer total;
+  WallTimer encode;
+  const std::vector<float> q = encoder_->Encode(query);
+  out.encode_ms = encode.ElapsedMillis();
+  const auto hits = index_->Search(q.data(), k);
+  out.total_ms = total.ElapsedMillis();
+  out.ids.reserve(hits.size());
+  for (const auto& h : hits) out.ids.push_back(h.id);
+  return out;
+}
+
+std::vector<EmbeddingSearcher::SearchOutput> EmbeddingSearcher::SearchBatch(
+    const std::vector<lake::Column>& queries, size_t k, ThreadPool* pool) {
+  DJ_CHECK_MSG(index_ != nullptr, "SearchBatch() before BuildIndex()");
+  std::vector<SearchOutput> outputs(queries.size());
+  WallTimer total;
+  // Encoding is the parallel stage (it dominates; §5.4).
+  std::vector<std::vector<float>> embeddings(queries.size());
+  WallTimer encode;
+  auto encode_one = [&](size_t i) {
+    embeddings[i] = encoder_->Encode(queries[i]);
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(queries.size(), encode_one);
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) encode_one(i);
+  }
+  const double encode_ms = encode.ElapsedMillis();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto hits = index_->Search(embeddings[i].data(), k);
+    outputs[i].ids.reserve(hits.size());
+    for (const auto& h : hits) outputs[i].ids.push_back(h.id);
+  }
+  const double total_ms = total.ElapsedMillis();
+  const double n = static_cast<double>(std::max<size_t>(1, queries.size()));
+  for (auto& o : outputs) {
+    o.encode_ms = encode_ms / n;  // amortised per query
+    o.total_ms = total_ms / n;
+  }
+  return outputs;
+}
+
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,85 @@
+// Embedding-based retrieval (paper §3.3): offline, every repository column
+// is encoded and indexed; online, the query column is encoded and its k
+// nearest neighbours under Euclidean distance are the discovery results.
+// DeepJoin and all embedding baselines share this searcher (as in §5.1,
+// "other methods involving column embedding follow the same ANNS scheme").
+#ifndef DEEPJOIN_CORE_SEARCHER_H_
+#define DEEPJOIN_CORE_SEARCHER_H_
+
+#include <memory>
+#include <vector>
+
+#include "ann/hnsw.h"
+#include "ann/ivfpq.h"
+#include "core/encoders.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace deepjoin {
+namespace core {
+
+enum class AnnBackend { kFlat, kHnsw, kIvfPq };
+
+struct SearcherConfig {
+  AnnBackend backend = AnnBackend::kHnsw;
+  int hnsw_M = 16;
+  int hnsw_ef_construction = 120;
+  int hnsw_ef_search = 64;
+  int ivfpq_nlist = 64;
+  int ivfpq_m = 8;
+  int ivfpq_nbits = 6;
+  int ivfpq_nprobe = 8;
+};
+
+class EmbeddingSearcher {
+ public:
+  /// `encoder` must outlive the searcher.
+  EmbeddingSearcher(ColumnEncoder* encoder, const SearcherConfig& config);
+
+  /// Encodes and indexes the whole repository (offline phase). When a
+  /// thread pool is given, the encoding stage — the dominant cost — runs
+  /// in parallel across columns.
+  void BuildIndex(const lake::Repository& repo, ThreadPool* pool = nullptr);
+
+  /// Incrementally adds one column to an existing index (new tables
+  /// landing in the lake); returns its index id (== repository position
+  /// when adds mirror repository appends). HNSW and flat support this
+  /// natively; IVFPQ requires a trained quantizer, i.e. a prior
+  /// BuildIndex.
+  u32 AddColumn(const lake::Column& column);
+
+  /// Persists / restores the built index (HNSW backend only — the others
+  /// rebuild quickly). The encoder must be the same at load time.
+  Status SaveIndex(const std::string& path) const;
+  Status LoadIndex(const std::string& path);
+
+  struct SearchOutput {
+    std::vector<u32> ids;   ///< repository column ids, nearest first
+    double encode_ms = 0.0; ///< column-to-text + embedding time
+    double total_ms = 0.0;  ///< encode + ANNS
+  };
+
+  /// Online top-k search for one query column.
+  SearchOutput Search(const lake::Column& query, size_t k);
+
+  /// Batched search across a thread pool — the accelerated path standing
+  /// in for the paper's GPU rows (see DESIGN.md). Per-query timings report
+  /// amortised wall-clock: batch time / batch size.
+  std::vector<SearchOutput> SearchBatch(
+      const std::vector<lake::Column>& queries, size_t k, ThreadPool* pool);
+
+  size_t index_size() const { return index_ ? index_->size() : 0; }
+  const ann::VectorIndex& index() const { return *index_; }
+
+ private:
+  ColumnEncoder* encoder_;
+  SearcherConfig config_;
+  std::unique_ptr<ann::VectorIndex> index_;
+  int dim_ = 0;
+};
+
+}  // namespace core
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_CORE_SEARCHER_H_

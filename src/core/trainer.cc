@@ -1,0 +1,221 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "util/timer.h"
+
+namespace deepjoin {
+namespace core {
+
+namespace {
+
+/// Y with every cell that exactly matches a cell of X removed — the
+/// "removing matching cells from positives" negative of §4.1.
+lake::Column RemoveOverlap(const lake::Column& x, const lake::Column& y) {
+  std::unordered_set<std::string> in_x(x.cells.begin(), x.cells.end());
+  lake::Column out = y;
+  out.cells.clear();
+  out.entity_ids.clear();
+  const bool aligned = y.entity_ids.size() == y.cells.size();
+  for (size_t i = 0; i < y.cells.size(); ++i) {
+    if (in_x.count(y.cells[i])) continue;
+    out.cells.push_back(y.cells[i]);
+    if (aligned) out.entity_ids.push_back(y.entity_ids[i]);
+  }
+  if (out.cells.empty()) {
+    // A fully-overlapping pair leaves nothing; keep one placeholder cell so
+    // the encoder still has input.
+    out.cells.push_back(y.cells.front());
+    if (aligned) out.entity_ids.push_back(y.entity_ids.front());
+  }
+  return out;
+}
+
+nn::AdamConfig MakeAdamConfig(const FineTuneConfig& config) {
+  nn::AdamConfig ac;
+  ac.lr = config.lr;
+  ac.weight_decay = config.weight_decay;
+  return ac;
+}
+
+}  // namespace
+
+TrainStats FineTunePlm(PlmColumnEncoder& encoder, const TrainingData& data,
+                       const FineTuneConfig& config) {
+  TrainStats stats;
+  if (data.pairs.empty()) return stats;
+  WallTimer timer;
+
+  nn::AdamW opt(encoder.transformer().params().params(),
+                MakeAdamConfig(config));
+  const long total = config.max_steps;
+  const long warmup = static_cast<long>(config.warmup_frac * total);
+
+  Rng rng(config.seed);
+  std::vector<size_t> order(data.pairs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  size_t cursor = 0;
+
+  for (long step = 0; step < total; ++step) {
+    const int n = std::min<int>(config.batch_size,
+                                static_cast<int>(data.pairs.size()));
+    std::vector<nn::VarPtr> xs, ys;
+    std::vector<nn::VarPtr> extra_negs;
+    xs.reserve(n);
+    ys.reserve(n);
+    for (int b = 0; b < n; ++b) {
+      if (cursor >= order.size()) {
+        rng.Shuffle(order);
+        cursor = 0;
+      }
+      const TrainingExample& ex = data.pairs[order[cursor++]];
+      xs.push_back(encoder.EncodeForTraining(ex.x));
+      ys.push_back(encoder.EncodeForTraining(ex.y));
+      if (config.negatives == NegativeStrategy::kRemovedOverlap) {
+        extra_negs.push_back(
+            encoder.EncodeForTraining(RemoveOverlap(ex.x, ex.y)));
+      }
+    }
+
+    nn::VarPtr loss;
+    if (config.negatives == NegativeStrategy::kInBatch) {
+      loss = nn::MultipleNegativesRankingLoss(xs, ys, config.cosine_scale);
+    } else {
+      // Scores [n, 2n]: the batch's Ys followed by the removed-overlap
+      // hard negatives; row i's positive stays at column i.
+      std::vector<nn::VarPtr> candidates = ys;
+      candidates.insert(candidates.end(), extra_negs.begin(),
+                        extra_negs.end());
+      nn::VarPtr x = nn::RowL2Normalize(nn::ConcatRows(xs));
+      nn::VarPtr y = nn::RowL2Normalize(nn::ConcatRows(candidates));
+      nn::VarPtr scores =
+          nn::Scale(nn::MatMulNT(x, y), config.cosine_scale);
+      std::vector<u32> targets(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) targets[static_cast<size_t>(i)] = i;
+      loss = nn::SoftmaxCrossEntropyIndex(scores, targets);
+    }
+
+    const double loss_value = loss->value().at(0, 0);
+    if (step == 0) stats.first_loss = loss_value;
+    stats.final_loss = loss_value;
+
+    nn::Backward(loss);
+    opt.Step(nn::WarmupLinearFactor(step, warmup, total));
+    encoder.transformer().params().ZeroGrads();
+    ++stats.steps;
+
+    if (config.verbose && (step % 20 == 0 || step + 1 == total)) {
+      std::printf("  [fine-tune %s] step %ld/%ld loss %.4f\n",
+                  encoder.name().c_str(), step, total, loss_value);
+      std::fflush(stdout);
+    }
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+TrainStats TrainTabertStyle(PlmColumnEncoder& encoder,
+                            const std::vector<lake::Column>& corpus,
+                            const FineTuneConfig& config) {
+  TrainStats stats;
+  if (corpus.empty()) return stats;
+  WallTimer timer;
+
+  nn::AdamW opt(encoder.transformer().params().params(),
+                MakeAdamConfig(config));
+  const long total = config.max_steps;
+  const long warmup = static_cast<long>(config.warmup_frac * total);
+  Rng rng(config.seed ^ 0x7AB3);
+
+  for (long step = 0; step < total; ++step) {
+    const int n = std::min<int>(config.batch_size,
+                                static_cast<int>(corpus.size()));
+    std::vector<nn::VarPtr> xs, ys;
+    for (int b = 0; b < n; ++b) {
+      const lake::Column& col = corpus[rng.UniformU64(corpus.size())];
+      xs.push_back(encoder.EncodeForTraining(col));
+      // The mismatched objective: align with the question-ish metadata
+      // utterance, not with joinable columns.
+      ys.push_back(encoder.EncodeTextForTraining(
+          "what is " + col.meta.column_name + " in " +
+          col.meta.table_title));
+    }
+    nn::VarPtr loss =
+        nn::MultipleNegativesRankingLoss(xs, ys, config.cosine_scale);
+    if (step == 0) stats.first_loss = loss->value().at(0, 0);
+    stats.final_loss = loss->value().at(0, 0);
+    nn::Backward(loss);
+    opt.Step(nn::WarmupLinearFactor(step, warmup, total));
+    encoder.transformer().params().ZeroGrads();
+    ++stats.steps;
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+TrainStats TrainMlp(MlpColumnEncoder& encoder,
+                    const std::vector<lake::Column>& sample,
+                    const TrainingData& data, const FineTuneConfig& config) {
+  TrainStats stats;
+  if (data.pairs.empty() || sample.empty()) return stats;
+  WallTimer timer;
+
+  auto& mlp = encoder.mlp();
+  auto& featurizer = encoder.featurizer();
+  const int in_dim = featurizer.dim();
+
+  // Precompute features: pair sides + sample columns (negative pool).
+  std::vector<std::vector<float>> fx(data.pairs.size()),
+      fy(data.pairs.size());
+  for (size_t i = 0; i < data.pairs.size(); ++i) {
+    fx[i] = featurizer.Encode(data.pairs[i].x);
+    fy[i] = featurizer.Encode(data.pairs[i].y);
+  }
+  std::vector<std::vector<float>> fs(sample.size());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    fs[i] = featurizer.Encode(sample[i]);
+  }
+
+  nn::AdamW opt(mlp.params().params(), MakeAdamConfig(config));
+  const long total = config.max_steps;
+  const long warmup = static_cast<long>(config.warmup_frac * total);
+  Rng rng(config.seed ^ 0x31A9);
+
+  for (long step = 0; step < total; ++step) {
+    const int n = config.batch_size;
+    nn::Matrix mx(n, in_dim), my(n, in_dim), target(n, 1);
+    for (int b = 0; b < n; ++b) {
+      if (b % 2 == 0) {  // positive
+        const size_t i = rng.UniformU64(data.pairs.size());
+        std::copy(fx[i].begin(), fx[i].end(), mx.row(b));
+        std::copy(fy[i].begin(), fy[i].end(), my.row(b));
+        target.at(b, 0) = static_cast<float>(data.pairs[i].jn);
+      } else {  // random pair: joinability approximately zero
+        const size_t i = rng.UniformU64(fs.size());
+        const size_t j = rng.UniformU64(fs.size());
+        std::copy(fs[i].begin(), fs[i].end(), mx.row(b));
+        std::copy(fs[j].begin(), fs[j].end(), my.row(b));
+        target.at(b, 0) = 0.0f;
+      }
+    }
+    nn::VarPtr pred = mlp.PredictJoinability(nn::MakeVar(std::move(mx)),
+                                             nn::MakeVar(std::move(my)));
+    nn::VarPtr loss = nn::MseLoss(pred, target);
+    if (step == 0) stats.first_loss = loss->value().at(0, 0);
+    stats.final_loss = loss->value().at(0, 0);
+    nn::Backward(loss);
+    opt.Step(nn::WarmupLinearFactor(step, warmup, total));
+    mlp.params().ZeroGrads();
+    ++stats.steps;
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,58 @@
+// Fine-tuning (paper §4): metric learning with in-batch negatives under
+// the Multiple Negatives Ranking loss, AdamW, and warmup + linear decay.
+// Also hosts the trainers for the MLP baseline (joinability regression)
+// and the TaBERT-style baseline (pre-trained on a mismatched objective).
+#ifndef DEEPJOIN_CORE_TRAINER_H_
+#define DEEPJOIN_CORE_TRAINER_H_
+
+#include "core/encoders.h"
+#include "core/training_data.h"
+
+namespace deepjoin {
+namespace core {
+
+enum class NegativeStrategy {
+  kInBatch,          ///< paper's default: reuse the batch's other Y's
+  kRemovedOverlap,   ///< ablation: add Y-with-matching-cells-removed
+};
+
+struct FineTuneConfig {
+  int batch_size = 32;       // paper §5.1
+  int max_steps = 140;       // scaled (paper trains far longer on GPUs)
+  double lr = 4e-4;          // scaled for the small model (paper: 2e-5)
+  double warmup_frac = 0.1;  // paper: 10000 warmup steps out of the run
+  double weight_decay = 0.01;
+  float cosine_scale = 20.0f;  // sentence-transformers' MNR scale
+  NegativeStrategy negatives = NegativeStrategy::kInBatch;
+  u64 seed = 5;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  double first_loss = 0.0;
+  double final_loss = 0.0;
+  long steps = 0;
+  double seconds = 0.0;
+};
+
+/// Fine-tunes the PLM column encoder on the prepared positives.
+TrainStats FineTunePlm(PlmColumnEncoder& encoder, const TrainingData& data,
+                       const FineTuneConfig& config);
+
+/// TaBERT-style mismatched pre-training: aligns a column's embedding with
+/// the embedding of its own metadata text (a QA-flavoured objective that
+/// is *not* joinability — reproducing why TaBERT underperforms in §5.2).
+TrainStats TrainTabertStyle(PlmColumnEncoder& encoder,
+                            const std::vector<lake::Column>& corpus,
+                            const FineTuneConfig& config);
+
+/// Trains the MLP baseline as a joinability regression over fastText
+/// column embeddings (positive pairs + sampled negatives).
+TrainStats TrainMlp(MlpColumnEncoder& encoder,
+                    const std::vector<lake::Column>& sample,
+                    const TrainingData& data, const FineTuneConfig& config);
+
+}  // namespace core
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_CORE_TRAINER_H_

@@ -1,0 +1,90 @@
+#include "core/training_data.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "join/joinability.h"
+#include "join/setjoin.h"
+
+namespace deepjoin {
+namespace core {
+
+lake::Column ShuffleColumn(const lake::Column& column, Rng& rng) {
+  lake::Column out = column;
+  std::vector<size_t> perm(out.cells.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  const bool aligned = out.entity_ids.size() == out.cells.size();
+  for (size_t i = 0; i < perm.size(); ++i) {
+    out.cells[i] = column.cells[perm[i]];
+    if (aligned) out.entity_ids[i] = column.entity_ids[perm[i]];
+  }
+  return out;
+}
+
+TrainingData PrepareTrainingData(const std::vector<lake::Column>& sample,
+                                 const FastTextEmbedder* embedder,
+                                 const TrainingDataConfig& config) {
+  // Self-join on the sample to collect directed positives.
+  std::vector<join::JoinPair> positives;
+  if (config.join_type == JoinType::kEqui) {
+    // Local tokenization of the sample (independent of any repository).
+    join::CellDictionary dict;
+    std::vector<join::TokenSet> sets;
+    sets.reserve(sample.size());
+    for (const auto& col : sample) {
+      join::TokenSet ts;
+      for (const auto& cell : col.cells) {
+        ts.tokens.push_back(dict.GetOrAssign(cell));
+      }
+      std::sort(ts.tokens.begin(), ts.tokens.end());
+      ts.tokens.erase(std::unique(ts.tokens.begin(), ts.tokens.end()),
+                      ts.tokens.end());
+      ts.query_size = ts.tokens.size();
+      sets.push_back(std::move(ts));
+    }
+    positives = join::EquiSelfJoin(sets, config.positive_threshold);
+  } else {
+    DJ_CHECK_MSG(embedder != nullptr,
+                 "semantic training data needs a cell embedder");
+    lake::Repository tmp;
+    for (const auto& col : sample) tmp.Add(col);
+    auto store = join::ColumnVectorStore::Build(tmp, *embedder);
+    positives = join::SemanticSelfJoin(store, config.positive_threshold,
+                                       config.tau);
+  }
+
+  Rng rng(config.seed);
+  if (positives.size() > config.max_pairs) {
+    const auto keep = rng.SampleIndices(positives.size(), config.max_pairs);
+    std::vector<join::JoinPair> subset;
+    subset.reserve(config.max_pairs);
+    for (size_t i : keep) subset.push_back(positives[i]);
+    positives = std::move(subset);
+  }
+
+  TrainingData data;
+  data.num_base = positives.size();
+  data.pairs.reserve(positives.size() * 2);
+  for (const auto& p : positives) {
+    TrainingExample ex;
+    ex.x = sample[p.x];
+    ex.y = sample[p.y];
+    ex.jn = p.jn;
+    data.pairs.push_back(ex);
+    if (rng.Bernoulli(config.shuffle_rate)) {
+      TrainingExample shuffled;
+      shuffled.x = ShuffleColumn(sample[p.x], rng);
+      shuffled.y = sample[p.y];
+      shuffled.jn = p.jn;
+      shuffled.shuffled = true;
+      data.pairs.push_back(std::move(shuffled));
+      ++data.num_shuffled;
+    }
+  }
+  rng.Shuffle(data.pairs);
+  return data;
+}
+
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,58 @@
+// Training-data preparation (paper §4.1): positives from a self-join on a
+// sample of the repository with jn >= t (set-similarity join for
+// equi-joins, PEXESO-style vector matching for semantic joins), plus the
+// cell-shuffle data augmentation that teaches the encoder that joinability
+// is order-insensitive.
+#ifndef DEEPJOIN_CORE_TRAINING_DATA_H_
+#define DEEPJOIN_CORE_TRAINING_DATA_H_
+
+#include <vector>
+
+#include "lake/column.h"
+#include "text/fasttext.h"
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace core {
+
+enum class JoinType { kEqui, kSemantic };
+
+struct TrainingDataConfig {
+  JoinType join_type = JoinType::kEqui;
+  double positive_threshold = 0.7;  ///< jn >= t (paper: 0.7)
+  float tau = 0.9f;                 ///< semantic vector-matching threshold
+  /// Shuffle rate r: each base positive spawns a cell-shuffled copy with
+  /// probability r, so r/(1+r) of the final positives are shuffled.
+  double shuffle_rate = 0.2;
+  size_t max_pairs = 6000;          ///< runtime cap; subsampled beyond this
+  u64 seed = 77;
+};
+
+/// One positive example; columns are materialised (the X side may be a
+/// shuffled permutation of a sample column).
+struct TrainingExample {
+  lake::Column x;
+  lake::Column y;
+  double jn = 1.0;  ///< the self-join's measured joinability jn(x -> y)
+  bool shuffled = false;
+};
+
+struct TrainingData {
+  std::vector<TrainingExample> pairs;
+  size_t num_base = 0;
+  size_t num_shuffled = 0;
+};
+
+/// Runs the self-join over `sample`, applies the shuffle augmentation and
+/// the size cap. `embedder` is only consulted for semantic joins.
+TrainingData PrepareTrainingData(const std::vector<lake::Column>& sample,
+                                 const FastTextEmbedder* embedder,
+                                 const TrainingDataConfig& config);
+
+/// Random cell permutation of a column (entity annotations follow).
+lake::Column ShuffleColumn(const lake::Column& column, Rng& rng);
+
+}  // namespace core
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_CORE_TRAINING_DATA_H_

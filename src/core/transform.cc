@@ -1,0 +1,134 @@
+#include "core/transform.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace deepjoin {
+namespace core {
+
+const std::vector<TransformOption>& AllTransformOptions() {
+  static const std::vector<TransformOption> kAll = {
+      TransformOption::kCol,
+      TransformOption::kColnameCol,
+      TransformOption::kColnameColContext,
+      TransformOption::kColnameStatCol,
+      TransformOption::kTitleColnameCol,
+      TransformOption::kTitleColnameColContext,
+      TransformOption::kTitleColnameStatCol,
+  };
+  return kAll;
+}
+
+const char* TransformOptionName(TransformOption option) {
+  switch (option) {
+    case TransformOption::kCol: return "col";
+    case TransformOption::kColnameCol: return "colname-col";
+    case TransformOption::kColnameColContext: return "colname-col-context";
+    case TransformOption::kColnameStatCol: return "colname-stat-col";
+    case TransformOption::kTitleColnameCol: return "title-colname-col";
+    case TransformOption::kTitleColnameColContext:
+      return "title-colname-col-context";
+    case TransformOption::kTitleColnameStatCol:
+      return "title-colname-stat-col";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> SelectCells(const lake::Column& column,
+                                     const TransformConfig& config) {
+  const size_t n = column.cells.size();
+  if (config.cell_budget <= 0 ||
+      n <= static_cast<size_t>(config.cell_budget)) {
+    return column.cells;
+  }
+  const size_t budget = static_cast<size_t>(config.cell_budget);
+  if (config.dict == nullptr) {
+    // Naive truncation (ablation arm).
+    return {column.cells.begin(),
+            column.cells.begin() + static_cast<long>(budget)};
+  }
+  // Keep the `budget` highest-document-frequency cells, original order.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const auto ta = config.dict->Lookup(column.cells[a]);
+    const auto tb = config.dict->Lookup(column.cells[b]);
+    const u32 fa = ta ? config.dict->DocFreq(*ta) : 0;
+    const u32 fb = tb ? config.dict->DocFreq(*tb) : 0;
+    return fa > fb;
+  });
+  order.resize(budget);
+  std::sort(order.begin(), order.end());  // restore original order
+  std::vector<std::string> out;
+  out.reserve(budget);
+  for (size_t i : order) out.push_back(column.cells[i]);
+  return out;
+}
+
+namespace {
+
+struct CellStats {
+  size_t n = 0;
+  size_t max_words = 0;
+  size_t min_words = 0;
+  double avg_words = 0.0;
+};
+
+CellStats ComputeStats(const lake::Column& column) {
+  CellStats s;
+  s.n = column.cells.size();
+  if (s.n == 0) return s;
+  size_t total = 0;
+  s.min_words = static_cast<size_t>(-1);
+  for (const auto& cell : column.cells) {
+    const size_t w = CountWords(cell);
+    s.max_words = std::max(s.max_words, w);
+    s.min_words = std::min(s.min_words, w);
+    total += w;
+  }
+  s.avg_words = static_cast<double>(total) / static_cast<double>(s.n);
+  return s;
+}
+
+}  // namespace
+
+std::string TransformColumn(const lake::Column& column,
+                            const TransformConfig& config) {
+  const std::vector<std::string> cells = SelectCells(column, config);
+  const std::string col = Join(cells, ", ");
+  const std::string& name = column.meta.column_name;
+  const std::string& title = column.meta.table_title;
+  const std::string& context = column.meta.context;
+
+  auto colname_col = [&] { return name + ": " + col + "."; };
+  auto colname_stat_col = [&] {
+    const CellStats s = ComputeStats(column);
+    return name + " contains " + std::to_string(s.n) + " values (" +
+           std::to_string(s.max_words) + ", " + std::to_string(s.min_words) +
+           ", " + FormatDouble(s.avg_words, 2) + "): " + col + ".";
+  };
+
+  switch (config.option) {
+    case TransformOption::kCol:
+      return col;
+    case TransformOption::kColnameCol:
+      return colname_col();
+    case TransformOption::kColnameColContext:
+      return colname_col() + " " + context;
+    case TransformOption::kColnameStatCol:
+      return colname_stat_col();
+    case TransformOption::kTitleColnameCol:
+      return title + ". " + colname_col();
+    case TransformOption::kTitleColnameColContext:
+      return title + ". " + colname_col() + " " + context;
+    case TransformOption::kTitleColnameStatCol:
+      return title + ". " + colname_stat_col();
+  }
+  return col;
+}
+
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,56 @@
+// Column-to-text transformation (paper §3.1, Table 1): the prompt-
+// engineering step that turns a column plus its metadata into the text
+// sequence the PLM reads. Seven options; `title-colname-stat-col` is the
+// paper's best and our default.
+//
+// When the column exceeds the cell budget (the PLM's input length limit,
+// §3.2), the cells with the highest document frequency — the number of
+// repository columns containing the value — are kept, in their original
+// order.
+#ifndef DEEPJOIN_CORE_TRANSFORM_H_
+#define DEEPJOIN_CORE_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "join/joinability.h"
+#include "lake/column.h"
+
+namespace deepjoin {
+namespace core {
+
+enum class TransformOption {
+  kCol,
+  kColnameCol,
+  kColnameColContext,
+  kColnameStatCol,
+  kTitleColnameCol,
+  kTitleColnameColContext,
+  kTitleColnameStatCol,
+};
+
+/// All options, in Table 1's order (for the ablation benches).
+const std::vector<TransformOption>& AllTransformOptions();
+const char* TransformOptionName(TransformOption option);
+
+struct TransformConfig {
+  TransformOption option = TransformOption::kTitleColnameStatCol;
+  /// Max cells included in the text. <= 0 disables the budget.
+  int cell_budget = 24;
+  /// Frequency source for cell selection; nullptr falls back to truncation
+  /// in original order (the ablation's "naive truncation" arm).
+  const join::CellDictionary* dict = nullptr;
+};
+
+/// Renders `column` to its text sequence.
+std::string TransformColumn(const lake::Column& column,
+                            const TransformConfig& config);
+
+/// The cell subset the budget keeps (exposed for tests/ablation).
+std::vector<std::string> SelectCells(const lake::Column& column,
+                                     const TransformConfig& config);
+
+}  // namespace core
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_CORE_TRANSFORM_H_

@@ -1,0 +1,63 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace deepjoin {
+namespace eval {
+
+double PrecisionAtK(const std::vector<u32>& model_ids,
+                    const std::vector<u32>& exact_ids) {
+  if (exact_ids.empty()) return 0.0;
+  std::unordered_set<u32> exact(exact_ids.begin(), exact_ids.end());
+  size_t hit = 0;
+  for (u32 id : model_ids) hit += exact.count(id);
+  return static_cast<double>(hit) / static_cast<double>(exact_ids.size());
+}
+
+double NdcgAtK(const std::vector<u32>& model_ids,
+               const std::vector<u32>& exact_ids,
+               const std::function<double(u32)>& jn_of) {
+  auto dcg = [&](const std::vector<u32>& ids) {
+    double sum = 0.0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      sum += jn_of(ids[i]) / std::log2(static_cast<double>(i) + 2.0);
+    }
+    return sum;
+  };
+  const double exact_dcg = dcg(exact_ids);
+  if (exact_dcg <= 0.0) return 1.0;
+  return std::min(1.0, dcg(model_ids) / exact_dcg);
+}
+
+PRF1 PoolPRF1(const std::vector<u32>& retrieved,
+              const std::vector<u32>& pool_joinable) {
+  PRF1 out;
+  if (retrieved.empty()) return out;
+  std::unordered_set<u32> joinable(pool_joinable.begin(),
+                                   pool_joinable.end());
+  size_t hits = 0;
+  for (u32 id : retrieved) hits += joinable.count(id);
+  out.precision =
+      static_cast<double>(hits) / static_cast<double>(retrieved.size());
+  out.recall = joinable.empty()
+                   ? 0.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(joinable.size());
+  out.f1 = (out.precision + out.recall) > 0.0
+               ? 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+}  // namespace eval
+}  // namespace deepjoin

@@ -1,0 +1,46 @@
+// Evaluation metrics of §5.1.
+//   Precision@k : overlap between the model's top-k and the exact top-k.
+//   NDCG@k      : DCG_model / DCG_exact with DCG = sum jn(Q,X_i)/log2(i+1).
+//   P/R/F1      : against expert labels under the retrieved-pool protocol.
+#ifndef DEEPJOIN_EVAL_METRICS_H_
+#define DEEPJOIN_EVAL_METRICS_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/common.h"
+
+namespace deepjoin {
+namespace eval {
+
+/// |model ∩ exact| / k (k = exact.size()).
+double PrecisionAtK(const std::vector<u32>& model_ids,
+                    const std::vector<u32>& exact_ids);
+
+/// DCG_model / DCG_exact, where `jn_of(id)` returns the true joinability
+/// of a repository column to the query. Returns 1.0 when DCG_exact is 0
+/// (no joinable column exists; any ranking is vacuously perfect).
+double NdcgAtK(const std::vector<u32>& model_ids,
+               const std::vector<u32>& exact_ids,
+               const std::function<double(u32)>& jn_of);
+
+struct PRF1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Retrieved-pool protocol: `retrieved` is one method's result set,
+/// `pool_joinable` the set of columns in the union pool the labeler judged
+/// joinable. precision = |retrieved ∩ joinable| / |retrieved|,
+/// recall = |retrieved ∩ joinable| / |pool joinable|.
+PRF1 PoolPRF1(const std::vector<u32>& retrieved,
+              const std::vector<u32>& pool_joinable);
+
+/// Mean of a vector (0 for empty) — for averaging over queries.
+double Mean(const std::vector<double>& values);
+
+}  // namespace eval
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_EVAL_METRICS_H_

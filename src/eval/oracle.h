@@ -1,0 +1,48 @@
+// Expert-label oracle for Table 7 (see DESIGN.md substitution table). The
+// generator records the latent domain and entity ids behind every cell;
+// the oracle judges a retrieved column joinable iff it shares the query's
+// domain and a sufficient fraction of the query's latent entities appear
+// in it — judging *meaning*, not any fixed vector-distance threshold.
+// No search method ever reads these annotations.
+#ifndef DEEPJOIN_EVAL_ORACLE_H_
+#define DEEPJOIN_EVAL_ORACLE_H_
+
+#include <unordered_set>
+
+#include "lake/column.h"
+
+namespace deepjoin {
+namespace eval {
+
+class DomainOracle {
+ public:
+  /// `min_entity_overlap`: fraction of query entities that must occur in
+  /// the target for an "expert" to call the pair joinable.
+  explicit DomainOracle(double min_entity_overlap = 0.25)
+      : min_entity_overlap_(min_entity_overlap) {}
+
+  bool Joinable(const lake::Column& query,
+                const lake::Column& target) const {
+    if (query.domain_id == lake::kNoDomain ||
+        query.domain_id != target.domain_id) {
+      return false;
+    }
+    if (query.entity_ids.empty()) return false;
+    std::unordered_set<u32> q(query.entity_ids.begin(),
+                              query.entity_ids.end());
+    std::unordered_set<u32> t(target.entity_ids.begin(),
+                              target.entity_ids.end());
+    size_t shared = 0;
+    for (u32 e : q) shared += t.count(e);
+    return static_cast<double>(shared) >=
+           min_entity_overlap_ * static_cast<double>(q.size());
+  }
+
+ private:
+  double min_entity_overlap_;
+};
+
+}  // namespace eval
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_EVAL_ORACLE_H_

@@ -1,0 +1,48 @@
+// JOSIE (Zhu et al., SIGMOD 2019) — exact top-k overlap set-similarity
+// search over an inverted index, the paper's exact equi-join baseline
+// (§2.2). Columns are token sets ordered globally by ascending document
+// frequency; the searcher probes postings lists rarest-token-first,
+// accumulates exact overlap counts, and applies the prefix-filter
+// admission bound: once the number of unread query tokens cannot reach the
+// required overlap for a new candidate, no new candidates are admitted
+// (existing ones keep counting). This reproduces JOSIE's probe/count core
+// and its linear-in-(|Q| x postings) cost shape; JOSIE's cost-model-driven
+// probe/verify interleaving is an optimization we document but do not
+// replicate (it does not change exactness).
+#ifndef DEEPJOIN_JOIN_JOSIE_H_
+#define DEEPJOIN_JOIN_JOSIE_H_
+
+#include <vector>
+
+#include "join/joinability.h"
+#include "util/top_k.h"
+
+namespace deepjoin {
+namespace join {
+
+class JosieIndex {
+ public:
+  /// Builds the inverted index. The repository must outlive the index.
+  explicit JosieIndex(const TokenizedRepository* repo);
+
+  /// Exact top-k columns by equi-joinability jn(Q, X) = |Q ∩ X| / |Q|.
+  std::vector<Scored> SearchTopK(const TokenSet& query, size_t k) const;
+
+  size_t num_postings() const { return num_postings_; }
+
+ private:
+  struct Posting {
+    u32 column;
+    u32 column_size;  // |X|, for admission bounds
+  };
+
+  const TokenizedRepository* repo_;
+  /// token id -> postings (columns containing the token).
+  std::vector<std::vector<Posting>> postings_;
+  size_t num_postings_ = 0;
+};
+
+}  // namespace join
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_JOIN_JOSIE_H_

@@ -1,0 +1,155 @@
+#include "join/lsh_ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace deepjoin {
+namespace join {
+
+LshEnsembleIndex::LshEnsembleIndex(const TokenizedRepository* repo,
+                                   const LshEnsembleConfig& config)
+    : repo_(repo), config_(config) {
+  // Equi-depth partitioning by set size.
+  std::vector<u32> order(repo_->size());
+  for (u32 i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](u32 a, u32 b) {
+    const size_t sa = repo_->columns()[a].tokens.size();
+    const size_t sb = repo_->columns()[b].tokens.size();
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  const size_t n = order.size();
+  const size_t parts = std::max<size_t>(
+      1, std::min<size_t>(config_.num_partitions, n));
+  partitions_.resize(parts);
+  for (size_t p = 0; p < parts; ++p) {
+    const size_t lo = p * n / parts;
+    const size_t hi = (p + 1) * n / parts;
+    Partition& part = partitions_[p];
+    for (size_t i = lo; i < hi; ++i) {
+      const u32 col = order[i];
+      part.columns.push_back(col);
+      part.size_upper =
+          std::max(part.size_upper, repo_->columns()[col].tokens.size());
+      part.sigs.push_back(MinHashSignature::Compute(
+          repo_->columns()[col].tokens, config_.num_perm, config_.seed));
+    }
+    // Materialise the banded tables for each configured band width.
+    part.band_tables.resize(config_.band_widths.size());
+    for (size_t ri = 0; ri < config_.band_widths.size(); ++ri) {
+      const int r = config_.band_widths[ri];
+      const int b = config_.num_perm / r;
+      part.band_tables[ri].resize(b);
+      for (u32 off = 0; off < part.columns.size(); ++off) {
+        const auto& values = part.sigs[off].values();
+        for (int band = 0; band < b; ++band) {
+          u64 h = 0x1F0Dull + static_cast<u64>(band);
+          for (int j = 0; j < r; ++j) {
+            h = HashCombine(h, values[static_cast<size_t>(band) * r + j]);
+          }
+          part.band_tables[ri][band][h].push_back(off);
+        }
+      }
+    }
+  }
+}
+
+int LshEnsembleIndex::PickBandWidthIndex(double jaccard_t) const {
+  // The S-curve of (b bands, r rows) has collision-probability midpoint
+  // near (1/b)^(1/r). Prefer the widest r whose midpoint stays below the
+  // target (probing cheaper, fewer false positives); fall back to the
+  // most permissive table.
+  int best = 0;
+  double best_mid = -1.0;
+  for (size_t ri = 0; ri < config_.band_widths.size(); ++ri) {
+    const int r = config_.band_widths[ri];
+    const int b = config_.num_perm / r;
+    const double mid = std::pow(1.0 / b, 1.0 / r);
+    if (mid <= jaccard_t && mid > best_mid) {
+      best_mid = mid;
+      best = static_cast<int>(ri);
+    }
+  }
+  return best;
+}
+
+std::vector<Scored> LshEnsembleIndex::SearchThreshold(const TokenSet& query,
+                                                      double t) const {
+  std::vector<Scored> results;
+  if (query.query_size == 0) return results;
+  MinHashSignature qsig =
+      MinHashSignature::Compute(query.tokens, config_.num_perm, config_.seed);
+  const double q = static_cast<double>(query.query_size);
+
+  std::unordered_set<u32> emitted;
+  for (const Partition& part : partitions_) {
+    if (part.columns.empty()) continue;
+    const double u = static_cast<double>(part.size_upper);
+    // Containment-to-Jaccard conversion with this partition's upper bound.
+    const double jt = t * q / (q + u - t * q);
+    const size_t ri = static_cast<size_t>(PickBandWidthIndex(jt));
+    const int r = config_.band_widths[ri];
+    const int b = config_.num_perm / r;
+    std::unordered_set<u32> candidates;
+    for (int band = 0; band < b; ++band) {
+      u64 h = 0x1F0Dull + static_cast<u64>(band);
+      for (int j = 0; j < r; ++j) {
+        h = HashCombine(h, qsig.values()[static_cast<size_t>(band) * r + j]);
+      }
+      auto it = part.band_tables[ri][band].find(h);
+      if (it == part.band_tables[ri][band].end()) continue;
+      for (u32 off : it->second) candidates.insert(off);
+    }
+    for (u32 off : candidates) {
+      const u32 col = part.columns[off];
+      if (!emitted.insert(col).second) continue;
+      double jn;
+      if (config_.exact_verify) {
+        jn = EquiJoinability(query, repo_->columns()[col]);
+      } else {
+        // Sketch-only scoring: invert the containment-to-Jaccard
+        // conversion with the *estimated* Jaccard. This is where the
+        // method's false positives come from (§2.2).
+        const double jaccard = qsig.EstimateJaccard(part.sigs[off]);
+        const double x = static_cast<double>(
+            repo_->columns()[col].tokens.size());
+        jn = std::min(1.0, jaccard * (q + x) / (q * (1.0 + jaccard)));
+      }
+      if (jn >= t) results.push_back({jn, col});
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const Scored& a, const Scored& b) { return b < a; });
+  return results;
+}
+
+std::vector<Scored> LshEnsembleIndex::SearchTopK(const TokenSet& query,
+                                                 size_t k) const {
+  // The standard top-k adaptation of a thresholded index: sweep t
+  // downwards and rank a column by the highest threshold level at which
+  // it qualified. Within one level the order is arbitrary — a second
+  // source of imprecision on top of the sketch estimate (the paper's
+  // "suffers from low precision" observation, §2.2).
+  TopK top(k);
+  std::unordered_set<u32> seen;
+  double t = config_.t_start;
+  while (t >= config_.t_floor) {
+    for (const Scored& s : SearchThreshold(query, t)) {
+      if (seen.insert(s.id).second) top.Push(t, s.id);
+    }
+    if (top.Size() >= k) break;
+    t *= config_.t_decay;
+  }
+  // Pad with arbitrary columns when the sketch never surfaced k
+  // candidates (a real failure mode of the method).
+  if (top.Size() < k) {
+    for (u32 c = 0; c < repo_->size() && top.Size() < k; ++c) {
+      if (seen.insert(c).second) top.Push(0.0, c);
+    }
+  }
+  return top.Take();
+}
+
+}  // namespace join
+}  // namespace deepjoin

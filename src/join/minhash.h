@@ -1,0 +1,52 @@
+// MinHash sketches (Broder, 1997) over token sets. Substrate for LSH
+// Ensemble.
+#ifndef DEEPJOIN_JOIN_MINHASH_H_
+#define DEEPJOIN_JOIN_MINHASH_H_
+
+#include <vector>
+
+#include "util/common.h"
+#include "util/hash.h"
+
+namespace deepjoin {
+namespace join {
+
+/// num_perm independent min-wise hash values of a token set.
+class MinHashSignature {
+ public:
+  MinHashSignature() = default;
+
+  static MinHashSignature Compute(const std::vector<u32>& tokens,
+                                  int num_perm, u64 seed = 0x5151) {
+    MinHashSignature sig;
+    sig.values_.assign(num_perm, ~0ULL);
+    for (u32 t : tokens) {
+      for (int p = 0; p < num_perm; ++p) {
+        const u64 h = SeededHash(static_cast<u64>(t), seed + p);
+        if (h < sig.values_[p]) sig.values_[p] = h;
+      }
+    }
+    return sig;
+  }
+
+  /// Unbiased Jaccard estimate: fraction of agreeing permutations.
+  double EstimateJaccard(const MinHashSignature& other) const {
+    DJ_CHECK(values_.size() == other.values_.size() && !values_.empty());
+    size_t agree = 0;
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (values_[i] == other.values_[i]) ++agree;
+    }
+    return static_cast<double>(agree) / static_cast<double>(values_.size());
+  }
+
+  const std::vector<u64>& values() const { return values_; }
+  int num_perm() const { return static_cast<int>(values_.size()); }
+
+ private:
+  std::vector<u64> values_;
+};
+
+}  // namespace join
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_JOIN_MINHASH_H_

@@ -1,0 +1,192 @@
+#include "join/pexeso.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ann/kmeans.h"
+
+namespace deepjoin {
+namespace join {
+
+PexesoIndex::PexesoIndex(const ColumnVectorStore* store,
+                         const PexesoConfig& config)
+    : store_(store), config_(config) {
+  const int dim = store_->dim();
+  const size_t nv = store_->total_vectors();
+  DJ_CHECK(nv > 0);
+
+  // Pivot selection: k-means centroids over a sample spread the pivots
+  // through the occupied region of the space.
+  Rng rng(config_.seed);
+  const size_t sample_n = std::min<size_t>(nv, 4096);
+  std::vector<float> sample(sample_n * static_cast<size_t>(dim));
+  const auto idx = rng.SampleIndices(nv, sample_n);
+  for (size_t i = 0; i < sample_n; ++i) {
+    std::copy(store_->all_vectors() + idx[i] * dim,
+              store_->all_vectors() + (idx[i] + 1) * dim,
+              sample.begin() + static_cast<long>(i) * dim);
+  }
+  auto km = ann::KMeans(sample.data(), sample_n, dim, config_.num_pivots, 10,
+                        rng);
+  pivots_ = std::move(km.centroids);
+
+  // Pivot distances for every data vector + the grid on pivots 0 and 1.
+  pivot_dist_.resize(nv * static_cast<size_t>(config_.num_pivots));
+  const float inv_tau = 1.0f / config_.tau;
+  for (size_t v = 0; v < nv; ++v) {
+    const float* vec = store_->all_vectors() + v * dim;
+    for (int p = 0; p < config_.num_pivots; ++p) {
+      pivot_dist_[v * config_.num_pivots + p] =
+          L2Distance(vec, &pivots_[static_cast<size_t>(p) * dim], dim);
+    }
+    const i32 c0 = static_cast<i32>(
+        std::floor(pivot_dist_[v * config_.num_pivots] * inv_tau));
+    const i32 c1 = static_cast<i32>(
+        std::floor(pivot_dist_[v * config_.num_pivots + 1] * inv_tau));
+    grid_[KeyOf(c0, c1)].push_back(static_cast<u32>(v));
+  }
+}
+
+double PexesoIndex::Joinability(const float* query, size_t nq,
+                                u32 column) const {
+  return SemanticJoinability(query, nq, store_->column_vectors(column),
+                             store_->column_count(column), store_->dim(),
+                             config_.tau);
+}
+
+std::vector<Scored> PexesoIndex::SearchThreshold(const float* query,
+                                                 size_t nq,
+                                                 double t) const {
+  DJ_CHECK(t > 0.0 && t <= 1.0);
+  std::vector<Scored> out;
+  if (nq == 0) return out;
+  const int dim = store_->dim();
+  const int np = config_.num_pivots;
+  const float tau = config_.tau;
+  const float inv_tau = 1.0f / tau;
+  const size_t num_cols = store_->num_columns();
+  const u64 required =
+      static_cast<u64>(std::ceil(t * static_cast<double>(nq)));
+
+  std::vector<u32> match_count(num_cols, 0);
+  std::vector<u32> stamp(num_cols, ~0u);
+  std::vector<u8> pruned(num_cols, 0);
+
+  std::vector<float> qdist(np);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    const size_t remaining = nq - qi;  // incl. the current vector
+    const float* qv = query + qi * static_cast<size_t>(dim);
+    for (int p = 0; p < np; ++p) {
+      qdist[p] = L2Distance(qv, &pivots_[static_cast<size_t>(p) * dim], dim);
+    }
+    const i32 c0 = static_cast<i32>(std::floor(qdist[0] * inv_tau));
+    const i32 c1 = static_cast<i32>(std::floor(qdist[1] * inv_tau));
+    for (i32 d0 = c0 - 1; d0 <= c0 + 1; ++d0) {
+      for (i32 d1 = c1 - 1; d1 <= c1 + 1; ++d1) {
+        auto it = grid_.find(KeyOf(d0, d1));
+        if (it == grid_.end()) continue;
+        for (u32 v : it->second) {
+          const u32 owner = store_->OwnerOf(v);
+          // Count-bound pruning: this column can no longer reach the
+          // required matches even if every remaining vector matches.
+          if (pruned[owner] || stamp[owner] == static_cast<u32>(qi)) {
+            continue;
+          }
+          if (match_count[owner] + remaining < required) {
+            pruned[owner] = 1;
+            continue;
+          }
+          const float* vd = &pivot_dist_[static_cast<size_t>(v) * np];
+          bool filtered = false;
+          for (int p = 0; p < np; ++p) {
+            if (std::fabs(qdist[p] - vd[p]) > tau) {
+              filtered = true;
+              break;
+            }
+          }
+          if (filtered) continue;
+          const float* xv =
+              store_->all_vectors() + static_cast<size_t>(v) * dim;
+          if (L2Distance(qv, xv, dim) <= tau) {
+            stamp[owner] = static_cast<u32>(qi);
+            ++match_count[owner];
+          }
+        }
+      }
+    }
+  }
+  const double inv_nq = 1.0 / static_cast<double>(nq);
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (!pruned[c] && match_count[c] >= required) {
+      out.push_back({static_cast<double>(match_count[c]) * inv_nq,
+                     static_cast<u32>(c)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Scored& a, const Scored& b) { return b < a; });
+  return out;
+}
+
+std::vector<Scored> PexesoIndex::SearchTopK(const float* query, size_t nq,
+                                            size_t k) const {
+  const int dim = store_->dim();
+  const int np = config_.num_pivots;
+  const float tau = config_.tau;
+  const float inv_tau = 1.0f / tau;
+  const size_t num_cols = store_->num_columns();
+
+  // matched[c] counts query vectors with >=1 match in column c; the stamp
+  // ensures each query vector contributes at most once per column.
+  std::vector<u32> match_count(num_cols, 0);
+  std::vector<u32> stamp(num_cols, ~0u);
+
+  std::vector<float> qdist(np);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    const float* qv = query + qi * static_cast<size_t>(dim);
+    for (int p = 0; p < np; ++p) {
+      qdist[p] = L2Distance(qv, &pivots_[static_cast<size_t>(p) * dim], dim);
+    }
+    // Grid lookup: matching vectors satisfy |d(q,p0) - d(x,p0)| <= tau, so
+    // their cell index along each grid axis differs by at most 1.
+    const i32 c0 = static_cast<i32>(std::floor(qdist[0] * inv_tau));
+    const i32 c1 = static_cast<i32>(std::floor(qdist[1] * inv_tau));
+    for (i32 d0 = c0 - 1; d0 <= c0 + 1; ++d0) {
+      for (i32 d1 = c1 - 1; d1 <= c1 + 1; ++d1) {
+        auto it = grid_.find(KeyOf(d0, d1));
+        if (it == grid_.end()) continue;
+        for (u32 v : it->second) {
+          const u32 owner = store_->OwnerOf(v);
+          if (stamp[owner] == static_cast<u32>(qi)) continue;  // matched
+          // Triangle-inequality filter on the remaining pivots.
+          const float* vd = &pivot_dist_[static_cast<size_t>(v) * np];
+          bool pruned = false;
+          for (int p = 0; p < np; ++p) {
+            if (std::fabs(qdist[p] - vd[p]) > tau) {
+              pruned = true;
+              break;
+            }
+          }
+          if (pruned) continue;
+          // Exact verification.
+          const float* xv = store_->all_vectors() +
+                            static_cast<size_t>(v) * dim;
+          if (L2Distance(qv, xv, dim) <= tau) {
+            stamp[owner] = static_cast<u32>(qi);
+            ++match_count[owner];
+          }
+        }
+      }
+    }
+  }
+
+  TopK top(k);
+  const double inv_nq = nq > 0 ? 1.0 / static_cast<double>(nq) : 0.0;
+  for (size_t c = 0; c < num_cols; ++c) {
+    top.Push(static_cast<double>(match_count[c]) * inv_nq,
+             static_cast<u32>(c));
+  }
+  return top.Take();
+}
+
+}  // namespace join
+}  // namespace deepjoin

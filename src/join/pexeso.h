@@ -1,0 +1,72 @@
+// PEXESO (Dong et al., ICDE 2021) — the exact semantic-join baseline
+// (§2.2). Cell values are embedded into a metric space; a set of pivot
+// vectors is chosen and every data vector stores its pivot distances. A
+// grid over the first two pivot distances (cell width τ) plus the
+// remaining pivots' triangle-inequality checks prune non-matching vectors
+// before exact distance verification; per-column match counts yield the
+// semantic joinability, and the top-k columns are returned.
+//
+// As the paper observes (§2.2), PEXESO's count-threshold pruning does not
+// help the top-k formulation, so the search cost is effectively linear in
+// |X_V| · |Q| — the behaviour Tables 13-15 exhibit and this implementation
+// shares.
+#ifndef DEEPJOIN_JOIN_PEXESO_H_
+#define DEEPJOIN_JOIN_PEXESO_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "join/joinability.h"
+#include "util/top_k.h"
+
+namespace deepjoin {
+namespace join {
+
+struct PexesoConfig {
+  int num_pivots = 6;
+  float tau = 0.9f;
+  u64 seed = 0x9E50;
+};
+
+class PexesoIndex {
+ public:
+  /// Builds pivots + grid over `store` (which must outlive the index).
+  PexesoIndex(const ColumnVectorStore* store, const PexesoConfig& config);
+
+  /// Exact top-k semantically joinable columns for the query vectors
+  /// (flat [nq x dim]).
+  std::vector<Scored> SearchTopK(const float* query, size_t nq,
+                                 size_t k) const;
+
+  /// PEXESO's *native* thresholded problem (§2.2): all columns with
+  /// jn >= t. Here the count bound is a real pruning lever — after
+  /// processing i of nq query vectors, a column needs
+  /// matched + (nq - i) >= ceil(t * nq) to still qualify, so hopeless
+  /// columns stop accumulating work. This is the pruning power the paper
+  /// notes "is next to none" under the top-k formulation.
+  std::vector<Scored> SearchThreshold(const float* query, size_t nq,
+                                      double t) const;
+
+  /// Exact semantic joinability against one column (for verification).
+  double Joinability(const float* query, size_t nq, u32 column) const;
+
+  const PexesoConfig& config() const { return config_; }
+
+ private:
+  using GridKey = u64;
+  GridKey KeyOf(i32 c0, i32 c1) const {
+    return (static_cast<u64>(static_cast<u32>(c0)) << 32) |
+           static_cast<u32>(c1);
+  }
+
+  const ColumnVectorStore* store_;
+  PexesoConfig config_;
+  std::vector<float> pivots_;      // num_pivots x dim
+  std::vector<float> pivot_dist_;  // per vector: num_pivots distances
+  std::unordered_map<GridKey, std::vector<u32>> grid_;  // -> vector indices
+};
+
+}  // namespace join
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_JOIN_PEXESO_H_

@@ -1,0 +1,63 @@
+#include "join/setjoin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace deepjoin {
+namespace join {
+
+std::vector<JoinPair> EquiSelfJoin(const std::vector<TokenSet>& columns,
+                                   double t) {
+  DJ_CHECK(t > 0.0 && t <= 1.0);
+  std::vector<JoinPair> out;
+  // Inverted index over all columns, then one counting probe per column
+  // against columns with smaller index (each unordered pair examined once).
+  u32 max_token = 0;
+  for (const auto& c : columns) {
+    for (u32 tok : c.tokens) max_token = std::max(max_token, tok + 1);
+  }
+  std::vector<std::vector<u32>> inverted(max_token);
+  std::unordered_map<u32, u32> counts;
+  for (u32 x = 0; x < columns.size(); ++x) {
+    const auto& xt = columns[x].tokens;
+    counts.clear();
+    for (u32 tok : xt) {
+      for (u32 y : inverted[tok]) ++counts[y];
+    }
+    for (const auto& [y, overlap] : counts) {
+      const double from_x =
+          static_cast<double>(overlap) / static_cast<double>(xt.size());
+      const double from_y = static_cast<double>(overlap) /
+                            static_cast<double>(columns[y].tokens.size());
+      if (from_x >= t) out.push_back({x, y, from_x});
+      if (from_y >= t) out.push_back({y, x, from_y});
+    }
+    for (u32 tok : xt) inverted[tok].push_back(x);
+  }
+  return out;
+}
+
+std::vector<JoinPair> SemanticSelfJoin(const ColumnVectorStore& store,
+                                       double t, float tau) {
+  DJ_CHECK(t > 0.0 && t <= 1.0);
+  std::vector<JoinPair> out;
+  const size_t n = store.num_columns();
+  const int dim = store.dim();
+  for (u32 x = 0; x < n; ++x) {
+    const float* xv = store.column_vectors(x);
+    const size_t nx = store.column_count(x);
+    for (u32 y = static_cast<u32>(x) + 1; y < n; ++y) {
+      const float* yv = store.column_vectors(y);
+      const size_t ny = store.column_count(y);
+      const double from_x = SemanticJoinability(xv, nx, yv, ny, dim, tau);
+      if (from_x >= t) out.push_back({x, y, from_x});
+      const double from_y = SemanticJoinability(yv, ny, xv, nx, dim, tau);
+      if (from_y >= t) out.push_back({y, x, from_y});
+    }
+  }
+  return out;
+}
+
+}  // namespace join
+}  // namespace deepjoin

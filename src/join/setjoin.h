@@ -1,0 +1,37 @@
+// Set-similarity self-join for training-data preparation (paper §4.1):
+// find all directed column pairs (X, Y) with jn(X, Y) >= t. Candidate
+// generation runs over an inverted index probed rarest-token-first with a
+// size-aware admission bound (prefix-filter flavoured, exact); semantic
+// positives come from a brute-force pass with early-exit distance checks
+// (the sample the self-join runs on is small by design — the paper uses a
+// 30K-column sample of the corpus).
+#ifndef DEEPJOIN_JOIN_SETJOIN_H_
+#define DEEPJOIN_JOIN_SETJOIN_H_
+
+#include <vector>
+
+#include "join/joinability.h"
+
+namespace deepjoin {
+namespace join {
+
+/// A directed positive example: jn(x -> y) = jn.
+struct JoinPair {
+  u32 x;
+  u32 y;
+  double jn;
+};
+
+/// All ordered pairs (X, Y), X != Y, with equi jn(X, Y) >= t. Exact.
+std::vector<JoinPair> EquiSelfJoin(const std::vector<TokenSet>& columns,
+                                   double t);
+
+/// All ordered pairs with semantic jn(X, Y) >= t under threshold tau.
+/// `store` holds the cell vectors of the training sample.
+std::vector<JoinPair> SemanticSelfJoin(const ColumnVectorStore& store,
+                                       double t, float tau);
+
+}  // namespace join
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_JOIN_SETJOIN_H_

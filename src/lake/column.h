@@ -1,0 +1,83 @@
+// Column and repository model. A data lake's tables are reduced to a
+// repository of extracted columns (paper §2.1): each column keeps its cell
+// values (distinct, in original order), the metadata the column-to-text
+// transforms consume, and the latent generator annotations used by the
+// expert-label oracle (never by any search method).
+#ifndef DEEPJOIN_LAKE_COLUMN_H_
+#define DEEPJOIN_LAKE_COLUMN_H_
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace deepjoin {
+namespace lake {
+
+constexpr u32 kNoDomain = 0xffffffffu;
+
+struct ColumnMeta {
+  std::string table_title;
+  std::string column_name;
+  std::string context;  ///< accompanying table description
+};
+
+struct Column {
+  u32 id = 0;
+  ColumnMeta meta;
+  /// Distinct cell values in their original order (columns are modeled as
+  /// sets for equi-joins, Definition 2.1).
+  std::vector<std::string> cells;
+
+  // --- latent generator annotations (oracle-only; see eval/oracle.h) ---
+  u32 domain_id = kNoDomain;
+  /// Latent entity id of each cell, aligned with `cells`.
+  std::vector<u32> entity_ids;
+
+  size_t size() const { return cells.size(); }
+};
+
+/// The searchable repository X of target columns.
+class Repository {
+ public:
+  /// Adds a column, assigning its id. Returns the id.
+  u32 Add(Column column) {
+    column.id = static_cast<u32>(columns_.size());
+    columns_.push_back(std::move(column));
+    return columns_.back().id;
+  }
+
+  const Column& column(u32 id) const { return columns_[id]; }
+  Column& mutable_column(u32 id) { return columns_[id]; }
+  size_t size() const { return columns_.size(); }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  struct Stats {
+    size_t num_columns = 0;
+    size_t max_size = 0;
+    size_t min_size = 0;
+    double avg_size = 0.0;
+  };
+  Stats ComputeStats() const {
+    Stats s;
+    s.num_columns = columns_.size();
+    if (columns_.empty()) return s;
+    s.min_size = columns_[0].size();
+    double total = 0.0;
+    for (const auto& c : columns_) {
+      s.max_size = std::max(s.max_size, c.size());
+      s.min_size = std::min(s.min_size, c.size());
+      total += static_cast<double>(c.size());
+    }
+    s.avg_size = total / static_cast<double>(columns_.size());
+    return s;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace lake
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_LAKE_COLUMN_H_

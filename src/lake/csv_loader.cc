@@ -1,0 +1,163 @@
+#include "lake/csv_loader.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace deepjoin {
+namespace lake {
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');  // escaped quote
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // swallow CR from CRLF endings
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+namespace {
+
+std::string TitleFromPath(const std::filesystem::path& path) {
+  std::string stem = path.stem().string();
+  for (auto& c : stem) {
+    if (c == '_' || c == '-') c = ' ';
+  }
+  return stem;
+}
+
+std::string ReadSidecarContext(const std::filesystem::path& csv_path) {
+  std::filesystem::path ctx = csv_path;
+  ctx.replace_extension(".context");
+  std::ifstream in(ctx);
+  if (!in) return "";
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return std::string(StripWhitespace(text));
+}
+
+}  // namespace
+
+Result<Table> LoadCsvTable(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  Table table;
+  const std::filesystem::path fs_path(path);
+  table.title = TitleFromPath(fs_path);
+  table.context = ReadSidecarContext(fs_path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(path + ": empty file");
+  }
+  const auto header = ParseCsvLine(line);
+  if (header.empty()) {
+    return Status::InvalidArgument(path + ": empty header");
+  }
+  table.columns.resize(header.size());
+  for (size_t c = 0; c < header.size(); ++c) {
+    table.columns[c].name = std::string(StripWhitespace(header[c]));
+  }
+
+  while (std::getline(in, line)) {
+    if (StripWhitespace(line).empty()) continue;
+    auto row = ParseCsvLine(line);
+    row.resize(header.size());  // pad / truncate ragged rows
+    for (size_t c = 0; c < header.size(); ++c) {
+      table.columns[c].cells.push_back(
+          std::string(StripWhitespace(row[c])));
+    }
+  }
+  return table;
+}
+
+std::vector<Column> ExtractColumns(const Table& table,
+                                   const CsvLoadOptions& options) {
+  std::vector<Column> out;
+  if (options.policy == ExtractionPolicy::kAllColumns) {
+    for (const auto& nc : table.columns) {
+      Column col;
+      col.meta.table_title = table.title;
+      col.meta.column_name = nc.name;
+      col.meta.context = table.context;
+      col.cells = nc.cells;
+      // Drop empty cells before dedup (missing values never join).
+      col.cells.erase(std::remove(col.cells.begin(), col.cells.end(), ""),
+                      col.cells.end());
+      DeduplicateCells(&col.cells, nullptr);
+      if (col.size() >= options.min_cells) out.push_back(std::move(col));
+    }
+    return out;
+  }
+  Column col;
+  const bool ok = options.policy == ExtractionPolicy::kKeyColumn
+                      ? ExtractKeyColumn(table, options.min_cells, &col)
+                      : ExtractMaxDistinctColumn(table, options.min_cells,
+                                                 &col);
+  if (ok) {
+    col.cells.erase(std::remove(col.cells.begin(), col.cells.end(), ""),
+                    col.cells.end());
+    if (col.size() >= options.min_cells) out.push_back(std::move(col));
+  }
+  return out;
+}
+
+Result<Repository> LoadCsvDirectory(const std::string& directory,
+                                    const CsvLoadOptions& options,
+                                    std::vector<std::string>* skipped) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return Status::NotFound(directory + " is not a directory");
+  }
+  // Deterministic order: sort paths.
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Repository repo;
+  for (const auto& path : files) {
+    auto table = LoadCsvTable(path.string());
+    if (!table.ok()) {
+      if (skipped != nullptr) skipped->push_back(path.string());
+      continue;
+    }
+    for (auto& col : ExtractColumns(*table, options)) {
+      repo.Add(std::move(col));
+    }
+  }
+  return repo;
+}
+
+}  // namespace lake
+}  // namespace deepjoin

@@ -1,0 +1,50 @@
+// CSV ingestion: build a column repository from real tables on disk, the
+// path a downstream user takes instead of the synthetic generator. One CSV
+// file = one table; the first row is the header (column names); the file
+// name (minus extension, underscores to spaces) is the table title. A
+// sidecar "<name>.context" file, when present, supplies the table context
+// used by the *-context transforms.
+#ifndef DEEPJOIN_LAKE_CSV_LOADER_H_
+#define DEEPJOIN_LAKE_CSV_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "lake/column.h"
+#include "lake/table.h"
+#include "util/status.h"
+
+namespace deepjoin {
+namespace lake {
+
+/// RFC-4180-flavoured CSV parsing: quoted fields, embedded commas,
+/// doubled quotes, CR/LF line endings. Exposed for tests.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Reads one CSV file into a Table. Ragged rows are padded with empty
+/// cells; empty cells are dropped later by extraction's dedup+min-size.
+Result<Table> LoadCsvTable(const std::string& path);
+
+enum class ExtractionPolicy { kKeyColumn, kMaxDistinct, kAllColumns };
+
+struct CsvLoadOptions {
+  ExtractionPolicy policy = ExtractionPolicy::kMaxDistinct;
+  size_t min_cells = 5;  ///< paper §5.1: drop columns shorter than 5
+};
+
+/// Loads every `.csv` under `directory` (non-recursive) and extracts
+/// columns into a repository. Files that fail to parse are skipped and
+/// reported in `skipped` when non-null.
+Result<Repository> LoadCsvDirectory(const std::string& directory,
+                                    const CsvLoadOptions& options,
+                                    std::vector<std::string>* skipped = nullptr);
+
+/// Extracts columns from an in-memory table under a policy (kAllColumns
+/// keeps every column that survives the min-size filter).
+std::vector<Column> ExtractColumns(const Table& table,
+                                   const CsvLoadOptions& options);
+
+}  // namespace lake
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_LAKE_CSV_LOADER_H_

@@ -1,0 +1,206 @@
+#include "lake/domain.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/hash.h"
+
+namespace deepjoin {
+namespace lake {
+
+namespace {
+
+constexpr std::array<const char*, 20> kOnsets = {
+    "b", "br", "c", "ch", "d", "f", "g", "gr", "k", "l",
+    "m", "n", "p", "pr", "r", "s", "st", "t", "tr", "v"};
+constexpr std::array<const char*, 10> kVowels = {
+    "a", "e", "i", "o", "u", "ai", "ea", "io", "ou", "ar"};
+constexpr std::array<const char*, 8> kCodas = {"", "n", "l", "s",
+                                               "r", "m", "t", "x"};
+
+}  // namespace
+
+DomainModel::DomainModel(const DomainConfig& config) : config_(config) {
+  DJ_CHECK(config_.num_domains > 0 && config_.entities_per_domain > 0);
+}
+
+std::string DomainModel::Pseudoword(u64 key, int min_syllables,
+                                    int max_syllables) const {
+  u64 h = Mix64(key ^ Mix64(config_.seed));
+  const int span = max_syllables - min_syllables + 1;
+  const int syllables = min_syllables + static_cast<int>(h % span);
+  std::string word;
+  for (int s = 0; s < syllables; ++s) {
+    h = Mix64(h + 0x9e3779b97f4a7c15ULL);
+    word += kOnsets[h % kOnsets.size()];
+    h = Mix64(h + 1);
+    word += kVowels[h % kVowels.size()];
+    if (s + 1 == syllables) {
+      h = Mix64(h + 2);
+      word += kCodas[h % kCodas.size()];
+    }
+  }
+  return word;
+}
+
+std::string DomainModel::DomainThemeWord(u32 d) const {
+  return Pseudoword(HashCombine(0xD0D0, d), 2, 3);
+}
+
+std::string DomainModel::DomainQualifierWord(u32 d) const {
+  return Pseudoword(HashCombine(0xBEEF, d), 2, 2);
+}
+
+std::string DomainModel::SlotWord(u32 d, u32 slot, int k) const {
+  const u64 key = HashCombine(HashCombine(d, slot),
+                              0x50A7ULL + static_cast<u64>(k) * 0x1111ULL);
+  return Pseudoword(key, 2, 3);
+}
+
+bool DomainModel::SlotHasSynonyms(u32 d, u32 slot) const {
+  const u64 h = Mix64(HashCombine(HashCombine(d, slot), 0x5E11ULL) ^
+                      config_.seed);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < config_.synonym_fraction;
+}
+
+u32 DomainModel::PoolSlot(u32 d, u32 e) const {
+  // ~60 shared "pool" words per domain; many entities share a pool word,
+  // giving columns a realistic token-frequency skew.
+  return static_cast<u32>(Mix64(HashCombine(HashCombine(d, e), 0x9001ULL)) %
+                          60);
+}
+
+std::string DomainModel::CanonicalCell(u32 d, u32 e) const {
+  if (IsNumericDomain(d)) {
+    // Stable 5-7 digit code unique per (domain, entity).
+    const u64 h = Mix64(HashCombine(HashCombine(d, e), 0x4242ULL) ^
+                        config_.seed);
+    const u64 base = 10000 + (static_cast<u64>(d) % 90) * 100000;
+    return std::to_string(base + h % 99991 + static_cast<u64>(e));
+  }
+  return SlotWord(d, PoolSlot(d, e), 0) + " " + SlotWord(d, UniqueSlot(e), 0);
+}
+
+std::string DomainModel::ApplyTypo(const std::string& s, Rng& rng) const {
+  if (s.size() < 3) return s + "x";
+  std::string out = s;
+  const size_t pos = 1 + rng.UniformU64(out.size() - 2);
+  switch (rng.UniformU64(4)) {
+    case 0:  // transpose adjacent
+      std::swap(out[pos], out[pos - 1]);
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // duplicate
+      out.insert(pos, 1, out[pos]);
+      break;
+    default: {  // replace with a nearby letter
+      char c = out[pos];
+      if (c >= 'a' && c < 'z') {
+        ++c;
+      } else if (c > '0' && c <= '9') {
+        --c;
+      } else {
+        c = 'e';
+      }
+      out[pos] = c;
+      break;
+    }
+  }
+  return out;
+}
+
+std::string DomainModel::ApplyFormat(const std::string& s, Rng& rng) const {
+  std::string out = s;
+  switch (rng.UniformU64(4)) {
+    case 0:  // UPPERCASE
+      for (auto& c : out) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      break;
+    case 1:  // Capitalize Words
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (i == 0 || out[i - 1] == ' ') {
+          out[i] =
+              static_cast<char>(std::toupper(static_cast<unsigned char>(out[i])));
+        }
+      }
+      break;
+    case 2:  // hyphenate
+      for (auto& c : out) {
+        if (c == ' ') c = '-';
+      }
+      break;
+    default: {  // "last, first" reorder (or suffix when single-word)
+      const auto sp = out.find(' ');
+      if (sp != std::string::npos) {
+        out = out.substr(sp + 1) + ", " + out.substr(0, sp);
+      } else {
+        out += " co";
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::string DomainModel::RenderCell(u32 d, u32 e, VariantKind kind,
+                                    Rng& rng) const {
+  // The caller's rng only picks WHICH of an entity's (few) recurring
+  // variants to use; the variant's spelling itself is deterministic per
+  // (domain, entity, kind, slot). Real lakes behave this way: the same
+  // misspelling or format of a value recurs across many tables, so
+  // variants can still equi-match each other.
+  const u64 slot = rng.UniformU64(2);
+  Rng det(Mix64(HashCombine(
+      HashCombine(HashCombine(d, e), static_cast<u64>(kind) * 0x51D7ULL),
+      slot ^ config_.seed)));
+  switch (kind) {
+    case VariantKind::kCanonical:
+      return CanonicalCell(d, e);
+    case VariantKind::kTypo:
+      return ApplyTypo(CanonicalCell(d, e), det);
+    case VariantKind::kFormat:
+      return ApplyFormat(CanonicalCell(d, e), det);
+    case VariantKind::kAbbrev: {
+      if (IsNumericDomain(d)) return ApplyTypo(CanonicalCell(d, e), det);
+      const std::string canonical = CanonicalCell(d, e);
+      const auto sp = canonical.find(' ');
+      if (sp == std::string::npos || sp == 0) {
+        return ApplyTypo(canonical, det);
+      }
+      // Abbreviate the leading (pool) word; the unique word remains.
+      return canonical.substr(0, 1) + ". " + canonical.substr(sp + 1);
+    }
+    case VariantKind::kSynonym: {
+      if (IsNumericDomain(d)) return ApplyTypo(CanonicalCell(d, e), det);
+      const u32 uslot = UniqueSlot(e);
+      if (!SlotHasSynonyms(d, uslot)) {
+        return ApplyTypo(CanonicalCell(d, e), det);
+      }
+      // Swap the unique word for one of its two synonym spellings.
+      const int k = 1 + static_cast<int>(slot);
+      return SlotWord(d, PoolSlot(d, e), 0) + " " + SlotWord(d, uslot, k);
+    }
+  }
+  return CanonicalCell(d, e);
+}
+
+std::vector<std::vector<std::string>> DomainModel::SynonymLexicon() const {
+  std::vector<std::vector<std::string>> groups;
+  for (u32 d = 0; d < static_cast<u32>(config_.num_domains); ++d) {
+    if (IsNumericDomain(d)) continue;
+    for (u32 e = 0; e < static_cast<u32>(config_.entities_per_domain); ++e) {
+      const u32 uslot = UniqueSlot(e);
+      if (!SlotHasSynonyms(d, uslot)) continue;
+      groups.push_back(
+          {SlotWord(d, uslot, 0), SlotWord(d, uslot, 1), SlotWord(d, uslot, 2)});
+    }
+  }
+  return groups;
+}
+
+}  // namespace lake
+}  // namespace deepjoin

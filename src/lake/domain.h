@@ -1,0 +1,88 @@
+// Latent domain model behind the synthetic data lake. Every cell value is
+// the rendering of a latent (domain, entity) pair; semantic joins hinge on
+// the fact that one entity can surface as different strings (synonyms,
+// typos, format variants) across tables — the misspelling/terminology
+// discrepancy the paper motivates semantic joins with ("American Indian &
+// Alaska Native" vs "Mainland Indigenous").
+//
+// Everything is deterministic from the seed: words are procedurally built
+// from syllables, so entity surface forms are stable across runs.
+#ifndef DEEPJOIN_LAKE_DOMAIN_H_
+#define DEEPJOIN_LAKE_DOMAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace lake {
+
+/// kAbbrev abbreviates the shared pool word ("brimel soltar" ->
+/// "b. soltar"): humans recognise the entity, but the cell's subword
+/// vector moves outside typical vector-matching thresholds — the kind of
+/// variant a fixed tau misses (the paper's Table-7 phenomenon).
+enum class VariantKind { kCanonical, kSynonym, kTypo, kFormat, kAbbrev };
+
+struct DomainConfig {
+  int num_domains = 40;
+  int entities_per_domain = 1200;
+  /// Fraction of word slots that carry synonym groups.
+  double synonym_fraction = 0.5;
+  /// Every k-th domain is numeric (codes/years/ids) instead of textual.
+  int numeric_every = 5;
+  u64 seed = 2024;
+};
+
+class DomainModel {
+ public:
+  explicit DomainModel(const DomainConfig& config);
+
+  int num_domains() const { return config_.num_domains; }
+  int entities_per_domain() const { return config_.entities_per_domain; }
+  bool IsNumericDomain(u32 d) const {
+    return config_.numeric_every > 0 &&
+           d % static_cast<u32>(config_.numeric_every) ==
+               static_cast<u32>(config_.numeric_every) - 1;
+  }
+
+  /// Theme word of the domain (used in titles/column names).
+  std::string DomainThemeWord(u32 d) const;
+  /// A secondary theme word (titles combine two).
+  std::string DomainQualifierWord(u32 d) const;
+
+  /// The canonical surface form of an entity (1-2 words, or digits for
+  /// numeric domains). Distinct entities always render distinctly.
+  std::string CanonicalCell(u32 d, u32 e) const;
+
+  /// Renders an entity under a variant. kSynonym falls back to kTypo when
+  /// the entity's unique word has no synonym group (always for numeric
+  /// domains). The rng drives which concrete edit is applied.
+  std::string RenderCell(u32 d, u32 e, VariantKind kind, Rng& rng) const;
+
+  /// Word-level synonym groups, for pre-training the subword embedder
+  /// (stands in for fastText's distributional semantics; DESIGN.md).
+  std::vector<std::vector<std::string>> SynonymLexicon() const;
+
+ private:
+  /// Deterministic pseudoword for a 64-bit slot key.
+  std::string Pseudoword(u64 key, int min_syllables, int max_syllables) const;
+  /// The variant-k spelling of word slot `slot` in domain `d`
+  /// (k = 0 is the canonical spelling).
+  std::string SlotWord(u32 d, u32 slot, int k) const;
+  bool SlotHasSynonyms(u32 d, u32 slot) const;
+  /// Word slots of an entity: shared "pool" word and unique word.
+  u32 PoolSlot(u32 d, u32 e) const;
+  u32 UniqueSlot(u32 e) const { return 1000000u + e; }
+
+  std::string ApplyTypo(const std::string& s, Rng& rng) const;
+  std::string ApplyFormat(const std::string& s, Rng& rng) const;
+
+  DomainConfig config_;
+};
+
+}  // namespace lake
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_LAKE_DOMAIN_H_

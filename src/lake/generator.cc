@@ -1,0 +1,243 @@
+#include "lake/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace deepjoin {
+namespace lake {
+
+LakeConfig LakeConfig::Webtable(u64 seed) {
+  LakeConfig c;
+  c.kind = CorpusKind::kWebtable;
+  c.seed = seed;
+  c.variant_rate = 0.22;
+  c.family_size_mu = 3.1;
+  c.family_size_sigma = 1.0;
+  c.max_cells = 600;
+  return c;
+}
+
+LakeConfig LakeConfig::Wikitable(u64 seed) {
+  LakeConfig c;
+  c.kind = CorpusKind::kWikitable;
+  c.seed = seed;
+  c.variant_rate = 0.12;            // curated data: fewer messy variants
+  c.family_size_mu = 2.9;
+  c.family_size_sigma = 0.85;
+  c.max_cells = 350;
+  c.domain.synonym_fraction = 0.6;  // richer terminology variation
+  return c;
+}
+
+LakeGenerator::LakeGenerator(const LakeConfig& config)
+    : config_(config), domains_([&] {
+        DomainConfig dc = config.domain;
+        dc.seed = HashCombine(config.seed, dc.seed);
+        return dc;
+      }()) {}
+
+std::vector<u32> LakeGenerator::FamilyEntities(u32 domain,
+                                               u32 family) const {
+  Rng rng(HashCombine(HashCombine(config_.seed, domain),
+                      0xFA31ULL + family));
+  const double ln = rng.Normal(config_.family_size_mu,
+                               config_.family_size_sigma);
+  size_t size = static_cast<size_t>(std::lround(std::exp(ln)));
+  size = std::clamp(size, config_.min_cells * 2, config_.max_cells);
+
+  // Zipfian draw over the domain's entities: head entities recur across
+  // families, tail entities are family-specific.
+  const size_t universe =
+      static_cast<size_t>(domains_.entities_per_domain());
+  ZipfSampler zipf(universe, 1.0);
+  std::unordered_set<u32> chosen;
+  std::vector<u32> entities;
+  entities.reserve(size);
+  size_t attempts = 0;
+  while (entities.size() < size && attempts < size * 30) {
+    ++attempts;
+    const u32 e = static_cast<u32>(zipf.Sample(rng));
+    if (chosen.insert(e).second) entities.push_back(e);
+  }
+  return entities;
+}
+
+Table LakeGenerator::MakeTable(u32 domain, u32 family, Rng& rng) const {
+  const bool webtable = config_.kind == CorpusKind::kWebtable;
+  Table table;
+
+  // --- key column: subsample the family, render cells ---
+  std::vector<u32> base = FamilyEntities(domain, family);
+  const double keep =
+      rng.UniformDouble(config_.keep_lo, config_.keep_hi);
+  std::vector<u32> entities;
+  for (u32 e : base) {
+    if (rng.Bernoulli(keep)) entities.push_back(e);
+  }
+  // Stray entities from outside the family dilute the overlap.
+  const size_t strays = static_cast<size_t>(
+      std::lround(static_cast<double>(entities.size()) * config_.stray_rate));
+  std::unordered_set<u32> seen(entities.begin(), entities.end());
+  const size_t universe =
+      static_cast<size_t>(domains_.entities_per_domain());
+  for (size_t s = 0; s < strays; ++s) {
+    const u32 e = static_cast<u32>(rng.UniformU64(universe));
+    if (seen.insert(e).second) entities.push_back(e);
+  }
+  // Cells appear in (approximate) frequency order: head entities first.
+  // This is the "original order follows some distribution" the paper's
+  // shuffle-ablation discusses — shuffling destroys it.
+  std::sort(entities.begin(), entities.end());
+
+  NamedColumn key;
+  key.is_key = true;
+  key.domain_id = domain;
+  const std::string theme = domains_.DomainThemeWord(domain);
+  key.name = theme + (domains_.IsNumericDomain(domain) ? " code" : " name");
+  // Column-level cleanliness: curated tables are fully canonical, messy
+  // ones carry a doubled per-cell variant rate.
+  const double cell_variant_rate =
+      rng.Bernoulli(config_.clean_column_rate)
+          ? 0.0
+          : config_.variant_rate / std::max(0.01, 1.0 - config_.clean_column_rate);
+  for (u32 e : entities) {
+    VariantKind kind = VariantKind::kCanonical;
+    if (rng.Bernoulli(cell_variant_rate)) {
+      const double u = rng.UniformDouble();
+      kind = u < 0.32   ? VariantKind::kSynonym
+             : u < 0.56 ? VariantKind::kTypo
+             : u < 0.78 ? VariantKind::kFormat
+                        : VariantKind::kAbbrev;
+    }
+    key.cells.push_back(domains_.RenderCell(domain, e, kind, rng));
+    key.entity_ids.push_back(e);
+  }
+
+  // --- distractor columns so extraction has work to do ---
+  NamedColumn rank_col;
+  rank_col.name = "rank";
+  for (size_t i = 0; i < key.cells.size(); ++i) {
+    // Low-cardinality buckets: never wins the max-distinct policy.
+    rank_col.cells.push_back(std::to_string(1 + (i % 7)));
+  }
+  NamedColumn attr_col;
+  const u32 attr_domain =
+      (domain + 1) % static_cast<u32>(domains_.num_domains());
+  attr_col.name = domains_.DomainThemeWord(attr_domain) + " ref";
+  attr_col.domain_id = attr_domain;
+  for (size_t i = 0; i < key.cells.size(); ++i) {
+    // Repeats shrink distinct count below the key column's.
+    const u32 e = static_cast<u32>(rng.UniformU64(
+        std::max<size_t>(1, key.cells.size() / 2)));
+    attr_col.cells.push_back(domains_.CanonicalCell(attr_domain, e));
+    attr_col.entity_ids.push_back(e);
+  }
+
+  // --- metadata ---
+  const std::string qualifier = domains_.DomainQualifierWord(domain);
+  if (webtable) {
+    table.title = theme + " " + qualifier + " table " +
+                  std::to_string(family);
+    table.context = "source page about " + theme + " " + qualifier +
+                    " with ads and navigation extras item " +
+                    std::to_string(rng.UniformU64(1000));
+  } else {
+    table.title = "list of " + theme + " " + qualifier;
+    table.context = "wiki article section " + qualifier + " references " +
+                    std::to_string(rng.UniformU64(100));
+  }
+
+  table.columns.push_back(std::move(rank_col));
+  table.columns.push_back(std::move(key));
+  table.columns.push_back(std::move(attr_col));
+  return table;
+}
+
+bool LakeGenerator::DrawColumn(Rng& rng, Column* out) const {
+  const u32 num_domains = static_cast<u32>(domains_.num_domains());
+  // Zipfian domain popularity: a few domains dominate the lake.
+  ZipfSampler domain_zipf(num_domains, config_.domain_zipf_s);
+  const u32 domain = static_cast<u32>(domain_zipf.Sample(rng));
+  const u32 family =
+      static_cast<u32>(rng.UniformU64(config_.families_per_domain));
+  Table table = MakeTable(domain, family, rng);
+  const bool ok =
+      config_.kind == CorpusKind::kWebtable
+          ? ExtractKeyColumn(table, config_.min_cells, out)
+          : ExtractMaxDistinctColumn(table, config_.min_cells, out);
+  if (!ok) return false;
+  if (out->size() > config_.max_cells) {
+    out->cells.resize(config_.max_cells);
+    out->entity_ids.resize(config_.max_cells);
+  }
+  return true;
+}
+
+Repository LakeGenerator::GenerateRepository(size_t num_columns) {
+  Repository repo;
+  Rng rng(HashCombine(config_.seed, 0x4EB0ULL));
+  size_t attempts = 0;
+  while (repo.size() < num_columns && attempts < num_columns * 20) {
+    ++attempts;
+    Column col;
+    if (DrawColumn(rng, &col)) repo.Add(std::move(col));
+  }
+  DJ_CHECK_MSG(repo.size() == num_columns,
+               "generator failed to fill the repository");
+  return repo;
+}
+
+Repository LakeGenerator::GenerateRepositoryInSizeRange(size_t num_columns,
+                                                        size_t lo, size_t hi,
+                                                        u64 salt) {
+  Repository repo;
+  Rng rng(HashCombine(config_.seed, salt));
+  size_t attempts = 0;
+  while (repo.size() < num_columns && attempts < num_columns * 3000) {
+    ++attempts;
+    Column col;
+    if (DrawColumn(rng, &col) && col.size() >= lo && col.size() <= hi) {
+      repo.Add(std::move(col));
+    }
+  }
+  return repo;
+}
+
+std::vector<Column> LakeGenerator::GenerateQueries(size_t n, u64 salt) {
+  std::vector<Column> queries;
+  Rng rng(HashCombine(config_.seed, salt));
+  size_t attempts = 0;
+  while (queries.size() < n && attempts < n * 50) {
+    ++attempts;
+    Column col;
+    if (DrawColumn(rng, &col)) {
+      col.id = static_cast<u32>(queries.size());
+      queries.push_back(std::move(col));
+    }
+  }
+  return queries;
+}
+
+std::vector<Column> LakeGenerator::GenerateQueriesInSizeRange(size_t n,
+                                                              size_t lo,
+                                                              size_t hi,
+                                                              u64 salt) {
+  std::vector<Column> queries;
+  Rng rng(HashCombine(config_.seed, salt));
+  size_t attempts = 0;
+  while (queries.size() < n && attempts < n * 3000) {
+    ++attempts;
+    Column col;
+    if (DrawColumn(rng, &col) && col.size() >= lo && col.size() <= hi) {
+      col.id = static_cast<u32>(queries.size());
+      queries.push_back(std::move(col));
+    }
+  }
+  return queries;
+}
+
+}  // namespace lake
+}  // namespace deepjoin

@@ -1,0 +1,106 @@
+// Synthetic data-lake generator producing the two corpus profiles of §5.1
+// (Webtable / Wikitable) at configurable scale. See DESIGN.md for why this
+// substitutes for the WDC/Wikipedia corpora.
+//
+// Columns are organised in "families": a family is a latent entity set;
+// every column of the family subsamples it (plus a few strays), so
+// same-family columns have high joinability while same-domain,
+// cross-family columns have moderate joinability — the spectrum the top-k
+// experiments need. Queries are drawn from the same families but are
+// fresh draws, never members of the repository (avoiding the data leak the
+// paper guards against).
+#ifndef DEEPJOIN_LAKE_GENERATOR_H_
+#define DEEPJOIN_LAKE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "lake/column.h"
+#include "lake/domain.h"
+#include "lake/table.h"
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace lake {
+
+enum class CorpusKind { kWebtable, kWikitable };
+
+struct LakeConfig {
+  CorpusKind kind = CorpusKind::kWebtable;
+  u64 seed = 1;
+
+  DomainConfig domain;
+
+  int families_per_domain = 5;
+  /// Zipf skew of domain popularity (higher = fewer domains dominate, so
+  /// same-family column collisions — joinable pairs — are common).
+  double domain_zipf_s = 1.0;
+  /// Family base-set size distribution: lognormal(mu, sigma), clamped.
+  double family_size_mu = 3.0;     // median ~ e^3 ≈ 20 cells
+  double family_size_sigma = 0.9;
+  size_t min_cells = 5;    ///< columns shorter than this are dropped (§5.1)
+  size_t max_cells = 500;
+
+  /// Corpus-average per-cell probability of rendering a semantic variant
+  /// instead of the canonical form. Half the columns are "clean" (fully
+  /// canonical, as curated tables are); messy columns use twice this rate.
+  double variant_rate = 0.22;
+  double clean_column_rate = 0.5;
+  /// Fraction of the family base a column keeps: U(keep_lo, keep_hi).
+  double keep_lo = 0.72;
+  double keep_hi = 0.98;
+  /// Stray entities (same domain, outside the family), as fraction of size.
+  double stray_rate = 0.08;
+
+  static LakeConfig Webtable(u64 seed = 1);
+  static LakeConfig Wikitable(u64 seed = 2);
+};
+
+class LakeGenerator {
+ public:
+  explicit LakeGenerator(const LakeConfig& config);
+
+  const LakeConfig& config() const { return config_; }
+  const DomainModel& domains() const { return domains_; }
+
+  /// Generates `num_columns` extracted columns (the repository X). Tables
+  /// are generated with distractor columns and run through the profile's
+  /// extraction policy, exercising the §5.1 pipeline.
+  Repository GenerateRepository(size_t num_columns);
+
+  /// Like GenerateRepository but keeps only columns whose size falls in
+  /// [lo, hi] (the column-size strata of Tables 8 and 15).
+  Repository GenerateRepositoryInSizeRange(size_t num_columns, size_t lo,
+                                           size_t hi, u64 salt = 0x517E);
+
+  /// Generates fresh query columns from the same distribution. Pass a
+  /// distinct `salt` per workload to decorrelate from the repository.
+  std::vector<Column> GenerateQueries(size_t n, u64 salt = 0xABCD);
+
+  /// Queries whose size falls in [lo, hi] (for Tables 8 and 15). Keeps
+  /// drawing until `n` matching queries are found.
+  std::vector<Column> GenerateQueriesInSizeRange(size_t n, size_t lo,
+                                                 size_t hi,
+                                                 u64 salt = 0xDCBA);
+
+  /// The word-level synonym lexicon (to pre-train the subword embedder).
+  std::vector<std::vector<std::string>> SynonymLexicon() const {
+    return domains_.SynonymLexicon();
+  }
+
+ private:
+  /// Latent entity list of family (domain, f), deterministic.
+  std::vector<u32> FamilyEntities(u32 domain, u32 family) const;
+  /// Builds one table whose key column comes from (domain, family).
+  Table MakeTable(u32 domain, u32 family, Rng& rng) const;
+  /// One extracted column; returns false when the draw is unusable.
+  bool DrawColumn(Rng& rng, Column* out) const;
+
+  LakeConfig config_;
+  DomainModel domains_;
+};
+
+}  // namespace lake
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_LAKE_GENERATOR_H_

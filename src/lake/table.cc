@@ -1,0 +1,75 @@
+#include "lake/table.h"
+
+#include <unordered_set>
+
+namespace deepjoin {
+namespace lake {
+
+void DeduplicateCells(std::vector<std::string>* cells,
+                      std::vector<u32>* entity_ids) {
+  std::unordered_set<std::string> seen;
+  size_t w = 0;
+  const bool has_entities =
+      entity_ids != nullptr && entity_ids->size() == cells->size();
+  for (size_t r = 0; r < cells->size(); ++r) {
+    if (seen.insert((*cells)[r]).second) {
+      if (w != r) {
+        (*cells)[w] = std::move((*cells)[r]);
+        if (has_entities) (*entity_ids)[w] = (*entity_ids)[r];
+      }
+      ++w;
+    }
+  }
+  cells->resize(w);
+  if (has_entities) entity_ids->resize(w);
+}
+
+namespace {
+
+Column MakeColumn(const Table& table, const NamedColumn& nc) {
+  Column col;
+  col.meta.table_title = table.title;
+  col.meta.column_name = nc.name;
+  col.meta.context = table.context;
+  col.cells = nc.cells;
+  col.domain_id = nc.domain_id;
+  col.entity_ids = nc.entity_ids;
+  DeduplicateCells(&col.cells, &col.entity_ids);
+  return col;
+}
+
+}  // namespace
+
+bool ExtractKeyColumn(const Table& table, size_t min_cells, Column* out) {
+  for (const auto& nc : table.columns) {
+    if (!nc.is_key) continue;
+    Column col = MakeColumn(table, nc);
+    if (col.size() < min_cells) return false;
+    *out = std::move(col);
+    return true;
+  }
+  return ExtractMaxDistinctColumn(table, min_cells, out);
+}
+
+bool ExtractMaxDistinctColumn(const Table& table, size_t min_cells,
+                              Column* out) {
+  const NamedColumn* best = nullptr;
+  size_t best_distinct = 0;
+  std::vector<Column> candidates;
+  for (const auto& nc : table.columns) {
+    std::unordered_set<std::string> distinct(nc.cells.begin(),
+                                             nc.cells.end());
+    if (distinct.size() > best_distinct) {
+      best_distinct = distinct.size();
+      best = &nc;
+    }
+  }
+  if (best == nullptr) return false;
+  Column col = MakeColumn(table, *best);
+  if (col.size() < min_cells) return false;
+  *out = std::move(col);
+  return true;
+}
+
+}  // namespace lake
+}  // namespace deepjoin

@@ -1,0 +1,47 @@
+// Multi-column tables and the two column-extraction policies of §5.1:
+// Webtable takes the metadata-designated key column; Wikitable takes the
+// column with the most distinct values.
+#ifndef DEEPJOIN_LAKE_TABLE_H_
+#define DEEPJOIN_LAKE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "lake/column.h"
+
+namespace deepjoin {
+namespace lake {
+
+struct NamedColumn {
+  std::string name;
+  std::vector<std::string> cells;  ///< raw cells, duplicates allowed
+  bool is_key = false;             ///< metadata key flag (Webtable corpus)
+  u32 domain_id = kNoDomain;
+  std::vector<u32> entity_ids;
+};
+
+struct Table {
+  std::string title;
+  std::string context;
+  std::vector<NamedColumn> columns;
+};
+
+/// Deduplicates `cells` preserving first-occurrence order, keeping the
+/// entity annotation aligned.
+void DeduplicateCells(std::vector<std::string>* cells,
+                      std::vector<u32>* entity_ids);
+
+/// Extracts the metadata key column (Webtable policy). Falls back to the
+/// max-distinct policy when no key is flagged. Returns false if the table
+/// has no usable column (e.g., all too short after dedup).
+bool ExtractKeyColumn(const Table& table, size_t min_cells, Column* out);
+
+/// Extracts the column with the largest number of distinct values
+/// (Wikitable policy).
+bool ExtractMaxDistinctColumn(const Table& table, size_t min_cells,
+                              Column* out);
+
+}  // namespace lake
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_LAKE_TABLE_H_

@@ -1,0 +1,17 @@
+#include "nn/loss.h"
+
+namespace deepjoin {
+namespace nn {
+
+VarPtr MultipleNegativesRankingLoss(const std::vector<VarPtr>& x_embs,
+                                    const std::vector<VarPtr>& y_embs,
+                                    float scale) {
+  DJ_CHECK(!x_embs.empty() && x_embs.size() == y_embs.size());
+  VarPtr x = RowL2Normalize(ConcatRows(x_embs));
+  VarPtr y = RowL2Normalize(ConcatRows(y_embs));
+  VarPtr scores = Scale(MatMulNT(x, y), scale);  // cosine * scale
+  return SoftmaxCrossEntropyDiagonal(scores);
+}
+
+}  // namespace nn
+}  // namespace deepjoin

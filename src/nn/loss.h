@@ -1,0 +1,24 @@
+// Loss builders on top of the autograd ops.
+#ifndef DEEPJOIN_NN_LOSS_H_
+#define DEEPJOIN_NN_LOSS_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace deepjoin {
+namespace nn {
+
+/// Multiple Negatives Ranking loss (paper §4.2): given per-pair embeddings
+/// x_i, y_i (each [1,d]), every (x_i, y_j), i != j in the batch acts as a
+/// negative. Scores are cosine similarities scaled by `scale` (the
+/// sentence-transformers default of 20 sharpens the softmax), and the loss
+/// is mean_i -log softmax(S(x_i, y_*))_i.
+VarPtr MultipleNegativesRankingLoss(const std::vector<VarPtr>& x_embs,
+                                    const std::vector<VarPtr>& y_embs,
+                                    float scale = 20.0f);
+
+}  // namespace nn
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_NN_LOSS_H_

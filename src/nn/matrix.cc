@@ -1,0 +1,55 @@
+#include "nn/matrix.h"
+
+namespace deepjoin {
+namespace nn {
+
+// i-k-j loop order keeps the inner loop streaming over contiguous rows of B
+// and C, which the compiler auto-vectorizes; adequate for the model sizes
+// this library trains (d_model <= 128).
+void MatMulAccum(const Matrix& a, const Matrix& b, Matrix& c) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  DJ_CHECK(b.rows() == k && c.rows() == m && c.cols() == n);
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulNTAccum(const Matrix& a, const Matrix& b, Matrix& c) {
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  DJ_CHECK(b.cols() == k && c.rows() == m && c.cols() == n);
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      double s = 0.0;
+      for (int p = 0; p < k; ++p) s += static_cast<double>(arow[p]) * brow[p];
+      crow[j] += static_cast<float>(s);
+    }
+  }
+}
+
+void MatMulTNAccum(const Matrix& a, const Matrix& b, Matrix& c) {
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  DJ_CHECK(b.rows() == k && c.rows() == m && c.cols() == n);
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace deepjoin

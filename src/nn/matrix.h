@@ -1,0 +1,71 @@
+// Dense row-major float matrix — the single tensor type of the nn stack.
+// Sequences are [seq_len x d_model]; batched embeddings are [batch x d].
+#ifndef DEEPJOIN_NN_MATRIX_H_
+#define DEEPJOIN_NN_MATRIX_H_
+
+#include <cstring>
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace nn {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0f) {
+    DJ_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  float& at(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  float at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  void Zero() { std::memset(data_.data(), 0, data_.size() * sizeof(float)); }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Gaussian init (BERT-style: N(0, 0.02)).
+  void RandomNormal(Rng& rng, double stddev) {
+    for (auto& x : data_) x = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+
+  /// out += this (shapes must match).
+  void AddTo(Matrix& out) const {
+    DJ_CHECK(rows_ == out.rows_ && cols_ == out.cols_);
+    for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += data_[i];
+  }
+
+ private:
+  int rows_, cols_;
+  std::vector<float> data_;
+};
+
+/// C += A @ B. A is [m,k], B is [k,n], C is [m,n].
+void MatMulAccum(const Matrix& a, const Matrix& b, Matrix& c);
+/// C += A @ B^T. A is [m,k], B is [n,k], C is [m,n].
+void MatMulNTAccum(const Matrix& a, const Matrix& b, Matrix& c);
+/// C += A^T @ B. A is [k,m], B is [k,n], C is [m,n].
+void MatMulTNAccum(const Matrix& a, const Matrix& b, Matrix& c);
+
+}  // namespace nn
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_NN_MATRIX_H_

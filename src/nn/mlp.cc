@@ -1,0 +1,47 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+namespace deepjoin {
+namespace nn {
+
+MlpRegressor::MlpRegressor(const MlpConfig& config) : config_(config) {
+  Rng rng(config_.seed);
+  const double init1 = 1.0 / std::sqrt(static_cast<double>(config_.input_dim));
+  const double init2 =
+      1.0 / std::sqrt(static_cast<double>(config_.hidden_dim));
+  w1_ = params_.Create("w1", config_.input_dim, config_.hidden_dim, rng,
+                       init1);
+  b1_ = params_.CreateConst("b1", 1, config_.hidden_dim, 0.0f);
+  w2_ = params_.Create("w2", config_.hidden_dim, config_.hidden_dim, rng,
+                       init2);
+  b2_ = params_.CreateConst("b2", 1, config_.hidden_dim, 0.0f);
+  w3_ = params_.Create("w3", 3 * config_.hidden_dim, 1, rng, init2);
+  b3_ = params_.CreateConst("b3", 1, 1, 0.0f);
+}
+
+VarPtr MlpRegressor::Tower(const VarPtr& x) {
+  VarPtr h1 = Relu(AddRowVector(MatMul(x, w1_), b1_));
+  return Tanh(AddRowVector(MatMul(h1, w2_), b2_));
+}
+
+VarPtr MlpRegressor::PredictJoinability(const VarPtr& x_cols,
+                                        const VarPtr& y_cols) {
+  VarPtr hx = Tower(x_cols);
+  VarPtr hy = Tower(y_cols);
+  VarPtr joint = ConcatCols({hx, hy, Mul(hx, hy)});
+  return AddRowVector(MatMul(joint, w3_), b3_);
+}
+
+std::vector<float> MlpRegressor::Embed(const std::vector<float>& column_vec) {
+  NoGradGuard guard;
+  DJ_CHECK(static_cast<int>(column_vec.size()) == config_.input_dim);
+  Matrix in(1, config_.input_dim);
+  for (int j = 0; j < config_.input_dim; ++j) in.at(0, j) = column_vec[j];
+  VarPtr out = Tower(MakeVar(std::move(in)));
+  const float* row = out->value().row(0);
+  return std::vector<float>(row, row + config_.hidden_dim);
+}
+
+}  // namespace nn
+}  // namespace deepjoin

@@ -1,0 +1,54 @@
+// 3-layer perceptron baseline (paper §5.1 "MLP"): takes the fastText
+// embeddings of two columns, is trained as a regression onto the
+// joinability score, and the last hidden layer's activations serve as the
+// column embedding for retrieval.
+#ifndef DEEPJOIN_NN_MLP_H_
+#define DEEPJOIN_NN_MLP_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+#include "nn/transformer.h"  // ParamStore
+
+namespace deepjoin {
+namespace nn {
+
+struct MlpConfig {
+  int input_dim = 32;   ///< fastText column-embedding dim
+  int hidden_dim = 64;
+  u64 seed = 99;
+};
+
+class MlpRegressor {
+ public:
+  explicit MlpRegressor(const MlpConfig& config);
+
+  ParamStore& params() { return params_; }
+  int embedding_dim() const { return config_.hidden_dim; }
+
+  /// Shared column tower: input [N, input_dim] -> hidden [N, hidden_dim].
+  /// The tower output is the retrieval embedding.
+  VarPtr Tower(const VarPtr& x);
+
+  /// Joinability prediction for stacked pairs: towers both sides, then the
+  /// third layer reads [h_x ; h_y ; h_x * h_y] -> [N, 1]. The elementwise
+  /// product term couples the towers symmetrically, so the regression
+  /// shapes a space where joinable columns score high under dot/L2 —
+  /// which is what the retrieval stage needs from the tower output.
+  VarPtr PredictJoinability(const VarPtr& x_cols, const VarPtr& y_cols);
+
+  /// Inference: embed one column vector through the tower.
+  std::vector<float> Embed(const std::vector<float>& column_vec);
+
+ private:
+  MlpConfig config_;
+  ParamStore params_;
+  VarPtr w1_, b1_;  // input -> hidden (tower layer 1)
+  VarPtr w2_, b2_;  // hidden -> hidden (tower layer 2)
+  VarPtr w3_, b3_;  // [h_x ; h_y] -> 1 (regression head)
+};
+
+}  // namespace nn
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_NN_MLP_H_

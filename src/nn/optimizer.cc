@@ -1,0 +1,78 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace deepjoin {
+namespace nn {
+
+AdamW::AdamW(std::vector<VarPtr> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value().rows(), p->value().cols());
+    v_.emplace_back(p->value().rows(), p->value().cols());
+  }
+}
+
+double AdamW::GradNorm() const {
+  double s = 0.0;
+  for (const auto& p : params_) {
+    if (!p->has_grad()) continue;
+    const Matrix& g = const_cast<Var&>(*p).grad();
+    for (size_t i = 0; i < g.size(); ++i) {
+      s += static_cast<double>(g.data()[i]) * g.data()[i];
+    }
+  }
+  return std::sqrt(s);
+}
+
+void AdamW::Step(double lr_factor) {
+  ++step_;
+  const double lr = config_.lr * lr_factor;
+  const double bc1 = 1.0 - std::pow(config_.beta1, step_);
+  const double bc2 = 1.0 - std::pow(config_.beta2, step_);
+
+  double clip_scale = 1.0;
+  if (config_.clip_norm > 0.0) {
+    const double norm = GradNorm();
+    if (norm > config_.clip_norm) clip_scale = config_.clip_norm / norm;
+  }
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p->has_grad()) continue;
+    Matrix& value = p->mutable_value();
+    Matrix& grad = p->grad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (size_t j = 0; j < value.size(); ++j) {
+      const double g = static_cast<double>(grad.data()[j]) * clip_scale;
+      const double mj = config_.beta1 * m.data()[j] + (1.0 - config_.beta1) * g;
+      const double vj =
+          config_.beta2 * v.data()[j] + (1.0 - config_.beta2) * g * g;
+      m.data()[j] = static_cast<float>(mj);
+      v.data()[j] = static_cast<float>(vj);
+      const double mhat = mj / bc1;
+      const double vhat = vj / bc2;
+      double update = lr * mhat / (std::sqrt(vhat) + config_.eps);
+      // Decoupled weight decay (AdamW).
+      update += lr * config_.weight_decay * value.data()[j];
+      value.data()[j] = static_cast<float>(value.data()[j] - update);
+    }
+  }
+}
+
+double WarmupLinearFactor(long step, long warmup_steps, long total_steps) {
+  if (total_steps <= 0) return 1.0;
+  if (warmup_steps > 0 && step < warmup_steps) {
+    return static_cast<double>(step + 1) / static_cast<double>(warmup_steps);
+  }
+  if (step >= total_steps) return 0.0;
+  const double remain = static_cast<double>(total_steps - step);
+  const double span = static_cast<double>(total_steps - warmup_steps);
+  return span > 0 ? remain / span : 1.0;
+}
+
+}  // namespace nn
+}  // namespace deepjoin

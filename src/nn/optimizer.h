@@ -1,0 +1,50 @@
+// AdamW optimizer with the warmup + linear-decay learning-rate schedule the
+// paper uses (batch 32, lr 2e-5, warmup steps, weight decay 0.01 — §5.1;
+// our scaled defaults live in core/train.h).
+#ifndef DEEPJOIN_NN_OPTIMIZER_H_
+#define DEEPJOIN_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace deepjoin {
+namespace nn {
+
+struct AdamConfig {
+  double lr = 3e-4;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.01;  ///< decoupled (AdamW)
+  double clip_norm = 1.0;      ///< global gradient-norm clip; <=0 disables
+};
+
+class AdamW {
+ public:
+  AdamW(std::vector<VarPtr> params, const AdamConfig& config);
+
+  /// Applies one update using the accumulated gradients, scaled by
+  /// `lr_factor` (the schedule multiplier). Does not zero gradients.
+  void Step(double lr_factor);
+
+  /// Global L2 norm of all parameter gradients (diagnostic).
+  double GradNorm() const;
+
+  long step_count() const { return step_; }
+
+ private:
+  std::vector<VarPtr> params_;
+  AdamConfig config_;
+  std::vector<Matrix> m_, v_;
+  long step_ = 0;
+};
+
+/// Linear warmup to 1.0 over `warmup_steps`, then linear decay to 0 at
+/// `total_steps` — the schedule sentence-transformers applies by default.
+double WarmupLinearFactor(long step, long warmup_steps, long total_steps);
+
+}  // namespace nn
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_NN_OPTIMIZER_H_

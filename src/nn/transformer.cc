@@ -1,0 +1,152 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+namespace deepjoin {
+namespace nn {
+
+VarPtr ParamStore::Create(const std::string& name, int rows, int cols,
+                          Rng& rng, double stddev) {
+  Matrix m(rows, cols);
+  m.RandomNormal(rng, stddev);
+  auto v = MakeVar(std::move(m), /*requires_grad=*/true);
+  params_.push_back(v);
+  names_.push_back(name);
+  return v;
+}
+
+VarPtr ParamStore::CreateConst(const std::string& name, int rows, int cols,
+                               float value) {
+  Matrix m(rows, cols);
+  m.Fill(value);
+  auto v = MakeVar(std::move(m), /*requires_grad=*/true);
+  params_.push_back(v);
+  names_.push_back(name);
+  return v;
+}
+
+size_t ParamStore::NumScalars() const {
+  size_t n = 0;
+  for (const auto& p : params_) n += p->value().size();
+  return n;
+}
+
+void ParamStore::ZeroGrads() {
+  for (auto& p : params_) p->ZeroGrad();
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config)
+    : config_(config) {
+  DJ_CHECK_MSG(config_.vocab_size > 0, "vocab_size must be set");
+  DJ_CHECK(config_.d_model % config_.num_heads == 0);
+  Rng rng(config_.seed);
+  const double init = 0.02;  // BERT-style N(0, 0.02)
+
+  token_emb_ = params_.Create("token_emb", config_.vocab_size,
+                              config_.d_model, rng, init);
+  if (config_.position_mode == PositionMode::kAbsolute) {
+    pos_emb_ = params_.Create("pos_emb", config_.max_seq_len, config_.d_model,
+                              rng, init);
+  }
+  layers_.resize(config_.num_layers);
+  const int d = config_.d_model;
+  for (int l = 0; l < config_.num_layers; ++l) {
+    auto& layer = layers_[l];
+    const std::string p = "layer" + std::to_string(l) + ".";
+    layer.wq = params_.Create(p + "wq", d, d, rng, init);
+    layer.bq = params_.CreateConst(p + "bq", 1, d, 0.0f);
+    layer.wk = params_.Create(p + "wk", d, d, rng, init);
+    layer.bk = params_.CreateConst(p + "bk", 1, d, 0.0f);
+    layer.wv = params_.Create(p + "wv", d, d, rng, init);
+    layer.bv = params_.CreateConst(p + "bv", 1, d, 0.0f);
+    layer.wo = params_.Create(p + "wo", d, d, rng, init);
+    layer.bo = params_.CreateConst(p + "bo", 1, d, 0.0f);
+    layer.ln1_g = params_.CreateConst(p + "ln1_g", 1, d, 1.0f);
+    layer.ln1_b = params_.CreateConst(p + "ln1_b", 1, d, 0.0f);
+    layer.ff1_w = params_.Create(p + "ff1_w", d, config_.d_ff, rng, init);
+    layer.ff1_b = params_.CreateConst(p + "ff1_b", 1, config_.d_ff, 0.0f);
+    layer.ff2_w = params_.Create(p + "ff2_w", config_.d_ff, d, rng, init);
+    layer.ff2_b = params_.CreateConst(p + "ff2_b", 1, d, 0.0f);
+    layer.ln2_g = params_.CreateConst(p + "ln2_g", 1, d, 1.0f);
+    layer.ln2_b = params_.CreateConst(p + "ln2_b", 1, d, 0.0f);
+    if (config_.position_mode == PositionMode::kRelativeBias) {
+      const int buckets = 2 * config_.rel_radius + 1;
+      layer.rel_bias.reserve(config_.num_heads);
+      for (int h = 0; h < config_.num_heads; ++h) {
+        layer.rel_bias.push_back(params_.Create(
+            p + "rel_bias" + std::to_string(h), 1, buckets, rng, init));
+      }
+    }
+  }
+}
+
+void TransformerEncoder::InitTokenEmbedding(u32 token_id,
+                                            const std::vector<float>& vec) {
+  DJ_CHECK(static_cast<int>(token_id) < token_emb_->rows());
+  Matrix& table = token_emb_->mutable_value();
+  const int d = std::min<int>(config_.d_model, static_cast<int>(vec.size()));
+  float* row = table.row(static_cast<int>(token_id));
+  for (int j = 0; j < d; ++j) row[j] = vec[j];
+}
+
+VarPtr TransformerEncoder::Encode(const std::vector<u32>& ids) {
+  DJ_CHECK(!ids.empty());
+  std::vector<u32> truncated = ids;
+  if (static_cast<int>(truncated.size()) > config_.max_seq_len) {
+    truncated.resize(config_.max_seq_len);
+  }
+  const int L = static_cast<int>(truncated.size());
+  const int d = config_.d_model;
+  const int heads = config_.num_heads;
+  const int dh = d / heads;
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  VarPtr x = EmbeddingGather(token_emb_, truncated);
+  if (config_.position_mode == PositionMode::kAbsolute) {
+    std::vector<u32> pos_ids(truncated.size());
+    for (int i = 0; i < L; ++i) pos_ids[i] = static_cast<u32>(i);
+    x = Add(x, EmbeddingGather(pos_emb_, pos_ids));
+  }
+
+  for (auto& layer : layers_) {
+    // Multi-head self-attention (post-LN residual block, as in
+    // BERT/DistilBERT).
+    VarPtr q = AddRowVector(MatMul(x, layer.wq), layer.bq);
+    VarPtr k = AddRowVector(MatMul(x, layer.wk), layer.bk);
+    VarPtr v = AddRowVector(MatMul(x, layer.wv), layer.bv);
+    std::vector<VarPtr> head_outputs;
+    head_outputs.reserve(heads);
+    for (int h = 0; h < heads; ++h) {
+      VarPtr qh = SliceCols(q, h * dh, dh);
+      VarPtr kh = SliceCols(k, h * dh, dh);
+      VarPtr vh = SliceCols(v, h * dh, dh);
+      VarPtr scores = Scale(MatMulNT(qh, kh), inv_sqrt_dh);
+      if (config_.position_mode == PositionMode::kRelativeBias) {
+        scores = AddRelPosBias(scores, layer.rel_bias[h]);
+      }
+      VarPtr attn = RowSoftmax(scores, nullptr);
+      head_outputs.push_back(MatMul(attn, vh));
+    }
+    VarPtr ctx = ConcatCols(head_outputs);
+    VarPtr attn_out = AddRowVector(MatMul(ctx, layer.wo), layer.bo);
+    x = LayerNormRows(Add(x, attn_out), layer.ln1_g, layer.ln1_b);
+
+    // Feed-forward block.
+    VarPtr h1 = Gelu(AddRowVector(MatMul(x, layer.ff1_w), layer.ff1_b));
+    VarPtr h2 = AddRowVector(MatMul(h1, layer.ff2_w), layer.ff2_b);
+    x = LayerNormRows(Add(x, h2), layer.ln2_g, layer.ln2_b);
+  }
+
+  return MaskedMeanPool(x, L);
+}
+
+std::vector<float> TransformerEncoder::EncodeToVector(
+    const std::vector<u32>& ids) {
+  NoGradGuard guard;
+  VarPtr out = Encode(ids);
+  const float* row = out->value().row(0);
+  return std::vector<float>(row, row + config_.d_model);
+}
+
+}  // namespace nn
+}  // namespace deepjoin

@@ -1,0 +1,34 @@
+// Character n-gram extraction with fastText's boundary convention: a word w
+// becomes "<w>" before n-grams are taken, so prefixes/suffixes are
+// distinguishable from interior substrings.
+#ifndef DEEPJOIN_TEXT_CHAR_NGRAM_H_
+#define DEEPJOIN_TEXT_CHAR_NGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.h"
+#include "util/hash.h"
+
+namespace deepjoin {
+
+/// Appends the char n-grams of `word` for n in [minn, maxn] into `out`,
+/// hashed into [0, buckets). The whole word (with boundaries) is always
+/// included as one additional feature.
+inline void HashedCharNgrams(std::string_view word, int minn, int maxn,
+                             u64 buckets, std::vector<u32>* out) {
+  std::string bounded = "<" + std::string(word) + ">";
+  const int len = static_cast<int>(bounded.size());
+  for (int n = minn; n <= maxn; ++n) {
+    for (int i = 0; i + n <= len; ++i) {
+      std::string_view gram(bounded.data() + i, static_cast<size_t>(n));
+      out->push_back(static_cast<u32>(Fnv1a(gram) % buckets));
+    }
+  }
+  out->push_back(static_cast<u32>(Fnv1a(bounded) % buckets));
+}
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_TEXT_CHAR_NGRAM_H_

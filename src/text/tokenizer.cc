@@ -1,0 +1,46 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace deepjoin {
+
+namespace {
+inline bool IsTokenChar(unsigned char c) { return std::isalnum(c) != 0; }
+}  // namespace
+
+void TokenizeWordsInto(std::string_view text, std::vector<std::string>* out) {
+  std::string cur;
+  for (unsigned char c : text) {
+    if (IsTokenChar(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!cur.empty()) {
+      out->push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out->push_back(std::move(cur));
+}
+
+std::vector<std::string> TokenizeWords(std::string_view text) {
+  std::vector<std::string> out;
+  TokenizeWordsInto(text, &out);
+  return out;
+}
+
+size_t CountWords(std::string_view text) {
+  size_t n = 0;
+  bool in_token = false;
+  for (unsigned char c : text) {
+    if (IsTokenChar(c)) {
+      if (!in_token) {
+        ++n;
+        in_token = true;
+      }
+    } else {
+      in_token = false;
+    }
+  }
+  return n;
+}
+
+}  // namespace deepjoin

@@ -1,0 +1,27 @@
+// Word-level tokenization. All text entering the library (cell values,
+// column names, table titles, contexts) is tokenized the same way:
+// lowercased and split on any non-alphanumeric rune, so "U.S.A." and
+// "usa" produce comparable token streams.
+#ifndef DEEPJOIN_TEXT_TOKENIZER_H_
+#define DEEPJOIN_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepjoin {
+
+/// Splits `text` into lowercase alphanumeric tokens. Digits-only runs are
+/// kept as tokens (numeric cells matter for equi-joins).
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+/// Like TokenizeWords but appends into `out` to avoid re-allocation in the
+/// hot encoding path.
+void TokenizeWordsInto(std::string_view text, std::vector<std::string>* out);
+
+/// Number of word tokens in `text` (no allocation of the token strings).
+size_t CountWords(std::string_view text);
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_TEXT_TOKENIZER_H_

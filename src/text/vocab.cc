@@ -1,0 +1,77 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace deepjoin {
+
+void Vocab::Observe(const std::vector<std::string>& tokens) {
+  DJ_CHECK_MSG(!finalized_, "Observe() after Finalize()");
+  for (const auto& t : tokens) ++counts_[t];
+}
+
+void Vocab::Finalize() {
+  DJ_CHECK_MSG(!finalized_, "Finalize() called twice");
+  std::vector<std::pair<std::string, u64>> entries(counts_.begin(),
+                                                   counts_.end());
+  // Most frequent first; ties broken lexicographically for determinism.
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (entries.size() > max_words_) entries.resize(max_words_);
+  words_.reserve(entries.size());
+  const u32 base = static_cast<u32>(kUnkBase + oov_buckets_);
+  for (auto& [word, cnt] : entries) {
+    word_to_id_[word] = base + static_cast<u32>(words_.size());
+    words_.push_back(word);
+  }
+  counts_.clear();
+  finalized_ = true;
+}
+
+u32 Vocab::Encode(std::string_view token) const {
+  DJ_CHECK_MSG(finalized_, "Encode() before Finalize()");
+  auto it = word_to_id_.find(std::string(token));
+  if (it != word_to_id_.end()) return it->second;
+  if (oov_buckets_ == 0) return kUnkBase;
+  return kUnkBase + static_cast<u32>(Fnv1a(token) % oov_buckets_);
+}
+
+void Vocab::Save(BinaryWriter& writer) const {
+  DJ_CHECK_MSG(finalized_, "Save() before Finalize()");
+  writer.WriteU64(max_words_);
+  writer.WriteU64(oov_buckets_);
+  writer.WriteU64(words_.size());
+  for (const auto& w : words_) writer.WriteString(w);
+}
+
+Vocab Vocab::Load(BinaryReader& reader) {
+  const u64 max_words = reader.ReadU64();
+  const u64 oov_buckets = reader.ReadU64();
+  Vocab vocab(max_words, oov_buckets);
+  const u64 n = reader.ReadU64();
+  const u32 base = vocab.word_base();
+  vocab.words_.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    std::string w = reader.ReadString();
+    vocab.word_to_id_[w] = base + static_cast<u32>(i);
+    vocab.words_.push_back(std::move(w));
+  }
+  vocab.finalized_ = true;
+  return vocab;
+}
+
+std::string Vocab::Decode(u32 id) const {
+  if (id == kPadId) return "[pad]";
+  if (id == kClsId) return "[cls]";
+  if (id == kSepId) return "[sep]";
+  const u32 base = static_cast<u32>(kUnkBase + oov_buckets_);
+  if (id < base) return "[unk#" + std::to_string(id - kUnkBase) + "]";
+  const size_t idx = id - base;
+  if (idx < words_.size()) return words_[idx];
+  return "[invalid]";
+}
+
+}  // namespace deepjoin

@@ -1,0 +1,69 @@
+// Token vocabulary for the PLM substitute. Built from a training corpus,
+// with special tokens and hashed fallback buckets for out-of-vocabulary
+// words (so unseen test columns still map to stable ids).
+#ifndef DEEPJOIN_TEXT_VOCAB_H_
+#define DEEPJOIN_TEXT_VOCAB_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/binary_io.h"
+#include "util/common.h"
+
+namespace deepjoin {
+
+class Vocab {
+ public:
+  // Fixed ids for the special tokens, mirroring BERT-family conventions.
+  static constexpr u32 kPadId = 0;
+  static constexpr u32 kClsId = 1;
+  static constexpr u32 kSepId = 2;
+  static constexpr u32 kUnkBase = 3;  // first OOV hash bucket
+
+  /// `max_words`: cap on learned word entries; most frequent kept.
+  /// `oov_buckets`: hashed buckets shared by all OOV words.
+  Vocab(size_t max_words, size_t oov_buckets)
+      : max_words_(max_words), oov_buckets_(oov_buckets) {}
+
+  /// Counts tokens from one text. Call repeatedly, then Finalize().
+  void Observe(const std::vector<std::string>& tokens);
+
+  /// Freezes the vocabulary: keeps the `max_words` most frequent tokens.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// Token -> id. OOV words hash into [kUnkBase, kUnkBase + oov_buckets).
+  u32 Encode(std::string_view token) const;
+
+  /// Total id space size = specials + oov buckets + learned words.
+  size_t size() const { return kUnkBase + oov_buckets_ + words_.size(); }
+  size_t num_learned_words() const { return words_.size(); }
+
+  /// Id -> token, for debugging. OOV buckets render as "[unk#i]".
+  std::string Decode(u32 id) const;
+
+  /// First id of the learned-word range.
+  u32 word_base() const { return static_cast<u32>(kUnkBase + oov_buckets_); }
+  /// Learned words; word i has id word_base() + i.
+  const std::vector<std::string>& learned_words() const { return words_; }
+
+  /// Serializes a finalized vocabulary.
+  void Save(BinaryWriter& writer) const;
+  /// Reconstructs a finalized vocabulary (id assignment preserved).
+  static Vocab Load(BinaryReader& reader);
+
+ private:
+  size_t max_words_;
+  size_t oov_buckets_;
+  bool finalized_ = false;
+  std::unordered_map<std::string, u64> counts_;
+  std::unordered_map<std::string, u32> word_to_id_;
+  std::vector<std::string> words_;  // learned words, id = base + index
+};
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_TEXT_VOCAB_H_

@@ -1,0 +1,106 @@
+// Minimal binary (de)serialization over files. Fixed little-endian-style
+// layout via raw writes of fixed-width types; used for model and vocab
+// persistence. Not portable across endianness (documented limitation).
+#ifndef DEEPJOIN_UTIL_BINARY_IO_H_
+#define DEEPJOIN_UTIL_BINARY_IO_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/status.h"
+
+namespace deepjoin {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : file_(std::fopen(path.c_str(), "wb")) {}
+  ~BinaryWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  void WriteU32(u32 v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(u64 v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI32(i32 v) { WriteRaw(&v, sizeof(v)); }
+  void WriteFloat(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+  void WriteFloatArray(const float* data, size_t n) {
+    WriteU64(n);
+    WriteRaw(data, n * sizeof(float));
+  }
+
+  Status Close() {
+    if (file_ == nullptr) return Status::IoError("open failed");
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0 || failed_) return Status::IoError("write failed");
+    return Status::OK();
+  }
+
+ private:
+  void WriteRaw(const void* data, size_t n) {
+    if (file_ == nullptr || n == 0) return;
+    if (std::fwrite(data, 1, n, file_) != n) failed_ = true;
+  }
+  std::FILE* file_;
+  bool failed_ = false;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : file_(std::fopen(path.c_str(), "rb")) {}
+  ~BinaryReader() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  u32 ReadU32() { return ReadValue<u32>(); }
+  u64 ReadU64() { return ReadValue<u64>(); }
+  i32 ReadI32() { return ReadValue<i32>(); }
+  float ReadFloat() { return ReadValue<float>(); }
+  double ReadDouble() { return ReadValue<double>(); }
+  std::string ReadString() {
+    const u64 n = ReadU64();
+    std::string s(n, '\0');
+    ReadRaw(s.data(), n);
+    return s;
+  }
+  std::vector<float> ReadFloatArray() {
+    const u64 n = ReadU64();
+    std::vector<float> v(n);
+    ReadRaw(v.data(), n * sizeof(float));
+    return v;
+  }
+
+ private:
+  template <typename T>
+  T ReadValue() {
+    T v{};
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  void ReadRaw(void* data, size_t n) {
+    if (file_ == nullptr || n == 0) return;
+    if (std::fread(data, 1, n, file_) != n) failed_ = true;
+  }
+  std::FILE* file_;
+  bool failed_ = false;
+};
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_BINARY_IO_H_

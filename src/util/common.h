@@ -1,0 +1,44 @@
+// Common primitive aliases and check macros shared across the library.
+#ifndef DEEPJOIN_UTIL_COMMON_H_
+#define DEEPJOIN_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace deepjoin {
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// Aborts the process with a message when `cond` is false. Used for
+/// programming-error invariants (never for recoverable conditions; those
+/// return Status).
+#define DJ_CHECK(cond)                                                       \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DJ_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define DJ_CHECK_MSG(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DJ_CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, (msg));                                  \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_COMMON_H_

@@ -1,0 +1,36 @@
+// Minimal command-line flag parsing for the bench binaries and examples.
+// Supports --name=value and --name value; unknown flags are reported.
+#ifndef DEEPJOIN_UTIL_FLAGS_H_
+#define DEEPJOIN_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace deepjoin {
+
+class Flags {
+ public:
+  /// Parses argv. Returns false (and prints to stderr) on malformed input.
+  bool Parse(int argc, char** argv);
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  i64 GetInt(const std::string& name, i64 default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_FLAGS_H_

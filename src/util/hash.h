@@ -1,0 +1,51 @@
+// Non-cryptographic hashing utilities: 64-bit string hashing (FNV-1a and a
+// seeded xx-style mixer) and hash combining. MinHash and the subword
+// embedder both depend on cheap, well-mixed, *seedable* hashes.
+#ifndef DEEPJOIN_UTIL_HASH_H_
+#define DEEPJOIN_UTIL_HASH_H_
+
+#include <string_view>
+
+#include "util/common.h"
+
+namespace deepjoin {
+
+/// FNV-1a over bytes. Stable across platforms; used for vocabulary ids.
+inline u64 Fnv1a(std::string_view s) {
+  u64 h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Final avalanche from MurmurHash3.
+inline u64 Mix64(u64 h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Seeded string hash: independent hash families indexed by `seed`.
+/// MinHash uses one family per permutation.
+inline u64 SeededHash(std::string_view s, u64 seed) {
+  return Mix64(Fnv1a(s) ^ Mix64(seed ^ 0x9e3779b97f4a7c15ULL));
+}
+
+/// Seeded integer hash, same family structure as SeededHash.
+inline u64 SeededHash(u64 x, u64 seed) {
+  return Mix64(x ^ Mix64(seed ^ 0x9e3779b97f4a7c15ULL));
+}
+
+/// boost-style hash combine.
+inline u64 HashCombine(u64 a, u64 b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_HASH_H_

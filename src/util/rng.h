@@ -1,0 +1,160 @@
+// Deterministic pseudo-random number generation. Every stochastic component
+// in the library (data generation, shuffling augmentation, model init,
+// k-means seeding, HNSW level draws) takes an explicit Rng so that runs are
+// reproducible from a single seed.
+#ifndef DEEPJOIN_UTIL_RNG_H_
+#define DEEPJOIN_UTIL_RNG_H_
+
+#include <cmath>
+#include <vector>
+
+#include "util/common.h"
+
+namespace deepjoin {
+
+/// splitmix64: used to expand a single seed into xoshiro state.
+inline u64 SplitMix64(u64& state) {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Small, fast, statistically strong enough for
+/// simulation workloads; not for cryptography.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 42) {
+    u64 sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+  }
+
+  u64 NextU64() {
+    const u64 result = Rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  u64 UniformU64(u64 n) {
+    DJ_CHECK(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = (~n + 1) % n;  // == 2^64 mod n
+    for (;;) {
+      u64 r = NextU64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 UniformInt(i64 lo, i64 hi) {
+    DJ_CHECK(lo <= hi);
+    return lo + static_cast<i64>(UniformU64(static_cast<u64>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller (no caching; simple and adequate).
+  double Normal() {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Geometric-ish exponential draw; used for HNSW level assignment.
+  double Exponential(double lambda) {
+    double u = UniformDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / lambda;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) without replacement
+  /// (partial Fisher-Yates over an index vector; fine at our scales).
+  std::vector<size_t> SampleIndices(size_t n, size_t k) {
+    if (k > n) k = n;
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + static_cast<size_t>(UniformU64(n - i));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+  /// Forks an independent stream; children are decorrelated from the parent.
+  Rng Fork() { return Rng(NextU64() ^ 0xda3e39cb94b95bdbULL); }
+
+ private:
+  static u64 Rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4];
+};
+
+/// Zipf(s) sampler over ranks [0, n). Precomputes the CDF; O(log n) draws.
+/// Used to give cell values a realistic skewed frequency distribution.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    DJ_CHECK(n > 0);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  size_t Sample(Rng& rng) const {
+    double u = rng.UniformDouble();
+    // Binary search for the first cdf entry >= u.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_RNG_H_

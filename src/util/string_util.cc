@@ -1,0 +1,13 @@
+#include "util/string_util.h"
+
+#include <cstdio>
+
+namespace deepjoin {
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+}  // namespace deepjoin

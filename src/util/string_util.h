@@ -1,0 +1,56 @@
+// Small string helpers used by the tokenizer, CSV io and data generator.
+#ifndef DEEPJOIN_UTIL_STRING_UTIL_H_
+#define DEEPJOIN_UTIL_STRING_UTIL_H_
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepjoin {
+
+inline std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+inline std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+inline std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+inline std::string Join(const std::vector<std::string>& parts,
+                        std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+inline bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// Formats a double with fixed precision; benches use this for table rows.
+std::string FormatDouble(double v, int precision);
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_STRING_UTIL_H_

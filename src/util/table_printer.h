@@ -1,0 +1,28 @@
+// Aligned plain-text table printer. The bench binaries use it to emit rows
+// shaped like the paper's Tables 3-15.
+#ifndef DEEPJOIN_UTIL_TABLE_PRINTER_H_
+#define DEEPJOIN_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace deepjoin {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table to stdout with a title and column alignment.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,55 @@
+// Fixed-size thread pool with a ParallelFor helper. Stands in for the GPU in
+// the paper's "DeepJoin (GPU)" rows: query encoding is embarrassingly
+// parallel across queries, so batching over a pool reproduces the shape of
+// the accelerated path (see DESIGN.md, substitution table).
+#ifndef DEEPJOIN_UTIL_THREAD_POOL_H_
+#define DEEPJOIN_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+
+namespace deepjoin {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n), partitioned into contiguous chunks across
+  /// the pool, and blocks until done. Falls back to inline execution for a
+  /// single-thread pool or tiny n.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_THREAD_POOL_H_

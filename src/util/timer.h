@@ -1,0 +1,47 @@
+// Wall-clock timing for the latency benchmarks.
+#ifndef DEEPJOIN_UTIL_TIMER_H_
+#define DEEPJOIN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace deepjoin {
+
+/// Monotonic stopwatch. Construct (or Reset) to start.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time over repeated scoped sections; used to split query
+/// encoding time from total time as in Tables 13-15.
+class TimeAccumulator {
+ public:
+  void Add(double seconds) {
+    total_ += seconds;
+    ++count_;
+  }
+  double TotalSeconds() const { return total_; }
+  double MeanMillis() const { return count_ ? total_ * 1e3 / count_ : 0.0; }
+  long Count() const { return count_; }
+  void Reset() { total_ = 0.0; count_ = 0; }
+
+ private:
+  double total_ = 0.0;
+  long count_ = 0;
+};
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_TIMER_H_

@@ -1,0 +1,89 @@
+// Bounded top-k accumulator. Keeps the k items with the *largest* score
+// (or smallest, via ScoredMin) using a size-k heap; O(log k) per push.
+// Every search path in the library (JOSIE, LSH Ensemble, PEXESO, ANN
+// indexes, exact joinability scans) funnels through this type so that
+// tie-breaking is consistent everywhere: higher score first, then lower id.
+#ifndef DEEPJOIN_UTIL_TOP_K_H_
+#define DEEPJOIN_UTIL_TOP_K_H_
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/common.h"
+
+namespace deepjoin {
+
+/// A (score, id) pair. For distance-flavoured users, negate the distance or
+/// use TopK<...>::WorstScore() accessors to implement pruning bounds.
+struct Scored {
+  double score;
+  u32 id;
+
+  /// Ordering for a *max* result list: greater score wins; ties broken by
+  /// smaller id so results are deterministic across methods.
+  friend bool operator<(const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.id > b.id;
+  }
+  friend bool operator==(const Scored& a, const Scored& b) {
+    return a.score == b.score && a.id == b.id;
+  }
+};
+
+/// Keeps the k largest Scored entries.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) { DJ_CHECK(k > 0); }
+
+  /// Offers an item; returns true if it entered the current top-k.
+  bool Push(double score, u32 id) {
+    Scored s{score, id};
+    if (heap_.size() < k_) {
+      heap_.push(s);
+      return true;
+    }
+    if (heap_.top() < s) {
+      heap_.pop();
+      heap_.push(s);
+      return true;
+    }
+    return false;
+  }
+
+  bool Full() const { return heap_.size() >= k_; }
+  size_t Size() const { return heap_.size(); }
+  size_t k() const { return k_; }
+
+  /// Score of the current k-th item (the pruning bound). Only valid when
+  /// Full(); callers typically guard with Full() before pruning.
+  double WorstScore() const {
+    DJ_CHECK(!heap_.empty());
+    return heap_.top().score;
+  }
+
+  /// Extracts results sorted best-first. The accumulator is left empty.
+  std::vector<Scored> Take() {
+    std::vector<Scored> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  // std::priority_queue is a max-heap; with Scored's operator< the *top* is
+  // the smallest element, which is exactly the eviction candidate.
+  struct MinFirst {
+    bool operator()(const Scored& a, const Scored& b) const { return b < a; }
+  };
+  size_t k_;
+  std::priority_queue<Scored, std::vector<Scored>, MinFirst> heap_;
+};
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_TOP_K_H_

@@ -1,0 +1,129 @@
+// Parameterized recall sweeps over the ANN indexes: for every (M,
+// ef_search) / (nlist, nprobe) configuration, recall against the flat
+// ground truth must clear a floor, results must be sorted, and ids valid.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "ann/hnsw.h"
+#include "ann/ivfpq.h"
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace ann {
+namespace {
+
+constexpr int kDim = 12;
+constexpr size_t kN = 1200;
+constexpr size_t kK = 10;
+
+std::vector<float> MakeData(u64 seed) {
+  Rng rng(seed);
+  std::vector<float> data(kN * kDim);
+  for (auto& x : data) x = static_cast<float>(rng.Normal());
+  return data;
+}
+
+double Recall(const std::vector<Neighbor>& approx,
+              const std::vector<Neighbor>& exact) {
+  size_t hits = 0;
+  for (const auto& a : approx) {
+    for (const auto& e : exact) {
+      if (a.id == e.id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return exact.empty() ? 1.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(exact.size());
+}
+
+// ---- HNSW sweep: (M, ef_search, expected recall floor) ----
+
+class HnswParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(HnswParamTest, RecallClearsFloor) {
+  const auto [M, ef, floor] = GetParam();
+  auto data = MakeData(0xA11CE);
+  HnswConfig hc;
+  hc.dim = kDim;
+  hc.M = M;
+  hc.ef_construction = 100;
+  hc.ef_search = ef;
+  HnswIndex hnsw(hc);
+  hnsw.AddBatch(data.data(), kN);
+  FlatIndex flat(kDim);
+  flat.AddBatch(data.data(), kN);
+
+  Rng rng(0xBEE);
+  double recall = 0.0;
+  const int nq = 15;
+  std::vector<float> q(kDim);
+  for (int i = 0; i < nq; ++i) {
+    for (auto& x : q) x = static_cast<float>(rng.Normal());
+    auto approx = hnsw.Search(q.data(), kK);
+    // Sorted + valid ids on every config.
+    for (size_t j = 1; j < approx.size(); ++j) {
+      ASSERT_LE(approx[j - 1].dist, approx[j].dist);
+    }
+    for (const auto& h : approx) ASSERT_LT(h.id, kN);
+    recall += Recall(approx, flat.Search(q.data(), kK));
+  }
+  EXPECT_GE(recall / nq, floor)
+      << "M=" << M << " ef=" << ef;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, HnswParamTest,
+    ::testing::Values(std::make_tuple(8, 32, 0.65),
+                      std::make_tuple(8, 128, 0.85),
+                      std::make_tuple(16, 64, 0.85),
+                      std::make_tuple(16, 200, 0.92),
+                      std::make_tuple(32, 128, 0.92)));
+
+// ---- IVFPQ sweep: (nlist, nprobe, m, recall floor) ----
+
+class IvfPqParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, double>> {};
+
+TEST_P(IvfPqParamTest, RecallClearsFloor) {
+  const auto [nlist, nprobe, m, floor] = GetParam();
+  auto data = MakeData(0xCAFE);
+  IvfPqConfig ic;
+  ic.dim = kDim;
+  ic.nlist = nlist;
+  ic.nprobe = nprobe;
+  ic.m = m;
+  ic.nbits = 6;
+  IvfPqIndex index(ic);
+  index.Train(data.data(), kN);
+  index.AddBatch(data.data(), kN);
+  FlatIndex flat(kDim);
+  flat.AddBatch(data.data(), kN);
+
+  // Self-queries: the indexed vector itself should be recoverable.
+  Rng rng(0xDEED);
+  double recall = 0.0;
+  const int nq = 15;
+  for (int i = 0; i < nq; ++i) {
+    const size_t probe = rng.UniformU64(kN);
+    recall += Recall(index.Search(&data[probe * kDim], kK),
+                     flat.Search(&data[probe * kDim], kK));
+  }
+  EXPECT_GE(recall / nq, floor)
+      << "nlist=" << nlist << " nprobe=" << nprobe << " m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, IvfPqParamTest,
+    ::testing::Values(std::make_tuple(8, 8, 4, 0.45),
+                      std::make_tuple(16, 8, 4, 0.35),
+                      std::make_tuple(16, 16, 6, 0.45),
+                      std::make_tuple(32, 32, 12, 0.55)));
+
+}  // namespace
+}  // namespace ann
+}  // namespace deepjoin

@@ -1,0 +1,74 @@
+#include "ann/vector_index.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace ann {
+namespace {
+
+TEST(FlatIndexTest, FindsNearest) {
+  FlatIndex index(2);
+  const float vecs[] = {0, 0, 1, 1, 5, 5};
+  index.AddBatch(vecs, 3);
+  const float q[] = {0.9f, 0.9f};
+  auto hits = index.Search(q, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(hits[1].id, 0u);
+}
+
+TEST(FlatIndexTest, DistancesAreSquaredL2) {
+  FlatIndex index(2);
+  const float v[] = {3, 4};
+  index.Add(v);
+  const float q[] = {0, 0};
+  auto hits = index.Search(q, 1);
+  EXPECT_FLOAT_EQ(hits[0].dist, 25.0f);
+}
+
+TEST(FlatIndexTest, KLargerThanIndexSize) {
+  FlatIndex index(1);
+  const float v[] = {1.0f};
+  index.Add(v);
+  auto hits = index.Search(v, 10);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(FlatIndexTest, EmptyIndex) {
+  FlatIndex index(3);
+  const float q[] = {0, 0, 0};
+  EXPECT_TRUE(index.Search(q, 5).empty());
+}
+
+TEST(FlatIndexTest, TieBreaksByLowerId) {
+  FlatIndex index(1);
+  const float v[] = {2.0f};
+  index.Add(v);
+  index.Add(v);
+  index.Add(v);
+  const float q[] = {2.0f};
+  auto hits = index.Search(q, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_EQ(hits[1].id, 1u);
+  EXPECT_EQ(hits[2].id, 2u);
+}
+
+TEST(FlatIndexTest, SortedAscendingOnRandomData) {
+  Rng rng(7);
+  FlatIndex index(4);
+  std::vector<float> data(4 * 200);
+  for (auto& x : data) x = static_cast<float>(rng.Normal());
+  index.AddBatch(data.data(), 200);
+  const float q[] = {0, 0, 0, 0};
+  auto hits = index.Search(q, 50);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i - 1].dist, hits[i].dist);
+  }
+}
+
+}  // namespace
+}  // namespace ann
+}  // namespace deepjoin

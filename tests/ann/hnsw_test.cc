@@ -1,0 +1,152 @@
+#include "ann/hnsw.h"
+
+#include <gtest/gtest.h>
+
+#include "ann/vector_index.h"
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace ann {
+namespace {
+
+std::vector<float> RandomVectors(size_t n, int dim, Rng& rng) {
+  std::vector<float> data(n * static_cast<size_t>(dim));
+  for (auto& x : data) x = static_cast<float>(rng.Normal());
+  return data;
+}
+
+double RecallAtK(const std::vector<Neighbor>& approx,
+                 const std::vector<Neighbor>& exact) {
+  size_t hits = 0;
+  for (const auto& a : approx) {
+    for (const auto& e : exact) {
+      if (a.id == e.id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return exact.empty() ? 1.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(exact.size());
+}
+
+TEST(HnswTest, EmptyIndexReturnsNothing) {
+  HnswConfig c;
+  c.dim = 4;
+  HnswIndex index(c);
+  float q[4] = {0, 0, 0, 0};
+  EXPECT_TRUE(index.Search(q, 5).empty());
+}
+
+TEST(HnswTest, SingleElement) {
+  HnswConfig c;
+  c.dim = 2;
+  HnswIndex index(c);
+  float v[2] = {1.0f, 2.0f};
+  index.Add(v);
+  auto hits = index.Search(v, 3);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_FLOAT_EQ(hits[0].dist, 0.0f);
+}
+
+TEST(HnswTest, FindsExactMatchAmongMany) {
+  Rng rng(5);
+  const int dim = 8;
+  HnswConfig c;
+  c.dim = dim;
+  HnswIndex index(c);
+  auto data = RandomVectors(500, dim, rng);
+  index.AddBatch(data.data(), 500);
+  for (u32 probe : {0u, 123u, 499u}) {
+    auto hits = index.Search(&data[probe * dim], 1);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits[0].id, probe);
+  }
+}
+
+TEST(HnswTest, HighRecallVsBruteForce) {
+  Rng rng(7);
+  const int dim = 16;
+  const size_t n = 2000;
+  auto data = RandomVectors(n, dim, rng);
+
+  HnswConfig hc;
+  hc.dim = dim;
+  hc.M = 16;
+  hc.ef_construction = 150;
+  hc.ef_search = 80;
+  HnswIndex hnsw(hc);
+  hnsw.AddBatch(data.data(), n);
+  FlatIndex flat(dim);
+  flat.AddBatch(data.data(), n);
+
+  double recall_sum = 0.0;
+  const int num_queries = 30;
+  for (int q = 0; q < num_queries; ++q) {
+    auto query = RandomVectors(1, dim, rng);
+    recall_sum += RecallAtK(hnsw.Search(query.data(), 10),
+                            flat.Search(query.data(), 10));
+  }
+  EXPECT_GT(recall_sum / num_queries, 0.9);
+}
+
+TEST(HnswTest, EfSearchImprovesRecall) {
+  Rng rng(9);
+  const int dim = 16;
+  const size_t n = 1500;
+  auto data = RandomVectors(n, dim, rng);
+  HnswConfig hc;
+  hc.dim = dim;
+  hc.M = 8;
+  hc.ef_construction = 60;
+  HnswIndex hnsw(hc);
+  hnsw.AddBatch(data.data(), n);
+  FlatIndex flat(dim);
+  flat.AddBatch(data.data(), n);
+
+  auto mean_recall = [&](int ef) {
+    hnsw.set_ef_search(ef);
+    Rng qrng(11);
+    double sum = 0.0;
+    for (int q = 0; q < 20; ++q) {
+      auto query = RandomVectors(1, dim, qrng);
+      sum += RecallAtK(hnsw.Search(query.data(), 10),
+                       flat.Search(query.data(), 10));
+    }
+    return sum / 20;
+  };
+  EXPECT_GE(mean_recall(128) + 1e-9, mean_recall(4));
+}
+
+TEST(HnswTest, ResultsAreSortedByDistance) {
+  Rng rng(13);
+  const int dim = 4;
+  HnswConfig c;
+  c.dim = dim;
+  HnswIndex index(c);
+  auto data = RandomVectors(300, dim, rng);
+  index.AddBatch(data.data(), 300);
+  auto query = RandomVectors(1, dim, rng);
+  auto hits = index.Search(query.data(), 15);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i - 1].dist, hits[i].dist);
+  }
+}
+
+TEST(HnswTest, BuildsMultipleLevels) {
+  Rng rng(17);
+  const int dim = 4;
+  HnswConfig c;
+  c.dim = dim;
+  c.M = 4;  // low M -> taller hierarchy
+  HnswIndex index(c);
+  auto data = RandomVectors(2000, dim, rng);
+  index.AddBatch(data.data(), 2000);
+  EXPECT_GE(index.max_level(), 1) << "hierarchy never formed";
+}
+
+}  // namespace
+}  // namespace ann
+}  // namespace deepjoin

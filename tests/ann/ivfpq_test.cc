@@ -1,0 +1,152 @@
+#include "ann/ivfpq.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace ann {
+namespace {
+
+std::vector<float> ClusteredData(size_t n, int dim, Rng& rng) {
+  // Clustered data is PQ's natural habitat (residuals are small).
+  std::vector<float> centers(8 * static_cast<size_t>(dim));
+  for (auto& x : centers) x = static_cast<float>(rng.Normal(0.0, 3.0));
+  std::vector<float> data(n * static_cast<size_t>(dim));
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.UniformU64(8);
+    for (int d = 0; d < dim; ++d) {
+      data[i * dim + d] = centers[c * dim + d] +
+                          static_cast<float>(rng.Normal(0.0, 0.3));
+    }
+  }
+  return data;
+}
+
+TEST(IvfPqTest, RequiresTraining) {
+  IvfPqConfig c;
+  c.dim = 8;
+  IvfPqIndex index(c);
+  EXPECT_FALSE(index.trained());
+}
+
+TEST(IvfPqTest, RecallOnClusteredData) {
+  Rng rng(11);
+  const int dim = 16;
+  const size_t n = 2000;
+  auto data = ClusteredData(n, dim, rng);
+
+  IvfPqConfig c;
+  c.dim = dim;
+  c.nlist = 16;
+  c.m = 4;
+  c.nbits = 6;
+  c.nprobe = 8;
+  IvfPqIndex index(c);
+  index.Train(data.data(), n);
+  index.AddBatch(data.data(), n);
+
+  FlatIndex flat(dim);
+  flat.AddBatch(data.data(), n);
+
+  double recall = 0.0;
+  const int nq = 20;
+  for (int q = 0; q < nq; ++q) {
+    const size_t probe = rng.UniformU64(n);
+    auto exact = flat.Search(&data[probe * dim], 10);
+    auto approx = index.Search(&data[probe * dim], 10);
+    size_t hits = 0;
+    for (const auto& a : approx) {
+      for (const auto& e : exact) {
+        if (a.id == e.id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    recall += static_cast<double>(hits) / 10.0;
+  }
+  EXPECT_GT(recall / nq, 0.5) << "IVFPQ recall collapsed";
+}
+
+TEST(IvfPqTest, MoreProbesNeverHurtRecallMuch) {
+  Rng rng(13);
+  const int dim = 8;
+  const size_t n = 1000;
+  auto data = ClusteredData(n, dim, rng);
+  IvfPqConfig c;
+  c.dim = dim;
+  c.nlist = 16;
+  c.m = 4;
+  c.nbits = 5;
+  IvfPqIndex index(c);
+  index.Train(data.data(), n);
+  index.AddBatch(data.data(), n);
+  FlatIndex flat(dim);
+  flat.AddBatch(data.data(), n);
+
+  auto mean_recall = [&](int nprobe) {
+    index.set_nprobe(nprobe);
+    Rng qrng(17);
+    double sum = 0.0;
+    for (int q = 0; q < 15; ++q) {
+      const size_t probe = qrng.UniformU64(n);
+      auto exact = flat.Search(&data[probe * dim], 5);
+      auto approx = index.Search(&data[probe * dim], 5);
+      size_t hits = 0;
+      for (const auto& a : approx) {
+        for (const auto& e : exact) {
+          if (a.id == e.id) {
+            ++hits;
+            break;
+          }
+        }
+      }
+      sum += hits / 5.0;
+    }
+    return sum / 15;
+  };
+  EXPECT_GE(mean_recall(16) + 0.05, mean_recall(2));
+}
+
+TEST(IvfPqTest, HnswCoarseQuantizerWorks) {
+  Rng rng(19);
+  const int dim = 8;
+  const size_t n = 800;
+  auto data = ClusteredData(n, dim, rng);
+  IvfPqConfig c;
+  c.dim = dim;
+  c.nlist = 32;
+  c.m = 4;
+  c.nbits = 5;
+  c.nprobe = 8;
+  c.hnsw_coarse = true;  // the Faiss-style composition of §3.3
+  IvfPqIndex index(c);
+  index.Train(data.data(), n);
+  index.AddBatch(data.data(), n);
+  EXPECT_STREQ(index.name(), "ivfpq+hnsw");
+  auto hits = index.Search(data.data(), 5);
+  EXPECT_EQ(hits.size(), 5u);
+}
+
+TEST(IvfPqTest, NlistClampedToTrainingSize) {
+  Rng rng(23);
+  const int dim = 4;
+  std::vector<float> data(10 * dim);
+  for (auto& x : data) x = static_cast<float>(rng.Normal());
+  IvfPqConfig c;
+  c.dim = dim;
+  c.nlist = 64;  // > n
+  c.m = 2;
+  c.nbits = 4;
+  IvfPqIndex index(c);
+  index.Train(data.data(), 10);
+  index.AddBatch(data.data(), 10);
+  EXPECT_EQ(index.size(), 10u);
+  auto hits = index.Search(data.data(), 3);
+  EXPECT_FALSE(hits.empty());
+}
+
+}  // namespace
+}  // namespace ann
+}  // namespace deepjoin

@@ -1,0 +1,71 @@
+#include "ann/kmeans.h"
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace ann {
+namespace {
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  // Two tight blobs around (0,0) and (10,10).
+  Rng rng(1);
+  std::vector<float> data;
+  for (int i = 0; i < 50; ++i) {
+    data.push_back(static_cast<float>(rng.Normal(0.0, 0.1)));
+    data.push_back(static_cast<float>(rng.Normal(0.0, 0.1)));
+  }
+  for (int i = 0; i < 50; ++i) {
+    data.push_back(static_cast<float>(rng.Normal(10.0, 0.1)));
+    data.push_back(static_cast<float>(rng.Normal(10.0, 0.1)));
+  }
+  auto km = KMeans(data.data(), 100, 2, 2, 20, rng);
+  // Points 0..49 share an assignment distinct from points 50..99.
+  const u32 a = km.assignments[0];
+  const u32 b = km.assignments[50];
+  EXPECT_NE(a, b);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(km.assignments[i], a);
+  for (int i = 50; i < 100; ++i) EXPECT_EQ(km.assignments[i], b);
+}
+
+TEST(KMeansTest, CentroidsNearBlobMeans) {
+  Rng rng(2);
+  std::vector<float> data;
+  for (int i = 0; i < 200; ++i) {
+    data.push_back(static_cast<float>(rng.Normal(5.0, 0.2)));
+  }
+  auto km = KMeans(data.data(), 200, 1, 1, 10, rng);
+  EXPECT_NEAR(km.centroids[0], 5.0f, 0.2f);
+}
+
+TEST(KMeansTest, AssignmentsMatchNearestCentroid) {
+  Rng rng(3);
+  std::vector<float> data(300);
+  for (auto& x : data) x = static_cast<float>(rng.Normal());
+  auto km = KMeans(data.data(), 100, 3, 4, 15, rng);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(km.assignments[i], NearestCentroid(km, &data[i * 3]));
+  }
+}
+
+TEST(KMeansTest, HandlesDuplicatePoints) {
+  std::vector<float> data(40, 1.0f);  // 20 identical 2-d points
+  Rng rng(4);
+  auto km = KMeans(data.data(), 20, 2, 3, 5, rng);
+  EXPECT_EQ(km.k, 3);
+  for (u32 a : km.assignments) EXPECT_LT(a, 3u);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Rng rng1(5), rng2(5);
+  std::vector<float> data(200);
+  Rng drng(6);
+  for (auto& x : data) x = static_cast<float>(drng.Normal());
+  auto a = KMeans(data.data(), 100, 2, 4, 10, rng1);
+  auto b = KMeans(data.data(), 100, 2, 4, 10, rng2);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+}  // namespace
+}  // namespace ann
+}  // namespace deepjoin

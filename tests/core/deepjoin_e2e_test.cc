@@ -1,0 +1,135 @@
+// End-to-end pipeline test: generate a lake, fine-tune DeepJoin on a small
+// sample, index a repository, and verify the retrieval quality against the
+// exact solutions — the headline behaviour of the paper at miniature scale.
+#include "core/deepjoin.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "join/joinability.h"
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class DeepJoinE2ETest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen_ = new lake::LakeGenerator(lake::LakeConfig::Webtable(404));
+    repo_ = new lake::Repository(gen_->GenerateRepository(800));
+    FastTextConfig fc;
+    fc.dim = 24;
+    embedder_ = new FastTextEmbedder(fc);
+    embedder_->TrainSynonyms(gen_->SynonymLexicon(), 0.8, 2);
+    sample_ = new std::vector<lake::Column>(gen_->GenerateQueries(200, 0x5A));
+    queries_ = new std::vector<lake::Column>(gen_->GenerateQueries(12, 0xD1));
+
+    DeepJoinConfig cfg;
+    cfg.plm.kind = PlmKind::kMPNetSim;
+    cfg.plm.max_seq_len = 40;
+    cfg.plm.transform.cell_budget = 16;
+    cfg.training.join_type = JoinType::kEqui;
+    cfg.training.max_pairs = 600;
+    cfg.finetune.batch_size = 12;
+    cfg.finetune.max_steps = 60;
+    cfg.finetune.lr = 5e-4;
+    dj_ = DeepJoin::Train(*sample_, *embedder_, cfg).release();
+    dj_->BuildIndex(*repo_);
+  }
+
+  static void TearDownTestSuite() {
+    delete dj_;
+    delete queries_;
+    delete sample_;
+    delete embedder_;
+    delete repo_;
+    delete gen_;
+  }
+
+  static lake::LakeGenerator* gen_;
+  static lake::Repository* repo_;
+  static FastTextEmbedder* embedder_;
+  static std::vector<lake::Column>* sample_;
+  static std::vector<lake::Column>* queries_;
+  static DeepJoin* dj_;
+};
+
+lake::LakeGenerator* DeepJoinE2ETest::gen_ = nullptr;
+lake::Repository* DeepJoinE2ETest::repo_ = nullptr;
+FastTextEmbedder* DeepJoinE2ETest::embedder_ = nullptr;
+std::vector<lake::Column>* DeepJoinE2ETest::sample_ = nullptr;
+std::vector<lake::Column>* DeepJoinE2ETest::queries_ = nullptr;
+DeepJoin* DeepJoinE2ETest::dj_ = nullptr;
+
+TEST_F(DeepJoinE2ETest, TrainingProducedPositivesAndReducedLoss) {
+  EXPECT_GT(dj_->training_data().pairs.size(), 50u);
+  EXPECT_LT(dj_->train_stats().final_loss, dj_->train_stats().first_loss);
+}
+
+TEST_F(DeepJoinE2ETest, SearchReturnsKResultsWithTimings) {
+  auto out = dj_->Search((*queries_)[0], 10);
+  EXPECT_EQ(out.ids.size(), 10u);
+  EXPECT_GT(out.encode_ms, 0.0);
+  EXPECT_GE(out.total_ms, out.encode_ms);
+}
+
+TEST_F(DeepJoinE2ETest, PrecisionBeatsRandomByAWideMargin) {
+  auto tok = join::TokenizedRepository::Build(*repo_);
+  std::vector<double> precisions;
+  for (const auto& q : *queries_) {
+    const auto qt = tok.EncodeQuery(q);
+    auto exact = join::ExactEquiTopK(tok, qt, 10);
+    std::vector<u32> exact_ids;
+    for (const auto& s : exact) exact_ids.push_back(s.id);
+    auto out = dj_->Search(q, 10);
+    precisions.push_back(eval::PrecisionAtK(out.ids, exact_ids));
+  }
+  const double mean_p = eval::Mean(precisions);
+  // Random top-10 of 800 columns has precision 0.0125; the trained model
+  // must be far above that (the paper reports ~0.7 at full scale).
+  EXPECT_GT(mean_p, 0.2) << "DeepJoin barely beats random retrieval";
+}
+
+TEST_F(DeepJoinE2ETest, NdcgIsReasonable) {
+  auto tok = join::TokenizedRepository::Build(*repo_);
+  std::vector<double> ndcgs;
+  for (const auto& q : *queries_) {
+    const auto qt = tok.EncodeQuery(q);
+    auto exact = join::ExactEquiTopK(tok, qt, 10);
+    std::vector<u32> exact_ids;
+    for (const auto& s : exact) exact_ids.push_back(s.id);
+    auto out = dj_->Search(q, 10);
+    auto jn_of = [&](u32 id) {
+      return join::EquiJoinability(qt, tok.columns()[id]);
+    };
+    ndcgs.push_back(eval::NdcgAtK(out.ids, exact_ids, jn_of));
+  }
+  EXPECT_GT(eval::Mean(ndcgs), 0.3);
+}
+
+TEST_F(DeepJoinE2ETest, BatchedSearchMatchesSingleSearch) {
+  ThreadPool pool(2);
+  auto batched = dj_->SearchBatch(*queries_, 10, &pool);
+  ASSERT_EQ(batched.size(), queries_->size());
+  for (size_t i = 0; i < queries_->size(); ++i) {
+    auto single = dj_->Search((*queries_)[i], 10);
+    EXPECT_EQ(batched[i].ids, single.ids) << "query " << i;
+  }
+}
+
+TEST_F(DeepJoinE2ETest, FixedLengthEmbeddingIndependentOfColumnSize) {
+  // Goal (B) of §2.2: the embedding is fixed-length regardless of |Q|.
+  auto small = dj_->encoder().Encode((*queries_)[0]);
+  lake::Column big = (*queries_)[0];
+  for (int i = 0; i < 200; ++i) {
+    big.cells.push_back("extra cell value " + std::to_string(i));
+    big.entity_ids.push_back(lake::kNoDomain);
+  }
+  auto large = dj_->encoder().Encode(big);
+  EXPECT_EQ(small.size(), large.size());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,112 @@
+#include "core/encoders.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class EncodersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(606));
+    sample_ = gen.GenerateQueries(60, 0x11);
+    FastTextConfig fc;
+    fc.dim = 16;
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+  }
+
+  std::vector<lake::Column> sample_;
+  std::unique_ptr<FastTextEmbedder> embedder_;
+};
+
+TEST_F(EncodersTest, PlmEncoderShapesAndDeterminism) {
+  PlmEncoderConfig cfg;
+  cfg.kind = PlmKind::kDistilSim;
+  PlmColumnEncoder enc(cfg, sample_, *embedder_);
+  auto a = enc.Encode(sample_[0]);
+  EXPECT_EQ(static_cast<int>(a.size()), enc.dim());
+  EXPECT_EQ(a, enc.Encode(sample_[0]));
+}
+
+TEST_F(EncodersTest, PlmKindsDiffer) {
+  PlmEncoderConfig c1;
+  c1.kind = PlmKind::kDistilSim;
+  PlmEncoderConfig c2;
+  c2.kind = PlmKind::kMPNetSim;
+  PlmColumnEncoder e1(c1, sample_, *embedder_);
+  PlmColumnEncoder e2(c2, sample_, *embedder_);
+  EXPECT_EQ(e1.dim(), 48);
+  EXPECT_EQ(e2.dim(), 64);
+  EXPECT_EQ(e1.name(), "DeepJoin-DistilSim");
+  EXPECT_EQ(e2.name(), "DeepJoin-MPNetSim");
+}
+
+TEST_F(EncodersTest, ColumnToIdsStartsWithCls) {
+  PlmEncoderConfig cfg;
+  PlmColumnEncoder enc(cfg, sample_, *embedder_);
+  auto ids = enc.ColumnToIds(sample_[0]);
+  ASSERT_FALSE(ids.empty());
+  EXPECT_EQ(ids[0], Vocab::kClsId);
+  EXPECT_GT(ids.size(), 3u);
+}
+
+TEST_F(EncodersTest, FastTextEncoderMatchesEmbedderOutput) {
+  TransformConfig tc;
+  tc.option = TransformOption::kCol;
+  tc.cell_budget = 0;
+  FastTextColumnEncoder enc(embedder_.get(), tc);
+  auto got = enc.Encode(sample_[0]);
+  lake::Column c = sample_[0];
+  auto expected = embedder_->TextVector(TransformColumn(c, tc));
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(EncodersTest, MlpEncoderUsesHiddenDim) {
+  nn::MlpConfig mc;
+  mc.input_dim = embedder_->dim();
+  mc.hidden_dim = 24;
+  auto mlp = std::make_shared<nn::MlpRegressor>(mc);
+  MlpColumnEncoder enc(mlp, embedder_.get(), TransformConfig{});
+  EXPECT_EQ(enc.dim(), 24);
+  EXPECT_EQ(enc.Encode(sample_[0]).size(), 24u);
+  EXPECT_EQ(enc.name(), "MLP");
+}
+
+TEST_F(EncodersTest, TransformOptionChangesEmbedding) {
+  PlmEncoderConfig cfg;
+  PlmColumnEncoder enc(cfg, sample_, *embedder_);
+  auto a = enc.Encode(sample_[0]);
+  TransformConfig tc = enc.transform_config();
+  tc.option = TransformOption::kCol;
+  enc.set_transform_config(tc);
+  auto b = enc.Encode(sample_[0]);
+  double diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST_F(EncodersTest, SimilarColumnsStartCloserThanDissimilar) {
+  // Even before fine-tuning, the subword-initialised embeddings should put
+  // a column nearer to a copy of itself than to an unrelated column.
+  PlmEncoderConfig cfg;
+  PlmColumnEncoder enc(cfg, sample_, *embedder_);
+  lake::Column copy = sample_[0];
+  auto a = enc.Encode(sample_[0]);
+  auto b = enc.Encode(copy);
+  auto c = enc.Encode(sample_[1]);
+  double d_same = 0, d_other = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    d_same += (a[i] - b[i]) * (a[i] - b[i]);
+    d_other += (a[i] - c[i]) * (a[i] - c[i]);
+  }
+  EXPECT_LT(d_same, d_other);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

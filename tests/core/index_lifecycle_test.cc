@@ -1,0 +1,136 @@
+// Index lifecycle: parallel builds, incremental column adds, and HNSW
+// index persistence — the offline/online split of paper §3.3 in practice.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/searcher.h"
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class IndexLifecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(1414));
+    repo_ = gen.GenerateRepository(300);
+    queries_ = gen.GenerateQueries(5);
+    FastTextConfig fc;
+    fc.dim = 16;
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+    encoder_ = std::make_unique<FastTextColumnEncoder>(embedder_.get(),
+                                                       TransformConfig{});
+    path_ = std::string(::testing::TempDir()) + "/index.djx";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  lake::Repository repo_;
+  std::vector<lake::Column> queries_;
+  std::unique_ptr<FastTextEmbedder> embedder_;
+  std::unique_ptr<FastTextColumnEncoder> encoder_;
+  std::string path_;
+};
+
+TEST_F(IndexLifecycleTest, ParallelBuildMatchesSerialBuild) {
+  SearcherConfig sc;
+  EmbeddingSearcher serial(encoder_.get(), sc);
+  serial.BuildIndex(repo_);
+  EmbeddingSearcher parallel(encoder_.get(), sc);
+  ThreadPool pool(3);
+  parallel.BuildIndex(repo_, &pool);
+  ASSERT_EQ(parallel.index_size(), serial.index_size());
+  for (const auto& q : queries_) {
+    EXPECT_EQ(parallel.Search(q, 10).ids, serial.Search(q, 10).ids);
+  }
+}
+
+TEST_F(IndexLifecycleTest, IncrementalAddMatchesBulkBuild) {
+  SearcherConfig sc;
+  EmbeddingSearcher bulk(encoder_.get(), sc);
+  bulk.BuildIndex(repo_);
+  EmbeddingSearcher incremental(encoder_.get(), sc);
+  for (size_t i = 0; i < repo_.size(); ++i) {
+    EXPECT_EQ(incremental.AddColumn(repo_.column(static_cast<u32>(i))),
+              static_cast<u32>(i));
+  }
+  // HNSW construction is order-dependent, so graphs may differ slightly;
+  // the result sets must still agree heavily.
+  size_t agree = 0, total = 0;
+  for (const auto& q : queries_) {
+    auto a = bulk.Search(q, 10).ids;
+    auto b = incremental.Search(q, 10).ids;
+    for (u32 x : a) {
+      for (u32 y : b) {
+        if (x == y) {
+          ++agree;
+          break;
+        }
+      }
+    }
+    total += a.size();
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.85);
+}
+
+TEST_F(IndexLifecycleTest, AddAfterBuildExtendsIndex) {
+  SearcherConfig sc;
+  EmbeddingSearcher searcher(encoder_.get(), sc);
+  searcher.BuildIndex(repo_);
+  const u32 id = searcher.AddColumn(queries_[0]);
+  EXPECT_EQ(id, static_cast<u32>(repo_.size()));
+  // The freshly added column is its own nearest neighbour.
+  auto out = searcher.Search(queries_[0], 1);
+  ASSERT_EQ(out.ids.size(), 1u);
+  EXPECT_EQ(out.ids[0], id);
+}
+
+TEST_F(IndexLifecycleTest, SaveLoadRoundTripPreservesResults) {
+  SearcherConfig sc;
+  EmbeddingSearcher original(encoder_.get(), sc);
+  original.BuildIndex(repo_);
+  ASSERT_TRUE(original.SaveIndex(path_).ok());
+
+  EmbeddingSearcher restored(encoder_.get(), sc);
+  ASSERT_TRUE(restored.LoadIndex(path_).ok());
+  EXPECT_EQ(restored.index_size(), repo_.size());
+  for (const auto& q : queries_) {
+    EXPECT_EQ(restored.Search(q, 10).ids, original.Search(q, 10).ids);
+  }
+}
+
+TEST_F(IndexLifecycleTest, SaveRequiresHnswBackend) {
+  SearcherConfig sc;
+  sc.backend = AnnBackend::kFlat;
+  EmbeddingSearcher searcher(encoder_.get(), sc);
+  searcher.BuildIndex(repo_);
+  EXPECT_EQ(searcher.SaveIndex(path_).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IndexLifecycleTest, LoadRejectsDimensionMismatch) {
+  SearcherConfig sc;
+  EmbeddingSearcher original(encoder_.get(), sc);
+  original.BuildIndex(repo_);
+  ASSERT_TRUE(original.SaveIndex(path_).ok());
+
+  FastTextConfig other_fc;
+  other_fc.dim = 8;  // different embedding dim
+  FastTextEmbedder other_emb(other_fc);
+  FastTextColumnEncoder other_encoder(&other_emb, TransformConfig{});
+  EmbeddingSearcher mismatched(&other_encoder, sc);
+  EXPECT_EQ(mismatched.LoadIndex(path_).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexLifecycleTest, LoadMissingFileIsIoError) {
+  SearcherConfig sc;
+  EmbeddingSearcher searcher(encoder_.get(), sc);
+  EXPECT_EQ(searcher.LoadIndex("/no/such/file").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,109 @@
+#include "core/model_io.h"
+
+#include <cstdio>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(1010));
+    sample_ = gen.GenerateQueries(80, 0x10);
+    FastTextConfig fc;
+    fc.dim = 16;
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+    path_ = std::string(::testing::TempDir()) + "/encoder.djm";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::vector<lake::Column> sample_;
+  std::unique_ptr<FastTextEmbedder> embedder_;
+  std::string path_;
+};
+
+TEST_F(ModelIoTest, RoundTripPreservesEmbeddingsBitExactly) {
+  PlmEncoderConfig cfg;
+  cfg.kind = PlmKind::kMPNetSim;
+  cfg.max_seq_len = 32;
+  PlmColumnEncoder encoder(cfg, sample_, *embedder_);
+
+  // A couple of training steps so the parameters are non-trivial.
+  TrainingDataConfig tdc;
+  tdc.max_pairs = 100;
+  auto data = PrepareTrainingData(sample_, embedder_.get(), tdc);
+  FineTuneConfig ftc;
+  ftc.batch_size = 4;
+  ftc.max_steps = 5;
+  FineTunePlm(encoder, data, ftc);
+
+  ASSERT_TRUE(SaveEncoder(encoder, path_).ok());
+  auto loaded = LoadEncoder(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(encoder.Encode(sample_[i]), (*loaded)->Encode(sample_[i]))
+        << "column " << i;
+  }
+}
+
+TEST_F(ModelIoTest, RoundTripPreservesConfigAndVocab) {
+  PlmEncoderConfig cfg;
+  cfg.kind = PlmKind::kDistilSim;
+  cfg.transform.option = TransformOption::kColnameStatCol;
+  cfg.transform.cell_budget = 13;
+  cfg.max_seq_len = 24;
+  PlmColumnEncoder encoder(cfg, sample_, *embedder_);
+  ASSERT_TRUE(SaveEncoder(encoder, path_).ok());
+  auto loaded = LoadEncoder(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->config().kind, PlmKind::kDistilSim);
+  EXPECT_EQ((*loaded)->config().transform.option,
+            TransformOption::kColnameStatCol);
+  EXPECT_EQ((*loaded)->config().transform.cell_budget, 13);
+  EXPECT_EQ((*loaded)->config().max_seq_len, 24);
+  EXPECT_EQ((*loaded)->vocab().size(), encoder.vocab().size());
+  EXPECT_EQ((*loaded)->vocab().Encode("some-word"),
+            encoder.vocab().Encode("some-word"));
+}
+
+TEST_F(ModelIoTest, MissingFileReportsIoError) {
+  auto loaded = LoadEncoder("/nonexistent/dir/x.djm");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ModelIoTest, GarbageFileRejected) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  std::fputs("this is not a model", f);
+  std::fclose(f);
+  auto loaded = LoadEncoder(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelIoTest, TruncatedFileRejected) {
+  PlmEncoderConfig cfg;
+  cfg.max_seq_len = 24;
+  PlmColumnEncoder encoder(cfg, sample_, *embedder_);
+  ASSERT_TRUE(SaveEncoder(encoder, path_).ok());
+  // Truncate to half.
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path_.c_str(), size / 2), 0);
+  auto loaded = LoadEncoder(path_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

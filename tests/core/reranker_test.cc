@@ -1,0 +1,114 @@
+#include "core/reranker.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class RerankerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(1212));
+    repo_ = gen.GenerateRepository(400);
+    queries_ = gen.GenerateQueries(8);
+    FastTextConfig fc;
+    fc.dim = 16;
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+    encoder_ = std::make_unique<FastTextColumnEncoder>(embedder_.get(),
+                                                       TransformConfig{});
+    SearcherConfig sc;
+    searcher_ = std::make_unique<EmbeddingSearcher>(encoder_.get(), sc);
+    searcher_->BuildIndex(repo_);
+    tok_ = std::make_unique<join::TokenizedRepository>(
+        join::TokenizedRepository::Build(repo_));
+    store_ = std::make_unique<join::ColumnVectorStore>(
+        join::ColumnVectorStore::Build(repo_, *embedder_));
+  }
+
+  lake::Repository repo_;
+  std::vector<lake::Column> queries_;
+  std::unique_ptr<FastTextEmbedder> embedder_;
+  std::unique_ptr<FastTextColumnEncoder> encoder_;
+  std::unique_ptr<EmbeddingSearcher> searcher_;
+  std::unique_ptr<join::TokenizedRepository> tok_;
+  std::unique_ptr<join::ColumnVectorStore> store_;
+};
+
+TEST_F(RerankerTest, ScoresAreExactJoinability) {
+  TwoStageConfig cfg;
+  TwoStageSearcher two_stage(searcher_.get(), tok_.get(), nullptr, nullptr,
+                             cfg);
+  for (const auto& q : queries_) {
+    auto out = two_stage.Search(q, 5);
+    const auto qt = tok_->EncodeQuery(q);
+    for (const auto& s : out.results) {
+      EXPECT_DOUBLE_EQ(s.score,
+                       join::EquiJoinability(qt, tok_->columns()[s.id]));
+    }
+    // Sorted best-first.
+    for (size_t i = 1; i < out.results.size(); ++i) {
+      EXPECT_GE(out.results[i - 1].score, out.results[i].score);
+    }
+  }
+}
+
+TEST_F(RerankerTest, RerankingNeverHurtsPrecision) {
+  TwoStageConfig cfg;
+  cfg.pool_multiplier = 5;
+  TwoStageSearcher two_stage(searcher_.get(), tok_.get(), nullptr, nullptr,
+                             cfg);
+  double p_one = 0.0, p_two = 0.0;
+  const size_t k = 10;
+  for (const auto& q : queries_) {
+    const auto qt = tok_->EncodeQuery(q);
+    auto exact = join::ExactEquiTopK(*tok_, qt, k);
+    std::vector<u32> exact_ids;
+    for (const auto& s : exact) exact_ids.push_back(s.id);
+
+    auto stage1 = searcher_->Search(q, k);
+    p_one += eval::PrecisionAtK(stage1.ids, exact_ids);
+
+    auto out = two_stage.Search(q, k);
+    std::vector<u32> two_ids;
+    for (const auto& s : out.results) two_ids.push_back(s.id);
+    p_two += eval::PrecisionAtK(two_ids, exact_ids);
+  }
+  EXPECT_GE(p_two + 1e-9, p_one)
+      << "re-ranking a superset pool should not lower precision";
+}
+
+TEST_F(RerankerTest, SemanticModeUsesVectorMatching) {
+  TwoStageConfig cfg;
+  cfg.semantic = true;
+  cfg.tau = 0.9f;
+  TwoStageSearcher two_stage(searcher_.get(), nullptr, store_.get(),
+                             embedder_.get(), cfg);
+  auto out = two_stage.Search(queries_[0], 5);
+  ASSERT_FALSE(out.results.empty());
+  const auto qv =
+      join::ColumnVectorStore::EmbedColumn(queries_[0], *embedder_);
+  for (const auto& s : out.results) {
+    EXPECT_DOUBLE_EQ(
+        s.score,
+        join::SemanticJoinability(qv.data(), queries_[0].cells.size(),
+                                  store_->column_vectors(s.id),
+                                  store_->column_count(s.id), store_->dim(),
+                                  0.9f));
+  }
+}
+
+TEST_F(RerankerTest, ReportsTimingSplit) {
+  TwoStageConfig cfg;
+  TwoStageSearcher two_stage(searcher_.get(), tok_.get(), nullptr, nullptr,
+                             cfg);
+  auto out = two_stage.Search(queries_[0], 5);
+  EXPECT_GE(out.total_ms, out.encode_ms);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,121 @@
+// Parameterized sweep over ANN backends behind the searcher: every
+// backend must return valid, deduplicated, k-sized result sets, and the
+// approximate backends must agree with the exact one on most results.
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/searcher.h"
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class SearcherBackendTest : public ::testing::TestWithParam<AnnBackend> {
+ protected:
+  static void SetUpTestSuite() {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(1515));
+    repo_ = new lake::Repository(gen.GenerateRepository(400));
+    queries_ = new std::vector<lake::Column>(gen.GenerateQueries(6));
+    FastTextConfig fc;
+    fc.dim = 16;
+    embedder_ = new FastTextEmbedder(fc);
+    encoder_ = new FastTextColumnEncoder(embedder_, TransformConfig{});
+    SearcherConfig flat_cfg;
+    flat_cfg.backend = AnnBackend::kFlat;
+    exact_ = new EmbeddingSearcher(encoder_, flat_cfg);
+    exact_->BuildIndex(*repo_);
+  }
+  static void TearDownTestSuite() {
+    delete exact_;
+    delete encoder_;
+    delete embedder_;
+    delete queries_;
+    delete repo_;
+  }
+
+  static lake::Repository* repo_;
+  static std::vector<lake::Column>* queries_;
+  static FastTextEmbedder* embedder_;
+  static FastTextColumnEncoder* encoder_;
+  static EmbeddingSearcher* exact_;
+};
+
+lake::Repository* SearcherBackendTest::repo_ = nullptr;
+std::vector<lake::Column>* SearcherBackendTest::queries_ = nullptr;
+FastTextEmbedder* SearcherBackendTest::embedder_ = nullptr;
+FastTextColumnEncoder* SearcherBackendTest::encoder_ = nullptr;
+EmbeddingSearcher* SearcherBackendTest::exact_ = nullptr;
+
+TEST_P(SearcherBackendTest, ValidDedupedKResults) {
+  SearcherConfig cfg;
+  cfg.backend = GetParam();
+  cfg.ivfpq_m = 4;
+  EmbeddingSearcher searcher(encoder_, cfg);
+  searcher.BuildIndex(*repo_);
+  for (const auto& q : *queries_) {
+    auto out = searcher.Search(q, 10);
+    EXPECT_EQ(out.ids.size(), 10u);
+    std::unordered_set<u32> unique(out.ids.begin(), out.ids.end());
+    EXPECT_EQ(unique.size(), out.ids.size()) << "duplicate result ids";
+    for (u32 id : out.ids) EXPECT_LT(id, repo_->size());
+  }
+}
+
+TEST_P(SearcherBackendTest, AgreesWithExactOnMostResults) {
+  SearcherConfig cfg;
+  cfg.backend = GetParam();
+  cfg.ivfpq_m = 4;
+  cfg.ivfpq_nprobe = 16;
+  EmbeddingSearcher searcher(encoder_, cfg);
+  searcher.BuildIndex(*repo_);
+  size_t agree = 0, total = 0;
+  for (const auto& q : *queries_) {
+    auto approx = searcher.Search(q, 10).ids;
+    auto exact = exact_->Search(q, 10).ids;
+    for (u32 a : approx) {
+      for (u32 e : exact) {
+        if (a == e) {
+          ++agree;
+          break;
+        }
+      }
+    }
+    total += exact.size();
+  }
+  const double recall = static_cast<double>(agree) / total;
+  // IVFPQ compresses aggressively; HNSW and flat should be near-perfect.
+  const double floor = GetParam() == AnnBackend::kIvfPq ? 0.4 : 0.9;
+  EXPECT_GE(recall, floor);
+}
+
+TEST_P(SearcherBackendTest, KLargerThanRepositoryClamps) {
+  SearcherConfig cfg;
+  cfg.backend = GetParam();
+  cfg.ivfpq_m = 4;
+  EmbeddingSearcher searcher(encoder_, cfg);
+  lake::Repository tiny;
+  for (size_t i = 0; i < 5; ++i) tiny.Add(repo_->column(static_cast<u32>(i)));
+  searcher.BuildIndex(tiny);
+  auto out = searcher.Search((*queries_)[0], 50);
+  EXPECT_LE(out.ids.size(), 5u);
+  EXPECT_GE(out.ids.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SearcherBackendTest,
+                         ::testing::Values(AnnBackend::kFlat,
+                                           AnnBackend::kHnsw,
+                                           AnnBackend::kIvfPq),
+                         [](const ::testing::TestParamInfo<AnnBackend>& i) {
+                           switch (i.param) {
+                             case AnnBackend::kFlat: return "flat";
+                             case AnnBackend::kHnsw: return "hnsw";
+                             case AnnBackend::kIvfPq: return "ivfpq";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,103 @@
+#include "core/searcher.h"
+
+#include <gtest/gtest.h>
+
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class SearcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(808));
+    repo_ = gen.GenerateRepository(300);
+    queries_ = gen.GenerateQueries(5);
+    FastTextConfig fc;
+    fc.dim = 16;
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+    encoder_ = std::make_unique<FastTextColumnEncoder>(embedder_.get(),
+                                                       TransformConfig{});
+  }
+
+  lake::Repository repo_;
+  std::vector<lake::Column> queries_;
+  std::unique_ptr<FastTextEmbedder> embedder_;
+  std::unique_ptr<FastTextColumnEncoder> encoder_;
+};
+
+TEST_F(SearcherTest, AllBackendsReturnKResults) {
+  for (AnnBackend backend :
+       {AnnBackend::kFlat, AnnBackend::kHnsw, AnnBackend::kIvfPq}) {
+    SearcherConfig cfg;
+    cfg.backend = backend;
+    cfg.ivfpq_m = 4;
+    EmbeddingSearcher searcher(encoder_.get(), cfg);
+    searcher.BuildIndex(repo_);
+    EXPECT_EQ(searcher.index_size(), repo_.size());
+    auto out = searcher.Search(queries_[0], 10);
+    EXPECT_EQ(out.ids.size(), 10u)
+        << "backend " << static_cast<int>(backend);
+  }
+}
+
+TEST_F(SearcherTest, HnswAgreesWithFlatMostOfTheTime) {
+  SearcherConfig flat_cfg;
+  flat_cfg.backend = AnnBackend::kFlat;
+  SearcherConfig hnsw_cfg;
+  hnsw_cfg.backend = AnnBackend::kHnsw;
+  hnsw_cfg.hnsw_ef_search = 96;
+  EmbeddingSearcher flat(encoder_.get(), flat_cfg);
+  EmbeddingSearcher hnsw(encoder_.get(), hnsw_cfg);
+  flat.BuildIndex(repo_);
+  hnsw.BuildIndex(repo_);
+  double recall = 0;
+  for (const auto& q : queries_) {
+    auto ef = flat.Search(q, 10).ids;
+    auto eh = hnsw.Search(q, 10).ids;
+    size_t hits = 0;
+    for (u32 a : eh) {
+      for (u32 b : ef) {
+        if (a == b) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    recall += hits / 10.0;
+  }
+  EXPECT_GT(recall / queries_.size(), 0.85);
+}
+
+TEST_F(SearcherTest, TimingsArePopulated) {
+  SearcherConfig cfg;
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
+  searcher.BuildIndex(repo_);
+  auto out = searcher.Search(queries_[0], 5);
+  EXPECT_GE(out.total_ms, out.encode_ms);
+  EXPECT_GE(out.encode_ms, 0.0);
+}
+
+TEST_F(SearcherTest, BatchAmortisesTimings) {
+  SearcherConfig cfg;
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
+  searcher.BuildIndex(repo_);
+  ThreadPool pool(2);
+  auto outs = searcher.SearchBatch(queries_, 5, &pool);
+  ASSERT_EQ(outs.size(), queries_.size());
+  for (const auto& o : outs) {
+    EXPECT_EQ(o.ids.size(), 5u);
+    EXPECT_GT(o.total_ms, 0.0);
+  }
+}
+
+TEST_F(SearcherTest, SearchBeforeBuildAborts) {
+  SearcherConfig cfg;
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
+  EXPECT_DEATH(searcher.Search(queries_[0], 5), "BuildIndex");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,126 @@
+#include "core/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+double Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-12);
+}
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(303));
+    sample_ = gen.GenerateQueries(150, 0x7EA1);
+    FastTextConfig fc;
+    fc.dim = 24;
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+    embedder_->TrainSynonyms(gen.SynonymLexicon(), 0.8, 2);
+
+    TrainingDataConfig tc;
+    tc.join_type = JoinType::kEqui;
+    tc.shuffle_rate = 0.2;
+    tc.max_pairs = 400;
+    data_ = PrepareTrainingData(sample_, embedder_.get(), tc);
+  }
+
+  PlmEncoderConfig SmallPlm(PlmKind kind) {
+    PlmEncoderConfig pc;
+    pc.kind = kind;
+    pc.max_seq_len = 32;
+    pc.transform.cell_budget = 12;
+    return pc;
+  }
+
+  FineTuneConfig FastConfig() {
+    FineTuneConfig fc;
+    fc.batch_size = 8;
+    fc.max_steps = 25;
+    fc.lr = 6e-4;
+    return fc;
+  }
+
+  std::vector<lake::Column> sample_;
+  std::unique_ptr<FastTextEmbedder> embedder_;
+  TrainingData data_;
+};
+
+TEST_F(TrainerTest, LossDecreases) {
+  ASSERT_FALSE(data_.pairs.empty());
+  PlmColumnEncoder encoder(SmallPlm(PlmKind::kDistilSim), sample_,
+                           *embedder_);
+  auto stats = FineTunePlm(encoder, data_, FastConfig());
+  EXPECT_EQ(stats.steps, 25);
+  EXPECT_LT(stats.final_loss, stats.first_loss)
+      << "fine-tuning failed to reduce the MNR loss";
+}
+
+TEST_F(TrainerTest, TrainingPullsPositivePairsTogether) {
+  PlmColumnEncoder encoder(SmallPlm(PlmKind::kMPNetSim), sample_,
+                           *embedder_);
+  const auto& pair = data_.pairs.front();
+  const double before =
+      Cosine(encoder.Encode(pair.x), encoder.Encode(pair.y));
+  auto cfg = FastConfig();
+  cfg.max_steps = 40;
+  FineTunePlm(encoder, data_, cfg);
+  const double after =
+      Cosine(encoder.Encode(pair.x), encoder.Encode(pair.y));
+  EXPECT_GT(after, before);
+}
+
+TEST_F(TrainerTest, RemovedOverlapNegativesAlsoTrain) {
+  PlmColumnEncoder encoder(SmallPlm(PlmKind::kDistilSim), sample_,
+                           *embedder_);
+  auto cfg = FastConfig();
+  cfg.negatives = NegativeStrategy::kRemovedOverlap;
+  auto stats = FineTunePlm(encoder, data_, cfg);
+  EXPECT_LT(stats.final_loss, stats.first_loss);
+}
+
+TEST_F(TrainerTest, TabertStyleTrains) {
+  PlmColumnEncoder encoder(SmallPlm(PlmKind::kDistilSim), sample_,
+                           *embedder_);
+  auto stats = TrainTabertStyle(encoder, sample_, FastConfig());
+  EXPECT_LT(stats.final_loss, stats.first_loss);
+}
+
+TEST_F(TrainerTest, MlpRegressionTrains) {
+  nn::MlpConfig mc;
+  mc.input_dim = embedder_->dim();
+  mc.hidden_dim = 32;
+  auto mlp = std::make_shared<nn::MlpRegressor>(mc);
+  TransformConfig tc;
+  MlpColumnEncoder encoder(mlp, embedder_.get(), tc);
+  auto cfg = FastConfig();
+  cfg.max_steps = 60;
+  cfg.lr = 2e-3;
+  auto stats = TrainMlp(encoder, sample_, data_, cfg);
+  EXPECT_LT(stats.final_loss, stats.first_loss);
+  EXPECT_EQ(encoder.Encode(sample_[0]).size(), 32u);
+}
+
+TEST_F(TrainerTest, EmptyDataIsANoOp) {
+  PlmColumnEncoder encoder(SmallPlm(PlmKind::kDistilSim), sample_,
+                           *embedder_);
+  TrainingData empty;
+  auto stats = FineTunePlm(encoder, empty, FastConfig());
+  EXPECT_EQ(stats.steps, 0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

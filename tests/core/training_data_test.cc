@@ -1,0 +1,106 @@
+#include "core/training_data.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class TrainingDataTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(707));
+    sample_ = gen.GenerateQueries(120, 0x22);
+    FastTextConfig fc;
+    fc.dim = 16;
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+    embedder_->TrainSynonyms(gen.SynonymLexicon(), 0.8, 2);
+  }
+
+  std::vector<lake::Column> sample_;
+  std::unique_ptr<FastTextEmbedder> embedder_;
+};
+
+TEST_F(TrainingDataTest, EquiPositivesMeetThreshold) {
+  TrainingDataConfig cfg;
+  cfg.join_type = JoinType::kEqui;
+  cfg.positive_threshold = 0.7;
+  cfg.shuffle_rate = 0.0;
+  auto data = PrepareTrainingData(sample_, embedder_.get(), cfg);
+  ASSERT_FALSE(data.pairs.empty());
+  for (const auto& p : data.pairs) {
+    EXPECT_GE(p.jn, 0.7);
+    EXPECT_FALSE(p.shuffled);
+  }
+  EXPECT_EQ(data.num_shuffled, 0u);
+}
+
+TEST_F(TrainingDataTest, ShuffleRateProducesAugmentedCopies) {
+  TrainingDataConfig cfg;
+  cfg.shuffle_rate = 1.0;  // every base pair spawns a shuffled twin
+  auto data = PrepareTrainingData(sample_, embedder_.get(), cfg);
+  EXPECT_EQ(data.pairs.size(), 2 * data.num_base);
+  EXPECT_EQ(data.num_shuffled, data.num_base);
+}
+
+TEST_F(TrainingDataTest, ShuffleRateFractionApproximatelyHolds) {
+  TrainingDataConfig cfg;
+  cfg.shuffle_rate = 0.3;
+  auto data = PrepareTrainingData(sample_, embedder_.get(), cfg);
+  // r/(1+r) of all positives should come from shuffles (paper §4.1).
+  const double frac = static_cast<double>(data.num_shuffled) /
+                      static_cast<double>(data.pairs.size());
+  EXPECT_NEAR(frac, 0.3 / 1.3, 0.12);
+}
+
+TEST_F(TrainingDataTest, ShuffledColumnsKeepCellMultiset) {
+  Rng rng(1);
+  auto shuffled = ShuffleColumn(sample_[0], rng);
+  auto a = sample_[0].cells;
+  auto b = shuffled.cells;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(shuffled.entity_ids.size(), shuffled.cells.size());
+}
+
+TEST_F(TrainingDataTest, MaxPairsCapRespected) {
+  TrainingDataConfig cfg;
+  cfg.max_pairs = 10;
+  cfg.shuffle_rate = 0.0;
+  auto data = PrepareTrainingData(sample_, embedder_.get(), cfg);
+  EXPECT_LE(data.pairs.size(), 10u);
+}
+
+TEST_F(TrainingDataTest, SemanticPositivesIncludeVariantPairs) {
+  TrainingDataConfig cfg;
+  cfg.join_type = JoinType::kSemantic;
+  cfg.tau = 0.9f;
+  cfg.shuffle_rate = 0.0;
+  auto data = PrepareTrainingData(sample_, embedder_.get(), cfg);
+  EXPECT_FALSE(data.pairs.empty());
+  // Paper Table 2: semantic joins yield at least as many positives as
+  // equi (identical strings always vector-match).
+  TrainingDataConfig ecfg = cfg;
+  ecfg.join_type = JoinType::kEqui;
+  auto equi = PrepareTrainingData(sample_, embedder_.get(), ecfg);
+  EXPECT_GE(data.num_base, equi.num_base);
+}
+
+TEST_F(TrainingDataTest, DeterministicForSeed) {
+  TrainingDataConfig cfg;
+  auto d1 = PrepareTrainingData(sample_, embedder_.get(), cfg);
+  auto d2 = PrepareTrainingData(sample_, embedder_.get(), cfg);
+  ASSERT_EQ(d1.pairs.size(), d2.pairs.size());
+  for (size_t i = 0; i < d1.pairs.size(); ++i) {
+    EXPECT_EQ(d1.pairs[i].x.cells, d2.pairs[i].x.cells);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,99 @@
+// Parameterized invariants over all seven column-to-text options
+// (Table 1): every option must be deterministic, respect the cell budget,
+// include the selected cells, and embed the metadata its pattern names.
+#include <gtest/gtest.h>
+
+#include "core/transform.h"
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class TransformPropertyTest
+    : public ::testing::TestWithParam<TransformOption> {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(99));
+    columns_ = gen.GenerateQueries(20, 0x7A);
+  }
+  std::vector<lake::Column> columns_;
+};
+
+TEST_P(TransformPropertyTest, Deterministic) {
+  TransformConfig cfg;
+  cfg.option = GetParam();
+  for (const auto& col : columns_) {
+    EXPECT_EQ(TransformColumn(col, cfg), TransformColumn(col, cfg));
+  }
+}
+
+TEST_P(TransformPropertyTest, ContainsSelectedCells) {
+  TransformConfig cfg;
+  cfg.option = GetParam();
+  cfg.cell_budget = 8;
+  for (const auto& col : columns_) {
+    const std::string text = TransformColumn(col, cfg);
+    for (const auto& cell : SelectCells(col, cfg)) {
+      EXPECT_NE(text.find(cell), std::string::npos)
+          << TransformOptionName(GetParam()) << " lost cell " << cell;
+    }
+  }
+}
+
+TEST_P(TransformPropertyTest, BudgetBoundsSelectedCells) {
+  TransformConfig cfg;
+  cfg.option = GetParam();
+  for (int budget : {1, 4, 16}) {
+    cfg.cell_budget = budget;
+    for (const auto& col : columns_) {
+      EXPECT_LE(SelectCells(col, cfg).size(),
+                static_cast<size_t>(budget));
+    }
+  }
+}
+
+TEST_P(TransformPropertyTest, MetadataAppearsWhenPatternNamesIt) {
+  TransformConfig cfg;
+  cfg.option = GetParam();
+  const auto opt = GetParam();
+  const bool has_title = opt == TransformOption::kTitleColnameCol ||
+                         opt == TransformOption::kTitleColnameColContext ||
+                         opt == TransformOption::kTitleColnameStatCol;
+  const bool has_name = opt != TransformOption::kCol;
+  for (const auto& col : columns_) {
+    const std::string text = TransformColumn(col, cfg);
+    if (has_title) {
+      EXPECT_NE(text.find(col.meta.table_title), std::string::npos);
+    }
+    if (has_name) {
+      EXPECT_NE(text.find(col.meta.column_name), std::string::npos);
+    }
+    if (opt == TransformOption::kCol) {
+      EXPECT_EQ(text.find(col.meta.table_title), std::string::npos);
+    }
+  }
+}
+
+TEST_P(TransformPropertyTest, NonEmptyForNonEmptyColumns) {
+  TransformConfig cfg;
+  cfg.option = GetParam();
+  for (const auto& col : columns_) {
+    EXPECT_FALSE(TransformColumn(col, cfg).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptions, TransformPropertyTest,
+    ::testing::ValuesIn(AllTransformOptions()),
+    [](const ::testing::TestParamInfo<TransformOption>& info) {
+      std::string name = TransformOptionName(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

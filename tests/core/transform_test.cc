@@ -1,0 +1,114 @@
+#include "core/transform.h"
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+lake::Column TestColumn() {
+  lake::Column c;
+  c.meta.table_title = "best lakes";
+  c.meta.column_name = "lake name";
+  c.meta.context = "hydrology survey page";
+  c.cells = {"erie", "huron", "superior deep water"};
+  return c;
+}
+
+TEST(TransformTest, ColPattern) {
+  TransformConfig cfg;
+  cfg.option = TransformOption::kCol;
+  EXPECT_EQ(TransformColumn(TestColumn(), cfg),
+            "erie, huron, superior deep water");
+}
+
+TEST(TransformTest, ColnameColPattern) {
+  TransformConfig cfg;
+  cfg.option = TransformOption::kColnameCol;
+  EXPECT_EQ(TransformColumn(TestColumn(), cfg),
+            "lake name: erie, huron, superior deep water.");
+}
+
+TEST(TransformTest, ContextAppended) {
+  TransformConfig cfg;
+  cfg.option = TransformOption::kColnameColContext;
+  const auto text = TransformColumn(TestColumn(), cfg);
+  EXPECT_NE(text.find("hydrology survey page"), std::string::npos);
+}
+
+TEST(TransformTest, StatPatternIncludesCountsAndWordStats) {
+  TransformConfig cfg;
+  cfg.option = TransformOption::kColnameStatCol;
+  const auto text = TransformColumn(TestColumn(), cfg);
+  // n = 3 values; max words 3 ("superior deep water"), min 1, avg 1.67.
+  EXPECT_NE(text.find("contains 3 values"), std::string::npos);
+  EXPECT_NE(text.find("(3, 1, 1.67)"), std::string::npos);
+}
+
+TEST(TransformTest, TitleVariants) {
+  TransformConfig cfg;
+  cfg.option = TransformOption::kTitleColnameCol;
+  EXPECT_EQ(TransformColumn(TestColumn(), cfg).rfind("best lakes. ", 0), 0u);
+  cfg.option = TransformOption::kTitleColnameStatCol;
+  const auto text = TransformColumn(TestColumn(), cfg);
+  EXPECT_EQ(text.rfind("best lakes. ", 0), 0u);
+  EXPECT_NE(text.find("contains 3 values"), std::string::npos);
+}
+
+TEST(TransformTest, AllOptionsProduceDistinctText) {
+  std::vector<std::string> texts;
+  for (auto opt : AllTransformOptions()) {
+    TransformConfig cfg;
+    cfg.option = opt;
+    texts.push_back(TransformColumn(TestColumn(), cfg));
+  }
+  for (size_t i = 0; i < texts.size(); ++i) {
+    for (size_t j = i + 1; j < texts.size(); ++j) {
+      EXPECT_NE(texts[i], texts[j])
+          << TransformOptionName(AllTransformOptions()[i]) << " vs "
+          << TransformOptionName(AllTransformOptions()[j]);
+    }
+  }
+}
+
+TEST(TransformTest, BudgetTruncatesInOriginalOrderWithoutDict) {
+  lake::Column c = TestColumn();
+  TransformConfig cfg;
+  cfg.cell_budget = 2;
+  auto cells = SelectCells(c, cfg);
+  EXPECT_EQ(cells, (std::vector<std::string>{"erie", "huron"}));
+}
+
+TEST(TransformTest, BudgetPrefersFrequentCellsWithDict) {
+  lake::Column c = TestColumn();
+  join::CellDictionary dict;
+  // "superior deep water" appears in many columns; "erie" in none.
+  const u32 t = dict.GetOrAssign("superior deep water");
+  for (int i = 0; i < 5; ++i) dict.BumpDocFreq(t);
+  const u32 h = dict.GetOrAssign("huron");
+  dict.BumpDocFreq(h);
+  TransformConfig cfg;
+  cfg.cell_budget = 2;
+  cfg.dict = &dict;
+  auto cells = SelectCells(c, cfg);
+  // Keeps the two most frequent, in original order.
+  EXPECT_EQ(cells,
+            (std::vector<std::string>{"huron", "superior deep water"}));
+}
+
+TEST(TransformTest, NoBudgetKeepsEverything) {
+  TransformConfig cfg;
+  cfg.cell_budget = 0;
+  EXPECT_EQ(SelectCells(TestColumn(), cfg).size(), 3u);
+}
+
+TEST(TransformTest, OptionNamesMatchTable1) {
+  EXPECT_STREQ(TransformOptionName(TransformOption::kCol), "col");
+  EXPECT_STREQ(TransformOptionName(TransformOption::kTitleColnameStatCol),
+               "title-colname-stat-col");
+  EXPECT_EQ(AllTransformOptions().size(), 7u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,69 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace eval {
+namespace {
+
+TEST(MetricsTest, PrecisionAtKBasics) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 9}, {1, 2, 3}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({7, 8, 9}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, {1, 2}), 0.0);
+}
+
+TEST(MetricsTest, PrecisionIsOrderInsensitive) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({3, 1, 2}, {1, 2, 3}), 1.0);
+}
+
+TEST(MetricsTest, NdcgPerfectRankingIsOne) {
+  auto jn = [](u32 id) { return id == 0 ? 1.0 : (id == 1 ? 0.5 : 0.1); };
+  EXPECT_DOUBLE_EQ(NdcgAtK({0, 1, 2}, {0, 1, 2}, jn), 1.0);
+}
+
+TEST(MetricsTest, NdcgPenalizesMisordering) {
+  auto jn = [](u32 id) { return id == 0 ? 1.0 : (id == 1 ? 0.5 : 0.1); };
+  const double swapped = NdcgAtK({2, 1, 0}, {0, 1, 2}, jn);
+  EXPECT_LT(swapped, 1.0);
+  EXPECT_GT(swapped, 0.0);
+}
+
+TEST(MetricsTest, NdcgUsesPaperDefinition) {
+  // DCG = sum jn / log2(i+1), i starting at 1.
+  auto jn = [](u32 id) { return id == 0 ? 0.8 : 0.4; };
+  const double dcg_exact = 0.8 / std::log2(2.0) + 0.4 / std::log2(3.0);
+  const double dcg_model = 0.4 / std::log2(2.0) + 0.8 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK({1, 0}, {0, 1}, jn), dcg_model / dcg_exact, 1e-12);
+}
+
+TEST(MetricsTest, NdcgEmptyExactIsVacuouslyPerfect) {
+  auto jn = [](u32) { return 0.0; };
+  EXPECT_DOUBLE_EQ(NdcgAtK({5, 6}, {7, 8}, jn), 1.0);
+}
+
+TEST(MetricsTest, PoolPRF1) {
+  // retrieved = {1,2,3,4}; joinable pool = {2,4,6}.
+  auto r = PoolPRF1({1, 2, 3, 4}, {2, 4, 6});
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+  EXPECT_DOUBLE_EQ(r.recall, 2.0 / 3.0);
+  EXPECT_NEAR(r.f1, 2 * 0.5 * (2.0 / 3.0) / (0.5 + 2.0 / 3.0), 1e-12);
+}
+
+TEST(MetricsTest, PoolPRF1EdgeCases) {
+  EXPECT_DOUBLE_EQ(PoolPRF1({}, {1}).f1, 0.0);
+  auto none_joinable = PoolPRF1({1, 2}, {});
+  EXPECT_DOUBLE_EQ(none_joinable.precision, 0.0);
+  EXPECT_DOUBLE_EQ(none_joinable.recall, 0.0);
+}
+
+TEST(MetricsTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace deepjoin

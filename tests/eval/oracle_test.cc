@@ -1,0 +1,80 @@
+#include "eval/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace eval {
+namespace {
+
+lake::Column MakeCol(u32 domain, std::vector<u32> entities) {
+  lake::Column c;
+  c.domain_id = domain;
+  c.entity_ids = std::move(entities);
+  for (u32 e : c.entity_ids) c.cells.push_back("cell" + std::to_string(e));
+  return c;
+}
+
+TEST(OracleTest, SameDomainHighOverlapIsJoinable) {
+  DomainOracle oracle(0.25);
+  auto q = MakeCol(1, {1, 2, 3, 4});
+  auto t = MakeCol(1, {1, 2, 99});
+  EXPECT_TRUE(oracle.Joinable(q, t));
+}
+
+TEST(OracleTest, CrossDomainNeverJoinable) {
+  DomainOracle oracle(0.0);
+  auto q = MakeCol(1, {1, 2, 3});
+  auto t = MakeCol(2, {1, 2, 3});
+  EXPECT_FALSE(oracle.Joinable(q, t));
+}
+
+TEST(OracleTest, LowOverlapRejected) {
+  DomainOracle oracle(0.5);
+  auto q = MakeCol(1, {1, 2, 3, 4, 5, 6, 7, 8});
+  auto t = MakeCol(1, {1, 100, 101});
+  EXPECT_FALSE(oracle.Joinable(q, t));  // 1/8 < 0.5
+}
+
+TEST(OracleTest, UnknownDomainRejected) {
+  DomainOracle oracle(0.1);
+  auto q = MakeCol(lake::kNoDomain, {1, 2});
+  auto t = MakeCol(lake::kNoDomain, {1, 2});
+  EXPECT_FALSE(oracle.Joinable(q, t));
+}
+
+TEST(OracleTest, OverlapCountsDistinctEntities) {
+  DomainOracle oracle(0.5);
+  // Duplicated entity in target must not double-count.
+  auto q = MakeCol(1, {1, 2});
+  auto t = MakeCol(1, {1, 1, 1});
+  EXPECT_TRUE(oracle.Joinable(q, t));  // 1/2 >= 0.5
+}
+
+TEST(OracleTest, GeneratedFamilyMatesAreJoinable) {
+  // Columns from the same generator family should usually be judged
+  // joinable; cross-domain columns never.
+  lake::LakeGenerator gen(lake::LakeConfig::Webtable(909));
+  auto repo = gen.GenerateRepository(200);
+  DomainOracle oracle(0.25);
+  size_t same_domain_joinable = 0, same_domain_total = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = i + 1; j < 50; ++j) {
+      const auto& a = repo.column(static_cast<u32>(i));
+      const auto& b = repo.column(static_cast<u32>(j));
+      if (a.domain_id == b.domain_id) {
+        ++same_domain_total;
+        same_domain_joinable += oracle.Joinable(a, b);
+      } else {
+        EXPECT_FALSE(oracle.Joinable(a, b));
+      }
+    }
+  }
+  EXPECT_GT(same_domain_total, 0u);
+  EXPECT_GT(same_domain_joinable, 0u);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace deepjoin

@@ -1,0 +1,123 @@
+// Property sweeps over generator seeds: invariants of the joinability
+// definitions (§2.1) that must hold on every corpus draw.
+#include <gtest/gtest.h>
+
+#include "core/training_data.h"
+#include "join/joinability.h"
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace join {
+namespace {
+
+class JoinabilityPropertyTest : public ::testing::TestWithParam<u64> {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(GetParam()));
+    repo_ = gen.GenerateRepository(120);
+    tok_ = std::make_unique<TokenizedRepository>(
+        TokenizedRepository::Build(repo_));
+  }
+  lake::Repository repo_;
+  std::unique_ptr<TokenizedRepository> tok_;
+};
+
+TEST_P(JoinabilityPropertyTest, SelfJoinabilityIsOne) {
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(
+        EquiJoinability(tok_->columns()[i], tok_->columns()[i]), 1.0);
+  }
+}
+
+TEST_P(JoinabilityPropertyTest, JoinabilityBounded) {
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t j = 0; j < 20; ++j) {
+      const double jn =
+          EquiJoinability(tok_->columns()[i], tok_->columns()[j]);
+      EXPECT_GE(jn, 0.0);
+      EXPECT_LE(jn, 1.0);
+    }
+  }
+}
+
+TEST_P(JoinabilityPropertyTest, OrderInsensitivity) {
+  // Definition 2.1 is set-based: shuffling a column's cells must not
+  // change any jn value (the property the shuffle augmentation teaches
+  // the encoder).
+  Rng rng(GetParam() ^ 0xF00);
+  for (size_t i = 0; i < 10; ++i) {
+    const lake::Column& original = repo_.column(static_cast<u32>(i));
+    lake::Column shuffled = core::ShuffleColumn(original, rng);
+    const auto qo = tok_->EncodeQuery(original);
+    const auto qs = tok_->EncodeQuery(shuffled);
+    for (size_t j = 0; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(EquiJoinability(qo, tok_->columns()[j]),
+                       EquiJoinability(qs, tok_->columns()[j]));
+    }
+  }
+}
+
+TEST_P(JoinabilityPropertyTest, GrowingTargetNeverLowersJoinability) {
+  // Q_M = Q ∩ X grows monotonically with X.
+  const TokenSet& q = tok_->columns()[0];
+  TokenSet target;
+  target.query_size = 0;
+  double prev = 0.0;
+  for (size_t j = 1; j < 15; ++j) {
+    // Accumulate the union of columns 1..j as the target.
+    std::vector<u32> merged = target.tokens;
+    merged.insert(merged.end(), tok_->columns()[j].tokens.begin(),
+                  tok_->columns()[j].tokens.end());
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    target.tokens = std::move(merged);
+    const double jn = EquiJoinability(q, target);
+    EXPECT_GE(jn + 1e-12, prev);
+    prev = jn;
+  }
+}
+
+TEST_P(JoinabilityPropertyTest, SemanticDominatesEquiAtAnyTau) {
+  // Identical cells are at distance 0, so semantic jn >= equi jn for the
+  // same pair at every tau > 0.
+  FastTextConfig fc;
+  fc.dim = 16;
+  FastTextEmbedder emb(fc);
+  auto store = ColumnVectorStore::Build(repo_, emb);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      const double equi =
+          EquiJoinability(tok_->columns()[i], tok_->columns()[j]);
+      const double sem = SemanticJoinability(
+          store.column_vectors(static_cast<u32>(i)), store.column_count(i),
+          store.column_vectors(static_cast<u32>(j)), store.column_count(j),
+          store.dim(), 0.3f);
+      EXPECT_GE(sem + 1e-9, equi) << i << "," << j;
+    }
+  }
+}
+
+TEST_P(JoinabilityPropertyTest, SemanticMonotoneInTau) {
+  FastTextConfig fc;
+  fc.dim = 16;
+  FastTextEmbedder emb(fc);
+  auto store = ColumnVectorStore::Build(repo_, emb);
+  for (size_t i = 0; i < 5; ++i) {
+    double prev = 0.0;
+    for (float tau : {0.1f, 0.4f, 0.7f, 1.0f, 1.5f}) {
+      const double jn = SemanticJoinability(
+          store.column_vectors(0), store.column_count(0),
+          store.column_vectors(static_cast<u32>(i)), store.column_count(i),
+          store.dim(), tau);
+      EXPECT_GE(jn + 1e-12, prev) << "tau " << tau;
+      prev = jn;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinabilityPropertyTest,
+                         ::testing::Values(11u, 222u, 3333u, 44444u));
+
+}  // namespace
+}  // namespace join
+}  // namespace deepjoin

@@ -1,0 +1,122 @@
+#include "join/joinability.h"
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace join {
+namespace {
+
+lake::Column MakeColumn(std::vector<std::string> cells) {
+  lake::Column c;
+  c.cells = std::move(cells);
+  return c;
+}
+
+TEST(CellDictionaryTest, AssignsStableIds) {
+  CellDictionary dict;
+  const u32 a = dict.GetOrAssign("apple");
+  const u32 b = dict.GetOrAssign("banana");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.GetOrAssign("apple"), a);
+  EXPECT_EQ(*dict.Lookup("banana"), b);
+  EXPECT_FALSE(dict.Lookup("cherry").has_value());
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(CellDictionaryTest, DocFreqCounts) {
+  CellDictionary dict;
+  const u32 t = dict.GetOrAssign("x");
+  dict.BumpDocFreq(t);
+  dict.BumpDocFreq(t);
+  EXPECT_EQ(dict.DocFreq(t), 2u);
+  EXPECT_EQ(dict.DocFreq(999), 0u);
+}
+
+TEST(SetOverlapTest, Basics) {
+  EXPECT_EQ(SetOverlap({1, 2, 3}, {2, 3, 4}), 2u);
+  EXPECT_EQ(SetOverlap({}, {1}), 0u);
+  EXPECT_EQ(SetOverlap({1, 5, 9}, {2, 6, 10}), 0u);
+  EXPECT_EQ(SetOverlap({1, 2}, {1, 2}), 2u);
+}
+
+TEST(TokenizedRepositoryTest, BuildAndQueryEncoding) {
+  lake::Repository repo;
+  repo.Add(MakeColumn({"a", "b", "c"}));
+  repo.Add(MakeColumn({"b", "c", "d", "b"}));  // duplicate collapses
+  auto tok = TokenizedRepository::Build(repo);
+  EXPECT_EQ(tok.columns()[1].tokens.size(), 3u);
+
+  lake::Column q = MakeColumn({"a", "b", "zz"});
+  auto qt = tok.EncodeQuery(q);
+  EXPECT_EQ(qt.tokens.size(), 2u);   // "zz" unseen
+  EXPECT_EQ(qt.query_size, 3u);      // but still counted in |Q|
+}
+
+TEST(EquiJoinabilityTest, MatchesDefinition) {
+  lake::Repository repo;
+  repo.Add(MakeColumn({"a", "b", "c", "d"}));
+  auto tok = TokenizedRepository::Build(repo);
+  auto qt = tok.EncodeQuery(MakeColumn({"a", "b", "x", "y"}));
+  // |Q ∩ X| = 2, |Q| = 4.
+  EXPECT_DOUBLE_EQ(EquiJoinability(qt, tok.columns()[0]), 0.5);
+}
+
+TEST(EquiJoinabilityTest, AsymmetryOfDefinition21) {
+  lake::Repository repo;
+  repo.Add(MakeColumn({"a", "b"}));
+  repo.Add(MakeColumn({"a", "b", "c", "d"}));
+  auto tok = TokenizedRepository::Build(repo);
+  // jn(small -> big) = 1, jn(big -> small) = 0.5.
+  EXPECT_DOUBLE_EQ(EquiJoinability(tok.columns()[0], tok.columns()[1]), 1.0);
+  EXPECT_DOUBLE_EQ(EquiJoinability(tok.columns()[1], tok.columns()[0]), 0.5);
+}
+
+TEST(ExactEquiTopKTest, RanksByJoinability) {
+  lake::Repository repo;
+  repo.Add(MakeColumn({"a", "b", "c"}));       // jn 1.0
+  repo.Add(MakeColumn({"a", "b", "x"}));       // jn 2/3
+  repo.Add(MakeColumn({"p", "q", "r"}));       // jn 0
+  auto tok = TokenizedRepository::Build(repo);
+  auto qt = tok.EncodeQuery(MakeColumn({"a", "b", "c"}));
+  auto top = ExactEquiTopK(tok, qt, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 0u);
+  EXPECT_EQ(top[1].id, 1u);
+}
+
+TEST(SemanticJoinabilityTest, CountsThresholdMatches) {
+  // dim 2; q has 2 vectors, x has 1. tau = 0.5.
+  const float q[] = {0, 0, 1, 1};
+  const float x[] = {0.1f, 0.0f};
+  EXPECT_DOUBLE_EQ(SemanticJoinability(q, 2, x, 1, 2, 0.5f), 0.5);
+  EXPECT_DOUBLE_EQ(SemanticJoinability(q, 2, x, 1, 2, 2.0f), 1.0);
+  EXPECT_DOUBLE_EQ(SemanticJoinability(q, 2, x, 1, 2, 0.05f), 0.0);
+}
+
+TEST(SemanticJoinabilityTest, EmptyQueryIsZero) {
+  const float x[] = {0.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(SemanticJoinability(nullptr, 0, x, 1, 2, 1.0f), 0.0);
+}
+
+TEST(ColumnVectorStoreTest, LayoutAndOwners) {
+  lake::Repository repo;
+  repo.Add(MakeColumn({"aa", "bb"}));
+  repo.Add(MakeColumn({"cc"}));
+  FastTextConfig fc;
+  fc.dim = 8;
+  FastTextEmbedder emb(fc);
+  auto store = ColumnVectorStore::Build(repo, emb);
+  EXPECT_EQ(store.num_columns(), 2u);
+  EXPECT_EQ(store.total_vectors(), 3u);
+  EXPECT_EQ(store.column_count(0), 2u);
+  EXPECT_EQ(store.OwnerOf(0), 0u);
+  EXPECT_EQ(store.OwnerOf(2), 1u);
+  // Column vectors match direct embedding.
+  auto direct = emb.TextVector("cc");
+  const float* stored = store.column_vectors(1);
+  for (int d = 0; d < 8; ++d) EXPECT_FLOAT_EQ(stored[d], direct[d]);
+}
+
+}  // namespace
+}  // namespace join
+}  // namespace deepjoin

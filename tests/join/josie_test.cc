@@ -1,0 +1,85 @@
+#include "join/josie.h"
+
+#include <gtest/gtest.h>
+
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace join {
+namespace {
+
+class JosieTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(101));
+    repo_ = gen.GenerateRepository(400);
+    tok_ = std::make_unique<TokenizedRepository>(
+        TokenizedRepository::Build(repo_));
+    queries_ = gen.GenerateQueries(15);
+  }
+
+  lake::Repository repo_;
+  std::unique_ptr<TokenizedRepository> tok_;
+  std::vector<lake::Column> queries_;
+};
+
+TEST_F(JosieTest, MatchesBruteForceTopK) {
+  JosieIndex josie(tok_.get());
+  for (const auto& q : queries_) {
+    const TokenSet qt = tok_->EncodeQuery(q);
+    for (size_t k : {1u, 5u, 10u}) {
+      auto exact = ExactEquiTopK(*tok_, qt, k);
+      auto got = josie.SearchTopK(qt, k);
+      ASSERT_EQ(got.size(), exact.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        // Scores must agree exactly; ids may differ only among ties.
+        EXPECT_DOUBLE_EQ(got[i].score, exact[i].score) << "rank " << i;
+      }
+    }
+  }
+}
+
+TEST_F(JosieTest, ScoresAreTrueJoinability) {
+  JosieIndex josie(tok_.get());
+  const TokenSet qt = tok_->EncodeQuery(queries_[0]);
+  for (const auto& s : josie.SearchTopK(qt, 10)) {
+    EXPECT_DOUBLE_EQ(s.score,
+                     EquiJoinability(qt, tok_->columns()[s.id]));
+  }
+}
+
+TEST_F(JosieTest, SelfQueryRanksSelfFirst) {
+  JosieIndex josie(tok_.get());
+  // Querying with a repository column must return that column at jn = 1.
+  const TokenSet& self = tok_->columns()[42];
+  auto got = josie.SearchTopK(self, 3);
+  ASSERT_FALSE(got.empty());
+  EXPECT_DOUBLE_EQ(got.front().score, 1.0);
+  EXPECT_EQ(got.front().id, 42u);
+}
+
+TEST_F(JosieTest, UnknownCellsLowerJoinability) {
+  lake::Column q = repo_.column(7);
+  const size_t original = q.cells.size();
+  for (size_t i = 0; i < original; ++i) {
+    q.cells.push_back("certainly-not-in-any-table-" + std::to_string(i));
+    q.entity_ids.push_back(lake::kNoDomain);
+  }
+  JosieIndex josie(tok_.get());
+  auto got = josie.SearchTopK(tok_->EncodeQuery(q), 1);
+  ASSERT_FALSE(got.empty());
+  EXPECT_NEAR(got.front().score, 0.5, 1e-9);
+}
+
+TEST_F(JosieTest, EmptyQueryYieldsZeroScores) {
+  lake::Column q;
+  q.cells = {"nope-a", "nope-b", "nope-c", "nope-d", "nope-e"};
+  JosieIndex josie(tok_.get());
+  auto got = josie.SearchTopK(tok_->EncodeQuery(q), 5);
+  ASSERT_EQ(got.size(), 5u);
+  for (const auto& s : got) EXPECT_DOUBLE_EQ(s.score, 0.0);
+}
+
+}  // namespace
+}  // namespace join
+}  // namespace deepjoin

@@ -1,0 +1,112 @@
+#include "join/lsh_ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace join {
+namespace {
+
+class LshEnsembleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(555));
+    repo_ = gen.GenerateRepository(500);
+    tok_ = std::make_unique<TokenizedRepository>(
+        TokenizedRepository::Build(repo_));
+    queries_ = gen.GenerateQueries(10);
+  }
+
+  lake::Repository repo_;
+  std::unique_ptr<TokenizedRepository> tok_;
+  std::vector<lake::Column> queries_;
+};
+
+TEST_F(LshEnsembleTest, ExactVerifyModeReturnsTrueJoinability) {
+  LshEnsembleConfig cfg;
+  cfg.exact_verify = true;
+  LshEnsembleIndex index(tok_.get(), cfg);
+  for (const auto& q : queries_) {
+    auto qt = tok_->EncodeQuery(q);
+    for (const auto& s : index.SearchThreshold(qt, 0.6)) {
+      EXPECT_GE(s.score, 0.6);
+      EXPECT_DOUBLE_EQ(s.score, EquiJoinability(qt, tok_->columns()[s.id]));
+    }
+  }
+}
+
+TEST_F(LshEnsembleTest, SketchScoresApproximateTrueJoinability) {
+  LshEnsembleIndex index(tok_.get(), LshEnsembleConfig{});
+  double err_sum = 0.0;
+  size_t n = 0;
+  for (const auto& q : queries_) {
+    auto qt = tok_->EncodeQuery(q);
+    for (const auto& s : index.SearchThreshold(qt, 0.5)) {
+      err_sum +=
+          std::abs(s.score - EquiJoinability(qt, tok_->columns()[s.id]));
+      ++n;
+    }
+  }
+  if (n > 0) EXPECT_LT(err_sum / static_cast<double>(n), 0.35);
+}
+
+TEST_F(LshEnsembleTest, FindsSelfAtThresholdOne) {
+  LshEnsembleIndex index(tok_.get(), LshEnsembleConfig{});
+  // A repository column used as its own query must collide in every band.
+  const TokenSet& self = tok_->columns()[100];
+  auto hits = index.SearchThreshold(self, 0.99);
+  bool found = false;
+  for (const auto& s : hits) found |= (s.id == 100u);
+  EXPECT_TRUE(found);
+}
+
+TEST_F(LshEnsembleTest, TopKReturnsKResults) {
+  LshEnsembleIndex index(tok_.get(), LshEnsembleConfig{});
+  for (const auto& q : queries_) {
+    auto got = index.SearchTopK(tok_->EncodeQuery(q), 10);
+    EXPECT_EQ(got.size(), 10u);
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_GE(got[i - 1].score, got[i].score);
+    }
+  }
+}
+
+TEST_F(LshEnsembleTest, ApproximationLosesSomePrecisionButNotAll) {
+  // The method is approximate (its candidate recall is imperfect) but must
+  // stay well above random.
+  LshEnsembleIndex index(tok_.get(), LshEnsembleConfig{});
+  std::vector<double> precisions;
+  for (const auto& q : queries_) {
+    auto qt = tok_->EncodeQuery(q);
+    auto exact = ExactEquiTopK(*tok_, qt, 10);
+    std::vector<u32> exact_ids, got_ids;
+    for (const auto& s : exact) exact_ids.push_back(s.id);
+    for (const auto& s : index.SearchTopK(qt, 10)) got_ids.push_back(s.id);
+    precisions.push_back(eval::PrecisionAtK(got_ids, exact_ids));
+  }
+  const double mean = eval::Mean(precisions);
+  EXPECT_GT(mean, 0.15);
+}
+
+TEST_F(LshEnsembleTest, PartitionsCoverRepository) {
+  // Every column must be retrievable through some partition: query with
+  // each column itself at a moderate threshold and expect self-retrieval
+  // for the vast majority.
+  LshEnsembleIndex index(tok_.get(), LshEnsembleConfig{});
+  size_t found = 0;
+  for (u32 c = 0; c < 100; ++c) {
+    for (const auto& s : index.SearchThreshold(tok_->columns()[c], 0.9)) {
+      if (s.id == c) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(found, 90u);
+}
+
+}  // namespace
+}  // namespace join
+}  // namespace deepjoin

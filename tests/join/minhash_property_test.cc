@@ -1,0 +1,63 @@
+// Parameterized sweep: MinHash estimation error shrinks as num_perm grows
+// (the knob behind LSH Ensemble's accuracy/latency trade-off).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "join/minhash.h"
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace join {
+namespace {
+
+class MinHashParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinHashParamTest, ErrorWithinTheoreticalBand) {
+  const int num_perm = GetParam();
+  // sigma = sqrt(J(1-J)/n); allow 4 sigma over many trials.
+  Rng rng(0x31337);
+  double max_err = 0.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const size_t inter = 100 + rng.UniformU64(200);
+    const size_t only = 50 + rng.UniformU64(300);
+    std::vector<u32> a, b;
+    for (u32 i = 0; i < inter; ++i) {
+      a.push_back(i);
+      b.push_back(i);
+    }
+    for (u32 i = 0; i < only; ++i) {
+      a.push_back(100000 + i);
+      b.push_back(200000 + i);
+    }
+    const double truth = static_cast<double>(inter) /
+                         static_cast<double>(inter + 2 * only);
+    auto sa = MinHashSignature::Compute(a, num_perm, 7 + trial);
+    auto sb = MinHashSignature::Compute(b, num_perm, 7 + trial);
+    max_err = std::max(max_err, std::abs(sa.EstimateJaccard(sb) - truth));
+  }
+  const double sigma = std::sqrt(0.25 / num_perm);
+  EXPECT_LE(max_err, 4.0 * sigma) << "num_perm " << num_perm;
+}
+
+TEST_P(MinHashParamTest, SubsetSignatureDominates) {
+  // min over a subset is >= min over the superset, per permutation.
+  const int num_perm = GetParam();
+  std::vector<u32> superset, subset;
+  for (u32 i = 0; i < 400; ++i) {
+    superset.push_back(i * 3);
+    if (i % 2 == 0) subset.push_back(i * 3);
+  }
+  auto ss = MinHashSignature::Compute(superset, num_perm);
+  auto sub = MinHashSignature::Compute(subset, num_perm);
+  for (int p = 0; p < num_perm; ++p) {
+    EXPECT_GE(sub.values()[p], ss.values()[p]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NumPerms, MinHashParamTest,
+                         ::testing::Values(16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace join
+}  // namespace deepjoin

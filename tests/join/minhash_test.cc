@@ -1,0 +1,68 @@
+#include "join/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace join {
+namespace {
+
+TEST(MinHashTest, IdenticalSetsEstimateOne) {
+  const std::vector<u32> s = {1, 5, 9, 13};
+  auto a = MinHashSignature::Compute(s, 64);
+  auto b = MinHashSignature::Compute(s, 64);
+  EXPECT_DOUBLE_EQ(a.EstimateJaccard(b), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsEstimateNearZero) {
+  std::vector<u32> a_set, b_set;
+  for (u32 i = 0; i < 50; ++i) {
+    a_set.push_back(i);
+    b_set.push_back(1000 + i);
+  }
+  auto a = MinHashSignature::Compute(a_set, 128);
+  auto b = MinHashSignature::Compute(b_set, 128);
+  EXPECT_LT(a.EstimateJaccard(b), 0.05);
+}
+
+TEST(MinHashTest, EstimateTracksTrueJaccard) {
+  Rng rng(3);
+  for (double target : {0.2, 0.5, 0.8}) {
+    // Build sets with |A ∩ B| / |A ∪ B| == target.
+    const size_t union_size = 600;
+    const auto inter = static_cast<size_t>(target * union_size);
+    std::vector<u32> a_set, b_set;
+    for (u32 i = 0; i < inter; ++i) {
+      a_set.push_back(i);
+      b_set.push_back(i);
+    }
+    const size_t rest = union_size - inter;
+    for (u32 i = 0; i < rest / 2; ++i) {
+      a_set.push_back(10000 + i);
+      b_set.push_back(20000 + i);
+    }
+    const double truth =
+        static_cast<double>(inter) /
+        static_cast<double>(inter + 2 * (rest / 2));
+    auto a = MinHashSignature::Compute(a_set, 256);
+    auto b = MinHashSignature::Compute(b_set, 256);
+    EXPECT_NEAR(a.EstimateJaccard(b), truth, 0.08) << "target " << target;
+  }
+}
+
+TEST(MinHashTest, DifferentSeedsGiveDifferentSignatures) {
+  const std::vector<u32> s = {1, 2, 3, 4, 5};
+  auto a = MinHashSignature::Compute(s, 32, 111);
+  auto b = MinHashSignature::Compute(s, 32, 222);
+  EXPECT_NE(a.values(), b.values());
+}
+
+TEST(MinHashTest, NumPermRespected) {
+  auto sig = MinHashSignature::Compute({1, 2, 3}, 77);
+  EXPECT_EQ(sig.num_perm(), 77);
+}
+
+}  // namespace
+}  // namespace join
+}  // namespace deepjoin

@@ -1,0 +1,73 @@
+// The §2.1 multiset extension: joinability as join-result count normalized
+// by |Q| * |X|.
+#include <gtest/gtest.h>
+
+#include "join/joinability.h"
+
+namespace deepjoin {
+namespace join {
+namespace {
+
+lake::Column MakeCol(std::vector<std::string> cells) {
+  lake::Column c;
+  c.cells = std::move(cells);
+  return c;
+}
+
+TEST(MultisetJoinabilityTest, DistinctEqualSetsScoreInverseSize) {
+  CellDictionary dict;
+  auto q = TokenizeMultiset(MakeCol({"a", "b"}), &dict);
+  auto x = TokenizeMultiset(MakeCol({"a", "b"}), &dict);
+  // 2 join results / (2 * 2).
+  EXPECT_DOUBLE_EQ(MultisetJoinability(q, x), 0.5);
+}
+
+TEST(MultisetJoinabilityTest, ManyToManyCountsProducts) {
+  CellDictionary dict;
+  // Q has "a" twice, X has "a" three times: 6 join results.
+  auto q = TokenizeMultiset(MakeCol({"a", "a", "b"}), &dict);
+  auto x = TokenizeMultiset(MakeCol({"a", "a", "a"}), &dict);
+  EXPECT_DOUBLE_EQ(MultisetJoinability(q, x), 6.0 / (3.0 * 3.0));
+}
+
+TEST(MultisetJoinabilityTest, Symmetric) {
+  CellDictionary dict;
+  auto q = TokenizeMultiset(MakeCol({"a", "a", "b", "c"}), &dict);
+  auto x = TokenizeMultiset(MakeCol({"b", "c", "c", "d"}), &dict);
+  EXPECT_DOUBLE_EQ(MultisetJoinability(q, x), MultisetJoinability(x, q));
+}
+
+TEST(MultisetJoinabilityTest, DisjointIsZero) {
+  CellDictionary dict;
+  auto q = TokenizeMultiset(MakeCol({"a", "b"}), &dict);
+  auto x = TokenizeMultiset(MakeCol({"c", "d"}), &dict);
+  EXPECT_DOUBLE_EQ(MultisetJoinability(q, x), 0.0);
+}
+
+TEST(MultisetJoinabilityTest, EmptyIsZero) {
+  CellDictionary dict;
+  auto q = TokenizeMultiset(MakeCol({}), &dict);
+  auto x = TokenizeMultiset(MakeCol({"a"}), &dict);
+  EXPECT_DOUBLE_EQ(MultisetJoinability(q, x), 0.0);
+  EXPECT_DOUBLE_EQ(MultisetJoinability(x, q), 0.0);
+}
+
+TEST(MultisetJoinabilityTest, BoundedByOne) {
+  CellDictionary dict;
+  auto q = TokenizeMultiset(MakeCol({"a", "a", "a"}), &dict);
+  // 9 results / 9 = 1 — the maximum (every pair joins).
+  EXPECT_DOUBLE_EQ(MultisetJoinability(q, q), 1.0);
+}
+
+TEST(MultisetJoinabilityTest, AgreesWithSetCaseWhenDistinct) {
+  // When both sides are duplicate-free, result count = |Q ∩ X|, so the
+  // multiset measure is overlap / (|Q| |X|).
+  CellDictionary dict;
+  auto q = TokenizeMultiset(MakeCol({"a", "b", "c", "d"}), &dict);
+  auto x = TokenizeMultiset(MakeCol({"c", "d", "e"}), &dict);
+  EXPECT_DOUBLE_EQ(MultisetJoinability(q, x), 2.0 / 12.0);
+}
+
+}  // namespace
+}  // namespace join
+}  // namespace deepjoin

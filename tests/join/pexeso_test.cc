@@ -1,0 +1,134 @@
+#include "join/pexeso.h"
+
+#include <gtest/gtest.h>
+
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace join {
+namespace {
+
+class PexesoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(202));
+    repo_ = gen.GenerateRepository(150);
+    FastTextConfig fc;
+    fc.dim = 16;
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+    embedder_->TrainSynonyms(gen.SynonymLexicon(), 0.8, 2);
+    store_ = std::make_unique<ColumnVectorStore>(
+        ColumnVectorStore::Build(repo_, *embedder_));
+    queries_ = gen.GenerateQueries(8);
+  }
+
+  lake::Repository repo_;
+  std::unique_ptr<FastTextEmbedder> embedder_;
+  std::unique_ptr<ColumnVectorStore> store_;
+  std::vector<lake::Column> queries_;
+};
+
+TEST_F(PexesoTest, MatchesBruteForceTopK) {
+  for (float tau : {0.7f, 0.9f}) {
+    PexesoConfig pc;
+    pc.tau = tau;
+    PexesoIndex pexeso(store_.get(), pc);
+    for (const auto& q : queries_) {
+      auto qv = ColumnVectorStore::EmbedColumn(q, *embedder_);
+      const size_t nq = q.cells.size();
+      auto exact = ExactSemanticTopK(*store_, qv.data(), nq, tau, 10);
+      auto got = pexeso.SearchTopK(qv.data(), nq, 10);
+      ASSERT_EQ(got.size(), exact.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].score, exact[i].score, 1e-9)
+            << "tau " << tau << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST_F(PexesoTest, SelfQueryScoresOne) {
+  PexesoConfig pc;
+  pc.tau = 0.9f;
+  PexesoIndex pexeso(store_.get(), pc);
+  const u32 col = 17;
+  const float* v = store_->column_vectors(col);
+  const size_t n = store_->column_count(col);
+  auto got = pexeso.SearchTopK(v, n, 3);
+  ASSERT_FALSE(got.empty());
+  EXPECT_DOUBLE_EQ(got.front().score, 1.0);
+}
+
+TEST_F(PexesoTest, JoinabilityHelperAgreesWithFreeFunction) {
+  PexesoConfig pc;
+  pc.tau = 0.8f;
+  PexesoIndex pexeso(store_.get(), pc);
+  auto qv = ColumnVectorStore::EmbedColumn(queries_[0], *embedder_);
+  const size_t nq = queries_[0].cells.size();
+  for (u32 c : {0u, 5u, 20u}) {
+    EXPECT_DOUBLE_EQ(
+        pexeso.Joinability(qv.data(), nq, c),
+        SemanticJoinability(qv.data(), nq, store_->column_vectors(c),
+                            store_->column_count(c), store_->dim(), 0.8f));
+  }
+}
+
+TEST_F(PexesoTest, TypoVariantsStillMatchSemantically) {
+  // A column queried against a typo'd copy of itself should keep a high
+  // semantic joinability at tau = 0.9 (char-ngram vectors absorb edits).
+  lake::Column original = repo_.column(3);
+  lake::Column typod = original;
+  for (auto& cell : typod.cells) {
+    if (cell.size() > 4) std::swap(cell[1], cell[2]);
+  }
+  auto ov = ColumnVectorStore::EmbedColumn(original, *embedder_);
+  auto tv = ColumnVectorStore::EmbedColumn(typod, *embedder_);
+  const double jn =
+      SemanticJoinability(tv.data(), typod.cells.size(), ov.data(),
+                          original.cells.size(), embedder_->dim(), 0.9f);
+  EXPECT_GT(jn, 0.6);
+}
+
+
+TEST_F(PexesoTest, ThresholdSearchMatchesBruteForce) {
+  PexesoConfig pc;
+  pc.tau = 0.9f;
+  PexesoIndex pexeso(store_.get(), pc);
+  for (double t : {0.3, 0.6, 0.9}) {
+    for (const auto& q : queries_) {
+      auto qv = ColumnVectorStore::EmbedColumn(q, *embedder_);
+      const size_t nq = q.cells.size();
+      auto got = pexeso.SearchThreshold(qv.data(), nq, t);
+      // Brute-force reference: every column with jn >= t.
+      std::vector<Scored> expected;
+      for (u32 c = 0; c < store_->num_columns(); ++c) {
+        const double jn = SemanticJoinability(
+            qv.data(), nq, store_->column_vectors(c), store_->column_count(c),
+            store_->dim(), 0.9f);
+        if (jn >= t) expected.push_back({jn, c});
+      }
+      ASSERT_EQ(got.size(), expected.size()) << "t=" << t;
+      std::sort(expected.begin(), expected.end(),
+                [](const Scored& a, const Scored& b) { return b < a; });
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].score, expected[i].score, 1e-12);
+      }
+    }
+  }
+}
+
+TEST_F(PexesoTest, ThresholdSearchSelfQueryQualifiesAtOne) {
+  PexesoConfig pc;
+  pc.tau = 0.9f;
+  PexesoIndex pexeso(store_.get(), pc);
+  const u32 col = 9;
+  auto got = pexeso.SearchThreshold(store_->column_vectors(col),
+                                    store_->column_count(col), 1.0);
+  bool found = false;
+  for (const auto& s : got) found |= (s.id == col && s.score == 1.0);
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace join
+}  // namespace deepjoin

@@ -1,0 +1,118 @@
+#include "join/setjoin.h"
+
+#include <gtest/gtest.h>
+
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace join {
+namespace {
+
+std::vector<TokenSet> MakeSets(std::vector<std::vector<u32>> raw) {
+  std::vector<TokenSet> out;
+  for (auto& tokens : raw) {
+    TokenSet ts;
+    std::sort(tokens.begin(), tokens.end());
+    ts.tokens = std::move(tokens);
+    ts.query_size = ts.tokens.size();
+    out.push_back(std::move(ts));
+  }
+  return out;
+}
+
+TEST(EquiSelfJoinTest, FindsDirectedPairs) {
+  // col0 ⊂ col1: jn(0->1) = 1.0, jn(1->0) = 0.5.
+  auto sets = MakeSets({{1, 2}, {1, 2, 3, 4}});
+  auto pairs = EquiSelfJoin(sets, 0.7);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].x, 0u);
+  EXPECT_EQ(pairs[0].y, 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].jn, 1.0);
+}
+
+TEST(EquiSelfJoinTest, BothDirectionsWhenSymmetric) {
+  auto sets = MakeSets({{1, 2, 3}, {1, 2, 3}});
+  auto pairs = EquiSelfJoin(sets, 0.7);
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+TEST(EquiSelfJoinTest, ThresholdFilters) {
+  auto sets = MakeSets({{1, 2, 3, 4}, {1, 2, 9, 10}});  // jn = 0.5 both ways
+  EXPECT_TRUE(EquiSelfJoin(sets, 0.7).empty());
+  EXPECT_EQ(EquiSelfJoin(sets, 0.5).size(), 2u);
+}
+
+TEST(EquiSelfJoinTest, MatchesBruteForceOnGeneratedData) {
+  lake::LakeGenerator gen(lake::LakeConfig::Webtable(77));
+  auto repo = gen.GenerateRepository(120);
+  auto tok = TokenizedRepository::Build(repo);
+  auto pairs = EquiSelfJoin(tok.columns(), 0.7);
+
+  // Brute force reference.
+  size_t expected = 0;
+  for (size_t x = 0; x < tok.size(); ++x) {
+    for (size_t y = 0; y < tok.size(); ++y) {
+      if (x == y) continue;
+      if (EquiJoinability(tok.columns()[x], tok.columns()[y]) >= 0.7) {
+        ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(pairs.size(), expected);
+  for (const auto& p : pairs) {
+    EXPECT_GE(p.jn, 0.7);
+    EXPECT_DOUBLE_EQ(
+        p.jn, EquiJoinability(tok.columns()[p.x], tok.columns()[p.y]));
+  }
+}
+
+TEST(SemanticSelfJoinTest, FindsVariantPairs) {
+  lake::LakeGenerator gen(lake::LakeConfig::Webtable(88));
+  auto sample = gen.GenerateQueries(60, 0x99);
+  lake::Repository repo;
+  for (const auto& c : sample) repo.Add(c);
+  FastTextConfig fc;
+  fc.dim = 16;
+  FastTextEmbedder emb(fc);
+  emb.TrainSynonyms(gen.SynonymLexicon(), 0.8, 2);
+  auto store = ColumnVectorStore::Build(repo, emb);
+  auto pairs = SemanticSelfJoin(store, 0.7, 0.9f);
+  EXPECT_FALSE(pairs.empty());
+  for (const auto& p : pairs) {
+    EXPECT_GE(p.jn, 0.7);
+    EXPECT_NE(p.x, p.y);
+  }
+}
+
+TEST(SemanticSelfJoinTest, SemanticSupersetOfEqui) {
+  // Any equi jn >= t pair is also semantic jn >= t (identical strings are
+  // at distance 0 <= tau).
+  lake::LakeGenerator gen(lake::LakeConfig::Webtable(91));
+  auto sample = gen.GenerateQueries(50, 0xAB);
+  lake::Repository repo;
+  join::CellDictionary dict;
+  for (const auto& c : sample) repo.Add(c);
+  auto tok = TokenizedRepository::Build(repo);
+  FastTextConfig fc;
+  fc.dim = 16;
+  FastTextEmbedder emb(fc);
+  auto store = ColumnVectorStore::Build(repo, emb);
+
+  auto equi = EquiSelfJoin(tok.columns(), 0.8);
+  auto sem = SemanticSelfJoin(store, 0.8, 0.5f);
+  for (const auto& ep : equi) {
+    bool found = false;
+    for (const auto& sp : sem) {
+      if (sp.x == ep.x && sp.y == ep.y) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "equi pair (" << ep.x << "," << ep.y
+                       << ") missing from semantic join";
+  }
+}
+
+}  // namespace
+}  // namespace join
+}  // namespace deepjoin

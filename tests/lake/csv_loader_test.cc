@@ -1,0 +1,169 @@
+#include "lake/csv_loader.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace lake {
+namespace {
+
+class CsvLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) / "csv_lake";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(dir_ / name);
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST(ParseCsvLineTest, PlainFields) {
+  EXPECT_EQ(ParseCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(ParseCsvLine(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(ParseCsvLine("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(ParseCsvLineTest, QuotedFields) {
+  EXPECT_EQ(ParseCsvLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(ParseCsvLine("\"say \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(ParseCsvLineTest, StripsCarriageReturn) {
+  EXPECT_EQ(ParseCsvLine("a,b\r"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(CsvLoaderTest, LoadsTableWithHeaderAndTitle) {
+  WriteFile("city_population.csv",
+            "city,population\nparis,2m\nlyon,500k\nnice,340k\nlille,"
+            "230k\nbrest,140k\n");
+  auto table = LoadCsvTable((dir_ / "city_population.csv").string());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->title, "city population");
+  ASSERT_EQ(table->columns.size(), 2u);
+  EXPECT_EQ(table->columns[0].name, "city");
+  EXPECT_EQ(table->columns[0].cells.size(), 5u);
+}
+
+TEST_F(CsvLoaderTest, SidecarContextIsPickedUp) {
+  WriteFile("t.csv", "a\n1\n2\n3\n4\n5\n");
+  WriteFile("t.context", "  quarterly census export  ");
+  auto table = LoadCsvTable((dir_ / "t.csv").string());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->context, "quarterly census export");
+}
+
+TEST_F(CsvLoaderTest, RaggedRowsArePadded) {
+  WriteFile("r.csv", "a,b\n1,2\n3\n4,5,6\n");
+  auto table = LoadCsvTable((dir_ / "r.csv").string());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->columns[0].cells.size(), 3u);
+  EXPECT_EQ(table->columns[1].cells[1], "");
+}
+
+TEST_F(CsvLoaderTest, EmptyFileIsAnError) {
+  WriteFile("e.csv", "");
+  EXPECT_FALSE(LoadCsvTable((dir_ / "e.csv").string()).ok());
+}
+
+TEST_F(CsvLoaderTest, MissingFileIsIoError) {
+  auto r = LoadCsvTable((dir_ / "nope.csv").string());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvLoaderTest, DirectoryLoadExtractsColumns) {
+  WriteFile("one.csv",
+            "id,name\n1,ada\n2,grace\n3,edsger\n4,barbara\n5,tony\n");
+  WriteFile("two.csv",
+            "name\nada\ngrace\nkatherine\nmargaret\nradia\nanita\n");
+  WriteFile("ignored.txt", "not a csv");
+  CsvLoadOptions opts;
+  opts.policy = ExtractionPolicy::kMaxDistinct;
+  auto repo = LoadCsvDirectory(dir_.string(), opts);
+  ASSERT_TRUE(repo.ok());
+  EXPECT_EQ(repo->size(), 2u);
+  // Sorted file order: one.csv first.
+  EXPECT_EQ(repo->column(0).meta.table_title, "one");
+}
+
+TEST_F(CsvLoaderTest, AllColumnsPolicyKeepsEveryWideColumn) {
+  WriteFile("w.csv",
+            "a,b\nx1,y1\nx2,y2\nx3,y3\nx4,y4\nx5,y5\n");
+  CsvLoadOptions opts;
+  opts.policy = ExtractionPolicy::kAllColumns;
+  auto repo = LoadCsvDirectory(dir_.string(), opts);
+  ASSERT_TRUE(repo.ok());
+  EXPECT_EQ(repo->size(), 2u);
+}
+
+TEST_F(CsvLoaderTest, MinCellFilterApplies) {
+  WriteFile("short.csv", "a\n1\n2\n");
+  CsvLoadOptions opts;
+  auto repo = LoadCsvDirectory(dir_.string(), opts);
+  ASSERT_TRUE(repo.ok());
+  EXPECT_EQ(repo->size(), 0u);
+}
+
+TEST_F(CsvLoaderTest, EmptyCellsDroppedBeforeSizeCheck) {
+  WriteFile("gaps.csv", "a\nv1\n\nv2\n\nv3\nv4\nv5\n");
+  CsvLoadOptions opts;
+  opts.policy = ExtractionPolicy::kAllColumns;
+  auto repo = LoadCsvDirectory(dir_.string(), opts);
+  ASSERT_TRUE(repo.ok());
+  ASSERT_EQ(repo->size(), 1u);
+  EXPECT_EQ(repo->column(0).size(), 5u);
+}
+
+TEST_F(CsvLoaderTest, NonexistentDirectoryIsNotFound) {
+  CsvLoadOptions opts;
+  auto repo = LoadCsvDirectory((dir_ / "missing").string(), opts);
+  ASSERT_FALSE(repo.ok());
+  EXPECT_EQ(repo.status().code(), StatusCode::kNotFound);
+}
+
+
+TEST(ParseCsvLineTest, QuoteEscapeRoundTripFuzz) {
+  // Encode random fields with CSV quoting, parse them back, require
+  // equality. Covers commas, quotes, and whitespace inside fields.
+  Rng rng(0xC5F);
+  const std::string alphabet = "ab,\"' xyz09";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::string> fields;
+    const size_t nf = 1 + rng.UniformU64(5);
+    std::string line;
+    for (size_t f = 0; f < nf; ++f) {
+      std::string field;
+      const size_t len = rng.UniformU64(8);
+      for (size_t i = 0; i < len; ++i) {
+        field.push_back(alphabet[rng.UniformU64(alphabet.size())]);
+      }
+      fields.push_back(field);
+      if (f) line.push_back(',');
+      line.push_back('"');
+      for (char c : field) {
+        if (c == '"') line.push_back('"');
+        line.push_back(c);
+      }
+      line.push_back('"');
+    }
+    EXPECT_EQ(ParseCsvLine(line), fields) << "line: " << line;
+  }
+}
+
+}  // namespace
+}  // namespace lake
+}  // namespace deepjoin

@@ -1,0 +1,106 @@
+#include "lake/domain.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace lake {
+namespace {
+
+class DomainTest : public ::testing::Test {
+ protected:
+  DomainTest() : model_(DomainConfig{}) {}
+  DomainModel model_;
+};
+
+TEST_F(DomainTest, CanonicalCellsAreDeterministic) {
+  EXPECT_EQ(model_.CanonicalCell(0, 5), model_.CanonicalCell(0, 5));
+  DomainModel other{DomainConfig{}};
+  EXPECT_EQ(model_.CanonicalCell(3, 9), other.CanonicalCell(3, 9));
+}
+
+TEST_F(DomainTest, DistinctEntitiesRenderDistinctly) {
+  std::unordered_set<std::string> seen;
+  for (u32 e = 0; e < 300; ++e) {
+    EXPECT_TRUE(seen.insert(model_.CanonicalCell(1, e)).second)
+        << "entity " << e << " collides";
+  }
+}
+
+TEST_F(DomainTest, NumericDomainsRenderDigits) {
+  bool found_numeric = false;
+  for (u32 d = 0; d < 10; ++d) {
+    if (!model_.IsNumericDomain(d)) continue;
+    found_numeric = true;
+    const std::string cell = model_.CanonicalCell(d, 3);
+    for (char c : cell) EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)));
+  }
+  EXPECT_TRUE(found_numeric);
+}
+
+TEST_F(DomainTest, TypoVariantDiffersButRecurs) {
+  Rng r1(1), r2(1);
+  const std::string canonical = model_.CanonicalCell(1, 7);
+  const std::string t1 = model_.RenderCell(1, 7, VariantKind::kTypo, r1);
+  const std::string t2 = model_.RenderCell(1, 7, VariantKind::kTypo, r2);
+  EXPECT_NE(t1, canonical);
+  // Same rng state -> same recurring variant (misspellings repeat across
+  // a lake, which is what makes them equi-matchable).
+  EXPECT_EQ(t1, t2);
+}
+
+TEST_F(DomainTest, SynonymVariantUsuallySharesPoolWord) {
+  // When the unique word has a synonym group, the pool word is preserved;
+  // entities without a group fall back to a typo, which may touch any
+  // character. A clear majority must keep the pool word intact.
+  Rng rng(2);
+  int shared = 0, total = 0;
+  for (u32 e = 0; e < 50; ++e) {
+    const std::string canonical = model_.CanonicalCell(1, e);
+    const std::string syn = model_.RenderCell(1, e, VariantKind::kSynonym, rng);
+    const auto sp1 = canonical.find(' ');
+    const auto sp2 = syn.find(' ');
+    if (sp1 == std::string::npos || sp2 == std::string::npos) continue;
+    ++total;
+    shared += (canonical.substr(0, sp1) == syn.substr(0, sp2));
+  }
+  ASSERT_GT(total, 20);
+  EXPECT_GT(shared * 2, total);
+}
+
+TEST_F(DomainTest, FormatVariantPreservesLetters) {
+  Rng rng(3);
+  const std::string canonical = model_.CanonicalCell(1, 11);
+  const std::string formatted =
+      model_.RenderCell(1, 11, VariantKind::kFormat, rng);
+  auto letters = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (std::isalpha(static_cast<unsigned char>(c))) {
+        out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(letters(canonical), letters(formatted));
+}
+
+TEST_F(DomainTest, SynonymLexiconContainsDistinctSpellings) {
+  auto lexicon = model_.SynonymLexicon();
+  ASSERT_FALSE(lexicon.empty());
+  for (const auto& group : lexicon) {
+    std::unordered_set<std::string> s(group.begin(), group.end());
+    EXPECT_EQ(s.size(), group.size());
+  }
+}
+
+TEST_F(DomainTest, ThemeWordsAreStablePerDomain) {
+  EXPECT_EQ(model_.DomainThemeWord(4), model_.DomainThemeWord(4));
+  EXPECT_NE(model_.DomainThemeWord(4), model_.DomainThemeWord(5));
+}
+
+}  // namespace
+}  // namespace lake
+}  // namespace deepjoin

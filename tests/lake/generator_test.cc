@@ -1,0 +1,136 @@
+#include "lake/generator.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "join/joinability.h"
+#include "join/setjoin.h"
+
+namespace deepjoin {
+namespace lake {
+namespace {
+
+TEST(GeneratorTest, RepositoryHasRequestedSizeAndValidColumns) {
+  LakeGenerator gen(LakeConfig::Webtable(3));
+  Repository repo = gen.GenerateRepository(200);
+  ASSERT_EQ(repo.size(), 200u);
+  for (const auto& col : repo.columns()) {
+    EXPECT_GE(col.size(), 5u) << "min-cell filter (§5.1) violated";
+    EXPECT_FALSE(col.meta.table_title.empty());
+    EXPECT_FALSE(col.meta.column_name.empty());
+    EXPECT_EQ(col.cells.size(), col.entity_ids.size());
+    // Cells are distinct (set semantics of Definition 2.1).
+    std::unordered_set<std::string> distinct(col.cells.begin(),
+                                             col.cells.end());
+    EXPECT_EQ(distinct.size(), col.cells.size());
+  }
+}
+
+TEST(GeneratorTest, DeterministicAcrossRuns) {
+  LakeGenerator g1(LakeConfig::Webtable(7));
+  LakeGenerator g2(LakeConfig::Webtable(7));
+  Repository r1 = g1.GenerateRepository(50);
+  Repository r2 = g2.GenerateRepository(50);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(r1.column(i).cells, r2.column(i).cells);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  LakeGenerator g1(LakeConfig::Webtable(7));
+  LakeGenerator g2(LakeConfig::Webtable(8));
+  EXPECT_NE(g1.GenerateRepository(10).column(0).cells,
+            g2.GenerateRepository(10).column(0).cells);
+}
+
+TEST(GeneratorTest, QueriesAreFreshDraws) {
+  LakeGenerator gen(LakeConfig::Webtable(5));
+  Repository repo = gen.GenerateRepository(100);
+  auto queries = gen.GenerateQueries(10);
+  ASSERT_EQ(queries.size(), 10u);
+  std::unordered_set<std::string> repo_first_cells;
+  for (const auto& c : repo.columns()) {
+    repo_first_cells.insert(c.cells.front() + "|" + c.cells.back() + "|" +
+                            std::to_string(c.size()));
+  }
+  size_t identical = 0;
+  for (const auto& q : queries) {
+    identical += repo_first_cells.count(q.cells.front() + "|" +
+                                        q.cells.back() + "|" +
+                                        std::to_string(q.size()));
+  }
+  EXPECT_LT(identical, queries.size()) << "queries look like repo copies";
+}
+
+TEST(GeneratorTest, HighJoinabilityPairsExist) {
+  // Family structure must yield training positives at the paper's t = 0.7.
+  LakeGenerator gen(LakeConfig::Webtable(11));
+  Repository repo = gen.GenerateRepository(300);
+  auto tok = join::TokenizedRepository::Build(repo);
+  auto pairs = join::EquiSelfJoin(tok.columns(), 0.7);
+  EXPECT_GT(pairs.size(), 20u)
+      << "too few jn >= 0.7 positives for self-supervised training";
+}
+
+TEST(GeneratorTest, JoinabilitySpectrumIsNotDegenerate) {
+  LakeGenerator gen(LakeConfig::Webtable(13));
+  Repository repo = gen.GenerateRepository(300);
+  auto tok = join::TokenizedRepository::Build(repo);
+  auto queries = gen.GenerateQueries(10);
+  size_t queries_with_good_match = 0;
+  for (const auto& q : queries) {
+    auto qt = tok.EncodeQuery(q);
+    auto top = join::ExactEquiTopK(tok, qt, 5);
+    if (!top.empty() && top.front().score >= 0.3) ++queries_with_good_match;
+  }
+  EXPECT_GE(queries_with_good_match, 5u)
+      << "most queries should have joinable targets in the repository";
+}
+
+TEST(GeneratorTest, WikitableProfileDiffers) {
+  LakeGenerator web(LakeConfig::Webtable(21));
+  LakeGenerator wiki(LakeConfig::Wikitable(21));
+  Repository rweb = web.GenerateRepository(50);
+  Repository rwiki = wiki.GenerateRepository(50);
+  // Wikitable titles follow the "list of ..." pattern.
+  EXPECT_NE(rwiki.column(0).meta.table_title.find("list of"),
+            std::string::npos);
+  EXPECT_EQ(rweb.column(0).meta.table_title.find("list of"),
+            std::string::npos);
+}
+
+TEST(GeneratorTest, SizeRangedQueries) {
+  LakeGenerator gen(LakeConfig::Webtable(31));
+  auto qs = gen.GenerateQueriesInSizeRange(5, 5, 10);
+  ASSERT_EQ(qs.size(), 5u);
+  for (const auto& q : qs) {
+    EXPECT_GE(q.size(), 5u);
+    EXPECT_LE(q.size(), 10u);
+  }
+}
+
+TEST(GeneratorTest, StatsAreReasonable) {
+  LakeGenerator gen(LakeConfig::Webtable(41));
+  Repository repo = gen.GenerateRepository(500);
+  auto stats = repo.ComputeStats();
+  EXPECT_EQ(stats.num_columns, 500u);
+  EXPECT_GE(stats.min_size, 5u);
+  EXPECT_GT(stats.avg_size, 8.0);   // Table 2 ballpark (~20 avg)
+  EXPECT_LT(stats.avg_size, 80.0);
+  EXPECT_GT(stats.max_size, 50u);   // heavy tail exists
+}
+
+TEST(GeneratorTest, SynonymLexiconNonEmptyAndGrouped) {
+  LakeGenerator gen(LakeConfig::Webtable(51));
+  auto lexicon = gen.SynonymLexicon();
+  ASSERT_FALSE(lexicon.empty());
+  for (const auto& group : lexicon) {
+    EXPECT_GE(group.size(), 3u);
+    EXPECT_NE(group[0], group[1]);
+  }
+}
+
+}  // namespace
+}  // namespace lake
+}  // namespace deepjoin

@@ -1,0 +1,95 @@
+#include "lake/table.h"
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace lake {
+namespace {
+
+Table MakeTestTable() {
+  Table t;
+  t.title = "cities of atlantis";
+  t.context = "a table about places";
+  NamedColumn rank;
+  rank.name = "rank";
+  rank.cells = {"1", "2", "3", "1", "2", "3"};
+  NamedColumn city;
+  city.name = "city";
+  city.is_key = true;
+  city.cells = {"aa", "bb", "cc", "dd", "ee", "aa"};
+  city.entity_ids = {0, 1, 2, 3, 4, 0};
+  city.domain_id = 7;
+  t.columns.push_back(rank);
+  t.columns.push_back(city);
+  return t;
+}
+
+TEST(TableTest, DeduplicateKeepsFirstOccurrenceOrder) {
+  std::vector<std::string> cells = {"b", "a", "b", "c", "a"};
+  std::vector<u32> ents = {1, 0, 1, 2, 0};
+  DeduplicateCells(&cells, &ents);
+  EXPECT_EQ(cells, (std::vector<std::string>{"b", "a", "c"}));
+  EXPECT_EQ(ents, (std::vector<u32>{1, 0, 2}));
+}
+
+TEST(TableTest, ExtractKeyColumnUsesKeyFlag) {
+  Column out;
+  ASSERT_TRUE(ExtractKeyColumn(MakeTestTable(), 3, &out));
+  EXPECT_EQ(out.meta.column_name, "city");
+  EXPECT_EQ(out.meta.table_title, "cities of atlantis");
+  EXPECT_EQ(out.cells.size(), 5u);  // "aa" deduplicated
+  EXPECT_EQ(out.domain_id, 7u);
+}
+
+TEST(TableTest, ExtractKeyFallsBackToMaxDistinct) {
+  Table t = MakeTestTable();
+  t.columns[1].is_key = false;
+  Column out;
+  ASSERT_TRUE(ExtractKeyColumn(t, 3, &out));
+  EXPECT_EQ(out.meta.column_name, "city");  // city has more distinct values
+}
+
+TEST(TableTest, ExtractMaxDistinctPicksWidestColumn) {
+  Column out;
+  ASSERT_TRUE(ExtractMaxDistinctColumn(MakeTestTable(), 3, &out));
+  EXPECT_EQ(out.meta.column_name, "city");
+}
+
+TEST(TableTest, MinCellFilterRejectsShortColumns) {
+  Column out;
+  EXPECT_FALSE(ExtractMaxDistinctColumn(MakeTestTable(), 100, &out));
+}
+
+TEST(TableTest, EmptyTableFails) {
+  Table t;
+  Column out;
+  EXPECT_FALSE(ExtractMaxDistinctColumn(t, 5, &out));
+}
+
+TEST(TableTest, RepositoryAssignsSequentialIds) {
+  Repository repo;
+  Column a, b;
+  a.cells = {"x"};
+  b.cells = {"y"};
+  EXPECT_EQ(repo.Add(a), 0u);
+  EXPECT_EQ(repo.Add(b), 1u);
+  EXPECT_EQ(repo.column(1).cells[0], "y");
+}
+
+TEST(TableTest, RepositoryStats) {
+  Repository repo;
+  for (size_t n : {5, 10, 30}) {
+    Column c;
+    for (size_t i = 0; i < n; ++i) c.cells.push_back(std::to_string(i));
+    repo.Add(c);
+  }
+  auto stats = repo.ComputeStats();
+  EXPECT_EQ(stats.num_columns, 3u);
+  EXPECT_EQ(stats.min_size, 5u);
+  EXPECT_EQ(stats.max_size, 30u);
+  EXPECT_DOUBLE_EQ(stats.avg_size, 15.0);
+}
+
+}  // namespace
+}  // namespace lake
+}  // namespace deepjoin

@@ -1,0 +1,261 @@
+// Numerical gradient checks for every autograd op: perturb each input
+// scalar, compare (f(x+h) - f(x-h)) / 2h against the backward pass.
+#include "nn/autograd.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace nn {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng& rng, double scale = 0.5) {
+  Matrix m(rows, cols);
+  m.RandomNormal(rng, scale);
+  return m;
+}
+
+/// Reduces any node to a scalar by a fixed weighted sum, so we can check
+/// ops whose output is not 1x1. Weights are deterministic but non-uniform
+/// to catch transposed/misplaced gradients.
+VarPtr WeightedSum(const VarPtr& x) {
+  Matrix w(x->cols(), 1);
+  for (int r = 0; r < x->cols(); ++r) {
+    w.at(r, 0) = 0.3f + 0.1f * static_cast<float>(r % 7);
+  }
+  Matrix v(1, x->rows());
+  for (int c = 0; c < x->rows(); ++c) {
+    v.at(0, c) = 0.5f + 0.07f * static_cast<float>(c % 5);
+  }
+  auto wv = MakeVar(std::move(w));
+  auto vv = MakeVar(std::move(v));
+  return MatMul(vv, MatMul(x, wv));  // [1,1]
+}
+
+/// Checks d(scalar fn(inputs))/d(inputs[i]) for all entries of all inputs.
+void CheckGradients(
+    const std::vector<Matrix>& inputs,
+    const std::function<VarPtr(const std::vector<VarPtr>&)>& fn,
+    double tol = 2e-2, double h = 1e-3) {
+  // Analytic gradients.
+  std::vector<VarPtr> vars;
+  for (const auto& m : inputs) vars.push_back(MakeVar(m, true));
+  VarPtr out = fn(vars);
+  ASSERT_EQ(out->rows(), 1);
+  ASSERT_EQ(out->cols(), 1);
+  Backward(out);
+
+  for (size_t vi = 0; vi < inputs.size(); ++vi) {
+    for (size_t i = 0; i < inputs[vi].size(); ++i) {
+      auto eval_at = [&](double delta) {
+        std::vector<VarPtr> probe;
+        for (size_t j = 0; j < inputs.size(); ++j) {
+          Matrix m = inputs[j];
+          if (j == vi) {
+            m.data()[i] = static_cast<float>(m.data()[i] + delta);
+          }
+          probe.push_back(MakeVar(std::move(m), false));
+        }
+        return static_cast<double>(fn(probe)->value().at(0, 0));
+      };
+      const double numeric = (eval_at(h) - eval_at(-h)) / (2.0 * h);
+      const double analytic = vars[vi]->grad().data()[i];
+      const double denom = std::max(1.0, std::abs(numeric));
+      EXPECT_NEAR(analytic, numeric, tol * denom)
+          << "input " << vi << " index " << i;
+    }
+  }
+}
+
+TEST(AutogradTest, MatMulGradients) {
+  Rng rng(1);
+  CheckGradients({RandomMatrix(3, 4, rng), RandomMatrix(4, 2, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   return WeightedSum(MatMul(v[0], v[1]));
+                 });
+}
+
+TEST(AutogradTest, MatMulNTGradients) {
+  Rng rng(2);
+  CheckGradients({RandomMatrix(3, 4, rng), RandomMatrix(5, 4, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   return WeightedSum(MatMulNT(v[0], v[1]));
+                 });
+}
+
+TEST(AutogradTest, AddAndScaleGradients) {
+  Rng rng(3);
+  CheckGradients({RandomMatrix(3, 3, rng), RandomMatrix(3, 3, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   return WeightedSum(Scale(Add(v[0], v[1]), 1.7f));
+                 });
+}
+
+TEST(AutogradTest, AddRowVectorGradients) {
+  Rng rng(4);
+  CheckGradients({RandomMatrix(4, 3, rng), RandomMatrix(1, 3, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   return WeightedSum(AddRowVector(v[0], v[1]));
+                 });
+}
+
+TEST(AutogradTest, MulGradients) {
+  Rng rng(5);
+  CheckGradients({RandomMatrix(3, 3, rng), RandomMatrix(3, 3, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   return WeightedSum(Mul(v[0], v[1]));
+                 });
+}
+
+TEST(AutogradTest, RowSoftmaxGradients) {
+  Rng rng(6);
+  CheckGradients({RandomMatrix(3, 5, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   return WeightedSum(RowSoftmax(v[0], nullptr));
+                 });
+}
+
+TEST(AutogradTest, LayerNormGradients) {
+  Rng rng(7);
+  CheckGradients(
+      {RandomMatrix(3, 6, rng), RandomMatrix(1, 6, rng),
+       RandomMatrix(1, 6, rng)},
+      [](const std::vector<VarPtr>& v) {
+        return WeightedSum(LayerNormRows(v[0], v[1], v[2]));
+      },
+      /*tol=*/4e-2);
+}
+
+TEST(AutogradTest, GeluGradients) {
+  Rng rng(8);
+  CheckGradients({RandomMatrix(3, 4, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   return WeightedSum(Gelu(v[0]));
+                 });
+}
+
+TEST(AutogradTest, ReluAndTanhGradients) {
+  Rng rng(9);
+  CheckGradients({RandomMatrix(3, 4, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   return WeightedSum(Tanh(Relu(v[0])));
+                 });
+}
+
+TEST(AutogradTest, EmbeddingGatherGradients) {
+  Rng rng(10);
+  const std::vector<u32> ids = {2, 0, 2, 1};
+  CheckGradients({RandomMatrix(4, 3, rng)},
+                 [&ids](const std::vector<VarPtr>& v) {
+                   return WeightedSum(EmbeddingGather(v[0], ids));
+                 });
+}
+
+TEST(AutogradTest, MaskedMeanPoolGradients) {
+  Rng rng(11);
+  CheckGradients({RandomMatrix(5, 3, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   return WeightedSum(MaskedMeanPool(v[0], 3));
+                 });
+}
+
+TEST(AutogradTest, SliceAndConcatColsGradients) {
+  Rng rng(12);
+  CheckGradients({RandomMatrix(3, 6, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   auto a = SliceCols(v[0], 0, 2);
+                   auto b = SliceCols(v[0], 2, 4);
+                   return WeightedSum(ConcatCols({b, a}));
+                 });
+}
+
+TEST(AutogradTest, ConcatRowsGradients) {
+  Rng rng(13);
+  CheckGradients({RandomMatrix(1, 4, rng), RandomMatrix(1, 4, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   return WeightedSum(ConcatRows({v[0], v[1]}));
+                 });
+}
+
+TEST(AutogradTest, RowL2NormalizeGradients) {
+  Rng rng(14);
+  CheckGradients({RandomMatrix(3, 4, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   return WeightedSum(RowL2Normalize(v[0]));
+                 });
+}
+
+TEST(AutogradTest, AddRelPosBiasGradients) {
+  Rng rng(15);
+  CheckGradients({RandomMatrix(4, 4, rng), RandomMatrix(1, 7, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   return WeightedSum(AddRelPosBias(v[0], v[1]));
+                 });
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyDiagonalGradients) {
+  Rng rng(16);
+  CheckGradients({RandomMatrix(4, 4, rng)},
+                 [](const std::vector<VarPtr>& v) {
+                   return SoftmaxCrossEntropyDiagonal(v[0]);
+                 });
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyIndexGradients) {
+  Rng rng(17);
+  const std::vector<u32> targets = {1, 3, 0};
+  CheckGradients({RandomMatrix(3, 5, rng)},
+                 [&targets](const std::vector<VarPtr>& v) {
+                   return SoftmaxCrossEntropyIndex(v[0], targets);
+                 });
+}
+
+TEST(AutogradTest, MseLossGradients) {
+  Rng rng(18);
+  Matrix target(4, 1);
+  target.RandomNormal(rng, 1.0);
+  CheckGradients({RandomMatrix(4, 1, rng)},
+                 [&target](const std::vector<VarPtr>& v) {
+                   return MseLoss(v[0], target);
+                 });
+}
+
+TEST(AutogradTest, SharedSubgraphAccumulatesGradients) {
+  // y = x + x should give dL/dx = 2 * upstream.
+  Matrix m(1, 1);
+  m.at(0, 0) = 3.0f;
+  auto x = MakeVar(m, true);
+  auto y = Add(x, x);
+  Backward(y);
+  EXPECT_FLOAT_EQ(x->grad().at(0, 0), 2.0f);
+}
+
+TEST(AutogradTest, NoGradModeBuildsNoGraph) {
+  Matrix m(2, 2);
+  m.Fill(1.0f);
+  auto x = MakeVar(m, true);
+  NoGradGuard guard;
+  auto y = Add(x, x);
+  EXPECT_FALSE(y->requires_grad());
+  EXPECT_TRUE(y->parents.empty());
+}
+
+TEST(AutogradTest, RowSoftmaxWithMaskZeroesMaskedColumns) {
+  Matrix m(1, 3);
+  m.Fill(0.0f);
+  Matrix mask(1, 3);
+  mask.at(0, 2) = -1e9f;
+  auto x = MakeVar(m, false);
+  auto y = RowSoftmax(x, &mask);
+  EXPECT_NEAR(y->value().at(0, 0), 0.5, 1e-5);
+  EXPECT_NEAR(y->value().at(0, 1), 0.5, 1e-5);
+  EXPECT_NEAR(y->value().at(0, 2), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepjoin

@@ -1,0 +1,76 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace nn {
+namespace {
+
+VarPtr RowVec(std::vector<float> v) {
+  Matrix m(1, static_cast<int>(v.size()));
+  for (size_t i = 0; i < v.size(); ++i) m.at(0, static_cast<int>(i)) = v[i];
+  return MakeVar(std::move(m), true);
+}
+
+TEST(LossTest, PerfectAlignmentGivesLowLoss) {
+  // x_i == y_i and orthogonal across pairs: diagonal dominates.
+  auto x1 = RowVec({1, 0, 0});
+  auto x2 = RowVec({0, 1, 0});
+  auto loss_good =
+      MultipleNegativesRankingLoss({x1, x2}, {RowVec({1, 0, 0}),
+                                              RowVec({0, 1, 0})});
+  auto loss_bad =
+      MultipleNegativesRankingLoss({x1, x2}, {RowVec({0, 1, 0}),
+                                              RowVec({1, 0, 0})});
+  EXPECT_LT(loss_good->value().at(0, 0), loss_bad->value().at(0, 0));
+  EXPECT_LT(loss_good->value().at(0, 0), 0.01);
+}
+
+TEST(LossTest, LossIsFiniteAndPositive) {
+  auto loss = MultipleNegativesRankingLoss(
+      {RowVec({0.3f, -0.2f}), RowVec({-0.1f, 0.9f})},
+      {RowVec({0.5f, 0.5f}), RowVec({-0.6f, 0.1f})});
+  const float v = loss->value().at(0, 0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0f);
+}
+
+TEST(LossTest, GradientFlowsToBothSides) {
+  auto x = RowVec({0.3f, -0.2f});
+  auto y = RowVec({0.5f, 0.5f});
+  auto x2 = RowVec({-0.1f, 0.9f});
+  auto y2 = RowVec({-0.6f, 0.1f});
+  auto loss = MultipleNegativesRankingLoss({x, x2}, {y, y2});
+  Backward(loss);
+  double gx = 0, gy = 0;
+  for (int i = 0; i < 2; ++i) {
+    gx += std::abs(x->grad().at(0, i));
+    gy += std::abs(y->grad().at(0, i));
+  }
+  EXPECT_GT(gx, 0.0);
+  EXPECT_GT(gy, 0.0);
+}
+
+TEST(LossTest, ScaleSharpensSoftmax) {
+  auto make = [&](float scale) {
+    return MultipleNegativesRankingLoss(
+               {RowVec({1, 0.1f}), RowVec({0.1f, 1})},
+               {RowVec({1, 0}), RowVec({0, 1})}, scale)
+        ->value()
+        .at(0, 0);
+  };
+  EXPECT_LT(make(20.0f), make(1.0f));
+}
+
+TEST(LossTest, SingletonBatchIsZeroLoss) {
+  // One pair, no negatives: softmax over a single score -> -log(1) = 0.
+  auto loss = MultipleNegativesRankingLoss({RowVec({1, 0})},
+                                           {RowVec({0.5f, 0.5f})});
+  EXPECT_NEAR(loss->value().at(0, 0), 0.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepjoin

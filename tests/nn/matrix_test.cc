@@ -1,0 +1,100 @@
+#include "nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace nn {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6u);
+  m.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m.row(1)[2], 5.0f);
+}
+
+TEST(MatrixTest, ZeroAndFill) {
+  Matrix m(2, 2);
+  m.Fill(3.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 3.0f);
+  m.Zero();
+  EXPECT_FLOAT_EQ(m.at(1, 1), 0.0f);
+}
+
+TEST(MatrixTest, MatMulAccumAgainstHand) {
+  Matrix a(2, 3), b(3, 2), c(2, 2);
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  MatMulAccum(a, b, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatrixTest, MatMulVariantsAgree) {
+  Rng rng(3);
+  Matrix a(4, 5), b(5, 3);
+  a.RandomNormal(rng, 1.0);
+  b.RandomNormal(rng, 1.0);
+  Matrix expected(4, 3);
+  MatMulAccum(a, b, expected);
+
+  // A @ B == A @ (B^T)^T via MatMulNT.
+  Matrix bt(3, 5);
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 3; ++c) bt.at(c, r) = b.at(r, c);
+  }
+  Matrix got_nt(4, 3);
+  MatMulNTAccum(a, bt, got_nt);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(got_nt.data()[i], expected.data()[i], 1e-4);
+  }
+
+  // A @ B == (A^T)^T @ B via MatMulTN.
+  Matrix at(5, 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 5; ++c) at.at(c, r) = a.at(r, c);
+  }
+  Matrix got_tn(4, 3);
+  MatMulTNAccum(at, b, got_tn);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(got_tn.data()[i], expected.data()[i], 1e-4);
+  }
+}
+
+TEST(MatrixTest, MatMulAccumulates) {
+  Matrix a(1, 1), b(1, 1), c(1, 1);
+  a.at(0, 0) = 2;
+  b.at(0, 0) = 3;
+  c.at(0, 0) = 10;
+  MatMulAccum(a, b, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 16.0f);
+}
+
+TEST(MatrixTest, AddTo) {
+  Matrix a(2, 2), b(2, 2);
+  a.Fill(1.0f);
+  b.Fill(2.0f);
+  a.AddTo(b);
+  EXPECT_FLOAT_EQ(b.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 1.0f);
+}
+
+TEST(MatrixTest, RandomNormalIsSeeded) {
+  Rng r1(9), r2(9);
+  Matrix a(3, 3), b(3, 3);
+  a.RandomNormal(r1, 0.5);
+  b.RandomNormal(r2, 0.5);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepjoin

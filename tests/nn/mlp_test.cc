@@ -1,0 +1,89 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+
+namespace deepjoin {
+namespace nn {
+namespace {
+
+TEST(MlpTest, EmbedHasHiddenDim) {
+  MlpConfig c;
+  c.input_dim = 8;
+  c.hidden_dim = 16;
+  MlpRegressor mlp(c);
+  std::vector<float> in(8, 0.5f);
+  EXPECT_EQ(mlp.Embed(in).size(), 16u);
+}
+
+TEST(MlpTest, DeterministicForSeed) {
+  MlpConfig c;
+  c.input_dim = 4;
+  c.hidden_dim = 8;
+  MlpRegressor a(c), b(c);
+  std::vector<float> in = {0.1f, -0.3f, 0.7f, 0.0f};
+  EXPECT_EQ(a.Embed(in), b.Embed(in));
+}
+
+TEST(MlpTest, LearnsASimpleRegression) {
+  // Target: jn = 1 when x == y (same 2-hot pattern), 0 otherwise.
+  MlpConfig c;
+  c.input_dim = 6;
+  c.hidden_dim = 12;
+  MlpRegressor mlp(c);
+  AdamConfig ac;
+  ac.lr = 5e-3;
+  ac.weight_decay = 0.0;
+  AdamW opt(mlp.params().params(), ac);
+  Rng rng(1);
+
+  auto one_hot = [](int i) {
+    Matrix m(1, 6);
+    m.at(0, i) = 1.0f;
+    return m;
+  };
+
+  double first = 0, last = 0;
+  for (int step = 0; step < 200; ++step) {
+    Matrix x(4, 6), y(4, 6), t(4, 1);
+    for (int b = 0; b < 4; ++b) {
+      const int i = static_cast<int>(rng.UniformU64(6));
+      const int j = (b % 2 == 0) ? i : static_cast<int>(rng.UniformU64(6));
+      Matrix xi = one_hot(i), yj = one_hot(j);
+      std::copy(xi.data(), xi.data() + 6, x.row(b));
+      std::copy(yj.data(), yj.data() + 6, y.row(b));
+      t.at(b, 0) = (i == j) ? 1.0f : 0.0f;
+    }
+    auto pred = mlp.PredictJoinability(MakeVar(std::move(x)),
+                                       MakeVar(std::move(y)));
+    auto loss = MseLoss(pred, t);
+    if (step == 0) first = loss->value().at(0, 0);
+    last = loss->value().at(0, 0);
+    Backward(loss);
+    opt.Step(1.0);
+    mlp.params().ZeroGrads();
+  }
+  EXPECT_LT(last, first * 0.8);
+}
+
+TEST(MlpTest, TowerIsSharedBetweenSides) {
+  // Identical inputs to both towers must give identical tower outputs
+  // (it's one network applied twice).
+  MlpConfig c;
+  c.input_dim = 4;
+  c.hidden_dim = 8;
+  MlpRegressor mlp(c);
+  Matrix x(2, 4);
+  x.Fill(0.3f);
+  auto vx = MakeVar(x);
+  auto hx = mlp.Tower(vx);
+  auto hy = mlp.Tower(vx);
+  for (size_t i = 0; i < hx->value().size(); ++i) {
+    EXPECT_FLOAT_EQ(hx->value().data()[i], hy->value().data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepjoin

@@ -1,0 +1,41 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace {
+
+TEST(TokenizerTest, BasicSplit) {
+  EXPECT_EQ(TokenizeWords("Hello, World!"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, NumbersAreTokens) {
+  EXPECT_EQ(TokenizeWords("id 12345"),
+            (std::vector<std::string>{"id", "12345"}));
+}
+
+TEST(TokenizerTest, PunctuationVariantsNormalize) {
+  EXPECT_EQ(TokenizeWords("U.S.A."), TokenizeWords("u s a"));
+  EXPECT_EQ(TokenizeWords("new-york"), TokenizeWords("New York"));
+}
+
+TEST(TokenizerTest, EmptyAndPurePunctuation) {
+  EXPECT_TRUE(TokenizeWords("").empty());
+  EXPECT_TRUE(TokenizeWords("--- !!! ...").empty());
+}
+
+TEST(TokenizerTest, CountWordsMatchesTokenize) {
+  for (const char* s : {"a b c", "", "one", "x,y;z", "  spaced   out "}) {
+    EXPECT_EQ(CountWords(s), TokenizeWords(s).size()) << s;
+  }
+}
+
+TEST(TokenizerTest, TokenizeIntoAppends) {
+  std::vector<std::string> out = {"pre"};
+  TokenizeWordsInto("a b", &out);
+  EXPECT_EQ(out, (std::vector<std::string>{"pre", "a", "b"}));
+}
+
+}  // namespace
+}  // namespace deepjoin

@@ -1,0 +1,61 @@
+#include "text/vocab.h"
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace {
+
+TEST(VocabTest, MostFrequentWordsKept) {
+  Vocab v(2, 4);
+  v.Observe({"rare", "common", "common", "mid", "mid", "common"});
+  v.Finalize();
+  EXPECT_EQ(v.num_learned_words(), 2u);
+  // "common" and "mid" survive; "rare" falls into an OOV bucket.
+  const u32 common_id = v.Encode("common");
+  const u32 rare_id = v.Encode("rare");
+  EXPECT_GE(common_id, v.word_base());
+  EXPECT_LT(rare_id, v.word_base());
+  EXPECT_GE(rare_id, Vocab::kUnkBase);
+}
+
+TEST(VocabTest, EncodeIsStable) {
+  Vocab v(10, 4);
+  v.Observe({"a", "b", "a"});
+  v.Finalize();
+  EXPECT_EQ(v.Encode("a"), v.Encode("a"));
+  EXPECT_NE(v.Encode("a"), v.Encode("b"));
+}
+
+TEST(VocabTest, OovBucketsAreDeterministic) {
+  Vocab v(1, 8);
+  v.Observe({"keep"});
+  v.Finalize();
+  EXPECT_EQ(v.Encode("never-seen"), v.Encode("never-seen"));
+  EXPECT_LT(v.Encode("never-seen"), v.word_base());
+}
+
+TEST(VocabTest, DecodeRoundTripsLearnedWords) {
+  Vocab v(5, 2);
+  v.Observe({"alpha", "beta", "alpha"});
+  v.Finalize();
+  EXPECT_EQ(v.Decode(v.Encode("alpha")), "alpha");
+  EXPECT_EQ(v.Decode(Vocab::kPadId), "[pad]");
+  EXPECT_EQ(v.Decode(Vocab::kClsId), "[cls]");
+}
+
+TEST(VocabTest, SizeAccountsForSpecialsAndBuckets) {
+  Vocab v(3, 7);
+  v.Observe({"x", "y"});
+  v.Finalize();
+  EXPECT_EQ(v.size(), 3u + 7u + 2u);
+}
+
+TEST(VocabTest, TieBreakIsLexicographic) {
+  Vocab v(1, 2);
+  v.Observe({"bb", "aa"});  // equal frequency
+  v.Finalize();
+  EXPECT_EQ(v.Decode(v.word_base()), "aa");
+}
+
+}  // namespace
+}  // namespace deepjoin

@@ -1,0 +1,83 @@
+#include "util/binary_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace {
+
+class BinaryIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string(::testing::TempDir()) + "/binio.bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(BinaryIoTest, RoundTripAllTypes) {
+  {
+    BinaryWriter w(path_);
+    ASSERT_TRUE(w.ok());
+    w.WriteU32(0xDEADBEEF);
+    w.WriteU64(0x0123456789ABCDEFULL);
+    w.WriteI32(-42);
+    w.WriteFloat(3.25f);
+    w.WriteDouble(-1.5e100);
+    w.WriteString("hello world");
+    const float arr[] = {1.0f, -2.0f, 0.5f};
+    w.WriteFloatArray(arr, 3);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.ReadI32(), -42);
+  EXPECT_FLOAT_EQ(r.ReadFloat(), 3.25f);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), -1.5e100);
+  EXPECT_EQ(r.ReadString(), "hello world");
+  auto arr = r.ReadFloatArray();
+  EXPECT_EQ(arr, (std::vector<float>{1.0f, -2.0f, 0.5f}));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_F(BinaryIoTest, EmptyStringAndArray) {
+  {
+    BinaryWriter w(path_);
+    w.WriteString("");
+    w.WriteFloatArray(nullptr, 0);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path_);
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_TRUE(r.ReadFloatArray().empty());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_F(BinaryIoTest, ReadPastEndFlagsFailure) {
+  {
+    BinaryWriter w(path_);
+    w.WriteU32(7);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path_);
+  r.ReadU32();
+  r.ReadU64();  // past EOF
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BinaryIoTest, UnopenableWriterReportsError) {
+  BinaryWriter w("/no/such/dir/file.bin");
+  EXPECT_FALSE(w.ok());
+  EXPECT_FALSE(w.Close().ok());
+}
+
+TEST_F(BinaryIoTest, UnopenableReaderReportsError) {
+  BinaryReader r("/no/such/dir/file.bin");
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace deepjoin

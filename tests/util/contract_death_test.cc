@@ -1,0 +1,63 @@
+// Contract checks: programming errors must trip DJ_CHECK loudly instead
+// of corrupting state (failure injection over the API misuse surface).
+#include <gtest/gtest.h>
+
+#include "ann/ivfpq.h"
+#include "nn/autograd.h"
+#include "text/vocab.h"
+#include "util/top_k.h"
+
+namespace deepjoin {
+namespace {
+
+TEST(ContractDeathTest, TopKZeroAborts) {
+  EXPECT_DEATH({ TopK top(0); }, "k > 0");
+}
+
+TEST(ContractDeathTest, TopKWorstScoreOnEmptyAborts) {
+  TopK top(3);
+  EXPECT_DEATH(top.WorstScore(), "empty");
+}
+
+TEST(ContractDeathTest, IvfPqAddBeforeTrainAborts) {
+  ann::IvfPqConfig c;
+  c.dim = 8;
+  c.m = 4;
+  ann::IvfPqIndex index(c);
+  const float v[8] = {0};
+  EXPECT_DEATH(index.Add(v), "Train");
+}
+
+TEST(ContractDeathTest, IvfPqIndivisibleDimAborts) {
+  ann::IvfPqConfig c;
+  c.dim = 10;
+  c.m = 4;  // 10 % 4 != 0
+  EXPECT_DEATH({ ann::IvfPqIndex index(c); }, "divisible");
+}
+
+TEST(ContractDeathTest, VocabEncodeBeforeFinalizeAborts) {
+  Vocab v(10, 4);
+  v.Observe({"a"});
+  EXPECT_DEATH(v.Encode("a"), "Finalize");
+}
+
+TEST(ContractDeathTest, VocabDoubleFinalizeAborts) {
+  Vocab v(10, 4);
+  v.Finalize();
+  EXPECT_DEATH(v.Finalize(), "twice");
+}
+
+TEST(ContractDeathTest, BackwardOnNonScalarAborts) {
+  nn::Matrix m(2, 2);
+  auto x = nn::MakeVar(m, true);
+  EXPECT_DEATH(nn::Backward(x), "rows");
+}
+
+TEST(ContractDeathTest, MatMulShapeMismatchAborts) {
+  auto a = nn::MakeVar(nn::Matrix(2, 3), true);
+  auto b = nn::MakeVar(nn::Matrix(4, 2), true);
+  EXPECT_DEATH(nn::MatMul(a, b), "cols");
+}
+
+}  // namespace
+}  // namespace deepjoin

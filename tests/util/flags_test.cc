@@ -1,0 +1,62 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace {
+
+Flags ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& a : storage) argv.push_back(a.data());
+  Flags f;
+  f.Parse(static_cast<int>(argv.size()), argv.data());
+  return f;
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  auto f = ParseArgs({"--rows=20", "--name=web"});
+  EXPECT_EQ(f.GetInt("rows", 0), 20);
+  EXPECT_EQ(f.GetString("name", ""), "web");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  auto f = ParseArgs({"--rows", "30"});
+  EXPECT_EQ(f.GetInt("rows", 0), 30);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  auto f = ParseArgs({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  auto f = ParseArgs({});
+  EXPECT_EQ(f.GetInt("missing", 7), 7);
+  EXPECT_EQ(f.GetString("missing", "x"), "x");
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 0.5), 0.5);
+  EXPECT_FALSE(f.GetBool("missing", false));
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  auto f = ParseArgs({"--tau=0.9"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("tau", 0.0), 0.9);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  auto f = ParseArgs({"input.csv", "--k=5", "out.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "out.csv");
+}
+
+TEST(FlagsTest, HasDetectsPresence) {
+  auto f = ParseArgs({"--set"});
+  EXPECT_TRUE(f.Has("set"));
+  EXPECT_FALSE(f.Has("unset"));
+}
+
+}  // namespace
+}  // namespace deepjoin

@@ -1,0 +1,43 @@
+#include "util/hash.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace {
+
+TEST(HashTest, Fnv1aStable) {
+  EXPECT_EQ(Fnv1a("hello"), Fnv1a("hello"));
+  EXPECT_NE(Fnv1a("hello"), Fnv1a("hellp"));
+  EXPECT_NE(Fnv1a(""), Fnv1a("a"));
+}
+
+TEST(HashTest, SeededHashFamiliesAreIndependent) {
+  // The same key under different seeds should look unrelated.
+  std::set<u64> values;
+  for (u64 seed = 0; seed < 64; ++seed) {
+    values.insert(SeededHash("token", seed));
+  }
+  EXPECT_EQ(values.size(), 64u);
+}
+
+TEST(HashTest, SeededHashIntAndStringDiffer) {
+  EXPECT_NE(SeededHash("1", 0), SeededHash(static_cast<u64>(1), 0));
+}
+
+TEST(HashTest, Mix64Avalanches) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const u64 a = Mix64(0x1234);
+  const u64 b = Mix64(0x1235);
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(HashTest, HashCombineOrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+}  // namespace
+}  // namespace deepjoin

@@ -1,0 +1,122 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.NextU64() == b.NextU64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformU64Bounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformU64CoversRange) {
+  Rng rng(9);
+  std::map<u64, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[rng.UniformU64(5)];
+  ASSERT_EQ(counts.size(), 5u);
+  for (const auto& [v, c] : counts) EXPECT_GT(c, 700) << "value " << v;
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const i64 v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NormalHasRoughlyZeroMeanUnitVariance) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  Rng rng(23);
+  auto idx = rng.SampleIndices(100, 30);
+  ASSERT_EQ(idx.size(), 30u);
+  std::sort(idx.begin(), idx.end());
+  EXPECT_EQ(std::unique(idx.begin(), idx.end()), idx.end());
+  EXPECT_LT(idx.back(), 100u);
+}
+
+TEST(RngTest, SampleIndicesClampsToN) {
+  Rng rng(29);
+  EXPECT_EQ(rng.SampleIndices(5, 50).size(), 5u);
+}
+
+TEST(RngTest, ZipfSamplerIsSkewed) {
+  Rng rng(31);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[500] + 10);
+  EXPECT_GT(counts[0], 1000);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(37);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent.NextU64() == child.NextU64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(41);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace deepjoin

@@ -1,0 +1,51 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace {
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("HeLLo W0RLD"), "hello w0rld");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b  "), "a b");
+  EXPECT_EQ(StripWhitespace("\t\n x"), "x");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"x"}, ", "), "x");
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  const std::string s = "alpha|beta|gamma";
+  EXPECT_EQ(Join(Split(s, '|'), "|"), s);
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+  EXPECT_EQ(FormatDouble(-1.5, 2), "-1.50");
+}
+
+}  // namespace
+}  // namespace deepjoin

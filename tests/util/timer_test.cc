@@ -1,0 +1,58 @@
+#include "util/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace {
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = t.ElapsedMillis();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 5000.0);
+}
+
+TEST(WallTimerTest, UnitsAreConsistent) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = t.ElapsedSeconds();
+  const double ms = t.ElapsedMillis();
+  const double us = t.ElapsedMicros();
+  EXPECT_NEAR(ms, s * 1e3, s * 1e3);   // within 2x (separate reads)
+  EXPECT_GT(us, ms);
+}
+
+TEST(WallTimerTest, ResetRestarts) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.Reset();
+  EXPECT_LT(t.ElapsedMillis(), 15.0);
+}
+
+TEST(TimeAccumulatorTest, MeanOverSamples) {
+  TimeAccumulator acc;
+  acc.Add(0.010);
+  acc.Add(0.030);
+  EXPECT_EQ(acc.Count(), 2);
+  EXPECT_DOUBLE_EQ(acc.TotalSeconds(), 0.040);
+  EXPECT_DOUBLE_EQ(acc.MeanMillis(), 20.0);
+}
+
+TEST(TimeAccumulatorTest, EmptyMeanIsZero) {
+  TimeAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.MeanMillis(), 0.0);
+}
+
+TEST(TimeAccumulatorTest, ResetClears) {
+  TimeAccumulator acc;
+  acc.Add(1.0);
+  acc.Reset();
+  EXPECT_EQ(acc.Count(), 0);
+  EXPECT_DOUBLE_EQ(acc.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace deepjoin

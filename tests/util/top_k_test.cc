@@ -1,0 +1,79 @@
+#include "util/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace {
+
+TEST(TopKTest, KeepsLargestScores) {
+  TopK top(3);
+  for (double s : {0.1, 0.9, 0.5, 0.7, 0.2}) {
+    top.Push(s, static_cast<u32>(s * 10));
+  }
+  auto out = top.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].score, 0.9);
+  EXPECT_DOUBLE_EQ(out[1].score, 0.7);
+  EXPECT_DOUBLE_EQ(out[2].score, 0.5);
+}
+
+TEST(TopKTest, TiesBreakBySmallerId) {
+  TopK top(2);
+  top.Push(0.5, 9);
+  top.Push(0.5, 1);
+  top.Push(0.5, 4);
+  auto out = top.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[1].id, 4u);
+}
+
+TEST(TopKTest, PushReportsAdmission) {
+  TopK top(2);
+  EXPECT_TRUE(top.Push(0.3, 0));
+  EXPECT_TRUE(top.Push(0.4, 1));
+  EXPECT_FALSE(top.Push(0.1, 2));
+  EXPECT_TRUE(top.Push(0.5, 3));
+}
+
+TEST(TopKTest, WorstScoreTracksKthBest) {
+  TopK top(2);
+  top.Push(0.9, 0);
+  top.Push(0.1, 1);
+  EXPECT_DOUBLE_EQ(top.WorstScore(), 0.1);
+  top.Push(0.5, 2);
+  EXPECT_DOUBLE_EQ(top.WorstScore(), 0.5);
+}
+
+TEST(TopKTest, FewerThanKItems) {
+  TopK top(10);
+  top.Push(0.2, 1);
+  EXPECT_FALSE(top.Full());
+  auto out = top.Take();
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(TopKTest, MatchesFullSortOnRandomData) {
+  Rng rng(5);
+  std::vector<Scored> all;
+  TopK top(25);
+  for (u32 i = 0; i < 500; ++i) {
+    const double s = rng.UniformDouble();
+    all.push_back({s, i});
+    top.Push(s, i);
+  }
+  std::sort(all.begin(), all.end(), [](const Scored& a, const Scored& b) {
+    return b < a;
+  });
+  all.resize(25);
+  auto got = top.Take();
+  ASSERT_EQ(got.size(), all.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, all[i].id) << "rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace deepjoin

@@ -1,0 +1,204 @@
+// deepjoin — command-line joinable-table discovery over CSV data lakes.
+//
+//   deepjoin train  --csv=DIR --model=PATH [--semantic] [--steps=N]
+//       Ingest DIR, pre-train subword vectors on its text, prepare
+//       self-supervised positives and fine-tune a column encoder.
+//   deepjoin index  --csv=DIR --model=PATH --index=PATH
+//       Encode every extracted column and persist the HNSW index.
+//   deepjoin search --csv=DIR --model=PATH --index=PATH --query=FILE [--k=N]
+//       Load model + index and print the top-k joinable columns for the
+//       query CSV's extracted column, with exact joinability verification.
+//
+// The three stages mirror the paper's offline/online split (§3.3): train
+// once, index offline, search online.
+#include <cstdio>
+#include <string>
+
+#include "core/deepjoin.h"
+#include "core/model_io.h"
+#include "core/searcher.h"
+#include "join/joinability.h"
+#include "lake/csv_loader.h"
+#include "text/tokenizer.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+using namespace deepjoin;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "deepjoin: %s\n", message.c_str());
+  return 1;
+}
+
+Result<lake::Repository> Ingest(const std::string& dir) {
+  lake::CsvLoadOptions opts;
+  opts.policy = lake::ExtractionPolicy::kAllColumns;
+  std::vector<std::string> skipped;
+  auto repo = lake::LoadCsvDirectory(dir, opts, &skipped);
+  for (const auto& s : skipped) {
+    std::fprintf(stderr, "warning: skipped unparseable %s\n", s.c_str());
+  }
+  return repo;
+}
+
+/// Subword pre-training on the ingested corpus itself: the CLI has no
+/// external word vectors, so it runs a short skip-gram pass over cell
+/// token sequences (the in-repo analogue of downloading fastText).
+FastTextEmbedder MakeEmbedder(const lake::Repository& repo) {
+  FastTextConfig fc;
+  fc.dim = 24;
+  FastTextEmbedder embedder(fc);
+  std::vector<std::vector<std::string>> sentences;
+  for (const auto& col : repo.columns()) {
+    if (sentences.size() >= 2000) break;
+    std::vector<std::string> sent;
+    for (const auto& cell : col.cells) {
+      TokenizeWordsInto(cell, &sent);
+      if (sent.size() > 64) break;
+    }
+    if (sent.size() >= 2) sentences.push_back(std::move(sent));
+  }
+  Rng rng(7);
+  embedder.TrainSkipGram(sentences, /*window=*/2, /*negatives=*/3,
+                         /*lr=*/0.03, /*epochs=*/1, rng);
+  return embedder;
+}
+
+int CmdTrain(const Flags& flags) {
+  const std::string dir = flags.GetString("csv", "");
+  const std::string model = flags.GetString("model", "");
+  if (dir.empty() || model.empty()) {
+    return Fail("train needs --csv=DIR and --model=PATH");
+  }
+  auto repo = Ingest(dir);
+  if (!repo.ok()) return Fail(repo.status().ToString());
+  if (repo->size() < 10) return Fail("too few usable columns to train on");
+  std::printf("ingested %zu columns\n", repo->size());
+
+  // Training sample: a slice of the corpus (paper §4.1 trains on a
+  // sample of the repository itself).
+  const size_t sample_n =
+      std::min<size_t>(repo->size(),
+                       static_cast<size_t>(flags.GetInt("sample", 400)));
+  Rng rng(static_cast<u64>(flags.GetInt("seed", 1)));
+  std::vector<lake::Column> sample;
+  for (size_t i : rng.SampleIndices(repo->size(), sample_n)) {
+    sample.push_back(repo->column(static_cast<u32>(i)));
+  }
+
+  WallTimer t;
+  FastTextEmbedder embedder = MakeEmbedder(*repo);
+  std::printf("subword pre-training done (%.1fs)\n", t.ElapsedSeconds());
+
+  core::DeepJoinConfig cfg;
+  cfg.training.join_type = flags.GetBool("semantic", false)
+                               ? core::JoinType::kSemantic
+                               : core::JoinType::kEqui;
+  cfg.training.tau = static_cast<float>(flags.GetDouble("tau", 0.9));
+  cfg.finetune.max_steps = static_cast<int>(flags.GetInt("steps", 120));
+  cfg.finetune.batch_size = static_cast<int>(flags.GetInt("batch", 16));
+  cfg.finetune.verbose = true;
+  auto dj = core::DeepJoin::Train(sample, embedder, cfg);
+  std::printf("fine-tuned on %zu positives, loss %.3f -> %.3f\n",
+              dj->training_data().pairs.size(),
+              dj->train_stats().first_loss, dj->train_stats().final_loss);
+
+  if (auto st = core::SaveEncoder(dj->encoder(), model); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  std::printf("model written to %s\n", model.c_str());
+  return 0;
+}
+
+int CmdIndex(const Flags& flags) {
+  const std::string dir = flags.GetString("csv", "");
+  const std::string model = flags.GetString("model", "");
+  const std::string index = flags.GetString("index", "");
+  if (dir.empty() || model.empty() || index.empty()) {
+    return Fail("index needs --csv=DIR, --model=PATH and --index=PATH");
+  }
+  auto repo = Ingest(dir);
+  if (!repo.ok()) return Fail(repo.status().ToString());
+  auto encoder = core::LoadEncoder(model);
+  if (!encoder.ok()) return Fail(encoder.status().ToString());
+
+  core::SearcherConfig sc;
+  core::EmbeddingSearcher searcher(encoder->get(), sc);
+  WallTimer t;
+  searcher.BuildIndex(*repo);
+  std::printf("indexed %zu columns (%.1fs)\n", repo->size(),
+              t.ElapsedSeconds());
+  if (auto st = searcher.SaveIndex(index); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  std::printf("index written to %s\n", index.c_str());
+  return 0;
+}
+
+int CmdSearch(const Flags& flags) {
+  const std::string dir = flags.GetString("csv", "");
+  const std::string model = flags.GetString("model", "");
+  const std::string index = flags.GetString("index", "");
+  const std::string query_file = flags.GetString("query", "");
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  if (dir.empty() || model.empty() || index.empty() || query_file.empty()) {
+    return Fail(
+        "search needs --csv=DIR, --model=PATH, --index=PATH, --query=FILE");
+  }
+  auto repo = Ingest(dir);
+  if (!repo.ok()) return Fail(repo.status().ToString());
+  auto encoder = core::LoadEncoder(model);
+  if (!encoder.ok()) return Fail(encoder.status().ToString());
+
+  core::SearcherConfig sc;
+  core::EmbeddingSearcher searcher(encoder->get(), sc);
+  if (auto st = searcher.LoadIndex(index); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  if (searcher.index_size() != repo->size()) {
+    return Fail("index/lake size mismatch; re-run `deepjoin index`");
+  }
+
+  auto query_table = lake::LoadCsvTable(query_file);
+  if (!query_table.ok()) return Fail(query_table.status().ToString());
+  lake::Column query;
+  if (!lake::ExtractMaxDistinctColumn(*query_table, 1, &query)) {
+    return Fail("query file has no usable column");
+  }
+
+  auto out = searcher.Search(query, k);
+  auto tok = join::TokenizedRepository::Build(*repo);
+  const auto qt = tok.EncodeQuery(query);
+  std::printf("query \"%s\" (%zu cells): top-%zu in %.1f ms "
+              "(encode %.1f ms)\n",
+              query.meta.column_name.c_str(), query.size(), k, out.total_ms,
+              out.encode_ms);
+  std::printf("%-5s %-8s %-30s %s\n", "rank", "jn", "table", "column");
+  for (size_t r = 0; r < out.ids.size(); ++r) {
+    const auto& col = repo->column(out.ids[r]);
+    std::printf("%-5zu %-8.3f %-30s %s\n", r + 1,
+                join::EquiJoinability(qt, tok.columns()[out.ids[r]]),
+                col.meta.table_title.c_str(), col.meta.column_name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: deepjoin <train|index|search> [--flags]\n"
+                 "run with a subcommand; see the file header for details\n");
+    return 2;
+  }
+  const std::string& cmd = flags.positional().front();
+  if (cmd == "train") return CmdTrain(flags);
+  if (cmd == "index") return CmdIndex(flags);
+  if (cmd == "search") return CmdSearch(flags);
+  return Fail("unknown subcommand: " + cmd);
+}
