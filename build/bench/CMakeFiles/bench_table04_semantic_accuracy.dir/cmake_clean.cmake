@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table04_semantic_accuracy.dir/bench_table04_semantic_accuracy.cc.o"
+  "CMakeFiles/bench_table04_semantic_accuracy.dir/bench_table04_semantic_accuracy.cc.o.d"
+  "bench_table04_semantic_accuracy"
+  "bench_table04_semantic_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_semantic_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

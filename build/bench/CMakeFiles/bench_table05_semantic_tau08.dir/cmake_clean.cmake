@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_semantic_tau08.dir/bench_table05_semantic_tau08.cc.o"
+  "CMakeFiles/bench_table05_semantic_tau08.dir/bench_table05_semantic_tau08.cc.o.d"
+  "bench_table05_semantic_tau08"
+  "bench_table05_semantic_tau08.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_semantic_tau08.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table06_semantic_tau07.dir/bench_table06_semantic_tau07.cc.o"
+  "CMakeFiles/bench_table06_semantic_tau07.dir/bench_table06_semantic_tau07.cc.o.d"
+  "bench_table06_semantic_tau07"
+  "bench_table06_semantic_tau07.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_semantic_tau07.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table06_semantic_tau07.
+# This may be replaced when dependencies are built.

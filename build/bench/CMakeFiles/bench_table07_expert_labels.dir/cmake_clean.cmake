@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_expert_labels.dir/bench_table07_expert_labels.cc.o"
+  "CMakeFiles/bench_table07_expert_labels.dir/bench_table07_expert_labels.cc.o.d"
+  "bench_table07_expert_labels"
+  "bench_table07_expert_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_expert_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table08_column_size_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table09_transform_equi.dir/bench_table09_transform_equi.cc.o"
+  "CMakeFiles/bench_table09_transform_equi.dir/bench_table09_transform_equi.cc.o.d"
+  "bench_table09_transform_equi"
+  "bench_table09_transform_equi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_transform_equi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

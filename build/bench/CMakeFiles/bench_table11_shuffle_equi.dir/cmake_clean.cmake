@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_shuffle_equi.dir/bench_table11_shuffle_equi.cc.o"
+  "CMakeFiles/bench_table11_shuffle_equi.dir/bench_table11_shuffle_equi.cc.o.d"
+  "bench_table11_shuffle_equi"
+  "bench_table11_shuffle_equi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_shuffle_equi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

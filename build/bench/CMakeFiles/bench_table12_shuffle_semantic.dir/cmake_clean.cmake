@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_shuffle_semantic.dir/bench_table12_shuffle_semantic.cc.o"
+  "CMakeFiles/bench_table12_shuffle_semantic.dir/bench_table12_shuffle_semantic.cc.o.d"
+  "bench_table12_shuffle_semantic"
+  "bench_table12_shuffle_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_shuffle_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_benchlib.dir/common.cc.o"
+  "CMakeFiles/dj_benchlib.dir/common.cc.o.d"
+  "CMakeFiles/dj_benchlib.dir/semantic_accuracy.cc.o"
+  "CMakeFiles/dj_benchlib.dir/semantic_accuracy.cc.o.d"
+  "libdj_benchlib.a"
+  "libdj_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

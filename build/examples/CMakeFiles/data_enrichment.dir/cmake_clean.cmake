@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_enrichment.dir/data_enrichment.cpp.o"
+  "CMakeFiles/data_enrichment.dir/data_enrichment.cpp.o.d"
+  "data_enrichment"
+  "data_enrichment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_enrichment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_indexing.dir/lake_indexing.cpp.o"
+  "CMakeFiles/lake_indexing.dir/lake_indexing.cpp.o.d"
+  "lake_indexing"
+  "lake_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_service.dir/persistent_service.cpp.o"
+  "CMakeFiles/persistent_service.dir/persistent_service.cpp.o.d"
+  "persistent_service"
+  "persistent_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_discovery.dir/semantic_discovery.cpp.o"
+  "CMakeFiles/semantic_discovery.dir/semantic_discovery.cpp.o.d"
+  "semantic_discovery"
+  "semantic_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ann/hnsw.cc" "src/ann/CMakeFiles/dj_ann.dir/hnsw.cc.o" "gcc" "src/ann/CMakeFiles/dj_ann.dir/hnsw.cc.o.d"
+  "/root/repo/src/ann/ivfpq.cc" "src/ann/CMakeFiles/dj_ann.dir/ivfpq.cc.o" "gcc" "src/ann/CMakeFiles/dj_ann.dir/ivfpq.cc.o.d"
+  "/root/repo/src/ann/kmeans.cc" "src/ann/CMakeFiles/dj_ann.dir/kmeans.cc.o" "gcc" "src/ann/CMakeFiles/dj_ann.dir/kmeans.cc.o.d"
+  "/root/repo/src/ann/vector_index.cc" "src/ann/CMakeFiles/dj_ann.dir/vector_index.cc.o" "gcc" "src/ann/CMakeFiles/dj_ann.dir/vector_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dj_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dj_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_ann.dir/hnsw.cc.o"
+  "CMakeFiles/dj_ann.dir/hnsw.cc.o.d"
+  "CMakeFiles/dj_ann.dir/ivfpq.cc.o"
+  "CMakeFiles/dj_ann.dir/ivfpq.cc.o.d"
+  "CMakeFiles/dj_ann.dir/kmeans.cc.o"
+  "CMakeFiles/dj_ann.dir/kmeans.cc.o.d"
+  "CMakeFiles/dj_ann.dir/vector_index.cc.o"
+  "CMakeFiles/dj_ann.dir/vector_index.cc.o.d"
+  "libdj_ann.a"
+  "libdj_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deepjoin.cc" "src/core/CMakeFiles/dj_core.dir/deepjoin.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/deepjoin.cc.o.d"
+  "/root/repo/src/core/encoders.cc" "src/core/CMakeFiles/dj_core.dir/encoders.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/encoders.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/dj_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/reranker.cc" "src/core/CMakeFiles/dj_core.dir/reranker.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/reranker.cc.o.d"
+  "/root/repo/src/core/searcher.cc" "src/core/CMakeFiles/dj_core.dir/searcher.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/searcher.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/dj_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/training_data.cc" "src/core/CMakeFiles/dj_core.dir/training_data.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/training_data.cc.o.d"
+  "/root/repo/src/core/transform.cc" "src/core/CMakeFiles/dj_core.dir/transform.cc.o" "gcc" "src/core/CMakeFiles/dj_core.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dj_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dj_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dj_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/dj_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/lake/CMakeFiles/dj_lake.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/dj_join.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

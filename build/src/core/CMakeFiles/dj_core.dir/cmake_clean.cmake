@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_core.dir/deepjoin.cc.o"
+  "CMakeFiles/dj_core.dir/deepjoin.cc.o.d"
+  "CMakeFiles/dj_core.dir/encoders.cc.o"
+  "CMakeFiles/dj_core.dir/encoders.cc.o.d"
+  "CMakeFiles/dj_core.dir/model_io.cc.o"
+  "CMakeFiles/dj_core.dir/model_io.cc.o.d"
+  "CMakeFiles/dj_core.dir/reranker.cc.o"
+  "CMakeFiles/dj_core.dir/reranker.cc.o.d"
+  "CMakeFiles/dj_core.dir/searcher.cc.o"
+  "CMakeFiles/dj_core.dir/searcher.cc.o.d"
+  "CMakeFiles/dj_core.dir/trainer.cc.o"
+  "CMakeFiles/dj_core.dir/trainer.cc.o.d"
+  "CMakeFiles/dj_core.dir/training_data.cc.o"
+  "CMakeFiles/dj_core.dir/training_data.cc.o.d"
+  "CMakeFiles/dj_core.dir/transform.cc.o"
+  "CMakeFiles/dj_core.dir/transform.cc.o.d"
+  "libdj_core.a"
+  "libdj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_eval.dir/metrics.cc.o"
+  "CMakeFiles/dj_eval.dir/metrics.cc.o.d"
+  "libdj_eval.a"
+  "libdj_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/joinability.cc" "src/join/CMakeFiles/dj_join.dir/joinability.cc.o" "gcc" "src/join/CMakeFiles/dj_join.dir/joinability.cc.o.d"
+  "/root/repo/src/join/josie.cc" "src/join/CMakeFiles/dj_join.dir/josie.cc.o" "gcc" "src/join/CMakeFiles/dj_join.dir/josie.cc.o.d"
+  "/root/repo/src/join/lsh_ensemble.cc" "src/join/CMakeFiles/dj_join.dir/lsh_ensemble.cc.o" "gcc" "src/join/CMakeFiles/dj_join.dir/lsh_ensemble.cc.o.d"
+  "/root/repo/src/join/pexeso.cc" "src/join/CMakeFiles/dj_join.dir/pexeso.cc.o" "gcc" "src/join/CMakeFiles/dj_join.dir/pexeso.cc.o.d"
+  "/root/repo/src/join/setjoin.cc" "src/join/CMakeFiles/dj_join.dir/setjoin.cc.o" "gcc" "src/join/CMakeFiles/dj_join.dir/setjoin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dj_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dj_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/lake/CMakeFiles/dj_lake.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/dj_ann.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

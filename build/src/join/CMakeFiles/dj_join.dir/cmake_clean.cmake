@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_join.dir/joinability.cc.o"
+  "CMakeFiles/dj_join.dir/joinability.cc.o.d"
+  "CMakeFiles/dj_join.dir/josie.cc.o"
+  "CMakeFiles/dj_join.dir/josie.cc.o.d"
+  "CMakeFiles/dj_join.dir/lsh_ensemble.cc.o"
+  "CMakeFiles/dj_join.dir/lsh_ensemble.cc.o.d"
+  "CMakeFiles/dj_join.dir/pexeso.cc.o"
+  "CMakeFiles/dj_join.dir/pexeso.cc.o.d"
+  "CMakeFiles/dj_join.dir/setjoin.cc.o"
+  "CMakeFiles/dj_join.dir/setjoin.cc.o.d"
+  "libdj_join.a"
+  "libdj_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lake/csv_loader.cc" "src/lake/CMakeFiles/dj_lake.dir/csv_loader.cc.o" "gcc" "src/lake/CMakeFiles/dj_lake.dir/csv_loader.cc.o.d"
+  "/root/repo/src/lake/domain.cc" "src/lake/CMakeFiles/dj_lake.dir/domain.cc.o" "gcc" "src/lake/CMakeFiles/dj_lake.dir/domain.cc.o.d"
+  "/root/repo/src/lake/generator.cc" "src/lake/CMakeFiles/dj_lake.dir/generator.cc.o" "gcc" "src/lake/CMakeFiles/dj_lake.dir/generator.cc.o.d"
+  "/root/repo/src/lake/table.cc" "src/lake/CMakeFiles/dj_lake.dir/table.cc.o" "gcc" "src/lake/CMakeFiles/dj_lake.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

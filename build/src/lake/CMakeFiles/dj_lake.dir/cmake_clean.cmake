@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_lake.dir/csv_loader.cc.o"
+  "CMakeFiles/dj_lake.dir/csv_loader.cc.o.d"
+  "CMakeFiles/dj_lake.dir/domain.cc.o"
+  "CMakeFiles/dj_lake.dir/domain.cc.o.d"
+  "CMakeFiles/dj_lake.dir/generator.cc.o"
+  "CMakeFiles/dj_lake.dir/generator.cc.o.d"
+  "CMakeFiles/dj_lake.dir/table.cc.o"
+  "CMakeFiles/dj_lake.dir/table.cc.o.d"
+  "libdj_lake.a"
+  "libdj_lake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_lake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/autograd.cc" "src/nn/CMakeFiles/dj_nn.dir/autograd.cc.o" "gcc" "src/nn/CMakeFiles/dj_nn.dir/autograd.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/dj_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/dj_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/nn/CMakeFiles/dj_nn.dir/matrix.cc.o" "gcc" "src/nn/CMakeFiles/dj_nn.dir/matrix.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/dj_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/dj_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/dj_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/dj_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/nn/CMakeFiles/dj_nn.dir/transformer.cc.o" "gcc" "src/nn/CMakeFiles/dj_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_nn.dir/autograd.cc.o"
+  "CMakeFiles/dj_nn.dir/autograd.cc.o.d"
+  "CMakeFiles/dj_nn.dir/loss.cc.o"
+  "CMakeFiles/dj_nn.dir/loss.cc.o.d"
+  "CMakeFiles/dj_nn.dir/matrix.cc.o"
+  "CMakeFiles/dj_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/dj_nn.dir/mlp.cc.o"
+  "CMakeFiles/dj_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/dj_nn.dir/optimizer.cc.o"
+  "CMakeFiles/dj_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/dj_nn.dir/transformer.cc.o"
+  "CMakeFiles/dj_nn.dir/transformer.cc.o.d"
+  "libdj_nn.a"
+  "libdj_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_text.dir/fasttext.cc.o"
+  "CMakeFiles/dj_text.dir/fasttext.cc.o.d"
+  "CMakeFiles/dj_text.dir/tokenizer.cc.o"
+  "CMakeFiles/dj_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/dj_text.dir/vocab.cc.o"
+  "CMakeFiles/dj_text.dir/vocab.cc.o.d"
+  "libdj_text.a"
+  "libdj_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dj_util.dir/flags.cc.o"
+  "CMakeFiles/dj_util.dir/flags.cc.o.d"
+  "CMakeFiles/dj_util.dir/string_util.cc.o"
+  "CMakeFiles/dj_util.dir/string_util.cc.o.d"
+  "CMakeFiles/dj_util.dir/table_printer.cc.o"
+  "CMakeFiles/dj_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/dj_util.dir/thread_pool.cc.o"
+  "CMakeFiles/dj_util.dir/thread_pool.cc.o.d"
+  "libdj_util.a"
+  "libdj_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dj_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

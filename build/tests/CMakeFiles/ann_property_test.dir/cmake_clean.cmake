@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_property_test.dir/ann/ann_property_test.cc.o"
+  "CMakeFiles/ann_property_test.dir/ann/ann_property_test.cc.o.d"
+  "ann_property_test"
+  "ann_property_test.pdb"
+  "ann_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

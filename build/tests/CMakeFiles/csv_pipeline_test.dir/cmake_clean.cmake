@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_pipeline_test.dir/core/csv_pipeline_test.cc.o"
+  "CMakeFiles/csv_pipeline_test.dir/core/csv_pipeline_test.cc.o.d"
+  "csv_pipeline_test"
+  "csv_pipeline_test.pdb"
+  "csv_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

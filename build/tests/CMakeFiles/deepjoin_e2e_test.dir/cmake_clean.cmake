@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepjoin_e2e_test.dir/core/deepjoin_e2e_test.cc.o"
+  "CMakeFiles/deepjoin_e2e_test.dir/core/deepjoin_e2e_test.cc.o.d"
+  "deepjoin_e2e_test"
+  "deepjoin_e2e_test.pdb"
+  "deepjoin_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepjoin_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasttext_test.dir/text/fasttext_test.cc.o"
+  "CMakeFiles/fasttext_test.dir/text/fasttext_test.cc.o.d"
+  "fasttext_test"
+  "fasttext_test.pdb"
+  "fasttext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasttext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

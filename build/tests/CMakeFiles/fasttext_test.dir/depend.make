@@ -1,0 +1,2 @@
+# Empty dependencies file for fasttext_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_lifecycle_test.dir/core/index_lifecycle_test.cc.o"
+  "CMakeFiles/index_lifecycle_test.dir/core/index_lifecycle_test.cc.o.d"
+  "index_lifecycle_test"
+  "index_lifecycle_test.pdb"
+  "index_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivfpq_test.dir/ann/ivfpq_test.cc.o"
+  "CMakeFiles/ivfpq_test.dir/ann/ivfpq_test.cc.o.d"
+  "ivfpq_test"
+  "ivfpq_test.pdb"
+  "ivfpq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivfpq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinability_property_test.dir/join/joinability_property_test.cc.o"
+  "CMakeFiles/joinability_property_test.dir/join/joinability_property_test.cc.o.d"
+  "joinability_property_test"
+  "joinability_property_test.pdb"
+  "joinability_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinability_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

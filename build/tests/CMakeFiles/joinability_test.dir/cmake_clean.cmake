@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinability_test.dir/join/joinability_test.cc.o"
+  "CMakeFiles/joinability_test.dir/join/joinability_test.cc.o.d"
+  "joinability_test"
+  "joinability_test.pdb"
+  "joinability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/josie_test.dir/join/josie_test.cc.o"
+  "CMakeFiles/josie_test.dir/join/josie_test.cc.o.d"
+  "josie_test"
+  "josie_test.pdb"
+  "josie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/josie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

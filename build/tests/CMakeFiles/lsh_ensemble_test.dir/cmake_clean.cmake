@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsh_ensemble_test.dir/join/lsh_ensemble_test.cc.o"
+  "CMakeFiles/lsh_ensemble_test.dir/join/lsh_ensemble_test.cc.o.d"
+  "lsh_ensemble_test"
+  "lsh_ensemble_test.pdb"
+  "lsh_ensemble_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsh_ensemble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minhash_property_test.dir/join/minhash_property_test.cc.o"
+  "CMakeFiles/minhash_property_test.dir/join/minhash_property_test.cc.o.d"
+  "minhash_property_test"
+  "minhash_property_test.pdb"
+  "minhash_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minhash_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiset_joinability_test.dir/join/multiset_joinability_test.cc.o"
+  "CMakeFiles/multiset_joinability_test.dir/join/multiset_joinability_test.cc.o.d"
+  "multiset_joinability_test"
+  "multiset_joinability_test.pdb"
+  "multiset_joinability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiset_joinability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

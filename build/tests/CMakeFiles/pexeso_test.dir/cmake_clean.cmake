@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pexeso_test.dir/join/pexeso_test.cc.o"
+  "CMakeFiles/pexeso_test.dir/join/pexeso_test.cc.o.d"
+  "pexeso_test"
+  "pexeso_test.pdb"
+  "pexeso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pexeso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

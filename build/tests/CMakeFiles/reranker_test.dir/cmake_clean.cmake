@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reranker_test.dir/core/reranker_test.cc.o"
+  "CMakeFiles/reranker_test.dir/core/reranker_test.cc.o.d"
+  "reranker_test"
+  "reranker_test.pdb"
+  "reranker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reranker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/searcher_param_test.cc" "tests/CMakeFiles/searcher_param_test.dir/core/searcher_param_test.cc.o" "gcc" "tests/CMakeFiles/searcher_param_test.dir/core/searcher_param_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dj_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/dj_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/lake/CMakeFiles/dj_lake.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/dj_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dj_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dj_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

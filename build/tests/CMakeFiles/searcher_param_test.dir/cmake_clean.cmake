@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/searcher_param_test.dir/core/searcher_param_test.cc.o"
+  "CMakeFiles/searcher_param_test.dir/core/searcher_param_test.cc.o.d"
+  "searcher_param_test"
+  "searcher_param_test.pdb"
+  "searcher_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/searcher_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

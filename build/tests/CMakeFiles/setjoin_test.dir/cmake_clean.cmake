@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setjoin_test.dir/join/setjoin_test.cc.o"
+  "CMakeFiles/setjoin_test.dir/join/setjoin_test.cc.o.d"
+  "setjoin_test"
+  "setjoin_test.pdb"
+  "setjoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setjoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_data_test.dir/core/training_data_test.cc.o"
+  "CMakeFiles/training_data_test.dir/core/training_data_test.cc.o.d"
+  "training_data_test"
+  "training_data_test.pdb"
+  "training_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepjoin.dir/deepjoin_cli.cc.o"
+  "CMakeFiles/deepjoin.dir/deepjoin_cli.cc.o.d"
+  "deepjoin"
+  "deepjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
