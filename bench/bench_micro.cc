@@ -3,6 +3,8 @@
 // These complement the table harnesses: they isolate per-component cost.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "bench/common.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -19,7 +21,7 @@ BenchEnv& SharedEnv() {
     cfg.repo_size = 2000;
     cfg.sample_size = 200;
     cfg.num_queries = 10;
-    return new BenchEnv(cfg);
+    return std::make_unique<BenchEnv>(cfg).release();
   }();
   return *env;
 }
@@ -54,7 +56,8 @@ void BM_PlmEncodeColumn(benchmark::State& state) {
   static core::PlmColumnEncoder* encoder = [&] {
     core::PlmEncoderConfig pc;
     pc.kind = core::PlmKind::kMPNetSim;
-    return new core::PlmColumnEncoder(pc, env.sample(), env.ft());
+    return std::make_unique<core::PlmColumnEncoder>(pc, env.sample(),
+                                                    env.ft()).release();
   }();
   size_t i = 0;
   for (auto _ : state) {
@@ -66,19 +69,19 @@ void BM_PlmEncodeColumn(benchmark::State& state) {
 BENCHMARK(BM_PlmEncodeColumn);
 
 void BM_HnswSearch(benchmark::State& state) {
-  auto& env = SharedEnv();
   const int dim = 32;
+  // Deliberately leaked so teardown stays off the benchmark clock.
   static ann::HnswIndex* index = [&] {
     ann::HnswConfig hc;
     hc.dim = dim;
-    auto* idx = new ann::HnswIndex(hc);
+    auto idx = std::make_unique<ann::HnswIndex>(hc);
     Rng rng(1);
     std::vector<float> v(dim);
     for (int i = 0; i < 20000; ++i) {
       for (auto& x : v) x = static_cast<float>(rng.Normal());
       idx->Add(v.data());
     }
-    return idx;
+    return idx.release();
   }();
   Rng rng(2);
   std::vector<float> q(dim);
@@ -92,7 +95,8 @@ BENCHMARK(BM_HnswSearch)->Arg(10)->Arg(50);
 
 void BM_JosieSearch(benchmark::State& state) {
   auto& env = SharedEnv();
-  static join::JosieIndex* index = new join::JosieIndex(&env.tok());
+  static join::JosieIndex* index =
+      std::make_unique<join::JosieIndex>(&env.tok()).release();
   std::vector<join::TokenSet> qts;
   for (const auto& q : env.queries()) qts.push_back(env.tok().EncodeQuery(q));
   size_t i = 0;
@@ -133,7 +137,8 @@ void BM_FineTuneStep(benchmark::State& state) {
   static core::PlmColumnEncoder* encoder = [&] {
     core::PlmEncoderConfig pc;
     pc.kind = core::PlmKind::kMPNetSim;
-    return new core::PlmColumnEncoder(pc, env.sample(), env.ft());
+    return std::make_unique<core::PlmColumnEncoder>(pc, env.sample(),
+                                                    env.ft()).release();
   }();
   nn::AdamW opt(encoder->transformer().params().params(), nn::AdamConfig{});
   const int batch = static_cast<int>(state.range(0));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
 
 namespace deepjoin {
@@ -10,7 +11,8 @@ namespace ann {
 HnswIndex::HnswIndex(const HnswConfig& config)
     : config_(config),
       level_mult_(1.0 / std::log(static_cast<double>(config.M))),
-      rng_(config.seed) {
+      rng_(config.seed),
+      visited_pool_(std::make_unique<VisitedPool>()) {
   DJ_CHECK(config_.dim > 0 && config_.M >= 2);
 }
 
@@ -32,15 +34,39 @@ u32 HnswIndex::GreedyClosest(const float* query, u32 entry, int level) const {
   return cur;
 }
 
+std::unique_ptr<HnswIndex::VisitedScratch> HnswIndex::VisitedPool::Acquire(
+    size_t n) const {
+  std::unique_ptr<VisitedScratch> scratch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      scratch = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (!scratch) scratch = std::make_unique<VisitedScratch>();
+  if (scratch->stamp.size() < n) scratch->stamp.resize(n, 0);
+  if (scratch->epoch == std::numeric_limits<u32>::max()) {
+    std::fill(scratch->stamp.begin(), scratch->stamp.end(), 0);
+    scratch->epoch = 0;
+  }
+  ++scratch->epoch;
+  return scratch;
+}
+
+void HnswIndex::VisitedPool::Release(
+    std::unique_ptr<VisitedScratch> scratch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(scratch));
+}
+
 std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, u32 entry,
                                              int ef, int level) const {
-  ++epoch_;
-  if (visited_stamp_.size() < levels_.size()) {
-    visited_stamp_.resize(levels_.size(), 0);
-  }
-  auto visit = [&](u32 id) {
-    if (visited_stamp_[id] == epoch_) return false;
-    visited_stamp_[id] = epoch_;
+  auto scratch = visited_pool_->Acquire(levels_.size());
+  const u32 epoch = scratch->epoch;
+  auto visit = [&stamp = scratch->stamp, epoch](u32 id) {
+    if (stamp[id] == epoch) return false;
+    stamp[id] = epoch;
     return true;
   };
 
@@ -80,6 +106,7 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, u32 entry,
     results.pop();
   }
   std::reverse(out.begin(), out.end());  // ascending by distance
+  visited_pool_->Release(std::move(scratch));
   return out;
 }
 

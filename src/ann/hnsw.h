@@ -6,6 +6,8 @@
 #ifndef DEEPJOIN_ANN_HNSW_H_
 #define DEEPJOIN_ANN_HNSW_H_
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ann/vector_index.h"
@@ -28,6 +30,10 @@ class HnswIndex : public VectorIndex {
   explicit HnswIndex(const HnswConfig& config);
 
   void Add(const float* vec) override;
+
+  /// Thread-safe against concurrent Search calls on the same index (each
+  /// query checks out its own visited-marker scratch from a pool). Add is
+  /// NOT safe to run concurrently with Search; build first, then serve.
   std::vector<Neighbor> Search(const float* query, size_t k) const override;
   size_t size() const override { return levels_.size(); }
   int dim() const override { return config_.dim; }
@@ -71,6 +77,24 @@ class HnswIndex : public VectorIndex {
     return links_[id][static_cast<size_t>(level)];
   }
 
+  // Epoch-stamped visited markers, pooled so concurrent Search calls never
+  // share one (the former single mutable buffer was a data race under
+  // parallel queries). Acquire/Release touch only the pool mutex; the
+  // buffer itself is owned by exactly one query at a time.
+  struct VisitedScratch {
+    std::vector<u32> stamp;
+    u32 epoch = 0;
+  };
+  class VisitedPool {
+   public:
+    std::unique_ptr<VisitedScratch> Acquire(size_t n) const;
+    void Release(std::unique_ptr<VisitedScratch> scratch) const;
+
+   private:
+    mutable std::mutex mu_;
+    mutable std::vector<std::unique_ptr<VisitedScratch>> free_;
+  };
+
   HnswConfig config_;
   double level_mult_;
   Rng rng_;
@@ -80,9 +104,9 @@ class HnswIndex : public VectorIndex {
   u32 entry_ = 0;
   int max_level_ = -1;
 
-  // Epoch-stamped visited markers to avoid per-query allocation.
-  mutable std::vector<u32> visited_stamp_;
-  mutable u32 epoch_ = 0;
+  // Held by pointer so HnswIndex stays movable (the pool owns a mutex);
+  // a moved-from index must not be searched.
+  std::unique_ptr<VisitedPool> visited_pool_;
 };
 
 }  // namespace ann

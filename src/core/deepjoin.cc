@@ -6,6 +6,7 @@ namespace core {
 std::unique_ptr<DeepJoin> DeepJoin::Train(
     const std::vector<lake::Column>& sample,
     const FastTextEmbedder& pretrained, const DeepJoinConfig& config) {
+  // make_unique cannot reach the private constructor. dj_lint: allow(naked-new)
   auto dj = std::unique_ptr<DeepJoin>(new DeepJoin());
   dj->config_ = config;
   dj->training_data_ =

@@ -110,9 +110,8 @@ TrainStats FineTunePlm(PlmColumnEncoder& encoder, const TrainingData& data,
     ++stats.steps;
 
     if (config.verbose && (step % 20 == 0 || step + 1 == total)) {
-      std::printf("  [fine-tune %s] step %ld/%ld loss %.4f\n",
-                  encoder.name().c_str(), step, total, loss_value);
-      std::fflush(stdout);
+      std::fprintf(stderr, "  [fine-tune %s] step %ld/%ld loss %.4f\n",
+                   encoder.name().c_str(), step, total, loss_value);
     }
   }
   stats.seconds = timer.ElapsedSeconds();

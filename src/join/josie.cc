@@ -42,21 +42,17 @@ std::vector<Scored> JosieIndex::SearchTopK(const TokenSet& query,
   std::unordered_map<u32, u32> counts;  // candidate column -> overlap so far
   const size_t m = tokens.size();
   for (size_t i = 0; i < m; ++i) {
-    const size_t remaining = m - i;  // tokens not yet probed, incl. current
     for (const Posting& p : postings_[tokens[i]]) {
       auto it = counts.find(p.column);
       if (it != counts.end()) {
         ++it->second;
         continue;
       }
-      // Prefix-filter admission: a column first seen now can accumulate at
-      // most `remaining` overlap. Require it to be able to reach at least
-      // overlap 1 trivially (always true) — the meaningful bound kicks in
-      // for top-k below, so admit unless the counter already proves that
-      // `remaining` overlap cannot beat an existing full candidate set of
-      // size >= k whose minimum count >= remaining. Tracking that online
-      // costs more than it saves at moderate k; we use the simpler exact
-      // rule: admit while remaining >= 1.
+      // Prefix-filter admission: a column first seen at position i can
+      // accumulate at most m - i further overlap, so a tighter bound could
+      // reject it when that cannot beat an existing full candidate set of
+      // size >= k. Tracking that online costs more than it saves at
+      // moderate k; we use the simpler exact rule and always admit.
       counts.emplace(p.column, 1);
     }
   }

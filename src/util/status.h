@@ -23,7 +23,11 @@ enum class StatusCode {
 };
 
 /// Error-or-success carrier. Cheap to copy when OK (no message allocated).
-class Status {
+/// [[nodiscard]]: a dropped Status is a swallowed error — every call site
+/// must propagate (DJ_RETURN_IF_ERROR), branch on ok(), or spell out the
+/// intent by casting through IgnoreError(). Enforced repo-wide by
+/// -Werror=unused-result (see top-level CMakeLists.txt).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -49,9 +53,13 @@ class Status {
     return Status(StatusCode::kIoError, std::move(m));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Explicitly consumes an error the caller has decided not to act on
+  /// (e.g. best-effort cleanup). Makes the discard grep-able.
+  void IgnoreError() const {}
 
   std::string ToString() const {
     if (ok()) return "OK";
@@ -78,15 +86,15 @@ class Status {
 
 /// Value-or-Status, analogous to arrow::Result<T>.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}           // NOLINT
   Result(Status status) : status_(std::move(status)) {    // NOLINT
     DJ_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
   }
 
-  bool ok() const { return value_.has_value(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     DJ_CHECK_MSG(ok(), status_.ToString().c_str());

@@ -16,16 +16,21 @@ void TablePrinter::Print(const std::string& title) const {
   size_t total = 0;
   for (size_t w : widths) total += w + 3;
 
-  std::printf("\n=== %s ===\n", title.c_str());
+  // TablePrinter is the one sanctioned stdout sink in the library: bench
+  // and tools route their report tables through it by contract.
+  std::printf("\n=== %s ===\n", title.c_str());  // dj_lint: allow(no-printf)
   auto print_row = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      // dj_lint: allow(no-printf)
       std::printf("%-*s | ", static_cast<int>(widths[c]), row[c].c_str());
     }
-    std::printf("\n");
+    std::printf("\n");  // dj_lint: allow(no-printf)
   };
   print_row(header_);
-  for (size_t i = 0; i < total; ++i) std::printf("-");
-  std::printf("\n");
+  for (size_t i = 0; i < total; ++i) {
+    std::printf("-");  // dj_lint: allow(no-printf)
+  }
+  std::printf("\n");  // dj_lint: allow(no-printf)
   for (const auto& row : rows_) print_row(row);
   std::fflush(stdout);
 }

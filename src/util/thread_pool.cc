@@ -1,8 +1,11 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace deepjoin {
+
+thread_local ThreadPool* ThreadPool::current_pool_ = nullptr;
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -16,18 +19,27 @@ ThreadPool::~ThreadPool() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     stop_ = true;
+    // Notify under the lock: a waiter between its predicate check and its
+    // sleep cannot miss the wakeup, and the cv cannot be destroyed between
+    // an unlocked notify and the waiters draining.
+    task_cv_.notify_all();
   }
-  task_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
+    if (!stop_) {
+      tasks_.push(std::move(task));
+      ++in_flight_;
+      task_cv_.notify_one();
+      return;
+    }
   }
-  task_cv_.notify_one();
+  // Shutdown has begun: the queue may never be drained again, so enqueuing
+  // would lose the task or deadlock a later Wait(). Run it here instead.
+  task();
 }
 
 void ThreadPool::Wait() {
@@ -38,30 +50,53 @@ void ThreadPool::Wait() {
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   const size_t threads = workers_.size();
-  if (threads <= 1 || n < 2) {
+  if (threads <= 1 || n < 2 || current_pool_ == this) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+
+  // Per-call batch state: ParallelFor must not return early when an
+  // unrelated Submit finishes, nor block on unrelated in-flight tasks.
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending = 0;
+  };
+  auto batch = std::make_shared<Batch>();
+
   const size_t chunks = std::min(threads * 4, n);
   const size_t per = (n + chunks - 1) / chunks;
+  {
+    std::lock_guard<std::mutex> lk(batch->mu);
+    for (size_t c = 0; c < chunks; ++c) {
+      if (c * per >= n) break;
+      ++batch->pending;
+    }
+  }
   for (size_t c = 0; c < chunks; ++c) {
     const size_t lo = c * per;
     const size_t hi = std::min(n, lo + per);
     if (lo >= hi) break;
-    Submit([lo, hi, &fn] {
+    // `fn` is captured by reference: this call blocks on the batch below,
+    // so the referent outlives every chunk.
+    Submit([lo, hi, &fn, batch] {
       for (size_t i = lo; i < hi; ++i) fn(i);
+      std::lock_guard<std::mutex> lk(batch->mu);
+      if (--batch->pending == 0) batch->cv.notify_all();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lk(batch->mu);
+  batch->cv.wait(lk, [&batch] { return batch->pending == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
+  current_pool_ = this;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
+      if (stop_ && tasks_.empty()) break;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
@@ -72,6 +107,7 @@ void ThreadPool::WorkerLoop() {
       if (in_flight_ == 0) done_cv_.notify_all();
     }
   }
+  current_pool_ = nullptr;
 }
 
 }  // namespace deepjoin

@@ -2,10 +2,18 @@
 // the paper's "DeepJoin (GPU)" rows: query encoding is embarrassingly
 // parallel across queries, so batching over a pool reproduces the shape of
 // the accelerated path (see DESIGN.md, substitution table).
+//
+// Concurrency contract (exercised by thread_pool_stress_test under TSan):
+//  - Submit/Wait/ParallelFor may be called from any thread, including from
+//    inside tasks running on this pool.
+//  - Submit racing pool destruction never touches a dead queue: once
+//    shutdown has begun, Submit runs the task inline on the calling thread.
+//  - ParallelFor called from inside one of this pool's own tasks runs
+//    inline (queuing chunks and blocking would deadlock once every worker
+//    did the same).
 #ifndef DEEPJOIN_UTIL_THREAD_POOL_H_
 #define DEEPJOIN_UTIL_THREAD_POOL_H_
 
-#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -25,21 +33,27 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw.
+  /// Enqueues a task. Tasks must not throw. If the pool is shutting down,
+  /// the task runs inline on the calling thread instead of being enqueued.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished.
+  /// Blocks until all submitted tasks have finished, including tasks
+  /// submitted by other threads while this call is waiting.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
 
   /// Runs fn(i) for i in [0, n), partitioned into contiguous chunks across
-  /// the pool, and blocks until done. Falls back to inline execution for a
-  /// single-thread pool or tiny n.
+  /// the pool, and blocks until done — without waiting on unrelated tasks
+  /// (each call tracks its own batch). Falls back to inline execution for a
+  /// single-thread pool, tiny n, or when called from a worker of this pool.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
   void WorkerLoop();
+
+  /// The pool whose worker thread we are currently on, or nullptr.
+  static thread_local ThreadPool* current_pool_;
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -1,0 +1,78 @@
+// Concurrent-search stress test: one shared HNSW index queried from many
+// threads must return exactly the single-threaded answers. Labeled `tsan`
+// so tools/check.sh runs it under -fsanitize=thread, which is what caught
+// the original shared visited-marker scratch being mutated from a const
+// Search (now a per-query pool, see hnsw.h).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ann/hnsw.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace deepjoin {
+namespace ann {
+namespace {
+
+std::vector<float> RandomVectors(size_t n, int dim, u64 seed) {
+  Rng rng(seed);
+  std::vector<float> data(n * static_cast<size_t>(dim));
+  for (auto& x : data) x = static_cast<float>(rng.Normal());
+  return data;
+}
+
+TEST(HnswConcurrentTest, ParallelQueriesMatchSerialAnswers) {
+  HnswConfig hc;
+  hc.dim = 16;
+  HnswIndex index(hc);
+  const size_t n = 1500;
+  const auto base = RandomVectors(n, hc.dim, 7);
+  for (size_t i = 0; i < n; ++i) index.Add(&base[i * hc.dim]);
+
+  const size_t num_queries = 256;
+  const size_t k = 10;
+  const auto queries = RandomVectors(num_queries, hc.dim, 99);
+
+  // Ground truth from the single-threaded path.
+  std::vector<std::vector<Neighbor>> serial(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    serial[q] = index.Search(&queries[q * hc.dim], k);
+  }
+
+  // Same queries, 8 threads, several rounds to vary the interleavings.
+  ThreadPool pool(8);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::vector<Neighbor>> parallel(num_queries);
+    pool.ParallelFor(num_queries, [&](size_t q) {
+      parallel[q] = index.Search(&queries[q * hc.dim], k);
+    });
+    for (size_t q = 0; q < num_queries; ++q) {
+      ASSERT_EQ(parallel[q].size(), serial[q].size()) << "query " << q;
+      for (size_t j = 0; j < serial[q].size(); ++j) {
+        EXPECT_EQ(parallel[q][j].id, serial[q][j].id)
+            << "query " << q << " rank " << j;
+        EXPECT_FLOAT_EQ(parallel[q][j].dist, serial[q][j].dist);
+      }
+    }
+  }
+}
+
+TEST(HnswConcurrentTest, ConcurrentSearchOnTinyIndex) {
+  HnswConfig hc;
+  hc.dim = 4;
+  HnswIndex index(hc);
+  const auto base = RandomVectors(3, hc.dim, 5);
+  for (size_t i = 0; i < 3; ++i) index.Add(&base[i * hc.dim]);
+
+  const auto queries = RandomVectors(64, hc.dim, 17);
+  ThreadPool pool(8);
+  pool.ParallelFor(64, [&](size_t q) {
+    auto hits = index.Search(&queries[q * hc.dim], 2);
+    ASSERT_EQ(hits.size(), 2u);
+  });
+}
+
+}  // namespace
+}  // namespace ann
+}  // namespace deepjoin

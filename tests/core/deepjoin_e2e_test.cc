@@ -3,6 +3,9 @@
 // exact solutions — the headline behaviour of the paper at miniature scale.
 #include "core/deepjoin.h"
 
+#include <memory>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "eval/metrics.h"
@@ -16,14 +19,17 @@ namespace {
 class DeepJoinE2ETest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    gen_ = new lake::LakeGenerator(lake::LakeConfig::Webtable(404));
-    repo_ = new lake::Repository(gen_->GenerateRepository(800));
+    gen_ = std::make_unique<lake::LakeGenerator>(
+        lake::LakeConfig::Webtable(404));
+    repo_ = std::make_unique<lake::Repository>(gen_->GenerateRepository(800));
     FastTextConfig fc;
     fc.dim = 24;
-    embedder_ = new FastTextEmbedder(fc);
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
     embedder_->TrainSynonyms(gen_->SynonymLexicon(), 0.8, 2);
-    sample_ = new std::vector<lake::Column>(gen_->GenerateQueries(200, 0x5A));
-    queries_ = new std::vector<lake::Column>(gen_->GenerateQueries(12, 0xD1));
+    sample_ = std::make_unique<std::vector<lake::Column>>(
+        gen_->GenerateQueries(200, 0x5A));
+    queries_ = std::make_unique<std::vector<lake::Column>>(
+        gen_->GenerateQueries(12, 0xD1));
 
     DeepJoinConfig cfg;
     cfg.plm.kind = PlmKind::kMPNetSim;
@@ -34,33 +40,33 @@ class DeepJoinE2ETest : public ::testing::Test {
     cfg.finetune.batch_size = 12;
     cfg.finetune.max_steps = 60;
     cfg.finetune.lr = 5e-4;
-    dj_ = DeepJoin::Train(*sample_, *embedder_, cfg).release();
+    dj_ = DeepJoin::Train(*sample_, *embedder_, cfg);
     dj_->BuildIndex(*repo_);
   }
 
   static void TearDownTestSuite() {
-    delete dj_;
-    delete queries_;
-    delete sample_;
-    delete embedder_;
-    delete repo_;
-    delete gen_;
+    dj_.reset();
+    queries_.reset();
+    sample_.reset();
+    embedder_.reset();
+    repo_.reset();
+    gen_.reset();
   }
 
-  static lake::LakeGenerator* gen_;
-  static lake::Repository* repo_;
-  static FastTextEmbedder* embedder_;
-  static std::vector<lake::Column>* sample_;
-  static std::vector<lake::Column>* queries_;
-  static DeepJoin* dj_;
+  static std::unique_ptr<lake::LakeGenerator> gen_;
+  static std::unique_ptr<lake::Repository> repo_;
+  static std::unique_ptr<FastTextEmbedder> embedder_;
+  static std::unique_ptr<std::vector<lake::Column>> sample_;
+  static std::unique_ptr<std::vector<lake::Column>> queries_;
+  static std::unique_ptr<DeepJoin> dj_;
 };
 
-lake::LakeGenerator* DeepJoinE2ETest::gen_ = nullptr;
-lake::Repository* DeepJoinE2ETest::repo_ = nullptr;
-FastTextEmbedder* DeepJoinE2ETest::embedder_ = nullptr;
-std::vector<lake::Column>* DeepJoinE2ETest::sample_ = nullptr;
-std::vector<lake::Column>* DeepJoinE2ETest::queries_ = nullptr;
-DeepJoin* DeepJoinE2ETest::dj_ = nullptr;
+std::unique_ptr<lake::LakeGenerator> DeepJoinE2ETest::gen_;
+std::unique_ptr<lake::Repository> DeepJoinE2ETest::repo_;
+std::unique_ptr<FastTextEmbedder> DeepJoinE2ETest::embedder_;
+std::unique_ptr<std::vector<lake::Column>> DeepJoinE2ETest::sample_;
+std::unique_ptr<std::vector<lake::Column>> DeepJoinE2ETest::queries_;
+std::unique_ptr<DeepJoin> DeepJoinE2ETest::dj_;
 
 TEST_F(DeepJoinE2ETest, TrainingProducedPositivesAndReducedLoss) {
   EXPECT_GT(dj_->training_data().pairs.size(), 50u);

@@ -1,7 +1,9 @@
 // Parameterized sweep over ANN backends behind the searcher: every
 // backend must return valid, deduplicated, k-sized result sets, and the
 // approximate backends must agree with the exact one on most results.
+#include <memory>
 #include <unordered_set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -16,43 +18,45 @@ class SearcherBackendTest : public ::testing::TestWithParam<AnnBackend> {
  protected:
   static void SetUpTestSuite() {
     lake::LakeGenerator gen(lake::LakeConfig::Webtable(1515));
-    repo_ = new lake::Repository(gen.GenerateRepository(400));
-    queries_ = new std::vector<lake::Column>(gen.GenerateQueries(6));
+    repo_ = std::make_unique<lake::Repository>(gen.GenerateRepository(400));
+    queries_ =
+        std::make_unique<std::vector<lake::Column>>(gen.GenerateQueries(6));
     FastTextConfig fc;
     fc.dim = 16;
-    embedder_ = new FastTextEmbedder(fc);
-    encoder_ = new FastTextColumnEncoder(embedder_, TransformConfig{});
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+    encoder_ = std::make_unique<FastTextColumnEncoder>(embedder_.get(),
+                                                       TransformConfig{});
     SearcherConfig flat_cfg;
     flat_cfg.backend = AnnBackend::kFlat;
-    exact_ = new EmbeddingSearcher(encoder_, flat_cfg);
+    exact_ = std::make_unique<EmbeddingSearcher>(encoder_.get(), flat_cfg);
     exact_->BuildIndex(*repo_);
   }
   static void TearDownTestSuite() {
-    delete exact_;
-    delete encoder_;
-    delete embedder_;
-    delete queries_;
-    delete repo_;
+    exact_.reset();
+    encoder_.reset();
+    embedder_.reset();
+    queries_.reset();
+    repo_.reset();
   }
 
-  static lake::Repository* repo_;
-  static std::vector<lake::Column>* queries_;
-  static FastTextEmbedder* embedder_;
-  static FastTextColumnEncoder* encoder_;
-  static EmbeddingSearcher* exact_;
+  static std::unique_ptr<lake::Repository> repo_;
+  static std::unique_ptr<std::vector<lake::Column>> queries_;
+  static std::unique_ptr<FastTextEmbedder> embedder_;
+  static std::unique_ptr<FastTextColumnEncoder> encoder_;
+  static std::unique_ptr<EmbeddingSearcher> exact_;
 };
 
-lake::Repository* SearcherBackendTest::repo_ = nullptr;
-std::vector<lake::Column>* SearcherBackendTest::queries_ = nullptr;
-FastTextEmbedder* SearcherBackendTest::embedder_ = nullptr;
-FastTextColumnEncoder* SearcherBackendTest::encoder_ = nullptr;
-EmbeddingSearcher* SearcherBackendTest::exact_ = nullptr;
+std::unique_ptr<lake::Repository> SearcherBackendTest::repo_;
+std::unique_ptr<std::vector<lake::Column>> SearcherBackendTest::queries_;
+std::unique_ptr<FastTextEmbedder> SearcherBackendTest::embedder_;
+std::unique_ptr<FastTextColumnEncoder> SearcherBackendTest::encoder_;
+std::unique_ptr<EmbeddingSearcher> SearcherBackendTest::exact_;
 
 TEST_P(SearcherBackendTest, ValidDedupedKResults) {
   SearcherConfig cfg;
   cfg.backend = GetParam();
   cfg.ivfpq_m = 4;
-  EmbeddingSearcher searcher(encoder_, cfg);
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
   searcher.BuildIndex(*repo_);
   for (const auto& q : *queries_) {
     auto out = searcher.Search(q, 10);
@@ -68,7 +72,7 @@ TEST_P(SearcherBackendTest, AgreesWithExactOnMostResults) {
   cfg.backend = GetParam();
   cfg.ivfpq_m = 4;
   cfg.ivfpq_nprobe = 16;
-  EmbeddingSearcher searcher(encoder_, cfg);
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
   searcher.BuildIndex(*repo_);
   size_t agree = 0, total = 0;
   for (const auto& q : *queries_) {
@@ -94,7 +98,7 @@ TEST_P(SearcherBackendTest, KLargerThanRepositoryClamps) {
   SearcherConfig cfg;
   cfg.backend = GetParam();
   cfg.ivfpq_m = 4;
-  EmbeddingSearcher searcher(encoder_, cfg);
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
   lake::Repository tiny;
   for (size_t i = 0; i < 5; ++i) tiny.Add(repo_->column(static_cast<u32>(i)));
   searcher.BuildIndex(tiny);

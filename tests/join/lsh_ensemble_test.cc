@@ -49,7 +49,9 @@ TEST_F(LshEnsembleTest, SketchScoresApproximateTrueJoinability) {
       ++n;
     }
   }
-  if (n > 0) EXPECT_LT(err_sum / static_cast<double>(n), 0.35);
+  if (n > 0) {
+    EXPECT_LT(err_sum / static_cast<double>(n), 0.35);
+  }
 }
 
 TEST_F(LshEnsembleTest, FindsSelfAtThresholdOne) {

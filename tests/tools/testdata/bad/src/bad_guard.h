@@ -1,0 +1,7 @@
+// Fixture for dj_lint_test: wrong include guard and using-namespace.
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+using namespace std;
+
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,11 @@
+// Fixture for dj_lint_test: one banned construct per marked line.
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+
+int BannedFixture() {
+  int* leak = new int(3);
+  std::cout << *leak;
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  return std::rand();
+}

@@ -1,0 +1,4 @@
+// Fixture for dj_lint_test: header with no include guard at all.
+#pragma once
+
+inline int MissingGuardFixture() { return 1; }

@@ -1,0 +1,11 @@
+// Fixture for dj_lint_test: every violation below carries an allow
+// comment, so this file must never appear in lint output.
+#include <cstdlib>
+
+int SuppressedFixture() {
+  int* p = new int(1);  // dj_lint: allow(naked-new)
+  // dj_lint: allow(nondeterminism)
+  int r = std::rand();
+  delete p;
+  return r;
+}

@@ -1,0 +1,17 @@
+// Fixture for dj_lint_test: fully clean header. Mentions of new,
+// std::rand and std::cout live only in comments and string literals,
+// which every rule must ignore.
+#ifndef DEEPJOIN_CLEAN_H_
+#define DEEPJOIN_CLEAN_H_
+
+namespace deepjoin_fixture {
+
+// A brand new candidate set; never admit new candidates after the prefix.
+inline const char* Decoys() { return "new std::rand() std::cout printf("; }
+
+/* block comment mentioning time(nullptr) and using namespace */
+inline int Answer() { return 42; }
+
+}  // namespace deepjoin_fixture
+
+#endif  // DEEPJOIN_CLEAN_H_

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Full correctness matrix for the DeepJoin tree (see DESIGN.md,
+# "Correctness tooling"):
+#
+#   1. plain build          + full ctest suite (includes the lint test)
+#   2. ASan+UBSan build     + full ctest suite
+#   3. TSan build           + the `tsan`-labeled concurrency tests
+#
+# Usage: tools/check.sh [--quick]
+#   --quick  plain build + ctest only (skips the sanitizer builds)
+#
+# Build trees land in build/ (plain), build-asan/, build-tsan/ next to the
+# source root, so the plain tree matches the tier-1 verify command.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+run_profile() {
+  local dir="$1" label="$2" ctest_args="$3"
+  shift 3
+  echo "=== [$label] configure ==="
+  cmake -B "$ROOT/$dir" -S "$ROOT" "$@" >/dev/null
+  echo "=== [$label] build ==="
+  cmake --build "$ROOT/$dir" -j "$JOBS"
+  echo "=== [$label] test ($ctest_args) ==="
+  # shellcheck disable=SC2086
+  (cd "$ROOT/$dir" && ctest --output-on-failure -j "$JOBS" $ctest_args)
+}
+
+run_profile build "plain" ""
+
+if [[ "$QUICK" == "0" ]]; then
+  # halt_on_error makes a sanitizer finding fail the test instead of just
+  # printing; detect_leaks stays off for gtest binaries (gtest's lazy
+  # singletons read as leaks and would drown real reports).
+  export ASAN_OPTIONS="halt_on_error=1:detect_leaks=0"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+  run_profile build-asan "asan+ubsan" "" -DDJ_SANITIZE="address;undefined"
+  run_profile build-tsan "tsan" "-L tsan" -DDJ_SANITIZE="thread"
+fi
+
+echo "=== check.sh: all profiles clean ==="

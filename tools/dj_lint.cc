@@ -1,0 +1,385 @@
+// dj_lint: project-specific static checks for the DeepJoin tree, registered
+// as a ctest (label: lint) so the build stays clean forever. Rules:
+//
+//   include-guard    headers use DEEPJOIN_<PATH>_H_ (path relative to the
+//                    repo root, leading "src/" stripped, upper-cased,
+//                    '/' and '.' mapped to '_')
+//   using-namespace  no `using namespace` at any scope in headers
+//   nondeterminism   std::rand / srand / std::random_device / time(nullptr)
+//                    are banned everywhere except src/util/rng.h — all
+//                    randomness flows through the seeded deepjoin::Rng
+//   naked-new        no naked `new`; use std::make_unique/std::make_shared
+//                    so ownership is explicit
+//   no-printf        no std::cout or printf in library code (src/**);
+//                    diagnostics go to stderr, tables via TablePrinter
+//
+// A violation is suppressed by `// dj_lint: allow(<rule>)` on the same line
+// or on the line directly above it. Comment and string-literal contents are
+// ignored by every rule except include-guard.
+//
+// Usage: dj_lint [--root <dir>] [--list-rules] [subdir ...]
+//   Scans <root>/{src,tests,bench,tools,examples} by default; explicit
+//   subdirs (relative to --root) override the default set. Directories
+//   named "testdata" are skipped so lint fixtures with deliberate
+//   violations do not fail the tree-wide run.
+// Exit code: 0 when clean, 1 when violations were found, 2 on usage error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;   // path as reported (relative to the scan root)
+  size_t line = 0;    // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct FileText {
+  std::vector<std::string> raw;   // original lines (for suppressions)
+  std::vector<std::string> code;  // comments/strings blanked with spaces
+};
+
+bool IsWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Produces a copy of the file where comment bodies and string/char literal
+/// contents are replaced by spaces, so token searches cannot match prose
+/// like "no new candidates" in a comment. Line structure is preserved.
+FileText StripCommentsAndStrings(std::istream& in) {
+  FileText out;
+  std::string line;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    out.raw.push_back(line);
+    std::string code = line;
+    size_t i = 0;
+    while (i < code.size()) {
+      if (in_block_comment) {
+        if (code[i] == '*' && i + 1 < code.size() && code[i + 1] == '/') {
+          code[i] = code[i + 1] = ' ';
+          i += 2;
+          in_block_comment = false;
+        } else {
+          code[i++] = ' ';
+        }
+        continue;
+      }
+      const char c = code[i];
+      if (c == '/' && i + 1 < code.size() && code[i + 1] == '/') {
+        for (size_t j = i; j < code.size(); ++j) code[j] = ' ';
+        break;
+      }
+      if (c == '/' && i + 1 < code.size() && code[i + 1] == '*') {
+        code[i] = code[i + 1] = ' ';
+        i += 2;
+        in_block_comment = true;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        // Raw strings R"delim(...)delim" can span lines; handle only the
+        // single-line case (the repo has no multi-line raw strings) by
+        // falling back to plain-literal scanning if the close is missing.
+        const char quote = c;
+        size_t j = i + 1;
+        while (j < code.size()) {
+          if (code[j] == '\\' && j + 1 < code.size()) {
+            code[j] = code[j + 1] = ' ';
+            j += 2;
+            continue;
+          }
+          if (code[j] == quote) break;
+          code[j] = ' ';
+          ++j;
+        }
+        i = (j < code.size()) ? j + 1 : j;
+        continue;
+      }
+      ++i;
+    }
+    out.code.push_back(std::move(code));
+  }
+  return out;
+}
+
+/// True when `needle` occurs in `hay` with non-word characters (or the
+/// boundary of the line) on both sides. `pos_out` receives the match offset.
+bool FindToken(const std::string& hay, const std::string& needle,
+               size_t* pos_out) {
+  size_t from = 0;
+  while (true) {
+    const size_t p = hay.find(needle, from);
+    if (p == std::string::npos) return false;
+    const bool left_ok = p == 0 || !IsWordChar(hay[p - 1]);
+    const size_t end = p + needle.size();
+    // Callers pass needles ending either in a word char (check the right
+    // boundary) or in punctuation like '(' (already a boundary).
+    const bool needle_ends_word = IsWordChar(needle.back());
+    const bool right_ok =
+        !needle_ends_word || end >= hay.size() || !IsWordChar(hay[end]);
+    if (left_ok && right_ok) {
+      *pos_out = p;
+      return true;
+    }
+    from = p + 1;
+  }
+}
+
+bool SuppressedAt(const FileText& text, size_t line_idx,
+                  const std::string& rule) {
+  const std::string needle = "dj_lint: allow(" + rule + ")";
+  if (text.raw[line_idx].find(needle) != std::string::npos) return true;
+  if (line_idx > 0 &&
+      text.raw[line_idx - 1].find(needle) != std::string::npos) {
+    return true;
+  }
+  return false;
+}
+
+class Linter {
+ public:
+  explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  size_t files_scanned() const { return files_scanned_; }
+
+  void LintFile(const fs::path& path) {
+    std::ifstream in(path);
+    if (!in) {
+      Report(path, 0, "io", "cannot open file");
+      return;
+    }
+    ++files_scanned_;
+    const FileText text = StripCommentsAndStrings(in);
+    const std::string rel = Relative(path);
+    const bool is_header = path.extension() == ".h";
+    const bool is_library = rel.rfind("src/", 0) == 0;
+    const bool is_rng_header = rel == "src/util/rng.h";
+
+    if (is_header) {
+      CheckIncludeGuard(path, rel, text);
+      CheckRule(path, text, "using-namespace", {"using namespace"},
+                "`using namespace` in a header leaks into every includer");
+    }
+    if (!is_rng_header) {
+      CheckRule(path, text, "nondeterminism",
+                {"std::rand", "srand(", "std::random_device", "random_device",
+                 "time(nullptr)", "time(NULL)"},
+                "nondeterministic seed source; take a deepjoin::Rng "
+                "(src/util/rng.h) instead");
+    }
+    CheckNakedNew(path, text);
+    if (is_library) {
+      CheckRule(path, text, "no-printf", {"std::cout", "printf("},
+                "stdout output in library code; return data or use "
+                "fprintf(stderr, ...) for diagnostics");
+    }
+  }
+
+  /// Recursively lints every .h/.cc/.cpp under `dir`, skipping fixture
+  /// directories named "testdata" and build trees.
+  void LintTree(const fs::path& dir) {
+    std::vector<fs::path> files;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory()) {
+        const std::string name = it->path().filename().string();
+        if (name == "testdata" || name.rfind("build", 0) == 0) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+        files.push_back(it->path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& f : files) LintFile(f);
+  }
+
+ private:
+  std::string Relative(const fs::path& path) const {
+    std::error_code ec;
+    const fs::path rel = fs::relative(path, root_, ec);
+    return (ec ? path : rel).generic_string();
+  }
+
+  void Report(const fs::path& path, size_t line, const std::string& rule,
+              const std::string& message) {
+    violations_.push_back({Relative(path), line, rule, message});
+  }
+
+  /// Expected guard for e.g. src/util/hash.h -> DEEPJOIN_UTIL_HASH_H_ and
+  /// bench/common.h -> DEEPJOIN_BENCH_COMMON_H_.
+  static std::string ExpectedGuard(std::string rel) {
+    if (rel.rfind("src/", 0) == 0) rel = rel.substr(4);
+    std::string guard = "DEEPJOIN_";
+    for (char c : rel) {
+      if (c == '/' || c == '.') {
+        guard += '_';
+      } else {
+        guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+    }
+    guard += '_';
+    return guard;
+  }
+
+  void CheckIncludeGuard(const fs::path& path, const std::string& rel,
+                         const FileText& text) {
+    const std::string expected = ExpectedGuard(rel);
+    for (size_t i = 0; i < text.code.size(); ++i) {
+      std::istringstream line(text.code[i]);
+      std::string directive, symbol;
+      line >> directive >> symbol;
+      if (directive != "#ifndef") continue;
+      if (symbol != expected) {
+        if (!SuppressedAt(text, i, "include-guard")) {
+          Report(path, i + 1, "include-guard",
+                 "guard is `" + symbol + "`, expected `" + expected + "`");
+        }
+        return;
+      }
+      // Guard symbol matches; the #define on the next line must agree.
+      if (i + 1 < text.code.size()) {
+        std::istringstream next(text.code[i + 1]);
+        std::string def_directive, def_symbol;
+        next >> def_directive >> def_symbol;
+        if (def_directive == "#define" && def_symbol == expected) return;
+      }
+      if (!SuppressedAt(text, i, "include-guard")) {
+        Report(path, i + 1, "include-guard",
+               "#ifndef " + expected + " not followed by matching #define");
+      }
+      return;
+    }
+    if (!text.code.empty() && !SuppressedAt(text, 0, "include-guard")) {
+      Report(path, 1, "include-guard", "missing guard `" + expected + "`");
+    }
+  }
+
+  void CheckRule(const fs::path& path, const FileText& text,
+                 const std::string& rule,
+                 const std::vector<std::string>& needles,
+                 const std::string& message) {
+    for (size_t i = 0; i < text.code.size(); ++i) {
+      for (const std::string& needle : needles) {
+        size_t pos = 0;
+        if (!FindToken(text.code[i], needle, &pos)) continue;
+        if (!SuppressedAt(text, i, rule)) {
+          Report(path, i + 1, rule, "`" + needle + "`: " + message);
+        }
+        break;  // one report per line per rule
+      }
+    }
+  }
+
+  void CheckNakedNew(const fs::path& path, const FileText& text) {
+    for (size_t i = 0; i < text.code.size(); ++i) {
+      const std::string& line = text.code[i];
+      size_t pos = 0;
+      if (!FindToken(line, "new", &pos)) continue;
+      // `operator new` overloads manage allocation itself; not our target.
+      const size_t before = line.find_last_not_of(" \t", pos == 0 ? 0 : pos - 1);
+      if (before != std::string::npos && before >= 7 &&
+          line.compare(before - 7, 8, "operator") == 0) {
+        continue;
+      }
+      // Require something allocatable after `new` so lone words in macro
+      // names or identifiers never slip through FindToken's boundaries.
+      const size_t after = line.find_first_not_of(" \t", pos + 3);
+      if (after == std::string::npos) continue;
+      if (!IsWordChar(line[after]) && line[after] != '(') continue;
+      if (!SuppressedAt(text, i, "naked-new")) {
+        Report(path, i + 1, "naked-new",
+               "naked `new`; use std::make_unique / std::make_shared");
+      }
+    }
+  }
+
+  fs::path root_;
+  std::vector<Violation> violations_;
+  size_t files_scanned_ = 0;
+};
+
+constexpr const char* kDefaultSubdirs[] = {"src", "tests", "bench", "tools",
+                                           "examples"};
+
+void ListRules() {
+  std::cout
+      << "include-guard    headers use DEEPJOIN_<PATH>_H_\n"
+      << "using-namespace  no `using namespace` in headers\n"
+      << "nondeterminism   no std::rand/srand/std::random_device/"
+         "time(nullptr) outside src/util/rng.h\n"
+      << "naked-new        no naked `new`\n"
+      << "no-printf        no std::cout/printf in library code (src/**)\n"
+      << "suppress with    // dj_lint: allow(<rule>)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> subdirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "dj_lint: --root requires a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      ListRules();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dj_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      subdirs.push_back(arg);
+    }
+  }
+  if (subdirs.empty()) {
+    for (const char* d : kDefaultSubdirs) subdirs.push_back(d);
+  }
+
+  Linter linter(root);
+  bool scanned_any = false;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::is_directory(dir)) continue;
+    scanned_any = true;
+    linter.LintTree(dir);
+  }
+  if (!scanned_any) {
+    std::cerr << "dj_lint: nothing to scan under " << root << "\n";
+    return 2;
+  }
+
+  for (const Violation& v : linter.violations()) {
+    std::cout << v.file << ":" << v.line << ": error: [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  if (linter.violations().empty()) {
+    std::cout << "dj_lint: clean (" << linter.files_scanned()
+              << " files scanned)\n";
+    return 0;
+  }
+  std::cout << "dj_lint: " << linter.violations().size()
+            << " violation(s) in " << linter.files_scanned()
+            << " files scanned\n";
+  return 1;
+}
