@@ -1,0 +1,27 @@
+# Driver for the thread-safety negative-compile test (see
+# tests/tools/thread_safety_negative/CMakeLists.txt). Re-configures the
+# mini project from scratch every run — try_compile results are cached in
+# the mini project's CMakeCache, and a stale cache would turn the test into
+# a no-op.
+#
+# Invoke:
+#   cmake -DDJ_MINI_PROJECT=<dir> -DDJ_SCRATCH=<dir> -DDJ_CXX=<clang++>
+#         -DDJ_SRC_ROOT=<root> -P cmake/run_thread_safety_negative.cmake
+foreach(var DJ_MINI_PROJECT DJ_SCRATCH DJ_CXX DJ_SRC_ROOT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${DJ_SCRATCH}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND}
+    -S ${DJ_MINI_PROJECT}
+    -B ${DJ_SCRATCH}
+    -DCMAKE_CXX_COMPILER=${DJ_CXX}
+    -DDJ_SRC_ROOT=${DJ_SRC_ROOT}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "thread-safety negative-compile check failed")
+endif()

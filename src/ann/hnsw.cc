@@ -38,7 +38,7 @@ std::unique_ptr<HnswIndex::VisitedScratch> HnswIndex::VisitedPool::Acquire(
     size_t n) const {
   std::unique_ptr<VisitedScratch> scratch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!free_.empty()) {
       scratch = std::move(free_.back());
       free_.pop_back();
@@ -56,7 +56,7 @@ std::unique_ptr<HnswIndex::VisitedScratch> HnswIndex::VisitedPool::Acquire(
 
 void HnswIndex::VisitedPool::Release(
     std::unique_ptr<VisitedScratch> scratch) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   free_.push_back(std::move(scratch));
 }
 

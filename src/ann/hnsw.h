@@ -7,11 +7,11 @@
 #define DEEPJOIN_ANN_HNSW_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "ann/vector_index.h"
 #include "util/binary_io.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace deepjoin {
@@ -87,12 +87,14 @@ class HnswIndex : public VectorIndex {
   };
   class VisitedPool {
    public:
-    std::unique_ptr<VisitedScratch> Acquire(size_t n) const;
-    void Release(std::unique_ptr<VisitedScratch> scratch) const;
+    std::unique_ptr<VisitedScratch> Acquire(size_t n) const DJ_EXCLUDES(mu_);
+    void Release(std::unique_ptr<VisitedScratch> scratch) const
+        DJ_EXCLUDES(mu_);
 
    private:
-    mutable std::mutex mu_;
-    mutable std::vector<std::unique_ptr<VisitedScratch>> free_;
+    mutable Mutex mu_;
+    mutable std::vector<std::unique_ptr<VisitedScratch>> free_
+        DJ_GUARDED_BY(mu_);
   };
 
   HnswConfig config_;

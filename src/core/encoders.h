@@ -18,8 +18,17 @@
 namespace deepjoin {
 namespace core {
 
-/// Maps a column to a fixed-length vector. Implementations may keep
-/// internal scratch buffers, so Encode is non-const.
+/// Maps a column to a fixed-length vector.
+///
+/// Concurrency contract: EmbeddingSearcher::BuildIndex and SearchBatch
+/// fan Encode out over a ThreadPool, so one encoder instance is invoked
+/// from many threads at once. Encode must therefore be safe for
+/// concurrent calls — keep scratch per-call or thread_local (the autograd
+/// NoGradGuard flag is thread_local for exactly this reason), and guard
+/// any shared mutable cache with a deepjoin::Mutex + DJ_GUARDED_BY (see
+/// src/util/mutex.h). Training-time graph building
+/// (EncodeForTraining/...) is single-threaded and exempt. Exercised by
+/// searcher_concurrent_test under the TSan profile.
 class ColumnEncoder {
  public:
   virtual ~ColumnEncoder() = default;

@@ -1,0 +1,130 @@
+// Concurrency-contract layer: mutex/condvar wrappers carrying Clang
+// thread-safety capability attributes, so lock discipline is checked at
+// compile time instead of hoped-for at runtime (DESIGN.md §6).
+//
+// Under Clang, `-DDJ_THREAD_SAFETY=ON` turns `-Wthread-safety` violations
+// into build errors; under GCC every annotation macro expands to nothing,
+// so the tree stays portable. tools/check.sh runs the Clang leg when a
+// clang++ is available, and a negative-compile test
+// (tests/tools/thread_safety_negative) proves the annotations are live.
+//
+// Conventions (enforced by dj_lint rule `raw-mutex`: no std::mutex /
+// std::lock_guard / std::condition_variable outside this header):
+//  - Every shared mutable field is declared with DJ_GUARDED_BY(mu_).
+//  - Private helpers that assume the lock is already held are named
+//    `*Locked()` and annotated DJ_REQUIRES(mu_).
+//  - Prefer scoped MutexLock over manual Lock/Unlock pairs.
+//  - CondVar waits are written as explicit `while (!cond) cv.Wait(mu);`
+//    loops: the analysis sees the guarded reads under the scoped lock,
+//    whereas a predicate lambda would be analyzed out of context.
+#ifndef DEEPJOIN_UTIL_MUTEX_H_
+#define DEEPJOIN_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// Thread-safety annotations are a Clang extension; GCC (and any compiler
+// without the attribute) compiles them away.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DJ_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#endif
+#endif
+#ifndef DJ_THREAD_ANNOTATION_ATTRIBUTE__
+#define DJ_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside Clang
+#endif
+
+#define DJ_CAPABILITY(x) DJ_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+#define DJ_SCOPED_CAPABILITY DJ_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field annotation: reads/writes require holding the named mutex.
+#define DJ_GUARDED_BY(x) DJ_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+/// Pointer-field annotation: the pointee (not the pointer) is guarded.
+#define DJ_PT_GUARDED_BY(x) DJ_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function annotation: caller must hold the named mutex(es). Use on
+/// `*Locked()` helpers.
+#define DJ_REQUIRES(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+/// Function annotation: caller must NOT hold the named mutex(es); guards
+/// against self-deadlock on non-reentrant locks.
+#define DJ_EXCLUDES(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define DJ_ACQUIRE(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define DJ_RELEASE(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define DJ_TRY_ACQUIRE(...) \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot follow (e.g. init/teardown
+/// where exclusivity is structural). Use sparingly and leave a comment.
+#define DJ_NO_THREAD_SAFETY_ANALYSIS \
+  DJ_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace deepjoin {
+
+class CondVar;
+
+/// Annotated wrapper over std::mutex. Non-movable (like std::mutex):
+/// classes that must stay movable hold it behind a unique_ptr, as
+/// HnswIndex does with its VisitedPool.
+class DJ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DJ_ACQUIRE() { mu_.lock(); }
+  void Unlock() DJ_RELEASE() { mu_.unlock(); }
+  bool TryLock() DJ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // Wait() releases/reacquires during the sleep
+  std::mutex mu_;
+};
+
+/// Scoped lock (RAII): acquires in the constructor, releases in the
+/// destructor. The scoped_lockable annotation lets the analysis treat the
+/// lock as held for exactly the block that contains the MutexLock.
+class DJ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DJ_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DJ_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to dj Mutex. Wait() requires the mutex held on
+/// entry and guarantees it held again on return; write the condition as an
+/// explicit loop so guarded reads stay inside the analyzed lock scope:
+///
+///   MutexLock lock(mu_);
+///   while (!ReadyLocked()) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps until notified, reacquires `mu`.
+  /// Spurious wakeups happen; always re-check the condition in a loop.
+  void Wait(Mutex& mu) DJ_REQUIRES(mu) { cv_.wait(mu.mu_); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // _any variant: it takes any BasicLockable, letting us wait directly on
+  // the wrapped std::mutex without exposing it to callers.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_MUTEX_H_

@@ -17,23 +17,23 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
     // Notify under the lock: a waiter between its predicate check and its
     // sleep cannot miss the wakeup, and the cv cannot be destroyed between
     // an unlocked notify and the waiters draining.
-    task_cv_.notify_all();
+    task_cv_.NotifyAll();
   }
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!stop_) {
       tasks_.push(std::move(task));
       ++in_flight_;
-      task_cv_.notify_one();
+      task_cv_.NotifyOne();
       return;
     }
   }
@@ -43,8 +43,14 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) done_cv_.Wait(mu_);
+}
+
+std::function<void()> ThreadPool::TakeTaskLocked() {
+  std::function<void()> task = std::move(tasks_.front());
+  tasks_.pop();
+  return task;
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -58,16 +64,16 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // Per-call batch state: ParallelFor must not return early when an
   // unrelated Submit finishes, nor block on unrelated in-flight tasks.
   struct Batch {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t pending = 0;
+    Mutex mu;
+    CondVar cv;
+    size_t pending DJ_GUARDED_BY(mu) = 0;
   };
   auto batch = std::make_shared<Batch>();
 
   const size_t chunks = std::min(threads * 4, n);
   const size_t per = (n + chunks - 1) / chunks;
   {
-    std::lock_guard<std::mutex> lk(batch->mu);
+    MutexLock lk(batch->mu);
     for (size_t c = 0; c < chunks; ++c) {
       if (c * per >= n) break;
       ++batch->pending;
@@ -81,12 +87,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     // so the referent outlives every chunk.
     Submit([lo, hi, &fn, batch] {
       for (size_t i = lo; i < hi; ++i) fn(i);
-      std::lock_guard<std::mutex> lk(batch->mu);
-      if (--batch->pending == 0) batch->cv.notify_all();
+      MutexLock lk(batch->mu);
+      if (--batch->pending == 0) batch->cv.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lk(batch->mu);
-  batch->cv.wait(lk, [&batch] { return batch->pending == 0; });
+  MutexLock lk(batch->mu);
+  while (batch->pending != 0) batch->cv.Wait(batch->mu);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -94,17 +100,16 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) break;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      MutexLock lock(mu_);
+      while (IdleLocked()) task_cv_.Wait(mu_);
+      if (DrainedLocked()) break;
+      task = TakeTaskLocked();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (in_flight_ == 0) done_cv_.notify_all();
+      if (in_flight_ == 0) done_cv_.NotifyAll();
     }
   }
   current_pool_ = nullptr;

@@ -3,7 +3,9 @@
 // parallel across queries, so batching over a pool reproduces the shape of
 // the accelerated path (see DESIGN.md, substitution table).
 //
-// Concurrency contract (exercised by thread_pool_stress_test under TSan):
+// Concurrency contract (annotated via util/mutex.h and checked at compile
+// time under -Wthread-safety; exercised by thread_pool_stress_test under
+// TSan):
 //  - Submit/Wait/ParallelFor may be called from any thread, including from
 //    inside tasks running on this pool.
 //  - Submit racing pool destruction never touches a dead queue: once
@@ -14,14 +16,13 @@
 #ifndef DEEPJOIN_UTIL_THREAD_POOL_H_
 #define DEEPJOIN_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "util/common.h"
+#include "util/mutex.h"
 
 namespace deepjoin {
 
@@ -35,11 +36,11 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not throw. If the pool is shutting down,
   /// the task runs inline on the calling thread instead of being enqueued.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DJ_EXCLUDES(mu_);
 
   /// Blocks until all submitted tasks have finished, including tasks
   /// submitted by other threads while this call is waiting.
-  void Wait();
+  void Wait() DJ_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -47,21 +48,36 @@ class ThreadPool {
   /// the pool, and blocks until done — without waiting on unrelated tasks
   /// (each call tracks its own batch). Falls back to inline execution for a
   /// single-thread pool, tiny n, or when called from a worker of this pool.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      DJ_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DJ_EXCLUDES(mu_);
+
+  /// True once shutdown has begun and the queue has drained — the worker's
+  /// exit condition.
+  bool DrainedLocked() const DJ_REQUIRES(mu_) {
+    return stop_ && tasks_.empty();
+  }
+
+  /// True while a worker should keep sleeping on task_cv_.
+  bool IdleLocked() const DJ_REQUIRES(mu_) {
+    return !stop_ && tasks_.empty();
+  }
+
+  /// Pops the next task; the queue must be non-empty.
+  std::function<void()> TakeTaskLocked() DJ_REQUIRES(mu_);
 
   /// The pool whose worker thread we are currently on, or nullptr.
   static thread_local ThreadPool* current_pool_;
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_cv_;
-  std::condition_variable done_cv_;
-  size_t in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar task_cv_;
+  CondVar done_cv_;
+  std::queue<std::function<void()>> tasks_ DJ_GUARDED_BY(mu_);
+  size_t in_flight_ DJ_GUARDED_BY(mu_) = 0;
+  bool stop_ DJ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace deepjoin

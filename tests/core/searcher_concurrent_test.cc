@@ -1,0 +1,73 @@
+// TSan-labeled coverage for the concurrency contract on ColumnEncoder:
+// EmbeddingSearcher::BuildIndex and SearchBatch fan Encode out over a
+// ThreadPool, so one encoder instance is called from many threads at once.
+// Encode must therefore use only per-call or thread_local scratch (see the
+// contract comment in src/core/encoders.h). An encoder that grows a shared
+// mutable cache without a Mutex shows up here as a TSan report under
+// `tools/check.sh` and as a determinism failure everywhere else.
+#include <gtest/gtest.h>
+
+#include "core/searcher.h"
+#include "lake/generator.h"
+#include "util/thread_pool.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class SearcherConcurrentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(909));
+    repo_ = gen.GenerateRepository(200);
+    queries_ = gen.GenerateQueries(24);
+    FastTextConfig fc;
+    fc.dim = 16;
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+    encoder_ = std::make_unique<FastTextColumnEncoder>(embedder_.get(),
+                                                       TransformConfig{});
+  }
+
+  lake::Repository repo_;
+  std::vector<lake::Column> queries_;
+  std::unique_ptr<FastTextEmbedder> embedder_;
+  std::unique_ptr<FastTextColumnEncoder> encoder_;
+};
+
+TEST_F(SearcherConcurrentTest, ParallelBuildMatchesSerialBuild) {
+  SearcherConfig cfg;
+  cfg.backend = AnnBackend::kFlat;
+
+  EmbeddingSearcher serial(encoder_.get(), cfg);
+  serial.BuildIndex(repo_);
+
+  ThreadPool pool(4);
+  EmbeddingSearcher parallel(encoder_.get(), cfg);
+  parallel.BuildIndex(repo_, &pool);
+
+  ASSERT_EQ(serial.index_size(), parallel.index_size());
+  // Same encoder, same repository: a racy Encode would perturb embeddings
+  // and flip rankings; the flat backend is exact, so results must agree.
+  for (const auto& q : queries_) {
+    EXPECT_EQ(serial.Search(q, 10).ids, parallel.Search(q, 10).ids);
+  }
+}
+
+TEST_F(SearcherConcurrentTest, PooledSearchBatchMatchesSerialSearches) {
+  SearcherConfig cfg;
+  cfg.backend = AnnBackend::kHnsw;
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
+  searcher.BuildIndex(repo_);
+
+  ThreadPool pool(4);
+  const auto batched = searcher.SearchBatch(queries_, 10, &pool);
+  ASSERT_EQ(batched.size(), queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    EXPECT_EQ(batched[i].ids, searcher.Search(queries_[i], 10).ids)
+        << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,71 @@
+// Self-test for tools/dj_header_check.cc: runs the real binary (path
+// injected by CMake as DJ_HEADER_CHECK_BIN, compiler as DJ_CXX_COMPILER)
+// over fixture trees in tests/tools/testdata/headers/ and asserts that a
+// self-sufficient header passes, a header missing <cstdint>/<string> fails
+// with actionable hints, and the `dj_header_check: skip` marker opts a
+// header out. Fixtures live under "testdata", which the tree-wide lint and
+// header-check runs skip by design.
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct CheckRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+CheckRun RunCheck(const std::string& args) {
+  const std::string cmd =
+      std::string(DJ_HEADER_CHECK_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "failed to launch: " << cmd;
+  CheckRun run;
+  if (!pipe) return run;
+  char buf[512];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) run.output += buf;
+  const int rc = pclose(pipe);
+  run.exit_code = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+  return run;
+}
+
+std::string TreeArgs(const std::string& subdir) {
+  return "--root " + std::string(DJ_HEADER_CHECK_TESTDATA) + "/" + subdir +
+         " --compiler " + std::string(DJ_CXX_COMPILER) + " --std c++20";
+}
+
+TEST(DjHeaderCheckTest, CleanTreeExitsZero) {
+  const CheckRun run = RunCheck(TreeArgs("clean"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("dj_header_check: clean"), std::string::npos)
+      << run.output;
+}
+
+TEST(DjHeaderCheckTest, BrokenHeaderFailsWithMissingIncludeHints) {
+  const CheckRun run = RunCheck(TreeArgs("broken"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("needs_cstdint.h: error: [self-contained]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("hint: add #include <cstdint>"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(DjHeaderCheckTest, SkipMarkerOptsHeaderOut) {
+  // fragment.h is just as broken as needs_cstdint.h but carries the
+  // `dj_header_check: skip` marker; it must not be reported.
+  const CheckRun run = RunCheck(TreeArgs("broken"));
+  EXPECT_EQ(run.output.find("fragment.h"), std::string::npos) << run.output;
+}
+
+TEST(DjHeaderCheckTest, UnknownFlagIsAUsageError) {
+  const CheckRun run = RunCheck("--no-such-flag");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+}  // namespace

@@ -64,6 +64,29 @@ TEST(DjLintTest, BadTreeReportsEveryRuleAtTheRightLocation) {
       << run.output;
 }
 
+TEST(DjLintTest, RawMutexAndDetachedThreadFireAtTheRightLocation) {
+  const LintRun run = RunLint("--root " + Testdata("bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // concurrency.cc: std::mutex (8), std::lock_guard (9),
+  // std::condition_variable (10), watcher.detach() (12).
+  EXPECT_NE(run.output.find("src/concurrency.cc:8: error: [raw-mutex]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/concurrency.cc:9: error: [raw-mutex]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/concurrency.cc:10: error: [raw-mutex]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(
+      run.output.find("src/concurrency.cc:12: error: [detached-thread]"),
+      std::string::npos)
+      << run.output;
+  // std::thread itself is allowed; only detach() is banned.
+  EXPECT_EQ(run.output.find("src/concurrency.cc:11:"), std::string::npos)
+      << run.output;
+}
+
 TEST(DjLintTest, SuppressionCommentsSilenceRules) {
   const LintRun run = RunLint("--root " + Testdata("bad"));
   // suppressed.cc holds the same violations as banned.cc, each carrying a
@@ -91,7 +114,8 @@ TEST(DjLintTest, ListRulesDocumentsEveryRule) {
   const LintRun run = RunLint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule : {"include-guard", "using-namespace",
-                           "nondeterminism", "naked-new", "no-printf"}) {
+                           "nondeterminism", "naked-new", "no-printf",
+                           "raw-mutex", "detached-thread"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -1,0 +1,15 @@
+// Fixture for dj_lint_test: raw concurrency primitives, one violation per
+// marked line — real code routes these through src/util/mutex.h wrappers.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+int ConcurrencyFixture() {
+  std::mutex mu;
+  std::lock_guard<std::mutex> guard(mu);
+  std::condition_variable cv;
+  std::thread watcher([] {});
+  watcher.detach();
+  cv.notify_all();
+  return 0;
+}

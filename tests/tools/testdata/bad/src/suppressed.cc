@@ -1,11 +1,18 @@
 // Fixture for dj_lint_test: every violation below carries an allow
 // comment, so this file must never appear in lint output.
 #include <cstdlib>
+#include <mutex>
+#include <thread>
 
 int SuppressedFixture() {
   int* p = new int(1);  // dj_lint: allow(naked-new)
   // dj_lint: allow(nondeterminism)
   int r = std::rand();
+  std::mutex mu;  // dj_lint: allow(raw-mutex)
+  // dj_lint: allow(raw-mutex)
+  std::lock_guard<std::mutex> guard(mu);
+  std::thread runaway([] {});
+  runaway.detach();  // dj_lint: allow(detached-thread)
   delete p;
   return r;
 }

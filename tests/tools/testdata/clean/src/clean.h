@@ -9,6 +9,11 @@ namespace deepjoin_fixture {
 // A brand new candidate set; never admit new candidates after the prefix.
 inline const char* Decoys() { return "new std::rand() std::cout printf("; }
 
+// Holding std::mutex across a detach() would be bad, says this comment.
+inline const char* MoreDecoys() {
+  return "std::mutex std::lock_guard std::condition_variable detach(";
+}
+
 /* block comment mentioning time(nullptr) and using namespace */
 inline int Answer() { return 42; }
 

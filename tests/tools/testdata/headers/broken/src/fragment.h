@@ -1,0 +1,9 @@
+// Fixture for dj_header_check_test: deliberately not self-sufficient, but
+// opted out via the marker below — the checker must skip it entirely.
+// dj_header_check: skip
+#ifndef DEEPJOIN_FRAGMENT_H_
+#define DEEPJOIN_FRAGMENT_H_
+
+inline uint64_t FragmentOnlyWorksAfterCstdint(uint64_t x) { return x + 1; }
+
+#endif  // DEEPJOIN_FRAGMENT_H_

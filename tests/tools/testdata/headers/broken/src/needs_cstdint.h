@@ -1,0 +1,17 @@
+// Fixture for dj_header_check_test: uses uint32_t and std::string without
+// including <cstdint>/<string>, so the single-include TU must fail and the
+// report must hint at the missing standard headers.
+#ifndef DEEPJOIN_NEEDS_CSTDINT_H_
+#define DEEPJOIN_NEEDS_CSTDINT_H_
+
+namespace deepjoin_fixture {
+
+inline uint32_t Hash(const std::string& s) {
+  uint32_t h = 2166136261u;
+  for (char c : s) h = (h ^ static_cast<uint32_t>(c)) * 16777619u;
+  return h;
+}
+
+}  // namespace deepjoin_fixture
+
+#endif  // DEEPJOIN_NEEDS_CSTDINT_H_

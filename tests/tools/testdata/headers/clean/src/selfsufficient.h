@@ -1,0 +1,22 @@
+// Fixture for dj_header_check_test: includes everything it uses, so the
+// single-include TU must compile.
+#ifndef DEEPJOIN_SELFSUFFICIENT_H_
+#define DEEPJOIN_SELFSUFFICIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deepjoin_fixture {
+
+inline uint32_t TotalLength(const std::vector<std::string>& parts) {
+  uint32_t total = 0;
+  for (const std::string& p : parts) {
+    total += static_cast<uint32_t>(p.size());
+  }
+  return total;
+}
+
+}  // namespace deepjoin_fixture
+
+#endif  // DEEPJOIN_SELFSUFFICIENT_H_

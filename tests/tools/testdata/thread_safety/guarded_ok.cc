@@ -1,0 +1,34 @@
+// Positive control for the thread-safety negative-compile test: correct
+// lock discipline (scoped MutexLock, DJ_REQUIRES on the *Locked helper)
+// must compile warning-free under -Wthread-safety
+// -Werror=thread-safety-analysis. Also built as a plain executable test on
+// every compiler so the fixture cannot rot.
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    deepjoin::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+  int Get() {
+    deepjoin::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() DJ_REQUIRES(mu_) { ++value_; }
+
+  deepjoin::Mutex mu_;
+  int value_ DJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Get() == 1 ? 0 : 1;
+}

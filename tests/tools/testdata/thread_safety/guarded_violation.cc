@@ -1,0 +1,26 @@
+// Negative fixture for the thread-safety negative-compile test: touching a
+// DJ_GUARDED_BY field without holding its mutex. Under Clang with
+// -Werror=thread-safety-analysis this translation unit must NOT compile —
+// proving the annotations in util/mutex.h are live, not decorative. (On
+// compilers without the analysis the macros no-op and this compiles; the
+// driving CMake project refuses to run there.)
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { ++value_; }  // guarded-by violation: mu_ not held
+
+ private:
+  deepjoin::Mutex mu_;
+  int value_ DJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Behavioral tests for the annotated concurrency wrappers in
+// src/util/mutex.h. The compile-time half of the contract is covered by the
+// thread_safety_negative_compile ctest (Clang only); these tests pin the
+// runtime semantics — mutual exclusion, TryLock, condvar wakeups — and run
+// under the TSan profile via the `tsan` label.
+#include "util/mutex.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace {
+
+TEST(MutexTest, MutexLockProvidesMutualExclusion) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 2000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(MutexTest, TryLockReflectsOwnership) {
+  Mutex mu;
+  mu.Lock();
+  // A different thread must fail TryLock while we hold the mutex
+  // (same-thread relock is UB on std::mutex, so probe from a helper).
+  bool acquired_while_held = true;
+  std::thread probe([&] { acquired_while_held = mu.TryLock(); });
+  probe.join();
+  EXPECT_FALSE(acquired_while_held);
+
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(CondVarTest, WaitReleasesMutexAndWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+
+  std::thread consumer([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    observed = 1;
+  });
+  {
+    // If Wait failed to release the mutex, this Lock would deadlock.
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  }
+  consumer.join();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int woken = 0;
+  constexpr int kWaiters = 4;
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(mu);
+      ++woken;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+    cv.NotifyAll();
+  }
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(woken, kWaiters);
+}
+
+}  // namespace
+}  // namespace deepjoin

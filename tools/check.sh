@@ -2,15 +2,23 @@
 # Full correctness matrix for the DeepJoin tree (see DESIGN.md,
 # "Correctness tooling"):
 #
-#   1. plain build          + full ctest suite (includes the lint test)
-#   2. ASan+UBSan build     + full ctest suite
-#   3. TSan build           + the `tsan`-labeled concurrency tests
+#   1. plain build          + full ctest suite (includes the lint label:
+#                             dj_lint, dj_header_check, their self-tests)
+#   2. clang thread-safety  + full ctest suite, built with clang++ and
+#      build                  -DDJ_THREAD_SAFETY=ON so -Wthread-safety
+#                             violations are errors and the negative-compile
+#                             proof runs [skipped with a notice: no clang++]
+#   3. ASan+UBSan build     + full ctest suite
+#   4. TSan build           + the `tsan`-labeled concurrency tests
+#   5. clang-tidy           over src/**.cc with the checked-in .clang-tidy
+#                             [skipped with a notice when absent]
 #
 # Usage: tools/check.sh [--quick]
-#   --quick  plain build + ctest only (skips the sanitizer builds)
+#   --quick  plain build + ctest only (skips everything else)
 #
-# Build trees land in build/ (plain), build-asan/, build-tsan/ next to the
-# source root, so the plain tree matches the tier-1 verify command.
+# Build trees land in build/ (plain), build-clang/, build-asan/,
+# build-tsan/ next to the source root, so the plain tree matches the
+# tier-1 verify command.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -33,6 +41,20 @@ run_profile() {
 run_profile build "plain" ""
 
 if [[ "$QUICK" == "0" ]]; then
+  # Compile-time concurrency contracts: the whole tree + tests under
+  # clang's -Wthread-safety analysis promoted to errors, plus the
+  # negative-compile proof that the annotations are live (it only
+  # registers as a runnable ctest under a clang toolchain).
+  if command -v clang++ >/dev/null 2>&1; then
+    run_profile build-clang "clang thread-safety" "" \
+      -DCMAKE_CXX_COMPILER=clang++ -DDJ_THREAD_SAFETY=ON
+  else
+    echo "=== [clang thread-safety] SKIPPED: clang++ not found" \
+         "(annotations in src/util/mutex.h compile to no-ops here) ==="
+  fi
+fi
+
+if [[ "$QUICK" == "0" ]]; then
   # halt_on_error makes a sanitizer finding fail the test instead of just
   # printing; detect_leaks stays off for gtest binaries (gtest's lazy
   # singletons read as leaks and would drown real reports).
@@ -42,6 +64,16 @@ if [[ "$QUICK" == "0" ]]; then
 
   run_profile build-asan "asan+ubsan" "" -DDJ_SANITIZE="address;undefined"
   run_profile build-tsan "tsan" "-L tsan" -DDJ_SANITIZE="thread"
+
+  # Optional clang-tidy leg over the checked-in .clang-tidy profile; the
+  # plain build exported compile_commands.json.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== [clang-tidy] src/**.cc with .clang-tidy profile ==="
+    find "$ROOT/src" -name '*.cc' -print0 \
+      | xargs -0 clang-tidy -p "$ROOT/build" --quiet
+  else
+    echo "=== [clang-tidy] SKIPPED: clang-tidy not found ==="
+  fi
 fi
 
 echo "=== check.sh: all profiles clean ==="

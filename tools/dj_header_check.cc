@@ -1,0 +1,324 @@
+// dj_header_check: IWYU-lite header-hygiene pass, registered as a ctest
+// (label: lint). For every header under the scanned subdirs (default:
+// src/), it generates a single-include translation unit and compiles it
+// with -fsyntax-only, proving the header is self-sufficient — compilable
+// without relying on includes its includers happen to provide. A header
+// that drifts into depending on a transitive include breaks the first time
+// someone reorders includes or prunes a dependency; this check catches the
+// drift at the PR that introduces it.
+//
+// On failure the report carries the compiler output (trimmed) plus
+// best-effort hints mapping undeclared standard names to the missing
+// standard header (e.g. `uint32_t` -> <cstdint>, `std::string` ->
+// <string>).
+//
+// Opt-out: a header containing `dj_header_check: skip` anywhere (comment
+// included) is not checked — for headers that are deliberately
+// fragment-style (none in the tree today).
+//
+// Usage:
+//   dj_header_check --root <dir> [--compiler <c++>] [--std <std>]
+//                   [--include <dir>]... [--jobs <n>] [subdir ...]
+// Defaults: compiler c++, -std=c++20, include dir <root>/src, subdir src.
+// Directories named "testdata" are skipped so fixture trees with
+// deliberate violations do not fail the tree-wide run.
+// Exit code: 0 when clean, 1 when violations were found, 2 on usage error.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options {
+  fs::path root = ".";
+  std::string compiler = "c++";
+  std::string std_flag = "c++20";
+  std::vector<fs::path> include_dirs;
+  std::vector<std::string> subdirs;
+  size_t jobs = 0;  // 0 = hardware concurrency
+};
+
+struct CheckResult {
+  bool ok = true;
+  bool skipped = false;
+  std::string detail;  // compiler output + hints when !ok
+};
+
+/// Known standard names -> the header that declares them. Scanned against
+/// compiler error lines with word boundaries, so `uint32_t` does not match
+/// inside `my_uint32_tag`.
+const std::pair<const char*, const char*> kHintTable[] = {
+    {"uint8_t", "<cstdint>"},     {"uint16_t", "<cstdint>"},
+    {"uint32_t", "<cstdint>"},    {"uint64_t", "<cstdint>"},
+    {"int8_t", "<cstdint>"},      {"int16_t", "<cstdint>"},
+    {"int32_t", "<cstdint>"},     {"int64_t", "<cstdint>"},
+    {"size_t", "<cstddef>"},      {"ptrdiff_t", "<cstddef>"},
+    {"nullptr_t", "<cstddef>"},   {"string", "<string>"},
+    {"string_view", "<string_view>"}, {"vector", "<vector>"},
+    {"array", "<array>"},         {"deque", "<deque>"},
+    {"queue", "<queue>"},         {"map", "<map>"},
+    {"set", "<set>"},             {"unordered_map", "<unordered_map>"},
+    {"unordered_set", "<unordered_set>"}, {"pair", "<utility>"},
+    {"tuple", "<tuple>"},         {"optional", "<optional>"},
+    {"variant", "<variant>"},     {"span", "<span>"},
+    {"function", "<functional>"}, {"unique_ptr", "<memory>"},
+    {"shared_ptr", "<memory>"},   {"make_unique", "<memory>"},
+    {"make_shared", "<memory>"},  {"move", "<utility>"},
+    {"forward", "<utility>"},     {"swap", "<utility>"},
+    {"numeric_limits", "<limits>"}, {"ostream", "<ostream>"},
+    {"istream", "<istream>"},     {"ofstream", "<fstream>"},
+    {"ifstream", "<fstream>"},    {"atomic", "<atomic>"},
+    {"thread", "<thread>"},       {"sort", "<algorithm>"},
+    {"min", "<algorithm>"},       {"max", "<algorithm>"},
+    {"memcpy", "<cstring>"},      {"memset", "<cstring>"},
+    {"strlen", "<cstring>"},      {"sqrt", "<cmath>"},
+    {"log", "<cmath>"},           {"exp", "<cmath>"},
+    {"fabs", "<cmath>"},          {"FILE", "<cstdio>"},
+    {"initializer_list", "<initializer_list>"},
+};
+
+bool IsWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool ContainsToken(const std::string& hay, const std::string& needle) {
+  size_t from = 0;
+  while (true) {
+    const size_t p = hay.find(needle, from);
+    if (p == std::string::npos) return false;
+    const bool left_ok = p == 0 || !IsWordChar(hay[p - 1]);
+    const size_t end = p + needle.size();
+    const bool right_ok = end >= hay.size() || !IsWordChar(hay[end]);
+    if (left_ok && right_ok) return true;
+    from = p + 1;
+  }
+}
+
+/// Collects `hint: add #include <...>` lines from compiler error output.
+std::vector<std::string> Hints(const std::string& compiler_output) {
+  std::vector<std::string> hints;
+  std::istringstream in(compiler_output);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("error:") == std::string::npos) continue;
+    for (const auto& [name, header] : kHintTable) {
+      if (!ContainsToken(line, name)) continue;
+      const std::string hint =
+          std::string("hint: add #include ") + header + "  (for `" + name +
+          "`)";
+      if (std::find(hints.begin(), hints.end(), hint) == hints.end()) {
+        hints.push_back(hint);
+      }
+    }
+  }
+  return hints;
+}
+
+/// Runs `cmd` (stderr folded into stdout), returning exit code + output.
+int RunCommand(const std::string& cmd, std::string* output) {
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buf[1024];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) *output += buf;
+  const int rc = pclose(pipe);
+  return rc;
+}
+
+bool HasSkipMarker(const fs::path& header) {
+  std::ifstream in(header);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("dj_header_check: skip") != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Compiles a one-line TU that includes `header` by absolute path; the
+/// include dirs still matter for the header's own includes.
+CheckResult CheckHeader(const Options& opt, const fs::path& header,
+                        const fs::path& scratch_dir, size_t index) {
+  CheckResult result;
+  if (HasSkipMarker(header)) {
+    result.skipped = true;
+    return result;
+  }
+  const fs::path tu = scratch_dir / ("tu_" + std::to_string(index) + ".cc");
+  {
+    // Absolute path: the TU lives in a scratch dir, so a root-relative
+    // quoted include would resolve against the wrong directory.
+    std::ofstream out(tu);
+    out << "#include \"" << fs::absolute(header).generic_string() << "\"\n";
+  }
+  std::string cmd = opt.compiler + " -std=" + opt.std_flag + " -fsyntax-only";
+  for (const fs::path& inc : opt.include_dirs) {
+    cmd += " -I \"" + fs::absolute(inc).generic_string() + "\"";
+  }
+  cmd += " \"" + tu.generic_string() + "\"";
+
+  std::string output;
+  const int rc = RunCommand(cmd, &output);
+  if (rc == 0) return result;
+
+  result.ok = false;
+  // Trim the compiler spew: the first errors are the actionable ones.
+  constexpr size_t kMaxLines = 12;
+  std::istringstream in(output);
+  std::string line;
+  size_t lines = 0;
+  std::ostringstream detail;
+  while (std::getline(in, line) && lines < kMaxLines) {
+    detail << "    " << line << "\n";
+    ++lines;
+  }
+  if (in.peek() != EOF) detail << "    ... (output trimmed)\n";
+  for (const std::string& hint : Hints(output)) {
+    detail << "    " << hint << "\n";
+  }
+  result.detail = detail.str();
+  return result;
+}
+
+std::vector<fs::path> CollectHeaders(const Options& opt) {
+  std::vector<fs::path> headers;
+  for (const std::string& sub : opt.subdirs) {
+    const fs::path dir = opt.root / sub;
+    if (!fs::is_directory(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory()) {
+        const std::string name = it->path().filename().string();
+        if (name == "testdata" || name.rfind("build", 0) == 0) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (it->path().extension() == ".h") headers.push_back(it->path());
+    }
+  }
+  std::sort(headers.begin(), headers.end());
+  return headers;
+}
+
+std::string Relative(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  return (ec ? path : rel).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "dj_header_check: " << arg << " requires " << what
+                  << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opt.root = next("a directory");
+    } else if (arg == "--compiler") {
+      opt.compiler = next("a compiler path");
+    } else if (arg == "--std") {
+      opt.std_flag = next("a -std value (e.g. c++20)");
+    } else if (arg == "--include") {
+      opt.include_dirs.emplace_back(next("a directory"));
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<size_t>(std::stoul(next("a count")));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dj_header_check: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      opt.subdirs.push_back(arg);
+    }
+  }
+  if (opt.subdirs.empty()) opt.subdirs.push_back("src");
+  if (opt.include_dirs.empty()) opt.include_dirs.push_back(opt.root / "src");
+  if (opt.jobs == 0) {
+    opt.jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  const std::vector<fs::path> headers = CollectHeaders(opt);
+  if (headers.empty()) {
+    std::cerr << "dj_header_check: no headers found under " << opt.root
+              << "\n";
+    return 2;
+  }
+
+  std::error_code ec;
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("dj_header_check_" + std::to_string(::getpid()));
+  fs::create_directories(scratch, ec);
+  if (ec) {
+    std::cerr << "dj_header_check: cannot create scratch dir " << scratch
+              << "\n";
+    return 2;
+  }
+
+  // One compile per header, fanned out over a worker-per-core loop. Each
+  // worker claims indices through the shared atomic and writes into its own
+  // result slot, so no locking is needed (and the raw-mutex lint rule stays
+  // honest even here).
+  std::vector<CheckResult> results(headers.size());
+  std::atomic<size_t> next_index{0};
+  const size_t workers = std::min(opt.jobs, headers.size());
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const size_t i = next_index.fetch_add(1);
+          if (i >= headers.size()) return;
+          results[i] = CheckHeader(opt, headers[i], scratch, i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  fs::remove_all(scratch, ec);
+
+  size_t failures = 0;
+  size_t skipped = 0;
+  for (size_t i = 0; i < headers.size(); ++i) {
+    if (results[i].skipped) {
+      ++skipped;
+      continue;
+    }
+    if (results[i].ok) continue;
+    ++failures;
+    std::cout << Relative(headers[i], opt.root)
+              << ": error: [self-contained] header does not compile in a "
+                 "standalone translation unit\n"
+              << results[i].detail;
+  }
+  if (failures == 0) {
+    std::cout << "dj_header_check: clean (" << headers.size()
+              << " headers checked";
+    if (skipped > 0) std::cout << ", " << skipped << " skipped";
+    std::cout << ")\n";
+    return 0;
+  }
+  std::cout << "dj_header_check: " << failures << " of " << headers.size()
+            << " headers are not self-sufficient\n";
+  return 1;
+}

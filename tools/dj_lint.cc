@@ -12,6 +12,12 @@
 //                    so ownership is explicit
 //   no-printf        no std::cout or printf in library code (src/**);
 //                    diagnostics go to stderr, tables via TablePrinter
+//   raw-mutex        no std::mutex / std::lock_guard / std::unique_lock /
+//                    std::condition_variable (etc.) outside src/util/mutex.h
+//                    — locking flows through the annotated deepjoin::Mutex
+//                    wrappers so -Wthread-safety analysis sees it
+//   detached-thread  no std::thread::detach — a detached thread outlives
+//                    every shutdown contract; join it or use ThreadPool
 //
 // A violation is suppressed by `// dj_lint: allow(<rule>)` on the same line
 // or on the line directly above it. Comment and string-literal contents are
@@ -167,6 +173,7 @@ class Linter {
     const bool is_header = path.extension() == ".h";
     const bool is_library = rel.rfind("src/", 0) == 0;
     const bool is_rng_header = rel == "src/util/rng.h";
+    const bool is_mutex_header = rel == "src/util/mutex.h";
 
     if (is_header) {
       CheckIncludeGuard(path, rel, text);
@@ -180,6 +187,19 @@ class Linter {
                 "nondeterministic seed source; take a deepjoin::Rng "
                 "(src/util/rng.h) instead");
     }
+    if (!is_mutex_header) {
+      CheckRule(path, text, "raw-mutex",
+                {"std::mutex", "std::timed_mutex", "std::recursive_mutex",
+                 "std::shared_mutex", "std::lock_guard", "std::unique_lock",
+                 "std::scoped_lock", "std::condition_variable",
+                 "std::condition_variable_any"},
+                "raw standard mutex primitive; use deepjoin::Mutex / "
+                "MutexLock / CondVar (src/util/mutex.h) so -Wthread-safety "
+                "analysis sees the locking");
+    }
+    CheckRule(path, text, "detached-thread", {"detach("},
+              "detached thread outlives every shutdown contract; join it "
+              "or submit to ThreadPool");
     CheckNakedNew(path, text);
     if (is_library) {
       CheckRule(path, text, "no-printf", {"std::cout", "printf("},
@@ -326,6 +346,9 @@ void ListRules() {
          "time(nullptr) outside src/util/rng.h\n"
       << "naked-new        no naked `new`\n"
       << "no-printf        no std::cout/printf in library code (src/**)\n"
+      << "raw-mutex        no std::mutex/std::lock_guard/"
+         "std::condition_variable etc. outside src/util/mutex.h\n"
+      << "detached-thread  no std::thread::detach\n"
       << "suppress with    // dj_lint: allow(<rule>)\n";
 }
 
