@@ -194,55 +194,127 @@ void HnswIndex::Add(const float* vec) {
   }
 }
 
+namespace {
+constexpr u32 kHnswMagic = 0x484E5357;  // "HNSW"
+constexpr u32 kHnswVersion = 1;
+// Level draws are exponential with mean 1/ln(M); anything this deep in a
+// file is corruption, and it bounds the per-node adjacency allocation.
+constexpr i32 kMaxStoredLevel = 63;
+}  // namespace
+
 void HnswIndex::Save(BinaryWriter& writer) const {
-  writer.WriteU32(0xD1A90002);  // format magic
+  static_assert(sizeof(int) == sizeof(i32), "levels_ serialized as i32");
+  writer.WriteU32(kHnswMagic);
+  writer.WriteU32(kHnswVersion);
   writer.WriteI32(config_.dim);
   writer.WriteI32(config_.M);
   writer.WriteI32(config_.ef_construction);
   writer.WriteI32(config_.ef_search);
   writer.WriteU64(config_.seed);
   writer.WriteFloatArray(data_.data(), data_.size());
-  writer.WriteU64(levels_.size());
-  for (int lv : levels_) writer.WriteI32(lv);
+  writer.WriteI32Array(reinterpret_cast<const i32*>(levels_.data()),
+                       levels_.size());
+  // Adjacency lists flattened into two arrays: one size per (node, level)
+  // in order, then every neighbour id concatenated. Coarse records keep
+  // the per-record CRC overhead negligible.
+  std::vector<u32> list_sizes;
+  std::vector<u32> all_ids;
   for (const auto& per_node : links_) {
-    writer.WriteU64(per_node.size());
     for (const auto& adj : per_node) {
-      writer.WriteU64(adj.size());
-      for (u32 id : adj) writer.WriteU32(id);
+      list_sizes.push_back(static_cast<u32>(adj.size()));
+      all_ids.insert(all_ids.end(), adj.begin(), adj.end());
     }
   }
+  writer.WriteU32Array(list_sizes.data(), list_sizes.size());
+  writer.WriteU32Array(all_ids.data(), all_ids.size());
   writer.WriteU32(entry_);
   writer.WriteI32(max_level_);
 }
 
-HnswIndex HnswIndex::Load(BinaryReader& reader) {
-  const u32 magic = reader.ReadU32();
-  DJ_CHECK_MSG(magic == 0xD1A90002, "not an HNSW index file");
+Result<HnswIndex> HnswIndex::Load(BinaryReader& reader) {
+  u32 magic = 0;
+  u32 version = 0;
+  DJ_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  if (magic != kHnswMagic) {
+    return Status::DataLoss("not an HNSW index file");
+  }
+  DJ_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kHnswVersion) {
+    return Status::DataLoss("unsupported HNSW index version " +
+                            std::to_string(version));
+  }
   HnswConfig config;
-  config.dim = reader.ReadI32();
-  config.M = reader.ReadI32();
-  config.ef_construction = reader.ReadI32();
-  config.ef_search = reader.ReadI32();
-  config.seed = reader.ReadU64();
+  DJ_RETURN_IF_ERROR(reader.ReadI32(&config.dim));
+  DJ_RETURN_IF_ERROR(reader.ReadI32(&config.M));
+  DJ_RETURN_IF_ERROR(reader.ReadI32(&config.ef_construction));
+  DJ_RETURN_IF_ERROR(reader.ReadI32(&config.ef_search));
+  DJ_RETURN_IF_ERROR(reader.ReadU64(&config.seed));
+  // The constructor DJ_CHECKs these invariants; a load path must reject,
+  // not abort.
+  if (config.dim <= 0 || config.dim > (1 << 20) || config.M < 2 ||
+      config.M > (1 << 20) || config.ef_construction <= 0 ||
+      config.ef_search <= 0) {
+    return Status::DataLoss("HNSW config out of range");
+  }
   HnswIndex index(config);
-  index.data_ = reader.ReadFloatArray();
-  const u64 n = reader.ReadU64();
-  index.levels_.resize(n);
-  for (u64 i = 0; i < n; ++i) index.levels_[i] = reader.ReadI32();
-  index.links_.resize(n);
-  for (u64 i = 0; i < n; ++i) {
-    index.links_[i].resize(reader.ReadU64());
-    for (auto& adj : index.links_[i]) {
-      adj.resize(reader.ReadU64());
-      for (auto& id : adj) id = reader.ReadU32();
+  std::vector<i32> levels;
+  std::vector<u32> list_sizes;
+  std::vector<u32> all_ids;
+  DJ_RETURN_IF_ERROR(reader.ReadFloatArray(&index.data_));
+  DJ_RETURN_IF_ERROR(reader.ReadI32Array(&levels));
+  DJ_RETURN_IF_ERROR(reader.ReadU32Array(&list_sizes));
+  DJ_RETURN_IF_ERROR(reader.ReadU32Array(&all_ids));
+  DJ_RETURN_IF_ERROR(reader.ReadU32(&index.entry_));
+  DJ_RETURN_IF_ERROR(reader.ReadI32(&index.max_level_));
+
+  const u64 n = levels.size();
+  if (index.data_.size() != n * static_cast<u64>(config.dim)) {
+    return Status::DataLoss("HNSW vector payload does not match node count");
+  }
+  u64 total_lists = 0;
+  i32 deepest = -1;
+  for (i32 lv : levels) {
+    if (lv < 0 || lv > kMaxStoredLevel) {
+      return Status::DataLoss("HNSW node level out of range");
+    }
+    total_lists += static_cast<u64>(lv) + 1;
+    deepest = std::max(deepest, lv);
+  }
+  if (list_sizes.size() != total_lists) {
+    return Status::DataLoss("HNSW adjacency list count mismatch");
+  }
+  u64 total_ids = 0;
+  for (u32 s : list_sizes) total_ids += s;
+  if (all_ids.size() != total_ids) {
+    return Status::DataLoss("HNSW adjacency id count mismatch");
+  }
+  for (u32 id : all_ids) {
+    if (id >= n) return Status::DataLoss("HNSW neighbour id out of range");
+  }
+  if (n == 0) {
+    if (index.max_level_ != -1) {
+      return Status::DataLoss("HNSW empty index with non-empty entry point");
+    }
+  } else {
+    if (index.entry_ >= n || index.max_level_ != deepest ||
+        levels[index.entry_] != index.max_level_) {
+      return Status::DataLoss("HNSW entry point inconsistent with levels");
     }
   }
-  index.entry_ = reader.ReadU32();
-  index.max_level_ = reader.ReadI32();
-  DJ_CHECK_MSG(reader.ok() &&
-                   index.data_.size() ==
-                       n * static_cast<size_t>(config.dim),
-               "corrupt HNSW index file");
+
+  index.levels_.assign(levels.begin(), levels.end());
+  index.links_.resize(n);
+  size_t list_idx = 0;
+  size_t id_idx = 0;
+  for (u64 i = 0; i < n; ++i) {
+    index.links_[i].resize(static_cast<size_t>(levels[i]) + 1);
+    for (auto& adj : index.links_[i]) {
+      const u32 count = list_sizes[list_idx++];
+      adj.assign(all_ids.begin() + static_cast<long>(id_idx),
+                 all_ids.begin() + static_cast<long>(id_idx + count));
+      id_idx += count;
+    }
+  }
   return index;
 }
 

@@ -45,8 +45,11 @@ class HnswIndex : public VectorIndex {
 
   /// Persists the full graph + vectors. The offline index build of §3.3
   /// is the expensive step; serving processes load instead of rebuilding.
+  /// Errors stick to the writer; Load never aborts — wrong magic, wrong
+  /// version, truncation, or any inconsistency in the decoded graph
+  /// (dangling ids, bad entry point, level mismatches) returns DataLoss.
   void Save(BinaryWriter& writer) const;
-  static HnswIndex Load(BinaryReader& reader);
+  static Result<HnswIndex> Load(BinaryReader& reader);
 
  private:
   const float* VectorAt(u32 id) const {

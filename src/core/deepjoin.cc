@@ -13,8 +13,10 @@ std::unique_ptr<DeepJoin> DeepJoin::Train(
       PrepareTrainingData(sample, &pretrained, config.training);
   dj->encoder_ =
       std::make_unique<PlmColumnEncoder>(config.plm, sample, pretrained);
+  // Training without checkpoint I/O cannot fail; .value() asserts that.
   dj->train_stats_ =
-      FineTunePlm(*dj->encoder_, dj->training_data_, config.finetune);
+      FineTunePlm(*dj->encoder_, dj->training_data_, config.finetune)
+          .value();
   dj->searcher_ = std::make_unique<EmbeddingSearcher>(dj->encoder_.get(),
                                                       config.searcher);
   return dj;

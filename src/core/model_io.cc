@@ -1,82 +1,118 @@
 #include "core/model_io.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/binary_io.h"
 
 namespace deepjoin {
 namespace core {
 
 namespace {
-constexpr u32 kMagic = 0xDEE90101;  // format id + version
+// Bumped to ..02 when the container moved to the CRC32C-framed record
+// format (util/binary_io.h); ..01 files predate checksums.
+constexpr u32 kMagic = 0xDEE90102;
+constexpr u32 kNumTransformOptions = 7;  // keep in sync with TransformOption
 }  // namespace
 
-Status SaveEncoder(PlmColumnEncoder& encoder, const std::string& path) {
-  BinaryWriter writer(path);
-  if (!writer.ok()) return Status::IoError("cannot open " + path);
+Status SaveEncoder(PlmColumnEncoder& encoder, const std::string& path,
+                   Env* env) {
+  return AtomicSave(path, env, [&encoder](BinaryWriter& writer) -> Status {
+    writer.WriteU32(kMagic);
+    const PlmEncoderConfig& cfg = encoder.config();
+    writer.WriteU32(cfg.kind == PlmKind::kDistilSim ? 0u : 1u);
+    writer.WriteU32(static_cast<u32>(cfg.transform.option));
+    writer.WriteI32(cfg.transform.cell_budget);
+    writer.WriteI32(cfg.max_words);
+    writer.WriteI32(cfg.oov_buckets);
+    writer.WriteI32(cfg.max_seq_len);
+    writer.WriteU64(cfg.seed);
 
-  writer.WriteU32(kMagic);
-  const PlmEncoderConfig& cfg = encoder.config();
-  writer.WriteU32(cfg.kind == PlmKind::kDistilSim ? 0u : 1u);
-  writer.WriteU32(static_cast<u32>(cfg.transform.option));
-  writer.WriteI32(cfg.transform.cell_budget);
-  writer.WriteI32(cfg.max_words);
-  writer.WriteI32(cfg.oov_buckets);
-  writer.WriteI32(cfg.max_seq_len);
-  writer.WriteU64(cfg.seed);
+    encoder.vocab().Save(writer);
 
-  encoder.vocab().Save(writer);
-
-  const auto& store = encoder.transformer().params();
-  writer.WriteU64(store.params().size());
-  for (size_t i = 0; i < store.params().size(); ++i) {
-    const auto& p = store.params()[i];
-    writer.WriteString(store.names()[i]);
-    writer.WriteI32(p->value().rows());
-    writer.WriteI32(p->value().cols());
-    writer.WriteFloatArray(p->value().data(), p->value().size());
-  }
-  return writer.Close();
+    const auto& store = encoder.transformer().params();
+    writer.WriteU64(store.params().size());
+    for (size_t i = 0; i < store.params().size(); ++i) {
+      const auto& p = store.params()[i];
+      writer.WriteString(store.names()[i]);
+      writer.WriteI32(p->value().rows());
+      writer.WriteI32(p->value().cols());
+      writer.WriteFloatArray(p->value().data(), p->value().size());
+    }
+    return writer.status();
+  });
 }
 
-Result<std::unique_ptr<PlmColumnEncoder>> LoadEncoder(
-    const std::string& path) {
-  BinaryReader reader(path);
-  if (!reader.ok()) return Status::IoError("cannot open " + path);
-  if (reader.ReadU32() != kMagic) {
-    return Status::InvalidArgument(path + ": not a DeepJoin encoder file");
+Result<std::unique_ptr<PlmColumnEncoder>> LoadEncoder(const std::string& path,
+                                                      Env* env) {
+  BinaryReader reader(path, env);
+  DJ_RETURN_IF_ERROR(reader.Open());
+  u32 magic = 0;
+  DJ_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  if (magic != kMagic) {
+    return Status::DataLoss(path + ": not a DeepJoin encoder file");
   }
   PlmEncoderConfig cfg;
-  cfg.kind = reader.ReadU32() == 0 ? PlmKind::kDistilSim : PlmKind::kMPNetSim;
-  cfg.transform.option = static_cast<TransformOption>(reader.ReadU32());
-  cfg.transform.cell_budget = reader.ReadI32();
-  cfg.max_words = reader.ReadI32();
-  cfg.oov_buckets = reader.ReadI32();
-  cfg.max_seq_len = reader.ReadI32();
-  cfg.seed = reader.ReadU64();
+  u32 kind_raw = 0;
+  u32 option_raw = 0;
+  DJ_RETURN_IF_ERROR(reader.ReadU32(&kind_raw));
+  DJ_RETURN_IF_ERROR(reader.ReadU32(&option_raw));
+  DJ_RETURN_IF_ERROR(reader.ReadI32(&cfg.transform.cell_budget));
+  DJ_RETURN_IF_ERROR(reader.ReadI32(&cfg.max_words));
+  DJ_RETURN_IF_ERROR(reader.ReadI32(&cfg.oov_buckets));
+  DJ_RETURN_IF_ERROR(reader.ReadI32(&cfg.max_seq_len));
+  DJ_RETURN_IF_ERROR(reader.ReadU64(&cfg.seed));
+  if (kind_raw > 1 || option_raw >= kNumTransformOptions ||
+      cfg.max_words < 0 || cfg.oov_buckets < 0 || cfg.max_seq_len <= 0 ||
+      cfg.max_seq_len > (1 << 20)) {
+    return Status::DataLoss(path + ": encoder config out of range");
+  }
+  cfg.kind = kind_raw == 0 ? PlmKind::kDistilSim : PlmKind::kMPNetSim;
+  cfg.transform.option = static_cast<TransformOption>(option_raw);
 
-  Vocab vocab = Vocab::Load(reader);
-  auto encoder = std::make_unique<PlmColumnEncoder>(cfg, std::move(vocab));
+  auto vocab = Vocab::Load(reader);
+  if (!vocab.ok()) return vocab.status();
 
+  // Parse every parameter record BEFORE building the encoder: transformer
+  // construction runs the full random init (expensive), so a corrupt file
+  // must be rejected without paying for it.
+  struct RawParam {
+    std::string name;
+    i32 rows = 0;
+    i32 cols = 0;
+    std::vector<float> data;
+  };
+  u64 n = 0;
+  DJ_RETURN_IF_ERROR(reader.ReadU64(&n));
+  std::vector<RawParam> raw;
+  raw.reserve(static_cast<size_t>(std::min<u64>(n, 1024)));
+  for (u64 i = 0; i < n; ++i) {
+    RawParam p;
+    DJ_RETURN_IF_ERROR(reader.ReadString(&p.name));
+    DJ_RETURN_IF_ERROR(reader.ReadI32(&p.rows));
+    DJ_RETURN_IF_ERROR(reader.ReadI32(&p.cols));
+    DJ_RETURN_IF_ERROR(reader.ReadFloatArray(&p.data));
+    raw.push_back(std::move(p));
+  }
+
+  auto encoder =
+      std::make_unique<PlmColumnEncoder>(cfg, std::move(vocab).value());
   auto& store = encoder->transformer().params();
-  const u64 n = reader.ReadU64();
   if (n != store.params().size()) {
     return Status::InvalidArgument("parameter count mismatch");
   }
   for (u64 i = 0; i < n; ++i) {
-    const std::string name = reader.ReadString();
-    const i32 rows = reader.ReadI32();
-    const i32 cols = reader.ReadI32();
+    const RawParam& r = raw[i];
     auto& p = store.params()[i];
-    if (name != store.names()[i] || rows != p->value().rows() ||
-        cols != p->value().cols()) {
-      return Status::InvalidArgument("parameter layout mismatch at " + name);
+    if (r.name != store.names()[i] || r.rows != p->value().rows() ||
+        r.cols != p->value().cols()) {
+      return Status::InvalidArgument("parameter layout mismatch at " + r.name);
     }
-    auto data = reader.ReadFloatArray();
-    if (data.size() != p->value().size()) {
-      return Status::InvalidArgument("parameter size mismatch at " + name);
+    if (r.data.size() != p->value().size()) {
+      return Status::InvalidArgument("parameter size mismatch at " + r.name);
     }
-    std::copy(data.begin(), data.end(), p->mutable_value().data());
+    std::copy(r.data.begin(), r.data.end(), p->mutable_value().data());
   }
-  if (!reader.ok()) return Status::IoError("truncated file: " + path);
   return encoder;
 }
 

@@ -4,6 +4,10 @@
 // column-to-text budget is repository state and is *not* stored — reattach
 // it via set_transform_config after loading if frequency-based cell
 // selection is wanted.
+//
+// Artifacts use the CRC32C-framed container of util/binary_io.h. Saves are
+// atomic (tmp + fsync + rename): a crash mid-save leaves the previous file
+// intact. Loads never abort — corruption surfaces as Status::DataLoss.
 #ifndef DEEPJOIN_CORE_MODEL_IO_H_
 #define DEEPJOIN_CORE_MODEL_IO_H_
 
@@ -11,18 +15,22 @@
 #include <string>
 
 #include "core/encoders.h"
+#include "util/env.h"
 #include "util/status.h"
 
 namespace deepjoin {
 namespace core {
 
-/// Writes `encoder` to `path`. Overwrites. Returns IoError on failure.
-Status SaveEncoder(PlmColumnEncoder& encoder, const std::string& path);
+/// Atomically replaces `path` with a serialized `encoder`. On failure the
+/// previous artifact (if any) is untouched. `env` nullptr → Env::Default().
+Status SaveEncoder(PlmColumnEncoder& encoder, const std::string& path,
+                   Env* env = nullptr);
 
 /// Reads an encoder previously written by SaveEncoder. Embeddings produced
-/// by the loaded encoder are bit-identical to the saved one's.
-Result<std::unique_ptr<PlmColumnEncoder>> LoadEncoder(
-    const std::string& path);
+/// by the loaded encoder are bit-identical to the saved one's. Truncated
+/// or corrupt files return DataLoss; mismatched layouts InvalidArgument.
+Result<std::unique_ptr<PlmColumnEncoder>> LoadEncoder(const std::string& path,
+                                                      Env* env = nullptr);
 
 }  // namespace core
 }  // namespace deepjoin

@@ -65,29 +65,31 @@ u32 EmbeddingSearcher::AddColumn(const lake::Column& column) {
   return static_cast<u32>(index_->size() - 1);
 }
 
-Status EmbeddingSearcher::SaveIndex(const std::string& path) const {
+Status EmbeddingSearcher::SaveIndex(const std::string& path,
+                                    Env* env) const {
   if (config_.backend != AnnBackend::kHnsw || index_ == nullptr) {
     return Status::FailedPrecondition(
         "SaveIndex supports a built HNSW index only");
   }
-  BinaryWriter writer(path);
-  if (!writer.ok()) return Status::IoError("cannot open " + path);
-  static_cast<const ann::HnswIndex*>(index_.get())->Save(writer);
-  return writer.Close();
+  const auto* hnsw = static_cast<const ann::HnswIndex*>(index_.get());
+  return AtomicSave(path, env, [hnsw](BinaryWriter& writer) -> Status {
+    hnsw->Save(writer);
+    return writer.status();
+  });
 }
 
-Status EmbeddingSearcher::LoadIndex(const std::string& path) {
+Status EmbeddingSearcher::LoadIndex(const std::string& path, Env* env) {
   if (config_.backend != AnnBackend::kHnsw) {
     return Status::FailedPrecondition("LoadIndex supports HNSW only");
   }
-  BinaryReader reader(path);
-  if (!reader.ok()) return Status::IoError("cannot open " + path);
-  auto loaded =
-      std::make_unique<ann::HnswIndex>(ann::HnswIndex::Load(reader));
+  BinaryReader reader(path, env);
+  DJ_RETURN_IF_ERROR(reader.Open());
+  auto loaded = ann::HnswIndex::Load(reader);
+  if (!loaded.ok()) return loaded.status();
   if (loaded->dim() != dim_) {
     return Status::InvalidArgument("index dimensionality mismatch");
   }
-  index_ = std::move(loaded);
+  index_ = std::make_unique<ann::HnswIndex>(std::move(loaded).value());
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #include "ann/hnsw.h"
 #include "ann/ivfpq.h"
 #include "core/encoders.h"
+#include "util/env.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -50,9 +51,12 @@ class EmbeddingSearcher {
   u32 AddColumn(const lake::Column& column);
 
   /// Persists / restores the built index (HNSW backend only — the others
-  /// rebuild quickly). The encoder must be the same at load time.
-  Status SaveIndex(const std::string& path) const;
-  Status LoadIndex(const std::string& path);
+  /// rebuild quickly). The encoder must be the same at load time. Saves
+  /// are atomic (tmp + fsync + rename; a crash or failure leaves the
+  /// previous artifact intact); corrupt files load as DataLoss, never an
+  /// abort. `env` nullptr → Env::Default().
+  Status SaveIndex(const std::string& path, Env* env = nullptr) const;
+  Status LoadIndex(const std::string& path, Env* env = nullptr);
 
   struct SearchOutput {
     std::vector<u32> ids;   ///< repository column ids, nearest first

@@ -6,6 +6,7 @@
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "util/binary_io.h"
 #include "util/timer.h"
 
 namespace deepjoin {
@@ -42,26 +43,143 @@ nn::AdamConfig MakeAdamConfig(const FineTuneConfig& config) {
   return ac;
 }
 
+// --- Training checkpoints ------------------------------------------------
+// Everything a resumed run needs to replay the exact loss trajectory of an
+// uninterrupted one: parameters, AdamW moments + step, the RNG's raw
+// state, the current shuffle order and cursor, and the loss bookkeeping.
+
+constexpr u32 kCheckpointMagic = 0x444A434B;  // "DJCK"
+constexpr u32 kCheckpointVersion = 1;
+
+Status SaveCheckpointTo(BinaryWriter& writer, long next_step, size_t cursor,
+                        double first_loss, const Rng& rng,
+                        const std::vector<size_t>& order, nn::AdamW& opt,
+                        nn::ParamStore& store) {
+  writer.WriteU32(kCheckpointMagic);
+  writer.WriteU32(kCheckpointVersion);
+  writer.WriteU64(static_cast<u64>(next_step));
+  writer.WriteU64(static_cast<u64>(cursor));
+  writer.WriteDouble(first_loss);
+  u64 rng_state[4];
+  rng.GetState(rng_state);
+  for (int i = 0; i < 4; ++i) writer.WriteU64(rng_state[i]);
+  std::vector<u32> order32(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order32[i] = static_cast<u32>(order[i]);
+  }
+  writer.WriteU32Array(order32.data(), order32.size());
+  opt.SaveState(writer);
+  const auto& params = store.params();
+  const auto& names = store.names();
+  writer.WriteU64(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const nn::Matrix& value = params[i]->value();
+    writer.WriteString(names[i]);
+    writer.WriteU32(static_cast<u32>(value.rows()));
+    writer.WriteU32(static_cast<u32>(value.cols()));
+    writer.WriteFloatArray(value.data(), value.size());
+  }
+  return writer.status();
+}
+
+Status LoadCheckpoint(const std::string& path, Env* env, size_t num_pairs,
+                      long* next_step, size_t* cursor, double* first_loss,
+                      Rng* rng, std::vector<size_t>* order, nn::AdamW* opt,
+                      nn::ParamStore* store) {
+  BinaryReader reader(path, env);
+  DJ_RETURN_IF_ERROR(reader.Open());
+  u32 magic = 0, version = 0;
+  DJ_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::DataLoss(path + ": not a training checkpoint");
+  }
+  DJ_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kCheckpointVersion) {
+    return Status::DataLoss(path + ": unsupported checkpoint version " +
+                            std::to_string(version));
+  }
+  u64 step64 = 0, cursor64 = 0;
+  DJ_RETURN_IF_ERROR(reader.ReadU64(&step64));
+  DJ_RETURN_IF_ERROR(reader.ReadU64(&cursor64));
+  DJ_RETURN_IF_ERROR(reader.ReadDouble(first_loss));
+  u64 rng_state[4];
+  for (int i = 0; i < 4; ++i) DJ_RETURN_IF_ERROR(reader.ReadU64(&rng_state[i]));
+  std::vector<u32> order32;
+  DJ_RETURN_IF_ERROR(reader.ReadU32Array(&order32));
+  if (order32.size() != num_pairs || cursor64 > order32.size()) {
+    return Status::InvalidArgument(
+        "checkpoint was taken on different training data");
+  }
+  DJ_RETURN_IF_ERROR(opt->LoadState(reader));
+  u64 num_params = 0;
+  DJ_RETURN_IF_ERROR(reader.ReadU64(&num_params));
+  const auto& params = store->params();
+  const auto& names = store->names();
+  if (num_params != params.size()) {
+    return Status::InvalidArgument("checkpoint parameter count mismatch");
+  }
+  // Validate every record before mutating the model (all-or-nothing).
+  std::vector<std::vector<float>> values(num_params);
+  for (u64 i = 0; i < num_params; ++i) {
+    std::string name;
+    u32 rows = 0, cols = 0;
+    DJ_RETURN_IF_ERROR(reader.ReadString(&name));
+    DJ_RETURN_IF_ERROR(reader.ReadU32(&rows));
+    DJ_RETURN_IF_ERROR(reader.ReadU32(&cols));
+    DJ_RETURN_IF_ERROR(reader.ReadFloatArray(&values[i]));
+    const nn::Matrix& value = params[i]->value();
+    if (name != names[i] || rows != static_cast<u32>(value.rows()) ||
+        cols != static_cast<u32>(value.cols()) ||
+        values[i].size() != value.size()) {
+      return Status::InvalidArgument("checkpoint parameter \"" + name +
+                                     "\" does not match the model");
+    }
+  }
+  for (u64 i = 0; i < num_params; ++i) {
+    std::copy(values[i].begin(), values[i].end(),
+              params[i]->mutable_value().data());
+  }
+  *next_step = static_cast<long>(step64);
+  *cursor = static_cast<size_t>(cursor64);
+  rng->SetState(rng_state);
+  order->resize(order32.size());
+  for (size_t i = 0; i < order32.size(); ++i) (*order)[i] = order32[i];
+  return Status::OK();
+}
+
 }  // namespace
 
-TrainStats FineTunePlm(PlmColumnEncoder& encoder, const TrainingData& data,
-                       const FineTuneConfig& config) {
+Result<TrainStats> FineTunePlm(PlmColumnEncoder& encoder,
+                               const TrainingData& data,
+                               const FineTuneConfig& config) {
   TrainStats stats;
   if (data.pairs.empty()) return stats;
   WallTimer timer;
 
-  nn::AdamW opt(encoder.transformer().params().params(),
-                MakeAdamConfig(config));
+  nn::ParamStore& store = encoder.transformer().params();
+  nn::AdamW opt(store.params(), MakeAdamConfig(config));
   const long total = config.max_steps;
   const long warmup = static_cast<long>(config.warmup_frac * total);
+  const bool checkpointing =
+      config.checkpoint_every > 0 && !config.checkpoint_path.empty();
 
   Rng rng(config.seed);
   std::vector<size_t> order(data.pairs.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng.Shuffle(order);
   size_t cursor = 0;
+  long start_step = 0;
 
-  for (long step = 0; step < total; ++step) {
+  if (config.resume) {
+    if (config.checkpoint_path.empty()) {
+      return Status::InvalidArgument("resume requires a checkpoint_path");
+    }
+    DJ_RETURN_IF_ERROR(LoadCheckpoint(
+        config.checkpoint_path, config.env, data.pairs.size(), &start_step,
+        &cursor, &stats.first_loss, &rng, &order, &opt, &store));
+  }
+
+  for (long step = start_step; step < total; ++step) {
     const int n = std::min<int>(config.batch_size,
                                 static_cast<int>(data.pairs.size()));
     std::vector<nn::VarPtr> xs, ys;
@@ -106,12 +224,27 @@ TrainStats FineTunePlm(PlmColumnEncoder& encoder, const TrainingData& data,
 
     nn::Backward(loss);
     opt.Step(nn::WarmupLinearFactor(step, warmup, total));
-    encoder.transformer().params().ZeroGrads();
+    store.ZeroGrads();
     ++stats.steps;
 
     if (config.verbose && (step % 20 == 0 || step + 1 == total)) {
       std::fprintf(stderr, "  [fine-tune %s] step %ld/%ld loss %.4f\n",
                    encoder.name().c_str(), step, total, loss_value);
+    }
+
+    if (checkpointing && (step + 1) % config.checkpoint_every == 0) {
+      const long next_step = step + 1;
+      const double first_loss = stats.first_loss;
+      DJ_RETURN_IF_ERROR(AtomicSave(
+          config.checkpoint_path, config.env,
+          [&](BinaryWriter& writer) -> Status {
+            return SaveCheckpointTo(writer, next_step, cursor, first_loss,
+                                    rng, order, opt, store);
+          }));
+    }
+
+    if (config.stop_after_step >= 0 && step >= config.stop_after_step) {
+      break;  // simulated crash (test hook); checkpoint already on disk
     }
   }
   stats.seconds = timer.ElapsedSeconds();

@@ -5,8 +5,12 @@
 #ifndef DEEPJOIN_CORE_TRAINER_H_
 #define DEEPJOIN_CORE_TRAINER_H_
 
+#include <string>
+
 #include "core/encoders.h"
 #include "core/training_data.h"
+#include "util/env.h"
+#include "util/status.h"
 
 namespace deepjoin {
 namespace core {
@@ -26,6 +30,19 @@ struct FineTuneConfig {
   NegativeStrategy negatives = NegativeStrategy::kInBatch;
   u64 seed = 5;
   bool verbose = false;
+
+  // --- Checkpointing (FineTunePlm only) ---------------------------------
+  // When checkpoint_every > 0 and checkpoint_path is set, an atomic
+  // checkpoint (parameters, AdamW moments, RNG state, shuffle order,
+  // step) is written every checkpoint_every steps. With resume = true an
+  // existing checkpoint at checkpoint_path is loaded first and training
+  // continues from the saved step; the resumed loss trajectory is
+  // bit-identical to an uninterrupted run with the same seed.
+  int checkpoint_every = 0;     ///< steps between checkpoints; 0 disables
+  std::string checkpoint_path;  ///< where checkpoints live
+  bool resume = false;          ///< load checkpoint_path before training
+  long stop_after_step = -1;    ///< test hook: simulate a crash after step N
+  Env* env = nullptr;           ///< filesystem, nullptr → Env::Default()
 };
 
 struct TrainStats {
@@ -35,9 +52,14 @@ struct TrainStats {
   double seconds = 0.0;
 };
 
-/// Fine-tunes the PLM column encoder on the prepared positives.
-TrainStats FineTunePlm(PlmColumnEncoder& encoder, const TrainingData& data,
-                       const FineTuneConfig& config);
+/// Fine-tunes the PLM column encoder on the prepared positives. Fails only
+/// on checkpoint I/O problems: a failed checkpoint save (disk full, fsync
+/// error) or an unreadable / corrupt / mismatched checkpoint on resume.
+/// Checkpoint writes are atomic — an injected or real failure mid-save
+/// leaves the previous checkpoint intact.
+Result<TrainStats> FineTunePlm(PlmColumnEncoder& encoder,
+                               const TrainingData& data,
+                               const FineTuneConfig& config);
 
 /// TaBERT-style mismatched pre-training: aligns a column's embedding with
 /// the embedding of its own metadata text (a QA-flavoured objective that

@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
 
+#include "util/env.h"
 #include "util/string_util.h"
 
 namespace deepjoin {
 namespace lake {
 
-std::vector<std::string> ParseCsvLine(const std::string& line) {
+std::vector<std::string> ParseCsvLine(const std::string& line,
+                                      bool* unterminated) {
   std::vector<std::string> fields;
   std::string cur;
   bool quoted = false;
@@ -38,7 +39,12 @@ std::vector<std::string> ParseCsvLine(const std::string& line) {
     }
   }
   fields.push_back(std::move(cur));
+  if (unterminated != nullptr) *unterminated = quoted;
   return fields;
+}
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  return ParseCsvLine(line, nullptr);
 }
 
 namespace {
@@ -54,29 +60,50 @@ std::string TitleFromPath(const std::filesystem::path& path) {
 std::string ReadSidecarContext(const std::filesystem::path& csv_path) {
   std::filesystem::path ctx = csv_path;
   ctx.replace_extension(".context");
-  std::ifstream in(ctx);
-  if (!in) return "";
-  std::string text((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
+  std::string text;
+  if (!ReadFileToString(Env::Default(), ctx.string(), &text).ok()) return "";
   return std::string(StripWhitespace(text));
+}
+
+/// Splits `contents` into the next '\n'-terminated line starting at `*pos`.
+bool NextLine(const std::string& contents, size_t* pos, std::string* line) {
+  if (*pos >= contents.size()) return false;
+  const size_t nl = contents.find('\n', *pos);
+  if (nl == std::string::npos) {
+    line->assign(contents, *pos, contents.size() - *pos);
+    *pos = contents.size();
+  } else {
+    line->assign(contents, *pos, nl - *pos);
+    *pos = nl + 1;
+  }
+  return true;
 }
 
 }  // namespace
 
 Result<Table> LoadCsvTable(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
+  std::string contents;
+  Status read = ReadFileToString(Env::Default(), path, &contents);
+  if (!read.ok()) return read;
 
   Table table;
   const std::filesystem::path fs_path(path);
   table.title = TitleFromPath(fs_path);
   table.context = ReadSidecarContext(fs_path);
 
+  size_t pos = 0;
   std::string line;
-  if (!std::getline(in, line)) {
+  if (!NextLine(contents, &pos, &line)) {
     return Status::InvalidArgument(path + ": empty file");
   }
-  const auto header = ParseCsvLine(line);
+  // Strip a UTF-8 byte-order mark so the first column name is clean (and a
+  // BOM before an opening quote does not derail the parser).
+  if (line.rfind("\xEF\xBB\xBF", 0) == 0) line.erase(0, 3);
+  bool unterminated = false;
+  const auto header = ParseCsvLine(line, &unterminated);
+  if (unterminated) {
+    return Status::InvalidArgument(path + ": unterminated quoted field");
+  }
   if (header.empty()) {
     return Status::InvalidArgument(path + ": empty header");
   }
@@ -85,9 +112,12 @@ Result<Table> LoadCsvTable(const std::string& path) {
     table.columns[c].name = std::string(StripWhitespace(header[c]));
   }
 
-  while (std::getline(in, line)) {
+  while (NextLine(contents, &pos, &line)) {
     if (StripWhitespace(line).empty()) continue;
-    auto row = ParseCsvLine(line);
+    auto row = ParseCsvLine(line, &unterminated);
+    if (unterminated) {
+      return Status::InvalidArgument(path + ": unterminated quoted field");
+    }
     row.resize(header.size());  // pad / truncate ragged rows
     for (size_t c = 0; c < header.size(); ++c) {
       table.columns[c].cells.push_back(

@@ -18,11 +18,18 @@ namespace deepjoin {
 namespace lake {
 
 /// RFC-4180-flavoured CSV parsing: quoted fields, embedded commas,
-/// doubled quotes, CR/LF line endings. Exposed for tests.
+/// doubled quotes, CR/LF line endings. Exposed for tests. The two-arg
+/// overload reports a field whose opening quote is never closed (the line
+/// ends mid-quote) via `unterminated`.
 std::vector<std::string> ParseCsvLine(const std::string& line);
+std::vector<std::string> ParseCsvLine(const std::string& line,
+                                      bool* unterminated);
 
 /// Reads one CSV file into a Table. Ragged rows are padded with empty
 /// cells; empty cells are dropped later by extraction's dedup+min-size.
+/// A UTF-8 byte-order mark before the first header cell is stripped; a
+/// line with an unterminated quoted field makes the whole file
+/// InvalidArgument (LoadCsvDirectory then reports it as skipped).
 Result<Table> LoadCsvTable(const std::string& path);
 
 enum class ExtractionPolicy { kKeyColumn, kMaxDistinct, kAllColumns };

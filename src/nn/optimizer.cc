@@ -1,6 +1,8 @@
 #include "nn/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace deepjoin {
 namespace nn {
@@ -61,6 +63,40 @@ void AdamW::Step(double lr_factor) {
       value.data()[j] = static_cast<float>(value.data()[j] - update);
     }
   }
+}
+
+void AdamW::SaveState(BinaryWriter& writer) const {
+  writer.WriteU64(static_cast<u64>(step_));
+  writer.WriteU64(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    writer.WriteFloatArray(m_[i].data(), m_[i].size());
+    writer.WriteFloatArray(v_[i].data(), v_[i].size());
+  }
+}
+
+Status AdamW::LoadState(BinaryReader& reader) {
+  u64 step = 0;
+  u64 n = 0;
+  DJ_RETURN_IF_ERROR(reader.ReadU64(&step));
+  DJ_RETURN_IF_ERROR(reader.ReadU64(&n));
+  if (n != params_.size()) {
+    return Status::InvalidArgument("optimizer state parameter count mismatch");
+  }
+  std::vector<std::vector<float>> ms(n), vs(n);
+  for (u64 i = 0; i < n; ++i) {
+    DJ_RETURN_IF_ERROR(reader.ReadFloatArray(&ms[i]));
+    DJ_RETURN_IF_ERROR(reader.ReadFloatArray(&vs[i]));
+    if (ms[i].size() != m_[i].size() || vs[i].size() != v_[i].size()) {
+      return Status::InvalidArgument("optimizer moment shape mismatch");
+    }
+  }
+  // All-or-nothing: mutate only after every record validated.
+  step_ = static_cast<long>(step);
+  for (u64 i = 0; i < n; ++i) {
+    std::copy(ms[i].begin(), ms[i].end(), m_[i].data());
+    std::copy(vs[i].begin(), vs[i].end(), v_[i].data());
+  }
+  return Status::OK();
 }
 
 double WarmupLinearFactor(long step, long warmup_steps, long total_steps) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nn/autograd.h"
+#include "util/binary_io.h"
 
 namespace deepjoin {
 namespace nn {
@@ -32,6 +33,13 @@ class AdamW {
   double GradNorm() const;
 
   long step_count() const { return step_; }
+
+  /// Checkpointing: serializes / restores the step counter and both moment
+  /// buffers, so a resumed run's updates are bit-identical to an
+  /// uninterrupted one. LoadState rejects a state whose parameter count or
+  /// shapes do not match this optimizer's.
+  void SaveState(BinaryWriter& writer) const;
+  Status LoadState(BinaryReader& reader);
 
  private:
   std::vector<VarPtr> params_;

@@ -47,15 +47,28 @@ void Vocab::Save(BinaryWriter& writer) const {
   for (const auto& w : words_) writer.WriteString(w);
 }
 
-Vocab Vocab::Load(BinaryReader& reader) {
-  const u64 max_words = reader.ReadU64();
-  const u64 oov_buckets = reader.ReadU64();
+Result<Vocab> Vocab::Load(BinaryReader& reader) {
+  u64 max_words = 0;
+  u64 oov_buckets = 0;
+  u64 n = 0;
+  DJ_RETURN_IF_ERROR(reader.ReadU64(&max_words));
+  DJ_RETURN_IF_ERROR(reader.ReadU64(&oov_buckets));
+  DJ_RETURN_IF_ERROR(reader.ReadU64(&n));
+  // Ids are u32; a count or bucket range that cannot fit the id space is
+  // corrupt, and every word costs at least one framed record, so the word
+  // count is bounded by the bytes actually left in the file.
+  if (oov_buckets > (1u << 30) || max_words > (1u << 30)) {
+    return Status::DataLoss("vocabulary header out of range");
+  }
+  if (n > max_words || n > reader.remaining() / kRecordFraming) {
+    return Status::DataLoss("vocabulary word count exceeds file size");
+  }
   Vocab vocab(max_words, oov_buckets);
-  const u64 n = reader.ReadU64();
   const u32 base = vocab.word_base();
   vocab.words_.reserve(n);
   for (u64 i = 0; i < n; ++i) {
-    std::string w = reader.ReadString();
+    std::string w;
+    DJ_RETURN_IF_ERROR(reader.ReadString(&w));
     vocab.word_to_id_[w] = base + static_cast<u32>(i);
     vocab.words_.push_back(std::move(w));
   }

@@ -50,10 +50,11 @@ class Vocab {
   /// Learned words; word i has id word_base() + i.
   const std::vector<std::string>& learned_words() const { return words_; }
 
-  /// Serializes a finalized vocabulary.
+  /// Serializes a finalized vocabulary. Errors stick to the writer.
   void Save(BinaryWriter& writer) const;
   /// Reconstructs a finalized vocabulary (id assignment preserved).
-  static Vocab Load(BinaryReader& reader);
+  /// Corrupt or truncated input surfaces as a non-OK status.
+  static Result<Vocab> Load(BinaryReader& reader);
 
  private:
   size_t max_words_;

@@ -1,0 +1,240 @@
+#include "util/binary_io.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace deepjoin {
+
+namespace {
+
+enum RecordTag : u8 {
+  kTagU32 = 1,
+  kTagU64 = 2,
+  kTagI32 = 3,
+  kTagFloat = 4,
+  kTagDouble = 5,
+  kTagString = 6,
+  kTagFloatArray = 7,
+  kTagU32Array = 8,
+  kTagI32Array = 9,
+};
+
+}  // namespace
+
+// ---- BinaryWriter ----
+
+BinaryWriter::BinaryWriter(std::string path, Env* env)
+    : path_(std::move(path)), env_(env != nullptr ? env : Env::Default()) {}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) file_->Close().IgnoreError();
+}
+
+Status BinaryWriter::Open() {
+  DJ_RETURN_IF_ERROR(env_->NewWritableFile(path_, &file_));
+  const u32 header[2] = {kBinaryIoMagic, kBinaryIoVersion};
+  status_ = file_->Append(header, sizeof(header));
+  return status_;
+}
+
+void BinaryWriter::WriteRecord(u8 tag, const void* data, size_t n) {
+  if (!status_.ok()) return;
+  if (file_ == nullptr) {
+    status_ = Status::FailedPrecondition("BinaryWriter used before Open()");
+    return;
+  }
+  const u64 len = 1 + n;
+  u32 crc = Crc32c(&tag, 1);
+  crc = Crc32cExtend(crc, data, n);
+  scratch_.clear();
+  scratch_.reserve(kRecordFraming + len);
+  scratch_.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  scratch_.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  scratch_.push_back(static_cast<char>(tag));
+  if (n > 0) scratch_.append(static_cast<const char*>(data), n);
+  status_ = file_->Append(scratch_.data(), scratch_.size());
+}
+
+void BinaryWriter::WriteU32(u32 v) { WriteRecord(kTagU32, &v, sizeof(v)); }
+void BinaryWriter::WriteU64(u64 v) { WriteRecord(kTagU64, &v, sizeof(v)); }
+void BinaryWriter::WriteI32(i32 v) { WriteRecord(kTagI32, &v, sizeof(v)); }
+void BinaryWriter::WriteFloat(float v) {
+  WriteRecord(kTagFloat, &v, sizeof(v));
+}
+void BinaryWriter::WriteDouble(double v) {
+  WriteRecord(kTagDouble, &v, sizeof(v));
+}
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteRecord(kTagString, s.data(), s.size());
+}
+void BinaryWriter::WriteFloatArray(const float* data, size_t n) {
+  WriteRecord(kTagFloatArray, data, n * sizeof(float));
+}
+void BinaryWriter::WriteU32Array(const u32* data, size_t n) {
+  WriteRecord(kTagU32Array, data, n * sizeof(u32));
+}
+void BinaryWriter::WriteI32Array(const i32* data, size_t n) {
+  WriteRecord(kTagI32Array, data, n * sizeof(i32));
+}
+
+Status BinaryWriter::Close() {
+  if (file_ == nullptr) {
+    if (status_.ok()) {
+      status_ = Status::FailedPrecondition("Close() before Open()");
+    }
+    return status_;
+  }
+  if (status_.ok()) status_ = file_->Flush();
+  if (status_.ok()) status_ = file_->Sync();
+  Status close_st = file_->Close();
+  if (status_.ok()) status_ = std::move(close_st);
+  file_.reset();
+  return status_;
+}
+
+// ---- BinaryReader ----
+
+BinaryReader::BinaryReader(std::string path, Env* env)
+    : path_(std::move(path)), env_(env != nullptr ? env : Env::Default()) {}
+
+Status BinaryReader::Open() {
+  DJ_RETURN_IF_ERROR(env_->GetFileSize(path_, &size_));
+  DJ_RETURN_IF_ERROR(env_->NewRandomAccessFile(path_, &file_));
+  u32 header[2] = {0, 0};
+  if (size_ < sizeof(header)) {
+    return Status::DataLoss(path_ + ": truncated header");
+  }
+  size_t read = 0;
+  DJ_RETURN_IF_ERROR(file_->Read(0, sizeof(header), header, &read));
+  if (read != sizeof(header)) {
+    return Status::DataLoss(path_ + ": truncated header");
+  }
+  if (header[0] != kBinaryIoMagic) {
+    return Status::DataLoss(path_ + ": bad container magic");
+  }
+  if (header[1] != kBinaryIoVersion) {
+    return Status::DataLoss(path_ + ": unsupported container version " +
+                            std::to_string(header[1]));
+  }
+  offset_ = sizeof(header);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadRecord(u8 expected_tag) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("BinaryReader used before Open()");
+  }
+  if (remaining() < kRecordFraming) {
+    return Status::DataLoss(path_ + ": truncated record frame");
+  }
+  u64 len = 0;
+  u32 crc = 0;
+  char frame[kRecordFraming];
+  size_t read = 0;
+  DJ_RETURN_IF_ERROR(file_->Read(offset_, sizeof(frame), frame, &read));
+  if (read != sizeof(frame)) {
+    return Status::DataLoss(path_ + ": truncated record frame");
+  }
+  std::memcpy(&len, frame, sizeof(len));
+  std::memcpy(&crc, frame + sizeof(len), sizeof(crc));
+  // The bounded read: a length prefix can never demand more bytes than the
+  // file actually holds past the frame.
+  if (len < 1 || len > remaining() - kRecordFraming) {
+    return Status::DataLoss(path_ + ": record length " + std::to_string(len) +
+                            " exceeds remaining file size");
+  }
+  payload_.resize(len);
+  DJ_RETURN_IF_ERROR(
+      file_->Read(offset_ + kRecordFraming, len, payload_.data(), &read));
+  if (read != len) {
+    return Status::DataLoss(path_ + ": truncated record payload");
+  }
+  if (Crc32c(payload_.data(), payload_.size()) != crc) {
+    return Status::DataLoss(path_ + ": record checksum mismatch");
+  }
+  if (static_cast<u8>(payload_[0]) != expected_tag) {
+    return Status::DataLoss(path_ + ": record type mismatch (found tag " +
+                            std::to_string(static_cast<u8>(payload_[0])) +
+                            ", want " + std::to_string(expected_tag) + ")");
+  }
+  offset_ += kRecordFraming + len;
+  return Status::OK();
+}
+
+template <typename T>
+Status BinaryReader::ReadScalar(u8 tag, T* out) {
+  DJ_RETURN_IF_ERROR(ReadRecord(tag));
+  if (payload_.size() != 1 + sizeof(T)) {
+    return Status::DataLoss(path_ + ": scalar record has wrong size");
+  }
+  std::memcpy(out, payload_.data() + 1, sizeof(T));
+  return Status::OK();
+}
+
+template <typename T>
+Status BinaryReader::ReadArray(u8 tag, std::vector<T>* out) {
+  DJ_RETURN_IF_ERROR(ReadRecord(tag));
+  const size_t bytes = payload_.size() - 1;
+  if (bytes % sizeof(T) != 0) {
+    return Status::DataLoss(path_ + ": array record size not a multiple of " +
+                            std::to_string(sizeof(T)));
+  }
+  out->resize(bytes / sizeof(T));
+  if (bytes > 0) {  // data() of an empty vector may be null
+    std::memcpy(out->data(), payload_.data() + 1, bytes);
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU32(u32* out) { return ReadScalar(kTagU32, out); }
+Status BinaryReader::ReadU64(u64* out) { return ReadScalar(kTagU64, out); }
+Status BinaryReader::ReadI32(i32* out) { return ReadScalar(kTagI32, out); }
+Status BinaryReader::ReadFloat(float* out) {
+  return ReadScalar(kTagFloat, out);
+}
+Status BinaryReader::ReadDouble(double* out) {
+  return ReadScalar(kTagDouble, out);
+}
+Status BinaryReader::ReadString(std::string* out) {
+  DJ_RETURN_IF_ERROR(ReadRecord(kTagString));
+  out->assign(payload_.data() + 1, payload_.size() - 1);
+  return Status::OK();
+}
+Status BinaryReader::ReadFloatArray(std::vector<float>* out) {
+  return ReadArray(kTagFloatArray, out);
+}
+Status BinaryReader::ReadU32Array(std::vector<u32>* out) {
+  return ReadArray(kTagU32Array, out);
+}
+Status BinaryReader::ReadI32Array(std::vector<i32>* out) {
+  return ReadArray(kTagI32Array, out);
+}
+
+// ---- AtomicSave ----
+
+Status AtomicSave(const std::string& path, Env* env,
+                  const std::function<Status(BinaryWriter&)>& fill) {
+  if (env == nullptr) env = Env::Default();
+  const std::string tmp = path + ".tmp";
+  Status st;
+  {
+    BinaryWriter writer(tmp, env);
+    st = writer.Open();
+    if (st.ok()) st = fill(writer);
+    if (st.ok()) {
+      st = writer.Close();
+    } else {
+      writer.Close().IgnoreError();
+    }
+  }
+  if (!st.ok()) {
+    if (env->FileExists(tmp)) env->RemoveFile(tmp).IgnoreError();
+    return st;
+  }
+  st = env->RenameFile(tmp, path);
+  if (!st.ok() && env->FileExists(tmp)) env->RemoveFile(tmp).IgnoreError();
+  return st;
+}
+
+}  // namespace deepjoin

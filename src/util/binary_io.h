@@ -1,105 +1,128 @@
-// Minimal binary (de)serialization over files. Fixed little-endian-style
-// layout via raw writes of fixed-width types; used for model and vocab
-// persistence. Not portable across endianness (documented limitation).
+// Binary (de)serialization for on-disk artifacts (models, indexes,
+// checkpoints), built on the injectable Env so fault-injection tests can
+// prove crash-safety. The container format is versioned and CRC32C-framed:
+//
+//   file    := header record*
+//   header  := magic:u32 ('DJF1') version:u32
+//   record  := len:u64 crc:u32 payload[len]      payload := tag:u8 data*
+//
+// Every Write* call emits one record; the matching Read* validates the
+// frame before touching the data: `len` is bounded by the bytes actually
+// remaining in the file (a truncated or hostile length prefix surfaces as
+// Status::DataLoss, never a multi-GB allocation), the CRC must match (any
+// single-byte corruption is caught), and the tag must equal the type the
+// caller asked for. Layout is native-endian via raw memcpy; files are not
+// portable across endianness (documented limitation).
+//
+// Writers are sticky: Write* record the first error and Close() reports
+// it. Use AtomicSave for crash-safe replacement of a whole artifact
+// (tmp + flush + fsync + rename; the previous artifact survives any
+// mid-save failure).
 #ifndef DEEPJOIN_UTIL_BINARY_IO_H_
 #define DEEPJOIN_UTIL_BINARY_IO_H_
 
-#include <cstdio>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "util/common.h"
+#include "util/env.h"
 #include "util/status.h"
 
 namespace deepjoin {
 
+inline constexpr u32 kBinaryIoMagic = 0x444A4631;  // "DJF1"
+inline constexpr u32 kBinaryIoVersion = 1;
+/// Bytes of framing per record: len:u64 + crc:u32.
+inline constexpr u64 kRecordFraming = 12;
+
 class BinaryWriter {
  public:
-  explicit BinaryWriter(const std::string& path)
-      : file_(std::fopen(path.c_str(), "wb")) {}
-  ~BinaryWriter() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
+  /// Writes to `path` through `env` (nullptr → Env::Default()). Call
+  /// Open() before the first Write*.
+  explicit BinaryWriter(std::string path, Env* env = nullptr);
+  ~BinaryWriter();
   BinaryWriter(const BinaryWriter&) = delete;
   BinaryWriter& operator=(const BinaryWriter&) = delete;
 
-  bool ok() const { return file_ != nullptr && !failed_; }
+  /// Creates/truncates the file and writes the container header.
+  Status Open();
 
-  void WriteU32(u32 v) { WriteRaw(&v, sizeof(v)); }
-  void WriteU64(u64 v) { WriteRaw(&v, sizeof(v)); }
-  void WriteI32(i32 v) { WriteRaw(&v, sizeof(v)); }
-  void WriteFloat(float v) { WriteRaw(&v, sizeof(v)); }
-  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
-  void WriteString(const std::string& s) {
-    WriteU64(s.size());
-    WriteRaw(s.data(), s.size());
-  }
-  void WriteFloatArray(const float* data, size_t n) {
-    WriteU64(n);
-    WriteRaw(data, n * sizeof(float));
-  }
+  void WriteU32(u32 v);
+  void WriteU64(u64 v);
+  void WriteI32(i32 v);
+  void WriteFloat(float v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteFloatArray(const float* data, size_t n);
+  void WriteU32Array(const u32* data, size_t n);
+  void WriteI32Array(const i32* data, size_t n);
 
-  Status Close() {
-    if (file_ == nullptr) return Status::IoError("open failed");
-    const int rc = std::fclose(file_);
-    file_ = nullptr;
-    if (rc != 0 || failed_) return Status::IoError("write failed");
-    return Status::OK();
-  }
+  /// First error seen by Open/Write*, or OK.
+  Status status() const { return status_; }
+
+  /// Flush + fsync + close. Returns the sticky error if any write failed.
+  Status Close();
 
  private:
-  void WriteRaw(const void* data, size_t n) {
-    if (file_ == nullptr || n == 0) return;
-    if (std::fwrite(data, 1, n, file_) != n) failed_ = true;
-  }
-  std::FILE* file_;
-  bool failed_ = false;
+  void WriteRecord(u8 tag, const void* data, size_t n);
+
+  std::string path_;
+  Env* env_;
+  std::unique_ptr<WritableFile> file_;
+  Status status_;
+  std::string scratch_;
 };
 
 class BinaryReader {
  public:
-  explicit BinaryReader(const std::string& path)
-      : file_(std::fopen(path.c_str(), "rb")) {}
-  ~BinaryReader() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
-  BinaryReader(const BinaryReader&) = delete;
-  BinaryReader& operator=(const BinaryReader&) = delete;
+  /// Reads from `path` through `env` (nullptr → Env::Default()). Call
+  /// Open() before the first Read*.
+  explicit BinaryReader(std::string path, Env* env = nullptr);
 
-  bool ok() const { return file_ != nullptr && !failed_; }
+  /// Opens the file and validates the container header (magic + version).
+  Status Open();
 
-  u32 ReadU32() { return ReadValue<u32>(); }
-  u64 ReadU64() { return ReadValue<u64>(); }
-  i32 ReadI32() { return ReadValue<i32>(); }
-  float ReadFloat() { return ReadValue<float>(); }
-  double ReadDouble() { return ReadValue<double>(); }
-  std::string ReadString() {
-    const u64 n = ReadU64();
-    std::string s(n, '\0');
-    ReadRaw(s.data(), n);
-    return s;
-  }
-  std::vector<float> ReadFloatArray() {
-    const u64 n = ReadU64();
-    std::vector<float> v(n);
-    ReadRaw(v.data(), n * sizeof(float));
-    return v;
-  }
+  Status ReadU32(u32* out);
+  Status ReadU64(u64* out);
+  Status ReadI32(i32* out);
+  Status ReadFloat(float* out);
+  Status ReadDouble(double* out);
+  Status ReadString(std::string* out);
+  Status ReadFloatArray(std::vector<float>* out);
+  Status ReadU32Array(std::vector<u32>* out);
+  Status ReadI32Array(std::vector<i32>* out);
+
+  /// Bytes between the cursor and end of file. A loader expecting N more
+  /// variable-count records can reject counts that cannot possibly fit.
+  u64 remaining() const { return size_ - offset_; }
+  bool AtEnd() const { return offset_ == size_; }
 
  private:
   template <typename T>
-  T ReadValue() {
-    T v{};
-    ReadRaw(&v, sizeof(v));
-    return v;
-  }
-  void ReadRaw(void* data, size_t n) {
-    if (file_ == nullptr || n == 0) return;
-    if (std::fread(data, 1, n, file_) != n) failed_ = true;
-  }
-  std::FILE* file_;
-  bool failed_ = false;
+  Status ReadScalar(u8 tag, T* out);
+  template <typename T>
+  Status ReadArray(u8 tag, std::vector<T>* out);
+  /// Reads and validates one record frame; on OK, `payload_` holds
+  /// tag + data and the cursor has advanced past the record.
+  Status ReadRecord(u8 expected_tag);
+
+  std::string path_;
+  Env* env_;
+  std::unique_ptr<RandomAccessFile> file_;
+  u64 size_ = 0;
+  u64 offset_ = 0;
+  std::string payload_;
 };
+
+/// Crash-safe artifact replacement: opens a BinaryWriter on `path`.tmp,
+/// runs `fill`, then flush + fsync + rename over `path`. On any failure
+/// (including injected ones) the tmp file is removed, `path` still holds
+/// the previous artifact (or still does not exist), and the error is
+/// returned. Not safe for concurrent saves to the same path.
+Status AtomicSave(const std::string& path, Env* env,
+                  const std::function<Status(BinaryWriter&)>& fill);
 
 }  // namespace deepjoin
 

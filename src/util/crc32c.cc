@@ -1,0 +1,68 @@
+#include "util/crc32c.h"
+
+#include <cstring>
+
+namespace deepjoin {
+
+namespace {
+
+// Slicing-by-8: table[0] is the classic byte-at-a-time table; table[k]
+// gives the CRC contribution of a byte that is k positions further from
+// the end of the message, so eight bytes fold in per iteration with no
+// loop-carried dependency on the input bytes.
+struct Crc32cTables {
+  u32 entries[8][256];
+  Crc32cTables() {
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      }
+      entries[0][i] = c;
+    }
+    for (int t = 1; t < 8; ++t) {
+      for (u32 i = 0; i < 256; ++i) {
+        entries[t][i] =
+            entries[0][entries[t - 1][i] & 0xFF] ^ (entries[t - 1][i] >> 8);
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+u32 Crc32cExtend(u32 crc, const void* data, size_t n) {
+  const u8* p = static_cast<const u8*>(data);
+  const auto& t = Tables().entries;
+  u32 c = crc ^ 0xFFFFFFFFu;
+
+  // Byte-at-a-time until 8-byte alignment, then slicing-by-8.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    c = t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    u32 lo;
+    u32 hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+        t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+    --n;
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace deepjoin

@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum guarding every record of the on-disk artifact format (see
+// util/binary_io.h and DESIGN.md §7). Software table implementation;
+// detects all single-bit and single-byte errors, which is what the
+// bit-flip torture tests rely on.
+#ifndef DEEPJOIN_UTIL_CRC32C_H_
+#define DEEPJOIN_UTIL_CRC32C_H_
+
+#include <cstddef>
+
+#include "util/common.h"
+
+namespace deepjoin {
+
+/// Extends `crc` (a running checksum previously returned by Crc32c or
+/// Crc32cExtend) with `n` more bytes.
+u32 Crc32cExtend(u32 crc, const void* data, size_t n);
+
+/// CRC32C of a single buffer. Crc32c("123456789", 9) == 0xE3069283.
+inline u32 Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_CRC32C_H_

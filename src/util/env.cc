@@ -1,0 +1,236 @@
+#include "util/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace deepjoin {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      const ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path_);
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }  // unbuffered
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Errno("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(u64 offset, size_t n, void* scratch,
+              size_t* bytes_read) const override {
+    char* p = static_cast<char*>(scratch);
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t r = ::pread(fd_, p + done, n - done,
+                                static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        *bytes_read = done;
+        return Errno("pread", path_);
+      }
+      if (r == 0) break;  // EOF
+      done += static_cast<size_t>(r);
+    }
+    *bytes_read = done;
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return Errno("open", path);
+    *out = std::make_unique<PosixWritableFile>(fd, path);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& path,
+      std::unique_ptr<RandomAccessFile>* out) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("open", path);
+    *out = std::make_unique<PosixRandomAccessFile>(fd, path);
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& path, u64* size) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+    *size = static_cast<u64>(st.st_size);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status ReadFileToString(Env* env, const std::string& path, std::string* out) {
+  if (env == nullptr) env = Env::Default();
+  u64 size = 0;
+  DJ_RETURN_IF_ERROR(env->GetFileSize(path, &size));
+  std::unique_ptr<RandomAccessFile> file;
+  DJ_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &file));
+  out->resize(size);
+  size_t read = 0;
+  DJ_RETURN_IF_ERROR(file->Read(0, size, out->data(), &read));
+  out->resize(read);
+  return Status::OK();
+}
+
+// ---- FaultInjectionEnv ----
+
+namespace {
+
+/// Forwards to the wrapped file, injecting Append/Sync failures per the
+/// owning env's plan. A torn (short) write appends half the buffer before
+/// reporting failure, modelling a crash mid-write.
+class FaultWritableFileImpl : public WritableFile {
+ public:
+  FaultWritableFileImpl(std::unique_ptr<WritableFile> base, FaultPlan* plan,
+                        FaultCounters* counters)
+      : base_(std::move(base)), plan_(plan), counters_(counters) {}
+
+  Status Append(const void* data, size_t n) override {
+    const i64 idx = counters_->writes++;
+    if (idx == plan_->fail_write_index) {
+      if (plan_->short_write && n > 1) {
+        base_->Append(data, n / 2).IgnoreError();
+      }
+      return Status::IoError("injected write failure");
+    }
+    return base_->Append(data, n);
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    const i64 idx = counters_->syncs++;
+    if (idx == plan_->fail_sync_index) {
+      return Status::IoError("injected fsync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultPlan* plan_;
+  FaultCounters* counters_;
+};
+
+}  // namespace
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& path, std::unique_ptr<WritableFile>* out) {
+  const i64 idx = counters_.opens++;
+  if (idx == plan_.fail_open_index) {
+    return Status::IoError("injected open failure");
+  }
+  std::unique_ptr<WritableFile> base_file;
+  DJ_RETURN_IF_ERROR(base_->NewWritableFile(path, &base_file));
+  *out = std::make_unique<FaultWritableFileImpl>(std::move(base_file),
+                                                 &plan_, &counters_);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& path, std::unique_ptr<RandomAccessFile>* out) {
+  return base_->NewRandomAccessFile(path, out);
+}
+
+Status FaultInjectionEnv::GetFileSize(const std::string& path, u64* size) {
+  return base_->GetFileSize(path, size);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  const i64 idx = counters_.renames++;
+  if (idx == plan_.fail_rename_index) {
+    return Status::IoError("injected rename failure");
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+}  // namespace deepjoin

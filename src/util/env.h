@@ -1,0 +1,115 @@
+// Injectable filesystem abstraction (LevelDB-style): all persistence in the
+// library flows through an Env so tests can substitute a FaultInjectionEnv
+// and prove crash-safety — fail the Nth write, tear a write short, fail
+// fsync/rename/open — without touching a real disk failure. The default
+// implementation is POSIX (fd-level write/fsync/rename) so BinaryWriter's
+// atomic-save protocol (tmp + flush + fsync + rename, see DESIGN.md §7)
+// has real durability semantics, not stdio buffering.
+#ifndef DEEPJOIN_UTIL_ENV_H_
+#define DEEPJOIN_UTIL_ENV_H_
+
+#include <memory>
+#include <string>
+
+#include "util/common.h"
+#include "util/status.h"
+
+namespace deepjoin {
+
+/// A file opened for appending. Append order is write order; nothing is
+/// durable until Sync() returns OK.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const void* data, size_t n) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// A file opened for positional reads (pread-style; no shared cursor).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  /// Reads up to `n` bytes at `offset` into `scratch`. Short reads at EOF
+  /// are not an error: `*bytes_read` reports what was read.
+  virtual Status Read(u64 offset, size_t n, void* scratch,
+                      size_t* bytes_read) const = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+
+  /// Creates (truncating) `path` for writing.
+  virtual Status NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* out) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& path, std::unique_ptr<RandomAccessFile>* out) = 0;
+  virtual Status GetFileSize(const std::string& path, u64* size) = 0;
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+};
+
+/// Reads the whole of `path` into `*out` through `env` (nullptr → Default).
+Status ReadFileToString(Env* env, const std::string& path, std::string* out);
+
+/// Which failure a FaultInjectionEnv injects. Indices are 0-based counts of
+/// the corresponding operation across every file the env opens; -1 disables
+/// that injection. Counters keep advancing after an injection, so a single
+/// plan fires each fault exactly once.
+struct FaultPlan {
+  i64 fail_write_index = -1;   ///< fail the k-th Append
+  bool short_write = false;    ///< on injected Append failure, first write
+                               ///< half the buffer (a torn write)
+  i64 fail_sync_index = -1;    ///< fail the k-th Sync
+  i64 fail_rename_index = -1;  ///< fail the k-th RenameFile
+  i64 fail_open_index = -1;    ///< fail the k-th NewWritableFile
+};
+
+/// Operation counts observed by a FaultInjectionEnv. Run once with an
+/// all-disabled plan to learn how many injection points an operation has,
+/// then enumerate them.
+struct FaultCounters {
+  i64 writes = 0;
+  i64 syncs = 0;
+  i64 renames = 0;
+  i64 opens = 0;
+};
+
+/// Wraps a base Env and injects failures per a FaultPlan. Injected errors
+/// surface as Status::IoError with an "injected" message. Not thread-safe:
+/// fault tests drive it from a single thread.
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  FaultPlan& plan() { return plan_; }
+  const FaultCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = FaultCounters(); }
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override;
+  Status NewRandomAccessFile(
+      const std::string& path,
+      std::unique_ptr<RandomAccessFile>* out) override;
+  Status GetFileSize(const std::string& path, u64* size) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+
+ private:
+  Env* base_;
+  FaultPlan plan_;
+  FaultCounters counters_;
+};
+
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_ENV_H_

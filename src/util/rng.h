@@ -115,6 +115,15 @@ class Rng {
   /// Forks an independent stream; children are decorrelated from the parent.
   Rng Fork() { return Rng(NextU64() ^ 0xda3e39cb94b95bdbULL); }
 
+  /// Checkpointing support: copies out / restores the raw xoshiro state so
+  /// a resumed run replays the exact draw sequence (see core/trainer.h).
+  void GetState(u64 out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void SetState(const u64 in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   static u64 Rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
   u64 state_[4];

@@ -20,6 +20,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kDataLoss,  ///< on-disk artifact is corrupt/truncated (unrecoverable read)
 };
 
 /// Error-or-success carrier. Cheap to copy when OK (no message allocated).
@@ -52,6 +53,9 @@ class [[nodiscard]] Status {
   static Status IoError(std::string m) {
     return Status(StatusCode::kIoError, std::move(m));
   }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
@@ -76,6 +80,7 @@ class [[nodiscard]] Status {
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kIoError: return "IoError";
+      case StatusCode::kDataLoss: return "DataLoss";
     }
     return "Unknown";
   }

@@ -1,0 +1,167 @@
+// Persistence tests for the HNSW index: round-trip fidelity plus the
+// corrupt-artifact contract — wrong magic, wrong version, or a truncated
+// header must surface as Status (DataLoss), never a DJ_CHECK abort.
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "ann/hnsw.h"
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace ann {
+namespace {
+
+class HnswPersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string(::testing::TempDir()) + "/hnsw_persist.bin";
+    config_.dim = 8;
+    config_.M = 4;
+    config_.ef_construction = 32;
+    config_.ef_search = 16;
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  HnswIndex BuildSmallIndex(size_t n) {
+    HnswIndex index(config_);
+    Rng rng(7);
+    std::vector<float> vec(config_.dim);
+    for (size_t i = 0; i < n; ++i) {
+      for (auto& v : vec) v = static_cast<float>(rng.Normal());
+      index.Add(vec.data());
+    }
+    return index;
+  }
+
+  void SaveToPath(const HnswIndex& index) {
+    BinaryWriter writer(path_);
+    ASSERT_TRUE(writer.Open().ok());
+    index.Save(writer);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+
+  Result<HnswIndex> LoadFromPath() {
+    BinaryReader reader(path_);
+    Status st = reader.Open();
+    if (!st.ok()) return st;
+    return HnswIndex::Load(reader);
+  }
+
+  HnswConfig config_;
+  std::string path_;
+};
+
+TEST_F(HnswPersistenceTest, RoundTripPreservesSearchResults) {
+  HnswIndex index = BuildSmallIndex(60);
+  SaveToPath(index);
+  auto loaded = LoadFromPath();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), index.size());
+  EXPECT_EQ(loaded->dim(), index.dim());
+  EXPECT_EQ(loaded->max_level(), index.max_level());
+
+  Rng rng(99);
+  std::vector<float> q(config_.dim);
+  for (int trial = 0; trial < 10; ++trial) {
+    for (auto& v : q) v = static_cast<float>(rng.Normal());
+    const auto a = index.Search(q.data(), 5);
+    const auto b = loaded->Search(q.data(), 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST_F(HnswPersistenceTest, EmptyIndexRoundTrips) {
+  HnswIndex index(config_);
+  SaveToPath(index);
+  auto loaded = LoadFromPath();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+TEST_F(HnswPersistenceTest, WrongMagicIsDataLossNotAbort) {
+  HnswIndex index = BuildSmallIndex(10);
+  {
+    // A valid container whose first record is not the HNSW magic.
+    BinaryWriter writer(path_);
+    ASSERT_TRUE(writer.Open().ok());
+    writer.WriteU32(0xBADC0DE5);
+    writer.WriteU32(1);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto loaded = LoadFromPath();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("not an HNSW index"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(HnswPersistenceTest, WrongVersionIsDataLoss) {
+  {
+    BinaryWriter writer(path_);
+    ASSERT_TRUE(writer.Open().ok());
+    writer.WriteU32(0x484E5357);  // correct magic
+    writer.WriteU32(999);         // future version
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto loaded = LoadFromPath();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(HnswPersistenceTest, TruncatedHeaderIsDataLoss) {
+  HnswIndex index = BuildSmallIndex(10);
+  SaveToPath(index);
+  // Chop the file inside the HNSW header records.
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(24);
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<long>(bytes.size()));
+  out.close();
+
+  auto loaded = LoadFromPath();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(HnswPersistenceTest, InconsistentGraphIsDataLoss) {
+  // A structurally valid container claiming one node whose entry point is
+  // out of range: semantic validation must reject it.
+  {
+    BinaryWriter writer(path_);
+    ASSERT_TRUE(writer.Open().ok());
+    writer.WriteU32(0x484E5357);
+    writer.WriteU32(1);
+    writer.WriteI32(2);   // dim
+    writer.WriteI32(2);   // M
+    writer.WriteI32(8);   // ef_construction
+    writer.WriteI32(8);   // ef_search
+    writer.WriteU64(11);  // seed
+    const float data[2] = {0.0f, 1.0f};
+    writer.WriteFloatArray(data, 2);  // one node
+    const i32 levels[1] = {0};
+    writer.WriteI32Array(levels, 1);
+    const u32 list_sizes[1] = {0};
+    writer.WriteU32Array(list_sizes, 1);
+    writer.WriteU32Array(nullptr, 0);  // all_ids
+    writer.WriteU32(5);                // entry_ out of range
+    writer.WriteI32(0);                // max_level_
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto loaded = LoadFromPath();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace ann
+}  // namespace deepjoin

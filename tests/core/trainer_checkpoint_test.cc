@@ -1,0 +1,196 @@
+// Checkpoint/resume contract for FineTunePlm: a run that crashes after a
+// checkpoint and is resumed must reproduce the uninterrupted run's loss
+// trajectory bit-identically (parameters, AdamW moments, RNG state, and
+// shuffle position are all restored exactly). Checkpoint writes are atomic
+// under injected failures.
+#include "core/trainer.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class TrainerCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(404));
+    sample_ = gen.GenerateQueries(120, 0x7EA2);
+    FastTextConfig fc;
+    fc.dim = 24;
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+    embedder_->TrainSynonyms(gen.SynonymLexicon(), 0.8, 2);
+
+    TrainingDataConfig tc;
+    tc.join_type = JoinType::kEqui;
+    tc.shuffle_rate = 0.2;
+    tc.max_pairs = 300;
+    data_ = PrepareTrainingData(sample_, embedder_.get(), tc);
+
+    ckpt_path_ = std::string(::testing::TempDir()) + "/finetune.ckpt";
+  }
+  void TearDown() override {
+    std::remove(ckpt_path_.c_str());
+    std::remove((ckpt_path_ + ".tmp").c_str());
+  }
+
+  PlmColumnEncoder FreshEncoder() {
+    PlmEncoderConfig pc;
+    pc.kind = PlmKind::kDistilSim;
+    pc.max_seq_len = 32;
+    pc.transform.cell_budget = 12;
+    return PlmColumnEncoder(pc, sample_, *embedder_);
+  }
+
+  FineTuneConfig BaseConfig() {
+    FineTuneConfig fc;
+    fc.batch_size = 8;
+    fc.max_steps = 20;
+    fc.lr = 6e-4;
+    return fc;
+  }
+
+  std::vector<lake::Column> sample_;
+  std::unique_ptr<FastTextEmbedder> embedder_;
+  TrainingData data_;
+  std::string ckpt_path_;
+};
+
+TEST_F(TrainerCheckpointTest, ResumeReproducesLossBitIdentically) {
+  ASSERT_FALSE(data_.pairs.empty());
+
+  // Run A: uninterrupted reference.
+  PlmColumnEncoder encoder_a = FreshEncoder();
+  auto stats_a = FineTunePlm(encoder_a, data_, BaseConfig());
+  ASSERT_TRUE(stats_a.ok());
+  ASSERT_EQ(stats_a->steps, 20);
+
+  // Run B: checkpoints every 5 steps, "crashes" right after step 9 (a
+  // checkpoint for step 10 is on disk at that point).
+  PlmColumnEncoder encoder_b = FreshEncoder();
+  auto cfg_b = BaseConfig();
+  cfg_b.checkpoint_every = 5;
+  cfg_b.checkpoint_path = ckpt_path_;
+  cfg_b.stop_after_step = 9;
+  auto stats_b = FineTunePlm(encoder_b, data_, cfg_b);
+  ASSERT_TRUE(stats_b.ok()) << stats_b.status().ToString();
+  ASSERT_EQ(stats_b->steps, 10);
+  ASSERT_TRUE(Env::Default()->FileExists(ckpt_path_));
+
+  // Run C: a fresh encoder (as after a real crash) resumed from the
+  // checkpoint must land on run A's final loss to the last bit.
+  PlmColumnEncoder encoder_c = FreshEncoder();
+  auto cfg_c = BaseConfig();
+  cfg_c.checkpoint_every = 5;
+  cfg_c.checkpoint_path = ckpt_path_;
+  cfg_c.resume = true;
+  auto stats_c = FineTunePlm(encoder_c, data_, cfg_c);
+  ASSERT_TRUE(stats_c.ok()) << stats_c.status().ToString();
+  EXPECT_EQ(stats_c->steps, 10);  // steps 10..19
+
+  EXPECT_EQ(stats_c->final_loss, stats_a->final_loss)
+      << "resumed loss trajectory diverged from the uninterrupted run";
+  EXPECT_EQ(stats_c->first_loss, stats_a->first_loss);
+
+  // The restored model itself matches: identical embeddings.
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(encoder_a.Encode(sample_[i]), encoder_c.Encode(sample_[i]))
+        << "column " << i;
+  }
+}
+
+TEST_F(TrainerCheckpointTest, FailedCheckpointSaveKeepsPreviousCheckpoint) {
+  FaultInjectionEnv fenv(Env::Default());
+  // First checkpoint (step 5) renames fine; the second (step 10) fails.
+  fenv.plan().fail_rename_index = 1;
+
+  PlmColumnEncoder encoder = FreshEncoder();
+  auto cfg = BaseConfig();
+  cfg.checkpoint_every = 5;
+  cfg.checkpoint_path = ckpt_path_;
+  cfg.env = &fenv;
+  auto stats = FineTunePlm(encoder, data_, cfg);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kIoError);
+
+  // The step-5 checkpoint survived the failed replacement, and resuming
+  // from it still reaches the uninterrupted run's exact final loss.
+  ASSERT_TRUE(Env::Default()->FileExists(ckpt_path_));
+  EXPECT_FALSE(Env::Default()->FileExists(ckpt_path_ + ".tmp"));
+
+  PlmColumnEncoder encoder_ref = FreshEncoder();
+  auto stats_ref = FineTunePlm(encoder_ref, data_, BaseConfig());
+  ASSERT_TRUE(stats_ref.ok());
+
+  PlmColumnEncoder encoder_resume = FreshEncoder();
+  auto cfg_resume = BaseConfig();
+  cfg_resume.checkpoint_path = ckpt_path_;
+  cfg_resume.resume = true;
+  auto stats_resume = FineTunePlm(encoder_resume, data_, cfg_resume);
+  ASSERT_TRUE(stats_resume.ok()) << stats_resume.status().ToString();
+  EXPECT_EQ(stats_resume->steps, 15);  // steps 5..19
+  EXPECT_EQ(stats_resume->final_loss, stats_ref->final_loss);
+}
+
+TEST_F(TrainerCheckpointTest, ResumeWithoutCheckpointFileErrors) {
+  PlmColumnEncoder encoder = FreshEncoder();
+  auto cfg = BaseConfig();
+  cfg.checkpoint_path = ckpt_path_ + ".missing";
+  cfg.resume = true;
+  auto stats = FineTunePlm(encoder, data_, cfg);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(TrainerCheckpointTest, ResumeWithoutPathIsInvalid) {
+  PlmColumnEncoder encoder = FreshEncoder();
+  auto cfg = BaseConfig();
+  cfg.resume = true;
+  auto stats = FineTunePlm(encoder, data_, cfg);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TrainerCheckpointTest, CorruptCheckpointIsDataLossNotAbort) {
+  {
+    std::ofstream out(ckpt_path_, std::ios::binary);
+    out << "garbage, not a checkpoint";
+  }
+  PlmColumnEncoder encoder = FreshEncoder();
+  auto cfg = BaseConfig();
+  cfg.checkpoint_path = ckpt_path_;
+  cfg.resume = true;
+  auto stats = FineTunePlm(encoder, data_, cfg);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(TrainerCheckpointTest, CheckpointFromDifferentDataIsRejected) {
+  // Take a checkpoint on the full data, then try to resume against a
+  // training set with a different pair count.
+  PlmColumnEncoder encoder = FreshEncoder();
+  auto cfg = BaseConfig();
+  cfg.checkpoint_every = 5;
+  cfg.checkpoint_path = ckpt_path_;
+  cfg.stop_after_step = 4;
+  ASSERT_TRUE(FineTunePlm(encoder, data_, cfg).ok());
+
+  TrainingData smaller = data_;
+  smaller.pairs.resize(data_.pairs.size() / 2);
+  PlmColumnEncoder encoder2 = FreshEncoder();
+  auto cfg2 = BaseConfig();
+  cfg2.checkpoint_path = ckpt_path_;
+  cfg2.resume = true;
+  auto stats = FineTunePlm(encoder2, smaller, cfg2);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

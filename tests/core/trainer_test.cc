@@ -62,7 +62,7 @@ TEST_F(TrainerTest, LossDecreases) {
   ASSERT_FALSE(data_.pairs.empty());
   PlmColumnEncoder encoder(SmallPlm(PlmKind::kDistilSim), sample_,
                            *embedder_);
-  auto stats = FineTunePlm(encoder, data_, FastConfig());
+  auto stats = FineTunePlm(encoder, data_, FastConfig()).value();
   EXPECT_EQ(stats.steps, 25);
   EXPECT_LT(stats.final_loss, stats.first_loss)
       << "fine-tuning failed to reduce the MNR loss";
@@ -76,7 +76,7 @@ TEST_F(TrainerTest, TrainingPullsPositivePairsTogether) {
       Cosine(encoder.Encode(pair.x), encoder.Encode(pair.y));
   auto cfg = FastConfig();
   cfg.max_steps = 40;
-  FineTunePlm(encoder, data_, cfg);
+  ASSERT_TRUE(FineTunePlm(encoder, data_, cfg).ok());
   const double after =
       Cosine(encoder.Encode(pair.x), encoder.Encode(pair.y));
   EXPECT_GT(after, before);
@@ -87,7 +87,7 @@ TEST_F(TrainerTest, RemovedOverlapNegativesAlsoTrain) {
                            *embedder_);
   auto cfg = FastConfig();
   cfg.negatives = NegativeStrategy::kRemovedOverlap;
-  auto stats = FineTunePlm(encoder, data_, cfg);
+  auto stats = FineTunePlm(encoder, data_, cfg).value();
   EXPECT_LT(stats.final_loss, stats.first_loss);
 }
 
@@ -117,7 +117,7 @@ TEST_F(TrainerTest, EmptyDataIsANoOp) {
   PlmColumnEncoder encoder(SmallPlm(PlmKind::kDistilSim), sample_,
                            *embedder_);
   TrainingData empty;
-  auto stats = FineTunePlm(encoder, empty, FastConfig());
+  auto stats = FineTunePlm(encoder, empty, FastConfig()).value();
   EXPECT_EQ(stats.steps, 0);
 }
 

@@ -1,0 +1,180 @@
+// Fault-injection proof of the atomic-save protocol (tmp + flush + fsync +
+// rename): for EVERY injectable failure point in an encoder or index save —
+// each write (clean and torn), each fsync, each rename, each open — the
+// save must report a non-OK Status, leave no tmp file behind, and leave the
+// previous artifact byte-identical and loadable.
+#include <gtest/gtest.h>
+
+#include "core/model_io.h"
+#include "core/searcher.h"
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class AtomicSaveFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(2020));
+    sample_ = gen.GenerateQueries(12, 0x2A);
+    FastTextConfig fc;
+    fc.dim = 8;
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+    path_ = std::string(::testing::TempDir()) + "/fault_artifact.bin";
+  }
+  void TearDown() override {
+    Env* env = Env::Default();
+    if (env->FileExists(path_)) env->RemoveFile(path_).IgnoreError();
+    const std::string tmp = path_ + ".tmp";
+    if (env->FileExists(tmp)) env->RemoveFile(tmp).IgnoreError();
+  }
+
+  PlmEncoderConfig SmallConfig(int cell_budget) {
+    PlmEncoderConfig pc;
+    pc.kind = PlmKind::kDistilSim;
+    pc.max_seq_len = 16;
+    pc.max_words = 60;   // keeps the vocabulary (and write count) small
+    pc.oov_buckets = 16;
+    pc.transform.cell_budget = cell_budget;
+    return pc;
+  }
+
+  /// Asserts `path_` still holds exactly `baseline` and no tmp file exists.
+  void ExpectArtifactIntact(const std::string& baseline,
+                            const std::string& context) {
+    std::string now;
+    ASSERT_TRUE(ReadFileToString(Env::Default(), path_, &now).ok())
+        << context;
+    ASSERT_EQ(now, baseline) << "artifact changed under " << context;
+    ASSERT_FALSE(Env::Default()->FileExists(path_ + ".tmp"))
+        << "tmp file leaked under " << context;
+  }
+
+  std::vector<lake::Column> sample_;
+  std::unique_ptr<FastTextEmbedder> embedder_;
+  std::string path_;
+};
+
+TEST_F(AtomicSaveFaultTest, EncoderSaveSurvivesEveryInjectedFailure) {
+  PlmColumnEncoder previous(SmallConfig(8), sample_, *embedder_);
+  PlmColumnEncoder next(SmallConfig(10), sample_, *embedder_);
+
+  // Previous artifact on disk; its bytes are the invariant.
+  ASSERT_TRUE(SaveEncoder(previous, path_).ok());
+  std::string baseline;
+  ASSERT_TRUE(ReadFileToString(Env::Default(), path_, &baseline).ok());
+
+  // Count the save's operations with an all-disabled plan.
+  FaultInjectionEnv counter_env(Env::Default());
+  ASSERT_TRUE(SaveEncoder(next, path_, &counter_env).ok());
+  const FaultCounters totals = counter_env.counters();
+  ASSERT_GT(totals.writes, 0);
+  ASSERT_GT(totals.syncs, 0);
+  ASSERT_GT(totals.renames, 0);
+  ASSERT_GT(totals.opens, 0);
+
+  // Restore the previous artifact, then enumerate every failure point.
+  ASSERT_TRUE(SaveEncoder(previous, path_).ok());
+  ASSERT_TRUE(ReadFileToString(Env::Default(), path_, &baseline).ok());
+
+  for (i64 w = 0; w < totals.writes; ++w) {
+    for (const bool torn : {false, true}) {
+      FaultInjectionEnv fenv(Env::Default());
+      fenv.plan().fail_write_index = w;
+      fenv.plan().short_write = torn;
+      const Status st = SaveEncoder(next, path_, &fenv);
+      const std::string context = "write " + std::to_string(w) +
+                                  (torn ? " (torn)" : " (clean)");
+      ASSERT_FALSE(st.ok()) << context;
+      ExpectArtifactIntact(baseline, context);
+    }
+  }
+  for (i64 s = 0; s < totals.syncs; ++s) {
+    FaultInjectionEnv fenv(Env::Default());
+    fenv.plan().fail_sync_index = s;
+    ASSERT_FALSE(SaveEncoder(next, path_, &fenv).ok()) << "sync " << s;
+    ExpectArtifactIntact(baseline, "sync " + std::to_string(s));
+  }
+  for (i64 r = 0; r < totals.renames; ++r) {
+    FaultInjectionEnv fenv(Env::Default());
+    fenv.plan().fail_rename_index = r;
+    ASSERT_FALSE(SaveEncoder(next, path_, &fenv).ok()) << "rename " << r;
+    ExpectArtifactIntact(baseline, "rename " + std::to_string(r));
+  }
+  for (i64 o = 0; o < totals.opens; ++o) {
+    FaultInjectionEnv fenv(Env::Default());
+    fenv.plan().fail_open_index = o;
+    ASSERT_FALSE(SaveEncoder(next, path_, &fenv).ok()) << "open " << o;
+    ExpectArtifactIntact(baseline, "open " + std::to_string(o));
+  }
+
+  // After the full gauntlet the surviving artifact still loads, and it is
+  // the previous encoder.
+  auto loaded = LoadEncoder(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->config().transform.cell_budget, 8);
+}
+
+TEST_F(AtomicSaveFaultTest, IndexSaveSurvivesEveryInjectedFailure) {
+  lake::LakeGenerator gen(lake::LakeConfig::Webtable(3030));
+  lake::Repository repo = gen.GenerateRepository(40);
+  FastTextColumnEncoder encoder(embedder_.get(), TransformConfig{});
+  SearcherConfig sc;
+  sc.hnsw_M = 4;
+  sc.hnsw_ef_construction = 24;
+  EmbeddingSearcher searcher(&encoder, sc);
+  searcher.BuildIndex(repo);
+
+  ASSERT_TRUE(searcher.SaveIndex(path_).ok());
+  std::string baseline;
+  ASSERT_TRUE(ReadFileToString(Env::Default(), path_, &baseline).ok());
+
+  FaultInjectionEnv counter_env(Env::Default());
+  ASSERT_TRUE(searcher.SaveIndex(path_, &counter_env).ok());
+  const FaultCounters totals = counter_env.counters();
+
+  // The index save is deterministic, so re-saving restored the same bytes.
+  std::string after;
+  ASSERT_TRUE(ReadFileToString(Env::Default(), path_, &after).ok());
+  ASSERT_EQ(after, baseline);
+
+  for (i64 w = 0; w < totals.writes; ++w) {
+    for (const bool torn : {false, true}) {
+      FaultInjectionEnv fenv(Env::Default());
+      fenv.plan().fail_write_index = w;
+      fenv.plan().short_write = torn;
+      const std::string context = "write " + std::to_string(w) +
+                                  (torn ? " (torn)" : " (clean)");
+      ASSERT_FALSE(searcher.SaveIndex(path_, &fenv).ok()) << context;
+      ExpectArtifactIntact(baseline, context);
+    }
+  }
+  for (i64 s = 0; s < totals.syncs; ++s) {
+    FaultInjectionEnv fenv(Env::Default());
+    fenv.plan().fail_sync_index = s;
+    ASSERT_FALSE(searcher.SaveIndex(path_, &fenv).ok()) << "sync " << s;
+    ExpectArtifactIntact(baseline, "sync " + std::to_string(s));
+  }
+  for (i64 r = 0; r < totals.renames; ++r) {
+    FaultInjectionEnv fenv(Env::Default());
+    fenv.plan().fail_rename_index = r;
+    ASSERT_FALSE(searcher.SaveIndex(path_, &fenv).ok()) << "rename " << r;
+    ExpectArtifactIntact(baseline, "rename " + std::to_string(r));
+  }
+  for (i64 o = 0; o < totals.opens; ++o) {
+    FaultInjectionEnv fenv(Env::Default());
+    fenv.plan().fail_open_index = o;
+    ASSERT_FALSE(searcher.SaveIndex(path_, &fenv).ok()) << "open " << o;
+    ExpectArtifactIntact(baseline, "open " + std::to_string(o));
+  }
+
+  // The surviving index still loads and serves.
+  EmbeddingSearcher reloaded(&encoder, sc);
+  ASSERT_TRUE(reloaded.LoadIndex(path_).ok());
+  EXPECT_EQ(reloaded.index_size(), repo.size());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

@@ -1,0 +1,137 @@
+// Corruption torture: a saved encoder and a saved HNSW index are mangled
+// exhaustively — truncated at EVERY byte offset, and with one byte flipped
+// per 64-byte stride — and every load must come back as a non-OK Status.
+// No abort, no crash, no over-allocation: the CRC32C record framing and
+// bounded reads (util/binary_io.h) are what this leans on. Runs in the
+// ASan/UBSan legs of tools/check.sh under the `fault` ctest label.
+#include <unistd.h>
+
+#include <fstream>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "core/model_io.h"
+#include "core/searcher.h"
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class CorruptionTortureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(1234));
+    sample_ = gen.GenerateQueries(12, 0x51);
+    FastTextConfig fc;
+    fc.dim = 8;
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+    encoder_path_ = std::string(::testing::TempDir()) + "/torture_encoder.bin";
+    index_path_ = std::string(::testing::TempDir()) + "/torture_index.bin";
+  }
+  void TearDown() override {
+    std::remove(encoder_path_.c_str());
+    std::remove(index_path_.c_str());
+  }
+
+  static std::string ReadAll(const std::string& path) {
+    std::string contents;
+    Status st = ReadFileToString(Env::Default(), path, &contents);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return contents;
+  }
+
+  static void WriteAll(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<long>(bytes.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  /// Truncates `path` at every offset from size-1 down to 0; `load` must
+  /// fail at each one. Restores the original bytes afterwards.
+  void TruncationTorture(const std::string& path, const std::string& baseline,
+                         const std::function<bool()>& load) {
+    for (size_t t = baseline.size(); t-- > 0;) {
+      ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(t)), 0);
+      ASSERT_FALSE(load()) << "file truncated at offset " << t
+                           << " loaded successfully";
+    }
+    WriteAll(path, baseline);
+  }
+
+  /// Flips one byte per 64-byte stride (all 8 bits of it); `load` must fail
+  /// for each flip. Restores the byte after every probe.
+  void BitFlipTorture(const std::string& path, const std::string& baseline,
+                      const std::function<bool()>& load) {
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.good());
+    for (size_t i = 0; i < baseline.size(); i += 64) {
+      file.seekp(static_cast<long>(i));
+      file.put(static_cast<char>(baseline[i] ^ '\xFF'));
+      file.flush();
+      ASSERT_FALSE(load()) << "file with byte " << i
+                           << " flipped loaded successfully";
+      file.seekp(static_cast<long>(i));
+      file.put(baseline[i]);
+      file.flush();
+    }
+  }
+
+  std::vector<lake::Column> sample_;
+  std::unique_ptr<FastTextEmbedder> embedder_;
+  std::string encoder_path_;
+  std::string index_path_;
+};
+
+TEST_F(CorruptionTortureTest, EncoderSurvivesTruncationAndBitRot) {
+  PlmEncoderConfig pc;
+  pc.kind = PlmKind::kDistilSim;
+  pc.max_seq_len = 16;
+  pc.max_words = 60;
+  pc.oov_buckets = 16;
+  pc.transform.cell_budget = 8;
+  PlmColumnEncoder encoder(pc, sample_, *embedder_);
+  ASSERT_TRUE(SaveEncoder(encoder, encoder_path_).ok());
+  const std::string baseline = ReadAll(encoder_path_);
+  ASSERT_FALSE(baseline.empty());
+
+  const auto load = [this] { return LoadEncoder(encoder_path_).ok(); };
+  ASSERT_TRUE(load()) << "pristine artifact must load";
+
+  TruncationTorture(encoder_path_, baseline, load);
+  ASSERT_TRUE(load()) << "restored artifact must load";
+  BitFlipTorture(encoder_path_, baseline, load);
+  ASSERT_TRUE(load()) << "artifact must survive the torture unscathed";
+}
+
+TEST_F(CorruptionTortureTest, IndexSurvivesTruncationAndBitRot) {
+  lake::LakeGenerator gen(lake::LakeConfig::Webtable(4321));
+  lake::Repository repo = gen.GenerateRepository(40);
+  FastTextColumnEncoder encoder(embedder_.get(), TransformConfig{});
+  SearcherConfig sc;
+  sc.hnsw_M = 4;
+  sc.hnsw_ef_construction = 24;
+  EmbeddingSearcher searcher(&encoder, sc);
+  searcher.BuildIndex(repo);
+  ASSERT_TRUE(searcher.SaveIndex(index_path_).ok());
+  const std::string baseline = ReadAll(index_path_);
+  ASSERT_FALSE(baseline.empty());
+
+  const auto load = [this, &encoder, &sc] {
+    SearcherConfig fresh_config = sc;
+    EmbeddingSearcher fresh(&encoder, fresh_config);
+    return fresh.LoadIndex(index_path_).ok();
+  };
+  ASSERT_TRUE(load()) << "pristine artifact must load";
+
+  TruncationTorture(index_path_, baseline, load);
+  ASSERT_TRUE(load()) << "restored artifact must load";
+  BitFlipTorture(index_path_, baseline, load);
+  ASSERT_TRUE(load()) << "artifact must survive the torture unscathed";
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

@@ -128,6 +128,45 @@ TEST_F(CsvLoaderTest, EmptyCellsDroppedBeforeSizeCheck) {
   EXPECT_EQ(repo->column(0).size(), 5u);
 }
 
+TEST_F(CsvLoaderTest, Utf8BomIsStrippedFromFirstHeaderCell) {
+  WriteFile("bom.csv", "\xEF\xBB\xBFid,name\n1,ada\n2,grace\n");
+  auto table = LoadCsvTable((dir_ / "bom.csv").string());
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->columns.size(), 2u);
+  EXPECT_EQ(table->columns[0].name, "id");
+}
+
+TEST_F(CsvLoaderTest, BomBeforeQuotedHeaderStillParses) {
+  WriteFile("bomq.csv", "\xEF\xBB\xBF\"id\",name\n1,ada\n");
+  auto table = LoadCsvTable((dir_ / "bomq.csv").string());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->columns[0].name, "id");
+}
+
+TEST_F(CsvLoaderTest, UnterminatedQuoteIsInvalidAndSkipped) {
+  WriteFile("broken.csv", "a,b\n\"unclosed,2\n3,4\n");
+  auto table = LoadCsvTable((dir_ / "broken.csv").string());
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+
+  // The directory loader reports the file through `skipped` and carries on.
+  WriteFile("fine.csv", "x\n1\n2\n3\n4\n5\n");
+  CsvLoadOptions opts;
+  std::vector<std::string> skipped;
+  auto repo = LoadCsvDirectory(dir_.string(), opts, &skipped);
+  ASSERT_TRUE(repo.ok());
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_NE(skipped[0].find("broken.csv"), std::string::npos);
+}
+
+TEST(ParseCsvLineTest, ReportsUnterminatedQuote) {
+  bool unterminated = false;
+  ParseCsvLine("\"open,field", &unterminated);
+  EXPECT_TRUE(unterminated);
+  ParseCsvLine("\"closed\",x", &unterminated);
+  EXPECT_FALSE(unterminated);
+}
+
 TEST_F(CsvLoaderTest, NonexistentDirectoryIsNotFound) {
   CsvLoadOptions opts;
   auto repo = LoadCsvDirectory((dir_ / "missing").string(), opts);

@@ -87,6 +87,34 @@ TEST(DjLintTest, RawMutexAndDetachedThreadFireAtTheRightLocation) {
       << run.output;
 }
 
+TEST(DjLintTest, RawFileIoFiresOutsideUtil) {
+  const LintRun run = RunLint("--root " + Testdata("bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // file_io.cc: #include <fstream> (4), std::fopen (7), std::ofstream (9),
+  // std::ifstream (10). fclose on line 8 is fine.
+  EXPECT_NE(run.output.find("src/file_io.cc:4: error: [raw-file-io]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/file_io.cc:7: error: [raw-file-io]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/file_io.cc:9: error: [raw-file-io]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/file_io.cc:10: error: [raw-file-io]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("src/file_io.cc:8:"), std::string::npos)
+      << run.output;
+}
+
+TEST(DjLintTest, RawFileIoIsAllowedUnderSrcUtil) {
+  // clean/src/util/posix_io.cc uses std::ifstream; CleanTreeExitsZero
+  // covers it, but pin the file here for a sharper failure message.
+  const LintRun run = RunLint("--root " + Testdata("clean"));
+  EXPECT_EQ(run.output.find("posix_io.cc"), std::string::npos) << run.output;
+}
+
 TEST(DjLintTest, SuppressionCommentsSilenceRules) {
   const LintRun run = RunLint("--root " + Testdata("bad"));
   // suppressed.cc holds the same violations as banned.cc, each carrying a
@@ -115,7 +143,7 @@ TEST(DjLintTest, ListRulesDocumentsEveryRule) {
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule : {"include-guard", "using-namespace",
                            "nondeterminism", "naked-new", "no-printf",
-                           "raw-mutex", "detached-thread"}) {
+                           "raw-mutex", "detached-thread", "raw-file-io"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

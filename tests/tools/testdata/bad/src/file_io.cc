@@ -1,0 +1,11 @@
+// Fixture for dj_lint_test: raw file I/O in library code (src/ outside
+// util/) must go through Env / BinaryWriter so fault injection covers it.
+#include <cstdio>
+#include <fstream>
+
+void FileIoFixture() {
+  std::FILE* f = std::fopen("artifact.bin", "wb");
+  std::fclose(f);
+  std::ofstream out("artifact.bin");
+  std::ifstream in("artifact.bin");
+}

@@ -16,3 +16,11 @@ int SuppressedFixture() {
   delete p;
   return r;
 }
+
+// dj_lint: allow(raw-file-io)
+#include <fstream>
+
+int SuppressedFileIo() {
+  std::ifstream in("x");  // dj_lint: allow(raw-file-io)
+  return in ? 1 : 0;
+}

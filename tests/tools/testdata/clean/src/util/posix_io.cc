@@ -1,0 +1,12 @@
+// Fixture for dj_lint_test: src/util/ is the one place raw file I/O is
+// permitted — the Env implementation itself has to touch the filesystem.
+#include <fstream>
+
+namespace deepjoin_fixture {
+
+inline int UtilMayTouchFiles() {
+  std::ifstream in("somefile");
+  return in ? 1 : 0;
+}
+
+}  // namespace deepjoin_fixture

@@ -1,6 +1,8 @@
 #include "util/binary_io.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -13,70 +15,258 @@ class BinaryIoTest : public ::testing::Test {
     path_ = std::string(::testing::TempDir()) + "/binio.bin";
   }
   void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteRawFile(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary);
+    out.write(bytes.data(), static_cast<long>(bytes.size()));
+  }
+
+  std::string ContainerHeader() {
+    const u32 header[2] = {kBinaryIoMagic, kBinaryIoVersion};
+    return std::string(reinterpret_cast<const char*>(header), sizeof(header));
+  }
+
   std::string path_;
 };
 
 TEST_F(BinaryIoTest, RoundTripAllTypes) {
   {
     BinaryWriter w(path_);
-    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w.Open().ok());
     w.WriteU32(0xDEADBEEF);
     w.WriteU64(0x0123456789ABCDEFULL);
     w.WriteI32(-42);
     w.WriteFloat(3.25f);
     w.WriteDouble(-1.5e100);
     w.WriteString("hello world");
-    const float arr[] = {1.0f, -2.0f, 0.5f};
-    w.WriteFloatArray(arr, 3);
+    const float farr[] = {1.0f, -2.0f, 0.5f};
+    w.WriteFloatArray(farr, 3);
+    const u32 uarr[] = {7, 8};
+    w.WriteU32Array(uarr, 2);
+    const i32 iarr[] = {-1, 0, 1};
+    w.WriteI32Array(iarr, 3);
     ASSERT_TRUE(w.Close().ok());
   }
   BinaryReader r(path_);
-  ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
-  EXPECT_EQ(r.ReadU64(), 0x0123456789ABCDEFULL);
-  EXPECT_EQ(r.ReadI32(), -42);
-  EXPECT_FLOAT_EQ(r.ReadFloat(), 3.25f);
-  EXPECT_DOUBLE_EQ(r.ReadDouble(), -1.5e100);
-  EXPECT_EQ(r.ReadString(), "hello world");
-  auto arr = r.ReadFloatArray();
-  EXPECT_EQ(arr, (std::vector<float>{1.0f, -2.0f, 0.5f}));
-  EXPECT_TRUE(r.ok());
+  ASSERT_TRUE(r.Open().ok());
+  u32 a = 0;
+  u64 b = 0;
+  i32 c = 0;
+  float f = 0;
+  double d = 0;
+  std::string s;
+  std::vector<float> fv;
+  std::vector<u32> uv;
+  std::vector<i32> iv;
+  ASSERT_TRUE(r.ReadU32(&a).ok());
+  ASSERT_TRUE(r.ReadU64(&b).ok());
+  ASSERT_TRUE(r.ReadI32(&c).ok());
+  ASSERT_TRUE(r.ReadFloat(&f).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  ASSERT_TRUE(r.ReadFloatArray(&fv).ok());
+  ASSERT_TRUE(r.ReadU32Array(&uv).ok());
+  ASSERT_TRUE(r.ReadI32Array(&iv).ok());
+  EXPECT_EQ(a, 0xDEADBEEFu);
+  EXPECT_EQ(b, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(c, -42);
+  EXPECT_FLOAT_EQ(f, 3.25f);
+  EXPECT_DOUBLE_EQ(d, -1.5e100);
+  EXPECT_EQ(s, "hello world");
+  EXPECT_EQ(fv, (std::vector<float>{1.0f, -2.0f, 0.5f}));
+  EXPECT_EQ(uv, (std::vector<u32>{7, 8}));
+  EXPECT_EQ(iv, (std::vector<i32>{-1, 0, 1}));
+  EXPECT_TRUE(r.AtEnd());
 }
 
 TEST_F(BinaryIoTest, EmptyStringAndArray) {
   {
     BinaryWriter w(path_);
+    ASSERT_TRUE(w.Open().ok());
     w.WriteString("");
     w.WriteFloatArray(nullptr, 0);
     ASSERT_TRUE(w.Close().ok());
   }
   BinaryReader r(path_);
-  EXPECT_EQ(r.ReadString(), "");
-  EXPECT_TRUE(r.ReadFloatArray().empty());
-  EXPECT_TRUE(r.ok());
+  ASSERT_TRUE(r.Open().ok());
+  std::string s = "sentinel";
+  std::vector<float> fv = {1.0f};
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  ASSERT_TRUE(r.ReadFloatArray(&fv).ok());
+  EXPECT_EQ(s, "");
+  EXPECT_TRUE(fv.empty());
 }
 
-TEST_F(BinaryIoTest, ReadPastEndFlagsFailure) {
+TEST_F(BinaryIoTest, ReadPastEndIsDataLoss) {
   {
     BinaryWriter w(path_);
+    ASSERT_TRUE(w.Open().ok());
     w.WriteU32(7);
     ASSERT_TRUE(w.Close().ok());
   }
   BinaryReader r(path_);
-  r.ReadU32();
-  r.ReadU64();  // past EOF
-  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(r.Open().ok());
+  u32 v = 0;
+  ASSERT_TRUE(r.ReadU32(&v).ok());
+  u64 w = 0;
+  Status st = r.ReadU64(&w);  // past EOF
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(BinaryIoTest, TypeMismatchIsDataLoss) {
+  {
+    BinaryWriter w(path_);
+    ASSERT_TRUE(w.Open().ok());
+    w.WriteU32(7);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path_);
+  ASSERT_TRUE(r.Open().ok());
+  std::string s;
+  Status st = r.ReadString(&s);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+}
+
+// The regression the bounded read exists for: a tiny file whose length
+// prefix claims a 2^60-byte string. The reader must reject it as DataLoss
+// without ever attempting the allocation (the old reader died with
+// bad_alloc or worse).
+TEST_F(BinaryIoTest, HugeLengthPrefixInTinyFileIsRejectedNotAllocated) {
+  const u64 huge = 1ULL << 60;
+  const u32 crc = 0;
+  std::string bytes = ContainerHeader();
+  bytes.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  bytes.push_back('\x06');  // kTagString payload byte
+  WriteRawFile(bytes);
+
+  BinaryReader r(path_);
+  ASSERT_TRUE(r.Open().ok());
+  std::string s;
+  Status st = r.ReadString(&s);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_NE(st.message().find("exceeds remaining file size"),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_TRUE(s.empty());
+}
+
+// Same attack against an array read: the element count implied by the
+// record length can never exceed the actual file size.
+TEST_F(BinaryIoTest, HugeLengthPrefixOnArrayIsRejected) {
+  const u64 huge = (1ULL << 60) + 1;
+  const u32 crc = 0;
+  std::string bytes = ContainerHeader();
+  bytes.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  bytes.push_back('\x07');  // kTagFloatArray
+  WriteRawFile(bytes);
+
+  BinaryReader r(path_);
+  ASSERT_TRUE(r.Open().ok());
+  std::vector<float> fv;
+  Status st = r.ReadFloatArray(&fv);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(fv.empty());
+}
+
+TEST_F(BinaryIoTest, ZeroLengthRecordIsDataLoss) {
+  const u64 zero = 0;
+  const u32 crc = 0;
+  std::string bytes = ContainerHeader();
+  bytes.append(reinterpret_cast<const char*>(&zero), sizeof(zero));
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  bytes.push_back('\x06');
+  WriteRawFile(bytes);
+
+  BinaryReader r(path_);
+  ASSERT_TRUE(r.Open().ok());
+  std::string s;
+  EXPECT_EQ(r.ReadString(&s).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(BinaryIoTest, BadMagicIsDataLoss) {
+  WriteRawFile("this is not a container");
+  BinaryReader r(path_);
+  Status st = r.Open();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(BinaryIoTest, WrongVersionIsDataLoss) {
+  const u32 header[2] = {kBinaryIoMagic, kBinaryIoVersion + 1};
+  WriteRawFile(
+      std::string(reinterpret_cast<const char*>(header), sizeof(header)));
+  BinaryReader r(path_);
+  Status st = r.Open();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(BinaryIoTest, TruncatedHeaderIsDataLoss) {
+  WriteRawFile("DJ");
+  BinaryReader r(path_);
+  EXPECT_EQ(r.Open().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(BinaryIoTest, CorruptPayloadFailsChecksum) {
+  {
+    BinaryWriter w(path_);
+    ASSERT_TRUE(w.Open().ok());
+    w.WriteString("checksummed payload");
+    ASSERT_TRUE(w.Close().ok());
+  }
+  // Flip one payload byte past the header + frame.
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[8 + 12 + 3] ^= 0x01;
+  WriteRawFile(bytes);
+
+  BinaryReader r(path_);
+  ASSERT_TRUE(r.Open().ok());
+  std::string s;
+  Status st = r.ReadString(&s);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_NE(st.message().find("checksum"), std::string::npos);
 }
 
 TEST_F(BinaryIoTest, UnopenableWriterReportsError) {
   BinaryWriter w("/no/such/dir/file.bin");
-  EXPECT_FALSE(w.ok());
+  EXPECT_FALSE(w.Open().ok());
   EXPECT_FALSE(w.Close().ok());
 }
 
 TEST_F(BinaryIoTest, UnopenableReaderReportsError) {
   BinaryReader r("/no/such/dir/file.bin");
-  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.Open().ok());
+}
+
+TEST_F(BinaryIoTest, AtomicSaveReplacesAndPreservesOnFailure) {
+  // First save succeeds.
+  ASSERT_TRUE(AtomicSave(path_, nullptr, [](BinaryWriter& w) -> Status {
+                w.WriteU32(1);
+                return w.status();
+              }).ok());
+  // Second save fails inside fill: the original artifact must survive.
+  Status st = AtomicSave(path_, nullptr, [](BinaryWriter& w) -> Status {
+    w.WriteU32(2);
+    return Status::Internal("simulated fill failure");
+  });
+  ASSERT_FALSE(st.ok());
+  BinaryReader r(path_);
+  ASSERT_TRUE(r.Open().ok());
+  u32 v = 0;
+  ASSERT_TRUE(r.ReadU32(&v).ok());
+  EXPECT_EQ(v, 1u);
+  // No stray tmp file left behind.
+  EXPECT_FALSE(Env::Default()->FileExists(path_ + ".tmp"));
 }
 
 }  // namespace

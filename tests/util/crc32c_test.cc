@@ -1,0 +1,43 @@
+#include "util/crc32c.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // The canonical CRC32C (Castagnoli) check value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  // 32 bytes of zeros, from the iSCSI spec (RFC 3720 B.4).
+  const char zeros[32] = {0};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const u32 one_shot = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    u32 crc = Crc32c(data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, one_shot) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsEverySingleByteCorruption) {
+  std::string data = "checksums catch single-byte corruption";
+  const u32 clean = Crc32c(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32c(data.data(), data.size()), clean)
+          << "byte " << i << " bit " << bit;
+      data[i] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deepjoin

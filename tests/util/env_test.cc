@@ -1,0 +1,160 @@
+#include "util/env.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string(::testing::TempDir()) + "/env_test.bin";
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".renamed").c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(EnvTest, WriteThenReadBack) {
+  Env* env = Env::Default();
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env->NewWritableFile(path_, &file).ok());
+  ASSERT_TRUE(file->Append("hello ", 6).ok());
+  ASSERT_TRUE(file->Append("world", 5).ok());
+  ASSERT_TRUE(file->Flush().ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  u64 size = 0;
+  ASSERT_TRUE(env->GetFileSize(path_, &size).ok());
+  EXPECT_EQ(size, 11u);
+
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env, path_, &contents).ok());
+  EXPECT_EQ(contents, "hello world");
+}
+
+TEST_F(EnvTest, RandomAccessReadsAtOffsets) {
+  Env* env = Env::Default();
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env->NewWritableFile(path_, &file).ok());
+    ASSERT_TRUE(file->Append("0123456789", 10).ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env->NewRandomAccessFile(path_, &file).ok());
+  char buf[4];
+  size_t n = 0;
+  ASSERT_TRUE(file->Read(3, 4, buf, &n).ok());
+  ASSERT_EQ(n, 4u);
+  EXPECT_EQ(std::memcmp(buf, "3456", 4), 0);
+  // Short read at EOF is not an error.
+  ASSERT_TRUE(file->Read(8, 4, buf, &n).ok());
+  EXPECT_EQ(n, 2u);
+  ASSERT_TRUE(file->Read(100, 4, buf, &n).ok());
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_F(EnvTest, RenameReplacesAtomically) {
+  Env* env = Env::Default();
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env->NewWritableFile(path_, &file).ok());
+    ASSERT_TRUE(file->Append("new", 3).ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  const std::string target = path_ + ".renamed";
+  ASSERT_TRUE(env->RenameFile(path_, target).ok());
+  EXPECT_FALSE(env->FileExists(path_));
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env, target, &contents).ok());
+  EXPECT_EQ(contents, "new");
+}
+
+TEST_F(EnvTest, MissingFileErrors) {
+  Env* env = Env::Default();
+  std::unique_ptr<RandomAccessFile> file;
+  EXPECT_EQ(env->NewRandomAccessFile("/no/such/file", &file).code(),
+            StatusCode::kIoError);
+  u64 size = 0;
+  EXPECT_FALSE(env->GetFileSize("/no/such/file", &size).ok());
+  EXPECT_FALSE(env->FileExists("/no/such/file"));
+  EXPECT_FALSE(env->RemoveFile("/no/such/file").ok());
+}
+
+TEST_F(EnvTest, FaultEnvCountsOperations) {
+  FaultInjectionEnv fenv(Env::Default());
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fenv.NewWritableFile(path_, &file).ok());
+  ASSERT_TRUE(file->Append("a", 1).ok());
+  ASSERT_TRUE(file->Append("b", 1).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Close().ok());
+  ASSERT_TRUE(fenv.RenameFile(path_, path_ + ".renamed").ok());
+  EXPECT_EQ(fenv.counters().opens, 1);
+  EXPECT_EQ(fenv.counters().writes, 2);
+  EXPECT_EQ(fenv.counters().syncs, 1);
+  EXPECT_EQ(fenv.counters().renames, 1);
+  fenv.ResetCounters();
+  EXPECT_EQ(fenv.counters().writes, 0);
+}
+
+TEST_F(EnvTest, FaultEnvFailsTheNthWrite) {
+  FaultInjectionEnv fenv(Env::Default());
+  fenv.plan().fail_write_index = 1;
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fenv.NewWritableFile(path_, &file).ok());
+  ASSERT_TRUE(file->Append("first", 5).ok());
+  Status st = file->Append("second", 6);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("injected"), std::string::npos);
+  // The plan fires once; later writes succeed again.
+  ASSERT_TRUE(file->Append("third", 5).ok());
+  ASSERT_TRUE(file->Close().ok());
+}
+
+TEST_F(EnvTest, FaultEnvShortWriteTearsTheBuffer) {
+  FaultInjectionEnv fenv(Env::Default());
+  fenv.plan().fail_write_index = 0;
+  fenv.plan().short_write = true;
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fenv.NewWritableFile(path_, &file).ok());
+  EXPECT_FALSE(file->Append("0123456789", 10).ok());
+  ASSERT_TRUE(file->Close().ok());
+  // Half the buffer landed on disk: a torn write, not a clean no-op.
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(Env::Default(), path_, &contents).ok());
+  EXPECT_EQ(contents, "01234");
+}
+
+TEST_F(EnvTest, FaultEnvFailsSyncRenameAndOpen) {
+  FaultInjectionEnv fenv(Env::Default());
+  fenv.plan().fail_sync_index = 0;
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fenv.NewWritableFile(path_, &file).ok());
+  EXPECT_FALSE(file->Sync().ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  fenv.plan() = FaultPlan();
+  fenv.plan().fail_rename_index = 0;
+  EXPECT_FALSE(fenv.RenameFile(path_, path_ + ".renamed").ok());
+  EXPECT_TRUE(fenv.FileExists(path_));
+
+  // One open already happened above, so indices 1 and 2 are the next two.
+  fenv.plan() = FaultPlan();
+  fenv.plan().fail_open_index = 2;
+  std::unique_ptr<WritableFile> f2;
+  ASSERT_TRUE(fenv.NewWritableFile(path_, &f2).ok());
+  ASSERT_TRUE(f2->Close().ok());
+  EXPECT_FALSE(fenv.NewWritableFile(path_, &f2).ok());
+}
+
+}  // namespace
+}  // namespace deepjoin

@@ -8,7 +8,9 @@
 #      build                  -DDJ_THREAD_SAFETY=ON so -Wthread-safety
 #                             violations are errors and the negative-compile
 #                             proof runs [skipped with a notice: no clang++]
-#   3. ASan+UBSan build     + full ctest suite
+#   3. ASan+UBSan build     + full ctest suite, including the `fault` label
+#                             (fault-injection + corruption torture), so
+#                             every injected failure path is leak/UB-checked
 #   4. TSan build           + the `tsan`-labeled concurrency tests
 #   5. clang-tidy           over src/**.cc with the checked-in .clang-tidy
 #                             [skipped with a notice when absent]

@@ -18,6 +18,11 @@
 //                    wrappers so -Wthread-safety analysis sees it
 //   detached-thread  no std::thread::detach — a detached thread outlives
 //                    every shutdown contract; join it or use ThreadPool
+//   raw-file-io      no std::fopen / std::ifstream / std::ofstream /
+//                    std::fstream in library code (src/**) outside
+//                    src/util/ — file access flows through Env and
+//                    BinaryWriter/BinaryReader so fault-injection tests and
+//                    atomic saves cover every artifact
 //
 // A violation is suppressed by `// dj_lint: allow(<rule>)` on the same line
 // or on the line directly above it. Comment and string-literal contents are
@@ -172,6 +177,7 @@ class Linter {
     const std::string rel = Relative(path);
     const bool is_header = path.extension() == ".h";
     const bool is_library = rel.rfind("src/", 0) == 0;
+    const bool is_util = rel.rfind("src/util/", 0) == 0;
     const bool is_rng_header = rel == "src/util/rng.h";
     const bool is_mutex_header = rel == "src/util/mutex.h";
 
@@ -205,6 +211,13 @@ class Linter {
       CheckRule(path, text, "no-printf", {"std::cout", "printf("},
                 "stdout output in library code; return data or use "
                 "fprintf(stderr, ...) for diagnostics");
+    }
+    if (is_library && !is_util) {
+      CheckRule(path, text, "raw-file-io",
+                {"fopen(", "ifstream", "ofstream", "fstream"},
+                "raw file I/O in library code; go through Env and "
+                "BinaryWriter/BinaryReader (src/util/env.h) so fault "
+                "injection and atomic saves cover it");
     }
   }
 
@@ -349,6 +362,8 @@ void ListRules() {
       << "raw-mutex        no std::mutex/std::lock_guard/"
          "std::condition_variable etc. outside src/util/mutex.h\n"
       << "detached-thread  no std::thread::detach\n"
+      << "raw-file-io      no std::fopen/std::ifstream/std::ofstream/"
+         "std::fstream in src/** outside src/util/\n"
       << "suppress with    // dj_lint: allow(<rule>)\n";
 }
 
