@@ -8,6 +8,7 @@
 #include "bench/common.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "util/kernels.h"
 
 namespace deepjoin {
 namespace {
@@ -25,6 +26,144 @@ BenchEnv& SharedEnv() {
   }();
   return *env;
 }
+
+// ---- Kernel-layer benchmarks (util/kernels.h) ------------------------------
+// The trailing benchmark arg selects the dispatch tier: 0 = scalar,
+// 1 = avx2+fma (skipped when the host lacks it). tools/bench_snapshot.sh
+// records both so BENCH_micro.json always carries the scalar/SIMD ratio.
+
+bool PinTier(benchmark::State& state, std::int64_t tier_arg) {
+  if (tier_arg == 1 && kern::DetectedTier() != kern::Tier::kAvx2) {
+    state.SkipWithError("avx2 tier unavailable on this host");
+    return false;
+  }
+  kern::ForceTierForTest(tier_arg == 1 ? kern::Tier::kAvx2
+                                       : kern::Tier::kScalar);
+  return true;
+}
+
+std::vector<float> BenchVector(int n, int salt) {
+  std::vector<float> v(static_cast<size_t>(n));
+  Rng rng(static_cast<u64>(salt));
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  return v;
+}
+
+void BM_KernelDot(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  if (!PinTier(state, state.range(1))) return;
+  const auto a = BenchVector(dim, 1);
+  const auto b = BenchVector(dim, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kern::Dot(a.data(), b.data(), dim));
+  }
+  kern::ClearForcedTierForTest();
+}
+BENCHMARK(BM_KernelDot)->ArgsProduct({{32, 48, 64, 128}, {0, 1}});
+
+void BM_KernelSquaredL2(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  if (!PinTier(state, state.range(1))) return;
+  const auto a = BenchVector(dim, 3);
+  const auto b = BenchVector(dim, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kern::SquaredL2(a.data(), b.data(), dim));
+  }
+  kern::ClearForcedTierForTest();
+}
+BENCHMARK(BM_KernelSquaredL2)->ArgsProduct({{32, 48, 64, 128}, {0, 1}});
+
+// The repo's GEMM shapes: transformer forward/backward at the two model
+// sizes (d_model 48/64, d_ff 192/256) over max_seq_len = 64 rows.
+void SgemmShapes(benchmark::internal::Benchmark* b) {
+  for (std::int64_t tier : {0, 1}) {
+    b->Args({64, 192, 48, tier});   // DistilSim FFN up
+    b->Args({64, 48, 192, tier});   // DistilSim FFN down
+    b->Args({64, 256, 64, tier});   // MPNetSim FFN up
+    b->Args({64, 64, 256, tier});   // MPNetSim FFN down
+    b->Args({64, 64, 64, tier});    // QKV projection (d=64)
+  }
+}
+
+void BM_SgemmNN(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  if (!PinTier(state, state.range(3))) return;
+  const auto a = BenchVector(m * k, 5);
+  const auto b = BenchVector(k * n, 6);
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+  for (auto _ : state) {
+    kern::SgemmNN(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  kern::ClearForcedTierForTest();
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);  // MACs*2
+}
+BENCHMARK(BM_SgemmNN)->Apply(SgemmShapes);
+
+void BM_SgemmNT(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  if (!PinTier(state, state.range(3))) return;
+  const auto a = BenchVector(m * k, 7);
+  const auto b = BenchVector(n * k, 8);
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+  for (auto _ : state) {
+    kern::SgemmNT(m, n, k, a.data(), k, b.data(), k, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  kern::ClearForcedTierForTest();
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_SgemmNT)->Apply(SgemmShapes);
+
+void BM_SgemmTN(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  if (!PinTier(state, state.range(3))) return;
+  const auto a = BenchVector(k * m, 9);
+  const auto b = BenchVector(k * n, 10);
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+  for (auto _ : state) {
+    kern::SgemmTN(m, n, k, a.data(), m, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  kern::ClearForcedTierForTest();
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_SgemmTN)->Apply(SgemmShapes);
+
+// Pre-kernel baseline: the naive row*col triple loop the MatMul*Accum
+// variants used before the kernel layer. Kept so BENCH_micro.json always
+// carries the before/after ratio on the machine that produced it.
+void BM_NaiveGemmNN(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  const auto a = BenchVector(m * k, 11);
+  const auto b = BenchVector(k * n, 12);
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+  for (auto _ : state) {
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        float s = 0.0f;
+        for (int p = 0; p < k; ++p) s += a[i * k + p] * b[p * n + j];
+        c[static_cast<size_t>(i) * n + j] += s;
+      }
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_NaiveGemmNN)
+    ->Args({64, 192, 48})
+    ->Args({64, 48, 192})
+    ->Args({64, 256, 64})
+    ->Args({64, 64, 256})
+    ->Args({64, 64, 64});
 
 void BM_FastTextCellEmbed(benchmark::State& state) {
   auto& env = SharedEnv();
@@ -67,6 +206,51 @@ void BM_PlmEncodeColumn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlmEncodeColumn);
+
+// EncodeToVector fast path vs the graph-building path it replaced
+// (NoGradGuard + Encode + copy — what EncodeToVector did before the
+// workspace forward). Same encoder, same columns, both tiers.
+core::PlmColumnEncoder& SharedMpnetEncoder() {
+  auto& env = SharedEnv();
+  static core::PlmColumnEncoder* encoder = [&] {
+    core::PlmEncoderConfig pc;
+    pc.kind = core::PlmKind::kMPNetSim;
+    return std::make_unique<core::PlmColumnEncoder>(pc, env.sample(),
+                                                    env.ft()).release();
+  }();
+  return *encoder;
+}
+
+void BM_EncodeToVectorFastPath(benchmark::State& state) {
+  auto& env = SharedEnv();
+  auto& encoder = SharedMpnetEncoder();
+  if (!PinTier(state, state.range(0))) return;
+  std::vector<float> out(static_cast<size_t>(encoder.dim()));
+  size_t i = 0;
+  for (auto _ : state) {
+    encoder.EncodeInto(
+        env.repo().column(static_cast<u32>(i++ % env.repo().size())),
+        out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  kern::ClearForcedTierForTest();
+}
+BENCHMARK(BM_EncodeToVectorFastPath)->Arg(0)->Arg(1);
+
+void BM_EncodeToVectorGraph(benchmark::State& state) {
+  auto& env = SharedEnv();
+  auto& encoder = SharedMpnetEncoder();
+  if (!PinTier(state, state.range(0))) return;
+  size_t i = 0;
+  for (auto _ : state) {
+    nn::NoGradGuard guard;
+    nn::VarPtr v = encoder.EncodeForTraining(
+        env.repo().column(static_cast<u32>(i++ % env.repo().size())));
+    benchmark::DoNotOptimize(v->value().data());
+  }
+  kern::ClearForcedTierForTest();
+}
+BENCHMARK(BM_EncodeToVectorGraph)->Arg(0)->Arg(1);
 
 void BM_HnswSearch(benchmark::State& state) {
   const int dim = 32;

@@ -5,19 +5,17 @@
 #include <limits>
 
 #include "text/fasttext.h"  // L2Distance
+#include "util/kernels.h"
 
 namespace deepjoin {
 namespace ann {
 
 namespace {
 
+// Single-precision kernel distance (documented change: this used to
+// accumulate in double).
 float SquaredL2(const float* a, const float* b, int dim) {
-  double s = 0.0;
-  for (int i = 0; i < dim; ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    s += d * d;
-  }
-  return static_cast<float>(s);
+  return kern::SquaredL2(a, b, dim);
 }
 
 }  // namespace

@@ -2,18 +2,17 @@
 
 #include <algorithm>
 
+#include "util/kernels.h"
 #include "util/top_k.h"
 
 namespace deepjoin {
 namespace ann {
 
 float SquaredL2Distance(const float* a, const float* b, int dim) {
-  double s = 0.0;
-  for (int i = 0; i < dim; ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    s += d * d;
-  }
-  return static_cast<float>(s);
+  // Single-precision kernel accumulation (documented change: this used to
+  // accumulate in double). Deterministic per kernel tier; see
+  // util/kernels.h for the reduction order.
+  return kern::SquaredL2(a, b, dim);
 }
 
 std::vector<Neighbor> FlatIndex::Search(const float* query, size_t k) const {

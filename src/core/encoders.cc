@@ -74,6 +74,10 @@ std::vector<float> PlmColumnEncoder::Encode(const lake::Column& column) {
   return encoder_->EncodeToVector(ColumnToIds(column));
 }
 
+void PlmColumnEncoder::EncodeInto(const lake::Column& column, float* out) {
+  encoder_->EncodeToVector(ColumnToIds(column), out);
+}
+
 nn::VarPtr PlmColumnEncoder::EncodeForTraining(const lake::Column& column) {
   return encoder_->Encode(ColumnToIds(column));
 }

@@ -5,6 +5,7 @@
 #ifndef DEEPJOIN_CORE_ENCODERS_H_
 #define DEEPJOIN_CORE_ENCODERS_H_
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,16 @@ class ColumnEncoder {
  public:
   virtual ~ColumnEncoder() = default;
   virtual std::vector<float> Encode(const lake::Column& column) = 0;
+
+  /// Writes the embedding into `out` (dim() floats). The hot indexing and
+  /// batch-search loops call this so encoders with a fast path can skip
+  /// the per-column vector allocation; the default just forwards to
+  /// Encode. Same concurrency contract as Encode.
+  virtual void EncodeInto(const lake::Column& column, float* out) {
+    const std::vector<float> v = Encode(column);
+    std::copy(v.begin(), v.end(), out);
+  }
+
   virtual int dim() const = 0;
   virtual std::string name() const = 0;
 };
@@ -66,6 +77,9 @@ class PlmColumnEncoder : public ColumnEncoder {
   PlmColumnEncoder(const PlmEncoderConfig& config, Vocab vocab);
 
   std::vector<float> Encode(const lake::Column& column) override;
+  /// Allocation-free path: transformer workspace forward straight into
+  /// `out` (bit-identical to Encode; see TransformerEncoder).
+  void EncodeInto(const lake::Column& column, float* out) override;
   int dim() const override { return encoder_->config().d_model; }
   std::string name() const override {
     return config_.kind == PlmKind::kDistilSim ? "DeepJoin-DistilSim"

@@ -1,7 +1,5 @@
 #include "core/searcher.h"
 
-#include <mutex>
-
 namespace deepjoin {
 namespace core {
 
@@ -12,10 +10,11 @@ EmbeddingSearcher::EmbeddingSearcher(ColumnEncoder* encoder,
 void EmbeddingSearcher::BuildIndex(const lake::Repository& repo,
                                    ThreadPool* pool) {
   std::vector<float> embeddings(repo.size() * static_cast<size_t>(dim_));
+  // EncodeInto writes straight into the flat buffer — no per-column
+  // vector allocation on the hot indexing path.
   auto encode_one = [&](size_t i) {
-    const auto v = encoder_->Encode(repo.column(static_cast<u32>(i)));
-    std::copy(v.begin(), v.end(),
-              embeddings.begin() + static_cast<long>(i * dim_));
+    encoder_->EncodeInto(repo.column(static_cast<u32>(i)),
+                         embeddings.data() + i * static_cast<size_t>(dim_));
   };
   if (pool != nullptr && pool->num_threads() > 1) {
     pool->ParallelFor(repo.size(), encode_one);
@@ -99,7 +98,8 @@ EmbeddingSearcher::SearchOutput EmbeddingSearcher::Search(
   SearchOutput out;
   WallTimer total;
   WallTimer encode;
-  const std::vector<float> q = encoder_->Encode(query);
+  std::vector<float> q(static_cast<size_t>(dim_));
+  encoder_->EncodeInto(query, q.data());
   out.encode_ms = encode.ElapsedMillis();
   const auto hits = index_->Search(q.data(), k);
   out.total_ms = total.ElapsedMillis();
@@ -113,11 +113,13 @@ std::vector<EmbeddingSearcher::SearchOutput> EmbeddingSearcher::SearchBatch(
   DJ_CHECK_MSG(index_ != nullptr, "SearchBatch() before BuildIndex()");
   std::vector<SearchOutput> outputs(queries.size());
   WallTimer total;
-  // Encoding is the parallel stage (it dominates; §5.4).
-  std::vector<std::vector<float>> embeddings(queries.size());
+  // Encoding is the parallel stage (it dominates; §5.4). One flat buffer
+  // for the whole batch; EncodeInto avoids per-query allocation.
+  std::vector<float> embeddings(queries.size() * static_cast<size_t>(dim_));
   WallTimer encode;
   auto encode_one = [&](size_t i) {
-    embeddings[i] = encoder_->Encode(queries[i]);
+    encoder_->EncodeInto(queries[i],
+                         embeddings.data() + i * static_cast<size_t>(dim_));
   };
   if (pool != nullptr && pool->num_threads() > 1) {
     pool->ParallelFor(queries.size(), encode_one);
@@ -126,7 +128,8 @@ std::vector<EmbeddingSearcher::SearchOutput> EmbeddingSearcher::SearchBatch(
   }
   const double encode_ms = encode.ElapsedMillis();
   for (size_t i = 0; i < queries.size(); ++i) {
-    const auto hits = index_->Search(embeddings[i].data(), k);
+    const auto hits =
+        index_->Search(embeddings.data() + i * static_cast<size_t>(dim_), k);
     outputs[i].ids.reserve(hits.size());
     for (const auto& h : hits) outputs[i].ids.push_back(h.id);
   }

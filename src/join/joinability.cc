@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/kernels.h"
+
 namespace deepjoin {
 namespace join {
 
@@ -170,13 +172,10 @@ double SemanticJoinability(const float* q, size_t nq, const float* x,
     const float* qv = q + i * static_cast<size_t>(dim);
     for (size_t j = 0; j < nx; ++j) {
       const float* xv = x + j * static_cast<size_t>(dim);
-      double s = 0.0;
-      for (int d = 0; d < dim; ++d) {
-        const double diff = static_cast<double>(qv[d]) - xv[d];
-        s += diff * diff;
-        if (s > tau2) break;  // early bail for clearly distant pairs
-      }
-      if (s <= tau2) {
+      // Full vectorized distance per pair (documented change: this used to
+      // early-bail a double-precision scalar loop once the partial sum
+      // crossed tau^2 — the SIMD kernel is faster than the bail).
+      if (kern::SquaredL2(qv, xv, dim) <= tau2) {
         ++matched;
         break;  // one match in X suffices for this query vector
       }

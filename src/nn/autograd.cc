@@ -3,6 +3,9 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "nn/row_ops.h"
+#include "util/kernels.h"
+
 namespace deepjoin {
 namespace nn {
 
@@ -29,8 +32,6 @@ VarPtr MakeOp(Matrix value, std::vector<VarPtr> parents,
   if (node->requires_grad()) node->backward_fn = std::move(backward);
   return node;
 }
-
-constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 
 }  // namespace
 
@@ -107,17 +108,14 @@ VarPtr AddRowVector(const VarPtr& a, const VarPtr& bias) {
   DJ_CHECK(bias->rows() == 1 && bias->cols() == a->cols());
   Matrix out = a->value();
   const float* brow = bias->value().row(0);
-  for (int r = 0; r < out.rows(); ++r) {
-    float* orow = out.row(r);
-    for (int c = 0; c < out.cols(); ++c) orow[c] += brow[c];
-  }
+  const int n = out.cols();
+  for (int r = 0; r < out.rows(); ++r) kern::Axpy(n, 1.0f, brow, out.row(r));
   return MakeOp(std::move(out), {a, bias}, [a, bias](Var& self) {
     if (a->requires_grad()) self.grad().AddTo(a->grad());
     if (bias->requires_grad()) {
       float* bg = bias->grad().row(0);
       for (int r = 0; r < self.rows(); ++r) {
-        const float* grow = self.grad().row(r);
-        for (int c = 0; c < self.cols(); ++c) bg[c] += grow[c];
+        kern::Axpy(self.cols(), 1.0f, self.grad().row(r), bg);
       }
     }
   });
@@ -125,19 +123,12 @@ VarPtr AddRowVector(const VarPtr& a, const VarPtr& bias) {
 
 VarPtr Scale(const VarPtr& a, float c) {
   Matrix out = a->value();
-  for (int r = 0; r < out.rows(); ++r) {
-    float* orow = out.row(r);
-    for (int j = 0; j < out.cols(); ++j) orow[j] *= c;
-  }
+  kern::ScaleAdd(static_cast<int>(out.size()), c, out.data(), 0.0f,
+                 out.data());
   return MakeOp(std::move(out), {a}, [a, c](Var& self) {
     if (!a->requires_grad()) return;
-    Matrix& ag = a->grad();
-    const Matrix& g = self.grad();
-    for (int r = 0; r < g.rows(); ++r) {
-      const float* grow = g.row(r);
-      float* arow = ag.row(r);
-      for (int j = 0; j < g.cols(); ++j) arow[j] += c * grow[j];
-    }
+    kern::Axpy(static_cast<int>(self.grad().size()), c, self.grad().data(),
+               a->grad().data());
   });
 }
 
@@ -166,22 +157,8 @@ VarPtr RowSoftmax(const VarPtr& a, const Matrix* mask) {
   Matrix out(a->rows(), a->cols());
   const int n = a->cols();
   for (int r = 0; r < a->rows(); ++r) {
-    const float* xrow = a->value().row(r);
-    const float* mrow = mask ? mask->row(r) : nullptr;
-    float* orow = out.row(r);
-    float maxv = -1e30f;
-    for (int j = 0; j < n; ++j) {
-      const float v = xrow[j] + (mrow ? mrow[j] : 0.0f);
-      orow[j] = v;
-      if (v > maxv) maxv = v;
-    }
-    double sum = 0.0;
-    for (int j = 0; j < n; ++j) {
-      orow[j] = std::exp(orow[j] - maxv);
-      sum += orow[j];
-    }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int j = 0; j < n; ++j) orow[j] *= inv;
+    SoftmaxRow(a->value().row(r), mask ? mask->row(r) : nullptr, out.row(r),
+               n);
   }
   return MakeOp(std::move(out), {a}, [a](Var& self) {
     if (!a->requires_grad()) return;
@@ -211,24 +188,8 @@ VarPtr LayerNormRows(const VarPtr& x, const VarPtr& gamma, const VarPtr& beta,
   const float* grow = gamma->value().row(0);
   const float* brow = beta->value().row(0);
   for (int r = 0; r < x->rows(); ++r) {
-    const float* xrow = x->value().row(r);
-    double mean = 0.0;
-    for (int j = 0; j < n; ++j) mean += xrow[j];
-    mean /= n;
-    double var = 0.0;
-    for (int j = 0; j < n; ++j) {
-      const double d = xrow[j] - mean;
-      var += d * d;
-    }
-    var /= n;
-    const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
-    (*inv_std)[r] = is;
-    float* hrow = xhat->row(r);
-    float* orow = out.row(r);
-    for (int j = 0; j < n; ++j) {
-      hrow[j] = (xrow[j] - static_cast<float>(mean)) * is;
-      orow[j] = grow[j] * hrow[j] + brow[j];
-    }
+    (*inv_std)[r] = LayerNormRow(x->value().row(r), n, grow, brow, eps,
+                                 xhat->row(r), out.row(r));
   }
   return MakeOp(std::move(out), {x, gamma, beta},
                 [x, gamma, beta, inv_std, xhat](Var& self) {
@@ -270,9 +231,7 @@ VarPtr LayerNormRows(const VarPtr& x, const VarPtr& gamma, const VarPtr& beta,
 VarPtr Gelu(const VarPtr& x) {
   Matrix out(x->rows(), x->cols());
   for (size_t i = 0; i < out.size(); ++i) {
-    const float v = x->value().data()[i];
-    const float t = std::tanh(kGeluC * (v + 0.044715f * v * v * v));
-    out.data()[i] = 0.5f * v * (1.0f + t);
+    out.data()[i] = GeluValue(x->value().data()[i]);
   }
   return MakeOp(std::move(out), {x}, [x](Var& self) {
     if (!x->requires_grad()) return;
@@ -330,9 +289,8 @@ VarPtr EmbeddingGather(const VarPtr& table, const std::vector<u32>& ids) {
     if (!table->requires_grad()) return;
     const int d = table->cols();
     for (size_t i = 0; i < ids_copy->size(); ++i) {
-      const float* g = self.grad().row(static_cast<int>(i));
-      float* tg = table->grad().row((*ids_copy)[i]);
-      for (int j = 0; j < d; ++j) tg[j] += g[j];
+      kern::Axpy(d, 1.0f, self.grad().row(static_cast<int>(i)),
+                 table->grad().row((*ids_copy)[i]));
     }
   });
 }
@@ -342,17 +300,15 @@ VarPtr MaskedMeanPool(const VarPtr& x, int valid_len) {
   const int d = x->cols();
   Matrix out(1, d);
   for (int r = 0; r < valid_len; ++r) {
-    const float* xrow = x->value().row(r);
-    for (int j = 0; j < d; ++j) out.at(0, j) += xrow[j];
+    kern::Axpy(d, 1.0f, x->value().row(r), out.row(0));
   }
   const float inv = 1.0f / static_cast<float>(valid_len);
-  for (int j = 0; j < d; ++j) out.at(0, j) *= inv;
+  kern::ScaleAdd(d, inv, out.row(0), 0.0f, out.row(0));
   return MakeOp(std::move(out), {x}, [x, valid_len, inv](Var& self) {
     if (!x->requires_grad()) return;
     const float* g = self.grad().row(0);
     for (int r = 0; r < valid_len; ++r) {
-      float* xg = x->grad().row(r);
-      for (int j = 0; j < x->cols(); ++j) xg[j] += g[j] * inv;
+      kern::Axpy(x->cols(), inv, g, x->grad().row(r));
     }
   });
 }
@@ -387,9 +343,7 @@ VarPtr SliceCols(const VarPtr& x, int start, int width) {
   return MakeOp(std::move(out), {x}, [x, start, width](Var& self) {
     if (!x->requires_grad()) return;
     for (int r = 0; r < self.rows(); ++r) {
-      const float* g = self.grad().row(r);
-      float* xg = x->grad().row(r) + start;
-      for (int j = 0; j < width; ++j) xg[j] += g[j];
+      kern::Axpy(width, 1.0f, self.grad().row(r), x->grad().row(r) + start);
     }
   });
 }
@@ -416,9 +370,8 @@ VarPtr ConcatCols(const std::vector<VarPtr>& parts) {
     for (auto& p : self.parents) {
       if (p->requires_grad()) {
         for (int r = 0; r < self.rows(); ++r) {
-          const float* g = self.grad().row(r) + offset;
-          float* pg = p->grad().row(r);
-          for (int j = 0; j < p->cols(); ++j) pg[j] += g[j];
+          kern::Axpy(p->cols(), 1.0f, self.grad().row(r) + offset,
+                     p->grad().row(r));
         }
       }
       offset += p->cols();
@@ -432,13 +385,12 @@ VarPtr RowL2Normalize(const VarPtr& x) {
   auto norms = std::make_shared<std::vector<float>>(x->rows());
   for (int r = 0; r < x->rows(); ++r) {
     float* orow = out.row(r);
-    double s = 0.0;
-    for (int j = 0; j < d; ++j) s += static_cast<double>(orow[j]) * orow[j];
-    const float n = static_cast<float>(std::sqrt(s));
+    // Single-precision norm via the kernel dot (documented accumulation
+    // change: this used to accumulate in double).
+    const float n = std::sqrt(kern::Dot(orow, orow, d));
     (*norms)[r] = n;
     if (n > 0.0f) {
-      const float inv = 1.0f / n;
-      for (int j = 0; j < d; ++j) orow[j] *= inv;
+      kern::ScaleAdd(d, 1.0f / n, orow, 0.0f, orow);
     }
   }
   return MakeOp(std::move(out), {x}, [x, norms](Var& self) {
@@ -472,10 +424,7 @@ VarPtr AddRelPosBias(const VarPtr& scores, const VarPtr& table) {
   Matrix out = scores->value();
   const float* trow = table->value().row(0);
   auto bucket_of = [radius, buckets](int i, int j) {
-    int b = j - i + radius;
-    if (b < 0) b = 0;
-    if (b >= buckets) b = buckets - 1;
-    return b;
+    return RelPosBucket(i, j, radius, buckets);
   };
   for (int i = 0; i < L; ++i) {
     float* orow = out.row(i);

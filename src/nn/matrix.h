@@ -1,5 +1,8 @@
 // Dense row-major float matrix — the single tensor type of the nn stack.
 // Sequences are [seq_len x d_model]; batched embeddings are [batch x d].
+// Storage is 64-byte aligned (kern::AlignedAllocator) so every row of the
+// repo's model shapes (d_model 48/64, d_ff 192/256 — all multiples of 16
+// floats) starts on a cache-line boundary for the SIMD kernels.
 #ifndef DEEPJOIN_NN_MATRIX_H_
 #define DEEPJOIN_NN_MATRIX_H_
 
@@ -7,9 +10,13 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/kernels.h"
 #include "util/rng.h"
 
 namespace deepjoin {
+
+class ThreadPool;
+
 namespace nn {
 
 class Matrix {
@@ -47,15 +54,17 @@ class Matrix {
     for (auto& x : data_) x = static_cast<float>(rng.Normal(0.0, stddev));
   }
 
-  /// out += this (shapes must match).
+  /// out += this (shapes must match). An exact elementwise add in every
+  /// kernel tier (kern::Axpy with alpha == 1).
   void AddTo(Matrix& out) const {
     DJ_CHECK(rows_ == out.rows_ && cols_ == out.cols_);
-    for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += data_[i];
+    kern::Axpy(static_cast<int>(data_.size()), 1.0f, data_.data(),
+               out.data_.data());
   }
 
  private:
   int rows_, cols_;
-  std::vector<float> data_;
+  std::vector<float, kern::AlignedAllocator<float, 64>> data_;
 };
 
 /// C += A @ B. A is [m,k], B is [k,n], C is [m,n].
@@ -64,6 +73,17 @@ void MatMulAccum(const Matrix& a, const Matrix& b, Matrix& c);
 void MatMulNTAccum(const Matrix& a, const Matrix& b, Matrix& c);
 /// C += A^T @ B. A is [k,m], B is [k,n], C is [m,n].
 void MatMulTNAccum(const Matrix& a, const Matrix& b, Matrix& c);
+
+// All three variants accumulate in single precision through the shared
+// kern::Sgemm* microkernel (one documented chain per element; see
+// util/kernels.h). Historically MatMulNTAccum accumulated in double while
+// the other two used float — one precision now covers all variants.
+
+/// Installs (or clears, with nullptr) the pool large MatMul*Accum calls
+/// split across, chunking output rows into fixed-size blocks. The split is
+/// deterministic and each element's reduction chain is row-local, so
+/// parallel results are bit-identical to serial for any thread count.
+void SetMatMulThreadPool(ThreadPool* pool);
 
 }  // namespace nn
 }  // namespace deepjoin

@@ -1,9 +1,45 @@
 #include "nn/transformer.h"
 
 #include <cmath>
+#include <cstring>
+
+#include "nn/row_ops.h"
+#include "util/kernels.h"
 
 namespace deepjoin {
 namespace nn {
+
+// Scratch for the allocation-free forward pass. Every matrix is sized for
+// max_seq_len once; a call over L tokens touches only the first L rows
+// (and, for `scores`, the first L columns — the kernels take leading
+// dimensions, and per util/kernels.h reduction chains do not depend on
+// them, so the values match the graph path's tightly-sized matrices).
+struct TransformerEncoder::Workspace {
+  Matrix x, q, k, v, ctx, tmp;  // [max_seq, d_model]
+  Matrix h1;                    // [max_seq, d_ff]
+  Matrix scores;                // [max_seq, max_seq]
+
+  explicit Workspace(const TransformerConfig& c)
+      : x(c.max_seq_len, c.d_model),
+        q(c.max_seq_len, c.d_model),
+        k(c.max_seq_len, c.d_model),
+        v(c.max_seq_len, c.d_model),
+        ctx(c.max_seq_len, c.d_model),
+        tmp(c.max_seq_len, c.d_model),
+        h1(c.max_seq_len, c.d_ff),
+        scores(c.max_seq_len, c.max_seq_len) {}
+};
+
+namespace {
+
+/// Zeroes the first `rows` rows of m (the workspace is reused, so stale
+/// values must be cleared before a GEMM accumulates into it).
+void ZeroRows(Matrix& m, int rows) {
+  std::memset(m.data(), 0,
+              static_cast<size_t>(rows) * m.cols() * sizeof(float));
+}
+
+}  // namespace
 
 VarPtr ParamStore::Create(const std::string& name, int rows, int cols,
                           Rng& rng, double stddev) {
@@ -142,10 +178,161 @@ VarPtr TransformerEncoder::Encode(const std::vector<u32>& ids) {
 
 std::vector<float> TransformerEncoder::EncodeToVector(
     const std::vector<u32>& ids) {
-  NoGradGuard guard;
-  VarPtr out = Encode(ids);
-  const float* row = out->value().row(0);
-  return std::vector<float>(row, row + config_.d_model);
+  std::vector<float> out(static_cast<size_t>(config_.d_model));
+  EncodeToVector(ids, out.data());
+  return out;
+}
+
+void TransformerEncoder::EncodeToVector(const std::vector<u32>& ids,
+                                        float* out) {
+  DJ_CHECK(!ids.empty());
+  const int L = std::min<int>(static_cast<int>(ids.size()),
+                              config_.max_seq_len);
+  std::unique_ptr<Workspace> ws = AcquireWorkspace();
+  ForwardNoGrad(ids.data(), L, *ws, out);
+  ReleaseWorkspace(std::move(ws));
+}
+
+TransformerEncoder::~TransformerEncoder() = default;
+
+std::unique_ptr<TransformerEncoder::Workspace>
+TransformerEncoder::AcquireWorkspace() {
+  {
+    MutexLock lock(ws_mu_);
+    if (!ws_free_.empty()) {
+      std::unique_ptr<Workspace> ws = std::move(ws_free_.back());
+      ws_free_.pop_back();
+      return ws;
+    }
+  }
+  // Allocate outside the lock (same scheme as HNSW's VisitedPool).
+  return std::make_unique<Workspace>(config_);
+}
+
+void TransformerEncoder::ReleaseWorkspace(std::unique_ptr<Workspace> ws) {
+  MutexLock lock(ws_mu_);
+  ws_free_.push_back(std::move(ws));
+}
+
+// Mirrors Encode() op for op: every step below runs the same kernel calls
+// and nn/row_ops.h helpers as the corresponding autograd forward, in the
+// same order, so the result is bit-identical to Encode() under
+// NoGradGuard. When changing either path, change both.
+void TransformerEncoder::ForwardNoGrad(const u32* ids, int L, Workspace& ws,
+                                       float* out) {
+  const int d = config_.d_model;
+  const int heads = config_.num_heads;
+  const int dh = d / heads;
+  const int d_ff = config_.d_ff;
+  const int ld_scores = config_.max_seq_len;
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // Token (+ absolute position) embeddings — EmbeddingGather / Add.
+  const Matrix& tok = token_emb_->value();
+  for (int i = 0; i < L; ++i) {
+    DJ_CHECK(static_cast<int>(ids[i]) < tok.rows());
+    std::memcpy(ws.x.row(i), tok.row(static_cast<int>(ids[i])),
+                sizeof(float) * static_cast<size_t>(d));
+  }
+  if (config_.position_mode == PositionMode::kAbsolute) {
+    const Matrix& pos = pos_emb_->value();
+    for (int i = 0; i < L; ++i) {
+      kern::Axpy(d, 1.0f, pos.row(i), ws.x.row(i));
+    }
+  }
+
+  for (auto& layer : layers_) {
+    // Q/K/V projections — MatMul + AddRowVector.
+    ZeroRows(ws.q, L);
+    ZeroRows(ws.k, L);
+    ZeroRows(ws.v, L);
+    kern::SgemmNN(L, d, d, ws.x.data(), d, layer.wq->value().data(), d,
+                  ws.q.data(), d);
+    kern::SgemmNN(L, d, d, ws.x.data(), d, layer.wk->value().data(), d,
+                  ws.k.data(), d);
+    kern::SgemmNN(L, d, d, ws.x.data(), d, layer.wv->value().data(), d,
+                  ws.v.data(), d);
+    for (int i = 0; i < L; ++i) {
+      kern::Axpy(d, 1.0f, layer.bq->value().row(0), ws.q.row(i));
+      kern::Axpy(d, 1.0f, layer.bk->value().row(0), ws.k.row(i));
+      kern::Axpy(d, 1.0f, layer.bv->value().row(0), ws.v.row(i));
+    }
+
+    // Per-head attention into the ctx columns (the graph path's SliceCols /
+    // ConcatCols become strided kernel views).
+    ZeroRows(ws.ctx, L);
+    for (int h = 0; h < heads; ++h) {
+      const float* qh = ws.q.data() + h * dh;
+      const float* kh = ws.k.data() + h * dh;
+      const float* vh = ws.v.data() + h * dh;
+      float* sc = ws.scores.data();
+      for (int i = 0; i < L; ++i) {
+        std::memset(ws.scores.row(i), 0,
+                    sizeof(float) * static_cast<size_t>(L));
+      }
+      kern::SgemmNT(L, L, dh, qh, d, kh, d, sc, ld_scores);
+      for (int i = 0; i < L; ++i) {
+        float* srow = ws.scores.row(i);
+        kern::ScaleAdd(L, inv_sqrt_dh, srow, 0.0f, srow);  // Scale
+      }
+      if (config_.position_mode == PositionMode::kRelativeBias) {
+        const Matrix& table = layer.rel_bias[h]->value();
+        const int buckets = table.cols();
+        const int radius = (buckets - 1) / 2;
+        const float* trow = table.row(0);
+        for (int i = 0; i < L; ++i) {
+          float* srow = ws.scores.row(i);
+          for (int j = 0; j < L; ++j) {
+            srow[j] += trow[RelPosBucket(i, j, radius, buckets)];
+          }
+        }
+      }
+      for (int i = 0; i < L; ++i) {
+        float* srow = ws.scores.row(i);
+        SoftmaxRow(srow, nullptr, srow, L);  // RowSoftmax
+      }
+      kern::SgemmNN(L, dh, L, sc, ld_scores, vh, d, ws.ctx.data() + h * dh,
+                    d);
+    }
+
+    // Output projection + residual + LayerNorm.
+    ZeroRows(ws.tmp, L);
+    kern::SgemmNN(L, d, d, ws.ctx.data(), d, layer.wo->value().data(), d,
+                  ws.tmp.data(), d);
+    for (int i = 0; i < L; ++i) {
+      kern::Axpy(d, 1.0f, layer.bo->value().row(0), ws.tmp.row(i));
+      kern::Axpy(d, 1.0f, ws.tmp.row(i), ws.x.row(i));  // Add (residual)
+      LayerNormRow(ws.x.row(i), d, layer.ln1_g->value().row(0),
+                   layer.ln1_b->value().row(0), 1e-5f, /*xhat=*/nullptr,
+                   ws.x.row(i));
+    }
+
+    // Feed-forward block.
+    ZeroRows(ws.h1, L);
+    kern::SgemmNN(L, d_ff, d, ws.x.data(), d, layer.ff1_w->value().data(),
+                  d_ff, ws.h1.data(), d_ff);
+    for (int i = 0; i < L; ++i) {
+      float* hrow = ws.h1.row(i);
+      kern::Axpy(d_ff, 1.0f, layer.ff1_b->value().row(0), hrow);
+      for (int j = 0; j < d_ff; ++j) hrow[j] = GeluValue(hrow[j]);
+    }
+    ZeroRows(ws.tmp, L);
+    kern::SgemmNN(L, d, d_ff, ws.h1.data(), d_ff,
+                  layer.ff2_w->value().data(), d, ws.tmp.data(), d);
+    for (int i = 0; i < L; ++i) {
+      kern::Axpy(d, 1.0f, layer.ff2_b->value().row(0), ws.tmp.row(i));
+      kern::Axpy(d, 1.0f, ws.tmp.row(i), ws.x.row(i));
+      LayerNormRow(ws.x.row(i), d, layer.ln2_g->value().row(0),
+                   layer.ln2_b->value().row(0), 1e-5f, /*xhat=*/nullptr,
+                   ws.x.row(i));
+    }
+  }
+
+  // Mean pool over the L rows — MaskedMeanPool.
+  std::memset(out, 0, sizeof(float) * static_cast<size_t>(d));
+  for (int i = 0; i < L; ++i) kern::Axpy(d, 1.0f, ws.x.row(i), out);
+  const float inv = 1.0f / static_cast<float>(L);
+  kern::ScaleAdd(d, inv, out, 0.0f, out);
 }
 
 }  // namespace nn

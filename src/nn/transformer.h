@@ -10,10 +10,12 @@
 #ifndef DEEPJOIN_NN_TRANSFORMER_H_
 #define DEEPJOIN_NN_TRANSFORMER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "nn/autograd.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace deepjoin {
@@ -54,6 +56,7 @@ class ParamStore {
 class TransformerEncoder {
  public:
   explicit TransformerEncoder(const TransformerConfig& config);
+  ~TransformerEncoder();  // out-of-line: Workspace is incomplete here
 
   const TransformerConfig& config() const { return config_; }
   ParamStore& params() { return params_; }
@@ -71,6 +74,16 @@ class TransformerEncoder {
   /// Inference-only convenience: mean-pooled embedding as a plain vector.
   std::vector<float> EncodeToVector(const std::vector<u32>& ids);
 
+  /// Allocation-free inference fast path: writes the [d_model] mean-pooled
+  /// embedding to `out`. Runs through a pooled per-encoder Workspace
+  /// (scratch matrices sized once for max_seq_len) instead of building an
+  /// autograd graph, so the hot search/index loops do no per-op heap
+  /// allocation. Bit-identical to Encode() under NoGradGuard: both paths
+  /// run the same kernels and the same per-row helpers (nn/row_ops.h) in
+  /// the same order. Safe for concurrent calls (the workspace pool hands
+  /// each call its own scratch — same scheme as HNSW's VisitedPool).
+  void EncodeToVector(const std::vector<u32>& ids, float* out);
+
  private:
   struct Layer {
     VarPtr wq, bq, wk, bk, wv, bv, wo, bo;
@@ -80,11 +93,26 @@ class TransformerEncoder {
     std::vector<VarPtr> rel_bias;  // one [1, 2R+1] table per head
   };
 
+  struct Workspace;  // defined in transformer.cc
+
+  std::unique_ptr<Workspace> AcquireWorkspace() DJ_EXCLUDES(ws_mu_);
+  void ReleaseWorkspace(std::unique_ptr<Workspace> ws) DJ_EXCLUDES(ws_mu_);
+
+  /// Runs the forward pass over `L` already-truncated ids into `out`
+  /// ([d_model] floats) using only the workspace scratch.
+  void ForwardNoGrad(const u32* ids, int L, Workspace& ws, float* out);
+
   TransformerConfig config_;
   ParamStore params_;
   VarPtr token_emb_;  // [vocab, d]
   VarPtr pos_emb_;    // [max_seq, d] (absolute mode only)
   std::vector<Layer> layers_;
+
+  // Reusable inference scratch, pooled so concurrent EncodeToVector calls
+  // never share one (ColumnEncoder's concurrency contract fans encoding
+  // across a ThreadPool).
+  Mutex ws_mu_;
+  std::vector<std::unique_ptr<Workspace>> ws_free_ DJ_GUARDED_BY(ws_mu_);
 };
 
 }  // namespace nn

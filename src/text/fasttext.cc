@@ -6,30 +6,26 @@
 #include "text/char_ngram.h"
 #include "text/tokenizer.h"
 #include "util/hash.h"
+#include "util/kernels.h"
 
 namespace deepjoin {
 
+// These three accumulate in single precision through the kernel layer
+// (documented change: they used to accumulate in double). Deterministic
+// per kernel tier; see util/kernels.h for the reduction orders.
+
 void L2Normalize(float* v, int dim) {
-  double norm = 0.0;
-  for (int i = 0; i < dim; ++i) norm += static_cast<double>(v[i]) * v[i];
-  if (norm <= 0.0) return;
-  const float inv = static_cast<float>(1.0 / std::sqrt(norm));
-  for (int i = 0; i < dim; ++i) v[i] *= inv;
+  const float norm = kern::Dot(v, v, dim);
+  if (norm <= 0.0f) return;
+  kern::ScaleAdd(dim, 1.0f / std::sqrt(norm), v, 0.0f, v);
 }
 
 float L2Distance(const float* a, const float* b, int dim) {
-  double s = 0.0;
-  for (int i = 0; i < dim; ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    s += d * d;
-  }
-  return static_cast<float>(std::sqrt(s));
+  return std::sqrt(kern::SquaredL2(a, b, dim));
 }
 
 float Dot(const float* a, const float* b, int dim) {
-  double s = 0.0;
-  for (int i = 0; i < dim; ++i) s += static_cast<double>(a[i]) * b[i];
-  return static_cast<float>(s);
+  return kern::Dot(a, b, dim);
 }
 
 FastTextEmbedder::FastTextEmbedder(const FastTextConfig& config)

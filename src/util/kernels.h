@@ -1,0 +1,141 @@
+// Runtime-dispatched compute kernels — the single home for SIMD in this
+// tree (enforced by dj_lint rule `simd-intrinsics`). Every hot float loop
+// in the repo (GEMM for training/inference, L2 distances for ANN search,
+// axpy/scale for autograd) routes through this API.
+//
+// Dispatch: one of two tiers is selected once, at first use, via cpuid:
+//   kAvx2   — AVX2 + FMA vector paths (x86-64 with both features)
+//   kScalar — portable scalar fallback (also forced by setting the
+//             environment variable DJ_FORCE_SCALAR_KERNELS=1, for parity
+//             testing and for reproducing results across machines)
+// Tests may pin the tier in-process with ForceTierForTest().
+//
+// Determinism contract (DESIGN.md §8): every kernel has a FIXED, documented
+// reduction order per tier. Two calls with the same inputs in the same tier
+// return bit-identical results — regardless of pointer alignment, leading
+// dimensions, blocking, or how callers partition rows across threads.
+// Results may differ in low-order bits BETWEEN tiers (the AVX2 tier uses
+// fused multiply-add and multi-lane reduction trees); anything that must be
+// reproducible across machines should pin the scalar tier.
+//
+// Reduction orders:
+//  * Dot / SquaredL2, scalar tier: one sequential accumulator over i
+//    ascending, unfused (`acc = acc + a[i]*b[i]` — two roundings).
+//  * Dot / SquaredL2, AVX2 tier: two 8-lane FMA accumulators acc0/acc1 fed
+//    by interleaved 16-element blocks (acc0 takes lanes [16t, 16t+8),
+//    acc1 takes [16t+8, 16t+16)); one optional extra 8-element block into
+//    acc0; lanewise acc = acc0 + acc1; horizontal sum in the fixed order
+//    ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)); then the <8 tail folded in
+//    sequentially with std::fma.
+//  * Sgemm{NN,NT,TN}, both tiers: each C(i,j) is a single chain over k —
+//    seeded at 0 per KC-sized k-block (KC = 256), k ascending within the
+//    block (AVX2: one FMA per step; scalar: unfused multiply-add), block
+//    sums added into C in ascending block order. The chain never depends
+//    on the variant, tile position, or m/n partitioning, which is what
+//    makes row-parallel GEMM bit-identical to serial.
+//  * Axpy (y += a*x) and ScaleAdd (y = a*x + b*y): elementwise; AVX2 uses
+//    fma(a, x, y) resp. fma(b, y, a*x), scalar keeps separate roundings.
+//    With a == 1, Axpy is an exact add in both tiers (1*x is exact), so
+//    pure additions stay bit-identical across tiers. ScaleAdd with b == 0
+//    writes a*x without reading y (safe on uninitialised y).
+//
+// Alignment: kernels never REQUIRE alignment (all loads/stores are
+// unaligned ops); nn::Matrix guarantees 64-byte-aligned storage so the
+// common case runs on aligned addresses anyway.
+#ifndef DEEPJOIN_UTIL_KERNELS_H_
+#define DEEPJOIN_UTIL_KERNELS_H_
+
+#include <cstddef>
+#include <new>
+
+#include "util/common.h"
+
+namespace deepjoin {
+namespace kern {
+
+enum class Tier { kScalar, kAvx2 };
+
+/// The tier every kernel call dispatches on: the forced-for-test tier if
+/// set, else the detected one. Detection runs once (cpuid + the
+/// DJ_FORCE_SCALAR_KERNELS environment variable) and is then cached.
+Tier ActiveTier();
+
+/// What the hardware (plus DJ_FORCE_SCALAR_KERNELS) supports, ignoring any
+/// ForceTierForTest override.
+Tier DetectedTier();
+
+const char* TierName(Tier tier);
+
+/// Test hook: pin the dispatch tier in-process. Forcing kAvx2 on hardware
+/// without AVX2+FMA is a checked error. Not thread-safe against concurrent
+/// kernel calls — flip tiers only between test phases.
+void ForceTierForTest(Tier tier);
+void ClearForcedTierForTest();
+
+/// sum_i a[i]*b[i]
+float Dot(const float* a, const float* b, int n);
+
+/// sum_i (a[i]-b[i])^2
+float SquaredL2(const float* a, const float* b, int n);
+
+/// y[i] += alpha * x[i]
+void Axpy(int n, float alpha, const float* x, float* y);
+
+/// y[i] = alpha * x[i] + beta * y[i]; beta == 0 never reads y (so y may be
+/// uninitialised), and x == y aliasing is allowed.
+void ScaleAdd(int n, float alpha, const float* x, float beta, float* y);
+
+// Blocked, packed single-precision GEMM, accumulating: C += op(A) @ op(B).
+// All matrices are row-major with explicit leading dimensions (so callers
+// can run on sub-views, e.g. per-head column slices, without copies).
+//   NN: A is [m,k] (lda >= k), B is [k,n] (ldb >= n)
+//   NT: A is [m,k] (lda >= k), B is [n,k] (ldb >= k)  — C += A @ B^T
+//   TN: A is [k,m] (lda >= m), B is [k,n] (ldb >= n)  — C += A^T @ B
+// C is [m,n] (ldc >= n) and must not alias A or B.
+void SgemmNN(int m, int n, int k, const float* a, int lda, const float* b,
+             int ldb, float* c, int ldc);
+void SgemmNT(int m, int n, int k, const float* a, int lda, const float* b,
+             int ldb, float* c, int ldc);
+void SgemmTN(int m, int n, int k, const float* a, int lda, const float* b,
+             int ldb, float* c, int ldc);
+
+/// Minimal aligned allocator so nn::Matrix (and kernel tests) can keep
+/// rows on cache-line boundaries. Value-initialises like std::allocator.
+template <typename T, size_t Alignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two >= alignof(T)");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    // Placement-form operator new is the ownership-explicit aligned
+    // allocation primitive; deallocate() below is its paired release.
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace kern
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_KERNELS_H_

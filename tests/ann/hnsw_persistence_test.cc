@@ -16,7 +16,11 @@ namespace {
 class HnswPersistenceTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = std::string(::testing::TempDir()) + "/hnsw_persist.bin";
+    // Per-test filename: ctest runs each case as its own process, so a
+    // shared name races under `ctest -j`.
+    path_ = std::string(::testing::TempDir()) + "/hnsw_persist_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
     config_.dim = 8;
     config_.M = 4;
     config_.ef_construction = 32;

@@ -19,7 +19,11 @@ namespace {
 class CsvPipelineTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::path(::testing::TempDir()) / "csv_pipeline";
+    // Per-test directory: ctest runs each case as its own process, so a
+    // shared name races under `ctest -j`.
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           (std::string("csv_pipeline_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
     std::filesystem::create_directories(dir_);
     // Materialise a lake of 120 single-column CSVs from the generator.
     lake::LakeGenerator gen(lake::LakeConfig::Webtable(31));

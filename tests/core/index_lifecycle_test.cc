@@ -22,7 +22,11 @@ class IndexLifecycleTest : public ::testing::Test {
     embedder_ = std::make_unique<FastTextEmbedder>(fc);
     encoder_ = std::make_unique<FastTextColumnEncoder>(embedder_.get(),
                                                        TransformConfig{});
-    path_ = std::string(::testing::TempDir()) + "/index.djx";
+    // Per-test filename: ctest runs each case as its own process, so a
+    // shared name races under `ctest -j`.
+    path_ = std::string(::testing::TempDir()) + "/index_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".djx";
   }
   void TearDown() override { std::remove(path_.c_str()); }
 

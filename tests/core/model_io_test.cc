@@ -20,7 +20,11 @@ class ModelIoTest : public ::testing::Test {
     FastTextConfig fc;
     fc.dim = 16;
     embedder_ = std::make_unique<FastTextEmbedder>(fc);
-    path_ = std::string(::testing::TempDir()) + "/encoder.djm";
+    // Per-test filename: ctest runs each case as its own process, so a
+    // shared name races under `ctest -j`.
+    path_ = std::string(::testing::TempDir()) + "/encoder_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".djm";
   }
   void TearDown() override { std::remove(path_.c_str()); }
 

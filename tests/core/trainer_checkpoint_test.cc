@@ -32,7 +32,11 @@ class TrainerCheckpointTest : public ::testing::Test {
     tc.max_pairs = 300;
     data_ = PrepareTrainingData(sample_, embedder_.get(), tc);
 
-    ckpt_path_ = std::string(::testing::TempDir()) + "/finetune.ckpt";
+    // Per-test filename: ctest runs each case as its own process, so a
+    // shared name races under `ctest -j`.
+    ckpt_path_ = std::string(::testing::TempDir()) + "/finetune_" +
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+                 ".ckpt";
   }
   void TearDown() override {
     std::remove(ckpt_path_.c_str());

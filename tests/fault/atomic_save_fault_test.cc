@@ -21,7 +21,11 @@ class AtomicSaveFaultTest : public ::testing::Test {
     FastTextConfig fc;
     fc.dim = 8;
     embedder_ = std::make_unique<FastTextEmbedder>(fc);
-    path_ = std::string(::testing::TempDir()) + "/fault_artifact.bin";
+    // Per-test filename: ctest runs each case as its own process, so a
+    // shared name races under `ctest -j`.
+    path_ = std::string(::testing::TempDir()) + "/fault_artifact_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
   }
   void TearDown() override {
     Env* env = Env::Default();

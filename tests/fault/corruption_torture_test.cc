@@ -27,8 +27,14 @@ class CorruptionTortureTest : public ::testing::Test {
     FastTextConfig fc;
     fc.dim = 8;
     embedder_ = std::make_unique<FastTextEmbedder>(fc);
-    encoder_path_ = std::string(::testing::TempDir()) + "/torture_encoder.bin";
-    index_path_ = std::string(::testing::TempDir()) + "/torture_index.bin";
+    // Per-test filenames: ctest runs each case as its own process, so a
+    // shared name races under `ctest -j`.
+    const std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    encoder_path_ =
+        std::string(::testing::TempDir()) + "/torture_encoder_" + tag + ".bin";
+    index_path_ =
+        std::string(::testing::TempDir()) + "/torture_index_" + tag + ".bin";
   }
   void TearDown() override {
     std::remove(encoder_path_.c_str());

@@ -15,7 +15,11 @@ namespace {
 class CsvLoaderTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::path(::testing::TempDir()) / "csv_lake";
+    // Per-test directory: ctest runs each case as its own process, so a
+    // shared name races under `ctest -j`.
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           (std::string("csv_lake_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

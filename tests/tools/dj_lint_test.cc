@@ -115,6 +115,36 @@ TEST(DjLintTest, RawFileIoIsAllowedUnderSrcUtil) {
   EXPECT_EQ(run.output.find("posix_io.cc"), std::string::npos) << run.output;
 }
 
+TEST(DjLintTest, SimdIntrinsicsFireOutsideKernels) {
+  const LintRun run = RunLint("--root " + Testdata("bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // simd.cc: #include <immintrin.h> (3), __m256/_mm256_loadu_ps (6),
+  // _mm256_add_ps (7), _mm256_cvtss_f32 (8). Line 12 carries a
+  // suppression on line 11.
+  EXPECT_NE(run.output.find("src/simd.cc:3: error: [simd-intrinsics]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/simd.cc:6: error: [simd-intrinsics]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/simd.cc:7: error: [simd-intrinsics]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/simd.cc:8: error: [simd-intrinsics]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("src/simd.cc:12:"), std::string::npos)
+      << run.output;
+}
+
+TEST(DjLintTest, SimdIntrinsicsAllowedInKernelSources) {
+  // clean/src/util/kernels.cc is full of intrinsics; the rule must stay
+  // silent there (CleanTreeExitsZero covers it, but pin the file here for
+  // a sharper failure message).
+  const LintRun run = RunLint("--root " + Testdata("clean"));
+  EXPECT_EQ(run.output.find("kernels.cc"), std::string::npos) << run.output;
+}
+
 TEST(DjLintTest, SuppressionCommentsSilenceRules) {
   const LintRun run = RunLint("--root " + Testdata("bad"));
   // suppressed.cc holds the same violations as banned.cc, each carrying a
@@ -143,7 +173,8 @@ TEST(DjLintTest, ListRulesDocumentsEveryRule) {
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule : {"include-guard", "using-namespace",
                            "nondeterminism", "naked-new", "no-printf",
-                           "raw-mutex", "detached-thread", "raw-file-io"}) {
+                           "raw-mutex", "detached-thread", "raw-file-io",
+                           "simd-intrinsics"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

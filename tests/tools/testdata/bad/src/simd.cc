@@ -1,0 +1,12 @@
+// Fixture: SIMD intrinsics outside src/util/kernels.* must be flagged by
+// the simd-intrinsics rule (lint fixture only; never compiled).
+#include <immintrin.h>
+
+float SumAvx(const float* a) {
+  __m256 acc = _mm256_loadu_ps(a);
+  acc = _mm256_add_ps(acc, acc);
+  return _mm256_cvtss_f32(acc);
+}
+
+// dj_lint: allow(simd-intrinsics)
+float Tolerated(const float* a) { __m128 v = _mm_load_ss(a); return v[0]; }

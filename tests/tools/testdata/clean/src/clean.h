@@ -17,6 +17,9 @@ inline const char* MoreDecoys() {
 /* block comment mentioning time(nullptr) and using namespace */
 inline int Answer() { return 42; }
 
+// Comment decoys for simd-intrinsics: immintrin.h _mm256_add_ps __m256.
+inline const char* SimdDecoys() { return "_mm_load_ss __m128 __m512"; }
+
 }  // namespace deepjoin_fixture
 
 #endif  // DEEPJOIN_CLEAN_H_

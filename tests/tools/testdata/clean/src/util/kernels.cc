@@ -1,0 +1,11 @@
+// Fixture: src/util/kernels.* is the sanctioned home for SIMD — the
+// simd-intrinsics rule must stay silent here (lint fixture only; never
+// compiled).
+#include <immintrin.h>
+
+float KernelDot8(const float* a, const float* b) {
+  __m256 va = _mm256_loadu_ps(a);
+  __m256 vb = _mm256_loadu_ps(b);
+  __m256 p = _mm256_mul_ps(va, vb);
+  return _mm256_cvtss_f32(p);
+}

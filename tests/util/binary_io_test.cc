@@ -12,7 +12,11 @@ namespace {
 class BinaryIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = std::string(::testing::TempDir()) + "/binio.bin";
+    // Per-test filename: ctest runs each case as its own process, so a
+    // shared name races under `ctest -j`.
+    path_ = std::string(::testing::TempDir()) + "/binio_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
   }
   void TearDown() override { std::remove(path_.c_str()); }
 

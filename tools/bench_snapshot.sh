@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Records a kernel-benchmark snapshot as BENCH_micro.json at the repo root.
+#
+# Runs the kernel, GEMM, and encoder micro-benchmarks from bench_micro
+# (both dispatch tiers are covered inside the binary via the tier arg) and
+# writes google-benchmark's JSON output. Commit the refreshed file when
+# kernel performance changes so the before/after numbers travel with the
+# code.
+#
+# Usage: tools/bench_snapshot.sh [build-dir] [extra benchmark args...]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+shift || true
+
+BIN="$BUILD/bench/bench_micro"
+if [[ ! -x "$BIN" ]]; then
+  echo "bench_snapshot: $BIN not built (cmake --build $BUILD --target bench_micro)" >&2
+  exit 1
+fi
+
+FILTER='BM_Kernel|BM_Sgemm|BM_NaiveGemm|BM_EncodeToVector|BM_HnswSearch'
+OUT="$ROOT/BENCH_micro.json"
+
+"$BIN" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "bench_snapshot: wrote $OUT"

@@ -23,6 +23,11 @@
 //                    src/util/ — file access flows through Env and
 //                    BinaryWriter/BinaryReader so fault-injection tests and
 //                    atomic saves cover every artifact
+//   simd-intrinsics  no SIMD intrinsics (immintrin.h, _mm*/_mm256*/...,
+//                    __m128/__m256/..., __builtin_ia32_*) outside
+//                    src/util/kernels.* — vector code lives behind the
+//                    runtime-dispatched kernel layer so every call site
+//                    keeps its scalar fallback and determinism contract
 //
 // A violation is suppressed by `// dj_lint: allow(<rule>)` on the same line
 // or on the line directly above it. Comment and string-literal contents are
@@ -219,6 +224,16 @@ class Linter {
                 "BinaryWriter/BinaryReader (src/util/env.h) so fault "
                 "injection and atomic saves cover it");
     }
+    // The kernel layer is the one sanctioned home for vector intrinsics.
+    if (rel.rfind("src/util/kernels", 0) != 0) {
+      CheckSubstringRule(
+          path, text, "simd-intrinsics",
+          {"immintrin.h", "x86intrin.h", "emmintrin.h", "xmmintrin.h",
+           "arm_neon.h", "_mm_", "_mm256_", "_mm512_", "__m128", "__m256",
+           "__m512", "__builtin_ia32_"},
+          "SIMD intrinsic outside src/util/kernels.*; add a kernel to the "
+          "dispatch layer (src/util/kernels.h) instead");
+    }
   }
 
   /// Recursively lints every .h/.cc/.cpp under `dir`, skipping fixture
@@ -320,6 +335,24 @@ class Linter {
     }
   }
 
+  /// Like CheckRule but with plain substring matching: intrinsic names are
+  /// PREFIXES of the offending tokens (`_mm256_` matches `_mm256_add_ps`),
+  /// which FindToken's word-boundary requirement would reject.
+  void CheckSubstringRule(const fs::path& path, const FileText& text,
+                          const std::string& rule,
+                          const std::vector<std::string>& needles,
+                          const std::string& message) {
+    for (size_t i = 0; i < text.code.size(); ++i) {
+      for (const std::string& needle : needles) {
+        if (text.code[i].find(needle) == std::string::npos) continue;
+        if (!SuppressedAt(text, i, rule)) {
+          Report(path, i + 1, rule, "`" + needle + "`: " + message);
+        }
+        break;  // one report per line per rule
+      }
+    }
+  }
+
   void CheckNakedNew(const fs::path& path, const FileText& text) {
     for (size_t i = 0; i < text.code.size(); ++i) {
       const std::string& line = text.code[i];
@@ -364,6 +397,7 @@ void ListRules() {
       << "detached-thread  no std::thread::detach\n"
       << "raw-file-io      no std::fopen/std::ifstream/std::ofstream/"
          "std::fstream in src/** outside src/util/\n"
+      << "simd-intrinsics  no SIMD intrinsics outside src/util/kernels.*\n"
       << "suppress with    // dj_lint: allow(<rule>)\n";
 }
 
