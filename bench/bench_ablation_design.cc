@@ -20,13 +20,13 @@ MethodResult RunWithSearcher(BenchEnv& env, core::DeepJoin& dj,
   core::SearcherConfig sc;
   sc.backend = backend;
   core::EmbeddingSearcher searcher(&dj.encoder(), sc);
-  searcher.BuildIndex(env.repo());
+  DJ_CHECK(searcher.BuildIndex(env.repo()).ok());
   MethodResult out;
   out.name = name;
   TimeAccumulator total;
   for (const auto& q : env.queries()) {
-    auto s = searcher.Search(q, env.config().k_max);
-    total.Add(s.total_ms / 1e3);
+    auto s = searcher.Search(q, {.k = env.config().k_max});
+    total.Add(s.stats.total_ms() / 1e3);
     out.rankings.push_back(std::move(s.ids));
   }
   out.mean_total_ms = total.MeanMillis();

@@ -9,6 +9,7 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "util/kernels.h"
+#include "util/metrics.h"
 
 namespace deepjoin {
 namespace {
@@ -207,6 +208,28 @@ void BM_PlmEncodeColumn(benchmark::State& state) {
 }
 BENCHMARK(BM_PlmEncodeColumn);
 
+// Same encode loop with the DJ_METRICS kill switch thrown: the delta
+// against BM_PlmEncodeColumn is the instrumentation overhead DESIGN.md §9
+// budgets at <2%. bench_snapshot.sh records both in BENCH_micro.json.
+void BM_PlmEncodeColumnMetricsOff(benchmark::State& state) {
+  auto& env = SharedEnv();
+  static core::PlmColumnEncoder* encoder = [&] {
+    core::PlmEncoderConfig pc;
+    pc.kind = core::PlmKind::kMPNetSim;
+    return std::make_unique<core::PlmColumnEncoder>(pc, env.sample(),
+                                                    env.ft()).release();
+  }();
+  const bool was_enabled = metrics::SetEnabledForTest(false);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto v = encoder->Encode(
+        env.repo().column(static_cast<u32>(i++ % env.repo().size())));
+    benchmark::DoNotOptimize(v.data());
+  }
+  metrics::SetEnabledForTest(was_enabled);
+}
+BENCHMARK(BM_PlmEncodeColumnMetricsOff);
+
 // EncodeToVector fast path vs the graph-building path it replaced
 // (NoGradGuard + Encode + copy — what EncodeToVector did before the
 // workspace forward). Same encoder, same columns, both tiers.
@@ -276,6 +299,35 @@ void BM_HnswSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HnswSearch)->Arg(10)->Arg(50);
+
+// HNSW search with metrics disabled; paired with BM_HnswSearch the ratio
+// bounds the per-search instrumentation cost (counter adds + histogram
+// record per Search call).
+void BM_HnswSearchMetricsOff(benchmark::State& state) {
+  const int dim = 32;
+  static ann::HnswIndex* index = [&] {
+    ann::HnswConfig hc;
+    hc.dim = dim;
+    auto idx = std::make_unique<ann::HnswIndex>(hc);
+    Rng rng(1);
+    std::vector<float> v(dim);
+    for (int i = 0; i < 20000; ++i) {
+      for (auto& x : v) x = static_cast<float>(rng.Normal());
+      idx->Add(v.data());
+    }
+    return idx.release();
+  }();
+  const bool was_enabled = metrics::SetEnabledForTest(false);
+  Rng rng(2);
+  std::vector<float> q(dim);
+  for (auto _ : state) {
+    for (auto& x : q) x = static_cast<float>(rng.Normal());
+    auto hits = index->Search(q.data(), static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(hits.data());
+  }
+  metrics::SetEnabledForTest(was_enabled);
+}
+BENCHMARK(BM_HnswSearchMetricsOff)->Arg(10)->Arg(50);
 
 void BM_JosieSearch(benchmark::State& state) {
   auto& env = SharedEnv();

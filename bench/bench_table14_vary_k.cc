@@ -74,7 +74,7 @@ void RunCorpus(const BenchConfig& cfg) {
                              const std::string& name, bool batched) {
       core::SearcherConfig sc;
       core::EmbeddingSearcher searcher(enc, sc);
-      searcher.BuildIndex(env.repo());
+      DJ_CHECK(searcher.BuildIndex(env.repo()).ok());
       Row row;
       row.method = name;
       const size_t threads =
@@ -82,15 +82,15 @@ void RunCorpus(const BenchConfig& cfg) {
       ThreadPool pool(threads);
       for (size_t k : kKs) {
         if (batched) {
-          auto outs = searcher.SearchBatch(env.queries(), k, &pool);
-          row.encode_ms = outs.front().encode_ms;
-          row.total_ms.push_back(outs.front().total_ms);
+          auto outs = searcher.SearchBatch(env.queries(), {.k = k}, &pool);
+          row.encode_ms = outs.front().stats.SpanMs("searcher.encode");
+          row.total_ms.push_back(outs.front().stats.total_ms());
         } else {
           TimeAccumulator enc_acc, total_acc;
           for (const auto& q : env.queries()) {
-            auto out = searcher.Search(q, k);
-            enc_acc.Add(out.encode_ms / 1e3);
-            total_acc.Add(out.total_ms / 1e3);
+            auto out = searcher.Search(q, {.k = k});
+            enc_acc.Add(out.stats.SpanMs("searcher.encode") / 1e3);
+            total_acc.Add(out.stats.total_ms() / 1e3);
           }
           row.encode_ms = enc_acc.MeanMillis();
           row.total_ms.push_back(total_acc.MeanMillis());

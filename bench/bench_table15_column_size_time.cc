@@ -95,20 +95,20 @@ int main(int argc, char** argv) {
                            bool batched) {
       core::SearcherConfig sc;
       core::EmbeddingSearcher searcher(enc, sc);
-      searcher.BuildIndex(env.repo());
+      DJ_CHECK(searcher.BuildIndex(env.repo()).ok());
       if (batched) {
         const size_t threads =
             std::max(2u, std::thread::hardware_concurrency());
         ThreadPool pool(threads);
-        auto outs = searcher.SearchBatch(env.queries(), k, &pool);
-        row.encode_ms.push_back(outs.front().encode_ms);
-        row.total_ms.push_back(outs.front().total_ms);
+        auto outs = searcher.SearchBatch(env.queries(), {.k = k}, &pool);
+        row.encode_ms.push_back(outs.front().stats.SpanMs("searcher.encode"));
+        row.total_ms.push_back(outs.front().stats.total_ms());
       } else {
         TimeAccumulator enc_acc, total_acc;
         for (const auto& q : env.queries()) {
-          auto out = searcher.Search(q, k);
-          enc_acc.Add(out.encode_ms / 1e3);
-          total_acc.Add(out.total_ms / 1e3);
+          auto out = searcher.Search(q, {.k = k});
+          enc_acc.Add(out.stats.SpanMs("searcher.encode") / 1e3);
+          total_acc.Add(out.stats.total_ms() / 1e3);
         }
         row.encode_ms.push_back(enc_acc.MeanMillis());
         row.total_ms.push_back(total_acc.MeanMillis());

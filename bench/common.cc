@@ -172,14 +172,14 @@ MethodResult BenchEnv::RunEncoder(core::ColumnEncoder* encoder,
   core::SearcherConfig sc;
   sc.backend = core::AnnBackend::kHnsw;
   core::EmbeddingSearcher searcher(encoder, sc);
-  searcher.BuildIndex(repo_);
+  DJ_CHECK(searcher.BuildIndex(repo_).ok());
   MethodResult out;
   out.name = name;
   TimeAccumulator encode_acc, total_acc;
   for (const auto& q : queries_) {
-    auto s = searcher.Search(q, config_.k_max);
-    encode_acc.Add(s.encode_ms / 1e3);
-    total_acc.Add(s.total_ms / 1e3);
+    auto s = searcher.Search(q, {.k = config_.k_max});
+    encode_acc.Add(s.stats.SpanMs("searcher.encode") / 1e3);
+    total_acc.Add(s.stats.total_ms() / 1e3);
     out.rankings.push_back(std::move(s.ids));
   }
   out.mean_encode_ms = encode_acc.MeanMillis();

@@ -21,6 +21,7 @@
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/timer.h"
 
 namespace deepjoin {
 namespace bench {

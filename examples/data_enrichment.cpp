@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   cfg.finetune.max_steps = 60;
   cfg.finetune.batch_size = 16;
   auto deepjoin = core::DeepJoin::Train(sample, pretrained, cfg);
-  deepjoin->BuildIndex(repo);
+  DJ_CHECK(deepjoin->BuildIndex(repo).ok());
 
   // Our "ML training table": a fresh column playing the join key.
   lake::Column key_column = gen.GenerateQueries(1, 0xFEED).front();
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   // DeepJoin shortlists candidates; exact joinability verifies coverage.
   auto tok = join::TokenizedRepository::Build(repo);
   const auto qt = tok.EncodeQuery(key_column);
-  auto out = deepjoin->Search(key_column, 10);
+  auto out = deepjoin->Search(key_column, {.k = 10});
 
   std::printf("\n%-6s %-8s %-40s %s\n", "rank", "coverage", "table",
               "verdict");

@@ -48,14 +48,17 @@ int main(int argc, char** argv) {
     sc.backend = b.backend;
     core::EmbeddingSearcher searcher(&encoder, sc);
     WallTimer build;
-    searcher.BuildIndex(repo);
+    if (auto st = searcher.BuildIndex(repo); !st.ok()) {
+      std::printf("%-14s build failed: %s\n", b.name, st.ToString().c_str());
+      continue;
+    }
     const double build_s = build.ElapsedSeconds();
 
     TimeAccumulator lat;
     std::vector<std::vector<u32>> results;
     for (const auto& q : queries) {
-      auto out = searcher.Search(q, 10);
-      lat.Add(out.total_ms / 1e3);
+      auto out = searcher.Search(q, {.k = 10});
+      lat.Add(out.stats.total_ms() / 1e3);
       results.push_back(std::move(out.ids));
     }
     double recall = 1.0;

@@ -91,7 +91,10 @@ int main(int argc, char** argv) {
   }
   core::SearcherConfig sc;
   core::EmbeddingSearcher searcher(loaded->get(), sc);
-  searcher.BuildIndex(*repo);
+  if (auto st = searcher.BuildIndex(*repo); !st.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
   auto tok = join::TokenizedRepository::Build(*repo);
   core::TwoStageConfig tsc;
@@ -99,9 +102,9 @@ int main(int argc, char** argv) {
 
   auto queries = gen.GenerateQueries(3, 0xD0);
   for (const auto& q : queries) {
-    auto out = two_stage.Search(q, 5);
+    auto out = two_stage.Search(q, {.k = 5});
     std::printf("\nquery \"%s\" (%zu cells) -> %.1f ms total:\n",
-                q.meta.column_name.c_str(), q.size(), out.total_ms);
+                q.meta.column_name.c_str(), q.size(), out.stats.total_ms());
     for (const auto& s : out.results) {
       std::printf("  jn=%.2f  %s\n", s.score,
                   repo->column(s.id).meta.table_title.c_str());

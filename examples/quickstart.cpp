@@ -51,18 +51,25 @@ int main(int argc, char** argv) {
               deepjoin->train_stats().final_loss);
 
   // 4. Offline: embed + index every repository column.
-  deepjoin->BuildIndex(repo);
+  core::BuildStats build_stats;
+  if (auto st = deepjoin->BuildIndex(repo, &build_stats); !st.ok()) {
+    std::printf("index build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %zu columns in %.1f ms (encode %.1f ms)\n",
+              build_stats.columns, build_stats.trace.total_ms(),
+              build_stats.trace.SpanMs("searcher.build_encode"));
 
   // 5. Online: discover joinable tables for a fresh query column.
   auto queries = gen.GenerateQueries(3, /*salt=*/0xF00D);
   auto tok = join::TokenizedRepository::Build(repo);
   for (const auto& query : queries) {
-    auto out = deepjoin->Search(query, /*k=*/5);
+    auto out = deepjoin->Search(query, {.k = 5});
     std::printf("\nquery column \"%s\" from \"%s\" (%zu cells) -> top-5 "
                 "(%.1f ms, encode %.1f ms):\n",
                 query.meta.column_name.c_str(),
-                query.meta.table_title.c_str(), query.size(), out.total_ms,
-                out.encode_ms);
+                query.meta.table_title.c_str(), query.size(),
+                out.stats.total_ms(), out.stats.SpanMs("searcher.encode"));
     const auto qt = tok.EncodeQuery(query);
     for (u32 id : out.ids) {
       const auto& col = repo.column(id);

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   cfg.finetune.max_steps = 60;
   cfg.finetune.batch_size = 16;
   auto deepjoin = core::DeepJoin::Train(sample, pretrained, cfg);
-  deepjoin->BuildIndex(repo);
+  DJ_CHECK(deepjoin->BuildIndex(repo).ok());
 
   lake::Column query = gen.GenerateQueries(1, 0xBEE5).front();
   std::printf("query: \"%s\" with cells like \"%s\", \"%s\"\n",
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   const auto qt = tok.EncodeQuery(query);
   const auto qv = join::ColumnVectorStore::EmbedColumn(query, pretrained);
 
-  auto out = deepjoin->Search(query, 5);
+  auto out = deepjoin->Search(query, {.k = 5});
   std::printf("\n%-5s %-9s %-9s %s\n", "rank", "equi-jn", "sem-jn",
               "retrieved column");
   for (size_t r = 0; r < out.ids.size(); ++r) {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "util/trace.h"
+
 namespace deepjoin {
 namespace ann {
 
@@ -16,20 +18,32 @@ HnswIndex::HnswIndex(const HnswConfig& config)
   DJ_CHECK(config_.dim > 0 && config_.M >= 2);
 }
 
-u32 HnswIndex::GreedyClosest(const float* query, u32 entry, int level) const {
+u32 HnswIndex::GreedyClosest(const float* query, u32 entry, int level,
+                             SearchWork* work) const {
   u32 cur = entry;
   float cur_dist = Dist(query, cur);
+  // Tally into locals (registers) unconditionally — a per-eval branch +
+  // store through `work` costs measurable time in this loop; one flush at
+  // the end does not.
+  u64 dist_evals = 1;
+  u64 hops = 0;
   bool improved = true;
   while (improved) {
     improved = false;
     for (u32 nb : LinksAt(cur, level)) {
       const float d = Dist(query, nb);
+      ++dist_evals;
       if (d < cur_dist) {
         cur = nb;
         cur_dist = d;
         improved = true;
       }
     }
+    if (improved) ++hops;
+  }
+  if (work != nullptr) {
+    work->dist_evals += dist_evals;
+    work->hops += hops;
   }
   return cur;
 }
@@ -61,7 +75,8 @@ void HnswIndex::VisitedPool::Release(
 }
 
 std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, u32 entry,
-                                             int ef, int level) const {
+                                             int ef, int level,
+                                             SearchWork* work) const {
   auto scratch = visited_pool_->Acquire(levels_.size());
   const u32 epoch = scratch->epoch;
   auto visit = [&stamp = scratch->stamp, epoch](u32 id) {
@@ -81,6 +96,10 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, u32 entry,
   candidates.push({d0, entry});
   results.push({d0, entry});
 
+  // Tally into locals (registers) unconditionally — a per-eval branch +
+  // store through `work` is measurable in this loop; flushing once is not.
+  u64 dist_evals = 1;
+  u64 hops = 0;
   while (!candidates.empty()) {
     const Neighbor c = candidates.top();
     if (c.dist > results.top().dist &&
@@ -88,9 +107,11 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, u32 entry,
       break;
     }
     candidates.pop();
+    ++hops;
     for (u32 nb : LinksAt(c.id, level)) {
       if (!visit(nb)) continue;
       const float d = Dist(query, nb);
+      ++dist_evals;
       if (results.size() < static_cast<size_t>(ef) ||
           d < results.top().dist) {
         candidates.push({d, nb});
@@ -98,6 +119,10 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, u32 entry,
         if (results.size() > static_cast<size_t>(ef)) results.pop();
       }
     }
+  }
+  if (work != nullptr) {
+    work->dist_evals += dist_evals;
+    work->hops += hops;
   }
   std::vector<Neighbor> out;
   out.reserve(results.size());
@@ -318,14 +343,53 @@ Result<HnswIndex> HnswIndex::Load(BinaryReader& reader) {
   return index;
 }
 
-std::vector<Neighbor> HnswIndex::Search(const float* query, size_t k) const {
+std::vector<Neighbor> HnswIndex::Search(const float* query, size_t k,
+                                        const AnnSearchParams& params) const {
+  DJ_TRACE_SPAN("hnsw.search");
   if (levels_.empty() || k == 0) return {};
+
+  // The layer traversals tally their work in registers either way (that's
+  // free); the pointer only controls whether the tallies are kept and
+  // reported below.
+  SearchWork tally;
+  SearchWork* work = (metrics::Enabled() ||
+                      trace::TraceCollector::Current() != nullptr)
+                         ? &tally
+                         : nullptr;
+
   u32 ep = entry_;
   for (int lev = max_level_; lev >= 1; --lev) {
-    ep = GreedyClosest(query, ep, lev);
+    ep = GreedyClosest(query, ep, lev, work);
   }
-  const int ef = std::max<int>(config_.ef_search, static_cast<int>(k));
-  auto results = SearchLayer(query, ep, ef, 0);
+  const int ef_base =
+      params.ef_search > 0 ? params.ef_search : config_.ef_search;
+  const int ef = std::max<int>(ef_base, static_cast<int>(k));
+  auto results = SearchLayer(query, ep, ef, 0, work);
+
+  if (work != nullptr) {
+    static metrics::Counter* const searches =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "dj_hnsw_searches_total");
+    static metrics::Counter* const dist_evals =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "dj_hnsw_dist_evals_total");
+    static metrics::Counter* const hops =
+        metrics::MetricsRegistry::Global().GetCounter("dj_hnsw_hops_total");
+    // Fraction of the ef result budget actually filled at layer 0; a
+    // persistently low occupancy means ef is oversized for the graph.
+    static metrics::Histogram* const occupancy =
+        metrics::MetricsRegistry::Global().GetHistogram(
+            "dj_hnsw_ef_occupancy",
+            {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+    searches->Increment();
+    dist_evals->Add(tally.dist_evals);
+    hops->Add(tally.hops);
+    occupancy->Record(static_cast<double>(results.size()) /
+                      static_cast<double>(ef));
+    trace::Count("hnsw.dist_evals", tally.dist_evals);
+    trace::Count("hnsw.hops", tally.hops);
+  }
+
   if (results.size() > k) results.resize(k);
   return results;
 }

@@ -29,18 +29,23 @@ class HnswIndex : public VectorIndex {
  public:
   explicit HnswIndex(const HnswConfig& config);
 
+  using VectorIndex::Search;
+
   void Add(const float* vec) override;
 
   /// Thread-safe against concurrent Search calls on the same index (each
   /// query checks out its own visited-marker scratch from a pool). Add is
   /// NOT safe to run concurrently with Search; build first, then serve.
-  std::vector<Neighbor> Search(const float* query, size_t k) const override;
+  /// The recall/latency knob travels per call: params.ef_search > 0
+  /// overrides config.ef_search for this query only, so concurrent
+  /// searches with different ef never race on shared state.
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               const AnnSearchParams& params) const override;
   size_t size() const override { return levels_.size(); }
   int dim() const override { return config_.dim; }
   const char* name() const override { return "hnsw"; }
 
-  /// Tunable at query time: recall/latency knob.
-  void set_ef_search(int ef) { config_.ef_search = ef; }
+  int ef_search_default() const { return config_.ef_search; }
   int max_level() const { return max_level_; }
 
   /// Persists the full graph + vectors. The offline index build of §3.3
@@ -59,13 +64,22 @@ class HnswIndex : public VectorIndex {
     return SquaredL2Distance(q, VectorAt(id), config_.dim);
   }
 
+  /// Per-query work tally for observability; the build path passes
+  /// nullptr so Add cost never pollutes search metrics.
+  struct SearchWork {
+    u64 dist_evals = 0;
+    u64 hops = 0;
+  };
+
   /// Greedy single-entry descent within one level.
-  u32 GreedyClosest(const float* query, u32 entry, int level) const;
+  u32 GreedyClosest(const float* query, u32 entry, int level,
+                    SearchWork* work = nullptr) const;
 
   /// Best-first search within a level; returns up to `ef` nearest,
   /// ascending by distance.
   std::vector<Neighbor> SearchLayer(const float* query, u32 entry, int ef,
-                                    int level) const;
+                                    int level,
+                                    SearchWork* work = nullptr) const;
 
   /// Malkov's heuristic: keep candidates that are closer to the query than
   /// to any already-kept neighbour (diversifies link directions).

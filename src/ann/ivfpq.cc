@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/top_k.h"
+#include "util/trace.h"
 
 namespace deepjoin {
 namespace ann {
@@ -99,18 +100,25 @@ void IvfPqIndex::Add(const float* vec) {
   ++count_;
 }
 
-std::vector<Neighbor> IvfPqIndex::Search(const float* query,
-                                         size_t k) const {
+std::vector<Neighbor> IvfPqIndex::Search(const float* query, size_t k,
+                                         const AnnSearchParams& params) const {
+  DJ_TRACE_SPAN("ivfpq.search");
   DJ_CHECK_MSG(trained_, "Search() before Train()");
   if (count_ == 0 || k == 0) return {};
   const int d = config_.dim;
   const int ds = dsub();
   const int ks = ksub();
+  const int nprobe = params.nprobe > 0 ? params.nprobe : config_.nprobe;
 
   // Rank coarse cells.
   std::vector<Neighbor> cells;
   if (coarse_hnsw_) {
-    cells = coarse_hnsw_->Search(query, static_cast<size_t>(config_.nprobe));
+    // Keep the coarse graph's beam proportional to the probe budget even
+    // when nprobe is overridden per query (Train sized it for the default).
+    AnnSearchParams coarse_params;
+    coarse_params.ef_search = std::max(16, nprobe * 2);
+    cells = coarse_hnsw_->Search(query, static_cast<size_t>(nprobe),
+                                 coarse_params);
   } else {
     cells.reserve(coarse_.k);
     for (int c = 0; c < coarse_.k; ++c) {
@@ -121,17 +129,21 @@ std::vector<Neighbor> IvfPqIndex::Search(const float* query,
            static_cast<u32>(c)});
     }
     std::sort(cells.begin(), cells.end());
-    if (static_cast<int>(cells.size()) > config_.nprobe) {
-      cells.resize(static_cast<size_t>(config_.nprobe));
+    if (static_cast<int>(cells.size()) > nprobe) {
+      cells.resize(static_cast<size_t>(nprobe));
     }
   }
 
+  u64 adc_tables = 0;
+  u64 codes_scanned = 0;
   TopK top(k);
   std::vector<float> lut(static_cast<size_t>(config_.m) * ks);
   std::vector<float> qres(d);
   for (const Neighbor& cell : cells) {
     const auto& ids = list_ids_[cell.id];
     if (ids.empty()) continue;
+    ++adc_tables;
+    codes_scanned += ids.size();
     // Query residual w.r.t. this cell, then the ADC lookup table.
     const float* c = &coarse_.centroids[static_cast<size_t>(cell.id) * d];
     for (int j = 0; j < d; ++j) qres[j] = query[j] - c[j];
@@ -153,6 +165,28 @@ std::vector<Neighbor> IvfPqIndex::Search(const float* query,
       top.Push(-static_cast<double>(dist), ids[i]);
     }
   }
+  if (metrics::Enabled() || trace::TraceCollector::Current() != nullptr) {
+    static metrics::Counter* const searches =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "dj_ivfpq_searches_total");
+    static metrics::Counter* const probes =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "dj_ivfpq_probes_total");
+    static metrics::Counter* const tables =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "dj_ivfpq_adc_tables_total");
+    static metrics::Counter* const scanned =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "dj_ivfpq_codes_scanned_total");
+    searches->Increment();
+    probes->Add(cells.size());
+    tables->Add(adc_tables);
+    scanned->Add(codes_scanned);
+    trace::Count("ivfpq.probes", cells.size());
+    trace::Count("ivfpq.adc_tables", adc_tables);
+    trace::Count("ivfpq.codes_scanned", codes_scanned);
+  }
+
   std::vector<Neighbor> out;
   for (const auto& s : top.Take()) {
     out.push_back(Neighbor{static_cast<float>(-s.score), s.id});

@@ -4,6 +4,7 @@
 
 #include "util/kernels.h"
 #include "util/top_k.h"
+#include "util/trace.h"
 
 namespace deepjoin {
 namespace ann {
@@ -15,9 +16,13 @@ float SquaredL2Distance(const float* a, const float* b, int dim) {
   return kern::SquaredL2(a, b, dim);
 }
 
-std::vector<Neighbor> FlatIndex::Search(const float* query, size_t k) const {
+std::vector<Neighbor> FlatIndex::Search(const float* query, size_t k,
+                                        const AnnSearchParams& params) const {
+  (void)params;  // exact scan has no tunables
+  DJ_TRACE_SPAN("flat.search");
   const size_t n = size();
   if (n == 0 || k == 0) return {};
+  trace::Count("flat.dist_evals", n);
   TopK top(k);
   for (size_t i = 0; i < n; ++i) {
     const float d = SquaredL2Distance(query, vector(static_cast<u32>(i)),

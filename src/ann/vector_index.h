@@ -24,6 +24,15 @@ struct Neighbor {
   friend bool operator>(const Neighbor& a, const Neighbor& b) { return b < a; }
 };
 
+/// Per-query search knobs. Zero means "use the index's configured
+/// default". Overrides travel with the call instead of mutating index
+/// state, so concurrent searches with different settings never race on a
+/// shared config (the old set_ef_search/set_nprobe mutators are gone).
+struct AnnSearchParams {
+  int ef_search = 0;  ///< HNSW layer-0 beam width; ignored by other indexes
+  int nprobe = 0;     ///< IVFPQ coarse cells scanned; ignored by others
+};
+
 class VectorIndex {
  public:
   virtual ~VectorIndex() = default;
@@ -37,8 +46,14 @@ class VectorIndex {
   }
 
   /// k nearest neighbours of `query` under (squared) L2, nearest first.
-  virtual std::vector<Neighbor> Search(const float* query,
-                                       size_t k) const = 0;
+  virtual std::vector<Neighbor> Search(const float* query, size_t k,
+                                       const AnnSearchParams& params)
+      const = 0;
+
+  /// Convenience overload: search with the index's configured defaults.
+  std::vector<Neighbor> Search(const float* query, size_t k) const {
+    return Search(query, k, AnnSearchParams{});
+  }
 
   virtual size_t size() const = 0;
   virtual int dim() const = 0;
@@ -53,10 +68,13 @@ class FlatIndex : public VectorIndex {
  public:
   explicit FlatIndex(int dim) : dim_(dim) { DJ_CHECK(dim > 0); }
 
+  using VectorIndex::Search;
+
   void Add(const float* vec) override {
     data_.insert(data_.end(), vec, vec + dim_);
   }
-  std::vector<Neighbor> Search(const float* query, size_t k) const override;
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               const AnnSearchParams& params) const override;
   size_t size() const override {
     return data_.size() / static_cast<size_t>(dim_);
   }

@@ -22,8 +22,8 @@ std::unique_ptr<DeepJoin> DeepJoin::Train(
   return dj;
 }
 
-void DeepJoin::BuildIndex(const lake::Repository& repo) {
-  searcher_->BuildIndex(repo);
+Status DeepJoin::BuildIndex(const lake::Repository& repo, BuildStats* stats) {
+  return searcher_->BuildIndex(repo, nullptr, stats);
 }
 
 }  // namespace core

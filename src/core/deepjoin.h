@@ -8,8 +8,8 @@
 //   FastTextEmbedder ft(FastTextConfig{});                 // cell space
 //   DeepJoinConfig cfg;                                    // defaults OK
 //   auto dj = DeepJoin::Train(training_sample, ft, cfg);   // fine-tune
-//   dj->BuildIndex(repository);                            // offline
-//   auto out = dj->Search(query_column, /*k=*/10);         // online
+//   DJ_CHECK(dj->BuildIndex(repository).ok());             // offline
+//   auto out = dj->Search(query_column, {.k = 10});        // online
 #ifndef DEEPJOIN_CORE_DEEPJOIN_H_
 #define DEEPJOIN_CORE_DEEPJOIN_H_
 
@@ -39,17 +39,19 @@ class DeepJoin {
       const FastTextEmbedder& pretrained, const DeepJoinConfig& config);
 
   /// Offline phase: encode + index the repository.
-  void BuildIndex(const lake::Repository& repo);
+  [[nodiscard]] Status BuildIndex(const lake::Repository& repo,
+                                  BuildStats* stats = nullptr);
 
   /// Online top-k search.
-  EmbeddingSearcher::SearchOutput Search(const lake::Column& query,
-                                         size_t k) {
-    return searcher_->Search(query, k);
+  EmbeddingSearcher::SearchResult Search(const lake::Column& query,
+                                         const SearchOptions& options = {}) {
+    return searcher_->Search(query, options);
   }
   /// Batched (accelerated) search; see EmbeddingSearcher::SearchBatch.
-  std::vector<EmbeddingSearcher::SearchOutput> SearchBatch(
-      const std::vector<lake::Column>& queries, size_t k, ThreadPool* pool) {
-    return searcher_->SearchBatch(queries, k, pool);
+  std::vector<EmbeddingSearcher::SearchResult> SearchBatch(
+      const std::vector<lake::Column>& queries, const SearchOptions& options,
+      ThreadPool* pool) {
+    return searcher_->SearchBatch(queries, options, pool);
   }
 
   PlmColumnEncoder& encoder() { return *encoder_; }

@@ -1,6 +1,7 @@
 #include "core/encoders.h"
 
 #include "text/tokenizer.h"
+#include "util/trace.h"
 
 namespace deepjoin {
 namespace core {
@@ -67,6 +68,17 @@ std::vector<u32> PlmColumnEncoder::ColumnToIds(
   ids.reserve(tokens.size() + 1);
   ids.push_back(Vocab::kClsId);
   for (const auto& t : tokens) ids.push_back(vocab_.Encode(t));
+  if (metrics::Enabled()) {
+    static metrics::Counter* const tokens_total =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "dj_encoder_tokens_total");
+    static metrics::Counter* const columns_total =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "dj_encoder_columns_total");
+    tokens_total->Add(ids.size());
+    columns_total->Increment();
+  }
+  trace::Count("encoder.tokens", ids.size());
   return ids;
 }
 

@@ -1,6 +1,7 @@
 #include "core/reranker.h"
 
-#include "util/timer.h"
+#include <algorithm>
+
 #include "util/top_k.h"
 
 namespace deepjoin {
@@ -24,32 +25,63 @@ TwoStageSearcher::TwoStageSearcher(EmbeddingSearcher* searcher,
   }
 }
 
-TwoStageSearcher::Output TwoStageSearcher::Search(const lake::Column& query,
-                                                  size_t k) {
+TwoStageSearcher::Output TwoStageSearcher::Search(
+    const lake::Column& query, const SearchOptions& options) {
   Output out;
-  WallTimer total;
-  const size_t pool = std::max<size_t>(k, k * config_.pool_multiplier);
-  auto stage1 = searcher_->Search(query, pool);
-  out.encode_ms = stage1.encode_ms;
+  trace::TraceCollector collector(options.collect_stats);
+  trace::QueryStats stage1_stats;
+  {
+    DJ_TRACE_SPAN("twostage.search");
+    SearchOptions pool_options = options;
+    pool_options.k =
+        std::max<size_t>(options.k, options.k * config_.pool_multiplier);
+    // The searcher installs its own nested collector; its breakdown comes
+    // back in stage1.stats and is grafted below.
+    auto stage1 = searcher_->Search(query, pool_options);
+    stage1_stats = std::move(stage1.stats);
 
-  TopK top(k);
-  if (config_.semantic) {
-    const auto qv = join::ColumnVectorStore::EmbedColumn(query,
-                                                         *cell_embedder_);
-    for (u32 id : stage1.ids) {
-      const double jn = join::SemanticJoinability(
-          qv.data(), query.cells.size(), store_->column_vectors(id),
-          store_->column_count(id), store_->dim(), config_.tau);
-      top.Push(jn, id);
+    DJ_TRACE_SPAN("twostage.rerank");
+    TopK top(options.k);
+    if (config_.semantic) {
+      const auto qv = join::ColumnVectorStore::EmbedColumn(query,
+                                                           *cell_embedder_);
+      for (u32 id : stage1.ids) {
+        const double jn = join::SemanticJoinability(
+            qv.data(), query.cells.size(), store_->column_vectors(id),
+            store_->column_count(id), store_->dim(), config_.tau);
+        top.Push(jn, id);
+      }
+    } else {
+      const auto qt = tok_->EncodeQuery(query);
+      for (u32 id : stage1.ids) {
+        top.Push(join::EquiJoinability(qt, tok_->columns()[id]), id);
+      }
     }
-  } else {
-    const auto qt = tok_->EncodeQuery(query);
-    for (u32 id : stage1.ids) {
-      top.Push(join::EquiJoinability(qt, tok_->columns()[id]), id);
-    }
+    trace::Count("twostage.candidates", stage1.ids.size());
+    out.results = top.Take();
   }
-  out.results = top.Take();
-  out.total_ms = total.ElapsedMillis();
+  if (options.collect_stats) {
+    out.stats = collector.Finish();
+    // Graft the stage-1 tree as the first child and fold its per-query
+    // counters into ours.
+    out.stats.root.children.insert(out.stats.root.children.begin(),
+                                   std::move(stage1_stats.root));
+    for (auto& c : stage1_stats.counters) {
+      bool merged = false;
+      for (auto& mine : out.stats.counters) {
+        if (mine.name == c.name) {
+          mine.value += c.value;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) out.stats.counters.push_back(std::move(c));
+    }
+    std::sort(out.stats.counters.begin(), out.stats.counters.end(),
+              [](const trace::CounterDelta& a, const trace::CounterDelta& b) {
+                return a.name < b.name;
+              });
+  }
   return out;
 }
 

@@ -38,11 +38,15 @@ class TwoStageSearcher {
 
   struct Output {
     std::vector<Scored> results;  ///< exact jn scores, best first
-    double encode_ms = 0.0;
-    double total_ms = 0.0;
+    /// Span tree rooted at "twostage.search" with the full stage-1
+    /// searcher breakdown grafted as its first child and the re-rank
+    /// stage beside it. Empty when SearchOptions::collect_stats is false.
+    trace::QueryStats stats;
   };
 
-  Output Search(const lake::Column& query, size_t k);
+  /// `options.k` is the final result count; the stage-1 pool is
+  /// k * pool_multiplier. ef/nprobe overrides pass through to stage 1.
+  Output Search(const lake::Column& query, const SearchOptions& options = {});
 
  private:
   EmbeddingSearcher* searcher_;

@@ -1,63 +1,118 @@
 #include "core/searcher.h"
 
+#include <algorithm>
+
+#include "util/timer.h"
+
 namespace deepjoin {
 namespace core {
+
+namespace {
+
+ann::AnnSearchParams AnnParamsFrom(const SearchOptions& options) {
+  ann::AnnSearchParams params;
+  params.ef_search = options.ef_search;
+  params.nprobe = options.nprobe;
+  return params;
+}
+
+metrics::Counter* SearchesCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "dj_searcher_searches_total");
+  return c;
+}
+
+}  // namespace
 
 EmbeddingSearcher::EmbeddingSearcher(ColumnEncoder* encoder,
                                      const SearcherConfig& config)
     : encoder_(encoder), config_(config), dim_(encoder->dim()) {}
 
-void EmbeddingSearcher::BuildIndex(const lake::Repository& repo,
-                                   ThreadPool* pool) {
-  std::vector<float> embeddings(repo.size() * static_cast<size_t>(dim_));
-  // EncodeInto writes straight into the flat buffer — no per-column
-  // vector allocation on the hot indexing path.
-  auto encode_one = [&](size_t i) {
-    encoder_->EncodeInto(repo.column(static_cast<u32>(i)),
-                         embeddings.data() + i * static_cast<size_t>(dim_));
-  };
-  if (pool != nullptr && pool->num_threads() > 1) {
-    pool->ParallelFor(repo.size(), encode_one);
-  } else {
-    for (size_t i = 0; i < repo.size(); ++i) encode_one(i);
+Status EmbeddingSearcher::BuildIndex(const lake::Repository& repo,
+                                     ThreadPool* pool, BuildStats* stats) {
+  if (config_.backend == AnnBackend::kIvfPq && repo.size() == 0) {
+    return Status::InvalidArgument(
+        "IVFPQ BuildIndex needs a non-empty repository: the coarse "
+        "quantizer trains on the indexed columns");
   }
-  switch (config_.backend) {
-    case AnnBackend::kFlat:
-      index_ = std::make_unique<ann::FlatIndex>(dim_);
-      break;
-    case AnnBackend::kHnsw: {
-      ann::HnswConfig hc;
-      hc.dim = dim_;
-      hc.M = config_.hnsw_M;
-      hc.ef_construction = config_.hnsw_ef_construction;
-      hc.ef_search = config_.hnsw_ef_search;
-      index_ = std::make_unique<ann::HnswIndex>(hc);
-      break;
+  trace::TraceCollector collector(stats != nullptr);
+  {
+    DJ_TRACE_SPAN("searcher.build");
+    std::vector<float> embeddings(repo.size() * static_cast<size_t>(dim_));
+    {
+      DJ_TRACE_SPAN("searcher.build_encode");
+      // EncodeInto writes straight into the flat buffer — no per-column
+      // vector allocation on the hot indexing path.
+      auto encode_one = [&](size_t i) {
+        encoder_->EncodeInto(
+            repo.column(static_cast<u32>(i)),
+            embeddings.data() + i * static_cast<size_t>(dim_));
+      };
+      if (pool != nullptr && pool->num_threads() > 1) {
+        pool->ParallelFor(repo.size(), encode_one);
+      } else {
+        for (size_t i = 0; i < repo.size(); ++i) encode_one(i);
+      }
     }
-    case AnnBackend::kIvfPq: {
-      ann::IvfPqConfig ic;
-      ic.dim = dim_;
-      ic.nlist = config_.ivfpq_nlist;
-      ic.m = config_.ivfpq_m;
-      ic.nbits = config_.ivfpq_nbits;
-      ic.nprobe = config_.ivfpq_nprobe;
-      auto idx = std::make_unique<ann::IvfPqIndex>(ic);
-      idx->Train(embeddings.data(), repo.size());
-      index_ = std::move(idx);
-      break;
+    {
+      DJ_TRACE_SPAN("searcher.build_index");
+      switch (config_.backend) {
+        case AnnBackend::kFlat:
+          index_ = std::make_unique<ann::FlatIndex>(dim_);
+          break;
+        case AnnBackend::kHnsw: {
+          ann::HnswConfig hc;
+          hc.dim = dim_;
+          hc.M = config_.hnsw_M;
+          hc.ef_construction = config_.hnsw_ef_construction;
+          hc.ef_search = config_.hnsw_ef_search;
+          index_ = std::make_unique<ann::HnswIndex>(hc);
+          break;
+        }
+        case AnnBackend::kIvfPq: {
+          ann::IvfPqConfig ic;
+          ic.dim = dim_;
+          ic.nlist = config_.ivfpq_nlist;
+          ic.m = config_.ivfpq_m;
+          ic.nbits = config_.ivfpq_nbits;
+          ic.nprobe = config_.ivfpq_nprobe;
+          auto idx = std::make_unique<ann::IvfPqIndex>(ic);
+          idx->Train(embeddings.data(), repo.size());
+          index_ = std::move(idx);
+          break;
+        }
+      }
+      index_->AddBatch(embeddings.data(), repo.size());
     }
   }
-  index_->AddBatch(embeddings.data(), repo.size());
+  {
+    static metrics::Counter* const builds =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "dj_searcher_builds_total");
+    static metrics::Counter* const indexed =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "dj_searcher_columns_indexed_total");
+    builds->Increment();
+    indexed->Add(repo.size());
+  }
+  if (stats != nullptr) {
+    stats->columns = repo.size();
+    stats->trace = collector.Finish();
+  }
+  return Status::OK();
 }
 
-u32 EmbeddingSearcher::AddColumn(const lake::Column& column) {
+Result<u32> EmbeddingSearcher::AddColumn(const lake::Column& column) {
   if (index_ == nullptr) {
     // First column of an empty searcher: start an index (IVFPQ cannot —
     // its quantizer needs training data).
-    DJ_CHECK_MSG(config_.backend != AnnBackend::kIvfPq,
-                 "IVFPQ needs BuildIndex() before incremental adds");
+    if (config_.backend == AnnBackend::kIvfPq) {
+      return Status::FailedPrecondition(
+          "IVFPQ needs BuildIndex() before incremental adds");
+    }
     lake::Repository empty;
-    BuildIndex(empty);
+    DJ_RETURN_IF_ERROR(BuildIndex(empty));
   }
   const auto v = encoder_->Encode(column);
   index_->Add(v.data());
@@ -92,29 +147,47 @@ Status EmbeddingSearcher::LoadIndex(const std::string& path, Env* env) {
   return Status::OK();
 }
 
-EmbeddingSearcher::SearchOutput EmbeddingSearcher::Search(
-    const lake::Column& query, size_t k) {
-  DJ_CHECK_MSG(index_ != nullptr, "Search() before BuildIndex()");
-  SearchOutput out;
-  WallTimer total;
-  WallTimer encode;
-  std::vector<float> q(static_cast<size_t>(dim_));
-  encoder_->EncodeInto(query, q.data());
-  out.encode_ms = encode.ElapsedMillis();
-  const auto hits = index_->Search(q.data(), k);
-  out.total_ms = total.ElapsedMillis();
-  out.ids.reserve(hits.size());
-  for (const auto& h : hits) out.ids.push_back(h.id);
+EmbeddingSearcher::SearchResult EmbeddingSearcher::Search(
+    const lake::Column& query, const SearchOptions& options) {
+  DJ_CHECK_MSG(index_ != nullptr,
+               "EmbeddingSearcher::Search() before BuildIndex()/LoadIndex()");
+  SearchResult out;
+  trace::TraceCollector collector(options.collect_stats);
+  {
+    DJ_TRACE_SPAN("searcher.search");
+    std::vector<float> q(static_cast<size_t>(dim_));
+    {
+      DJ_TRACE_SPAN("searcher.encode");
+      encoder_->EncodeInto(query, q.data());
+    }
+    std::vector<ann::Neighbor> hits;
+    {
+      DJ_TRACE_SPAN("searcher.ann");
+      hits = index_->Search(q.data(), options.k, AnnParamsFrom(options));
+    }
+    out.ids.reserve(hits.size());
+    for (const auto& h : hits) out.ids.push_back(h.id);
+  }
+  SearchesCounter()->Increment();
+  if (options.collect_stats) out.stats = collector.Finish();
   return out;
 }
 
-std::vector<EmbeddingSearcher::SearchOutput> EmbeddingSearcher::SearchBatch(
-    const std::vector<lake::Column>& queries, size_t k, ThreadPool* pool) {
-  DJ_CHECK_MSG(index_ != nullptr, "SearchBatch() before BuildIndex()");
-  std::vector<SearchOutput> outputs(queries.size());
-  WallTimer total;
+std::vector<EmbeddingSearcher::SearchResult> EmbeddingSearcher::SearchBatch(
+    const std::vector<lake::Column>& queries, const SearchOptions& options,
+    ThreadPool* pool) {
+  DJ_CHECK_MSG(
+      index_ != nullptr,
+      "EmbeddingSearcher::SearchBatch() before BuildIndex()/LoadIndex()");
+  std::vector<SearchResult> outputs(queries.size());
+  if (queries.empty()) return outputs;
+  DJ_TRACE_SPAN("searcher.search_batch");
+
   // Encoding is the parallel stage (it dominates; §5.4). One flat buffer
-  // for the whole batch; EncodeInto avoids per-query allocation.
+  // for the whole batch; EncodeInto avoids per-query allocation. Worker
+  // threads carry no trace collector, so the encode stage is reported
+  // amortised per query below — that *is* its per-query cost when the
+  // stage runs batched.
   std::vector<float> embeddings(queries.size() * static_cast<size_t>(dim_));
   WallTimer encode;
   auto encode_one = [&](size_t i) {
@@ -126,19 +199,37 @@ std::vector<EmbeddingSearcher::SearchOutput> EmbeddingSearcher::SearchBatch(
   } else {
     for (size_t i = 0; i < queries.size(); ++i) encode_one(i);
   }
-  const double encode_ms = encode.ElapsedMillis();
+  const double encode_ms_per_query =
+      encode.ElapsedMillis() / static_cast<double>(queries.size());
+
+  const ann::AnnSearchParams ann_params = AnnParamsFrom(options);
   for (size_t i = 0; i < queries.size(); ++i) {
-    const auto hits =
-        index_->Search(embeddings.data() + i * static_cast<size_t>(dim_), k);
+    trace::TraceCollector collector(options.collect_stats);
+    std::vector<ann::Neighbor> hits;
+    {
+      DJ_TRACE_SPAN("searcher.ann");
+      hits = index_->Search(embeddings.data() + i * static_cast<size_t>(dim_),
+                            options.k, ann_params);
+    }
     outputs[i].ids.reserve(hits.size());
     for (const auto& h : hits) outputs[i].ids.push_back(h.id);
+    if (options.collect_stats) {
+      // Graft amortised encode + exact ANN under a synthetic per-query
+      // root, so children sum to the root by construction.
+      trace::QueryStats ann_stats = collector.Finish();
+      trace::SpanNode enc;
+      enc.name = "searcher.encode";
+      enc.elapsed_ms = encode_ms_per_query;
+      trace::SpanNode root;
+      root.name = "searcher.search";
+      root.elapsed_ms = encode_ms_per_query + ann_stats.root.elapsed_ms;
+      root.children.push_back(std::move(enc));
+      root.children.push_back(std::move(ann_stats.root));
+      outputs[i].stats.root = std::move(root);
+      outputs[i].stats.counters = std::move(ann_stats.counters);
+    }
   }
-  const double total_ms = total.ElapsedMillis();
-  const double n = static_cast<double>(std::max<size_t>(1, queries.size()));
-  for (auto& o : outputs) {
-    o.encode_ms = encode_ms / n;  // amortised per query
-    o.total_ms = total_ms / n;
-  }
+  SearchesCounter()->Add(queries.size());
   return outputs;
 }
 

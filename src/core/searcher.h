@@ -15,7 +15,7 @@
 #include "util/env.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
+#include "util/trace.h"
 
 namespace deepjoin {
 namespace core {
@@ -26,11 +26,31 @@ struct SearcherConfig {
   AnnBackend backend = AnnBackend::kHnsw;
   int hnsw_M = 16;
   int hnsw_ef_construction = 120;
-  int hnsw_ef_search = 64;
+  int hnsw_ef_search = 64;  ///< default beam; override per query instead
   int ivfpq_nlist = 64;
   int ivfpq_m = 8;
   int ivfpq_nbits = 6;
-  int ivfpq_nprobe = 8;
+  int ivfpq_nprobe = 8;  ///< default probe budget; override per query
+};
+
+/// Per-call search options. Replaces the old positional `k` — and the old
+/// pattern of mutating SearcherConfig/set_ef_search between calls, which
+/// raced with concurrent searches. Overrides ride with the query.
+struct SearchOptions {
+  size_t k = 10;
+  /// > 0: HNSW layer-0 beam width for this query only.
+  int ef_search = 0;
+  /// > 0: IVFPQ coarse cells scanned for this query only.
+  int nprobe = 0;
+  /// Collect a per-query trace::QueryStats breakdown. Off: SearchResult
+  /// carries ids only and no trace machinery runs for this query.
+  bool collect_stats = true;
+};
+
+/// Offline build cost breakdown (out-param of BuildIndex).
+struct BuildStats {
+  size_t columns = 0;        ///< columns encoded + indexed
+  trace::QueryStats trace;   ///< searcher.build span tree
 };
 
 class EmbeddingSearcher {
@@ -40,15 +60,19 @@ class EmbeddingSearcher {
 
   /// Encodes and indexes the whole repository (offline phase). When a
   /// thread pool is given, the encoding stage — the dominant cost — runs
-  /// in parallel across columns.
-  void BuildIndex(const lake::Repository& repo, ThreadPool* pool = nullptr);
+  /// in parallel across columns. Fails (InvalidArgument) for an IVFPQ
+  /// backend with an empty repository: its quantizer needs training data.
+  /// On `stats`, reports the build cost breakdown.
+  [[nodiscard]] Status BuildIndex(const lake::Repository& repo,
+                                  ThreadPool* pool = nullptr,
+                                  BuildStats* stats = nullptr);
 
   /// Incrementally adds one column to an existing index (new tables
   /// landing in the lake); returns its index id (== repository position
   /// when adds mirror repository appends). HNSW and flat support this
   /// natively; IVFPQ requires a trained quantizer, i.e. a prior
-  /// BuildIndex.
-  u32 AddColumn(const lake::Column& column);
+  /// BuildIndex — without one this returns FailedPrecondition.
+  [[nodiscard]] Result<u32> AddColumn(const lake::Column& column);
 
   /// Persists / restores the built index (HNSW backend only — the others
   /// rebuild quickly). The encoder must be the same at load time. Saves
@@ -58,23 +82,37 @@ class EmbeddingSearcher {
   Status SaveIndex(const std::string& path, Env* env = nullptr) const;
   Status LoadIndex(const std::string& path, Env* env = nullptr);
 
-  struct SearchOutput {
-    std::vector<u32> ids;   ///< repository column ids, nearest first
-    double encode_ms = 0.0; ///< column-to-text + embedding time
-    double total_ms = 0.0;  ///< encode + ANNS
+  struct SearchResult {
+    std::vector<u32> ids;  ///< repository column ids, nearest first
+    /// Per-query breakdown: span tree rooted at "searcher.search" (with
+    /// "searcher.encode" / "searcher.ann" children) plus backend counters
+    /// (hnsw.dist_evals, ivfpq.probes, ...). Empty when
+    /// SearchOptions::collect_stats is false.
+    trace::QueryStats stats;
   };
 
   /// Online top-k search for one query column.
-  SearchOutput Search(const lake::Column& query, size_t k);
+  SearchResult Search(const lake::Column& query,
+                      const SearchOptions& options = {});
 
   /// Batched search across a thread pool — the accelerated path standing
-  /// in for the paper's GPU rows (see DESIGN.md). Per-query timings report
-  /// amortised wall-clock: batch time / batch size.
-  std::vector<SearchOutput> SearchBatch(
-      const std::vector<lake::Column>& queries, size_t k, ThreadPool* pool);
+  /// in for the paper's GPU rows (see DESIGN.md). Per-query stats report
+  /// the encode stage amortised (batch encode time / batch size — the
+  /// stage runs batched, so that's its true per-query cost) and the ANN
+  /// stage exactly.
+  std::vector<SearchResult> SearchBatch(
+      const std::vector<lake::Column>& queries, const SearchOptions& options,
+      ThreadPool* pool);
 
   size_t index_size() const { return index_ ? index_->size() : 0; }
-  const ann::VectorIndex& index() const { return *index_; }
+  /// The built ANN index. Calling this before BuildIndex()/LoadIndex()
+  /// is a programming error and aborts with a message (it used to
+  /// dereference null).
+  const ann::VectorIndex& index() const {
+    DJ_CHECK_MSG(index_ != nullptr,
+                 "EmbeddingSearcher::index() before BuildIndex()/LoadIndex()");
+    return *index_;
+  }
 
  private:
   ColumnEncoder* encoder_;

@@ -8,6 +8,7 @@
 #include "nn/optimizer.h"
 #include "util/binary_io.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace deepjoin {
 namespace core {
@@ -180,6 +181,7 @@ Result<TrainStats> FineTunePlm(PlmColumnEncoder& encoder,
   }
 
   for (long step = start_step; step < total; ++step) {
+    DJ_TRACE_SPAN("train.step");
     const int n = std::min<int>(config.batch_size,
                                 static_cast<int>(data.pairs.size()));
     std::vector<nn::VarPtr> xs, ys;
@@ -226,6 +228,16 @@ Result<TrainStats> FineTunePlm(PlmColumnEncoder& encoder,
     opt.Step(nn::WarmupLinearFactor(step, warmup, total));
     store.ZeroGrads();
     ++stats.steps;
+
+    {
+      static metrics::Counter* const steps_total =
+          metrics::MetricsRegistry::Global().GetCounter(
+              "dj_train_steps_total");
+      static metrics::Gauge* const loss_gauge =
+          metrics::MetricsRegistry::Global().GetGauge("dj_train_loss");
+      steps_total->Increment();
+      loss_gauge->Set(loss_value);
+    }
 
     if (config.verbose && (step % 20 == 0 || step + 1 == total)) {
       std::fprintf(stderr, "  [fine-tune %s] step %ld/%ld loss %.4f\n",

@@ -7,12 +7,32 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/metrics.h"
+
 namespace deepjoin {
 
 namespace {
 
 Status Errno(const std::string& op, const std::string& path) {
   return Status::IoError(op + " " + path + ": " + std::strerror(errno));
+}
+
+// I/O volume counters, taken at the POSIX layer so every Env wrapper
+// (fault injection included) is measured by what actually hits the OS.
+metrics::Counter* BytesWrittenCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricsRegistry::Global().GetCounter("dj_env_bytes_written");
+  return c;
+}
+metrics::Counter* BytesReadCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricsRegistry::Global().GetCounter("dj_env_bytes_read");
+  return c;
+}
+metrics::Counter* FsyncsCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricsRegistry::Global().GetCounter("dj_env_fsyncs_total");
+  return c;
 }
 
 class PosixWritableFile : public WritableFile {
@@ -33,6 +53,7 @@ class PosixWritableFile : public WritableFile {
       }
       p += w;
       n -= static_cast<size_t>(w);
+      BytesWrittenCounter()->Add(static_cast<u64>(w));
     }
     return Status::OK();
   }
@@ -41,6 +62,7 @@ class PosixWritableFile : public WritableFile {
 
   Status Sync() override {
     if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    FsyncsCounter()->Increment();
     return Status::OK();
   }
 
@@ -81,6 +103,7 @@ class PosixRandomAccessFile : public RandomAccessFile {
       done += static_cast<size_t>(r);
     }
     *bytes_read = done;
+    BytesReadCounter()->Add(done);
     return Status::OK();
   }
 

@@ -1,0 +1,242 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace deepjoin {
+namespace metrics {
+
+namespace internal {
+
+namespace {
+bool EnabledFromEnvironment() {
+  const char* v = std::getenv("DJ_METRICS");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{EnabledFromEnvironment()};
+
+}  // namespace internal
+
+bool SetEnabledForTest(bool enabled) {
+  return internal::g_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+const std::vector<double>& Histogram::DefaultLatencyBucketsMs() {
+  static const std::vector<double>* const kBuckets = [] {
+    auto b = std::make_unique<std::vector<double>>(std::vector<double>{
+        0.001, 0.0025, 0.005, 0.01,  0.025, 0.05,  0.1,    0.25,
+        0.5,   1.0,    2.5,   5.0,   10.0,  25.0,  50.0,   100.0,
+        250.0, 500.0,  1000.0, 2500.0});
+    return b.release();
+  }();
+  return *kBuckets;
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  DJ_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  DJ_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must ascend");
+  buckets_ = std::make_unique<std::atomic<u64>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(double value) {
+  if (!Enabled()) return;
+  // First bound >= value is the owning bucket (le semantics); everything
+  // beyond the last bound lands in the overflow slot.
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+// ---- Registry --------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = [] {
+    return std::make_unique<MetricsRegistry>().release();
+  }();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  DJ_CHECK_MSG(!name.empty(), "metric name must be non-empty");
+  MutexLock lock(mu_);
+  DJ_CHECK_MSG(gauges_.find(name) == gauges_.end() &&
+                   histograms_.find(name) == histograms_.end(),
+               ("metric registered under another type: " + name).c_str());
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    // make_unique cannot reach the private ctor. dj_lint: allow(naked-new)
+    std::unique_ptr<Counter> made(new Counter(name));
+    it = counters_.emplace(name, std::move(made)).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  DJ_CHECK_MSG(!name.empty(), "metric name must be non-empty");
+  MutexLock lock(mu_);
+  DJ_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                   histograms_.find(name) == histograms_.end(),
+               ("metric registered under another type: " + name).c_str());
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    // make_unique cannot reach the private ctor. dj_lint: allow(naked-new)
+    std::unique_ptr<Gauge> made(new Gauge(name));
+    it = gauges_.emplace(name, std::move(made)).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  DJ_CHECK_MSG(!name.empty(), "metric name must be non-empty");
+  const std::vector<double>& use =
+      bounds.empty() ? Histogram::DefaultLatencyBucketsMs() : bounds;
+  MutexLock lock(mu_);
+  DJ_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                   gauges_.find(name) == gauges_.end(),
+               ("metric registered under another type: " + name).c_str());
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    // make_unique cannot reach the private ctor. dj_lint: allow(naked-new)
+    std::unique_ptr<Histogram> made(new Histogram(name, use));
+    it = histograms_.emplace(name, std::move(made)).first;
+  } else {
+    DJ_CHECK_MSG(it->second->bounds() == use,
+                 ("histogram re-registered with different bounds: " + name)
+                     .c_str());
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  MutexLock lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramSample s;
+    s.name = name;
+    s.bounds = h->bounds();
+    s.buckets.resize(s.bounds.size() + 1);
+    for (size_t i = 0; i < s.buckets.size(); ++i) {
+      s.buckets[i] = h->bucket_count(i);
+    }
+    s.count = h->count();
+    s.sum = h->sum();
+    snap.histograms.push_back(std::move(s));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+// ---- Export ----------------------------------------------------------------
+
+namespace {
+
+/// Shortest-round-trip-ish double formatting shared by both exporters so
+/// golden tests are stable: integers print bare, others via %.9g.
+std::string FormatNumber(double v) {
+  if (std::isfinite(v) && v == static_cast<double>(static_cast<i64>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<i64>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += (i ? ",\n    \"" : "\n    \"") + counters[i].name +
+           "\": " + std::to_string(counters[i].value);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += (i ? ",\n    \"" : "\n    \"") + gauges[i].name +
+           "\": " + FormatNumber(gauges[i].value);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    out += (i ? ",\n    \"" : "\n    \"") + h.name + "\": {";
+    out += "\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + FormatNumber(h.sum);
+    out += ", \"bounds\": [";
+    for (size_t j = 0; j < h.bounds.size(); ++j) {
+      out += (j ? ", " : "") + FormatNumber(h.bounds[j]);
+    }
+    out += "], \"buckets\": [";
+    for (size_t j = 0; j < h.buckets.size(); ++j) {
+      out += (j ? ", " : "") + std::to_string(h.buckets[j]);
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const CounterSample& c : counters) {
+    out += "# TYPE " + c.name + " counter\n";
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSample& g : gauges) {
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " " + FormatNumber(g.value) + "\n";
+  }
+  for (const HistogramSample& h : histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    u64 cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      out += h.name + "_bucket{le=\"" + FormatNumber(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += h.buckets.back();
+    out += h.name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+           "\n";
+    out += h.name + "_sum " + FormatNumber(h.sum) + "\n";
+    out += h.name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace deepjoin

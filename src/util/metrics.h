@@ -1,0 +1,189 @@
+// Process-wide observability metrics (DESIGN.md §9): named counters,
+// gauges, and fixed-bucket histograms with lock-free atomic updates on hot
+// paths. The registry itself (name -> metric) is the only locked structure
+// and is touched once per call site: hot code caches the returned pointer
+// in a function-local static.
+//
+//   static metrics::Counter* const evals =
+//       metrics::MetricsRegistry::Global().GetCounter("dj_hnsw_dist_evals_total");
+//   evals->Add(n);
+//
+// Naming scheme: dj_<layer>_<name>, lower_snake_case. Counters end in
+// `_total`, latency histograms in `_ms`. Snapshot() produces a consistent
+// enough view for export (each sample is an atomic read; cross-metric skew
+// is acceptable) and serialises to JSON or Prometheus text exposition
+// format — `tools/dj_stats` is the reference dumper.
+//
+// Kill switch: setting the environment variable DJ_METRICS=off (or 0 /
+// false) before process start disables every Add/Set/Record at a single
+// relaxed atomic-bool test, so instrumented hot paths run at their
+// uninstrumented speed (BENCH_micro.json tracks the delta).
+#ifndef DEEPJOIN_UTIL_METRICS_H_
+#define DEEPJOIN_UTIL_METRICS_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.h"
+#include "util/mutex.h"
+
+namespace deepjoin {
+namespace metrics {
+
+namespace internal {
+/// Process-wide enable flag; initialised from DJ_METRICS at static-init
+/// time, flippable by tests/benchmarks. Relaxed: the flag gates best-effort
+/// telemetry, never correctness.
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+/// Test/bench hook for the DJ_METRICS kill switch; returns the old value.
+bool SetEnabledForTest(bool enabled);
+
+/// Monotonic event count. Relaxed 64-bit adds; wraps modulo 2^64 like every
+/// Prometheus counter (scrapers handle resets, tests pin the wrap).
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(u64 n) {
+    if (Enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  u64 value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  const std::string name_;
+  std::atomic<u64> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, current loss).
+class Gauge {
+ public:
+  void Set(double v) {
+    if (Enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(double d) {
+    if (!Enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  const std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram (Prometheus semantics: bucket i counts samples
+/// <= bounds[i], plus one overflow bucket). Bounds are immutable after
+/// registration, so Record is pure atomics — no lock, safe from any thread.
+class Histogram {
+ public:
+  /// Default latency buckets (milliseconds), 1µs .. 2.5s exponential-ish.
+  static const std::vector<double>& DefaultLatencyBucketsMs();
+
+  void Record(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative count of samples <= bounds[i] would be the Prometheus view;
+  /// bucket_count returns the *per-bucket* (non-cumulative) count.
+  /// i == bounds().size() is the overflow bucket.
+  u64 bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+
+  const std::string name_;
+  const std::vector<double> bounds_;  // ascending upper bounds
+  std::unique_ptr<std::atomic<u64>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<u64> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered metric, ready for export. Taken
+/// while writers keep incrementing: each sample is one atomic read, so a
+/// snapshot never tears a value (it may interleave across metrics).
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    u64 value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<u64> buckets;  ///< per-bucket counts; last = overflow
+    u64 count = 0;
+    double sum = 0.0;
+  };
+
+  std::vector<CounterSample> counters;      // sorted by name
+  std::vector<GaugeSample> gauges;          // sorted by name
+  std::vector<HistogramSample> histograms;  // sorted by name
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  std::string ToJson() const;
+  /// Prometheus text exposition format (# TYPE lines, cumulative
+  /// `le`-labelled buckets, _sum/_count).
+  std::string ToPrometheusText() const;
+};
+
+/// Name -> metric registry. Get* registers on first use and returns the
+/// same stable pointer forever after; metrics are never unregistered, so a
+/// cached pointer cannot dangle. Registering a name under two different
+/// metric types (or a histogram under two bucket layouts) is a programming
+/// error and aborts.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every DJ_TRACE_SPAN / built-in metric uses.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name) DJ_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) DJ_EXCLUDES(mu_);
+  /// Empty `bounds` selects Histogram::DefaultLatencyBucketsMs().
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds = {})
+      DJ_EXCLUDES(mu_);
+
+  MetricsSnapshot Snapshot() const DJ_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_
+      DJ_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_
+      DJ_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_
+      DJ_GUARDED_BY(mu_);
+};
+
+}  // namespace metrics
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_UTIL_METRICS_H_

@@ -1,11 +1,37 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+
+#include "util/metrics.h"
 
 namespace deepjoin {
 
 thread_local ThreadPool* ThreadPool::current_pool_ = nullptr;
+
+namespace {
+
+metrics::Gauge* QueueDepthGauge() {
+  static metrics::Gauge* const g =
+      metrics::MetricsRegistry::Global().GetGauge("dj_threadpool_queue_depth");
+  return g;
+}
+
+metrics::Counter* TasksTotalCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "dj_threadpool_tasks_total");
+  return c;
+}
+
+metrics::Histogram* TaskLatencyHistogram() {
+  static metrics::Histogram* const h =
+      metrics::MetricsRegistry::Global().GetHistogram("dj_threadpool_task_ms");
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -33,6 +59,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     if (!stop_) {
       tasks_.push(std::move(task));
       ++in_flight_;
+      TasksTotalCounter()->Increment();
+      QueueDepthGauge()->Set(static_cast<double>(tasks_.size()));
       task_cv_.NotifyOne();
       return;
     }
@@ -104,8 +132,18 @@ void ThreadPool::WorkerLoop() {
       while (IdleLocked()) task_cv_.Wait(mu_);
       if (DrainedLocked()) break;
       task = TakeTaskLocked();
+      QueueDepthGauge()->Set(static_cast<double>(tasks_.size()));
     }
-    task();
+    if (metrics::Enabled()) {
+      const auto start = std::chrono::steady_clock::now();
+      task();
+      TaskLatencyHistogram()->Record(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    } else {
+      task();
+    }
     {
       MutexLock lock(mu_);
       --in_flight_;

@@ -1,0 +1,135 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace deepjoin {
+namespace trace {
+
+namespace {
+thread_local TraceCollector* tls_collector = nullptr;
+}  // namespace
+
+// ---- SpanNode / QueryStats -------------------------------------------------
+
+const SpanNode* SpanNode::Find(const std::string& span_name) const {
+  if (name == span_name) return this;
+  for (const SpanNode& child : children) {
+    if (const SpanNode* hit = child.Find(span_name)) return hit;
+  }
+  return nullptr;
+}
+
+double QueryStats::SpanMs(const std::string& span_name) const {
+  const SpanNode* hit = root.Find(span_name);
+  return hit != nullptr ? hit->elapsed_ms : 0.0;
+}
+
+u64 QueryStats::CounterValue(const std::string& counter_name) const {
+  for (const CounterDelta& c : counters) {
+    if (c.name == counter_name) return c.value;
+  }
+  return 0;
+}
+
+namespace {
+void AppendTree(const SpanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", node.elapsed_ms);
+  *out += node.name + ": " + buf + " ms\n";
+  for (const SpanNode& child : node.children) {
+    AppendTree(child, depth + 1, out);
+  }
+}
+}  // namespace
+
+std::string QueryStats::ToString() const {
+  std::string out;
+  AppendTree(root, 0, &out);
+  for (const CounterDelta& c : counters) {
+    out += c.name + " = " + std::to_string(c.value) + "\n";
+  }
+  return out;
+}
+
+// ---- TraceCollector --------------------------------------------------------
+
+TraceCollector::TraceCollector(bool enabled) : enabled_(enabled) {
+  if (!enabled_) return;
+  prev_ = tls_collector;
+  tls_collector = this;
+}
+
+TraceCollector::~TraceCollector() {
+  if (!enabled_) return;
+  DJ_CHECK_MSG(tls_collector == this,
+               "TraceCollector destroyed out of install order");
+  tls_collector = prev_;
+}
+
+TraceCollector* TraceCollector::Current() { return tls_collector; }
+
+void TraceCollector::OpenSpan(const char* name) {
+  SpanNode node;
+  node.name = name;
+  stack_.push_back(std::move(node));
+}
+
+void TraceCollector::CloseSpan(double elapsed_ms) {
+  DJ_CHECK_MSG(!stack_.empty(), "CloseSpan with no open span");
+  SpanNode done = std::move(stack_.back());
+  stack_.pop_back();
+  done.elapsed_ms = elapsed_ms;
+  if (stack_.empty()) {
+    roots_.push_back(std::move(done));
+  } else {
+    stack_.back().children.push_back(std::move(done));
+  }
+}
+
+void TraceCollector::AddCount(const char* name, u64 delta) {
+  for (CounterDelta& c : counts_) {
+    if (c.name == name) {
+      c.value += delta;
+      return;
+    }
+  }
+  counts_.push_back({name, delta});
+}
+
+QueryStats TraceCollector::Finish() {
+  DJ_CHECK_MSG(stack_.empty(), "Finish() with a span still open");
+  QueryStats stats;
+  if (roots_.size() == 1) {
+    stats.root = std::move(roots_.front());
+  } else {
+    stats.root.name = "query";
+    for (SpanNode& r : roots_) {
+      stats.root.elapsed_ms += r.elapsed_ms;
+      stats.root.children.push_back(std::move(r));
+    }
+  }
+  roots_.clear();
+  stats.counters = std::move(counts_);
+  counts_.clear();
+  std::sort(stats.counters.begin(), stats.counters.end(),
+            [](const CounterDelta& a, const CounterDelta& b) {
+              return a.name < b.name;
+            });
+  return stats;
+}
+
+// ---- Span -> histogram name ------------------------------------------------
+
+std::string SpanHistogramName(const char* span_name) {
+  std::string out = "dj_";
+  for (const char* p = span_name; *p != '\0'; ++p) {
+    out += (*p == '.' || *p == '-') ? '_' : *p;
+  }
+  out += "_ms";
+  return out;
+}
+
+}  // namespace trace
+}  // namespace deepjoin

@@ -1,0 +1,178 @@
+// Scoped trace spans (DESIGN.md §9). A span is a named, timed region:
+//
+//   void HnswIndex::Search(...) {
+//     DJ_TRACE_SPAN("hnsw.search");
+//     ...
+//   }
+//
+// Every span always feeds a process-wide latency histogram (derived name:
+// "hnsw.search" -> "dj_hnsw_search_ms", registered once per call site and
+// cached in a function-local static). When a TraceCollector is installed on
+// the current thread — the searcher does this when
+// SearchOptions::collect_stats is set — the same spans additionally build a
+// per-query tree of nested timings plus per-query counter deltas, returned
+// to the caller as QueryStats.
+//
+// Cost model: with metrics enabled and no collector, a span is two
+// steady_clock reads and one histogram Record (pure relaxed atomics). With
+// the DJ_METRICS=off kill switch and no collector, a span reads one relaxed
+// atomic bool and touches no clock at all.
+#ifndef DEEPJOIN_UTIL_TRACE_H_
+#define DEEPJOIN_UTIL_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/metrics.h"
+
+namespace deepjoin {
+namespace trace {
+
+/// One timed region in a per-query breakdown. Children are spans that
+/// opened (and closed) while this one was open, in open order.
+struct SpanNode {
+  std::string name;
+  double elapsed_ms = 0.0;
+  std::vector<SpanNode> children;
+
+  /// Depth-first search for a span by name (this node included); nullptr if
+  /// absent. With duplicate names the first in open order wins.
+  const SpanNode* Find(const std::string& span_name) const;
+};
+
+/// Per-query increment of a named counter (e.g. distance evaluations for
+/// this one search, as opposed to the process-lifetime metrics::Counter).
+struct CounterDelta {
+  std::string name;
+  u64 value = 0;
+};
+
+/// The per-query breakdown carried by SearchResult: a span tree rooted at
+/// the outermost span plus the counter deltas recorded under it.
+struct QueryStats {
+  SpanNode root;
+  std::vector<CounterDelta> counters;  // sorted by name
+
+  /// Wall time of the outermost span.
+  double total_ms() const { return root.elapsed_ms; }
+  /// Elapsed ms of the named span anywhere in the tree; 0 if it never ran.
+  double SpanMs(const std::string& span_name) const;
+  /// Per-query value of the named counter; 0 if never incremented.
+  u64 CounterValue(const std::string& counter_name) const;
+
+  /// Human-readable indented tree + counters, for CLI breakdowns.
+  std::string ToString() const;
+};
+
+/// Builds a QueryStats from the spans/counts that fire on this thread while
+/// the collector is installed. Install is scoped and re-entrant: the
+/// constructor saves the thread's previous collector and the destructor
+/// restores it, so a searcher nested inside another traced component grafts
+/// cleanly instead of clobbering.
+///
+/// Not thread-safe; a collector observes exactly one thread. Parallel
+/// workers each install their own.
+class TraceCollector {
+ public:
+  /// enabled=false constructs an inert collector (nothing installed,
+  /// Finish() returns an empty QueryStats) so call sites can write
+  /// `TraceCollector tc(options.collect_stats);` without branching.
+  explicit TraceCollector(bool enabled);
+  ~TraceCollector();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// The collector installed on this thread, or nullptr.
+  static TraceCollector* Current();
+
+  /// Called by ScopedSpan; public only for that and for tests.
+  void OpenSpan(const char* name);
+  void CloseSpan(double elapsed_ms);
+  /// Aggregates by name (linear scan — a query touches a handful of names).
+  void AddCount(const char* name, u64 delta);
+
+  /// Consumes the collected spans. If exactly one top-level span was
+  /// recorded (the common case: the caller wrapped its whole body in one
+  /// DJ_TRACE_SPAN) it becomes the root; otherwise a synthetic "query" root
+  /// whose elapsed is the sum of its children wraps them. Counters come out
+  /// sorted by name. The collector is empty afterwards.
+  QueryStats Finish();
+
+ private:
+  const bool enabled_;
+  TraceCollector* prev_ = nullptr;  // restored on destruction
+  std::vector<SpanNode> stack_;     // open spans, outermost first
+  std::vector<SpanNode> roots_;     // closed top-level spans
+  std::vector<CounterDelta> counts_;
+};
+
+/// Derived histogram name for a span: "hnsw.search" -> "dj_hnsw_search_ms".
+std::string SpanHistogramName(const char* span_name);
+
+/// Records a per-query counter delta if a collector is installed on this
+/// thread; no-op (one thread-local read) otherwise. This is the per-query
+/// companion to metrics::Counter::Add — hot paths typically do both.
+inline void Count(const char* name, u64 delta) {
+  if (TraceCollector* c = TraceCollector::Current()) c->AddCount(name, delta);
+}
+
+/// RAII timed region. Prefer the DJ_TRACE_SPAN macro, which also registers
+/// and caches the backing histogram.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, metrics::Histogram* histogram)
+      : histogram_(histogram), collector_(TraceCollector::Current()) {
+    if (metrics::Enabled() || collector_ != nullptr) {
+      start_ = Clock::now();
+      active_ = true;
+      if (collector_ != nullptr) collector_->OpenSpan(name);
+    }
+  }
+
+  ~ScopedSpan() {
+    if (!active_) return;
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start_)
+            .count();
+    if (histogram_ != nullptr && metrics::Enabled()) {
+      histogram_->Record(elapsed_ms);
+    }
+    if (collector_ != nullptr) collector_->CloseSpan(elapsed_ms);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  metrics::Histogram* const histogram_;
+  TraceCollector* const collector_;
+  Clock::time_point start_{};
+  bool active_ = false;
+};
+
+}  // namespace trace
+}  // namespace deepjoin
+
+#define DJ_TRACE_CONCAT_INNER_(a, b) a##b
+#define DJ_TRACE_CONCAT_(a, b) DJ_TRACE_CONCAT_INNER_(a, b)
+
+#define DJ_TRACE_SPAN_IMPL_(span_name, id)                                 \
+  static ::deepjoin::metrics::Histogram* const DJ_TRACE_CONCAT_(           \
+      dj_span_histogram_, id) =                                            \
+      ::deepjoin::metrics::MetricsRegistry::Global().GetHistogram(         \
+          ::deepjoin::trace::SpanHistogramName(span_name));                \
+  ::deepjoin::trace::ScopedSpan DJ_TRACE_CONCAT_(dj_span_, id)(            \
+      (span_name), DJ_TRACE_CONCAT_(dj_span_histogram_, id))
+
+/// Times the enclosing scope as span `span_name` (a string literal like
+/// "hnsw.search"), feeding the dj_<...>_ms histogram and, when a
+/// TraceCollector is installed, the per-query QueryStats tree.
+#define DJ_TRACE_SPAN(span_name) DJ_TRACE_SPAN_IMPL_(span_name, __COUNTER__)
+
+#endif  // DEEPJOIN_UTIL_TRACE_H_

@@ -107,12 +107,13 @@ TEST(HnswTest, EfSearchImprovesRecall) {
   flat.AddBatch(data.data(), n);
 
   auto mean_recall = [&](int ef) {
-    hnsw.set_ef_search(ef);
+    AnnSearchParams params;
+    params.ef_search = ef;
     Rng qrng(11);
     double sum = 0.0;
     for (int q = 0; q < 20; ++q) {
       auto query = RandomVectors(1, dim, qrng);
-      sum += RecallAtK(hnsw.Search(query.data(), 10),
+      sum += RecallAtK(hnsw.Search(query.data(), 10, params),
                        flat.Search(query.data(), 10));
     }
     return sum / 20;

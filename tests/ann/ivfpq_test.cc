@@ -86,13 +86,14 @@ TEST(IvfPqTest, MoreProbesNeverHurtRecallMuch) {
   flat.AddBatch(data.data(), n);
 
   auto mean_recall = [&](int nprobe) {
-    index.set_nprobe(nprobe);
+    AnnSearchParams params;
+    params.nprobe = nprobe;
     Rng qrng(17);
     double sum = 0.0;
     for (int q = 0; q < 15; ++q) {
       const size_t probe = qrng.UniformU64(n);
       auto exact = flat.Search(&data[probe * dim], 5);
-      auto approx = index.Search(&data[probe * dim], 5);
+      auto approx = index.Search(&data[probe * dim], 5, params);
       size_t hits = 0;
       for (const auto& a : approx) {
         for (const auto& e : exact) {

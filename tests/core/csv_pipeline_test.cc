@@ -75,13 +75,13 @@ TEST_F(CsvPipelineTest, EndToEndThroughFiles) {
 
   SearcherConfig sc;
   EmbeddingSearcher searcher(loaded->get(), sc);
-  searcher.BuildIndex(*repo);
+  ASSERT_TRUE(searcher.BuildIndex(*repo).ok());
   auto tok = join::TokenizedRepository::Build(*repo);
   TwoStageSearcher two_stage(&searcher, &tok, nullptr, nullptr,
                              TwoStageConfig{});
 
   for (const auto& q : queries_) {
-    auto out = two_stage.Search(q, 5);
+    auto out = two_stage.Search(q, {.k = 5});
     ASSERT_EQ(out.results.size(), 5u);
     for (const auto& s : out.results) {
       EXPECT_LT(s.id, repo->size());

@@ -41,7 +41,7 @@ class DeepJoinE2ETest : public ::testing::Test {
     cfg.finetune.max_steps = 60;
     cfg.finetune.lr = 5e-4;
     dj_ = DeepJoin::Train(*sample_, *embedder_, cfg);
-    dj_->BuildIndex(*repo_);
+    DJ_CHECK(dj_->BuildIndex(*repo_).ok());
   }
 
   static void TearDownTestSuite() {
@@ -73,11 +73,11 @@ TEST_F(DeepJoinE2ETest, TrainingProducedPositivesAndReducedLoss) {
   EXPECT_LT(dj_->train_stats().final_loss, dj_->train_stats().first_loss);
 }
 
-TEST_F(DeepJoinE2ETest, SearchReturnsKResultsWithTimings) {
-  auto out = dj_->Search((*queries_)[0], 10);
+TEST_F(DeepJoinE2ETest, SearchReturnsKResultsWithStats) {
+  auto out = dj_->Search((*queries_)[0], {.k = 10});
   EXPECT_EQ(out.ids.size(), 10u);
-  EXPECT_GT(out.encode_ms, 0.0);
-  EXPECT_GE(out.total_ms, out.encode_ms);
+  EXPECT_GT(out.stats.SpanMs("searcher.encode"), 0.0);
+  EXPECT_GE(out.stats.total_ms(), out.stats.SpanMs("searcher.encode"));
 }
 
 TEST_F(DeepJoinE2ETest, PrecisionBeatsRandomByAWideMargin) {
@@ -88,7 +88,7 @@ TEST_F(DeepJoinE2ETest, PrecisionBeatsRandomByAWideMargin) {
     auto exact = join::ExactEquiTopK(tok, qt, 10);
     std::vector<u32> exact_ids;
     for (const auto& s : exact) exact_ids.push_back(s.id);
-    auto out = dj_->Search(q, 10);
+    auto out = dj_->Search(q, {.k = 10});
     precisions.push_back(eval::PrecisionAtK(out.ids, exact_ids));
   }
   const double mean_p = eval::Mean(precisions);
@@ -105,7 +105,7 @@ TEST_F(DeepJoinE2ETest, NdcgIsReasonable) {
     auto exact = join::ExactEquiTopK(tok, qt, 10);
     std::vector<u32> exact_ids;
     for (const auto& s : exact) exact_ids.push_back(s.id);
-    auto out = dj_->Search(q, 10);
+    auto out = dj_->Search(q, {.k = 10});
     auto jn_of = [&](u32 id) {
       return join::EquiJoinability(qt, tok.columns()[id]);
     };
@@ -116,10 +116,10 @@ TEST_F(DeepJoinE2ETest, NdcgIsReasonable) {
 
 TEST_F(DeepJoinE2ETest, BatchedSearchMatchesSingleSearch) {
   ThreadPool pool(2);
-  auto batched = dj_->SearchBatch(*queries_, 10, &pool);
+  auto batched = dj_->SearchBatch(*queries_, {.k = 10}, &pool);
   ASSERT_EQ(batched.size(), queries_->size());
   for (size_t i = 0; i < queries_->size(); ++i) {
-    auto single = dj_->Search((*queries_)[i], 10);
+    auto single = dj_->Search((*queries_)[i], {.k = 10});
     EXPECT_EQ(batched[i].ids, single.ids) << "query " << i;
   }
 }

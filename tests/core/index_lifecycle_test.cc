@@ -40,31 +40,36 @@ class IndexLifecycleTest : public ::testing::Test {
 TEST_F(IndexLifecycleTest, ParallelBuildMatchesSerialBuild) {
   SearcherConfig sc;
   EmbeddingSearcher serial(encoder_.get(), sc);
-  serial.BuildIndex(repo_);
+  ASSERT_TRUE(serial.BuildIndex(repo_).ok());
   EmbeddingSearcher parallel(encoder_.get(), sc);
   ThreadPool pool(3);
-  parallel.BuildIndex(repo_, &pool);
+  BuildStats build_stats;
+  ASSERT_TRUE(parallel.BuildIndex(repo_, &pool, &build_stats).ok());
+  EXPECT_EQ(build_stats.columns, repo_.size());
+  EXPECT_GT(build_stats.trace.total_ms(), 0.0);
   ASSERT_EQ(parallel.index_size(), serial.index_size());
   for (const auto& q : queries_) {
-    EXPECT_EQ(parallel.Search(q, 10).ids, serial.Search(q, 10).ids);
+    EXPECT_EQ(parallel.Search(q, {.k = 10}).ids,
+              serial.Search(q, {.k = 10}).ids);
   }
 }
 
 TEST_F(IndexLifecycleTest, IncrementalAddMatchesBulkBuild) {
   SearcherConfig sc;
   EmbeddingSearcher bulk(encoder_.get(), sc);
-  bulk.BuildIndex(repo_);
+  ASSERT_TRUE(bulk.BuildIndex(repo_).ok());
   EmbeddingSearcher incremental(encoder_.get(), sc);
   for (size_t i = 0; i < repo_.size(); ++i) {
-    EXPECT_EQ(incremental.AddColumn(repo_.column(static_cast<u32>(i))),
-              static_cast<u32>(i));
+    auto id = incremental.AddColumn(repo_.column(static_cast<u32>(i)));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, static_cast<u32>(i));
   }
   // HNSW construction is order-dependent, so graphs may differ slightly;
   // the result sets must still agree heavily.
   size_t agree = 0, total = 0;
   for (const auto& q : queries_) {
-    auto a = bulk.Search(q, 10).ids;
-    auto b = incremental.Search(q, 10).ids;
+    auto a = bulk.Search(q, {.k = 10}).ids;
+    auto b = incremental.Search(q, {.k = 10}).ids;
     for (u32 x : a) {
       for (u32 y : b) {
         if (x == y) {
@@ -81,26 +86,28 @@ TEST_F(IndexLifecycleTest, IncrementalAddMatchesBulkBuild) {
 TEST_F(IndexLifecycleTest, AddAfterBuildExtendsIndex) {
   SearcherConfig sc;
   EmbeddingSearcher searcher(encoder_.get(), sc);
-  searcher.BuildIndex(repo_);
-  const u32 id = searcher.AddColumn(queries_[0]);
-  EXPECT_EQ(id, static_cast<u32>(repo_.size()));
+  ASSERT_TRUE(searcher.BuildIndex(repo_).ok());
+  auto id = searcher.AddColumn(queries_[0]);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, static_cast<u32>(repo_.size()));
   // The freshly added column is its own nearest neighbour.
-  auto out = searcher.Search(queries_[0], 1);
+  auto out = searcher.Search(queries_[0], {.k = 1});
   ASSERT_EQ(out.ids.size(), 1u);
-  EXPECT_EQ(out.ids[0], id);
+  EXPECT_EQ(out.ids[0], *id);
 }
 
 TEST_F(IndexLifecycleTest, SaveLoadRoundTripPreservesResults) {
   SearcherConfig sc;
   EmbeddingSearcher original(encoder_.get(), sc);
-  original.BuildIndex(repo_);
+  ASSERT_TRUE(original.BuildIndex(repo_).ok());
   ASSERT_TRUE(original.SaveIndex(path_).ok());
 
   EmbeddingSearcher restored(encoder_.get(), sc);
   ASSERT_TRUE(restored.LoadIndex(path_).ok());
   EXPECT_EQ(restored.index_size(), repo_.size());
   for (const auto& q : queries_) {
-    EXPECT_EQ(restored.Search(q, 10).ids, original.Search(q, 10).ids);
+    EXPECT_EQ(restored.Search(q, {.k = 10}).ids,
+              original.Search(q, {.k = 10}).ids);
   }
 }
 
@@ -108,7 +115,7 @@ TEST_F(IndexLifecycleTest, SaveRequiresHnswBackend) {
   SearcherConfig sc;
   sc.backend = AnnBackend::kFlat;
   EmbeddingSearcher searcher(encoder_.get(), sc);
-  searcher.BuildIndex(repo_);
+  ASSERT_TRUE(searcher.BuildIndex(repo_).ok());
   EXPECT_EQ(searcher.SaveIndex(path_).code(),
             StatusCode::kFailedPrecondition);
 }
@@ -116,7 +123,7 @@ TEST_F(IndexLifecycleTest, SaveRequiresHnswBackend) {
 TEST_F(IndexLifecycleTest, LoadRejectsDimensionMismatch) {
   SearcherConfig sc;
   EmbeddingSearcher original(encoder_.get(), sc);
-  original.BuildIndex(repo_);
+  ASSERT_TRUE(original.BuildIndex(repo_).ok());
   ASSERT_TRUE(original.SaveIndex(path_).ok());
 
   FastTextConfig other_fc;

@@ -22,7 +22,7 @@ class RerankerTest : public ::testing::Test {
                                                        TransformConfig{});
     SearcherConfig sc;
     searcher_ = std::make_unique<EmbeddingSearcher>(encoder_.get(), sc);
-    searcher_->BuildIndex(repo_);
+    ASSERT_TRUE(searcher_->BuildIndex(repo_).ok());
     tok_ = std::make_unique<join::TokenizedRepository>(
         join::TokenizedRepository::Build(repo_));
     store_ = std::make_unique<join::ColumnVectorStore>(
@@ -43,7 +43,7 @@ TEST_F(RerankerTest, ScoresAreExactJoinability) {
   TwoStageSearcher two_stage(searcher_.get(), tok_.get(), nullptr, nullptr,
                              cfg);
   for (const auto& q : queries_) {
-    auto out = two_stage.Search(q, 5);
+    auto out = two_stage.Search(q, {.k = 5});
     const auto qt = tok_->EncodeQuery(q);
     for (const auto& s : out.results) {
       EXPECT_DOUBLE_EQ(s.score,
@@ -69,10 +69,10 @@ TEST_F(RerankerTest, RerankingNeverHurtsPrecision) {
     std::vector<u32> exact_ids;
     for (const auto& s : exact) exact_ids.push_back(s.id);
 
-    auto stage1 = searcher_->Search(q, k);
+    auto stage1 = searcher_->Search(q, {.k = k});
     p_one += eval::PrecisionAtK(stage1.ids, exact_ids);
 
-    auto out = two_stage.Search(q, k);
+    auto out = two_stage.Search(q, {.k = k});
     std::vector<u32> two_ids;
     for (const auto& s : out.results) two_ids.push_back(s.id);
     p_two += eval::PrecisionAtK(two_ids, exact_ids);
@@ -87,7 +87,7 @@ TEST_F(RerankerTest, SemanticModeUsesVectorMatching) {
   cfg.tau = 0.9f;
   TwoStageSearcher two_stage(searcher_.get(), nullptr, store_.get(),
                              embedder_.get(), cfg);
-  auto out = two_stage.Search(queries_[0], 5);
+  auto out = two_stage.Search(queries_[0], {.k = 5});
   ASSERT_FALSE(out.results.empty());
   const auto qv =
       join::ColumnVectorStore::EmbedColumn(queries_[0], *embedder_);
@@ -101,12 +101,29 @@ TEST_F(RerankerTest, SemanticModeUsesVectorMatching) {
   }
 }
 
-TEST_F(RerankerTest, ReportsTimingSplit) {
+TEST_F(RerankerTest, ReportsNestedStageStats) {
   TwoStageConfig cfg;
   TwoStageSearcher two_stage(searcher_.get(), tok_.get(), nullptr, nullptr,
                              cfg);
-  auto out = two_stage.Search(queries_[0], 5);
-  EXPECT_GE(out.total_ms, out.encode_ms);
+  auto out = two_stage.Search(queries_[0], {.k = 5});
+  EXPECT_EQ(out.stats.root.name, "twostage.search");
+  // Stage 1 (ANN shortlist) is grafted in as a nested searcher.search
+  // span; the rerank pass has its own span; both fit inside the total.
+  EXPECT_GT(out.stats.SpanMs("searcher.search"), 0.0);
+  EXPECT_GE(out.stats.total_ms(), out.stats.SpanMs("searcher.search"));
+  EXPECT_GE(out.stats.total_ms(), out.stats.SpanMs("twostage.rerank"));
+  // The candidate-pool counter reflects pool_multiplier * k.
+  EXPECT_GE(out.stats.CounterValue("twostage.candidates"), 5u);
+}
+
+TEST_F(RerankerTest, CollectStatsFalseLeavesStatsEmpty) {
+  TwoStageConfig cfg;
+  TwoStageSearcher two_stage(searcher_.get(), tok_.get(), nullptr, nullptr,
+                             cfg);
+  auto out =
+      two_stage.Search(queries_[0], {.k = 5, .collect_stats = false});
+  ASSERT_EQ(out.results.size(), 5u);
+  EXPECT_TRUE(out.stats.root.name.empty());
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 // contract comment in src/core/encoders.h). An encoder that grows a shared
 // mutable cache without a Mutex shows up here as a TSan report under
 // `tools/check.sh` and as a determinism failure everywhere else.
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "core/searcher.h"
@@ -39,17 +41,18 @@ TEST_F(SearcherConcurrentTest, ParallelBuildMatchesSerialBuild) {
   cfg.backend = AnnBackend::kFlat;
 
   EmbeddingSearcher serial(encoder_.get(), cfg);
-  serial.BuildIndex(repo_);
+  ASSERT_TRUE(serial.BuildIndex(repo_).ok());
 
   ThreadPool pool(4);
   EmbeddingSearcher parallel(encoder_.get(), cfg);
-  parallel.BuildIndex(repo_, &pool);
+  ASSERT_TRUE(parallel.BuildIndex(repo_, &pool).ok());
 
   ASSERT_EQ(serial.index_size(), parallel.index_size());
   // Same encoder, same repository: a racy Encode would perturb embeddings
   // and flip rankings; the flat backend is exact, so results must agree.
   for (const auto& q : queries_) {
-    EXPECT_EQ(serial.Search(q, 10).ids, parallel.Search(q, 10).ids);
+    EXPECT_EQ(serial.Search(q, {.k = 10}).ids,
+              parallel.Search(q, {.k = 10}).ids);
   }
 }
 
@@ -57,14 +60,52 @@ TEST_F(SearcherConcurrentTest, PooledSearchBatchMatchesSerialSearches) {
   SearcherConfig cfg;
   cfg.backend = AnnBackend::kHnsw;
   EmbeddingSearcher searcher(encoder_.get(), cfg);
-  searcher.BuildIndex(repo_);
+  ASSERT_TRUE(searcher.BuildIndex(repo_).ok());
 
   ThreadPool pool(4);
-  const auto batched = searcher.SearchBatch(queries_, 10, &pool);
+  const auto batched = searcher.SearchBatch(queries_, {.k = 10}, &pool);
   ASSERT_EQ(batched.size(), queries_.size());
   for (size_t i = 0; i < queries_.size(); ++i) {
-    EXPECT_EQ(batched[i].ids, searcher.Search(queries_[i], 10).ids)
+    EXPECT_EQ(batched[i].ids, searcher.Search(queries_[i], {.k = 10}).ids)
         << "query " << i;
+  }
+}
+
+TEST_F(SearcherConcurrentTest, ConcurrentSearchesWithPerQueryEfSearch) {
+  // The old API set ef_search by mutating the searcher's config between
+  // calls, which raced when threads wanted different beam widths. The
+  // per-query override in SearchOptions must be free of shared writes:
+  // every thread hammers one searcher with its own ef_search while
+  // collecting stats, and each result must match a serial rerun.
+  SearcherConfig cfg;
+  cfg.backend = AnnBackend::kHnsw;
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
+  ASSERT_TRUE(searcher.BuildIndex(repo_).ok());
+
+  constexpr int kThreads = 4;
+  const int efs[kThreads] = {16, 48, 96, 192};
+  std::vector<std::vector<std::vector<u32>>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      got[t].reserve(queries_.size());
+      for (const auto& q : queries_) {
+        auto out = searcher.Search(q, {.k = 10, .ef_search = efs[t]});
+        EXPECT_EQ(out.stats.root.name, "searcher.search");
+        got[t].push_back(std::move(out.ids));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      EXPECT_EQ(got[t][i],
+                searcher.Search(queries_[i], {.k = 10, .ef_search = efs[t]})
+                    .ids)
+          << "thread " << t << " query " << i;
+    }
   }
 }
 

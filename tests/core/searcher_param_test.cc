@@ -29,7 +29,7 @@ class SearcherBackendTest : public ::testing::TestWithParam<AnnBackend> {
     SearcherConfig flat_cfg;
     flat_cfg.backend = AnnBackend::kFlat;
     exact_ = std::make_unique<EmbeddingSearcher>(encoder_.get(), flat_cfg);
-    exact_->BuildIndex(*repo_);
+    DJ_CHECK(exact_->BuildIndex(*repo_).ok());
   }
   static void TearDownTestSuite() {
     exact_.reset();
@@ -57,9 +57,9 @@ TEST_P(SearcherBackendTest, ValidDedupedKResults) {
   cfg.backend = GetParam();
   cfg.ivfpq_m = 4;
   EmbeddingSearcher searcher(encoder_.get(), cfg);
-  searcher.BuildIndex(*repo_);
+  ASSERT_TRUE(searcher.BuildIndex(*repo_).ok());
   for (const auto& q : *queries_) {
-    auto out = searcher.Search(q, 10);
+    auto out = searcher.Search(q, {.k = 10});
     EXPECT_EQ(out.ids.size(), 10u);
     std::unordered_set<u32> unique(out.ids.begin(), out.ids.end());
     EXPECT_EQ(unique.size(), out.ids.size()) << "duplicate result ids";
@@ -73,11 +73,11 @@ TEST_P(SearcherBackendTest, AgreesWithExactOnMostResults) {
   cfg.ivfpq_m = 4;
   cfg.ivfpq_nprobe = 16;
   EmbeddingSearcher searcher(encoder_.get(), cfg);
-  searcher.BuildIndex(*repo_);
+  ASSERT_TRUE(searcher.BuildIndex(*repo_).ok());
   size_t agree = 0, total = 0;
   for (const auto& q : *queries_) {
-    auto approx = searcher.Search(q, 10).ids;
-    auto exact = exact_->Search(q, 10).ids;
+    auto approx = searcher.Search(q, {.k = 10}).ids;
+    auto exact = exact_->Search(q, {.k = 10}).ids;
     for (u32 a : approx) {
       for (u32 e : exact) {
         if (a == e) {
@@ -101,8 +101,8 @@ TEST_P(SearcherBackendTest, KLargerThanRepositoryClamps) {
   EmbeddingSearcher searcher(encoder_.get(), cfg);
   lake::Repository tiny;
   for (size_t i = 0; i < 5; ++i) tiny.Add(repo_->column(static_cast<u32>(i)));
-  searcher.BuildIndex(tiny);
-  auto out = searcher.Search((*queries_)[0], 50);
+  ASSERT_TRUE(searcher.BuildIndex(tiny).ok());
+  auto out = searcher.Search((*queries_)[0], {.k = 50});
   EXPECT_LE(out.ids.size(), 5u);
   EXPECT_GE(out.ids.size(), 1u);
 }

@@ -34,9 +34,9 @@ TEST_F(SearcherTest, AllBackendsReturnKResults) {
     cfg.backend = backend;
     cfg.ivfpq_m = 4;
     EmbeddingSearcher searcher(encoder_.get(), cfg);
-    searcher.BuildIndex(repo_);
+    ASSERT_TRUE(searcher.BuildIndex(repo_).ok());
     EXPECT_EQ(searcher.index_size(), repo_.size());
-    auto out = searcher.Search(queries_[0], 10);
+    auto out = searcher.Search(queries_[0], {.k = 10});
     EXPECT_EQ(out.ids.size(), 10u)
         << "backend " << static_cast<int>(backend);
   }
@@ -50,12 +50,12 @@ TEST_F(SearcherTest, HnswAgreesWithFlatMostOfTheTime) {
   hnsw_cfg.hnsw_ef_search = 96;
   EmbeddingSearcher flat(encoder_.get(), flat_cfg);
   EmbeddingSearcher hnsw(encoder_.get(), hnsw_cfg);
-  flat.BuildIndex(repo_);
-  hnsw.BuildIndex(repo_);
+  ASSERT_TRUE(flat.BuildIndex(repo_).ok());
+  ASSERT_TRUE(hnsw.BuildIndex(repo_).ok());
   double recall = 0;
   for (const auto& q : queries_) {
-    auto ef = flat.Search(q, 10).ids;
-    auto eh = hnsw.Search(q, 10).ids;
+    auto ef = flat.Search(q, {.k = 10}).ids;
+    auto eh = hnsw.Search(q, {.k = 10}).ids;
     size_t hits = 0;
     for (u32 a : eh) {
       for (u32 b : ef) {
@@ -70,32 +70,107 @@ TEST_F(SearcherTest, HnswAgreesWithFlatMostOfTheTime) {
   EXPECT_GT(recall / queries_.size(), 0.85);
 }
 
-TEST_F(SearcherTest, TimingsArePopulated) {
+TEST_F(SearcherTest, QueryStatsSpansNestAndCoverTotal) {
   SearcherConfig cfg;
   EmbeddingSearcher searcher(encoder_.get(), cfg);
-  searcher.BuildIndex(repo_);
-  auto out = searcher.Search(queries_[0], 5);
-  EXPECT_GE(out.total_ms, out.encode_ms);
-  EXPECT_GE(out.encode_ms, 0.0);
+  ASSERT_TRUE(searcher.BuildIndex(repo_).ok());
+  auto out = searcher.Search(queries_[0], {.k = 5});
+  EXPECT_EQ(out.stats.root.name, "searcher.search");
+  const double encode = out.stats.SpanMs("searcher.encode");
+  const double ann = out.stats.SpanMs("searcher.ann");
+  EXPECT_GE(encode, 0.0);
+  EXPECT_GE(ann, 0.0);
+  // Child spans never exceed the enclosing span.
+  EXPECT_GE(out.stats.total_ms(), encode);
+  EXPECT_GE(out.stats.total_ms(), ann);
 }
 
-TEST_F(SearcherTest, BatchAmortisesTimings) {
+TEST_F(SearcherTest, CollectStatsFalseSkipsTrace) {
   SearcherConfig cfg;
   EmbeddingSearcher searcher(encoder_.get(), cfg);
-  searcher.BuildIndex(repo_);
+  ASSERT_TRUE(searcher.BuildIndex(repo_).ok());
+  auto out = searcher.Search(queries_[0], {.k = 5, .collect_stats = false});
+  EXPECT_EQ(out.ids.size(), 5u);
+  EXPECT_TRUE(out.stats.root.name.empty());
+  EXPECT_EQ(out.stats.total_ms(), 0.0);
+}
+
+TEST_F(SearcherTest, BatchAmortisesEncodeIntoPerQueryStats) {
+  SearcherConfig cfg;
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
+  ASSERT_TRUE(searcher.BuildIndex(repo_).ok());
   ThreadPool pool(2);
-  auto outs = searcher.SearchBatch(queries_, 5, &pool);
+  auto outs = searcher.SearchBatch(queries_, {.k = 5}, &pool);
   ASSERT_EQ(outs.size(), queries_.size());
   for (const auto& o : outs) {
     EXPECT_EQ(o.ids.size(), 5u);
-    EXPECT_GT(o.total_ms, 0.0);
+    EXPECT_GT(o.stats.total_ms(), 0.0);
+    // Per-query root = amortised encode + this query's ANN.
+    const double sum = o.stats.SpanMs("searcher.encode") +
+                       o.stats.SpanMs("searcher.ann");
+    EXPECT_NEAR(o.stats.total_ms(), sum, 1e-9);
   }
 }
 
 TEST_F(SearcherTest, SearchBeforeBuildAborts) {
   SearcherConfig cfg;
   EmbeddingSearcher searcher(encoder_.get(), cfg);
-  EXPECT_DEATH(searcher.Search(queries_[0], 5), "BuildIndex");
+  EXPECT_DEATH(searcher.Search(queries_[0], {.k = 5}), "BuildIndex");
+}
+
+TEST_F(SearcherTest, IndexAccessorBeforeBuildAborts) {
+  SearcherConfig cfg;
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
+  EXPECT_EQ(searcher.index_size(), 0u);  // size is safe on an empty searcher
+  EXPECT_DEATH(searcher.index(), "BuildIndex");
+}
+
+TEST_F(SearcherTest, IvfPqBuildOnEmptyRepositoryFails) {
+  SearcherConfig cfg;
+  cfg.backend = AnnBackend::kIvfPq;
+  cfg.ivfpq_m = 4;
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
+  lake::Repository empty;
+  const Status st = searcher.BuildIndex(empty);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SearcherTest, IvfPqAddColumnBeforeBuildFailsCleanly) {
+  SearcherConfig cfg;
+  cfg.backend = AnnBackend::kIvfPq;
+  cfg.ivfpq_m = 4;
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
+  auto id = searcher.AddColumn(queries_[0]);
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SearcherTest, AddColumnOnFreshHnswSearcherStartsAnIndex) {
+  SearcherConfig cfg;
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
+  auto first = searcher.AddColumn(repo_.column(0));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 0u);
+  auto second = searcher.AddColumn(repo_.column(1));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 1u);
+  auto out = searcher.Search(queries_[0], {.k = 2});
+  EXPECT_EQ(out.ids.size(), 2u);
+}
+
+TEST_F(SearcherTest, PerQueryEfSearchWidensTheBeam) {
+  SearcherConfig cfg;
+  cfg.hnsw_ef_search = 64;
+  EmbeddingSearcher searcher(encoder_.get(), cfg);
+  ASSERT_TRUE(searcher.BuildIndex(repo_).ok());
+  // The per-query override rides with the SearchOptions — no config
+  // mutation. A wider beam must evaluate at least as many distances.
+  auto narrow = searcher.Search(queries_[0], {.k = 10, .ef_search = 16});
+  auto wide = searcher.Search(queries_[0], {.k = 10, .ef_search = 256});
+  const u64 narrow_evals = narrow.stats.CounterValue("hnsw.dist_evals");
+  const u64 wide_evals = wide.stats.CounterValue("hnsw.dist_evals");
+  EXPECT_GT(narrow_evals, 0u);
+  EXPECT_GT(wide_evals, narrow_evals);
 }
 
 }  // namespace

@@ -128,7 +128,7 @@ TEST_F(AtomicSaveFaultTest, IndexSaveSurvivesEveryInjectedFailure) {
   sc.hnsw_M = 4;
   sc.hnsw_ef_construction = 24;
   EmbeddingSearcher searcher(&encoder, sc);
-  searcher.BuildIndex(repo);
+  ASSERT_TRUE(searcher.BuildIndex(repo).ok());
 
   ASSERT_TRUE(searcher.SaveIndex(path_).ok());
   std::string baseline;

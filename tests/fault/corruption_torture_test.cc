@@ -120,7 +120,7 @@ TEST_F(CorruptionTortureTest, IndexSurvivesTruncationAndBitRot) {
   sc.hnsw_M = 4;
   sc.hnsw_ef_construction = 24;
   EmbeddingSearcher searcher(&encoder, sc);
-  searcher.BuildIndex(repo);
+  ASSERT_TRUE(searcher.BuildIndex(repo).ok());
   ASSERT_TRUE(searcher.SaveIndex(index_path_).ok());
   const std::string baseline = ReadAll(index_path_);
   ASSERT_FALSE(baseline.empty());

@@ -145,6 +145,27 @@ TEST(DjLintTest, SimdIntrinsicsAllowedInKernelSources) {
   EXPECT_EQ(run.output.find("kernels.cc"), std::string::npos) << run.output;
 }
 
+TEST(DjLintTest, AdhocTimingFiresInPublicHeaders) {
+  const LintRun run = RunLint("--root " + Testdata("bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // timing.h: encode_ms field (6), total_ms field (7), WallTimer member
+  // (9). The accessor on line 8 and the suppressed field on line 13 must
+  // stay silent.
+  EXPECT_NE(run.output.find("src/timing.h:6: error: [adhoc-timing]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/timing.h:7: error: [adhoc-timing]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/timing.h:9: error: [adhoc-timing]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("src/timing.h:8:"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("src/timing.h:13:"), std::string::npos)
+      << run.output;
+}
+
 TEST(DjLintTest, SuppressionCommentsSilenceRules) {
   const LintRun run = RunLint("--root " + Testdata("bad"));
   // suppressed.cc holds the same violations as banned.cc, each carrying a
@@ -174,7 +195,7 @@ TEST(DjLintTest, ListRulesDocumentsEveryRule) {
   for (const char* rule : {"include-guard", "using-namespace",
                            "nondeterminism", "naked-new", "no-printf",
                            "raw-mutex", "detached-thread", "raw-file-io",
-                           "simd-intrinsics"}) {
+                           "simd-intrinsics", "adhoc-timing"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -1,0 +1,15 @@
+// Fixture for dj_lint_test: ad-hoc timing surfaces in a public header.
+#ifndef DEEPJOIN_TIMING_H_
+#define DEEPJOIN_TIMING_H_
+
+struct SearchTimings {
+  double encode_ms = 0.0;
+  double total_ms;
+  double mean_ms() const { return total_ms; }
+  WallTimer timer_;
+};
+
+// dj_lint: allow(adhoc-timing)
+double g_suppressed_ms = 0.0;
+
+#endif  // DEEPJOIN_TIMING_H_

@@ -20,6 +20,10 @@ inline int Answer() { return 42; }
 // Comment decoys for simd-intrinsics: immintrin.h _mm256_add_ps __m256.
 inline const char* SimdDecoys() { return "_mm_load_ss __m128 __m512"; }
 
+// Comment decoys for adhoc-timing: WallTimer, double encode_ms = 0.
+// A timing *accessor* stays legal — only stored fields are banned.
+inline double ElapsedTotal_ms() { return 0.0; }
+
 }  // namespace deepjoin_fixture
 
 #endif  // DEEPJOIN_CLEAN_H_

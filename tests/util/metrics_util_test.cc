@@ -1,0 +1,198 @@
+// Tests for the metrics registry (src/util/metrics.h): bucket boundary
+// semantics, counter wrap, the DJ_METRICS kill switch, type-clash aborts,
+// golden JSON / Prometheus exports, and snapshot consistency while writer
+// threads keep incrementing (tsan-labeled via this binary).
+#include "util/metrics.h"
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace deepjoin {
+namespace metrics {
+namespace {
+
+TEST(CounterTest, AddAndIncrementAccumulate) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("dj_test_events_total");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+  // Same name returns the same stable pointer.
+  EXPECT_EQ(registry.GetCounter("dj_test_events_total"), c);
+}
+
+TEST(CounterTest, WrapsModulo64BitsLikePrometheus) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("dj_test_wrap_total");
+  c->Add(std::numeric_limits<u64>::max());
+  EXPECT_EQ(c->value(), std::numeric_limits<u64>::max());
+  c->Add(3);  // wraps: max + 3 == 2 (mod 2^64)
+  EXPECT_EQ(c->value(), 2u);
+}
+
+TEST(GaugeTest, SetOverwritesAddAccumulates) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("dj_test_depth");
+  g->Set(7.5);
+  EXPECT_DOUBLE_EQ(g->value(), 7.5);
+  g->Set(2.0);
+  EXPECT_DOUBLE_EQ(g->value(), 2.0);
+  g->Add(0.5);
+  g->Add(-1.0);
+  EXPECT_DOUBLE_EQ(g->value(), 1.5);
+}
+
+TEST(HistogramTest, BucketBoundariesAreLeInclusive) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("dj_test_lat_ms", {1.0, 2.0, 5.0});
+  // Prometheus `le` semantics: a sample equal to a bound lands in that
+  // bound's bucket, one past it spills into the next.
+  h->Record(0.5);  // <= 1.0
+  h->Record(1.0);  // <= 1.0 (boundary is inclusive)
+  h->Record(1.5);  // <= 2.0
+  h->Record(5.0);  // <= 5.0 (last finite bucket, inclusive)
+  h->Record(6.0);  // overflow (+Inf)
+  EXPECT_EQ(h->bucket_count(0), 2u);
+  EXPECT_EQ(h->bucket_count(1), 1u);
+  EXPECT_EQ(h->bucket_count(2), 1u);
+  EXPECT_EQ(h->bucket_count(3), 1u);  // overflow bucket
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.5 + 1.0 + 1.5 + 5.0 + 6.0);
+}
+
+TEST(HistogramTest, DefaultLatencyBucketsCoverMicrosecondsToSeconds) {
+  const auto& bounds = Histogram::DefaultLatencyBucketsMs();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_LE(bounds.front(), 0.001);   // 1µs in ms
+  EXPECT_GE(bounds.back(), 1000.0);   // >= 1s in ms
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "bounds must ascend";
+  }
+}
+
+TEST(KillSwitchTest, DisabledMetricsRecordNothing) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("dj_test_off_total");
+  Gauge* g = registry.GetGauge("dj_test_off_gauge");
+  Histogram* h = registry.GetHistogram("dj_test_off_ms", {1.0});
+  const bool was_enabled = SetEnabledForTest(false);
+  c->Add(5);
+  g->Set(9.0);
+  h->Record(0.5);
+  SetEnabledForTest(was_enabled);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  // Re-enabled: the same pointers record again.
+  c->Increment();
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(RegistryDeathTest, TypeClashOnOneNameAborts) {
+  MetricsRegistry registry;
+  registry.GetCounter("dj_test_clash");
+  EXPECT_DEATH(registry.GetGauge("dj_test_clash"), "dj_test_clash");
+  EXPECT_DEATH(registry.GetHistogram("dj_test_clash"), "dj_test_clash");
+}
+
+TEST(RegistryDeathTest, HistogramBoundsMismatchAborts) {
+  MetricsRegistry registry;
+  registry.GetHistogram("dj_test_hist_ms", {1.0, 2.0});
+  EXPECT_EQ(registry.GetHistogram("dj_test_hist_ms", {1.0, 2.0}),
+            registry.GetHistogram("dj_test_hist_ms", {1.0, 2.0}));
+  EXPECT_DEATH(registry.GetHistogram("dj_test_hist_ms", {1.0, 3.0}),
+               "dj_test_hist_ms");
+}
+
+TEST(SnapshotTest, GoldenJsonExport) {
+  MetricsRegistry registry;
+  registry.GetCounter("dj_a_total")->Add(3);
+  registry.GetGauge("dj_b_depth")->Set(1.5);
+  registry.GetHistogram("dj_c_ms", {1.0, 2.0})->Record(1.5);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_EQ(json,
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"dj_a_total\": 3\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"dj_b_depth\": 1.5\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"dj_c_ms\": {\"count\": 1, \"sum\": 1.5, "
+            "\"bounds\": [1, 2], \"buckets\": [0, 1, 0]}\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(SnapshotTest, GoldenPrometheusExport) {
+  MetricsRegistry registry;
+  registry.GetCounter("dj_a_total")->Add(3);
+  registry.GetGauge("dj_b_depth")->Set(1.5);
+  Histogram* h = registry.GetHistogram("dj_c_ms", {1.0, 2.0});
+  h->Record(1.5);
+  h->Record(9.0);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_EQ(text,
+            "# TYPE dj_a_total counter\n"
+            "dj_a_total 3\n"
+            "# TYPE dj_b_depth gauge\n"
+            "dj_b_depth 1.5\n"
+            "# TYPE dj_c_ms histogram\n"
+            "dj_c_ms_bucket{le=\"1\"} 0\n"
+            "dj_c_ms_bucket{le=\"2\"} 1\n"
+            "dj_c_ms_bucket{le=\"+Inf\"} 2\n"
+            "dj_c_ms_sum 10.5\n"
+            "dj_c_ms_count 2\n");
+}
+
+TEST(SnapshotTest, SamplesComeOutSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("dj_z_total");
+  registry.GetCounter("dj_a_total");
+  registry.GetCounter("dj_m_total");
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "dj_a_total");
+  EXPECT_EQ(snap.counters[1].name, "dj_m_total");
+  EXPECT_EQ(snap.counters[2].name, "dj_z_total");
+}
+
+// TSan coverage: writers hammer a counter and a histogram while the main
+// thread repeatedly snapshots. The final tallies must be exact (no lost
+// updates) and no intermediate snapshot may exceed the eventual total.
+TEST(SnapshotTest, SnapshotUnderConcurrentIncrementsIsConsistent) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("dj_race_total");
+  Histogram* h = registry.GetHistogram("dj_race_ms", {0.5});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Record(0.25);
+      }
+    });
+  }
+  constexpr u64 kTotal = static_cast<u64>(kThreads) * kPerThread;
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snap = registry.Snapshot();
+    for (const auto& s : snap.counters) EXPECT_LE(s.value, kTotal);
+    for (const auto& s : snap.histograms) EXPECT_LE(s.count, kTotal);
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(c->value(), kTotal);
+  EXPECT_EQ(h->count(), kTotal);
+  EXPECT_EQ(h->bucket_count(0), kTotal);  // every sample <= 0.5
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace deepjoin

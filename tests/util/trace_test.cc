@@ -1,0 +1,197 @@
+// Tests for scoped trace spans (src/util/trace.h): span-tree construction
+// through DJ_TRACE_SPAN, per-query counter aggregation, the histogram name
+// derivation, synthetic-root grafting in Finish(), re-entrant collector
+// install, and the inert paths (disabled collector / no collector at all).
+#include "util/trace.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.h"
+
+namespace deepjoin {
+namespace trace {
+namespace {
+
+void Leaf() { DJ_TRACE_SPAN("test.leaf"); }
+
+void Branch() {
+  DJ_TRACE_SPAN("test.branch");
+  Leaf();
+  Leaf();
+}
+
+TEST(TraceSpanTest, NestedSpansBuildTree) {
+  TraceCollector tc(true);
+  {
+    DJ_TRACE_SPAN("test.root");
+    Branch();
+    Leaf();
+  }
+  const QueryStats stats = tc.Finish();
+  EXPECT_EQ(stats.root.name, "test.root");
+  ASSERT_EQ(stats.root.children.size(), 2u);
+  EXPECT_EQ(stats.root.children[0].name, "test.branch");
+  EXPECT_EQ(stats.root.children[1].name, "test.leaf");
+  ASSERT_EQ(stats.root.children[0].children.size(), 2u);
+  EXPECT_EQ(stats.root.children[0].children[0].name, "test.leaf");
+  // The root must take at least as long as any descendant.
+  EXPECT_GE(stats.total_ms(), stats.SpanMs("test.branch"));
+  EXPECT_GE(stats.SpanMs("test.branch"),
+            stats.root.children[0].children[0].elapsed_ms);
+}
+
+TEST(TraceSpanTest, SpanMsFindsFirstMatchAndZeroWhenAbsent) {
+  QueryStats stats;
+  stats.root.name = "a";
+  stats.root.elapsed_ms = 10.0;
+  stats.root.children.push_back({"b", 4.0, {}});
+  stats.root.children.push_back({"b", 2.0, {}});
+  EXPECT_DOUBLE_EQ(stats.SpanMs("a"), 10.0);
+  EXPECT_DOUBLE_EQ(stats.SpanMs("b"), 4.0);  // first in open order wins
+  EXPECT_DOUBLE_EQ(stats.SpanMs("missing"), 0.0);
+}
+
+TEST(TraceSpanTest, CountAggregatesByNameAndSorts) {
+  TraceCollector tc(true);
+  {
+    DJ_TRACE_SPAN("test.count_root");
+    Count("z.evals", 3);
+    Count("a.hops", 1);
+    Count("z.evals", 4);
+  }
+  const QueryStats stats = tc.Finish();
+  ASSERT_EQ(stats.counters.size(), 2u);
+  EXPECT_EQ(stats.counters[0].name, "a.hops");
+  EXPECT_EQ(stats.counters[1].name, "z.evals");
+  EXPECT_EQ(stats.CounterValue("z.evals"), 7u);
+  EXPECT_EQ(stats.CounterValue("a.hops"), 1u);
+  EXPECT_EQ(stats.CounterValue("missing"), 0u);
+}
+
+TEST(TraceSpanTest, FinishWithMultipleTopLevelSpansGraftsSyntheticRoot) {
+  TraceCollector tc(true);
+  tc.OpenSpan("first");
+  tc.CloseSpan(2.0);
+  tc.OpenSpan("second");
+  tc.CloseSpan(3.0);
+  const QueryStats stats = tc.Finish();
+  EXPECT_EQ(stats.root.name, "query");
+  EXPECT_DOUBLE_EQ(stats.total_ms(), 5.0);  // synthetic root sums children
+  ASSERT_EQ(stats.root.children.size(), 2u);
+  EXPECT_EQ(stats.root.children[0].name, "first");
+  EXPECT_EQ(stats.root.children[1].name, "second");
+}
+
+TEST(TraceSpanTest, FinishEmptiesTheCollector) {
+  TraceCollector tc(true);
+  tc.OpenSpan("once");
+  tc.CloseSpan(1.0);
+  Count("c", 2);
+  (void)tc.Finish();
+  const QueryStats empty = tc.Finish();
+  EXPECT_EQ(empty.root.name, "query");
+  EXPECT_DOUBLE_EQ(empty.total_ms(), 0.0);
+  EXPECT_TRUE(empty.root.children.empty());
+  EXPECT_TRUE(empty.counters.empty());
+}
+
+TEST(TraceSpanTest, DisabledCollectorInstallsNothing) {
+  ASSERT_EQ(TraceCollector::Current(), nullptr);
+  TraceCollector tc(false);
+  EXPECT_FALSE(tc.enabled());
+  EXPECT_EQ(TraceCollector::Current(), nullptr);
+  {
+    DJ_TRACE_SPAN("test.uncollected");
+  }
+  // Nothing was collected: Finish() yields the empty synthetic root.
+  const QueryStats stats = tc.Finish();
+  EXPECT_EQ(stats.root.name, "query");
+  EXPECT_TRUE(stats.root.children.empty());
+  EXPECT_DOUBLE_EQ(stats.total_ms(), 0.0);
+  EXPECT_TRUE(stats.counters.empty());
+}
+
+TEST(TraceSpanTest, NestedCollectorsRestoreOnDestruction) {
+  TraceCollector outer(true);
+  EXPECT_EQ(TraceCollector::Current(), &outer);
+  {
+    TraceCollector inner(true);
+    EXPECT_EQ(TraceCollector::Current(), &inner);
+    {
+      DJ_TRACE_SPAN("test.inner_only");
+    }
+    const QueryStats inner_stats = inner.Finish();
+    EXPECT_EQ(inner_stats.root.name, "test.inner_only");
+  }
+  EXPECT_EQ(TraceCollector::Current(), &outer);
+  // The inner collector's spans must not leak into the outer one.
+  const QueryStats outer_stats = outer.Finish();
+  EXPECT_DOUBLE_EQ(outer_stats.total_ms(), 0.0);
+  EXPECT_TRUE(outer_stats.root.children.empty());
+}
+
+TEST(TraceSpanTest, SpansRunFineWithNoCollector) {
+  ASSERT_EQ(TraceCollector::Current(), nullptr);
+  // Still feeds the global histogram; just no per-query tree anywhere.
+  DJ_TRACE_SPAN("test.orphan");
+}
+
+TEST(TraceSpanTest, SpanFeedsDerivedGlobalHistogram) {
+  metrics::Histogram* h = metrics::MetricsRegistry::Global().GetHistogram(
+      SpanHistogramName("test.histogram_feed"));
+  const u64 before = h->count();
+  {
+    DJ_TRACE_SPAN("test.histogram_feed");
+  }
+  EXPECT_EQ(h->count(), before + 1);
+}
+
+TEST(TraceSpanTest, KillSwitchSkipsHistogramButKeepsCollector) {
+  metrics::Histogram* h = metrics::MetricsRegistry::Global().GetHistogram(
+      SpanHistogramName("test.kill_switch"));
+  const u64 before = h->count();
+  const bool was_enabled = metrics::SetEnabledForTest(false);
+  TraceCollector tc(true);
+  {
+    DJ_TRACE_SPAN("test.kill_switch");
+  }
+  const QueryStats stats = tc.Finish();
+  metrics::SetEnabledForTest(was_enabled);
+  EXPECT_EQ(h->count(), before);  // histogram suppressed by DJ_METRICS=off
+  EXPECT_EQ(stats.root.name, "test.kill_switch");  // per-query trace kept
+}
+
+TEST(SpanHistogramNameTest, MapsDotsAndDashesToUnderscores) {
+  EXPECT_EQ(SpanHistogramName("hnsw.search"), "dj_hnsw_search_ms");
+  EXPECT_EQ(SpanHistogramName("searcher.ann"), "dj_searcher_ann_ms");
+  EXPECT_EQ(SpanHistogramName("two-stage.rerank"), "dj_two_stage_rerank_ms");
+}
+
+TEST(QueryStatsTest, ToStringRendersIndentedTreeAndCounters) {
+  QueryStats stats;
+  stats.root = {"searcher.search", 3.5, {{"searcher.encode", 1.25, {}}}};
+  stats.counters.push_back({"hnsw.dist_evals", 42});
+  EXPECT_EQ(stats.ToString(),
+            "searcher.search: 3.500 ms\n"
+            "  searcher.encode: 1.250 ms\n"
+            "hnsw.dist_evals = 42\n");
+}
+
+TEST(TraceCollectorDeathTest, CloseWithNoOpenSpanAborts) {
+  TraceCollector tc(true);
+  EXPECT_DEATH(tc.CloseSpan(1.0), "no open span");
+}
+
+TEST(TraceCollectorDeathTest, FinishWithOpenSpanAborts) {
+  TraceCollector tc(true);
+  tc.OpenSpan("dangling");
+  EXPECT_DEATH((void)tc.Finish(), "still open");
+  tc.CloseSpan(0.0);  // close it so the destructor runs clean
+  (void)tc.Finish();
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace deepjoin

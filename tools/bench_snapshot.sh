@@ -7,6 +7,11 @@
 # kernel performance changes so the before/after numbers travel with the
 # code.
 #
+# The filter also records the metrics-overhead pairs (BM_PlmEncodeColumn /
+# BM_HnswSearch vs their *MetricsOff twins), so BENCH_micro.json carries
+# the instrumentation cost of the observability layer (DESIGN.md §9
+# budgets it at <2%).
+#
 # Usage: tools/bench_snapshot.sh [build-dir] [extra benchmark args...]
 set -euo pipefail
 
@@ -20,7 +25,7 @@ if [[ ! -x "$BIN" ]]; then
   exit 1
 fi
 
-FILTER='BM_Kernel|BM_Sgemm|BM_NaiveGemm|BM_EncodeToVector|BM_HnswSearch'
+FILTER='BM_Kernel|BM_Sgemm|BM_NaiveGemm|BM_EncodeToVector|BM_HnswSearch|BM_PlmEncodeColumn'
 OUT="$ROOT/BENCH_micro.json"
 
 "$BIN" \

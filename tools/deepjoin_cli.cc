@@ -127,7 +127,9 @@ int CmdIndex(const Flags& flags) {
   core::SearcherConfig sc;
   core::EmbeddingSearcher searcher(encoder->get(), sc);
   WallTimer t;
-  searcher.BuildIndex(*repo);
+  if (auto st = searcher.BuildIndex(*repo); !st.ok()) {
+    return Fail(st.ToString());
+  }
   std::printf("indexed %zu columns (%.1fs)\n", repo->size(),
               t.ElapsedSeconds());
   if (auto st = searcher.SaveIndex(index); !st.ok()) {
@@ -168,13 +170,19 @@ int CmdSearch(const Flags& flags) {
     return Fail("query file has no usable column");
   }
 
-  auto out = searcher.Search(query, k);
+  core::SearchOptions options;
+  options.k = k;
+  auto out = searcher.Search(query, options);
   auto tok = join::TokenizedRepository::Build(*repo);
   const auto qt = tok.EncodeQuery(query);
   std::printf("query \"%s\" (%zu cells): top-%zu in %.1f ms "
               "(encode %.1f ms)\n",
-              query.meta.column_name.c_str(), query.size(), k, out.total_ms,
-              out.encode_ms);
+              query.meta.column_name.c_str(), query.size(), k,
+              out.stats.total_ms(), out.stats.SpanMs("searcher.encode"));
+  if (flags.GetInt("stats", 0) != 0) {
+    std::printf("--- per-query breakdown ---\n%s",
+                out.stats.ToString().c_str());
+  }
   std::printf("%-5s %-8s %-30s %s\n", "rank", "jn", "table", "column");
   for (size_t r = 0; r < out.ids.size(); ++r) {
     const auto& col = repo->column(out.ids[r]);

@@ -28,6 +28,11 @@
 //                    src/util/kernels.* — vector code lives behind the
 //                    runtime-dispatched kernel layer so every call site
 //                    keeps its scalar fallback and determinism contract
+//   adhoc-timing     no WallTimer/TimeAccumulator members or `double *_ms`
+//                    fields in library headers (src/**) outside src/util/ —
+//                    timing surfaces flow through trace::QueryStats and the
+//                    metrics registry (src/util/trace.h, src/util/metrics.h)
+//                    instead of per-class ad-hoc millisecond fields
 //
 // A violation is suppressed by `// dj_lint: allow(<rule>)` on the same line
 // or on the line directly above it. Comment and string-literal contents are
@@ -224,6 +229,9 @@ class Linter {
                 "BinaryWriter/BinaryReader (src/util/env.h) so fault "
                 "injection and atomic saves cover it");
     }
+    if (is_header && is_library && !is_util) {
+      CheckAdhocTiming(path, text);
+    }
     // The kernel layer is the one sanctioned home for vector intrinsics.
     if (rel.rfind("src/util/kernels", 0) != 0) {
       CheckSubstringRule(
@@ -353,6 +361,49 @@ class Linter {
     }
   }
 
+  /// Library headers outside src/util/ must not grow ad-hoc timing
+  /// surfaces: no WallTimer/TimeAccumulator members and no `double *_ms`
+  /// data fields. Timing belongs in trace::QueryStats / the metrics
+  /// registry so every layer reports through one instrumented path.
+  void CheckAdhocTiming(const fs::path& path, const FileText& text) {
+    static const char* kMessage =
+        "ad-hoc timing in a public header; report through trace::QueryStats "
+        "/ MetricsRegistry (src/util/trace.h, src/util/metrics.h) instead";
+    for (size_t i = 0; i < text.code.size(); ++i) {
+      const std::string& line = text.code[i];
+      size_t pos = 0;
+      if (FindToken(line, "WallTimer", &pos) ||
+          FindToken(line, "TimeAccumulator", &pos)) {
+        if (!SuppressedAt(text, i, "adhoc-timing")) {
+          Report(path, i + 1, "adhoc-timing",
+                 std::string("timer type in a header: ") + kMessage);
+        }
+        continue;
+      }
+      // `double something_ms` declarations: flag fields (terminated by
+      // ';', '=', or '{'), not functions (`double total_ms() const`), so a
+      // forwarding accessor over QueryStats stays legal.
+      if (!FindToken(line, "double", &pos)) continue;
+      size_t j = line.find_first_not_of(" \t", pos + 6);
+      if (j == std::string::npos) continue;
+      const size_t ident_begin = j;
+      while (j < line.size() && IsWordChar(line[j])) ++j;
+      const std::string ident = line.substr(ident_begin, j - ident_begin);
+      if (ident.size() < 4 || ident.compare(ident.size() - 3, 3, "_ms") != 0) {
+        continue;
+      }
+      const size_t next = line.find_first_not_of(" \t", j);
+      if (next == std::string::npos || line[next] == '(') continue;
+      if (line[next] != ';' && line[next] != '=' && line[next] != '{') {
+        continue;
+      }
+      if (!SuppressedAt(text, i, "adhoc-timing")) {
+        Report(path, i + 1, "adhoc-timing",
+               "`double " + ident + "` field: " + kMessage);
+      }
+    }
+  }
+
   void CheckNakedNew(const fs::path& path, const FileText& text) {
     for (size_t i = 0; i < text.code.size(); ++i) {
       const std::string& line = text.code[i];
@@ -398,6 +449,8 @@ void ListRules() {
       << "raw-file-io      no std::fopen/std::ifstream/std::ofstream/"
          "std::fstream in src/** outside src/util/\n"
       << "simd-intrinsics  no SIMD intrinsics outside src/util/kernels.*\n"
+      << "adhoc-timing     no WallTimer/TimeAccumulator or `double *_ms` "
+         "fields in src/** headers outside src/util/\n"
       << "suppress with    // dj_lint: allow(<rule>)\n";
 }
 
