@@ -109,7 +109,7 @@ class HnswIndex : public VectorIndex {
         DJ_EXCLUDES(mu_);
 
    private:
-    mutable Mutex mu_;
+    mutable Mutex mu_{"hnsw.visited_pool", rank::kVisited};
     mutable std::vector<std::unique_ptr<VisitedScratch>> free_
         DJ_GUARDED_BY(mu_);
   };

@@ -111,7 +111,7 @@ class TransformerEncoder {
   // Reusable inference scratch, pooled so concurrent EncodeToVector calls
   // never share one (ColumnEncoder's concurrency contract fans encoding
   // across a ThreadPool).
-  Mutex ws_mu_;
+  Mutex ws_mu_{"transformer.workspace", rank::kWorkspace};
   std::vector<std::unique_ptr<Workspace>> ws_free_ DJ_GUARDED_BY(ws_mu_);
 };
 

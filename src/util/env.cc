@@ -179,17 +179,19 @@ namespace {
 
 /// Forwards to the wrapped file, injecting Append/Sync failures per the
 /// owning env's plan. A torn (short) write appends half the buffer before
-/// reporting failure, modelling a crash mid-write.
+/// reporting failure, modelling a crash mid-write. The injection decision
+/// runs inside the env (under its "env.fault_state" lock); the delegated
+/// I/O below runs with no lock held.
 class FaultWritableFileImpl : public WritableFile {
  public:
-  FaultWritableFileImpl(std::unique_ptr<WritableFile> base, FaultPlan* plan,
-                        FaultCounters* counters)
-      : base_(std::move(base)), plan_(plan), counters_(counters) {}
+  FaultWritableFileImpl(std::unique_ptr<WritableFile> base,
+                        FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
 
   Status Append(const void* data, size_t n) override {
-    const i64 idx = counters_->writes++;
-    if (idx == plan_->fail_write_index) {
-      if (plan_->short_write && n > 1) {
+    bool torn = false;
+    if (env_->InjectAppend(&torn)) {
+      if (torn && n > 1) {
         base_->Append(data, n / 2).IgnoreError();
       }
       return Status::IoError("injected write failure");
@@ -200,8 +202,7 @@ class FaultWritableFileImpl : public WritableFile {
   Status Flush() override { return base_->Flush(); }
 
   Status Sync() override {
-    const i64 idx = counters_->syncs++;
-    if (idx == plan_->fail_sync_index) {
+    if (env_->InjectSync()) {
       return Status::IoError("injected fsync failure");
     }
     return base_->Sync();
@@ -211,22 +212,46 @@ class FaultWritableFileImpl : public WritableFile {
 
  private:
   std::unique_ptr<WritableFile> base_;
-  FaultPlan* plan_;
-  FaultCounters* counters_;
+  FaultInjectionEnv* env_;
 };
 
 }  // namespace
 
+FaultCounters FaultInjectionEnv::counters() const {
+  MutexLock lock(mu_);
+  return counters_;
+}
+
+void FaultInjectionEnv::ResetCounters() {
+  MutexLock lock(mu_);
+  counters_ = FaultCounters();
+}
+
+bool FaultInjectionEnv::InjectAppend(bool* torn) {
+  MutexLock lock(mu_);
+  const i64 idx = counters_.writes++;
+  *torn = plan_.short_write;
+  return idx == plan_.fail_write_index;
+}
+
+bool FaultInjectionEnv::InjectSync() {
+  MutexLock lock(mu_);
+  const i64 idx = counters_.syncs++;
+  return idx == plan_.fail_sync_index;
+}
+
 Status FaultInjectionEnv::NewWritableFile(
     const std::string& path, std::unique_ptr<WritableFile>* out) {
-  const i64 idx = counters_.opens++;
-  if (idx == plan_.fail_open_index) {
-    return Status::IoError("injected open failure");
+  bool fail = false;
+  {
+    MutexLock lock(mu_);
+    const i64 idx = counters_.opens++;
+    fail = idx == plan_.fail_open_index;
   }
+  if (fail) return Status::IoError("injected open failure");
   std::unique_ptr<WritableFile> base_file;
   DJ_RETURN_IF_ERROR(base_->NewWritableFile(path, &base_file));
-  *out = std::make_unique<FaultWritableFileImpl>(std::move(base_file),
-                                                 &plan_, &counters_);
+  *out = std::make_unique<FaultWritableFileImpl>(std::move(base_file), this);
   return Status::OK();
 }
 
@@ -241,10 +266,13 @@ Status FaultInjectionEnv::GetFileSize(const std::string& path, u64* size) {
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
-  const i64 idx = counters_.renames++;
-  if (idx == plan_.fail_rename_index) {
-    return Status::IoError("injected rename failure");
+  bool fail = false;
+  {
+    MutexLock lock(mu_);
+    const i64 idx = counters_.renames++;
+    fail = idx == plan_.fail_rename_index;
   }
+  if (fail) return Status::IoError("injected rename failure");
   return base_->RenameFile(from, to);
 }
 

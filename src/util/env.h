@@ -12,6 +12,7 @@
 #include <string>
 
 #include "util/common.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace deepjoin {
@@ -84,15 +85,22 @@ struct FaultCounters {
 };
 
 /// Wraps a base Env and injects failures per a FaultPlan. Injected errors
-/// surface as Status::IoError with an "injected" message. Not thread-safe:
-/// fault tests drive it from a single thread.
+/// surface as Status::IoError with an "injected" message.
+///
+/// Thread-safe for concurrent operations: the injection decision (counter
+/// advance + plan comparison) runs under the named "env.fault_state" lock,
+/// and the delegated base-Env I/O runs after the lock is released — real
+/// I/O never happens while a mutex is held (tools/dj_deadlock enforces the
+/// same rule statically across src/). Configure the plan before handing
+/// the env to concurrent users: plan() mutation does not synchronise with
+/// in-flight operations.
 class FaultInjectionEnv : public Env {
  public:
   explicit FaultInjectionEnv(Env* base) : base_(base) {}
 
   FaultPlan& plan() { return plan_; }
-  const FaultCounters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = FaultCounters(); }
+  FaultCounters counters() const DJ_EXCLUDES(mu_);
+  void ResetCounters() DJ_EXCLUDES(mu_);
 
   Status NewWritableFile(const std::string& path,
                          std::unique_ptr<WritableFile>* out) override;
@@ -104,10 +112,18 @@ class FaultInjectionEnv : public Env {
   Status RemoveFile(const std::string& path) override;
   bool FileExists(const std::string& path) override;
 
+  /// Injection points for the wrapped WritableFile (env.cc): each advances
+  /// the matching operation counter and reports whether this operation
+  /// must fail. `*torn` is set when the failing Append should first write
+  /// half the buffer. Public only for the file wrapper.
+  bool InjectAppend(bool* torn) DJ_EXCLUDES(mu_);
+  bool InjectSync() DJ_EXCLUDES(mu_);
+
  private:
   Env* base_;
-  FaultPlan plan_;
-  FaultCounters counters_;
+  FaultPlan plan_;  // written at configure time, read-only during ops
+  mutable Mutex mu_{"env.fault_state", rank::kEnvFault};
+  FaultCounters counters_ DJ_GUARDED_BY(mu_);
 };
 
 }  // namespace deepjoin

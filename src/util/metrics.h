@@ -174,7 +174,10 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const DJ_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  // Highest rank in the table: Get* registration legitimately runs under
+  // any other subsystem's lock (function-local-static pointer caching), so
+  // the registry lock must be acquirable while holding anything.
+  mutable Mutex mu_{"metrics.registry", rank::kMetrics};
   std::unordered_map<std::string, std::unique_ptr<Counter>> counters_
       DJ_GUARDED_BY(mu_);
   std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_

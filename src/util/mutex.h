@@ -1,6 +1,7 @@
 // Concurrency-contract layer: mutex/condvar wrappers carrying Clang
 // thread-safety capability attributes, so lock discipline is checked at
-// compile time instead of hoped-for at runtime (DESIGN.md §6).
+// compile time instead of hoped-for at runtime (DESIGN.md §6), plus the
+// runtime half of the lock-rank discipline (DESIGN.md §10).
 //
 // Under Clang, `-DDJ_THREAD_SAFETY=ON` turns `-Wthread-safety` violations
 // into build errors; under GCC every annotation macro expands to nothing,
@@ -8,9 +9,25 @@
 // clang++ is available, and a negative-compile test
 // (tests/tools/thread_safety_negative) proves the annotations are live.
 //
+// Lock ranking (util/lock_rank.h): long-lived mutexes are declared with a
+// name and a rank from deepjoin::rank —
+//
+//   Mutex mu_{"threadpool.queue", rank::kPool};
+//
+// Under -DDJ_LOCK_RANK (on in Debug/sanitizer builds, compiled out
+// otherwise) every Lock/Unlock/Wait maintains a thread-local held-locks
+// stack: acquiring a lock whose rank is not strictly greater than every
+// held rank aborts with both lock names and acquisition sites, and each
+// observed acquired-while-holding edge lands in the process-wide
+// LockOrderGraph (dumped by tools/dj_lockgraph). The static companion,
+// tools/dj_deadlock, derives the same graph from source at lint time.
+//
 // Conventions (enforced by dj_lint rule `raw-mutex`: no std::mutex /
 // std::lock_guard / std::condition_variable outside this header):
 //  - Every shared mutable field is declared with DJ_GUARDED_BY(mu_).
+//  - Every long-lived mutex carries a name and a rank; the default ctor is
+//    for portability shims and short-lived test-local locks only
+//    (tools/dj_deadlock flags unranked mutexes under src/).
 //  - Private helpers that assume the lock is already held are named
 //    `*Locked()` and annotated DJ_REQUIRES(mu_).
 //  - Prefer scoped MutexLock over manual Lock/Unlock pairs.
@@ -22,6 +39,12 @@
 
 #include <condition_variable>
 #include <mutex>
+
+#if defined(DJ_LOCK_RANK)
+#include <source_location>
+#endif
+
+#include "util/lock_rank.h"
 
 // Thread-safety annotations are a Clang extension; GCC (and any compiler
 // without the attribute) compiles them away.
@@ -70,19 +93,62 @@ class CondVar;
 /// Annotated wrapper over std::mutex. Non-movable (like std::mutex):
 /// classes that must stay movable hold it behind a unique_ptr, as
 /// HnswIndex does with its VisitedPool.
+///
+/// The two-argument constructor names and ranks the lock for the lock-rank
+/// discipline; under DJ_LOCK_RANK the name/rank are stored and enforced,
+/// otherwise the constructor is an empty shim so call sites compile
+/// identically in both modes at zero cost.
 class DJ_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if defined(DJ_LOCK_RANK)
+  Mutex(const char* name, int rank,
+        std::source_location loc = std::source_location::current())
+      : name_(name), rank_(rank) {
+    lock_rank::RegisterLock(name, rank, loc.file_name(), loc.line());
+  }
+
+  void Lock(std::source_location loc = std::source_location::current())
+      DJ_ACQUIRE() {
+    // Validate before blocking: an inversion aborts with a report instead
+    // of deadlocking inside mu_.lock().
+    lock_rank::OnAcquire(this, name_, rank_, loc.file_name(), loc.line());
+    mu_.lock();
+  }
+
+  void Unlock() DJ_RELEASE() {
+    lock_rank::OnRelease(this);
+    mu_.unlock();
+  }
+
+  /// Rank order is NOT enforced for TryLock: a try-acquire cannot block,
+  /// so it cannot deadlock. The successful acquisition still lands on the
+  /// held stack and in the lock-order graph (where the online cycle check
+  /// covers what rank validation skipped).
+  bool TryLock(std::source_location loc = std::source_location::current())
+      DJ_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lock_rank::OnTryAcquire(this, name_, rank_, loc.file_name(), loc.line());
+    return true;
+  }
+#else
+  Mutex(const char* /*name*/, int /*rank*/) {}
+
   void Lock() DJ_ACQUIRE() { mu_.lock(); }
   void Unlock() DJ_RELEASE() { mu_.unlock(); }
   bool TryLock() DJ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif
 
  private:
   friend class CondVar;  // Wait() releases/reacquires during the sleep
   std::mutex mu_;
+#if defined(DJ_LOCK_RANK)
+  const char* name_ = nullptr;  // nullptr = unranked (default ctor)
+  int rank_ = rank::kUnranked;
+#endif
 };
 
 /// Scoped lock (RAII): acquires in the constructor, releases in the
@@ -90,7 +156,16 @@ class DJ_CAPABILITY("mutex") Mutex {
 /// lock as held for exactly the block that contains the MutexLock.
 class DJ_SCOPED_CAPABILITY MutexLock {
  public:
+#if defined(DJ_LOCK_RANK)
+  explicit MutexLock(Mutex& mu,
+                     std::source_location loc = std::source_location::current())
+      DJ_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(loc);
+  }
+#else
   explicit MutexLock(Mutex& mu) DJ_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+#endif
   ~MutexLock() DJ_RELEASE() { mu_.Unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -106,15 +181,42 @@ class DJ_SCOPED_CAPABILITY MutexLock {
 ///
 ///   MutexLock lock(mu_);
 ///   while (!ReadyLocked()) cv_.Wait(mu_);
+///
+/// Waiting while holding a SECOND lock is a hard error under DJ_LOCK_RANK:
+/// Wait() releases only `mu`, so any other lock stays held across an
+/// unbounded sleep — the thread that is supposed to Notify may first need
+/// that very lock, which is the canonical condvar deadlock, and no rank
+/// order can excuse it (the sleeping thread holds the lock without
+/// progressing). Before this check, such a wait would silently pass and
+/// only hang under the right interleaving; now it aborts deterministically
+/// with both lock names. On wakeup the re-acquisition of `mu` re-enters
+/// rank validation like any fresh acquisition, so a wakeup path that
+/// somehow holds a higher-ranked lock is reported too.
 class CondVar {
  public:
   CondVar() = default;
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
+#if defined(DJ_LOCK_RANK)
+  /// Atomically releases `mu`, sleeps until notified, reacquires `mu`.
+  /// Spurious wakeups happen; always re-check the condition in a loop.
+  void Wait(Mutex& mu,
+            std::source_location loc = std::source_location::current())
+      DJ_REQUIRES(mu) {
+    // Pop `mu` (aborting if other locks are held — see the class comment),
+    // sleep, then re-validate + re-push: the wakeup re-acquisition must
+    // obey rank order exactly like a fresh Lock().
+    lock_rank::OnCondVarWait(&mu, loc.file_name(), loc.line());
+    cv_.wait(mu.mu_);
+    lock_rank::OnAcquire(&mu, mu.name_, mu.rank_, loc.file_name(),
+                         loc.line());
+  }
+#else
   /// Atomically releases `mu`, sleeps until notified, reacquires `mu`.
   /// Spurious wakeups happen; always re-check the condition in a loop.
   void Wait(Mutex& mu) DJ_REQUIRES(mu) { cv_.wait(mu.mu_); }
+#endif
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

@@ -92,7 +92,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // Per-call batch state: ParallelFor must not return early when an
   // unrelated Submit finishes, nor block on unrelated in-flight tasks.
   struct Batch {
-    Mutex mu;
+    Mutex mu{"threadpool.batch", rank::kPoolBatch};
     CondVar cv;
     size_t pending DJ_GUARDED_BY(mu) = 0;
   };

@@ -72,7 +72,9 @@ class ThreadPool {
   static thread_local ThreadPool* current_pool_;
 
   std::vector<std::thread> workers_;
-  Mutex mu_;
+  // Rank: workers touch the metrics registry (first-use registration)
+  // while holding the queue lock, so kPool must stay below kMetrics.
+  Mutex mu_{"threadpool.queue", rank::kPool};
   CondVar task_cv_;
   CondVar done_cv_;
   std::queue<std::function<void()>> tasks_ DJ_GUARDED_BY(mu_);

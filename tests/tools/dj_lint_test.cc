@@ -166,6 +166,21 @@ TEST(DjLintTest, AdhocTimingFiresInPublicHeaders) {
       << run.output;
 }
 
+TEST(DjLintTest, SleepInLibraryFiresAndSuppresses) {
+  const LintRun run = RunLint("--root " + Testdata("bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // sleeping.cc: sleep_for (7), sleep_until (8). The backoff on line 13
+  // carries a suppression on line 12 and must stay silent.
+  EXPECT_NE(run.output.find("src/sleeping.cc:7: error: [sleep-in-library]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/sleeping.cc:8: error: [sleep-in-library]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("src/sleeping.cc:13:"), std::string::npos)
+      << run.output;
+}
+
 TEST(DjLintTest, SuppressionCommentsSilenceRules) {
   const LintRun run = RunLint("--root " + Testdata("bad"));
   // suppressed.cc holds the same violations as banned.cc, each carrying a
@@ -195,7 +210,8 @@ TEST(DjLintTest, ListRulesDocumentsEveryRule) {
   for (const char* rule : {"include-guard", "using-namespace",
                            "nondeterminism", "naked-new", "no-printf",
                            "raw-mutex", "detached-thread", "raw-file-io",
-                           "simd-intrinsics", "adhoc-timing"}) {
+                           "simd-intrinsics", "adhoc-timing",
+                           "sleep-in-library"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

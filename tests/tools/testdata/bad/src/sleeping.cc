@@ -1,0 +1,14 @@
+// Fixture: sleep-in-library. A sleep in library code is either a poll loop
+// (wait on a CondVar condition instead) or a timing assumption (a flake).
+#include <chrono>
+#include <thread>
+
+void PollForCompletion() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::this_thread::sleep_until(std::chrono::steady_clock::now());
+}
+
+void AllowedBackoff() {
+  // dj_lint: allow(sleep-in-library)
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

@@ -1,0 +1,25 @@
+// A tree with correct lock discipline: every acquisition runs uphill in
+// rank, the DJ_REQUIRES contract is satisfied at the call site, and the
+// condvar wait holds only the mutex it waits on. dj_deadlock must exit 0.
+#include "util/lock_rank.h"
+
+struct Clean {
+  Mutex low_{"clean.low", rank::kA};
+  Mutex high_{"clean.high", rank::kB};
+  CondVar cv_;
+  bool ready_ = false;
+
+  void Nest() {
+    MutexLock lo(low_);
+    Touch();              // DJ_REQUIRES(low_) and low_ is held: fine
+    MutexLock hi(high_);  // 100 -> 200, uphill: fine
+    ready_ = true;
+  }
+
+  void Touch() DJ_REQUIRES(low_) { ready_ = true; }
+
+  void Sleep() {
+    MutexLock lo(low_);
+    while (!ready_) cv_.Wait(low_);  // only the waited lock is held: fine
+  }
+};

@@ -1,0 +1,5 @@
+// Fixture rank table for the `clean` dj_deadlock tree.
+namespace rank {
+inline constexpr int kA = 100;  // clean.low
+inline constexpr int kB = 200;  // clean.high
+}  // namespace rank

@@ -1,0 +1,19 @@
+// Classic two-lock deadlock: one path takes a then b, the other b then a.
+// dj_deadlock must report a rank-order violation in Backward() and a
+// two-node lock-cycle.
+#include "util/lock_rank.h"
+
+struct Pair {
+  Mutex a_{"fixture.a", rank::kA};
+  Mutex b_{"fixture.b", rank::kB};
+
+  void Forward() {
+    MutexLock la(a_);
+    MutexLock lb(b_);  // a -> b, uphill: fine on its own
+  }
+
+  void Backward() {
+    MutexLock lb(b_);
+    MutexLock la(a_);  // b -> a closes the cycle and runs downhill in rank
+  }
+};

@@ -1,0 +1,5 @@
+// Fixture rank table for the `cycle2` dj_deadlock tree.
+namespace rank {
+inline constexpr int kA = 100;  // fixture.a
+inline constexpr int kB = 200;  // fixture.b
+}  // namespace rank

@@ -1,0 +1,25 @@
+// Three-lock cycle where one edge comes from a DJ_REQUIRES contract rather
+// than a lexical nesting: Step1 gives a -> b, Step2 gives b -> c, and
+// TakeA acquires a while its caller must hold c (c -> a). dj_deadlock must
+// report the rank-order violation in TakeA() and a three-node lock-cycle.
+#include "util/lock_rank.h"
+
+struct Trio {
+  Mutex a_{"trio.a", rank::kA};
+  Mutex b_{"trio.b", rank::kB};
+  Mutex c_{"trio.c", rank::kC};
+
+  void Step1() {
+    MutexLock la(a_);
+    MutexLock lb(b_);  // a -> b
+  }
+
+  void Step2() {
+    MutexLock lb(b_);
+    MutexLock lc(c_);  // b -> c
+  }
+
+  void TakeA() DJ_REQUIRES(c_) {
+    MutexLock la(a_);  // c -> a: downhill, closes the cycle
+  }
+};

@@ -1,0 +1,6 @@
+// Fixture rank table for the `cycle3` dj_deadlock tree.
+namespace rank {
+inline constexpr int kA = 100;  // trio.a
+inline constexpr int kB = 200;  // trio.b
+inline constexpr int kC = 300;  // trio.c
+}  // namespace rank

@@ -1,0 +1,52 @@
+// One of every non-ordering rule: an unranked mutex, blocking calls under a
+// lock (direct and through a helper), a condvar wait with a second lock
+// held, and annotation-contract violations — each next to a suppressed twin
+// that must stay silent.
+#include "util/lock_rank.h"
+
+struct Misc {
+  Mutex plain_;  // unranked: must fire
+  Mutex quiet_;  // dj_deadlock: allow(unranked-mutex)
+  Mutex a_{"misc.a", rank::kA};
+  Mutex b_{"misc.b", rank::kB};
+  CondVar cv_;
+  bool done_ = false;
+
+  void SaveUnderLock() {
+    MutexLock la(a_);
+    AtomicSave("state.bin");  // blocking call with misc.a held: must fire
+  }
+
+  void SaveAllowed() {
+    MutexLock la(a_);
+    // dj_deadlock: allow(blocking-under-lock)
+    AtomicSave("state.bin");
+  }
+
+  void DoSave() { AtomicSave("state.bin"); }
+
+  void TransitiveBlock() {
+    MutexLock la(a_);
+    DoSave();  // blocks through the callee: must fire here
+  }
+
+  void WaitHoldingTwo() {
+    MutexLock la(a_);
+    MutexLock lb(b_);
+    while (!done_) cv_.Wait(b_);  // misc.a still held: must fire
+  }
+
+  void Excluded() DJ_EXCLUDES(a_) { done_ = true; }
+
+  void NeedsA() DJ_REQUIRES(a_) { done_ = true; }
+
+  void BreaksContracts() {
+    MutexLock la(a_);
+    Excluded();  // callee excludes misc.a, which is held: must fire
+    NeedsA();    // fine: misc.a is held
+  }
+
+  void MissingRequired() {
+    NeedsA();  // callee requires misc.a, nothing held: must fire
+  }
+};

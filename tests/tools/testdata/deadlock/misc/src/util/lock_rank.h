@@ -1,0 +1,5 @@
+// Fixture rank table for the `misc` dj_deadlock tree.
+namespace rank {
+inline constexpr int kA = 100;  // misc.a
+inline constexpr int kB = 200;  // misc.b
+}  // namespace rank

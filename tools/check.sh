@@ -12,6 +12,10 @@
 #                             (fault-injection + corruption torture), so
 #                             every injected failure path is leak/UB-checked
 #   4. TSan build           + the `tsan`-labeled concurrency tests
+#   4b. lock-rank build     + Debug tree with -DDJ_LOCK_RANK=ON running the
+#                             death/tsan/lint labels (runtime rank
+#                             enforcement, dj_deadlock fixtures, tree scan)
+#                             and a dj_lockgraph JSON/DOT smoke dump
 #   5. kernel tiers         + kernels_test run twice (native dispatch and
 #                             DJ_FORCE_SCALAR_KERNELS=1) in the plain AND
 #                             ASan+UBSan trees, then encoder_probe dumps
@@ -96,6 +100,18 @@ if [[ "$QUICK" == "0" ]]; then
   run_profile build-asan "asan+ubsan" "" -DDJ_SANITIZE="address;undefined"
   check_kernel_tiers build-asan "asan+ubsan"
   run_profile build-tsan "tsan" "-L tsan" -DDJ_SANITIZE="thread"
+
+  # Lock discipline (DESIGN.md §10): Debug defaults DJ_LOCK_RANK=ON, so
+  # the death label exercises the runtime aborts (rank inversion,
+  # re-entry, condvar-with-second-lock), tsan hammers the hook
+  # bookkeeping, and lint runs dj_deadlock over fixtures + the real tree.
+  run_profile build-lockrank "lock-rank (Debug)" "-L 'death|tsan|lint'" \
+    -DCMAKE_BUILD_TYPE=Debug -DDJ_LOCK_RANK=ON
+  echo "=== [lock-rank (Debug)] dj_lockgraph: observed-graph dump ==="
+  "$ROOT/build-lockrank/tools/dj_lockgraph" --format=json \
+    | python3 -c "import json,sys; d=json.load(sys.stdin); \
+print('dj_lockgraph: %d nodes, %d edges' % (len(d['nodes']), len(d['edges'])))"
+  "$ROOT/build-lockrank/tools/dj_lockgraph" --format=dot >/dev/null
 
   # Optional clang-tidy leg over the checked-in .clang-tidy profile; the
   # plain build exported compile_commands.json.

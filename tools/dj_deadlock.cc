@@ -1,0 +1,1019 @@
+// dj_deadlock: cross-translation-unit lock-discipline analysis, the static
+// half of the runtime lock-rank layer (src/util/lock_rank.h, DESIGN.md
+// §10). Registered as a ctest (label: lint) so orderings on paths no test
+// ever executes still fail the build.
+//
+// What it does, end to end:
+//   1. Parses the rank table from <root>/src/util/lock_rank.h (one
+//      `inline constexpr int kName = N;` per line).
+//   2. Scans every source file for `Mutex <var>{"lock.name", rank::kX}`
+//      declarations (a .cc file inherits the declarations of its sibling
+//      .h, so member locks resolve across the TU boundary).
+//   3. Lexes every function body, tracking the statically-held lock set
+//      through scoped MutexLock blocks, manual Lock/Unlock pairs, and
+//      DJ_REQUIRES annotations (harvested from header declarations too),
+//      and records every call site together with the locks held at it.
+//   4. Runs a transitive may-acquire fixpoint over the unqualified-name
+//      call graph, then emits an acquired-while-holding edge for every
+//      direct acquisition and every lock a callee may take.
+//   5. Checks the result: rank-order violations, cycles in the static lock
+//      graph, unranked mutexes, annotation inconsistencies, and blocking
+//      calls (I/O, pool waits, checkpoint saves) made while a lock is held.
+//
+// Rules (suppress with `// dj_deadlock: allow(<rule>)` on the same line or
+// the line above):
+//   unranked-mutex      every `Mutex` in src/** carries a name and a rank
+//   rank-order          acquisitions run in strictly increasing rank order
+//   lock-cycle          the acquired-while-holding graph is acyclic
+//                       (cross-file; reported once per cycle, not
+//                       suppressible — break the cycle instead)
+//   rank-mismatch       one lock name maps to exactly one rank
+//   blocking-under-lock no Env/file I/O, ThreadPool::Wait/ParallelFor, or
+//                       checkpoint/atomic-save while holding any lock
+//   wait-holding-lock   CondVar::Wait with a second lock statically held
+//   excludes-held       calling a DJ_EXCLUDES(mu) function while mu is held
+//   requires-unheld     calling a DJ_REQUIRES(mu) function without mu held
+//
+// The analysis is lexical (tools/lint_common.h) and deliberately
+// name-based: functions are keyed by unqualified name and merged on
+// collision, locks are resolved by the last identifier of the MutexLock
+// argument. That is conservative enough to be sound on this tree and keeps
+// the tool standard-library-only and fast. Known blind spot: a lambda's
+// body is analysed in its lexical position, so a callback created under a
+// lock but invoked elsewhere inherits the creation-site held set.
+//
+// Usage: dj_deadlock [--root <dir>] [--list-rules] [--dump-graph]
+//                    [subdir ...]
+//   Scans <root>/src by default. Exit: 0 clean, 1 violations, 2 usage.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_common.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using lintc::FileText;
+using lintc::IsWordChar;
+using lintc::StripCommentsAndStrings;
+
+constexpr int kUnranked = -1;
+
+// ---- tokens ----
+
+struct Tok {
+  enum Kind { kIdent, kNumber, kString, kPunct } kind = kPunct;
+  std::string text;   // for kString: the literal's contents (from raw)
+  size_t line = 0;    // 1-based
+};
+
+/// Lexes the blanked code lines into tokens, reading string contents back
+/// out of the raw lines (blanking preserves columns, so the quotes in the
+/// code line bracket the original contents in the raw line). Preprocessor
+/// lines (and their backslash continuations) are dropped entirely.
+std::vector<Tok> Lex(const FileText& text) {
+  std::vector<Tok> toks;
+  bool in_continuation = false;
+  for (size_t li = 0; li < text.code.size(); ++li) {
+    const std::string& code = text.code[li];
+    const std::string& raw = text.raw[li];
+    const size_t first = code.find_first_not_of(" \t");
+    const bool directive =
+        !in_continuation && first != std::string::npos && code[first] == '#';
+    const bool continues = !code.empty() && code.back() == '\\';
+    if (directive || in_continuation) {
+      in_continuation = continues;
+      continue;
+    }
+    in_continuation = false;
+    size_t i = 0;
+    while (i < code.size()) {
+      const char c = code[i];
+      if (c == ' ' || c == '\t') {
+        ++i;
+        continue;
+      }
+      if (IsWordChar(c)) {
+        size_t j = i;
+        while (j < code.size() && IsWordChar(code[j])) ++j;
+        Tok t;
+        t.kind = (c >= '0' && c <= '9') ? Tok::kNumber : Tok::kIdent;
+        t.text = code.substr(i, j - i);
+        t.line = li + 1;
+        toks.push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (c == '"') {
+        size_t j = i + 1;
+        while (j < code.size() && code[j] != '"') ++j;
+        Tok t;
+        t.kind = Tok::kString;
+        t.text = (j < raw.size()) ? raw.substr(i + 1, j - i - 1) : "";
+        t.line = li + 1;
+        toks.push_back(std::move(t));
+        i = (j < code.size()) ? j + 1 : j;
+        continue;
+      }
+      if (c == '\'') {  // char literal (contents blanked); skip to close
+        size_t j = i + 1;
+        while (j < code.size() && code[j] != '\'') ++j;
+        i = (j < code.size()) ? j + 1 : j;
+        continue;
+      }
+      Tok t;
+      t.kind = Tok::kPunct;
+      t.text = std::string(1, c);
+      t.line = li + 1;
+      toks.push_back(std::move(t));
+      ++i;
+    }
+  }
+  return toks;
+}
+
+// ---- model ----
+
+struct LockDecl {
+  std::string lock_name;  // "threadpool.queue" or synthesized "(unranked:…)"
+  int rank = kUnranked;
+  std::string site;  // file:line of the declaration
+};
+
+struct CallSite {
+  std::string callee;              // unqualified name
+  std::vector<std::string> held;   // lock names held at the call
+  std::string file;
+  size_t line = 0;
+};
+
+struct AcquireEvent {
+  std::string lock;                // lock name acquired
+  std::vector<std::string> held;   // lock names already held
+  std::string file;
+  size_t line = 0;
+  bool rank_checked = true;        // false for TryLock
+};
+
+struct FuncInfo {
+  std::set<std::string> requires_locks;  // DJ_REQUIRES, resolved lock names
+  std::set<std::string> excludes_locks;  // DJ_EXCLUDES, resolved lock names
+  std::set<std::string> direct_acquires;
+  std::vector<CallSite> calls;
+  std::vector<AcquireEvent> acquires;
+};
+
+struct Violation {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Edge {
+  std::string from_site;  // first-seen site that held `from`…
+  std::string to_site;    // …while acquiring `to`
+};
+
+/// Calls that may block indefinitely or hit the filesystem: forbidden while
+/// holding any lock. Env/file I/O, the pool's blocking entry points, and
+/// the checkpoint/save protocol built on them.
+const std::set<std::string>& BlockingCalls() {
+  // "Wait" here is ThreadPool::Wait — a `Wait(mu)` with a mutex argument is
+  // a CondVar wait and is consumed before the call-site scan reaches it.
+  static const std::set<std::string> kSet = {
+      "Wait",           "ParallelFor",     "NewWritableFile",
+      "NewRandomAccessFile",               "RenameFile",
+      "RemoveFile",     "ReadFileToString", "GetFileSize",
+      "Append",         "Sync",            "Flush",
+      "AtomicSave",     "SaveCheckpointTo", "LoadCheckpoint",
+  };
+  return kSet;
+}
+
+bool IsAnnotationMacro(const std::string& s) {
+  return s.rfind("DJ_", 0) == 0;
+}
+
+class Analyzer {
+ public:
+  explicit Analyzer(fs::path root) : root_(std::move(root)) {}
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  size_t files_scanned() const { return files_scanned_; }
+
+  bool LoadRankTable() {
+    const fs::path table = root_ / "src" / "util" / "lock_rank.h";
+    std::ifstream in(table);
+    if (!in) {
+      std::cerr << "dj_deadlock: cannot read rank table " << table << "\n";
+      return false;
+    }
+    // Match `inline constexpr int k<Name> = <int>;` lexically.
+    const FileText text = StripCommentsAndStrings(in);
+    const std::vector<Tok> toks = Lex(text);
+    for (size_t i = 0; i + 5 < toks.size(); ++i) {
+      if (toks[i].text != "constexpr" || toks[i + 1].text != "int") continue;
+      const std::string& sym = toks[i + 2].text;
+      if (toks[i + 3].text != "=") continue;
+      int sign = 1;
+      size_t v = i + 4;
+      if (toks[v].text == "-") {
+        sign = -1;
+        ++v;
+      }
+      if (toks[v].kind != Tok::kNumber) continue;
+      rank_table_[sym] = sign * std::stoi(toks[v].text);
+    }
+    return !rank_table_.empty();
+  }
+
+  void AnalyzeTree(const fs::path& dir) {
+    std::vector<fs::path> files = lintc::CollectSourceFiles(dir);
+    // Pass 1: declarations + annotations from every file (headers first is
+    // unnecessary — contexts merge by stem in pass 2).
+    for (const auto& f : files) ScanDecls(f);
+    // Pass 2: function bodies with the merged decl context.
+    for (const auto& f : files) ScanBodies(f);
+  }
+
+  /// Fixpoint + edge emission + graph checks. Call once after AnalyzeTree.
+  void Finish(bool dump_graph) {
+    // Transitive may-acquire over the call graph.
+    std::map<std::string, std::set<std::string>> may_acquire;
+    for (const auto& [name, f] : funcs_) may_acquire[name] = f.direct_acquires;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [name, f] : funcs_) {
+        std::set<std::string>& mine = may_acquire[name];
+        for (const CallSite& c : f.calls) {
+          auto it = may_acquire.find(c.callee);
+          if (it == may_acquire.end()) continue;
+          for (const std::string& l : it->second) {
+            if (mine.insert(l).second) changed = true;
+          }
+        }
+      }
+    }
+
+    // Transitive may-block: a function blocks if its body makes a blocking
+    // call or any callee does. The value is a witness chain for reporting.
+    std::map<std::string, std::string> may_block;
+    for (const auto& [name, f] : funcs_) {
+      (void)f;
+      may_block[name] = "";
+    }
+    for (const auto& [name, f] : funcs_) {
+      for (const CallSite& c : f.calls) {
+        if (BlockingCalls().count(c.callee) != 0) {
+          may_block[name] = c.callee + "()";
+          break;
+        }
+      }
+    }
+    changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [name, f] : funcs_) {
+        if (!may_block[name].empty()) continue;
+        for (const CallSite& c : f.calls) {
+          auto it = may_block.find(c.callee);
+          if (it == may_block.end() || it->second.empty()) continue;
+          may_block[name] = c.callee + "() -> " + it->second;
+          changed = true;
+          break;
+        }
+      }
+    }
+
+    // Forward may-hold-at-entry fixpoint (for excludes/requires checks on
+    // functions reached with locks already held, e.g. a metrics helper
+    // called from inside ThreadPool::Submit's critical section).
+    std::map<std::string, std::set<std::string>> held_at_entry;
+    changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [name, f] : funcs_) {
+        std::set<std::string> entry = f.requires_locks;
+        auto hit = held_at_entry.find(name);
+        if (hit != held_at_entry.end()) {
+          entry.insert(hit->second.begin(), hit->second.end());
+        }
+        for (const CallSite& c : f.calls) {
+          if (funcs_.find(c.callee) == funcs_.end()) continue;
+          std::set<std::string>& callee_entry = held_at_entry[c.callee];
+          for (const std::string& l : c.held) {
+            if (callee_entry.insert(l).second) changed = true;
+          }
+          for (const std::string& l : entry) {
+            if (callee_entry.insert(l).second) changed = true;
+          }
+        }
+      }
+    }
+
+    // Emit edges: direct acquisitions…
+    for (const auto& [name, f] : funcs_) {
+      (void)name;
+      for (const AcquireEvent& a : f.acquires) {
+        for (const std::string& h : a.held) {
+          AddEdge(h, a.lock, a.file + ":" + std::to_string(a.line));
+        }
+      }
+      // …and call-derived ones (callee may acquire L while we hold H).
+      for (const CallSite& c : f.calls) {
+        const std::string site = c.file + ":" + std::to_string(c.line);
+        auto it = may_acquire.find(c.callee);
+        if (it != may_acquire.end()) {
+          for (const std::string& h : c.held) {
+            for (const std::string& l : it->second) {
+              if (l == h) continue;  // re-entry via calls: cycle check's job
+              AddEdge(h, l, site);
+              CheckRankPair(h, l, c.file, c.line,
+                            "via call to " + c.callee + "()");
+            }
+          }
+        }
+        // Effective held set: locks held lexically at the call plus locks
+        // that may be held whenever the enclosing function is entered
+        // (propagated cross-TU through the call graph).
+        std::set<std::string> eff(c.held.begin(), c.held.end());
+        auto ent = held_at_entry.find(name);
+        if (ent != held_at_entry.end()) {
+          eff.insert(ent->second.begin(), ent->second.end());
+        }
+        auto fit = funcs_.find(c.callee);
+        if (fit != funcs_.end()) {
+          for (const std::string& ex : fit->second.excludes_locks) {
+            if (eff.count(ex) != 0 &&
+                !Suppressed(c.file, c.line, "excludes-held")) {
+              Report(c.file, c.line, "excludes-held",
+                     "call to " + c.callee + "() which DJ_EXCLUDES '" + ex +
+                         "' while '" + ex + "' is held");
+            }
+          }
+          for (const std::string& rq : fit->second.requires_locks) {
+            if (std::find(c.held.begin(), c.held.end(), rq) ==
+                    c.held.end() &&
+                !Suppressed(c.file, c.line, "requires-unheld")) {
+              Report(c.file, c.line, "requires-unheld",
+                     "call to " + c.callee + "() which DJ_REQUIRES '" + rq +
+                         "' without holding it");
+            }
+          }
+          // Transitive blocking: a callee whose body (or any transitive
+          // callee) blocks, reached with a lock held. Direct blocking
+          // names were already reported at scan time.
+          auto bit = may_block.find(c.callee);
+          if (!eff.empty() && bit != may_block.end() &&
+              !bit->second.empty() &&
+              BlockingCalls().count(c.callee) == 0 &&
+              !Suppressed(c.file, c.line, "blocking-under-lock")) {
+            Report(c.file, c.line, "blocking-under-lock",
+                   "call to " + c.callee + "() while holding '" +
+                       *eff.begin() + "'; it may block (" + c.callee +
+                       "() -> " + bit->second + ")");
+          }
+        }
+      }
+    }
+
+    if (dump_graph) {
+      for (const auto& [key, e] : edges_) {
+        std::cout << key.first << " -> " << key.second << "  (first at "
+                  << e.to_site << ")\n";
+      }
+    }
+    ReportCycles();
+  }
+
+ private:
+  using DeclContext = std::map<std::string, LockDecl>;  // var -> lock
+
+  std::string Relative(const fs::path& path) const {
+    std::error_code ec;
+    const fs::path rel = fs::relative(path, root_, ec);
+    return (ec ? path : rel).generic_string();
+  }
+
+  void Report(const std::string& file, size_t line, const std::string& rule,
+              const std::string& message) {
+    violations_.push_back({file, line, rule, message});
+  }
+
+  /// Suppression check against the file scanned most recently under `rel`.
+  bool Suppressed(const std::string& rel, size_t line, const std::string& rule) {
+    auto it = texts_.find(rel);
+    if (it == texts_.end() || line == 0 || line > it->second.raw.size()) {
+      return false;
+    }
+    return lintc::SuppressedAt(it->second, line - 1, "dj_deadlock", rule);
+  }
+
+  int RankOf(const std::string& lock_name) const {
+    auto it = lock_ranks_.find(lock_name);
+    return it == lock_ranks_.end() ? kUnranked : it->second;
+  }
+
+  void CheckRankPair(const std::string& held, const std::string& acquired,
+                     const std::string& file, size_t line,
+                     const std::string& how) {
+    const int rh = RankOf(held);
+    const int ra = RankOf(acquired);
+    if (rh == kUnranked || ra == kUnranked) return;
+    if (ra > rh) return;
+    if (Suppressed(file, line, "rank-order")) return;
+    Report(file, line, "rank-order",
+           "acquires '" + acquired + "' (rank " + std::to_string(ra) + ") " +
+               how + " while holding '" + held + "' (rank " +
+               std::to_string(rh) +
+               "); locks must be acquired in strictly increasing rank order");
+  }
+
+  void AddEdge(const std::string& from, const std::string& to,
+               const std::string& site) {
+    auto [it, inserted] = edges_.try_emplace({from, to}, Edge{site, site});
+    (void)it;
+    (void)inserted;
+  }
+
+  // ---- pass 1: lock declarations + function annotations ----
+
+  void ScanDecls(const fs::path& path) {
+    std::ifstream in(path);
+    if (!in) return;
+    ++files_scanned_;
+    const std::string rel = Relative(path);
+    FileText text = StripCommentsAndStrings(in);
+    const std::vector<Tok> toks = Lex(text);
+    texts_.emplace(rel, std::move(text));
+    DeclContext& ctx = contexts_[rel];
+
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != Tok::kIdent || toks[i].text != "Mutex") continue;
+      if (i > 0 && (toks[i - 1].text == "class" || toks[i - 1].text == ":" ||
+                    toks[i - 1].text == "friend")) {
+        continue;
+      }
+      const Tok& next = toks[i + 1];
+      if (next.kind != Tok::kIdent) continue;  // Mutex( / Mutex& / Mutex* …
+      const std::string var = next.text;
+      LockDecl decl;
+      decl.site = rel + ":" + std::to_string(next.line);
+      // `Mutex v{"name", rank::kX}` — anything else is unranked.
+      if (i + 2 < toks.size() && toks[i + 2].text == "{" &&
+          i + 3 < toks.size() && toks[i + 3].kind == Tok::kString) {
+        decl.lock_name = toks[i + 3].text;
+        // Rank expression: last identifier before the closing '}'.
+        size_t j = i + 4;
+        std::string rank_sym;
+        while (j < toks.size() && toks[j].text != "}") {
+          if (toks[j].kind == Tok::kIdent) rank_sym = toks[j].text;
+          ++j;
+        }
+        auto rit = rank_table_.find(rank_sym);
+        decl.rank = (rit == rank_table_.end()) ? kUnranked : rit->second;
+      } else {
+        decl.lock_name = "(unranked:" +
+                         fs::path(rel).filename().string() + "." + var + ")";
+        if (rel.rfind("src/", 0) == 0 &&
+            !Suppressed(rel, next.line, "unranked-mutex")) {
+          Report(rel, next.line, "unranked-mutex",
+                 "`Mutex " + var +
+                     "` has no name/rank; declare it as Mutex " + var +
+                     "{\"<layer>.<name>\", rank::k<Name>} and add the rank "
+                     "to src/util/lock_rank.h");
+        }
+      }
+      // One name, one rank — two declarations disagreeing is a config bug.
+      auto known = lock_ranks_.find(decl.lock_name);
+      if (known == lock_ranks_.end()) {
+        lock_ranks_[decl.lock_name] = decl.rank;
+        lock_sites_[decl.lock_name] = decl.site;
+      } else if (known->second != decl.rank &&
+                 !Suppressed(rel, next.line, "rank-mismatch")) {
+        Report(rel, next.line, "rank-mismatch",
+               "lock '" + decl.lock_name + "' declared with rank " +
+                   std::to_string(decl.rank) + " here and rank " +
+                   std::to_string(known->second) + " at " +
+                   lock_sites_[decl.lock_name]);
+      }
+      // First declaration of a variable name wins within a file.
+      ctx.emplace(var, std::move(decl));
+    }
+  }
+
+  /// The decl context of `rel` merged with its sibling header's (so a .cc
+  /// resolves the member locks its class declares in the .h).
+  DeclContext MergedContext(const std::string& rel) const {
+    DeclContext ctx;
+    auto own = contexts_.find(rel);
+    if (own != contexts_.end()) ctx = own->second;
+    const fs::path p(rel);
+    if (p.extension() != ".h") {
+      fs::path sibling = p;
+      sibling.replace_extension(".h");
+      auto sib = contexts_.find(sibling.generic_string());
+      if (sib != contexts_.end()) {
+        for (const auto& [var, decl] : sib->second) ctx.emplace(var, decl);
+      }
+    }
+    return ctx;
+  }
+
+  // ---- pass 2: function bodies ----
+
+  /// Extracts the function name from the head tokens (everything since the
+  /// last statement boundary): the last identifier directly before a
+  /// top-paren-level '(' — annotation macros excluded, constructor
+  /// initializer lists cut off.
+  static std::string HeadFunctionName(const std::vector<Tok>& head) {
+    int depth = 0;
+    std::string name;
+    for (size_t i = 0; i < head.size(); ++i) {
+      const Tok& t = head[i];
+      if (t.text == "(") {
+        if (depth == 0 && i > 0 && head[i - 1].kind == Tok::kIdent &&
+            !IsAnnotationMacro(head[i - 1].text)) {
+          name = head[i - 1].text;
+        }
+        ++depth;
+      } else if (t.text == ")") {
+        --depth;
+      } else if (t.text == ":" && depth == 0 && i > 0 &&
+                 head[i - 1].text == ")" &&
+                 (i + 1 >= head.size() || head[i + 1].text != ":")) {
+        break;  // constructor initializer list
+      }
+    }
+    return name;
+  }
+
+  /// Collects the arguments of every DJ_<macro>(a, b) in the head and
+  /// resolves them to lock names via `ctx` (unresolvable arguments — e.g.
+  /// function parameters — are skipped).
+  static std::set<std::string> HeadAnnotationLocks(
+      const std::vector<Tok>& head, const std::string& macro,
+      const DeclContext& ctx) {
+    std::set<std::string> out;
+    for (size_t i = 0; i + 1 < head.size(); ++i) {
+      if (head[i].text != macro || head[i + 1].text != "(") continue;
+      size_t j = i + 2;
+      int depth = 1;
+      std::string last_ident;
+      while (j < head.size() && depth > 0) {
+        if (head[j].text == "(") ++depth;
+        if (head[j].text == ")") --depth;
+        if (depth == 0) break;
+        if (head[j].kind == Tok::kIdent) last_ident = head[j].text;
+        if (head[j].text == ",") {
+          auto it = ctx.find(last_ident);
+          if (it != ctx.end()) out.insert(it->second.lock_name);
+          last_ident.clear();
+        }
+        ++j;
+      }
+      auto it = ctx.find(last_ident);
+      if (it != ctx.end()) out.insert(it->second.lock_name);
+    }
+    return out;
+  }
+
+  void ScanBodies(const fs::path& path) {
+    const std::string rel = Relative(path);
+    auto tit = texts_.find(rel);
+    if (tit == texts_.end()) return;
+    const std::vector<Tok> toks = Lex(tit->second);
+    const DeclContext ctx = MergedContext(rel);
+
+    enum ScopeKind { kNamespace, kClass, kFunction, kBlock };
+    struct Scope {
+      ScopeKind kind;
+      std::string func;                // enclosing function ("" outside)
+      std::vector<std::string> locks;  // scoped locks acquired in this scope
+    };
+    std::vector<Scope> scopes;
+    std::vector<Tok> head;
+    // Held stack of lock names for the innermost function, outermost first.
+    std::vector<std::string> held;
+
+    auto current_func = [&]() -> std::string {
+      for (size_t i = scopes.size(); i-- > 0;) {
+        if (!scopes[i].func.empty()) return scopes[i].func;
+      }
+      return "";
+    };
+    auto resolve_args_last_ident = [&](size_t open,
+                                       size_t* close) -> std::string {
+      // Last identifier inside the balanced parens starting at `open`.
+      int depth = 1;
+      size_t j = open + 1;
+      std::string last;
+      while (j < toks.size() && depth > 0) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")") --depth;
+        if (depth == 0) break;
+        if (toks[j].kind == Tok::kIdent) last = toks[j].text;
+        ++j;
+      }
+      if (close != nullptr) *close = j;
+      return last;
+    };
+    auto held_with_requires = [&]() {
+      std::vector<std::string> out = held;
+      const std::string fn = current_func();
+      auto fit = funcs_.find(fn);
+      if (fit != funcs_.end()) {
+        for (const std::string& rq : fit->second.requires_locks) {
+          if (std::find(out.begin(), out.end(), rq) == out.end()) {
+            out.insert(out.begin(), rq);  // entry-held: outermost
+          }
+        }
+      }
+      return out;
+    };
+    auto record_acquire = [&](const std::string& lock, size_t line,
+                              bool rank_checked) {
+      const std::string fn = current_func();
+      if (fn.empty()) return;
+      FuncInfo& f = funcs_[fn];
+      AcquireEvent ev;
+      ev.lock = lock;
+      ev.held = held_with_requires();
+      ev.file = rel;
+      ev.line = line;
+      ev.rank_checked = rank_checked;
+      // Rank + re-entry checks at the acquisition site.
+      for (const std::string& h : ev.held) {
+        if (h == lock && !Suppressed(rel, line, "rank-order")) {
+          Report(rel, line, "rank-order",
+                 "re-entrant acquisition of '" + lock + "'");
+          continue;
+        }
+        if (rank_checked) CheckRankPair(h, lock, rel, line, "directly");
+      }
+      f.direct_acquires.insert(lock);
+      f.acquires.push_back(std::move(ev));
+      held.push_back(lock);
+    };
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Tok& t = toks[i];
+      if (t.text == "{") {
+        Scope s;
+        s.func = scopes.empty() ? "" : current_func();
+        bool has_class = false, has_namespace = false;
+        for (const Tok& h : head) {
+          if (h.text == "class" || h.text == "struct" || h.text == "union" ||
+              h.text == "enum") {
+            has_class = true;
+          }
+          if (h.text == "namespace") has_namespace = true;
+        }
+        const bool in_function = !s.func.empty();
+        if (has_namespace && !in_function) {
+          s.kind = kNamespace;
+        } else if (has_class && !in_function) {
+          s.kind = kClass;
+        } else if (in_function) {
+          s.kind = kBlock;
+        } else {
+          // Candidate function definition: require a ')' (or trailing
+          // qualifier after one) right before the '{'.
+          const std::string fn = HeadFunctionName(head);
+          bool looks_like_fn = false;
+          if (!head.empty()) {
+            const std::string& prev = head.back().text;
+            looks_like_fn = prev == ")" || prev == "const" ||
+                            prev == "noexcept" || prev == "override" ||
+                            prev == "final";
+          }
+          if (!fn.empty() && looks_like_fn) {
+            s.kind = kFunction;
+            s.func = fn;
+            FuncInfo& f = funcs_[fn];
+            for (const std::string& l :
+                 HeadAnnotationLocks(head, "DJ_REQUIRES", ctx)) {
+              f.requires_locks.insert(l);
+            }
+            for (const std::string& l :
+                 HeadAnnotationLocks(head, "DJ_EXCLUDES", ctx)) {
+              f.excludes_locks.insert(l);
+            }
+            for (const std::string& l :
+                 HeadAnnotationLocks(head, "DJ_ACQUIRE", ctx)) {
+              f.direct_acquires.insert(l);
+            }
+          } else {
+            s.kind = kBlock;  // brace-init at class scope, arrays, …
+          }
+        }
+        scopes.push_back(std::move(s));
+        head.clear();
+        continue;
+      }
+      if (t.text == "}") {
+        if (!scopes.empty()) {
+          for (const std::string& l : scopes.back().locks) {
+            auto it = std::find(held.rbegin(), held.rend(), l);
+            if (it != held.rend()) held.erase(std::next(it).base());
+          }
+          scopes.pop_back();
+        }
+        head.clear();
+        continue;
+      }
+      if (t.text == ";") {
+        // A declaration ending in ';' may still carry DJ_REQUIRES — harvest
+        // it so definitions in the .cc inherit the header's contract.
+        const std::string fn = HeadFunctionName(head);
+        if (!fn.empty()) {
+          auto reqs = HeadAnnotationLocks(head, "DJ_REQUIRES", ctx);
+          auto excl = HeadAnnotationLocks(head, "DJ_EXCLUDES", ctx);
+          auto acq = HeadAnnotationLocks(head, "DJ_ACQUIRE", ctx);
+          if (!reqs.empty() || !excl.empty() || !acq.empty()) {
+            FuncInfo& f = funcs_[fn];
+            f.requires_locks.insert(reqs.begin(), reqs.end());
+            f.excludes_locks.insert(excl.begin(), excl.end());
+            f.direct_acquires.insert(acq.begin(), acq.end());
+          }
+        }
+        head.clear();
+        continue;
+      }
+      head.push_back(t);
+
+      const std::string fn = current_func();
+      if (fn.empty()) continue;  // events only matter inside functions
+
+      // MutexLock <var>(<expr>);
+      if (t.kind == Tok::kIdent && t.text == "MutexLock" &&
+          i + 2 < toks.size() && toks[i + 1].kind == Tok::kIdent &&
+          toks[i + 2].text == "(") {
+        size_t close = 0;
+        const std::string var = resolve_args_last_ident(i + 2, &close);
+        auto it = ctx.find(var);
+        if (it != ctx.end()) {
+          record_acquire(it->second.lock_name, t.line, /*rank_checked=*/true);
+          if (!scopes.empty()) {
+            scopes.back().locks.push_back(it->second.lock_name);
+          }
+        }
+        i = close;
+        head.clear();  // consume; the ')' would confuse head heuristics
+        continue;
+      }
+
+      // <var>.Lock(/.Unlock(/.TryLock( manual pairs, and X.Wait(mu) —
+      // through either `.` or `->`.
+      const bool via_dot = i > 0 && toks[i - 1].text == ".";
+      const bool via_arrow = i > 1 && toks[i - 1].text == ">" &&
+                             toks[i - 2].text == "-";
+      if (t.kind == Tok::kIdent && i + 2 < toks.size() &&
+          toks[i + 1].text == "(" && (via_dot || via_arrow)) {
+        const size_t recv = via_dot ? 2 : 3;  // tokens back to the receiver
+        const std::string& method = t.text;
+        if (method == "Lock" || method == "Unlock" || method == "TryLock") {
+          const std::string var =
+              (i >= recv && toks[i - recv].kind == Tok::kIdent)
+                  ? toks[i - recv].text
+                  : "";
+          auto it = ctx.find(var);
+          if (it != ctx.end()) {
+            const std::string& lock = it->second.lock_name;
+            if (method == "Unlock") {
+              auto hit = std::find(held.rbegin(), held.rend(), lock);
+              if (hit != held.rend()) held.erase(std::next(hit).base());
+              for (size_t si = scopes.size(); si-- > 0;) {
+                auto& ls = scopes[si].locks;
+                auto lit = std::find(ls.begin(), ls.end(), lock);
+                if (lit != ls.end()) {
+                  ls.erase(lit);
+                  break;
+                }
+              }
+            } else {
+              record_acquire(lock, t.line,
+                             /*rank_checked=*/method == "Lock");
+              if (!scopes.empty()) scopes.back().locks.push_back(lock);
+            }
+            continue;
+          }
+        }
+        if (method == "Wait") {
+          size_t close = 0;
+          const std::string arg = resolve_args_last_ident(i + 1, &close);
+          if (!arg.empty()) {
+            // CondVar::Wait(mu): exempt from call edges, but waiting while
+            // any OTHER lock is statically held is the canonical condvar
+            // deadlock shape (see util/mutex.h).
+            const std::vector<std::string> h = held_with_requires();
+            auto it = ctx.find(arg);
+            const std::string waited =
+                (it != ctx.end()) ? it->second.lock_name : "";
+            for (const std::string& l : h) {
+              if (l == waited) continue;
+              if (!Suppressed(rel, t.line, "wait-holding-lock")) {
+                Report(rel, t.line, "wait-holding-lock",
+                       "CondVar::Wait while also holding '" + l +
+                           "'; the wait releases only its own mutex, so "
+                           "every other lock stays held across the sleep");
+              }
+            }
+            i = close;
+            continue;
+          }
+          // `Wait()` with no argument = ThreadPool::Wait — a blocking call,
+          // handled below like any other call site.
+        }
+      }
+
+      // Generic call site: ident '(' not preceded by a type/keyword.
+      if (t.kind == Tok::kIdent && i + 1 < toks.size() &&
+          toks[i + 1].text == "(") {
+        static const std::set<std::string> kNotCalls = {
+            "if",     "for",    "while",   "switch",   "return", "catch",
+            "sizeof", "static_cast",       "const_cast",
+            "dynamic_cast",     "reinterpret_cast",    "alignof",
+            "decltype",
+        };
+        if (kNotCalls.count(t.text) != 0 || IsAnnotationMacro(t.text)) {
+          continue;
+        }
+        const std::vector<std::string> h = held_with_requires();
+        if (!h.empty() && BlockingCalls().count(t.text) != 0 &&
+            !Suppressed(rel, t.line, "blocking-under-lock")) {
+          Report(rel, t.line, "blocking-under-lock",
+                 "call to " + t.text + "() while holding '" + h.back() +
+                     "'; blocking I/O / pool waits / checkpoint saves must "
+                     "run outside every critical section");
+        }
+        CallSite c;
+        c.callee = t.text;
+        c.held = h;
+        c.file = rel;
+        c.line = t.line;
+        funcs_[fn].calls.push_back(std::move(c));
+      }
+    }
+  }
+
+  // ---- cycles ----
+
+  void ReportCycles() {
+    // DFS over the static edge set; each cycle reported once, canonicalised
+    // by rotating its smallest node to the front.
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& [key, e] : edges_) {
+      (void)e;
+      adj[key.first].push_back(key.second);
+    }
+    std::set<std::string> seen_cycles;
+    std::set<std::string> done;
+    std::vector<std::string> stack;
+    std::set<std::string> on_stack;
+
+    std::function<void(const std::string&)> dfs =
+        [&](const std::string& node) {
+          stack.push_back(node);
+          on_stack.insert(node);
+          for (const std::string& next : adj[node]) {
+            if (on_stack.count(next) != 0) {
+              // Extract the cycle from the stack.
+              auto begin =
+                  std::find(stack.begin(), stack.end(), next);
+              std::vector<std::string> cyc(begin, stack.end());
+              auto min_it = std::min_element(cyc.begin(), cyc.end());
+              std::rotate(cyc.begin(), min_it, cyc.end());
+              std::string text;
+              for (const std::string& n : cyc) text += n + " -> ";
+              text += cyc.front();
+              if (seen_cycles.insert(text).second) {
+                const Edge& e = edges_.at({node, next});
+                Report(e.to_site.substr(0, e.to_site.rfind(':')), 0,
+                       "lock-cycle",
+                       "lock-order cycle: " + text + " (edge " + node +
+                           " -> " + next + " first seen at " + e.to_site +
+                           ")");
+              }
+              continue;
+            }
+            if (done.count(next) == 0) dfs(next);
+          }
+          on_stack.erase(node);
+          stack.pop_back();
+          done.insert(node);
+        };
+    for (const auto& [node, nexts] : adj) {
+      (void)nexts;
+      if (done.count(node) == 0) dfs(node);
+    }
+  }
+
+  fs::path root_;
+  std::map<std::string, int> rank_table_;         // kPool -> 100
+  std::map<std::string, int> lock_ranks_;         // lock name -> rank
+  std::map<std::string, std::string> lock_sites_; // lock name -> decl site
+  std::map<std::string, DeclContext> contexts_;   // rel path -> decls
+  std::map<std::string, FileText> texts_;         // rel path -> text
+  std::map<std::string, FuncInfo> funcs_;         // unqualified name
+  std::map<std::pair<std::string, std::string>, Edge> edges_;
+  std::vector<Violation> violations_;
+  size_t files_scanned_ = 0;
+};
+
+void ListRules() {
+  std::cout
+      << "unranked-mutex      every Mutex in src/** carries a name and a "
+         "rank from src/util/lock_rank.h\n"
+      << "rank-order          locks are acquired in strictly increasing "
+         "rank order\n"
+      << "lock-cycle          the acquired-while-holding graph is acyclic\n"
+      << "rank-mismatch       one lock name maps to exactly one rank\n"
+      << "blocking-under-lock no Env I/O, ThreadPool Wait/ParallelFor, or "
+         "checkpoint saves while holding a lock\n"
+      << "wait-holding-lock   no CondVar::Wait with a second lock held\n"
+      << "excludes-held       no calling a DJ_EXCLUDES(mu) function with mu "
+         "held\n"
+      << "requires-unheld     no calling a DJ_REQUIRES(mu) function without "
+         "mu held\n"
+      << "suppress with       // dj_deadlock: allow(<rule>)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> subdirs;
+  bool dump_graph = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "dj_deadlock: --root requires a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      ListRules();
+      return 0;
+    } else if (arg == "--dump-graph") {
+      dump_graph = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dj_deadlock: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      subdirs.push_back(arg);
+    }
+  }
+  if (subdirs.empty()) subdirs.push_back("src");
+
+  Analyzer analyzer(root);
+  if (!analyzer.LoadRankTable()) return 2;
+  bool scanned_any = false;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::is_directory(dir)) continue;
+    scanned_any = true;
+    analyzer.AnalyzeTree(dir);
+  }
+  if (!scanned_any) {
+    std::cerr << "dj_deadlock: nothing to scan under " << root << "\n";
+    return 2;
+  }
+  analyzer.Finish(dump_graph);
+
+  std::vector<size_t> order(analyzer.violations().size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const auto& va = analyzer.violations()[a];
+    const auto& vb = analyzer.violations()[b];
+    if (va.file != vb.file) return va.file < vb.file;
+    return va.line < vb.line;
+  });
+  for (size_t i : order) {
+    const auto& v = analyzer.violations()[i];
+    std::cout << v.file << ":" << v.line << ": error: [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  if (analyzer.violations().empty()) {
+    std::cout << "dj_deadlock: clean (" << analyzer.files_scanned()
+              << " files scanned)\n";
+    return 0;
+  }
+  std::cout << "dj_deadlock: " << analyzer.violations().size()
+            << " violation(s) in " << analyzer.files_scanned()
+            << " files scanned\n";
+  return 1;
+}

@@ -33,10 +33,18 @@
 //                    timing surfaces flow through trace::QueryStats and the
 //                    metrics registry (src/util/trace.h, src/util/metrics.h)
 //                    instead of per-class ad-hoc millisecond fields
+//   sleep-in-library no std::this_thread::sleep_for / sleep_until in
+//                    library code (src/**) — a sleep in the library is
+//                    either a poll loop (use CondVar::Wait on a real
+//                    condition) or a timing assumption (a latent flake);
+//                    tests may sleep, the library may not
 //
 // A violation is suppressed by `// dj_lint: allow(<rule>)` on the same line
 // or on the line directly above it. Comment and string-literal contents are
 // ignored by every rule except include-guard.
+//
+// The lexical scanner core (comment stripping, token search, suppression
+// comments, tree walk) is shared with dj_deadlock via tools/lint_common.h.
 //
 // Usage: dj_lint [--root <dir>] [--list-rules] [subdir ...]
 //   Scans <root>/{src,tests,bench,tools,examples} by default; explicit
@@ -45,9 +53,7 @@
 //   violations do not fail the tree-wide run.
 // Exit code: 0 when clean, 1 when violations were found, 2 on usage error.
 
-#include <algorithm>
 #include <cctype>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -55,9 +61,16 @@
 #include <string>
 #include <vector>
 
+#include "lint_common.h"
+
 namespace fs = std::filesystem;
 
 namespace {
+
+using lintc::FileText;
+using lintc::FindToken;
+using lintc::IsWordChar;
+using lintc::StripCommentsAndStrings;
 
 struct Violation {
   std::string file;   // path as reported (relative to the scan root)
@@ -66,107 +79,9 @@ struct Violation {
   std::string message;
 };
 
-struct FileText {
-  std::vector<std::string> raw;   // original lines (for suppressions)
-  std::vector<std::string> code;  // comments/strings blanked with spaces
-};
-
-bool IsWordChar(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9') || c == '_';
-}
-
-/// Produces a copy of the file where comment bodies and string/char literal
-/// contents are replaced by spaces, so token searches cannot match prose
-/// like "no new candidates" in a comment. Line structure is preserved.
-FileText StripCommentsAndStrings(std::istream& in) {
-  FileText out;
-  std::string line;
-  bool in_block_comment = false;
-  while (std::getline(in, line)) {
-    out.raw.push_back(line);
-    std::string code = line;
-    size_t i = 0;
-    while (i < code.size()) {
-      if (in_block_comment) {
-        if (code[i] == '*' && i + 1 < code.size() && code[i + 1] == '/') {
-          code[i] = code[i + 1] = ' ';
-          i += 2;
-          in_block_comment = false;
-        } else {
-          code[i++] = ' ';
-        }
-        continue;
-      }
-      const char c = code[i];
-      if (c == '/' && i + 1 < code.size() && code[i + 1] == '/') {
-        for (size_t j = i; j < code.size(); ++j) code[j] = ' ';
-        break;
-      }
-      if (c == '/' && i + 1 < code.size() && code[i + 1] == '*') {
-        code[i] = code[i + 1] = ' ';
-        i += 2;
-        in_block_comment = true;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        // Raw strings R"delim(...)delim" can span lines; handle only the
-        // single-line case (the repo has no multi-line raw strings) by
-        // falling back to plain-literal scanning if the close is missing.
-        const char quote = c;
-        size_t j = i + 1;
-        while (j < code.size()) {
-          if (code[j] == '\\' && j + 1 < code.size()) {
-            code[j] = code[j + 1] = ' ';
-            j += 2;
-            continue;
-          }
-          if (code[j] == quote) break;
-          code[j] = ' ';
-          ++j;
-        }
-        i = (j < code.size()) ? j + 1 : j;
-        continue;
-      }
-      ++i;
-    }
-    out.code.push_back(std::move(code));
-  }
-  return out;
-}
-
-/// True when `needle` occurs in `hay` with non-word characters (or the
-/// boundary of the line) on both sides. `pos_out` receives the match offset.
-bool FindToken(const std::string& hay, const std::string& needle,
-               size_t* pos_out) {
-  size_t from = 0;
-  while (true) {
-    const size_t p = hay.find(needle, from);
-    if (p == std::string::npos) return false;
-    const bool left_ok = p == 0 || !IsWordChar(hay[p - 1]);
-    const size_t end = p + needle.size();
-    // Callers pass needles ending either in a word char (check the right
-    // boundary) or in punctuation like '(' (already a boundary).
-    const bool needle_ends_word = IsWordChar(needle.back());
-    const bool right_ok =
-        !needle_ends_word || end >= hay.size() || !IsWordChar(hay[end]);
-    if (left_ok && right_ok) {
-      *pos_out = p;
-      return true;
-    }
-    from = p + 1;
-  }
-}
-
 bool SuppressedAt(const FileText& text, size_t line_idx,
                   const std::string& rule) {
-  const std::string needle = "dj_lint: allow(" + rule + ")";
-  if (text.raw[line_idx].find(needle) != std::string::npos) return true;
-  if (line_idx > 0 &&
-      text.raw[line_idx - 1].find(needle) != std::string::npos) {
-    return true;
-  }
-  return false;
+  return lintc::SuppressedAt(text, line_idx, "dj_lint", rule);
 }
 
 class Linter {
@@ -221,6 +136,9 @@ class Linter {
       CheckRule(path, text, "no-printf", {"std::cout", "printf("},
                 "stdout output in library code; return data or use "
                 "fprintf(stderr, ...) for diagnostics");
+      CheckRule(path, text, "sleep-in-library", {"sleep_for", "sleep_until"},
+                "sleep in library code; wait on a CondVar condition instead "
+                "of polling or assuming timing");
     }
     if (is_library && !is_util) {
       CheckRule(path, text, "raw-file-io",
@@ -247,23 +165,7 @@ class Linter {
   /// Recursively lints every .h/.cc/.cpp under `dir`, skipping fixture
   /// directories named "testdata" and build trees.
   void LintTree(const fs::path& dir) {
-    std::vector<fs::path> files;
-    for (auto it = fs::recursive_directory_iterator(dir);
-         it != fs::recursive_directory_iterator(); ++it) {
-      if (it->is_directory()) {
-        const std::string name = it->path().filename().string();
-        if (name == "testdata" || name.rfind("build", 0) == 0) {
-          it.disable_recursion_pending();
-        }
-        continue;
-      }
-      const std::string ext = it->path().extension().string();
-      if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
-        files.push_back(it->path());
-      }
-    }
-    std::sort(files.begin(), files.end());
-    for (const auto& f : files) LintFile(f);
+    for (const auto& f : lintc::CollectSourceFiles(dir)) LintFile(f);
   }
 
  private:
@@ -451,6 +353,8 @@ void ListRules() {
       << "simd-intrinsics  no SIMD intrinsics outside src/util/kernels.*\n"
       << "adhoc-timing     no WallTimer/TimeAccumulator or `double *_ms` "
          "fields in src/** headers outside src/util/\n"
+      << "sleep-in-library no std::this_thread::sleep_for/sleep_until in "
+         "library code (src/**)\n"
       << "suppress with    // dj_lint: allow(<rule>)\n";
 }
 

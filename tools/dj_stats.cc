@@ -18,6 +18,7 @@
 #include "core/searcher.h"
 #include "lake/generator.h"
 #include "util/flags.h"
+#include "util/lock_rank.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 
@@ -88,6 +89,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fold the lock-rank layer's observed graph into the snapshot
+  // (dj_lockrank_* gauges; all zero when DJ_LOCK_RANK is compiled out).
+  lock_rank::PublishMetrics();
   const metrics::MetricsSnapshot snapshot =
       metrics::MetricsRegistry::Global().Snapshot();
   if (format == "json" || format == "both") {

@@ -1,0 +1,117 @@
+#include "lint_common.h"
+
+#include <algorithm>
+
+namespace lintc {
+
+namespace fs = std::filesystem;
+
+bool IsWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+FileText StripCommentsAndStrings(std::istream& in) {
+  FileText out;
+  std::string line;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    out.raw.push_back(line);
+    std::string code = line;
+    size_t i = 0;
+    while (i < code.size()) {
+      if (in_block_comment) {
+        if (code[i] == '*' && i + 1 < code.size() && code[i + 1] == '/') {
+          code[i] = code[i + 1] = ' ';
+          i += 2;
+          in_block_comment = false;
+        } else {
+          code[i++] = ' ';
+        }
+        continue;
+      }
+      const char c = code[i];
+      if (c == '/' && i + 1 < code.size() && code[i + 1] == '/') {
+        for (size_t j = i; j < code.size(); ++j) code[j] = ' ';
+        break;
+      }
+      if (c == '/' && i + 1 < code.size() && code[i + 1] == '*') {
+        code[i] = code[i + 1] = ' ';
+        i += 2;
+        in_block_comment = true;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        size_t j = i + 1;
+        while (j < code.size()) {
+          if (code[j] == '\\' && j + 1 < code.size()) {
+            code[j] = code[j + 1] = ' ';
+            j += 2;
+            continue;
+          }
+          if (code[j] == quote) break;
+          code[j] = ' ';
+          ++j;
+        }
+        i = (j < code.size()) ? j + 1 : j;
+        continue;
+      }
+      ++i;
+    }
+    out.code.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool FindToken(const std::string& hay, const std::string& needle,
+               size_t* pos_out) {
+  size_t from = 0;
+  while (true) {
+    const size_t p = hay.find(needle, from);
+    if (p == std::string::npos) return false;
+    const bool left_ok = p == 0 || !IsWordChar(hay[p - 1]);
+    const size_t end = p + needle.size();
+    const bool needle_ends_word = IsWordChar(needle.back());
+    const bool right_ok =
+        !needle_ends_word || end >= hay.size() || !IsWordChar(hay[end]);
+    if (left_ok && right_ok) {
+      *pos_out = p;
+      return true;
+    }
+    from = p + 1;
+  }
+}
+
+bool SuppressedAt(const FileText& text, size_t line_idx,
+                  const std::string& tool, const std::string& rule) {
+  const std::string needle = tool + ": allow(" + rule + ")";
+  if (text.raw[line_idx].find(needle) != std::string::npos) return true;
+  if (line_idx > 0 &&
+      text.raw[line_idx - 1].find(needle) != std::string::npos) {
+    return true;
+  }
+  return false;
+}
+
+std::vector<fs::path> CollectSourceFiles(const fs::path& dir) {
+  std::vector<fs::path> files;
+  for (auto it = fs::recursive_directory_iterator(dir);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_directory()) {
+      const std::string name = it->path().filename().string();
+      if (name == "testdata" || name.rfind("build", 0) == 0) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+      files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace lintc

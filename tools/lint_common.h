@@ -1,0 +1,62 @@
+// Shared token-scanner core for the project's source-level checkers
+// (dj_lint, dj_deadlock). Standard-library only — the checkers must keep
+// building (and stay trustworthy) even when the library tree is broken, so
+// nothing here may include src/ headers.
+//
+// The model is deliberately lexical, not syntactic: files are split into
+// lines, comment bodies and string/char-literal contents are blanked with
+// spaces (preserving line/column structure), and rules search for tokens
+// with word boundaries. That is exactly enough for the project's rule set
+// and keeps every checker fast (the whole tree scans in well under a
+// second) and dependency-free.
+#ifndef DEEPJOIN_TOOLS_LINT_COMMON_H_
+#define DEEPJOIN_TOOLS_LINT_COMMON_H_
+
+#include <filesystem>
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace lintc {
+
+/// A file as two parallel line vectors: the original text (for suppression
+/// comments, which live in comments) and a copy with comment/string
+/// contents blanked (for token searches).
+struct FileText {
+  std::vector<std::string> raw;   // original lines (for suppressions)
+  std::vector<std::string> code;  // comments/strings blanked with spaces
+};
+
+bool IsWordChar(char c);
+
+/// Produces a copy of the file where comment bodies and string/char literal
+/// contents are replaced by spaces, so token searches cannot match prose
+/// like "no new candidates" in a comment. Line structure is preserved.
+/// Raw strings R"(...)" are handled only in their single-line form — the
+/// repo has no multi-line raw strings (and a missed close falls back to
+/// plain-literal scanning for the rest of the line).
+FileText StripCommentsAndStrings(std::istream& in);
+
+/// True when `needle` occurs in `hay` with non-word characters (or the
+/// boundary of the line) on both sides. `pos_out` receives the match
+/// offset. Needles ending in punctuation like '(' already carry their own
+/// right boundary; only word-char-final needles get the right-side check.
+bool FindToken(const std::string& hay, const std::string& needle,
+               size_t* pos_out);
+
+/// True when line `line_idx` (0-based) or the line directly above carries
+/// `// <tool>: allow(<rule>)`. Each checker passes its own name as `tool`
+/// so a dj_lint suppression never silences dj_deadlock or vice versa.
+bool SuppressedAt(const FileText& text, size_t line_idx,
+                  const std::string& tool, const std::string& rule);
+
+/// Every .h/.cc/.cpp under `dir` in sorted order, skipping fixture
+/// directories named "testdata" and build trees (directories whose name
+/// starts with "build") so deliberate violations in fixtures never fail a
+/// tree-wide run.
+std::vector<std::filesystem::path> CollectSourceFiles(
+    const std::filesystem::path& dir);
+
+}  // namespace lintc
+
+#endif  // DEEPJOIN_TOOLS_LINT_COMMON_H_
