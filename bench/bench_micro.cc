@@ -8,6 +8,7 @@
 #include "bench/common.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "util/alloc_guard.h"
 #include "util/kernels.h"
 #include "util/metrics.h"
 
@@ -16,6 +17,18 @@ namespace {
 
 using bench::BenchConfig;
 using bench::BenchEnv;
+
+// Attaches an allocs-per-op counter when the alloc-guard runtime is
+// compiled in (Debug / -DDJ_ALLOC_GUARD=ON builds). Release snapshots
+// simply omit the column — the guard's new/delete hooks are not there to
+// count, and timing numbers stay unperturbed.
+void ReportAllocsPerOp(benchmark::State& state,
+                       const alloc_guard::ScopedAllocCount& tally) {
+  if (!alloc_guard::Enabled()) return;
+  state.counters["allocs_per_op"] =
+      benchmark::Counter(static_cast<double>(tally.allocations()),
+                         benchmark::Counter::kAvgIterations);
+}
 
 BenchEnv& SharedEnv() {
   static BenchEnv* env = [] {
@@ -250,12 +263,17 @@ void BM_EncodeToVectorFastPath(benchmark::State& state) {
   if (!PinTier(state, state.range(0))) return;
   std::vector<float> out(static_cast<size_t>(encoder.dim()));
   size_t i = 0;
+  // Warm the thread-local scratch and workspace pool so the tally below
+  // sees the steady state, not first-call growth.
+  encoder.EncodeInto(env.repo().column(0), out.data());
+  alloc_guard::ScopedAllocCount tally;
   for (auto _ : state) {
     encoder.EncodeInto(
         env.repo().column(static_cast<u32>(i++ % env.repo().size())),
         out.data());
     benchmark::DoNotOptimize(out.data());
   }
+  ReportAllocsPerOp(state, tally);
   kern::ClearForcedTierForTest();
 }
 BENCHMARK(BM_EncodeToVectorFastPath)->Arg(0)->Arg(1);
@@ -292,13 +310,50 @@ void BM_HnswSearch(benchmark::State& state) {
   }();
   Rng rng(2);
   std::vector<float> q(dim);
+  alloc_guard::ScopedAllocCount tally;
   for (auto _ : state) {
     for (auto& x : q) x = static_cast<float>(rng.Normal());
     auto hits = index->Search(q.data(), static_cast<size_t>(state.range(0)));
     benchmark::DoNotOptimize(hits.data());
   }
+  ReportAllocsPerOp(state, tally);
 }
 BENCHMARK(BM_HnswSearch)->Arg(10)->Arg(50);
+
+// Steady-state variant: SearchInto with a capacity-reusing output vector —
+// the DJ_NOALLOC contract path EmbeddingSearcher::SearchInto rides. Paired
+// with BM_HnswSearch, the allocs_per_op counters (guard-enabled builds)
+// show the convenience wrapper's per-call result vector vs zero here.
+void BM_HnswSearchInto(benchmark::State& state) {
+  const int dim = 32;
+  static ann::HnswIndex* index = [&] {
+    ann::HnswConfig hc;
+    hc.dim = dim;
+    auto idx = std::make_unique<ann::HnswIndex>(hc);
+    Rng rng(1);
+    std::vector<float> v(dim);
+    for (int i = 0; i < 20000; ++i) {
+      for (auto& x : v) x = static_cast<float>(rng.Normal());
+      idx->Add(v.data());
+    }
+    return idx.release();
+  }();
+  Rng rng(2);
+  std::vector<float> q(dim);
+  std::vector<ann::Neighbor> hits;
+  const ann::AnnSearchParams params;
+  const auto k = static_cast<size_t>(state.range(0));
+  for (auto& x : q) x = static_cast<float>(rng.Normal());
+  index->SearchInto(q.data(), k, params, &hits);  // warm scratch + pool
+  alloc_guard::ScopedAllocCount tally;
+  for (auto _ : state) {
+    for (auto& x : q) x = static_cast<float>(rng.Normal());
+    index->SearchInto(q.data(), k, params, &hits);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  ReportAllocsPerOp(state, tally);
+}
+BENCHMARK(BM_HnswSearchInto)->Arg(10)->Arg(50);
 
 // HNSW search with metrics disabled; paired with BM_HnswSearch the ratio
 // bounds the per-search instrumentation cost (counter adds + histogram
@@ -328,6 +383,36 @@ void BM_HnswSearchMetricsOff(benchmark::State& state) {
   metrics::SetEnabledForTest(was_enabled);
 }
 BENCHMARK(BM_HnswSearchMetricsOff)->Arg(10)->Arg(50);
+
+// Full steady-state DeepJoin query (transform -> tokenize -> transformer
+// forward -> HNSW -> copy-out) through EmbeddingSearcher::SearchInto. In
+// guard-enabled builds allocs_per_op is the headline allocations-per-query
+// number; the guarded test suite pins it to zero.
+void BM_SearcherSteadyStateQuery(benchmark::State& state) {
+  auto& env = SharedEnv();
+  static core::EmbeddingSearcher* searcher = [&] {
+    core::SearcherConfig sc;
+    sc.backend = core::AnnBackend::kHnsw;
+    auto s = std::make_unique<core::EmbeddingSearcher>(&SharedMpnetEncoder(),
+                                                       sc);
+    DJ_CHECK(s->BuildIndex(SharedEnv().repo()).ok());
+    return s.release();
+  }();
+  const core::SearchOptions options{.k = 10, .collect_stats = false};
+  core::EmbeddingSearcher::SearchResult result;
+  // One pass over every query warms each thread-local scratch buffer and
+  // pool to its steady-state footprint before the tally starts.
+  for (const auto& q : env.queries()) searcher->SearchInto(q, options, &result);
+  size_t i = 0;
+  alloc_guard::ScopedAllocCount tally;
+  for (auto _ : state) {
+    searcher->SearchInto(env.queries()[i++ % env.queries().size()], options,
+                         &result);
+    benchmark::DoNotOptimize(result.ids.data());
+  }
+  ReportAllocsPerOp(state, tally);
+}
+BENCHMARK(BM_SearcherSteadyStateQuery);
 
 void BM_JosieSearch(benchmark::State& state) {
   auto& env = SharedEnv();

@@ -3,12 +3,36 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
 
 #include "util/trace.h"
 
 namespace deepjoin {
 namespace ann {
+
+namespace {
+
+// Binary-heap helpers over the pooled, capacity-reusing scratch vectors —
+// the one place the query path grows a container (warmup-only). Min-heaps
+// order by Neighbor's total order (dist, then id), max-heaps by its
+// reverse, exactly like the priority_queues they replaced.
+void HeapPushMin(std::vector<Neighbor>& heap, Neighbor n) {
+  heap.push_back(n);  // dj_alloc: allow(alloc) -- capacity-reusing scratch
+  std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+}
+void HeapPushMax(std::vector<Neighbor>& heap, Neighbor n) {
+  heap.push_back(n);  // dj_alloc: allow(alloc) -- capacity-reusing scratch
+  std::push_heap(heap.begin(), heap.end());
+}
+void HeapPopMin(std::vector<Neighbor>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+  heap.pop_back();
+}
+void HeapPopMax(std::vector<Neighbor>& heap) {
+  std::pop_heap(heap.begin(), heap.end());
+  heap.pop_back();
+}
+
+}  // namespace
 
 HnswIndex::HnswIndex(const HnswConfig& config)
     : config_(config),
@@ -58,8 +82,11 @@ std::unique_ptr<HnswIndex::VisitedScratch> HnswIndex::VisitedPool::Acquire(
       free_.pop_back();
     }
   }
-  if (!scratch) scratch = std::make_unique<VisitedScratch>();
-  if (scratch->stamp.size() < n) scratch->stamp.resize(n, 0);
+  // Pool warmup: once every concurrent query owns a scratch, Acquire is
+  // always served from the free list; the stamp grows to the index size
+  // once and then reuses capacity.
+  if (!scratch) scratch = std::make_unique<VisitedScratch>();  // dj_alloc: allow(alloc)
+  if (scratch->stamp.size() < n) scratch->stamp.resize(n, 0);  // dj_alloc: allow(alloc)
   if (scratch->epoch == std::numeric_limits<u32>::max()) {
     std::fill(scratch->stamp.begin(), scratch->stamp.end(), 0);
     scratch->epoch = 0;
@@ -71,12 +98,14 @@ std::unique_ptr<HnswIndex::VisitedScratch> HnswIndex::VisitedPool::Acquire(
 void HnswIndex::VisitedPool::Release(
     std::unique_ptr<VisitedScratch> scratch) const {
   MutexLock lock(mu_);
-  free_.push_back(std::move(scratch));
+  // Pool-vector growth is warmup-only: capacity reaches the maximum
+  // number of concurrent queries and then every push reuses a freed slot.
+  free_.push_back(std::move(scratch));  // dj_alloc: allow(alloc)
 }
 
-std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, u32 entry,
-                                             int ef, int level,
-                                             SearchWork* work) const {
+void HnswIndex::SearchLayer(const float* query, u32 entry, int ef, int level,
+                            std::vector<Neighbor>* out,
+                            SearchWork* work) const {
   auto scratch = visited_pool_->Acquire(levels_.size());
   const u32 epoch = scratch->epoch;
   auto visit = [&stamp = scratch->stamp, epoch](u32 id) {
@@ -86,37 +115,39 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, u32 entry,
   };
 
   // `candidates`: nearest-first frontier. `results`: farthest-first bounded
-  // set of the best `ef` seen so far.
-  std::priority_queue<Neighbor, std::vector<Neighbor>, std::greater<>>
-      candidates;
-  std::priority_queue<Neighbor> results;
+  // set of the best `ef` seen so far. Both are heap vectors living in the
+  // pooled scratch (see VisitedScratch), popped empty before Release.
+  std::vector<Neighbor>& candidates = scratch->candidates;
+  std::vector<Neighbor>& results = scratch->results;
+  candidates.clear();
+  results.clear();
 
   const float d0 = Dist(query, entry);
   visit(entry);
-  candidates.push({d0, entry});
-  results.push({d0, entry});
+  HeapPushMin(candidates, {d0, entry});
+  HeapPushMax(results, {d0, entry});
 
   // Tally into locals (registers) unconditionally — a per-eval branch +
   // store through `work` is measurable in this loop; flushing once is not.
   u64 dist_evals = 1;
   u64 hops = 0;
   while (!candidates.empty()) {
-    const Neighbor c = candidates.top();
-    if (c.dist > results.top().dist &&
+    const Neighbor c = candidates.front();
+    if (c.dist > results.front().dist &&
         results.size() >= static_cast<size_t>(ef)) {
       break;
     }
-    candidates.pop();
+    HeapPopMin(candidates);
     ++hops;
     for (u32 nb : LinksAt(c.id, level)) {
       if (!visit(nb)) continue;
       const float d = Dist(query, nb);
       ++dist_evals;
       if (results.size() < static_cast<size_t>(ef) ||
-          d < results.top().dist) {
-        candidates.push({d, nb});
-        results.push({d, nb});
-        if (results.size() > static_cast<size_t>(ef)) results.pop();
+          d < results.front().dist) {
+        HeapPushMin(candidates, {d, nb});
+        HeapPushMax(results, {d, nb});
+        if (results.size() > static_cast<size_t>(ef)) HeapPopMax(results);
       }
     }
   }
@@ -124,15 +155,16 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, u32 entry,
     work->dist_evals += dist_evals;
     work->hops += hops;
   }
-  std::vector<Neighbor> out;
-  out.reserve(results.size());
-  while (!results.empty()) {
-    out.push_back(results.top());
-    results.pop();
+  // Drain the max-heap back to front: popping a total order yields the
+  // ascending-by-distance output the old priority_queue path produced.
+  out->clear();
+  // Capacity-reusing caller buffer; growth is warmup-only.
+  out->resize(results.size());  // dj_alloc: allow(alloc)
+  for (size_t i = out->size(); i-- > 0;) {
+    (*out)[i] = results.front();
+    HeapPopMax(results);
   }
-  std::reverse(out.begin(), out.end());  // ascending by distance
   visited_pool_->Release(std::move(scratch));
-  return out;
 }
 
 std::vector<u32> HnswIndex::SelectNeighbors(
@@ -190,8 +222,9 @@ void HnswIndex::Add(const float* vec) {
     ep = GreedyClosest(q, ep, lev);
   }
   // Connect on each level the node participates in.
+  std::vector<Neighbor> candidates;
   for (int lev = std::min(level, max_level_); lev >= 0; --lev) {
-    auto candidates = SearchLayer(q, ep, config_.ef_construction, lev);
+    SearchLayer(q, ep, config_.ef_construction, lev, &candidates);
     const int max_degree = lev == 0 ? 2 * config_.M : config_.M;
     auto neighbors = SelectNeighbors(q, candidates, config_.M);
     for (u32 nb : neighbors) {
@@ -345,8 +378,17 @@ Result<HnswIndex> HnswIndex::Load(BinaryReader& reader) {
 
 std::vector<Neighbor> HnswIndex::Search(const float* query, size_t k,
                                         const AnnSearchParams& params) const {
+  std::vector<Neighbor> out;
+  SearchInto(query, k, params, &out);
+  return out;
+}
+
+void HnswIndex::SearchInto(const float* query, size_t k,
+                           const AnnSearchParams& params,
+                           std::vector<Neighbor>* out) const {
   DJ_TRACE_SPAN("hnsw.search");
-  if (levels_.empty() || k == 0) return {};
+  out->clear();
+  if (levels_.empty() || k == 0) return;
 
   // The layer traversals tally their work in registers either way (that's
   // free); the pointer only controls whether the tallies are kept and
@@ -364,34 +406,40 @@ std::vector<Neighbor> HnswIndex::Search(const float* query, size_t k,
   const int ef_base =
       params.ef_search > 0 ? params.ef_search : config_.ef_search;
   const int ef = std::max<int>(ef_base, static_cast<int>(k));
-  auto results = SearchLayer(query, ep, ef, 0, work);
+  SearchLayer(query, ep, ef, 0, out, work);
 
   if (work != nullptr) {
+    // Function-local statics: the registry lookups allocate once per
+    // process, before the steady state the noalloc contract covers.
     static metrics::Counter* const searches =
-        metrics::MetricsRegistry::Global().GetCounter(
+        metrics::MetricsRegistry::Global().GetCounter(  // dj_alloc: allow(alloc)
             "dj_hnsw_searches_total");
     static metrics::Counter* const dist_evals =
-        metrics::MetricsRegistry::Global().GetCounter(
+        metrics::MetricsRegistry::Global().GetCounter(  // dj_alloc: allow(alloc)
             "dj_hnsw_dist_evals_total");
     static metrics::Counter* const hops =
-        metrics::MetricsRegistry::Global().GetCounter("dj_hnsw_hops_total");
+        metrics::MetricsRegistry::Global().GetCounter(  // dj_alloc: allow(alloc)
+            "dj_hnsw_hops_total");
     // Fraction of the ef result budget actually filled at layer 0; a
     // persistently low occupancy means ef is oversized for the graph.
     static metrics::Histogram* const occupancy =
-        metrics::MetricsRegistry::Global().GetHistogram(
+        metrics::MetricsRegistry::Global().GetHistogram(  // dj_alloc: allow(alloc)
             "dj_hnsw_ef_occupancy",
             {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
     searches->Increment();
     dist_evals->Add(tally.dist_evals);
     hops->Add(tally.hops);
-    occupancy->Record(static_cast<double>(results.size()) /
+    occupancy->Record(static_cast<double>(out->size()) /
                       static_cast<double>(ef));
     trace::Count("hnsw.dist_evals", tally.dist_evals);
     trace::Count("hnsw.hops", tally.hops);
   }
 
-  if (results.size() > k) results.resize(k);
-  return results;
+  // Shrink to k via erase: shrinking never reallocates (resize would trip
+  // the growth-call check for no reason).
+  if (out->size() > k) {
+    out->erase(out->begin() + static_cast<long>(k), out->end());
+  }
 }
 
 }  // namespace ann

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ann/vector_index.h"
+#include "util/alloc_guard.h"
 #include "util/binary_io.h"
 #include "util/mutex.h"
 #include "util/rng.h"
@@ -41,6 +42,16 @@ class HnswIndex : public VectorIndex {
   /// searches with different ef never race on shared state.
   std::vector<Neighbor> Search(const float* query, size_t k,
                                const AnnSearchParams& params) const override;
+
+  /// Allocation-free query path: the whole traversal runs on pooled
+  /// scratch (visited stamps + the two layer-search heaps) and writes into
+  /// the caller's capacity-reusing buffer. Search forwards here. The
+  /// DJ_NOALLOC contract covers the steady state — scratch pool warmed up,
+  /// no per-query TraceCollector installed — and is enforced by
+  /// tools/dj_alloc plus the guard-enabled searcher test.
+  DJ_NOALLOC void SearchInto(const float* query, size_t k,
+                             const AnnSearchParams& params,
+                             std::vector<Neighbor>* out) const override;
   size_t size() const override { return levels_.size(); }
   int dim() const override { return config_.dim; }
   const char* name() const override { return "hnsw"; }
@@ -72,14 +83,15 @@ class HnswIndex : public VectorIndex {
   };
 
   /// Greedy single-entry descent within one level.
-  u32 GreedyClosest(const float* query, u32 entry, int level,
-                    SearchWork* work = nullptr) const;
+  DJ_NOALLOC u32 GreedyClosest(const float* query, u32 entry, int level,
+                               SearchWork* work = nullptr) const;
 
-  /// Best-first search within a level; returns up to `ef` nearest,
-  /// ascending by distance.
-  std::vector<Neighbor> SearchLayer(const float* query, u32 entry, int ef,
-                                    int level,
-                                    SearchWork* work = nullptr) const;
+  /// Best-first search within a level; writes up to `ef` nearest into
+  /// `*out` (cleared first), ascending by distance. Runs entirely on the
+  /// pooled scratch's heap vectors — no per-call containers.
+  DJ_NOALLOC void SearchLayer(const float* query, u32 entry, int ef,
+                              int level, std::vector<Neighbor>* out,
+                              SearchWork* work = nullptr) const;
 
   /// Malkov's heuristic: keep candidates that are closer to the query than
   /// to any already-kept neighbour (diversifies link directions).
@@ -101,6 +113,11 @@ class HnswIndex : public VectorIndex {
   struct VisitedScratch {
     std::vector<u32> stamp;
     u32 epoch = 0;
+    // SearchLayer's two heaps, kept as push_heap/pop_heap vectors in the
+    // pooled scratch so the steady state reuses their capacity instead of
+    // constructing two priority_queues per call.
+    std::vector<Neighbor> candidates;  // nearest-first frontier (min-heap)
+    std::vector<Neighbor> results;     // farthest-first best-ef (max-heap)
   };
   class VisitedPool {
    public:

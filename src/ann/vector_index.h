@@ -55,6 +55,17 @@ class VectorIndex {
     return Search(query, k, AnnSearchParams{});
   }
 
+  /// Writes the k nearest into `*out` (cleared first), nearest first. The
+  /// hot query path (EmbeddingSearcher::SearchInto) calls this so indexes
+  /// with an allocation-free fast path can reuse the caller's buffer
+  /// (HnswIndex overrides this with a DJ_NOALLOC implementation); the
+  /// default just forwards to Search.
+  virtual void SearchInto(const float* query, size_t k,
+                          const AnnSearchParams& params,
+                          std::vector<Neighbor>* out) const {
+    *out = Search(query, k, params);
+  }
+
   virtual size_t size() const = 0;
   virtual int dim() const = 0;
 

@@ -15,6 +15,7 @@
 #include "nn/transformer.h"
 #include "text/fasttext.h"
 #include "text/vocab.h"
+#include "util/alloc_guard.h"
 
 namespace deepjoin {
 namespace core {
@@ -77,9 +78,14 @@ class PlmColumnEncoder : public ColumnEncoder {
   PlmColumnEncoder(const PlmEncoderConfig& config, Vocab vocab);
 
   std::vector<float> Encode(const lake::Column& column) override;
-  /// Allocation-free path: transformer workspace forward straight into
-  /// `out` (bit-identical to Encode; see TransformerEncoder).
-  void EncodeInto(const lake::Column& column, float* out) override;
+  /// Allocation-free path: transform/tokenize/vocab via thread-local
+  /// capacity-reusing scratch, then the transformer workspace forward
+  /// straight into `out` (bit-identical to Encode; see
+  /// TransformerEncoder). The DJ_NOALLOC contract holds for the steady
+  /// state — after scratch warmup, with no per-query TraceCollector
+  /// installed — and is enforced by tools/dj_alloc plus the guard-enabled
+  /// searcher test.
+  DJ_NOALLOC void EncodeInto(const lake::Column& column, float* out) override;
   int dim() const override { return encoder_->config().d_model; }
   std::string name() const override {
     return config_.kind == PlmKind::kDistilSim ? "DeepJoin-DistilSim"
@@ -88,6 +94,11 @@ class PlmColumnEncoder : public ColumnEncoder {
 
   /// Token ids for a column (transform -> tokenize -> vocab).
   std::vector<u32> ColumnToIds(const lake::Column& column) const;
+  /// Same pipeline into a caller-owned id buffer (cleared first), with
+  /// all intermediate text/token state in thread-local capacity-reusing
+  /// scratch. The hot encode path under EncodeInto.
+  DJ_NOALLOC void ColumnToIdsInto(const lake::Column& column,
+                                  std::vector<u32>* ids) const;
   /// Graph-building encode for training.
   nn::VarPtr EncodeForTraining(const lake::Column& column);
   /// Graph-building encode of a raw text (TaBERT-style objectives).

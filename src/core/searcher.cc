@@ -17,11 +17,20 @@ ann::AnnSearchParams AnnParamsFrom(const SearchOptions& options) {
 }
 
 metrics::Counter* SearchesCounter() {
+  // Function-local static: the registry lookup allocates once per process,
+  // before the steady state the noalloc contract covers.
   static metrics::Counter* const c =
-      metrics::MetricsRegistry::Global().GetCounter(
+      metrics::MetricsRegistry::Global().GetCounter(  // dj_alloc: allow(alloc)
           "dj_searcher_searches_total");
   return c;
 }
+
+// Per-thread query scratch for the allocation-free search path: every
+// buffer grows to its working size during warmup and then reuses capacity.
+struct QueryScratch {
+  std::vector<float> q;               // encoded query embedding
+  std::vector<ann::Neighbor> hits;    // raw index results
+};
 
 }  // namespace
 
@@ -149,28 +158,45 @@ Status EmbeddingSearcher::LoadIndex(const std::string& path, Env* env) {
 
 EmbeddingSearcher::SearchResult EmbeddingSearcher::Search(
     const lake::Column& query, const SearchOptions& options) {
+  SearchResult out;
+  SearchInto(query, options, &out);
+  return out;
+}
+
+void EmbeddingSearcher::SearchInto(const lake::Column& query,
+                                   const SearchOptions& options,
+                                   SearchResult* out) {
   DJ_CHECK_MSG(index_ != nullptr,
                "EmbeddingSearcher::Search() before BuildIndex()/LoadIndex()");
-  SearchResult out;
+  out->ids.clear();
   trace::TraceCollector collector(options.collect_stats);
   {
     DJ_TRACE_SPAN("searcher.search");
-    std::vector<float> q(static_cast<size_t>(dim_));
+    thread_local QueryScratch tls;
+    if (tls.q.size() < static_cast<size_t>(dim_)) {
+      // Warmup: the embedding buffer grows to dim_ once.
+      tls.q.resize(static_cast<size_t>(dim_));  // dj_alloc: allow(alloc)
+    }
     {
       DJ_TRACE_SPAN("searcher.encode");
-      encoder_->EncodeInto(query, q.data());
+      encoder_->EncodeInto(query, tls.q.data());
     }
-    std::vector<ann::Neighbor> hits;
     {
       DJ_TRACE_SPAN("searcher.ann");
-      hits = index_->Search(q.data(), options.k, AnnParamsFrom(options));
+      index_->SearchInto(tls.q.data(), options.k, AnnParamsFrom(options),
+                         &tls.hits);
     }
-    out.ids.reserve(hits.size());
-    for (const auto& h : hits) out.ids.push_back(h.id);
+    for (const auto& h : tls.hits) {
+      // Capacity-reusing result buffer; growth is warmup-only.
+      out->ids.push_back(h.id);  // dj_alloc: allow(alloc)
+    }
   }
   SearchesCounter()->Increment();
-  if (options.collect_stats) out.stats = collector.Finish();
-  return out;
+  if (options.collect_stats) {
+    // Per-query stats allocate by design; collect_stats == true is
+    // excluded from the noalloc steady state (see the header contract).
+    out->stats = collector.Finish();  // dj_alloc: allow(alloc)
+  }
 }
 
 std::vector<EmbeddingSearcher::SearchResult> EmbeddingSearcher::SearchBatch(
@@ -203,13 +229,13 @@ std::vector<EmbeddingSearcher::SearchResult> EmbeddingSearcher::SearchBatch(
       encode.ElapsedMillis() / static_cast<double>(queries.size());
 
   const ann::AnnSearchParams ann_params = AnnParamsFrom(options);
+  std::vector<ann::Neighbor> hits;  // reused across the batch loop
   for (size_t i = 0; i < queries.size(); ++i) {
     trace::TraceCollector collector(options.collect_stats);
-    std::vector<ann::Neighbor> hits;
     {
       DJ_TRACE_SPAN("searcher.ann");
-      hits = index_->Search(embeddings.data() + i * static_cast<size_t>(dim_),
-                            options.k, ann_params);
+      index_->SearchInto(embeddings.data() + i * static_cast<size_t>(dim_),
+                         options.k, ann_params, &hits);
     }
     outputs[i].ids.reserve(hits.size());
     for (const auto& h : hits) outputs[i].ids.push_back(h.id);

@@ -12,6 +12,7 @@
 #include "ann/hnsw.h"
 #include "ann/ivfpq.h"
 #include "core/encoders.h"
+#include "util/alloc_guard.h"
 #include "util/env.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -94,6 +95,17 @@ class EmbeddingSearcher {
   /// Online top-k search for one query column.
   SearchResult Search(const lake::Column& query,
                       const SearchOptions& options = {});
+
+  /// Allocation-free steady-state query path: encodes into thread-local
+  /// capacity-reusing scratch, runs the index through
+  /// VectorIndex::SearchInto, and refills out->ids in place. Search()
+  /// forwards here. The DJ_NOALLOC contract (enforced by tools/dj_alloc
+  /// and the guard-enabled searcher test) covers the steady state: scratch
+  /// and pools warmed up, options.collect_stats == false (a TraceCollector
+  /// allocates by design), and an HNSW backend (the flat/IVFPQ SearchInto
+  /// default still builds a result vector).
+  DJ_NOALLOC void SearchInto(const lake::Column& query,
+                             const SearchOptions& options, SearchResult* out);
 
   /// Batched search across a thread pool — the accelerated path standing
   /// in for the paper's GPU rows (see DESIGN.md). Per-query stats report

@@ -37,21 +37,29 @@ const char* TransformOptionName(TransformOption option) {
   return "unknown";
 }
 
-std::vector<std::string> SelectCells(const lake::Column& column,
-                                     const TransformConfig& config) {
+void SelectCellIndices(const lake::Column& column,
+                       const TransformConfig& config,
+                       TransformScratch* scratch) {
+  std::vector<size_t>& sel = scratch->selected;
+  sel.clear();
   const size_t n = column.cells.size();
   if (config.cell_budget <= 0 ||
       n <= static_cast<size_t>(config.cell_budget)) {
-    return column.cells;
+    // Scratch buffers reuse capacity across calls; growth is warmup-only.
+    for (size_t i = 0; i < n; ++i) sel.push_back(i);  // dj_alloc: allow(alloc)
+    return;
   }
   const size_t budget = static_cast<size_t>(config.cell_budget);
   if (config.dict == nullptr) {
     // Naive truncation (ablation arm).
-    return {column.cells.begin(),
-            column.cells.begin() + static_cast<long>(budget)};
+    for (size_t i = 0; i < budget; ++i) {
+      sel.push_back(i);  // dj_alloc: allow(alloc) -- capacity-reusing scratch
+    }
+    return;
   }
   // Keep the `budget` highest-document-frequency cells, original order.
-  std::vector<size_t> order(n);
+  std::vector<size_t>& order = scratch->order;
+  order.resize(n);  // dj_alloc: allow(alloc) -- capacity-reusing scratch
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     const auto ta = config.dict->Lookup(column.cells[a]);
@@ -60,11 +68,21 @@ std::vector<std::string> SelectCells(const lake::Column& column,
     const u32 fb = tb ? config.dict->DocFreq(*tb) : 0;
     return fa > fb;
   });
-  order.resize(budget);
+  // Keep the top `budget` entries (erase: shrinking never reallocates).
+  order.erase(order.begin() + static_cast<long>(budget), order.end());
   std::sort(order.begin(), order.end());  // restore original order
+  for (size_t i : order) {
+    sel.push_back(i);  // dj_alloc: allow(alloc) -- capacity-reusing scratch
+  }
+}
+
+std::vector<std::string> SelectCells(const lake::Column& column,
+                                     const TransformConfig& config) {
+  TransformScratch scratch;
+  SelectCellIndices(column, config, &scratch);
   std::vector<std::string> out;
-  out.reserve(budget);
-  for (size_t i : order) out.push_back(column.cells[i]);
+  out.reserve(scratch.selected.size());
+  for (size_t i : scratch.selected) out.push_back(column.cells[i]);
   return out;
 }
 
@@ -93,41 +111,98 @@ CellStats ComputeStats(const lake::Column& column) {
   return s;
 }
 
+/// Append into a capacity-reusing output buffer. The one place the
+/// transform path touches string growth: steady state reuses capacity,
+/// so the site carries the layer's single suppression.
+void AppendStr(std::string_view s, std::string* out) {
+  out->append(s);  // dj_alloc: allow(alloc) -- capacity-reusing out buffer
+}
+
 }  // namespace
 
-std::string TransformColumn(const lake::Column& column,
-                            const TransformConfig& config) {
-  const std::vector<std::string> cells = SelectCells(column, config);
-  const std::string col = Join(cells, ", ");
+void TransformColumnInto(const lake::Column& column,
+                         const TransformConfig& config,
+                         TransformScratch* scratch, std::string* out) {
+  out->clear();
+  SelectCellIndices(column, config, scratch);
+  const std::vector<size_t>& sel = scratch->selected;
   const std::string& name = column.meta.column_name;
   const std::string& title = column.meta.table_title;
   const std::string& context = column.meta.context;
 
-  auto colname_col = [&] { return name + ": " + col + "."; };
-  auto colname_stat_col = [&] {
+  auto append_col = [&] {
+    for (size_t i = 0; i < sel.size(); ++i) {
+      if (i != 0) AppendStr(", ", out);
+      AppendStr(column.cells[sel[i]], out);
+    }
+  };
+  auto append_colname_col = [&] {
+    AppendStr(name, out);
+    AppendStr(": ", out);
+    append_col();
+    AppendStr(".", out);
+  };
+  auto append_colname_stat_col = [&] {
     const CellStats s = ComputeStats(column);
-    return name + " contains " + std::to_string(s.n) + " values (" +
-           std::to_string(s.max_words) + ", " + std::to_string(s.min_words) +
-           ", " + FormatDouble(s.avg_words, 2) + "): " + col + ".";
+    AppendStr(name, out);
+    AppendStr(" contains ", out);
+    AppendU64(s.n, out);
+    AppendStr(" values (", out);
+    AppendU64(s.max_words, out);
+    AppendStr(", ", out);
+    AppendU64(s.min_words, out);
+    AppendStr(", ", out);
+    AppendFixed(s.avg_words, 2, out);
+    AppendStr("): ", out);
+    append_col();
+    AppendStr(".", out);
+  };
+  auto append_title = [&] {
+    AppendStr(title, out);
+    AppendStr(". ", out);
+  };
+  auto append_context = [&] {
+    AppendStr(" ", out);
+    AppendStr(context, out);
   };
 
   switch (config.option) {
     case TransformOption::kCol:
-      return col;
+      append_col();
+      return;
     case TransformOption::kColnameCol:
-      return colname_col();
+      append_colname_col();
+      return;
     case TransformOption::kColnameColContext:
-      return colname_col() + " " + context;
+      append_colname_col();
+      append_context();
+      return;
     case TransformOption::kColnameStatCol:
-      return colname_stat_col();
+      append_colname_stat_col();
+      return;
     case TransformOption::kTitleColnameCol:
-      return title + ". " + colname_col();
+      append_title();
+      append_colname_col();
+      return;
     case TransformOption::kTitleColnameColContext:
-      return title + ". " + colname_col() + " " + context;
+      append_title();
+      append_colname_col();
+      append_context();
+      return;
     case TransformOption::kTitleColnameStatCol:
-      return title + ". " + colname_stat_col();
+      append_title();
+      append_colname_stat_col();
+      return;
   }
-  return col;
+  append_col();
+}
+
+std::string TransformColumn(const lake::Column& column,
+                            const TransformConfig& config) {
+  TransformScratch scratch;
+  std::string out;
+  TransformColumnInto(column, config, &scratch, &out);
+  return out;
 }
 
 }  // namespace core

@@ -46,6 +46,30 @@ struct TransformConfig {
 std::string TransformColumn(const lake::Column& column,
                             const TransformConfig& config);
 
+/// Reused buffers for the allocation-free transform path. All members
+/// grow to a working size during warmup and then reuse capacity.
+struct TransformScratch {
+  std::vector<size_t> order;     // doc-freq ranking permutation
+  std::vector<size_t> selected;  // indices of the cells the budget keeps
+};
+
+/// Renders `column` into `*out` (cleared first) — byte-identical to
+/// TransformColumn, but appending into caller-owned, capacity-reusing
+/// buffers. This is the encoding hot path's entry point
+/// (PlmColumnEncoder::EncodeInto): after warmup it performs no heap
+/// allocation, which tools/dj_alloc enforces via the DJ_NOALLOC chain
+/// rooted at EncodeInto.
+void TransformColumnInto(const lake::Column& column,
+                         const TransformConfig& config,
+                         TransformScratch* scratch, std::string* out);
+
+/// Fills `scratch->selected` with the indices of the cells the budget
+/// keeps, in original column order (the selection core shared by
+/// SelectCells and TransformColumnInto).
+void SelectCellIndices(const lake::Column& column,
+                       const TransformConfig& config,
+                       TransformScratch* scratch);
+
 /// The cell subset the budget keeps (exposed for tests/ablation).
 std::vector<std::string> SelectCells(const lake::Column& column,
                                      const TransformConfig& config);

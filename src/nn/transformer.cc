@@ -178,7 +178,11 @@ VarPtr TransformerEncoder::Encode(const std::vector<u32>& ids) {
 
 std::vector<float> TransformerEncoder::EncodeToVector(
     const std::vector<u32>& ids) {
-  std::vector<float> out(static_cast<size_t>(config_.d_model));
+  // Convenience overload: allocates its result by design. (dj_alloc merges
+  // both EncodeToVector overloads under one key; the out-param one below
+  // carries the DJ_NOALLOC contract.)
+  std::vector<float> out(  // dj_alloc: allow(alloc)
+      static_cast<size_t>(config_.d_model));
   EncodeToVector(ids, out.data());
   return out;
 }
@@ -205,13 +209,18 @@ TransformerEncoder::AcquireWorkspace() {
       return ws;
     }
   }
-  // Allocate outside the lock (same scheme as HNSW's VisitedPool).
-  return std::make_unique<Workspace>(config_);
+  // Allocate outside the lock (same scheme as HNSW's VisitedPool). Pool
+  // warmup: once every concurrent caller owns a workspace the free list
+  // always satisfies Acquire.
+  return std::make_unique<Workspace>(config_);  // dj_alloc: allow(alloc)
 }
 
 void TransformerEncoder::ReleaseWorkspace(std::unique_ptr<Workspace> ws) {
   MutexLock lock(ws_mu_);
-  ws_free_.push_back(std::move(ws));
+  // Pool-vector growth is warmup-only: capacity reaches the maximum
+  // number of concurrent encoders and then every push reuses the slot
+  // its workspace was popped from.
+  ws_free_.push_back(std::move(ws));  // dj_alloc: allow(alloc)
 }
 
 // Mirrors Encode() op for op: every step below runs the same kernel calls

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "nn/autograd.h"
+#include "util/alloc_guard.h"
 #include "util/mutex.h"
 #include "util/rng.h"
 
@@ -82,7 +83,8 @@ class TransformerEncoder {
   /// run the same kernels and the same per-row helpers (nn/row_ops.h) in
   /// the same order. Safe for concurrent calls (the workspace pool hands
   /// each call its own scratch — same scheme as HNSW's VisitedPool).
-  void EncodeToVector(const std::vector<u32>& ids, float* out);
+  /// DJ_NOALLOC steady state: after the workspace pool has warmed up.
+  DJ_NOALLOC void EncodeToVector(const std::vector<u32>& ids, float* out);
 
  private:
   struct Layer {
@@ -100,7 +102,8 @@ class TransformerEncoder {
 
   /// Runs the forward pass over `L` already-truncated ids into `out`
   /// ([d_model] floats) using only the workspace scratch.
-  void ForwardNoGrad(const u32* ids, int L, Workspace& ws, float* out);
+  DJ_NOALLOC void ForwardNoGrad(const u32* ids, int L, Workspace& ws,
+                                float* out);
 
   TransformerConfig config_;
   ParamStore params_;

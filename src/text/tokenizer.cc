@@ -4,10 +4,6 @@
 
 namespace deepjoin {
 
-namespace {
-inline bool IsTokenChar(unsigned char c) { return std::isalnum(c) != 0; }
-}  // namespace
-
 void TokenizeWordsInto(std::string_view text, std::vector<std::string>* out) {
   std::string cur;
   for (unsigned char c : text) {

@@ -5,11 +5,15 @@
 #ifndef DEEPJOIN_TEXT_TOKENIZER_H_
 #define DEEPJOIN_TEXT_TOKENIZER_H_
 
+#include <cctype>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace deepjoin {
+
+/// A character that belongs to a word token (alphanumeric).
+inline bool IsTokenChar(unsigned char c) { return std::isalnum(c) != 0; }
 
 /// Splits `text` into lowercase alphanumeric tokens. Digits-only runs are
 /// kept as tokens (numeric cells matter for equi-joins).
@@ -21,6 +25,29 @@ void TokenizeWordsInto(std::string_view text, std::vector<std::string>* out);
 
 /// Number of word tokens in `text` (no allocation of the token strings).
 size_t CountWords(std::string_view text);
+
+/// Calls `fn(std::string_view)` once per lowercase token, materialising
+/// each token in `*scratch` (capacity reused across tokens and calls, so
+/// a warmed-up scratch makes the whole walk allocation-free). The view
+/// passed to `fn` is invalidated by the next token. This is the encoding
+/// hot path's tokenizer: PlmColumnEncoder::EncodeInto feeds each token
+/// straight into Vocab::Encode without building a token vector.
+template <typename Fn>
+void ForEachTokenLower(std::string_view text, std::string* scratch, Fn&& fn) {
+  scratch->clear();
+  for (unsigned char c : text) {
+    if (IsTokenChar(c)) {
+      // Grows only until the scratch has seen the longest token; steady
+      // state reuses capacity.
+      scratch->push_back(  // dj_alloc: allow(alloc)
+          static_cast<char>(std::tolower(c)));
+    } else if (!scratch->empty()) {
+      fn(std::string_view(*scratch));
+      scratch->clear();
+    }
+  }
+  if (!scratch->empty()) fn(std::string_view(*scratch));
+}
 
 }  // namespace deepjoin
 

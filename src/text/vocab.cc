@@ -33,7 +33,7 @@ void Vocab::Finalize() {
 
 u32 Vocab::Encode(std::string_view token) const {
   DJ_CHECK_MSG(finalized_, "Encode() before Finalize()");
-  auto it = word_to_id_.find(std::string(token));
+  auto it = word_to_id_.find(token);
   if (it != word_to_id_.end()) return it->second;
   if (oov_buckets_ == 0) return kUnkBase;
   return kUnkBase + static_cast<u32>(Fnv1a(token) % oov_buckets_);

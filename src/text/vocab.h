@@ -4,11 +4,13 @@
 #ifndef DEEPJOIN_TEXT_VOCAB_H_
 #define DEEPJOIN_TEXT_VOCAB_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "util/alloc_guard.h"
 #include "util/binary_io.h"
 #include "util/common.h"
 
@@ -36,7 +38,9 @@ class Vocab {
   bool finalized() const { return finalized_; }
 
   /// Token -> id. OOV words hash into [kUnkBase, kUnkBase + oov_buckets).
-  u32 Encode(std::string_view token) const;
+  /// Allocation-free: the lookup is heterogeneous (no std::string key is
+  /// materialised), and the OOV path is a pure hash.
+  DJ_NOALLOC u32 Encode(std::string_view token) const;
 
   /// Total id space size = specials + oov buckets + learned words.
   size_t size() const { return kUnkBase + oov_buckets_ + words_.size(); }
@@ -57,11 +61,22 @@ class Vocab {
   static Result<Vocab> Load(BinaryReader& reader);
 
  private:
+  /// Transparent hash so Encode(string_view) looks words up without
+  /// constructing a std::string key (the old find(std::string(token))
+  /// allocated for every token beyond SSO — once per word per encode).
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   size_t max_words_;
   size_t oov_buckets_;
   bool finalized_ = false;
   std::unordered_map<std::string, u64> counts_;
-  std::unordered_map<std::string, u32> word_to_id_;
+  std::unordered_map<std::string, u32, StringHash, std::equal_to<>>
+      word_to_id_;
   std::vector<std::string> words_;  // learned words, id = base + index
 };
 

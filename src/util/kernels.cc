@@ -97,8 +97,9 @@ inline float BElem(Variant v, const float* b, int ldb, int p, int j) {
 /// keeps the inner loop streaming over contiguous memory for NN/TN.
 void SgemmScalar(Variant variant, int m, int n, int k, const float* a,
                  int lda, const float* b, int ldb, float* c, int ldc) {
-  thread_local std::vector<float> tmp;
-  if (static_cast<int>(tmp.size()) < n) tmp.resize(n);
+  // Capacity-reusing per-thread strip: grows to the widest n, then warm.
+  thread_local std::vector<float> tmp;           // dj_alloc: allow(alloc)
+  if (static_cast<int>(tmp.size()) < n) tmp.resize(n);  // dj_alloc: allow(alloc)
   for (int i = 0; i < m; ++i) {
     float* crow = c + static_cast<size_t>(i) * ldc;
     for (int k0 = 0; k0 < k; k0 += kKC) {
@@ -339,9 +340,10 @@ void SgemmAvx2(Variant variant, int m, int n, int k, const float* a, int lda,
   const int n_panels = (n + kNR - 1) / kNR;
   const size_t bneed = static_cast<size_t>(n_panels) *
                        static_cast<size_t>(std::min(k, kKC)) * kNR;
-  if (bufs.b.size() < bneed) bufs.b.resize(bneed);
+  // Pack buffers reuse thread-local capacity; growth is warmup-only.
+  if (bufs.b.size() < bneed) bufs.b.resize(bneed);  // dj_alloc: allow(alloc)
   const size_t aneed = static_cast<size_t>(std::min(k, kKC)) * kMR;
-  if (bufs.a.size() < aneed) bufs.a.resize(aneed);
+  if (bufs.a.size() < aneed) bufs.a.resize(aneed);  // dj_alloc: allow(alloc)
 
   for (int k0 = 0; k0 < k; k0 += kKC) {
     const int kc = std::min(kKC, k - k0);

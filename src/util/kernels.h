@@ -48,6 +48,7 @@
 #include <cstddef>
 #include <new>
 
+#include "util/alloc_guard.h"
 #include "util/common.h"
 
 namespace deepjoin {
@@ -72,18 +73,22 @@ const char* TierName(Tier tier);
 void ForceTierForTest(Tier tier);
 void ClearForcedTierForTest();
 
+// Every kernel below is DJ_NOALLOC: pure loops over caller-owned buffers
+// (the contract tools/dj_alloc verifies across both dispatch tiers).
+
 /// sum_i a[i]*b[i]
-float Dot(const float* a, const float* b, int n);
+DJ_NOALLOC float Dot(const float* a, const float* b, int n);
 
 /// sum_i (a[i]-b[i])^2
-float SquaredL2(const float* a, const float* b, int n);
+DJ_NOALLOC float SquaredL2(const float* a, const float* b, int n);
 
 /// y[i] += alpha * x[i]
-void Axpy(int n, float alpha, const float* x, float* y);
+DJ_NOALLOC void Axpy(int n, float alpha, const float* x, float* y);
 
 /// y[i] = alpha * x[i] + beta * y[i]; beta == 0 never reads y (so y may be
 /// uninitialised), and x == y aliasing is allowed.
-void ScaleAdd(int n, float alpha, const float* x, float beta, float* y);
+DJ_NOALLOC void ScaleAdd(int n, float alpha, const float* x, float beta,
+                         float* y);
 
 // Blocked, packed single-precision GEMM, accumulating: C += op(A) @ op(B).
 // All matrices are row-major with explicit leading dimensions (so callers
@@ -92,12 +97,14 @@ void ScaleAdd(int n, float alpha, const float* x, float beta, float* y);
 //   NT: A is [m,k] (lda >= k), B is [n,k] (ldb >= k)  — C += A @ B^T
 //   TN: A is [k,m] (lda >= m), B is [k,n] (ldb >= n)  — C += A^T @ B
 // C is [m,n] (ldc >= n) and must not alias A or B.
-void SgemmNN(int m, int n, int k, const float* a, int lda, const float* b,
-             int ldb, float* c, int ldc);
-void SgemmNT(int m, int n, int k, const float* a, int lda, const float* b,
-             int ldb, float* c, int ldc);
-void SgemmTN(int m, int n, int k, const float* a, int lda, const float* b,
-             int ldb, float* c, int ldc);
+// DJ_NOALLOC steady state: the thread-local pack/accumulator scratch
+// grows to the largest (n, k) seen and then reuses capacity.
+DJ_NOALLOC void SgemmNN(int m, int n, int k, const float* a, int lda,
+                        const float* b, int ldb, float* c, int ldc);
+DJ_NOALLOC void SgemmNT(int m, int n, int k, const float* a, int lda,
+                        const float* b, int ldb, float* c, int ldc);
+DJ_NOALLOC void SgemmTN(int m, int n, int k, const float* a, int lda,
+                        const float* b, int ldb, float* c, int ldc);
 
 /// Minimal aligned allocator so nn::Matrix (and kernel tests) can keep
 /// rows on cache-line boundaries. Value-initialises like std::allocator.

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/alloc_guard.h"
 #include "util/common.h"
 #include "util/mutex.h"
 
@@ -50,8 +51,8 @@ bool SetEnabledForTest(bool enabled);
 /// Prometheus counter (scrapers handle resets, tests pin the wrap).
 class Counter {
  public:
-  void Increment() { Add(1); }
-  void Add(u64 n) {
+  DJ_NOALLOC void Increment() { Add(1); }
+  DJ_NOALLOC void Add(u64 n) {
     if (Enabled()) value_.fetch_add(n, std::memory_order_relaxed);
   }
   u64 value() const { return value_.load(std::memory_order_relaxed); }
@@ -67,10 +68,10 @@ class Counter {
 /// Last-write-wins instantaneous value (queue depth, current loss).
 class Gauge {
  public:
-  void Set(double v) {
+  DJ_NOALLOC void Set(double v) {
     if (Enabled()) value_.store(v, std::memory_order_relaxed);
   }
-  void Add(double d) {
+  DJ_NOALLOC void Add(double d) {
     if (!Enabled()) return;
     double cur = value_.load(std::memory_order_relaxed);
     while (!value_.compare_exchange_weak(cur, cur + d,
@@ -95,7 +96,7 @@ class Histogram {
   /// Default latency buckets (milliseconds), 1µs .. 2.5s exponential-ish.
   static const std::vector<double>& DefaultLatencyBucketsMs();
 
-  void Record(double value);
+  DJ_NOALLOC void Record(double value);
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Cumulative count of samples <= bounds[i] would be the Prometheus view;

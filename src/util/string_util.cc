@@ -10,4 +10,27 @@ std::string FormatDouble(double v, int precision) {
   return std::string(buf);
 }
 
+void AppendU64(unsigned long long v, std::string* out) {
+  char buf[24];
+  char* end = buf + sizeof(buf);
+  char* p = end;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  // Appends into the caller's capacity-reusing buffer; steady state
+  // performs no allocation once the buffer has grown to its working size.
+  out->append(p, end);  // dj_alloc: allow(alloc)
+}
+
+void AppendFixed(double v, int precision, std::string* out) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  if (n <= 0) return;
+  // Same capacity-reuse contract as AppendU64 above.
+  out->append(buf,  // dj_alloc: allow(alloc)
+              static_cast<size_t>(n) < sizeof(buf) ? static_cast<size_t>(n)
+                                                   : sizeof(buf) - 1);
+}
+
 }  // namespace deepjoin

@@ -51,6 +51,16 @@ inline bool StartsWith(std::string_view s, std::string_view prefix) {
 /// Formats a double with fixed precision; benches use this for table rows.
 std::string FormatDouble(double v, int precision);
 
+/// Appends the decimal rendering of `v` to `*out` — identical bytes to
+/// std::to_string(v), but into a caller-owned buffer whose capacity is
+/// reused across calls (the encoding hot path builds transformed column
+/// text this way; see core/transform.h).
+void AppendU64(unsigned long long v, std::string* out);
+
+/// Appends `v` with fixed `precision` to `*out` — identical bytes to
+/// FormatDouble(v, precision), without the temporary std::string.
+void AppendFixed(double v, int precision, std::string* out);
+
 }  // namespace deepjoin
 
 #endif  // DEEPJOIN_UTIL_STRING_UTIL_H_

@@ -118,6 +118,10 @@ std::string SpanHistogramName(const char* span_name);
 /// thread; no-op (one thread-local read) otherwise. This is the per-query
 /// companion to metrics::Counter::Add — hot paths typically do both.
 inline void Count(const char* name, u64 delta) {
+  // AddCount grows per-query state, but only runs with a collector
+  // installed — the DJ_NOALLOC steady state is collector-off, where this
+  // is one thread-local read.
+  // dj_alloc: allow(alloc)
   if (TraceCollector* c = TraceCollector::Current()) c->AddCount(name, delta);
 }
 

@@ -1,0 +1,13 @@
+// Fixture: a DJ_NOALLOC function that allocates directly in its own body.
+#include "alloc_guard.h"
+
+namespace fixture {
+
+DJ_NOALLOC void Grow(int n);
+
+void Grow(int n) {
+  int* p = new int[n];
+  delete[] p;
+}
+
+}  // namespace fixture

@@ -1,0 +1,2 @@
+// Miniature stand-in for src/util/alloc_guard.h: only the annotation.
+#define DJ_NOALLOC

@@ -1,0 +1,10 @@
+// Fixture: the allocating leaf of the cross-TU chain rooted in root.cc.
+#include "alloc_guard.h"
+
+namespace fixture {
+
+int Leaf(int n) {
+  return static_cast<int>(std::to_string(n).size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: the DJ_NOALLOC root reaches an allocation two hops away, in a
+// different translation unit (cross-TU witness chain).
+#include "alloc_guard.h"
+
+namespace fixture {
+
+int Leaf(int n);  // defined in leaf.cc
+
+DJ_NOALLOC int Root(int n);
+
+int Root(int n) { return Leaf(n) + 1; }
+
+}  // namespace fixture

@@ -1,0 +1,184 @@
+// Tests for the allocation-discipline runtime (src/util/alloc_guard.h):
+// ScopedAllocCount tallies, ScopedAllocBan nesting and abort semantics
+// (death tests), delete-under-ban legality, and the layer's acceptance
+// proof — a steady-state DeepJoin search (PLM encode + HNSW traversal)
+// running under a ban performs ZERO heap allocations after warmup.
+// Enforcement cases GTEST_SKIP when DJ_ALLOC_GUARD is compiled out so the
+// suite stays green in release builds.
+#include "util/alloc_guard.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/searcher.h"
+#include "lake/generator.h"
+#include "util/metrics.h"
+
+namespace deepjoin {
+namespace {
+
+TEST(AllocGuardTest, EnabledMatchesCompileTimeConfig) {
+#if defined(DJ_ALLOC_GUARD)
+  EXPECT_TRUE(alloc_guard::Enabled());
+#else
+  EXPECT_FALSE(alloc_guard::Enabled());
+#endif
+}
+
+TEST(AllocGuardTest, CountObservesAllocations) {
+  if (!alloc_guard::Enabled()) GTEST_SKIP() << "DJ_ALLOC_GUARD compiled out";
+  alloc_guard::ScopedAllocCount tally;
+  const std::uint64_t before = tally.allocations();
+  auto p = std::make_unique<std::uint64_t>(42);
+  EXPECT_GE(tally.allocations(), before + 1);
+  EXPECT_GE(tally.bytes(), sizeof(std::uint64_t));
+  EXPECT_EQ(*p, 42u);
+}
+
+TEST(AllocGuardTest, CountScopesNestIndependently) {
+  if (!alloc_guard::Enabled()) GTEST_SKIP() << "DJ_ALLOC_GUARD compiled out";
+  alloc_guard::ScopedAllocCount outer;
+  auto a = std::make_unique<int>(1);
+  alloc_guard::ScopedAllocCount inner;
+  auto b = std::make_unique<int>(2);
+  // The inner scope saw only the second allocation; the outer saw both.
+  EXPECT_GE(inner.allocations(), 1u);
+  EXPECT_GE(outer.allocations(), inner.allocations() + 1);
+  EXPECT_EQ(*a + *b, 3);
+}
+
+TEST(AllocGuardTest, ProcessTotalsAreMonotonic) {
+  if (!alloc_guard::Enabled()) GTEST_SKIP() << "DJ_ALLOC_GUARD compiled out";
+  const std::uint64_t allocs0 = alloc_guard::TotalAllocations();
+  const std::uint64_t bytes0 = alloc_guard::TotalBytes();
+  auto p = std::make_unique<double>(1.0);
+  EXPECT_GT(alloc_guard::TotalAllocations(), allocs0);
+  EXPECT_GE(alloc_guard::TotalBytes(), bytes0 + sizeof(double));
+  EXPECT_EQ(*p, 1.0);
+}
+
+TEST(AllocGuardTest, PublishMetricsExportsGauges) {
+  if (!alloc_guard::Enabled()) GTEST_SKIP() << "DJ_ALLOC_GUARD compiled out";
+  auto p = std::make_unique<int>(9);
+  (void)*p;
+  alloc_guard::PublishMetrics();
+  const auto snapshot = metrics::MetricsRegistry::Global().Snapshot();
+  bool saw_count = false;
+  bool saw_bytes = false;
+  for (const auto& g : snapshot.gauges) {
+    if (g.name == "dj_alloc_count") saw_count = g.value > 0;
+    if (g.name == "dj_alloc_bytes") saw_bytes = g.value > 0;
+  }
+  EXPECT_TRUE(saw_count);
+  EXPECT_TRUE(saw_bytes);
+}
+
+TEST(AllocGuardTest, NestedBansUnwindCleanly) {
+  if (!alloc_guard::Enabled()) GTEST_SKIP() << "DJ_ALLOC_GUARD compiled out";
+  {
+    alloc_guard::ScopedAllocBan outer("outer");
+    { alloc_guard::ScopedAllocBan inner("inner"); }
+  }
+  // Fully unwound: allocation is legal again.
+  std::vector<int> v(8, 3);
+  EXPECT_EQ(v.size(), 8u);
+}
+
+TEST(AllocGuardTest, DeleteUnderBanIsAllowed) {
+  if (!alloc_guard::Enabled()) GTEST_SKIP() << "DJ_ALLOC_GUARD compiled out";
+  int* p = new int(3);  // dj_lint: allow(naked-new)
+  {
+    alloc_guard::ScopedAllocBan ban("release is always legal");
+    delete p;
+  }
+  SUCCEED();
+}
+
+TEST(AllocGuardDeathTest, AllocationUnderBanAborts) {
+  if (!alloc_guard::Enabled()) GTEST_SKIP() << "DJ_ALLOC_GUARD compiled out";
+  EXPECT_DEATH(
+      {
+        alloc_guard::ScopedAllocBan ban("death test ban");
+        int* leak = new int(7);  // dj_lint: allow(naked-new)
+        (void)leak;
+      },
+      "heap allocation of .* under ScopedAllocBan\\(\"death test ban\"\\)");
+}
+
+TEST(AllocGuardDeathTest, InnermostBanSiteIsReported) {
+  if (!alloc_guard::Enabled()) GTEST_SKIP() << "DJ_ALLOC_GUARD compiled out";
+  EXPECT_DEATH(
+      {
+        alloc_guard::ScopedAllocBan outer("outer ban");
+        alloc_guard::ScopedAllocBan inner("inner ban");
+        int* leak = new int(7);  // dj_lint: allow(naked-new)
+        (void)leak;
+      },
+      "ScopedAllocBan\\(\"inner ban\"\\)");
+}
+
+TEST(AllocGuardDeathTest, DestroyedInnerBanRestoresOuterContext) {
+  if (!alloc_guard::Enabled()) GTEST_SKIP() << "DJ_ALLOC_GUARD compiled out";
+  EXPECT_DEATH(
+      {
+        alloc_guard::ScopedAllocBan outer("outer ban");
+        { alloc_guard::ScopedAllocBan inner("inner ban"); }
+        int* leak = new int(7);  // dj_lint: allow(naked-new)
+        (void)leak;
+      },
+      "ScopedAllocBan\\(\"outer ban\"\\)");
+}
+
+// The layer's acceptance proof: after warmup, a full DeepJoin query —
+// transform, tokenize, vocab lookup, transformer forward, HNSW traversal,
+// result copy-out — performs zero heap allocations. The whole steady-state
+// query runs under a ScopedAllocBan, so any regression aborts with the
+// allocating site's size, and a ScopedAllocCount double-checks the tally.
+// Conditions (the DJ_NOALLOC contract's steady state): scratch and pools
+// warmed by prior queries on this thread, collect_stats off, HNSW backend.
+TEST(AllocGuardSearchTest, SteadyStateSearchPerformsZeroAllocations) {
+  if (!alloc_guard::Enabled()) GTEST_SKIP() << "DJ_ALLOC_GUARD compiled out";
+
+  lake::LakeGenerator gen(lake::LakeConfig::Webtable(909));
+  const lake::Repository repo = gen.GenerateRepository(80);
+  const std::vector<lake::Column> queries = gen.GenerateQueries(6, 0x77);
+
+  FastTextConfig fc;
+  fc.dim = 16;
+  FastTextEmbedder embedder(fc);
+  core::PlmEncoderConfig pc;
+  pc.kind = core::PlmKind::kDistilSim;
+  pc.max_seq_len = 32;
+  core::PlmColumnEncoder encoder(pc, queries, embedder);
+
+  core::SearcherConfig sc;
+  sc.backend = core::AnnBackend::kHnsw;
+  core::EmbeddingSearcher searcher(&encoder, sc);
+  ASSERT_TRUE(searcher.BuildIndex(repo).ok());
+
+  const core::SearchOptions options{.k = 10, .collect_stats = false};
+  core::EmbeddingSearcher::SearchResult result;
+  // Warmup: grows every thread-local scratch buffer, the HNSW visited
+  // pool, the transformer workspace pool, and the function-local metric
+  // statics to their steady-state footprint.
+  for (int i = 0; i < 3; ++i) {
+    searcher.SearchInto(queries[i % queries.size()], options, &result);
+  }
+  ASSERT_EQ(result.ids.size(), 10u);
+
+  alloc_guard::ScopedAllocCount tally;
+  {
+    alloc_guard::ScopedAllocBan ban("steady-state DeepJoin search");
+    for (size_t i = 0; i < queries.size(); ++i) {
+      searcher.SearchInto(queries[i], options, &result);
+    }
+  }
+  EXPECT_EQ(tally.allocations(), 0u);
+  EXPECT_EQ(tally.bytes(), 0u);
+  EXPECT_EQ(result.ids.size(), 10u);
+}
+
+}  // namespace
+}  // namespace deepjoin

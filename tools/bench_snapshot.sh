@@ -10,7 +10,10 @@
 # The filter also records the metrics-overhead pairs (BM_PlmEncodeColumn /
 # BM_HnswSearch vs their *MetricsOff twins), so BENCH_micro.json carries
 # the instrumentation cost of the observability layer (DESIGN.md §9
-# budgets it at <2%).
+# budgets it at <2%), plus the steady-state allocation-discipline benches
+# (BM_HnswSearchInto, BM_SearcherSteadyStateQuery). Their allocs_per_op
+# counters only appear when the build compiles the alloc guard in
+# (-DDJ_ALLOC_GUARD=ON / Debug); a Release snapshot carries timings only.
 #
 # Usage: tools/bench_snapshot.sh [build-dir] [extra benchmark args...]
 set -euo pipefail
@@ -25,7 +28,7 @@ if [[ ! -x "$BIN" ]]; then
   exit 1
 fi
 
-FILTER='BM_Kernel|BM_Sgemm|BM_NaiveGemm|BM_EncodeToVector|BM_HnswSearch|BM_PlmEncodeColumn'
+FILTER='BM_Kernel|BM_Sgemm|BM_NaiveGemm|BM_EncodeToVector|BM_HnswSearch|BM_PlmEncodeColumn|BM_SearcherSteadyState'
 OUT="$ROOT/BENCH_micro.json"
 
 "$BIN" \

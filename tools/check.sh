@@ -16,6 +16,11 @@
 #                             death/tsan/lint labels (runtime rank
 #                             enforcement, dj_deadlock fixtures, tree scan)
 #                             and a dj_lockgraph JSON/DOT smoke dump
+#   4c. alloc-guard build   + Debug tree with -DDJ_ALLOC_GUARD=ON running
+#                             the death/lint labels (ScopedAllocBan aborts,
+#                             the zero-allocation steady-state search proof,
+#                             dj_alloc fixtures + tree scan) and a guarded
+#                             dj_stats smoke checking the tallies export
 #   5. kernel tiers         + kernels_test run twice (native dispatch and
 #                             DJ_FORCE_SCALAR_KERNELS=1) in the plain AND
 #                             ASan+UBSan trees, then encoder_probe dumps
@@ -45,8 +50,11 @@ run_profile() {
   echo "=== [$label] build ==="
   cmake --build "$ROOT/$dir" -j "$JOBS"
   echo "=== [$label] test ($ctest_args) ==="
+  # --no-tests=error: a label regex that matches nothing is a bug in this
+  # script, not a clean leg.
   # shellcheck disable=SC2086
-  (cd "$ROOT/$dir" && ctest --output-on-failure -j "$JOBS" $ctest_args)
+  (cd "$ROOT/$dir" && ctest --output-on-failure --no-tests=error \
+    -j "$JOBS" $ctest_args)
 }
 
 # Runs the kernel parity suite in both dispatch tiers, then cross-checks
@@ -105,13 +113,32 @@ if [[ "$QUICK" == "0" ]]; then
   # the death label exercises the runtime aborts (rank inversion,
   # re-entry, condvar-with-second-lock), tsan hammers the hook
   # bookkeeping, and lint runs dj_deadlock over fixtures + the real tree.
-  run_profile build-lockrank "lock-rank (Debug)" "-L 'death|tsan|lint'" \
+  # NB: $ctest_args is intentionally word-split in run_profile, so the
+  # label regex must stay unquoted (quotes would end up inside the regex
+  # and silently select the wrong tests).
+  run_profile build-lockrank "lock-rank (Debug)" "-L death|tsan|lint" \
     -DCMAKE_BUILD_TYPE=Debug -DDJ_LOCK_RANK=ON
   echo "=== [lock-rank (Debug)] dj_lockgraph: observed-graph dump ==="
   "$ROOT/build-lockrank/tools/dj_lockgraph" --format=json \
     | python3 -c "import json,sys; d=json.load(sys.stdin); \
 print('dj_lockgraph: %d nodes, %d edges' % (len(d['nodes']), len(d['edges'])))"
   "$ROOT/build-lockrank/tools/dj_lockgraph" --format=dot >/dev/null
+
+  # Allocation discipline (DESIGN.md §11): Debug defaults DJ_ALLOC_GUARD=ON,
+  # so the death label exercises the ScopedAllocBan aborts, the guarded
+  # steady-state search test proves zero allocations per query for real,
+  # and lint runs dj_alloc over its fixtures plus the real tree. The
+  # dj_stats smoke confirms the guard's process-wide tallies reach the
+  # metrics snapshot (a live pipeline allocates, so the count is nonzero).
+  run_profile build-allocguard "alloc-guard (Debug)" "-L death|lint" \
+    -DCMAKE_BUILD_TYPE=Debug -DDJ_ALLOC_GUARD=ON
+  echo "=== [alloc-guard (Debug)] dj_stats: alloc tallies exported ==="
+  "$ROOT/build-allocguard/tools/dj_stats" --repo=64 --queries=4 \
+      --format=json 2>/dev/null \
+    | python3 -c "import json,sys; g=json.load(sys.stdin)['gauges']; \
+assert g['dj_alloc_count'] > 0 and g['dj_alloc_bytes'] > 0, g; \
+print('dj_stats: dj_alloc_count=%d dj_alloc_bytes=%d' \
+% (g['dj_alloc_count'], g['dj_alloc_bytes']))"
 
   # Optional clang-tidy leg over the checked-in .clang-tidy profile; the
   # plain build exported compile_commands.json.

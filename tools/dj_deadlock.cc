@@ -64,83 +64,14 @@ namespace fs = std::filesystem;
 namespace {
 
 using lintc::FileText;
-using lintc::IsWordChar;
+using lintc::HeadFunctionName;
+using lintc::IsAnnotationMacro;
+using lintc::Lex;
 using lintc::StripCommentsAndStrings;
+using lintc::Tok;
+using lintc::Violation;
 
 constexpr int kUnranked = -1;
-
-// ---- tokens ----
-
-struct Tok {
-  enum Kind { kIdent, kNumber, kString, kPunct } kind = kPunct;
-  std::string text;   // for kString: the literal's contents (from raw)
-  size_t line = 0;    // 1-based
-};
-
-/// Lexes the blanked code lines into tokens, reading string contents back
-/// out of the raw lines (blanking preserves columns, so the quotes in the
-/// code line bracket the original contents in the raw line). Preprocessor
-/// lines (and their backslash continuations) are dropped entirely.
-std::vector<Tok> Lex(const FileText& text) {
-  std::vector<Tok> toks;
-  bool in_continuation = false;
-  for (size_t li = 0; li < text.code.size(); ++li) {
-    const std::string& code = text.code[li];
-    const std::string& raw = text.raw[li];
-    const size_t first = code.find_first_not_of(" \t");
-    const bool directive =
-        !in_continuation && first != std::string::npos && code[first] == '#';
-    const bool continues = !code.empty() && code.back() == '\\';
-    if (directive || in_continuation) {
-      in_continuation = continues;
-      continue;
-    }
-    in_continuation = false;
-    size_t i = 0;
-    while (i < code.size()) {
-      const char c = code[i];
-      if (c == ' ' || c == '\t') {
-        ++i;
-        continue;
-      }
-      if (IsWordChar(c)) {
-        size_t j = i;
-        while (j < code.size() && IsWordChar(code[j])) ++j;
-        Tok t;
-        t.kind = (c >= '0' && c <= '9') ? Tok::kNumber : Tok::kIdent;
-        t.text = code.substr(i, j - i);
-        t.line = li + 1;
-        toks.push_back(std::move(t));
-        i = j;
-        continue;
-      }
-      if (c == '"') {
-        size_t j = i + 1;
-        while (j < code.size() && code[j] != '"') ++j;
-        Tok t;
-        t.kind = Tok::kString;
-        t.text = (j < raw.size()) ? raw.substr(i + 1, j - i - 1) : "";
-        t.line = li + 1;
-        toks.push_back(std::move(t));
-        i = (j < code.size()) ? j + 1 : j;
-        continue;
-      }
-      if (c == '\'') {  // char literal (contents blanked); skip to close
-        size_t j = i + 1;
-        while (j < code.size() && code[j] != '\'') ++j;
-        i = (j < code.size()) ? j + 1 : j;
-        continue;
-      }
-      Tok t;
-      t.kind = Tok::kPunct;
-      t.text = std::string(1, c);
-      t.line = li + 1;
-      toks.push_back(std::move(t));
-      ++i;
-    }
-  }
-  return toks;
-}
 
 // ---- model ----
 
@@ -173,13 +104,6 @@ struct FuncInfo {
   std::vector<AcquireEvent> acquires;
 };
 
-struct Violation {
-  std::string file;
-  size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
 struct Edge {
   std::string from_site;  // first-seen site that held `from`…
   std::string to_site;    // …while acquiring `to`
@@ -199,10 +123,6 @@ const std::set<std::string>& BlockingCalls() {
       "AtomicSave",     "SaveCheckpointTo", "LoadCheckpoint",
   };
   return kSet;
-}
-
-bool IsAnnotationMacro(const std::string& s) {
-  return s.rfind("DJ_", 0) == 0;
 }
 
 class Analyzer {
@@ -249,54 +169,36 @@ class Analyzer {
 
   /// Fixpoint + edge emission + graph checks. Call once after AnalyzeTree.
   void Finish(bool dump_graph) {
-    // Transitive may-acquire over the call graph.
-    std::map<std::string, std::set<std::string>> may_acquire;
-    for (const auto& [name, f] : funcs_) may_acquire[name] = f.direct_acquires;
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (const auto& [name, f] : funcs_) {
-        std::set<std::string>& mine = may_acquire[name];
-        for (const CallSite& c : f.calls) {
-          auto it = may_acquire.find(c.callee);
-          if (it == may_acquire.end()) continue;
-          for (const std::string& l : it->second) {
-            if (mine.insert(l).second) changed = true;
-          }
-        }
-      }
+    // Name-keyed call graph feeding the shared fixpoint engine.
+    lintc::CallGraph call_names;
+    for (const auto& [name, f] : funcs_) {
+      std::vector<std::string>& v = call_names[name];
+      for (const CallSite& c : f.calls) v.push_back(c.callee);
     }
+
+    // Transitive may-acquire over the call graph.
+    std::map<std::string, std::set<std::string>> direct_acquires;
+    for (const auto& [name, f] : funcs_) {
+      direct_acquires[name] = f.direct_acquires;
+    }
+    const std::map<std::string, std::set<std::string>> may_acquire =
+        lintc::ReachableSets(call_names, std::move(direct_acquires));
 
     // Transitive may-block: a function blocks if its body makes a blocking
     // call or any callee does. The value is a witness chain for reporting.
-    std::map<std::string, std::string> may_block;
-    for (const auto& [name, f] : funcs_) {
-      (void)f;
-      may_block[name] = "";
-    }
+    std::map<std::string, std::string> block_seeds;
     for (const auto& [name, f] : funcs_) {
       for (const CallSite& c : f.calls) {
         if (BlockingCalls().count(c.callee) != 0) {
-          may_block[name] = c.callee + "()";
+          block_seeds[name] = c.callee + "()";
           break;
         }
       }
     }
-    changed = true;
-    while (changed) {
-      changed = false;
-      for (const auto& [name, f] : funcs_) {
-        if (!may_block[name].empty()) continue;
-        for (const CallSite& c : f.calls) {
-          auto it = may_block.find(c.callee);
-          if (it == may_block.end() || it->second.empty()) continue;
-          may_block[name] = c.callee + "() -> " + it->second;
-          changed = true;
-          break;
-        }
-      }
-    }
+    const std::map<std::string, std::string> may_block =
+        lintc::ReachWitness(call_names, block_seeds);
 
+    bool changed = false;
     // Forward may-hold-at-entry fixpoint (for excludes/requires checks on
     // functions reached with locks already held, e.g. a metrics helper
     // called from inside ThreadPool::Submit's critical section).
@@ -533,32 +435,6 @@ class Analyzer {
   }
 
   // ---- pass 2: function bodies ----
-
-  /// Extracts the function name from the head tokens (everything since the
-  /// last statement boundary): the last identifier directly before a
-  /// top-paren-level '(' — annotation macros excluded, constructor
-  /// initializer lists cut off.
-  static std::string HeadFunctionName(const std::vector<Tok>& head) {
-    int depth = 0;
-    std::string name;
-    for (size_t i = 0; i < head.size(); ++i) {
-      const Tok& t = head[i];
-      if (t.text == "(") {
-        if (depth == 0 && i > 0 && head[i - 1].kind == Tok::kIdent &&
-            !IsAnnotationMacro(head[i - 1].text)) {
-          name = head[i - 1].text;
-        }
-        ++depth;
-      } else if (t.text == ")") {
-        --depth;
-      } else if (t.text == ":" && depth == 0 && i > 0 &&
-                 head[i - 1].text == ")" &&
-                 (i + 1 >= head.size() || head[i + 1].text != ":")) {
-        break;  // constructor initializer list
-      }
-    }
-    return name;
-  }
 
   /// Collects the arguments of every DJ_<macro>(a, b) in the head and
   /// resolves them to lock names via `ctx` (unresolvable arguments — e.g.
@@ -994,26 +870,6 @@ int main(int argc, char** argv) {
   }
   analyzer.Finish(dump_graph);
 
-  std::vector<size_t> order(analyzer.violations().size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    const auto& va = analyzer.violations()[a];
-    const auto& vb = analyzer.violations()[b];
-    if (va.file != vb.file) return va.file < vb.file;
-    return va.line < vb.line;
-  });
-  for (size_t i : order) {
-    const auto& v = analyzer.violations()[i];
-    std::cout << v.file << ":" << v.line << ": error: [" << v.rule << "] "
-              << v.message << "\n";
-  }
-  if (analyzer.violations().empty()) {
-    std::cout << "dj_deadlock: clean (" << analyzer.files_scanned()
-              << " files scanned)\n";
-    return 0;
-  }
-  std::cout << "dj_deadlock: " << analyzer.violations().size()
-            << " violation(s) in " << analyzer.files_scanned()
-            << " files scanned\n";
-  return 1;
+  return lintc::PrintReport("dj_deadlock", analyzer.violations(),
+                            analyzer.files_scanned());
 }

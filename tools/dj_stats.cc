@@ -17,6 +17,7 @@
 
 #include "core/searcher.h"
 #include "lake/generator.h"
+#include "util/alloc_guard.h"
 #include "util/flags.h"
 #include "util/lock_rank.h"
 #include "util/metrics.h"
@@ -92,6 +93,9 @@ int main(int argc, char** argv) {
   // Fold the lock-rank layer's observed graph into the snapshot
   // (dj_lockrank_* gauges; all zero when DJ_LOCK_RANK is compiled out).
   lock_rank::PublishMetrics();
+  // Likewise the alloc-guard's process-wide tallies (dj_alloc_count /
+  // dj_alloc_bytes; zero when DJ_ALLOC_GUARD is compiled out).
+  alloc_guard::PublishMetrics();
   const metrics::MetricsSnapshot snapshot =
       metrics::MetricsRegistry::Global().Snapshot();
   if (format == "json" || format == "both") {

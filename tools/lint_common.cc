@@ -1,6 +1,8 @@
 #include "lint_common.h"
 
 #include <algorithm>
+#include <iostream>
+#include <numeric>
 
 namespace lintc {
 
@@ -112,6 +114,162 @@ std::vector<fs::path> CollectSourceFiles(const fs::path& dir) {
   }
   std::sort(files.begin(), files.end());
   return files;
+}
+
+std::vector<Tok> Lex(const FileText& text) {
+  std::vector<Tok> toks;
+  bool in_continuation = false;
+  for (size_t li = 0; li < text.code.size(); ++li) {
+    const std::string& code = text.code[li];
+    const std::string& raw = text.raw[li];
+    const size_t first = code.find_first_not_of(" \t");
+    const bool directive =
+        !in_continuation && first != std::string::npos && code[first] == '#';
+    const bool continues = !code.empty() && code.back() == '\\';
+    if (directive || in_continuation) {
+      in_continuation = continues;
+      continue;
+    }
+    in_continuation = false;
+    size_t i = 0;
+    while (i < code.size()) {
+      const char c = code[i];
+      if (c == ' ' || c == '\t') {
+        ++i;
+        continue;
+      }
+      if (IsWordChar(c)) {
+        size_t j = i;
+        while (j < code.size() && IsWordChar(code[j])) ++j;
+        Tok t;
+        t.kind = (c >= '0' && c <= '9') ? Tok::kNumber : Tok::kIdent;
+        t.text = code.substr(i, j - i);
+        t.line = li + 1;
+        toks.push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (c == '"') {
+        size_t j = i + 1;
+        while (j < code.size() && code[j] != '"') ++j;
+        Tok t;
+        t.kind = Tok::kString;
+        t.text = (j < raw.size()) ? raw.substr(i + 1, j - i - 1) : "";
+        t.line = li + 1;
+        toks.push_back(std::move(t));
+        i = (j < code.size()) ? j + 1 : j;
+        continue;
+      }
+      if (c == '\'') {  // char literal (contents blanked); skip to close
+        size_t j = i + 1;
+        while (j < code.size() && code[j] != '\'') ++j;
+        i = (j < code.size()) ? j + 1 : j;
+        continue;
+      }
+      Tok t;
+      t.kind = Tok::kPunct;
+      t.text = std::string(1, c);
+      t.line = li + 1;
+      toks.push_back(std::move(t));
+      ++i;
+    }
+  }
+  return toks;
+}
+
+bool IsAnnotationMacro(const std::string& s) {
+  return s.rfind("DJ_", 0) == 0;
+}
+
+std::string HeadFunctionName(const std::vector<Tok>& head, size_t* name_idx) {
+  int depth = 0;
+  std::string name;
+  for (size_t i = 0; i < head.size(); ++i) {
+    const Tok& t = head[i];
+    if (t.text == "(") {
+      if (depth == 0 && i > 0 && head[i - 1].kind == Tok::kIdent &&
+          !IsAnnotationMacro(head[i - 1].text)) {
+        name = head[i - 1].text;
+        if (name_idx != nullptr) *name_idx = i - 1;
+      }
+      ++depth;
+    } else if (t.text == ")") {
+      --depth;
+    } else if (t.text == ":" && depth == 0 && i > 0 &&
+               head[i - 1].text == ")" &&
+               (i + 1 >= head.size() || head[i + 1].text != ":")) {
+      break;  // constructor initializer list
+    }
+  }
+  return name;
+}
+
+std::map<std::string, std::set<std::string>> ReachableSets(
+    const CallGraph& calls,
+    std::map<std::string, std::set<std::string>> direct) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, callees] : calls) {
+      std::set<std::string>& mine = direct[name];
+      for (const std::string& callee : callees) {
+        auto it = direct.find(callee);
+        if (it == direct.end() || &it->second == &mine) continue;
+        for (const std::string& v : it->second) {
+          if (mine.insert(v).second) changed = true;
+        }
+      }
+    }
+  }
+  return direct;
+}
+
+std::map<std::string, std::string> ReachWitness(
+    const CallGraph& calls, const std::map<std::string, std::string>& direct) {
+  std::map<std::string, std::string> reach = direct;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, callees] : calls) {
+      std::string& mine = reach[name];
+      if (!mine.empty()) continue;
+      for (const std::string& callee : callees) {
+        auto it = reach.find(callee);
+        if (it == reach.end() || it->second.empty() || callee == name) {
+          continue;
+        }
+        mine = callee + "() -> " + it->second;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return reach;
+}
+
+int PrintReport(const std::string& tool,
+                const std::vector<Violation>& violations,
+                size_t files_scanned) {
+  std::vector<size_t> order(violations.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (violations[a].file != violations[b].file) {
+      return violations[a].file < violations[b].file;
+    }
+    return violations[a].line < violations[b].line;
+  });
+  for (size_t i : order) {
+    const Violation& v = violations[i];
+    std::cout << v.file << ":" << v.line << ": error: [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  if (violations.empty()) {
+    std::cout << tool << ": clean (" << files_scanned << " files scanned)\n";
+    return 0;
+  }
+  std::cout << tool << ": " << violations.size() << " violation(s) in "
+            << files_scanned << " files scanned\n";
+  return 1;
 }
 
 }  // namespace lintc

@@ -12,8 +12,11 @@
 #ifndef DEEPJOIN_TOOLS_LINT_COMMON_H_
 #define DEEPJOIN_TOOLS_LINT_COMMON_H_
 
+#include <cstddef>
 #include <filesystem>
 #include <istream>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,6 +59,70 @@ bool SuppressedAt(const FileText& text, size_t line_idx,
 /// tree-wide run.
 std::vector<std::filesystem::path> CollectSourceFiles(
     const std::filesystem::path& dir);
+
+// ---- token stream (shared by the cross-TU passes) ----
+
+struct Tok {
+  enum Kind { kIdent, kNumber, kString, kPunct } kind = kPunct;
+  std::string text;  // for kString: the literal's contents (from raw)
+  size_t line = 0;   // 1-based
+};
+
+/// Lexes the blanked code lines into tokens, reading string contents back
+/// out of the raw lines (blanking preserves columns, so the quotes in the
+/// code line bracket the original contents in the raw line). Preprocessor
+/// lines (and their backslash continuations) are dropped entirely.
+std::vector<Tok> Lex(const FileText& text);
+
+/// True for the project's function-head annotation macros (DJ_REQUIRES,
+/// DJ_NOALLOC, …): excluded when hunting for the function name in a head.
+bool IsAnnotationMacro(const std::string& s);
+
+/// Extracts the function name from head tokens (everything since the last
+/// statement boundary): the last identifier directly before a
+/// top-paren-level '(' — annotation macros excluded, constructor
+/// initializer lists cut off. `name_idx` (if non-null) receives the index
+/// of the name token in `head`, so callers can inspect qualifiers like
+/// `Class ::` to its left.
+std::string HeadFunctionName(const std::vector<Tok>& head,
+                             size_t* name_idx = nullptr);
+
+// ---- call-graph fixpoints (shared by dj_deadlock / dj_alloc) ----
+
+/// Caller name -> callee names, in call order. The passes key functions by
+/// name (dj_deadlock unqualified, dj_alloc class-qualified) and merge on
+/// collision; both feed this shape to the fixpoints below.
+using CallGraph = std::map<std::string, std::vector<std::string>>;
+
+/// Transitive set-union fixpoint: every function's set grows by its
+/// callees' sets until stable. `direct` seeds each function (e.g. the
+/// locks it acquires directly); the result adds everything reachable.
+std::map<std::string, std::set<std::string>> ReachableSets(
+    const CallGraph& calls, std::map<std::string, std::set<std::string>> direct);
+
+/// Transitive may-reach fixpoint with witness chains: `direct` maps a
+/// function to the label of an event in its own body (e.g. "malloc()" or
+/// "new Foo"); the result maps every function that can reach an event to a
+/// chain "g() -> h() -> <event>" naming the first witness path found
+/// (first in call order, so output is deterministic).
+std::map<std::string, std::string> ReachWitness(
+    const CallGraph& calls, const std::map<std::string, std::string>& direct);
+
+// ---- violation reporting (shared output format) ----
+
+struct Violation {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Sorts by file then line, prints `file:line: error: [rule] message`
+/// lines followed by the `<tool>: clean (N files scanned)` / violation
+/// count summary, and returns the process exit code (0 clean, 1 not).
+int PrintReport(const std::string& tool,
+                const std::vector<Violation>& violations,
+                size_t files_scanned);
 
 }  // namespace lintc
 
