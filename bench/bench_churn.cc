@@ -1,0 +1,398 @@
+// Churn benchmarks (google-benchmark) for the live-mutability layer
+// (DESIGN.md §12): query latency while a mutator thread inserts and
+// tombstones columns, the cost of each mutation primitive (in-memory and
+// WAL-backed), snapshot publication, compaction, and the recall drift a
+// churned graph accumulates against exact flat-index ground truth.
+// tools/bench_snapshot.sh records the output in BENCH_churn.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/searcher.h"
+#include "lake/generator.h"
+
+namespace deepjoin {
+namespace {
+
+// One corpus for every benchmark: a repository pool the churn scripts draw
+// fresh columns from, plus a fixed query set. Deliberately leaked so
+// teardown stays off the benchmark clock (same idiom as bench_micro.cc).
+struct ChurnCorpus {
+  lake::Repository repo;
+  std::vector<lake::Column> queries;
+  std::unique_ptr<FastTextEmbedder> embedder;
+  std::unique_ptr<core::FastTextColumnEncoder> encoder;
+};
+
+ChurnCorpus& Corpus() {
+  static ChurnCorpus* corpus = [] {
+    auto c = std::make_unique<ChurnCorpus>();
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(1234));
+    c->repo = gen.GenerateRepository(1200);
+    c->queries = gen.GenerateQueries(16);
+    FastTextConfig fc;
+    fc.dim = 16;
+    c->embedder = std::make_unique<FastTextEmbedder>(fc);
+    c->encoder = std::make_unique<core::FastTextColumnEncoder>(
+        c->embedder.get(), core::TransformConfig{});
+    return c.release();
+  }();
+  return *corpus;
+}
+
+/// Seeds a searcher with the first `n` pool columns (searcher ids 0..n-1
+/// match pool positions, which the recall benchmark relies on).
+lake::Repository SeedRepo(size_t n) {
+  lake::Repository seed;
+  for (u32 i = 0; i < static_cast<u32>(n); ++i) {
+    seed.Add(Corpus().repo.column(i));
+  }
+  return seed;
+}
+
+/// Scratch directories for the live-mode benchmarks. A process-local
+/// counter keeps repeated benchmark invocations (google-benchmark re-enters
+/// the function while calibrating iteration counts) from colliding.
+std::string FreshLiveDir(const char* tag) {
+  static std::atomic<int> counter{0};
+  auto dir = std::filesystem::temp_directory_path() /
+             ("bench_churn_" + std::string(tag) + "_" +
+              std::to_string(counter.fetch_add(1)));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// Background mutator: alternates AddColumn (drawing unseen pool columns,
+/// wrapping when exhausted) with RemoveColumn of the oldest live id, so the
+/// live size stays flat while ids churn. Auto-compaction (enabled by the
+/// caller's SearcherConfig) bounds tombstone growth.
+void ChurnLoop(core::EmbeddingSearcher& searcher,
+               const std::atomic<bool>& stop) {
+  auto& pool = Corpus().repo;
+  std::vector<u32> live;
+  for (u32 i = 0; i < static_cast<u32>(searcher.index_size()); ++i) {
+    live.push_back(i);
+  }
+  size_t next_pool = live.size();
+  size_t op = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    if (op % 2 == 0 || live.size() < 8) {
+      auto id = searcher.AddColumn(
+          pool.column(static_cast<u32>(next_pool++ % pool.size())));
+      if (id.ok()) live.push_back(*id);
+    } else {
+      const u32 victim = live.front();
+      live.erase(live.begin());
+      searcher.RemoveColumn(victim).IgnoreError();
+    }
+    ++op;
+  }
+}
+
+void ReportTail(benchmark::State& state, std::vector<double>& micros) {
+  if (micros.empty()) return;
+  std::sort(micros.begin(), micros.end());
+  const auto pct = [&](double p) {
+    const size_t i = static_cast<size_t>(p * static_cast<double>(
+                                                 micros.size() - 1));
+    return micros[i];
+  };
+  state.counters["p50_us"] = benchmark::Counter(pct(0.50));
+  state.counters["p99_us"] = benchmark::Counter(pct(0.99));
+  state.counters["max_us"] = benchmark::Counter(micros.back());
+}
+
+// ---- Search latency under churn --------------------------------------------
+// Arg 0: churn on/off. The off run is the baseline; the paired JSON entries
+// carry the interference cost of the writer (link-lock contention plus
+// snapshot pins) on the read path, mean and tail.
+
+void BM_SearchUnderChurn(benchmark::State& state) {
+  const bool churn = state.range(0) != 0;
+  auto& corpus = Corpus();
+  core::SearcherConfig cfg;
+  cfg.compact_min_dead = 128;
+  cfg.compact_dead_fraction = 0.25;
+  core::EmbeddingSearcher searcher(corpus.encoder.get(), cfg);
+  if (!searcher.BuildIndex(SeedRepo(600)).ok()) {
+    state.SkipWithError("BuildIndex failed");
+    return;
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread mutator;
+  if (churn) mutator = std::thread([&] { ChurnLoop(searcher, stop); });
+
+  const core::SearchOptions options{.k = 10, .collect_stats = false};
+  core::EmbeddingSearcher::SearchResult result;
+  searcher.SearchInto(corpus.queries[0], options, &result);  // warm scratch
+  std::vector<double> micros;
+  micros.reserve(1 << 14);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    searcher.SearchInto(corpus.queries[i++ % corpus.queries.size()], options,
+                        &result);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(result.ids.data());
+    micros.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+
+  stop.store(true, std::memory_order_release);
+  if (mutator.joinable()) mutator.join();
+  ReportTail(state, micros);
+}
+BENCHMARK(BM_SearchUnderChurn)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"churn"})
+    ->UseRealTime();
+
+// ---- Mutation primitives ---------------------------------------------------
+
+void BM_AddColumn(benchmark::State& state) {
+  auto& corpus = Corpus();
+  core::SearcherConfig cfg;
+  core::EmbeddingSearcher searcher(corpus.encoder.get(), cfg);
+  if (!searcher.BuildIndex(SeedRepo(200)).ok()) {
+    state.SkipWithError("BuildIndex failed");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto id = searcher.AddColumn(
+        corpus.repo.column(static_cast<u32>(i++ % corpus.repo.size())));
+    benchmark::DoNotOptimize(id.ok());
+  }
+}
+BENCHMARK(BM_AddColumn);
+
+// Live-mode insert: the in-memory path plus one WAL record and its fsync.
+// The gap against BM_AddColumn is the durability tax per mutation.
+void BM_AddColumnLive(benchmark::State& state) {
+  auto& corpus = Corpus();
+  const std::string dir = FreshLiveDir("add");
+  core::SearcherConfig cfg;
+  core::EmbeddingSearcher searcher(corpus.encoder.get(), cfg);
+  if (!searcher.OpenLive(dir).ok()) {
+    state.SkipWithError("OpenLive failed");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto id = searcher.AddColumn(
+        corpus.repo.column(static_cast<u32>(i++ % corpus.repo.size())));
+    benchmark::DoNotOptimize(id.ok());
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_AddColumnLive)->Unit(benchmark::kMillisecond);
+
+// Add + remove as one cycle: removal alone cannot repeat (a column id dies
+// for good), so the steady-state churn unit is the pair. Subtracting
+// BM_AddColumn isolates the tombstone write.
+void BM_AddRemoveCycle(benchmark::State& state) {
+  auto& corpus = Corpus();
+  core::SearcherConfig cfg;
+  cfg.compact_min_dead = 1u << 30;  // never auto-compact: pure op cost
+  core::EmbeddingSearcher searcher(corpus.encoder.get(), cfg);
+  if (!searcher.BuildIndex(SeedRepo(200)).ok()) {
+    state.SkipWithError("BuildIndex failed");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto id = searcher.AddColumn(
+        corpus.repo.column(static_cast<u32>(i++ % corpus.repo.size())));
+    if (!id.ok() || !searcher.RemoveColumn(*id).ok()) {
+      state.SkipWithError("mutation failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_AddRemoveCycle);
+
+// ---- Snapshot publication and compaction -----------------------------------
+
+void BM_PublishSnapshotLive(benchmark::State& state) {
+  auto& corpus = Corpus();
+  const std::string dir = FreshLiveDir("publish");
+  core::SearcherConfig cfg;
+  core::EmbeddingSearcher searcher(corpus.encoder.get(), cfg);
+  if (!searcher.BuildIndex(SeedRepo(static_cast<size_t>(state.range(0))))
+           .ok() ||
+      !searcher.OpenLive(dir).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!searcher.PublishSnapshot().ok()) {
+      state.SkipWithError("publish failed");
+      return;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_PublishSnapshotLive)
+    ->Arg(200)
+    ->Arg(600)
+    ->ArgNames({"cols"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Compact(benchmark::State& state) {
+  auto& corpus = Corpus();
+  const int dead = static_cast<int>(state.range(1));
+  core::SearcherConfig cfg;
+  cfg.compact_min_dead = 1u << 30;  // compaction only when we call it
+  core::EmbeddingSearcher searcher(corpus.encoder.get(), cfg);
+  if (!searcher.BuildIndex(SeedRepo(static_cast<size_t>(state.range(0))))
+           .ok()) {
+    state.SkipWithError("BuildIndex failed");
+    return;
+  }
+  // Compaction retires tombstones, so each iteration re-creates them
+  // off-clock: add `dead` columns, remove them, then time the rebuild.
+  size_t next = corpus.repo.size();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<u32> victims;
+    for (int d = 0; d < dead; ++d) {
+      auto id = searcher.AddColumn(
+          corpus.repo.column(static_cast<u32>(next++ % corpus.repo.size())));
+      if (id.ok()) victims.push_back(*id);
+    }
+    for (const u32 v : victims) searcher.RemoveColumn(v).IgnoreError();
+    state.ResumeTiming();
+    if (!searcher.Compact().ok()) {
+      state.SkipWithError("Compact failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_Compact)
+    ->Args({300, 30})
+    ->Args({300, 150})
+    ->ArgNames({"cols", "dead"})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Recall drift ----------------------------------------------------------
+// A churned HNSW graph is not the graph a fresh build would produce: links
+// chosen against since-deleted neighbors stay, and tombstone filtering
+// narrows the beam. This benchmark scripts a deterministic churn episode
+// off-clock, times post-churn searches on-clock, and reports recall@10 of
+// (a) the churned graph and (b) a fresh rebuild of the identical live set,
+// both against exact flat-index ground truth. The drift counter
+// (recall_rebuilt - recall_churned) is the headline number; the churn
+// torture tests bound correctness, this bounds quality.
+
+void BM_RecallAfterChurn(benchmark::State& state) {
+  auto& corpus = Corpus();
+  const size_t kSeed = 400;
+  const int kOps = static_cast<int>(state.range(0));
+  core::SearcherConfig cfg;
+  cfg.compact_min_dead = 64;
+  cfg.compact_dead_fraction = 0.25;
+  core::EmbeddingSearcher churned(corpus.encoder.get(), cfg);
+  if (!churned.BuildIndex(SeedRepo(kSeed)).ok()) {
+    state.SkipWithError("BuildIndex failed");
+    return;
+  }
+
+  // Scripted churn, tracking (searcher id -> pool position) for the live
+  // survivors. Two adds per remove so the index grows while old ids die.
+  std::vector<std::pair<u32, u32>> live;  // {searcher id, pool position}
+  for (u32 i = 0; i < static_cast<u32>(kSeed); ++i) live.push_back({i, i});
+  size_t next_pool = kSeed;
+  for (int op = 0; op < kOps; ++op) {
+    if (op % 3 == 2) {
+      // Deterministic mid-list victim (not always the oldest) so removals
+      // hit entry-point-adjacent nodes too.
+      const size_t vi = (static_cast<size_t>(op) * 7919) % live.size();
+      const u32 victim = live[vi].first;
+      live.erase(live.begin() + static_cast<long>(vi));
+      if (!churned.RemoveColumn(victim).ok()) {
+        state.SkipWithError("RemoveColumn failed");
+        return;
+      }
+    } else {
+      const u32 pool_pos =
+          static_cast<u32>(next_pool++ % corpus.repo.size());
+      auto id = churned.AddColumn(corpus.repo.column(pool_pos));
+      if (!id.ok()) {
+        state.SkipWithError("AddColumn failed");
+        return;
+      }
+      live.push_back({*id, pool_pos});
+    }
+  }
+
+  // Exact ground truth and a fresh rebuild over the identical live set.
+  // Both use position-in-`live` ids; `live` maps them back.
+  lake::Repository live_repo;
+  for (const auto& [id, pool_pos] : live) {
+    live_repo.Add(corpus.repo.column(pool_pos));
+  }
+  core::SearcherConfig flat_cfg;
+  flat_cfg.backend = core::AnnBackend::kFlat;
+  core::EmbeddingSearcher exact(corpus.encoder.get(), flat_cfg);
+  core::EmbeddingSearcher rebuilt(corpus.encoder.get(), cfg);
+  if (!exact.BuildIndex(live_repo).ok() ||
+      !rebuilt.BuildIndex(live_repo).ok()) {
+    state.SkipWithError("ground-truth build failed");
+    return;
+  }
+
+  const core::SearchOptions options{.k = 10, .collect_stats = false};
+  const size_t k = static_cast<size_t>(options.k);
+  double hit_churned = 0, hit_rebuilt = 0, total = 0;
+  for (const auto& q : corpus.queries) {
+    const auto truth = exact.Search(q, options).ids;
+    // Translate ground-truth positions into churned-searcher ids.
+    std::vector<u32> truth_ids;
+    for (const u32 pos : truth) truth_ids.push_back(live[pos].first);
+    const auto got_churned = churned.Search(q, options).ids;
+    const auto got_rebuilt = rebuilt.Search(q, options).ids;
+    for (size_t j = 0; j < std::min(k, truth.size()); ++j) {
+      total += 1.0;
+      if (std::find(got_churned.begin(), got_churned.end(), truth_ids[j]) !=
+          got_churned.end()) {
+        hit_churned += 1.0;
+      }
+      if (std::find(got_rebuilt.begin(), got_rebuilt.end(), truth[j]) !=
+          got_rebuilt.end()) {
+        hit_rebuilt += 1.0;
+      }
+    }
+  }
+
+  // The timed loop measures post-churn query latency on the aged graph.
+  core::EmbeddingSearcher::SearchResult result;
+  size_t i = 0;
+  for (auto _ : state) {
+    churned.SearchInto(corpus.queries[i++ % corpus.queries.size()], options,
+                       &result);
+    benchmark::DoNotOptimize(result.ids.data());
+  }
+  state.counters["recall_churned"] =
+      benchmark::Counter(total > 0 ? hit_churned / total : 0.0);
+  state.counters["recall_rebuilt"] =
+      benchmark::Counter(total > 0 ? hit_rebuilt / total : 0.0);
+  state.counters["recall_drift"] =
+      benchmark::Counter((hit_rebuilt - hit_churned) / std::max(total, 1.0));
+}
+BENCHMARK(BM_RecallAfterChurn)
+    ->Arg(300)
+    ->Arg(900)
+    ->ArgNames({"ops"});
+
+}  // namespace
+}  // namespace deepjoin
+
+BENCHMARK_MAIN();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "util/trace.h"
@@ -32,18 +33,75 @@ void HeapPopMax(std::vector<Neighbor>& heap) {
   heap.pop_back();
 }
 
+constexpr u32 kHnswMagic = 0x484E5357;  // "HNSW"
+// v1: pre-mutability (no tombstones / capacity); still loadable.
+// v2: adds max_elements to the config block and a tombstone id array.
+constexpr u32 kHnswVersion = 2;
+// Level draws are exponential with mean 1/ln(M); anything this deep in a
+// file (or a replayed WAL record) is corruption, and it bounds the
+// per-node adjacency allocation.
+constexpr i32 kMaxStoredLevel = 63;
+
 }  // namespace
 
 HnswIndex::HnswIndex(const HnswConfig& config)
     : config_(config),
       level_mult_(1.0 / std::log(static_cast<double>(config.M))),
       rng_(config.seed),
+      sync_(std::make_unique<Sync>()),
       visited_pool_(std::make_unique<VisitedPool>()) {
   DJ_CHECK(config_.dim > 0 && config_.M >= 2);
+  // Round capacity up to whole chunks (at least one) and pre-reserve the
+  // chunk pointer arrays: published storage never moves under readers.
+  if (config_.max_elements < kChunkSize) config_.max_elements = kChunkSize;
+  const size_t num_chunks =
+      (static_cast<size_t>(config_.max_elements) + kChunkSize - 1) >>
+      kChunkShift;
+  config_.max_elements = static_cast<u32>(num_chunks << kChunkShift);
+  data_chunks_.reserve(num_chunks);
+  node_chunks_.reserve(num_chunks);
+}
+
+HnswIndex::HnswIndex(HnswIndex&& other) noexcept
+    : config_(other.config_),
+      level_mult_(other.level_mult_),
+      rng_(other.rng_),
+      data_chunks_(std::move(other.data_chunks_)),
+      node_chunks_(std::move(other.node_chunks_)),
+      count_(other.count_.load(std::memory_order_relaxed)),
+      dead_(other.dead_.load(std::memory_order_relaxed)),
+      entry_point_(other.entry_point_.load(std::memory_order_relaxed)),
+      sync_(std::move(other.sync_)),
+      visited_pool_(std::move(other.visited_pool_)) {}
+
+HnswIndex& HnswIndex::operator=(HnswIndex&& other) noexcept {
+  if (this == &other) return *this;
+  config_ = other.config_;
+  level_mult_ = other.level_mult_;
+  rng_ = other.rng_;
+  data_chunks_ = std::move(other.data_chunks_);
+  node_chunks_ = std::move(other.node_chunks_);
+  count_.store(other.count_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  dead_.store(other.dead_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  entry_point_.store(other.entry_point_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  sync_ = std::move(other.sync_);
+  visited_pool_ = std::move(other.visited_pool_);
+  return *this;
+}
+
+void HnswIndex::CopyLinks(u32 id, int level, std::vector<u32>* out) const {
+  out->clear();
+  MutexLock lock(sync_->stripes[StripeOf(id)].link_mu);
+  const std::vector<u32>& links = NodeAt(id).links[static_cast<size_t>(level)];
+  // Capacity-reusing scratch; growth is warmup-only (degree caps bound it).
+  out->insert(out->end(), links.begin(), links.end());  // dj_alloc: allow(alloc)
 }
 
 u32 HnswIndex::GreedyClosest(const float* query, u32 entry, int level,
-                             SearchWork* work) const {
+                             VisitedScratch* scratch, SearchWork* work) const {
   u32 cur = entry;
   float cur_dist = Dist(query, cur);
   // Tally into locals (registers) unconditionally — a per-eval branch +
@@ -54,7 +112,9 @@ u32 HnswIndex::GreedyClosest(const float* query, u32 entry, int level,
   bool improved = true;
   while (improved) {
     improved = false;
-    for (u32 nb : LinksAt(cur, level)) {
+    CopyLinks(cur, level, &scratch->link_buf);
+    for (u32 nb : scratch->link_buf) {
+      if (nb >= scratch->bound) continue;  // published after this query
       const float d = Dist(query, nb);
       ++dist_evals;
       if (d < cur_dist) {
@@ -105,18 +165,24 @@ void HnswIndex::VisitedPool::Release(
 
 void HnswIndex::SearchLayer(const float* query, u32 entry, int ef, int level,
                             std::vector<Neighbor>* out,
+                            VisitedScratch* scratch, bool filter_deleted,
                             SearchWork* work) const {
-  auto scratch = visited_pool_->Acquire(levels_.size());
   const u32 epoch = scratch->epoch;
   auto visit = [&stamp = scratch->stamp, epoch](u32 id) {
     if (stamp[id] == epoch) return false;
     stamp[id] = epoch;
     return true;
   };
+  auto live = [this, filter_deleted](u32 id) {
+    return !filter_deleted ||
+           !NodeAt(id).deleted.load(std::memory_order_acquire);
+  };
 
   // `candidates`: nearest-first frontier. `results`: farthest-first bounded
   // set of the best `ef` seen so far. Both are heap vectors living in the
   // pooled scratch (see VisitedScratch), popped empty before Release.
+  // Tombstoned nodes stay in the frontier (they still route) but never
+  // land in `results`.
   std::vector<Neighbor>& candidates = scratch->candidates;
   std::vector<Neighbor>& results = scratch->results;
   candidates.clear();
@@ -125,7 +191,7 @@ void HnswIndex::SearchLayer(const float* query, u32 entry, int ef, int level,
   const float d0 = Dist(query, entry);
   visit(entry);
   HeapPushMin(candidates, {d0, entry});
-  HeapPushMax(results, {d0, entry});
+  if (live(entry)) HeapPushMax(results, {d0, entry});
 
   // Tally into locals (registers) unconditionally — a per-eval branch +
   // store through `work` is measurable in this loop; flushing once is not.
@@ -133,21 +199,25 @@ void HnswIndex::SearchLayer(const float* query, u32 entry, int ef, int level,
   u64 hops = 0;
   while (!candidates.empty()) {
     const Neighbor c = candidates.front();
-    if (c.dist > results.front().dist &&
-        results.size() >= static_cast<size_t>(ef)) {
+    if (results.size() >= static_cast<size_t>(ef) &&
+        c.dist > results.front().dist) {
       break;
     }
     HeapPopMin(candidates);
     ++hops;
-    for (u32 nb : LinksAt(c.id, level)) {
+    CopyLinks(c.id, level, &scratch->link_buf);
+    for (u32 nb : scratch->link_buf) {
+      if (nb >= scratch->bound) continue;  // published after this query
       if (!visit(nb)) continue;
       const float d = Dist(query, nb);
       ++dist_evals;
       if (results.size() < static_cast<size_t>(ef) ||
           d < results.front().dist) {
         HeapPushMin(candidates, {d, nb});
-        HeapPushMax(results, {d, nb});
-        if (results.size() > static_cast<size_t>(ef)) HeapPopMax(results);
+        if (live(nb)) {
+          HeapPushMax(results, {d, nb});
+          if (results.size() > static_cast<size_t>(ef)) HeapPopMax(results);
+        }
       }
     }
   }
@@ -164,7 +234,6 @@ void HnswIndex::SearchLayer(const float* query, u32 entry, int ef, int level,
     (*out)[i] = results.front();
     HeapPopMax(results);
   }
-  visited_pool_->Release(std::move(scratch));
 }
 
 std::vector<u32> HnswIndex::SelectNeighbors(
@@ -201,35 +270,114 @@ std::vector<u32> HnswIndex::SelectNeighbors(
   return kept;
 }
 
-void HnswIndex::Add(const float* vec) {
-  const u32 id = static_cast<u32>(levels_.size());
-  data_.insert(data_.end(), vec, vec + config_.dim);
-  const int level =
-      static_cast<int>(rng_.Exponential(1.0) * level_mult_);
-  levels_.push_back(level);
-  links_.emplace_back(static_cast<size_t>(level) + 1);
+i32 HnswIndex::DrawLevelLocked() {
+  // Clamped so a drawn level is always storable/replayable (the WAL
+  // loader rejects levels past kMaxStoredLevel as corruption).
+  const i32 level = static_cast<i32>(rng_.Exponential(1.0) * level_mult_);
+  return std::min(level, kMaxStoredLevel);
+}
 
-  if (id == 0) {
-    entry_ = 0;
-    max_level_ = level;
-    return;
+i32 HnswIndex::DrawLevel() {
+  MutexLock lock(sync_->update_mu);
+  return DrawLevelLocked();
+}
+
+void HnswIndex::Add(const float* vec) {
+  MutexLock lock(sync_->update_mu);
+  const i32 level = DrawLevelLocked();
+  const Status st = InsertWithLevelLocked(vec, level, nullptr);
+  // Add is the legacy infallible bulk-build API; callers size
+  // max_elements to the build, so exhaustion is a programming error.
+  DJ_CHECK_MSG(st.ok(), st.ToString().c_str());
+}
+
+Status HnswIndex::Insert(const float* vec, u32* id, i32* level) {
+  MutexLock lock(sync_->update_mu);
+  const i32 drawn = DrawLevelLocked();
+  if (level != nullptr) *level = drawn;
+  return InsertWithLevelLocked(vec, drawn, id);
+}
+
+Status HnswIndex::InsertWithLevel(const float* vec, i32 level, u32* id) {
+  MutexLock lock(sync_->update_mu);
+  return InsertWithLevelLocked(vec, level, id);
+}
+
+Status HnswIndex::InsertWithLevelLocked(const float* vec, i32 level,
+                                        u32* id_out) {
+  if (level < 0 || level > kMaxStoredLevel) {
+    return Status::InvalidArgument("hnsw Insert: level " +
+                                   std::to_string(level) + " out of range");
+  }
+  const u32 id = count_.load(std::memory_order_relaxed);
+  if (id >= config_.max_elements) {
+    return Status::FailedPrecondition(
+        "hnsw Insert: index at max_elements capacity (" +
+        std::to_string(config_.max_elements) + ")");
   }
 
+  // Materialise storage for the new node. The chunk pointer arrays were
+  // reserved to capacity in the constructor, so these push_backs never
+  // reallocate the arrays a concurrent reader is indexing.
+  while ((static_cast<u64>(data_chunks_.size()) << kChunkShift) <= id) {
+    data_chunks_.push_back(std::make_unique<float[]>(
+        static_cast<size_t>(kChunkSize) * config_.dim));
+    node_chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+  }
+  float* slot = data_chunks_[id >> kChunkShift].get() +
+                static_cast<size_t>(id & kChunkMask) * config_.dim;
+  std::memcpy(slot, vec, sizeof(float) * static_cast<size_t>(config_.dim));
+  Node& node = NodeAt(id);
+  node.level = level;
+  node.deleted.store(false, std::memory_order_relaxed);
+  node.links.assign(static_cast<size_t>(level) + 1, {});
+  for (size_t lev = 0; lev < node.links.size(); ++lev) {
+    // Reserve past the degree cap so steady-state back-link pushes rarely
+    // reallocate while a stripe lock is held (correctness never depends on
+    // it: all link access is lock-protected).
+    const int max_degree = lev == 0 ? 2 * config_.M : config_.M;
+    node.links[lev].reserve(static_cast<size_t>(max_degree) + 1);
+  }
+  // Publish the node: readers pinning a bound after this store may visit
+  // id, whose vector and Node metadata are fully written above. Its links
+  // are still empty and nothing points at it yet, so it is unreachable
+  // until the wiring below lands (under stripe locks).
+  count_.store(id + 1, std::memory_order_release);
+
+  const u64 ep_packed = entry_point_.load(std::memory_order_relaxed);
+  if (ep_packed == 0) {
+    entry_point_.store(PackEntry(level, id), std::memory_order_release);
+    if (id_out != nullptr) *id_out = id;
+    return Status::OK();
+  }
+
+  const u32 entry = static_cast<u32>(ep_packed);
+  const int max_level = static_cast<int>(ep_packed >> 32) - 1;
   const float* q = VectorAt(id);
-  u32 ep = entry_;
+  auto scratch = visited_pool_->Acquire(id + 1);
+  scratch->bound = id + 1;
+
+  u32 ep = entry;
   // Descend through levels above the new node's level.
-  for (int lev = max_level_; lev > level; --lev) {
-    ep = GreedyClosest(q, ep, lev);
+  for (int lev = max_level; lev > level; --lev) {
+    ep = GreedyClosest(q, ep, lev, scratch.get());
   }
   // Connect on each level the node participates in.
   std::vector<Neighbor> candidates;
-  for (int lev = std::min(level, max_level_); lev >= 0; --lev) {
-    SearchLayer(q, ep, config_.ef_construction, lev, &candidates);
+  for (int lev = std::min(static_cast<int>(level), max_level); lev >= 0;
+       --lev) {
+    SearchLayer(q, ep, config_.ef_construction, lev, &candidates,
+                scratch.get(), /*filter_deleted=*/false);
     const int max_degree = lev == 0 ? 2 * config_.M : config_.M;
     auto neighbors = SelectNeighbors(q, candidates, config_.M);
+    {
+      MutexLock link_lock(sync_->stripes[StripeOf(id)].link_mu);
+      NodeAt(id).links[static_cast<size_t>(lev)].assign(neighbors.begin(),
+                                                        neighbors.end());
+    }
     for (u32 nb : neighbors) {
-      LinksAt(id, lev).push_back(nb);
-      auto& back = LinksAt(nb, lev);
+      MutexLock link_lock(sync_->stripes[StripeOf(nb)].link_mu);
+      auto& back = NodeAt(nb).links[static_cast<size_t>(lev)];
       back.push_back(id);
       if (static_cast<int>(back.size()) > max_degree) {
         // Shrink the neighbour's adjacency with the same heuristic.
@@ -246,22 +394,53 @@ void HnswIndex::Add(const float* vec) {
     }
     if (!candidates.empty()) ep = candidates.front().id;
   }
-  if (level > max_level_) {
-    entry_ = id;
-    max_level_ = level;
+  if (level > max_level) {
+    entry_point_.store(PackEntry(level, id), std::memory_order_release);
   }
+  visited_pool_->Release(std::move(scratch));
+  if (id_out != nullptr) *id_out = id;
+  return Status::OK();
 }
 
-namespace {
-constexpr u32 kHnswMagic = 0x484E5357;  // "HNSW"
-constexpr u32 kHnswVersion = 1;
-// Level draws are exponential with mean 1/ln(M); anything this deep in a
-// file is corruption, and it bounds the per-node adjacency allocation.
-constexpr i32 kMaxStoredLevel = 63;
-}  // namespace
+Status HnswIndex::Remove(u32 id) {
+  MutexLock lock(sync_->update_mu);
+  if (id >= count_.load(std::memory_order_relaxed)) {
+    return Status::NotFound("hnsw Remove: id " + std::to_string(id) +
+                            " never assigned");
+  }
+  Node& node = NodeAt(id);
+  if (!node.deleted.load(std::memory_order_relaxed)) {
+    node.deleted.store(true, std::memory_order_release);
+    dead_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+bool HnswIndex::IsDeleted(u32 id) const {
+  return id < count_.load(std::memory_order_acquire) &&
+         NodeAt(id).deleted.load(std::memory_order_acquire);
+}
+
+HnswIndex HnswIndex::CompactedCopy(std::vector<u32>* new_to_old) const {
+  // Re-runs construction over the live vectors only (a fresh RNG with the
+  // configured seed keeps the rebuild deterministic). Reads nothing but
+  // immutable vectors and atomic tombstone flags, so concurrent searches
+  // on `this` stay safe; the caller serializes against mutators.
+  HnswIndex out(config_);
+  const u32 n = count_.load(std::memory_order_acquire);
+  new_to_old->clear();
+  for (u32 id = 0; id < n; ++id) {
+    if (NodeAt(id).deleted.load(std::memory_order_acquire)) continue;
+    out.Add(VectorAt(id));
+    new_to_old->push_back(id);
+  }
+  return out;
+}
 
 void HnswIndex::Save(BinaryWriter& writer) const {
-  static_assert(sizeof(int) == sizeof(i32), "levels_ serialized as i32");
+  static_assert(sizeof(int) == sizeof(i32), "levels serialized as i32");
+  const u32 n = count_.load(std::memory_order_acquire);
+  const u64 ep_packed = entry_point_.load(std::memory_order_acquire);
   writer.WriteU32(kHnswMagic);
   writer.WriteU32(kHnswVersion);
   writer.WriteI32(config_.dim);
@@ -269,24 +448,44 @@ void HnswIndex::Save(BinaryWriter& writer) const {
   writer.WriteI32(config_.ef_construction);
   writer.WriteI32(config_.ef_search);
   writer.WriteU64(config_.seed);
-  writer.WriteFloatArray(data_.data(), data_.size());
-  writer.WriteI32Array(reinterpret_cast<const i32*>(levels_.data()),
-                       levels_.size());
+  writer.WriteU32(config_.max_elements);
+
+  std::vector<float> data;
+  data.reserve(static_cast<size_t>(n) * config_.dim);
+  std::vector<i32> levels;
+  levels.reserve(n);
+  std::vector<u32> deleted_ids;
+  for (u32 id = 0; id < n; ++id) {
+    const float* v = VectorAt(id);
+    data.insert(data.end(), v, v + config_.dim);
+    const Node& node = NodeAt(id);
+    levels.push_back(node.level);
+    if (node.deleted.load(std::memory_order_acquire)) {
+      deleted_ids.push_back(id);
+    }
+  }
+  writer.WriteFloatArray(data.data(), data.size());
+  writer.WriteI32Array(levels.data(), levels.size());
+
   // Adjacency lists flattened into two arrays: one size per (node, level)
   // in order, then every neighbour id concatenated. Coarse records keep
-  // the per-record CRC overhead negligible.
+  // the per-record CRC overhead negligible. Each node's lists are
+  // snapshotted under its stripe lock so a save concurrent with searches
+  // (never with mutators — caller's contract) reads consistent lists.
   std::vector<u32> list_sizes;
   std::vector<u32> all_ids;
-  for (const auto& per_node : links_) {
-    for (const auto& adj : per_node) {
+  for (u32 id = 0; id < n; ++id) {
+    MutexLock link_lock(sync_->stripes[StripeOf(id)].link_mu);
+    for (const auto& adj : NodeAt(id).links) {
       list_sizes.push_back(static_cast<u32>(adj.size()));
       all_ids.insert(all_ids.end(), adj.begin(), adj.end());
     }
   }
   writer.WriteU32Array(list_sizes.data(), list_sizes.size());
   writer.WriteU32Array(all_ids.data(), all_ids.size());
-  writer.WriteU32(entry_);
-  writer.WriteI32(max_level_);
+  writer.WriteU32(ep_packed == 0 ? 0 : static_cast<u32>(ep_packed));
+  writer.WriteI32(static_cast<i32>(ep_packed >> 32) - 1);
+  writer.WriteU32Array(deleted_ids.data(), deleted_ids.size());
 }
 
 Result<HnswIndex> HnswIndex::Load(BinaryReader& reader) {
@@ -297,7 +496,7 @@ Result<HnswIndex> HnswIndex::Load(BinaryReader& reader) {
     return Status::DataLoss("not an HNSW index file");
   }
   DJ_RETURN_IF_ERROR(reader.ReadU32(&version));
-  if (version != kHnswVersion) {
+  if (version != 1 && version != 2) {
     return Status::DataLoss("unsupported HNSW index version " +
                             std::to_string(version));
   }
@@ -307,6 +506,9 @@ Result<HnswIndex> HnswIndex::Load(BinaryReader& reader) {
   DJ_RETURN_IF_ERROR(reader.ReadI32(&config.ef_construction));
   DJ_RETURN_IF_ERROR(reader.ReadI32(&config.ef_search));
   DJ_RETURN_IF_ERROR(reader.ReadU64(&config.seed));
+  if (version >= 2) {
+    DJ_RETURN_IF_ERROR(reader.ReadU32(&config.max_elements));
+  }
   // The constructor DJ_CHECKs these invariants; a load path must reject,
   // not abort.
   if (config.dim <= 0 || config.dim > (1 << 20) || config.M < 2 ||
@@ -314,19 +516,28 @@ Result<HnswIndex> HnswIndex::Load(BinaryReader& reader) {
       config.ef_search <= 0) {
     return Status::DataLoss("HNSW config out of range");
   }
-  HnswIndex index(config);
+  std::vector<float> data;
   std::vector<i32> levels;
   std::vector<u32> list_sizes;
   std::vector<u32> all_ids;
-  DJ_RETURN_IF_ERROR(reader.ReadFloatArray(&index.data_));
+  u32 entry = 0;
+  i32 max_level = -1;
+  DJ_RETURN_IF_ERROR(reader.ReadFloatArray(&data));
   DJ_RETURN_IF_ERROR(reader.ReadI32Array(&levels));
   DJ_RETURN_IF_ERROR(reader.ReadU32Array(&list_sizes));
   DJ_RETURN_IF_ERROR(reader.ReadU32Array(&all_ids));
-  DJ_RETURN_IF_ERROR(reader.ReadU32(&index.entry_));
-  DJ_RETURN_IF_ERROR(reader.ReadI32(&index.max_level_));
+  DJ_RETURN_IF_ERROR(reader.ReadU32(&entry));
+  DJ_RETURN_IF_ERROR(reader.ReadI32(&max_level));
+  std::vector<u32> deleted_ids;
+  if (version >= 2) {
+    DJ_RETURN_IF_ERROR(reader.ReadU32Array(&deleted_ids));
+  }
 
   const u64 n = levels.size();
-  if (index.data_.size() != n * static_cast<u64>(config.dim)) {
+  if (n > std::numeric_limits<u32>::max() - kChunkSize) {
+    return Status::DataLoss("HNSW node count out of range");
+  }
+  if (data.size() != n * static_cast<u64>(config.dim)) {
     return Status::DataLoss("HNSW vector payload does not match node count");
   }
   u64 total_lists = 0;
@@ -350,29 +561,62 @@ Result<HnswIndex> HnswIndex::Load(BinaryReader& reader) {
     if (id >= n) return Status::DataLoss("HNSW neighbour id out of range");
   }
   if (n == 0) {
-    if (index.max_level_ != -1) {
+    if (max_level != -1) {
       return Status::DataLoss("HNSW empty index with non-empty entry point");
     }
   } else {
-    if (index.entry_ >= n || index.max_level_ != deepest ||
-        levels[index.entry_] != index.max_level_) {
+    if (entry >= n || max_level != deepest ||
+        levels[entry] != max_level) {
       return Status::DataLoss("HNSW entry point inconsistent with levels");
     }
   }
+  for (u32 id : deleted_ids) {
+    if (id >= n) return Status::DataLoss("HNSW tombstone id out of range");
+  }
 
-  index.levels_.assign(levels.begin(), levels.end());
-  index.links_.resize(n);
+  // A file written with a smaller capacity than its node count (or a v1
+  // file, whose config has the default) still loads: capacity covers the
+  // nodes on disk.
+  if (static_cast<u64>(config.max_elements) < n) {
+    config.max_elements = static_cast<u32>(n);
+  }
+  HnswIndex index(config);
+  const size_t num_chunks = (n + kChunkSize - 1) >> kChunkShift;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    index.data_chunks_.push_back(std::make_unique<float[]>(
+        static_cast<size_t>(kChunkSize) * config.dim));
+    index.node_chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+  }
   size_t list_idx = 0;
   size_t id_idx = 0;
   for (u64 i = 0; i < n; ++i) {
-    index.links_[i].resize(static_cast<size_t>(levels[i]) + 1);
-    for (auto& adj : index.links_[i]) {
+    const u32 id = static_cast<u32>(i);
+    std::memcpy(index.data_chunks_[id >> kChunkShift].get() +
+                    static_cast<size_t>(id & kChunkMask) * config.dim,
+                data.data() + i * static_cast<u64>(config.dim),
+                sizeof(float) * static_cast<size_t>(config.dim));
+    Node& node = index.NodeAt(id);
+    node.level = levels[i];
+    node.links.resize(static_cast<size_t>(levels[i]) + 1);
+    for (auto& adj : node.links) {
       const u32 count = list_sizes[list_idx++];
       adj.assign(all_ids.begin() + static_cast<long>(id_idx),
                  all_ids.begin() + static_cast<long>(id_idx + count));
       id_idx += count;
     }
   }
+  u32 dead = 0;
+  for (u32 id : deleted_ids) {
+    Node& node = index.NodeAt(id);
+    if (!node.deleted.load(std::memory_order_relaxed)) {
+      node.deleted.store(true, std::memory_order_relaxed);
+      ++dead;
+    }
+  }
+  index.count_.store(static_cast<u32>(n), std::memory_order_release);
+  index.dead_.store(dead, std::memory_order_relaxed);
+  index.entry_point_.store(n == 0 ? 0 : PackEntry(max_level, entry),
+                           std::memory_order_release);
   return index;
 }
 
@@ -388,7 +632,12 @@ void HnswIndex::SearchInto(const float* query, size_t k,
                            std::vector<Neighbor>* out) const {
   DJ_TRACE_SPAN("hnsw.search");
   out->clear();
-  if (levels_.empty() || k == 0) return;
+  if (k == 0) return;
+  // Entry point first, count second: the writer stores count before entry,
+  // so a pinned bound is always past the entry node it routes from.
+  const u64 ep_packed = entry_point_.load(std::memory_order_acquire);
+  if (ep_packed == 0) return;  // empty (or first insert not yet wired)
+  const u32 bound = count_.load(std::memory_order_acquire);
 
   // The layer traversals tally their work in registers either way (that's
   // free); the pointer only controls whether the tallies are kept and
@@ -399,14 +648,19 @@ void HnswIndex::SearchInto(const float* query, size_t k,
                          ? &tally
                          : nullptr;
 
-  u32 ep = entry_;
-  for (int lev = max_level_; lev >= 1; --lev) {
-    ep = GreedyClosest(query, ep, lev, work);
+  auto scratch = visited_pool_->Acquire(bound);
+  scratch->bound = bound;
+  u32 ep = static_cast<u32>(ep_packed);
+  const int top_level = static_cast<int>(ep_packed >> 32) - 1;
+  for (int lev = top_level; lev >= 1; --lev) {
+    ep = GreedyClosest(query, ep, lev, scratch.get(), work);
   }
   const int ef_base =
       params.ef_search > 0 ? params.ef_search : config_.ef_search;
   const int ef = std::max<int>(ef_base, static_cast<int>(k));
-  SearchLayer(query, ep, ef, 0, out, work);
+  SearchLayer(query, ep, ef, 0, out, scratch.get(), /*filter_deleted=*/true,
+              work);
+  visited_pool_->Release(std::move(scratch));
 
   if (work != nullptr) {
     // Function-local statics: the registry lookups allocate once per

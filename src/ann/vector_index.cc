@@ -25,6 +25,7 @@ std::vector<Neighbor> FlatIndex::Search(const float* query, size_t k,
   trace::Count("flat.dist_evals", n);
   TopK top(k);
   for (size_t i = 0; i < n; ++i) {
+    if (IsDeleted(static_cast<u32>(i))) continue;  // tombstoned
     const float d = SquaredL2Distance(query, vector(static_cast<u32>(i)),
                                       dim_);
     top.Push(-static_cast<double>(d), static_cast<u32>(i));

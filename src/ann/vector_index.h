@@ -6,9 +6,11 @@
 #define DEEPJOIN_ANN_VECTOR_INDEX_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "util/common.h"
+#include "util/status.h"
 
 namespace deepjoin {
 namespace ann {
@@ -39,6 +41,22 @@ class VectorIndex {
 
   /// Adds one vector; ids are assigned sequentially from 0.
   virtual void Add(const float* vec) = 0;
+
+  /// Tombstones `id`: it stops appearing in results but keeps its id (no
+  /// renumbering; storage is reclaimed by a rebuild/compaction). Indexes
+  /// without delete support return FailedPrecondition; ids never assigned
+  /// return NotFound; deleting a tombstone is OK (idempotent).
+  [[nodiscard]] virtual Status Remove(u32 id) {
+    (void)id;
+    return Status::FailedPrecondition(std::string(name()) +
+                                      " does not support Remove");
+  }
+  virtual bool IsDeleted(u32 id) const {
+    (void)id;
+    return false;
+  }
+  /// Number of tombstoned ids (live size == size() - deleted_count()).
+  virtual size_t deleted_count() const { return 0; }
 
   /// Bulk add of n row-major vectors.
   void AddBatch(const float* data, size_t n) {
@@ -83,7 +101,23 @@ class FlatIndex : public VectorIndex {
 
   void Add(const float* vec) override {
     data_.insert(data_.end(), vec, vec + dim_);
+    tombstones_.push_back(0);
   }
+  [[nodiscard]] Status Remove(u32 id) override {
+    if (id >= tombstones_.size()) {
+      return Status::NotFound("flat Remove: id " + std::to_string(id) +
+                              " never assigned");
+    }
+    if (tombstones_[id] == 0) {
+      tombstones_[id] = 1;
+      ++deleted_;
+    }
+    return Status::OK();
+  }
+  bool IsDeleted(u32 id) const override {
+    return id < tombstones_.size() && tombstones_[id] != 0;
+  }
+  size_t deleted_count() const override { return deleted_; }
   std::vector<Neighbor> Search(const float* query, size_t k,
                                const AnnSearchParams& params) const override;
   size_t size() const override {
@@ -99,6 +133,8 @@ class FlatIndex : public VectorIndex {
  private:
   int dim_;
   std::vector<float> data_;
+  std::vector<u8> tombstones_;  // 1 = removed from results
+  size_t deleted_ = 0;
 };
 
 /// Squared Euclidean distance (the common metric of all indexes).

@@ -3,10 +3,26 @@
 // nearest neighbours under Euclidean distance are the discovery results.
 // DeepJoin and all embedding baselines share this searcher (as in §5.1,
 // "other methods involving column embedding follow the same ANNS scheme").
+//
+// Live mutability (DESIGN.md §12): the searcher is a concurrent reader /
+// single-logical-writer structure. Readers (Search / SearchInto /
+// SearchBatch) pin an immutable IndexSnapshot through a shared_ptr swap
+// (RCU-style: the snapshot lock is held for a pointer copy only, never
+// across a query). Mutators (AddColumn, RemoveColumn, Compact, publish,
+// recovery) serialize on a writer lock and run alongside readers — the
+// underlying HNSW index supports concurrent insert/delete/search natively.
+// OpenLive() adds crash-safe durability: every mutation is WAL-logged
+// before it touches memory, checkpoints publish as numbered generations
+// behind an atomically-replaced MANIFEST, and recovery replays the WAL on
+// top of the newest generation whose artifacts validate (falling back one
+// generation on corruption).
 #ifndef DEEPJOIN_CORE_SEARCHER_H_
 #define DEEPJOIN_CORE_SEARCHER_H_
 
+#include <atomic>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ann/hnsw.h"
@@ -14,6 +30,7 @@
 #include "core/encoders.h"
 #include "util/alloc_guard.h"
 #include "util/env.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -28,6 +45,17 @@ struct SearcherConfig {
   int hnsw_M = 16;
   int hnsw_ef_construction = 120;
   int hnsw_ef_search = 64;  ///< default beam; override per query instead
+  /// Live-insert capacity ceiling for an incrementally-grown HNSW index
+  /// (BuildIndex raises it to the repository size when larger). AddColumn
+  /// past it returns FailedPrecondition.
+  u32 hnsw_max_elements = 1u << 20;
+  /// RemoveColumn triggers an automatic Compact() once the index carries
+  /// at least `compact_min_dead` tombstones AND they make up at least
+  /// `compact_dead_fraction` of the published nodes. Compaction is an
+  /// optimisation — an auto-compact failure (e.g. injected publish I/O
+  /// error in live mode) does not fail the remove.
+  size_t compact_min_dead = 64;
+  double compact_dead_fraction = 0.5;
   int ivfpq_nlist = 64;
   int ivfpq_m = 8;
   int ivfpq_nbits = 6;
@@ -54,6 +82,70 @@ struct BuildStats {
   trace::QueryStats trace;   ///< searcher.build span tree
 };
 
+/// Append-only index-id -> column-id map, shared between the writer and
+/// every snapshot taken after the compaction that created it. Readers call
+/// At() lock-free: chunk pointers are reserved to capacity up front (so
+/// published storage never moves) and an entry for index id X is always
+/// appended before the index publishes X (the index's release-store of its
+/// count is the fence readers acquire). Single writer by contract
+/// (EmbeddingSearcher's writer lock).
+class IdMap {
+ public:
+  explicit IdMap(u32 capacity) : capacity_(capacity) {
+    chunks_.reserve((static_cast<size_t>(capacity) + kChunkMask) >>
+                    kChunkShift);
+  }
+  IdMap(const IdMap&) = delete;
+  IdMap& operator=(const IdMap&) = delete;
+
+  /// Writer only. Aborts past capacity (the index runs out first: the
+  /// searcher checks index capacity before appending).
+  void Append(u32 column_id) {
+    const u32 i = size_.load(std::memory_order_relaxed);
+    DJ_CHECK_MSG(i < capacity_, "IdMap capacity exceeded");
+    if ((i & kChunkMask) == 0) {
+      // Reserved at construction: the pointer array never reallocates
+      // under concurrent readers.
+      chunks_.push_back(std::make_unique<u32[]>(kChunkSize));
+    }
+    chunks_[i >> kChunkShift][i & kChunkMask] = column_id;
+    size_.store(i + 1, std::memory_order_release);
+  }
+
+  /// Lock-free; `index_id` must be below size() (readers only map ids the
+  /// index has published, which are appended first).
+  DJ_NOALLOC u32 At(u32 index_id) const {
+    return chunks_[index_id >> kChunkShift][index_id & kChunkMask];
+  }
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+ private:
+  static constexpr u32 kChunkShift = 10;
+  static constexpr u32 kChunkSize = 1u << kChunkShift;
+  static constexpr u32 kChunkMask = kChunkSize - 1;
+
+  const u32 capacity_;
+  std::vector<std::unique_ptr<u32[]>> chunks_;
+  std::atomic<u32> size_{0};
+};
+
+/// One RCU-published view of the index. Immutable to readers: a query pins
+/// the snapshot (shared_ptr copy under a brief lock) and works entirely
+/// off it, so a concurrent Compact/BuildIndex swapping the current
+/// snapshot never invalidates an in-flight search. The index object itself
+/// is internally concurrent (inserts/removes by the writer are visible to
+/// pinned readers — that is the point: a snapshot fixes *identity and id
+/// space*, not contents).
+struct IndexSnapshot {
+  std::shared_ptr<ann::VectorIndex> index;
+  /// Maps index ids to repository column ids; nullptr = identity (true
+  /// until the first compaction renumbers the id space).
+  std::shared_ptr<const IdMap> to_column;
+  /// Durable generation this view descends from (0 = in-memory only).
+  u64 generation = 0;
+};
+
 class EmbeddingSearcher {
  public:
   /// `encoder` must outlive the searcher.
@@ -63,23 +155,72 @@ class EmbeddingSearcher {
   /// thread pool is given, the encoding stage — the dominant cost — runs
   /// in parallel across columns. Fails (InvalidArgument) for an IVFPQ
   /// backend with an empty repository: its quantizer needs training data.
-  /// On `stats`, reports the build cost breakdown.
+  /// Replaces the current snapshot (column ids reset to identity); in live
+  /// mode the rebuilt state is immediately published as a new durable
+  /// generation (the old generation's WAL describes the replaced index,
+  /// so it is retired). A publish failure is returned — the rebuilt index
+  /// serves searches from memory, the previous generation stays the
+  /// durable state, and the next mutation retries the publish. On
+  /// `stats`, reports the build cost breakdown.
   [[nodiscard]] Status BuildIndex(const lake::Repository& repo,
                                   ThreadPool* pool = nullptr,
                                   BuildStats* stats = nullptr);
 
-  /// Incrementally adds one column to an existing index (new tables
-  /// landing in the lake); returns its index id (== repository position
-  /// when adds mirror repository appends). HNSW and flat support this
-  /// natively; IVFPQ requires a trained quantizer, i.e. a prior
+  /// Incrementally adds one column (new tables landing in the lake):
+  /// encodes it and inserts the embedding into the live index, returning
+  /// the column id Search will report for it (== repository position when
+  /// adds mirror repository appends). Runs alongside concurrent searches.
+  /// In live mode the insert is WAL-logged (fsync'd) before it is applied,
+  /// so a crash never loses an acknowledged add. HNSW and flat support
+  /// this natively; IVFPQ requires a trained quantizer, i.e. a prior
   /// BuildIndex — without one this returns FailedPrecondition.
   [[nodiscard]] Result<u32> AddColumn(const lake::Column& column);
 
+  /// Tombstones the column with id `column_id` (as returned by AddColumn /
+  /// reported by Search): it stops appearing in results immediately, for
+  /// every ef_search, on Search and SearchBatch alike. NotFound when the
+  /// id was never added or was already removed. In live mode the delete is
+  /// WAL-logged first. May trigger an automatic Compact (see
+  /// SearcherConfig).
+  [[nodiscard]] Status RemoveColumn(u32 column_id);
+
+  /// Rebuilds the index without tombstoned nodes, off to the side —
+  /// searches keep running against the old snapshot until the compacted
+  /// one swaps in (RCU). Index ids are renumbered; the snapshot's IdMap
+  /// keeps reported column ids stable. In live mode the compacted state is
+  /// published as a new durable generation *before* the in-memory swap, so
+  /// a crash mid-compaction leaves the previous generation intact. HNSW
+  /// backend only.
+  [[nodiscard]] Status Compact();
+
+  // ---- Live durability (DESIGN.md §12) ----
+
+  /// Opens (or creates) a live index directory and switches the searcher
+  /// into durable mode. An existing directory is recovered: the MANIFEST
+  /// names the current generation; its checkpoint is loaded (falling back
+  /// to the retained previous generation if corrupt) and its WAL replayed
+  /// — recorded insert levels make the recovered graph bit-identical to
+  /// the pre-crash one; a torn WAL tail is ignored. The recovered (or
+  /// fresh) state is then rolled forward as a new generation. HNSW backend
+  /// only. `env` nullptr → Env::Default(); the env must outlive the
+  /// searcher.
+  [[nodiscard]] Status OpenLive(const std::string& dir, Env* env = nullptr);
+
+  /// Checkpoints the current state as a new durable generation and starts
+  /// a fresh WAL (live mode only). On failure the previous generation —
+  /// including the WAL records logged so far — remains the durable state.
+  [[nodiscard]] Status PublishSnapshot();
+
+  /// Current durable generation (0 until OpenLive publishes one).
+  u64 generation() const;
+
   /// Persists / restores the built index (HNSW backend only — the others
-  /// rebuild quickly). The encoder must be the same at load time. Saves
-  /// are atomic (tmp + fsync + rename; a crash or failure leaves the
-  /// previous artifact intact); corrupt files load as DataLoss, never an
-  /// abort. `env` nullptr → Env::Default().
+  /// rebuild quickly). Legacy single-file path: only the graph travels;
+  /// loading resets column ids to identity (use OpenLive for a mapping-
+  /// preserving lifecycle). Loading into a live searcher republishes the
+  /// loaded state as a new generation, like BuildIndex. Saves are atomic (tmp + fsync + rename; a
+  /// crash or failure leaves the previous artifact intact); corrupt files
+  /// load as DataLoss, never an abort. `env` nullptr → Env::Default().
   Status SaveIndex(const std::string& path, Env* env = nullptr) const;
   Status LoadIndex(const std::string& path, Env* env = nullptr);
 
@@ -92,12 +233,13 @@ class EmbeddingSearcher {
     trace::QueryStats stats;
   };
 
-  /// Online top-k search for one query column.
+  /// Online top-k search for one query column. Safe to call concurrently
+  /// with AddColumn / RemoveColumn / Compact from other threads.
   SearchResult Search(const lake::Column& query,
                       const SearchOptions& options = {});
 
   /// Allocation-free steady-state query path: encodes into thread-local
-  /// capacity-reusing scratch, runs the index through
+  /// capacity-reusing scratch, runs the pinned snapshot's index through
   /// VectorIndex::SearchInto, and refills out->ids in place. Search()
   /// forwards here. The DJ_NOALLOC contract (enforced by tools/dj_alloc
   /// and the guard-enabled searcher test) covers the steady state: scratch
@@ -111,26 +253,127 @@ class EmbeddingSearcher {
   /// in for the paper's GPU rows (see DESIGN.md). Per-query stats report
   /// the encode stage amortised (batch encode time / batch size — the
   /// stage runs batched, so that's its true per-query cost) and the ANN
-  /// stage exactly.
+  /// stage exactly. The whole batch runs against one pinned snapshot.
   std::vector<SearchResult> SearchBatch(
       const std::vector<lake::Column>& queries, const SearchOptions& options,
       ThreadPool* pool);
 
-  size_t index_size() const { return index_ ? index_->size() : 0; }
-  /// The built ANN index. Calling this before BuildIndex()/LoadIndex()
-  /// is a programming error and aborts with a message (it used to
-  /// dereference null).
-  const ann::VectorIndex& index() const {
-    DJ_CHECK_MSG(index_ != nullptr,
-                 "EmbeddingSearcher::index() before BuildIndex()/LoadIndex()");
-    return *index_;
-  }
+  /// Pins the current snapshot (tests, tools, and callers that need a
+  /// stable view across several operations). nullptr before the first
+  /// BuildIndex/AddColumn/OpenLive.
+  std::shared_ptr<const IndexSnapshot> PinSnapshot() const;
+
+  /// Published vectors in the current index, tombstones included.
+  size_t index_size() const;
+  /// index_size() minus tombstones: the number of searchable columns.
+  size_t live_size() const;
+
+  /// The current ANN index. Calling this before an index exists is a
+  /// programming error and aborts with a message. The reference is only
+  /// stable while no concurrent Compact/BuildIndex swaps the snapshot —
+  /// concurrent callers pin via PinSnapshot() instead.
+  const ann::VectorIndex& index() const;
 
  private:
+  // ---- Writer token (LevelDB-style) ----
+  // Mutators (BuildIndex commit, AddColumn, RemoveColumn, Compact,
+  // publish, recovery, LoadIndex) hold the exclusive writer token for
+  // their whole operation — including WAL appends and checkpoint saves —
+  // while holding NO mutex, honouring the lock-discipline rule that
+  // blocking I/O never runs inside a critical section (tools/dj_deadlock,
+  // DESIGN.md §10). writer_mu_ guards only the token flag and is held for
+  // the flag flip. Fields below marked "writer token" are accessed only
+  // while holding it.
+  void AcquireWriter() const;
+  void ReleaseWriter() const;
+  class WriterLock {
+   public:
+    explicit WriterLock(const EmbeddingSearcher* s) : s_(s) {
+      s_->AcquireWriter();
+    }
+    ~WriterLock() { s_->ReleaseWriter(); }
+    WriterLock(const WriterLock&) = delete;
+    WriterLock& operator=(const WriterLock&) = delete;
+
+   private:
+    const EmbeddingSearcher* s_;
+  };
+
+  bool LiveLocked() const { return !dir_.empty(); }  // writer token
+
+  /// Swaps the published snapshot (brief pointer-copy critical section).
+  void Publish(std::shared_ptr<const IndexSnapshot> snap);
+
+  // The *Locked suffix below means "writer token held", not a mutex.
+
+  /// Bootstraps an empty index for the first incremental AddColumn.
+  Status EnsureIndexLocked();
+
+  /// The current in-memory state re-labelled with generation `gen`
+  /// (writer-side view: the mutable IdMap).
+  IndexSnapshot CurrentStateLocked(u64 gen) const;
+
+  Status CompactLocked();
+
+  /// Writes `state` as durable generation state.generation (checkpoint +
+  /// fresh WAL + MANIFEST flip), retires the grandparent generation, and
+  /// updates the live bookkeeping. On failure the previous generation and
+  /// the currently-open WAL stay authoritative. Does NOT swap the
+  /// in-memory snapshot — callers decide (Compact swaps only on success).
+  Status PublishGenerationLocked(const IndexSnapshot& state);
+
+  /// Re-establishes a durable generation after a WAL write error poisoned
+  /// the current log (no-op when the WAL is healthy).
+  Status RepairWalLocked();
+
+  Status RecoverLocked();
+  Status RecoverGenerationLocked(u64 gen, u64 manifest_prev);
+
+  Status WalAppendInsert(u32 column_id, i32 level,
+                         const std::vector<float>& vec);
+  Status WalAppendRemove(u32 index_id);
+
+  std::string ManifestPath() const;
+  std::string IndexPath(u64 gen) const;
+  std::string WalPath(u64 gen) const;
+
   ColumnEncoder* encoder_;
   SearcherConfig config_;
-  std::unique_ptr<ann::VectorIndex> index_;
   int dim_ = 0;
+
+  /// Guards the published snapshot pointer only; held for a copy, never
+  /// across a query or any I/O.
+  mutable Mutex snapshot_mu_{"searcher.snapshot", rank::kSnapshot};
+  std::shared_ptr<const IndexSnapshot> snapshot_ DJ_GUARDED_BY(snapshot_mu_);
+
+  /// Guards the writer-token flag only (see AcquireWriter): held for flag
+  /// flips and the CondVar wait, never across mutator work or I/O.
+  mutable Mutex writer_mu_{"searcher.writer", rank::kSearcherWriter};
+  mutable CondVar writer_cv_;
+  mutable bool writer_busy_ DJ_GUARDED_BY(writer_mu_) = false;
+
+  // ---- Writer-side state (writer token) ----
+  /// Next column id to assign; equals index size while the id space is
+  /// identity (no compaction yet).
+  u32 next_column_id_ = 0;
+  /// column id -> current index id for live (non-removed) columns.
+  std::unordered_map<u32, u32> col_to_index_;
+  /// Mutable alias of the published snapshot's IdMap (nullptr = identity).
+  std::shared_ptr<IdMap> map_;
+
+  // ---- Live durability state (writer token) ----
+  std::string dir_;   ///< empty = in-memory only
+  Env* env_ = nullptr;
+  /// Current durable generation. Atomic only so generation() can read it
+  /// without queueing behind a publish; all writes hold the writer token.
+  std::atomic<u64> generation_{0};
+  u64 prev_generation_ = 0;
+  std::unique_ptr<WritableFile> wal_;
+  /// Set when a WAL append/sync failed: the log may end in a torn record,
+  /// so further appends would be unrecoverable. The next mutation rolls a
+  /// fresh generation first (RepairWalLocked).
+  bool wal_poisoned_ = false;
+  std::string wal_buf_;  ///< record scratch
 };
 
 }  // namespace core

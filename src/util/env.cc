@@ -148,6 +148,13 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", path);
+    }
+    return Status::OK();
+  }
+
   bool FileExists(const std::string& path) override {
     return ::access(path.c_str(), F_OK) == 0;
   }
@@ -278,6 +285,10 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
 
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
   return base_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
 }
 
 bool FaultInjectionEnv::FileExists(const std::string& path) {

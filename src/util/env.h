@@ -55,6 +55,8 @@ class Env {
   virtual Status RenameFile(const std::string& from,
                             const std::string& to) = 0;
   virtual Status RemoveFile(const std::string& path) = 0;
+  /// Creates `path` as a directory; an existing directory is OK.
+  virtual Status CreateDir(const std::string& path) = 0;
   virtual bool FileExists(const std::string& path) = 0;
 };
 
@@ -110,6 +112,7 @@ class FaultInjectionEnv : public Env {
   Status GetFileSize(const std::string& path, u64* size) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
   bool FileExists(const std::string& path) override;
 
   /// Injection points for the wrapped WritableFile (env.cc): each advances

@@ -44,12 +44,16 @@ namespace deepjoin {
 // documents how to pick a value for a new lock (midpoints between the
 // neighbours it nests inside; leaves go high).
 namespace rank {
-inline constexpr int kPool = 100;       // threadpool.queue
-inline constexpr int kPoolBatch = 200;  // threadpool.batch
-inline constexpr int kWorkspace = 300;  // transformer.workspace
-inline constexpr int kVisited = 400;    // hnsw.visited_pool
-inline constexpr int kEnvFault = 500;   // env.fault_state
-inline constexpr int kMetrics = 900;    // metrics.registry (leaf)
+inline constexpr int kPool = 100;           // threadpool.queue
+inline constexpr int kSearcherWriter = 150; // searcher.writer
+inline constexpr int kPoolBatch = 200;      // threadpool.batch
+inline constexpr int kSnapshot = 250;       // searcher.snapshot
+inline constexpr int kWorkspace = 300;      // transformer.workspace
+inline constexpr int kHnswUpdate = 350;     // hnsw.update
+inline constexpr int kVisited = 400;        // hnsw.visited_pool
+inline constexpr int kHnswLinks = 450;      // hnsw.links
+inline constexpr int kEnvFault = 500;       // env.fault_state
+inline constexpr int kMetrics = 900;        // metrics.registry (leaf)
 /// Rank of a default-constructed (unnamed) Mutex; skips rank validation.
 inline constexpr int kUnranked = -1;
 }  // namespace rank

@@ -44,6 +44,30 @@ TEST(DjDeadlockTest, CleanTreeExitsZero) {
       << run.output;
 }
 
+TEST(DjDeadlockTest, MutationPathFixtureIsCleanWithoutSuppressions) {
+  // Miniature of the live-index mutation path (DESIGN.md §12): the writer
+  // token's busy-flag wait, blocking WAL/checkpoint I/O with no mutex
+  // held, the uphill hnsw.update -> hnsw.links nesting, and the snapshot
+  // swap. Clean by construction — if a rule ever fires here, the real
+  // mutation path's discipline has been misunderstood, not suppressed.
+  const ToolRun run = RunDeadlock("--root " + Fixture("mutation"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("dj_deadlock: clean"), std::string::npos)
+      << run.output;
+
+  // The static graph must show exactly the one nested acquisition; the
+  // writer token never appears as a holder (its mutex guards only the
+  // flag), which is what lets the mutator block on I/O token-held.
+  const ToolRun graph =
+      RunDeadlock("--root " + Fixture("mutation") + " --dump-graph");
+  EXPECT_EQ(graph.exit_code, 0) << graph.output;
+  EXPECT_NE(graph.output.find("hnsw.update -> hnsw.links"),
+            std::string::npos)
+      << graph.output;
+  EXPECT_EQ(graph.output.find("searcher.writer ->"), std::string::npos)
+      << graph.output;
+}
+
 TEST(DjDeadlockTest, TwoLockInversionReportsRankOrderAndCycle) {
   const ToolRun run = RunDeadlock("--root " + Fixture("cycle2"));
   EXPECT_EQ(run.exit_code, 1) << run.output;

@@ -1,0 +1,61 @@
+// Miniature of the live-index mutation path (src/core/searcher.cc,
+// DESIGN.md §12), kept clean by the same discipline the real tree uses:
+// the writer "token" is a busy flag whose mutex guards only the flag — the
+// mutator's blocking work (WAL fsync, checkpoint AtomicSave) runs with no
+// mutex held — and the remaining locks (snapshot swap, HNSW update, HNSW
+// link stripes) are each brief and only ever nest uphill in rank.
+// dj_deadlock must exit 0 with zero suppressions.
+#include "util/lock_rank.h"
+
+struct LiveSearcher {
+  Mutex writer_mu_{"searcher.writer", rank::kWriter};
+  CondVar writer_cv_;
+  bool writer_busy_ = false;
+  Mutex snapshot_mu_{"searcher.snapshot", rank::kSnapshot};
+  Mutex update_mu_{"hnsw.update", rank::kUpdate};
+  Mutex links_mu_{"hnsw.links", rank::kLinks};
+
+  void AcquireWriter() {
+    MutexLock lock(writer_mu_);
+    // Only the waited mutex is held: the token wait can never deadlock
+    // against a mutator, which touches writer_mu_ only to flip the flag.
+    while (writer_busy_) writer_cv_.Wait(writer_mu_);
+    writer_busy_ = true;
+  }
+
+  void ReleaseWriter() {
+    MutexLock lock(writer_mu_);
+    writer_busy_ = false;
+    writer_cv_.Signal();
+  }
+
+  /// One durable mutation, exactly as the real AddColumn sequences it.
+  /// The blocking WAL/checkpoint I/O happens between the token acquire and
+  /// release — token held, but NO mutex held, so [blocking-under-lock]
+  /// stays silent without a suppression.
+  void AddColumn() {
+    AcquireWriter();
+    AtomicSave("wal.log");  // durable WAL record: fsync with no lock held
+    Insert();
+    Publish();
+    ReleaseWriter();
+  }
+
+  /// HNSW insert: the update serializer, then one link stripe — the only
+  /// nested acquisition on the mutation path, and it runs uphill.
+  void Insert() {
+    MutexLock update(update_mu_);
+    MutexLock links(links_mu_);  // 350 -> 450: uphill, fine
+  }
+
+  /// RCU snapshot swap: a brief pointer exchange under its own mutex,
+  /// nothing nested beneath it.
+  void Publish() {
+    MutexLock snap(snapshot_mu_);
+  }
+
+  /// Readers pin the current snapshot the same way Publish swaps it.
+  void PinSnapshot() {
+    MutexLock snap(snapshot_mu_);
+  }
+};

@@ -1,0 +1,8 @@
+// Fixture rank table for the `mutation` dj_deadlock tree: the live-index
+// mutation path's slice of the real table (src/util/lock_rank.h).
+namespace rank {
+inline constexpr int kWriter = 150;    // searcher.writer (busy-flag guard)
+inline constexpr int kSnapshot = 250;  // searcher.snapshot
+inline constexpr int kUpdate = 350;    // hnsw.update
+inline constexpr int kLinks = 450;     // hnsw.links
+}  // namespace rank

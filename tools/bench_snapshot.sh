@@ -1,19 +1,28 @@
 #!/usr/bin/env bash
-# Records a kernel-benchmark snapshot as BENCH_micro.json at the repo root.
+# Records benchmark snapshots at the repo root: BENCH_micro.json (kernel /
+# encoder / search micro-benchmarks) and BENCH_churn.json (live-index churn).
 #
 # Runs the kernel, GEMM, and encoder micro-benchmarks from bench_micro
 # (both dispatch tiers are covered inside the binary via the tier arg) and
-# writes google-benchmark's JSON output. Commit the refreshed file when
-# kernel performance changes so the before/after numbers travel with the
-# code.
+# writes google-benchmark's JSON output. Commit the refreshed files when
+# performance-relevant code changes so the before/after numbers travel with
+# the code.
 #
-# The filter also records the metrics-overhead pairs (BM_PlmEncodeColumn /
-# BM_HnswSearch vs their *MetricsOff twins), so BENCH_micro.json carries
-# the instrumentation cost of the observability layer (DESIGN.md §9
-# budgets it at <2%), plus the steady-state allocation-discipline benches
-# (BM_HnswSearchInto, BM_SearcherSteadyStateQuery). Their allocs_per_op
-# counters only appear when the build compiles the alloc guard in
-# (-DDJ_ALLOC_GUARD=ON / Debug); a Release snapshot carries timings only.
+# The micro filter also records the metrics-overhead pairs
+# (BM_PlmEncodeColumn / BM_HnswSearch vs their *MetricsOff twins), so
+# BENCH_micro.json carries the instrumentation cost of the observability
+# layer (DESIGN.md §9 budgets it at <2%), plus the steady-state
+# allocation-discipline benches (BM_HnswSearchInto,
+# BM_SearcherSteadyStateQuery). Their allocs_per_op counters only appear
+# when the build compiles the alloc guard in (-DDJ_ALLOC_GUARD=ON / Debug);
+# a Release snapshot carries timings only.
+#
+# BENCH_churn.json (from bench_churn) carries the live-mutability numbers
+# of DESIGN.md §12: search mean + p50/p99 tail with and without a
+# concurrent mutator, per-mutation cost in-memory vs WAL-backed, snapshot
+# publication and compaction latency, and the recall_churned /
+# recall_rebuilt / recall_drift counters against exact flat-index ground
+# truth.
 #
 # Usage: tools/bench_snapshot.sh [build-dir] [extra benchmark args...]
 set -euo pipefail
@@ -22,16 +31,19 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 shift || true
 
-BIN="$BUILD/bench/bench_micro"
-if [[ ! -x "$BIN" ]]; then
-  echo "bench_snapshot: $BIN not built (cmake --build $BUILD --target bench_micro)" >&2
-  exit 1
-fi
+MICRO_BIN="$BUILD/bench/bench_micro"
+CHURN_BIN="$BUILD/bench/bench_churn"
+for bin in "$MICRO_BIN" "$CHURN_BIN"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_snapshot: $bin not built (cmake --build $BUILD --target $(basename "$bin"))" >&2
+    exit 1
+  fi
+done
 
 FILTER='BM_Kernel|BM_Sgemm|BM_NaiveGemm|BM_EncodeToVector|BM_HnswSearch|BM_PlmEncodeColumn|BM_SearcherSteadyState'
 OUT="$ROOT/BENCH_micro.json"
 
-"$BIN" \
+"$MICRO_BIN" \
   --benchmark_filter="$FILTER" \
   --benchmark_min_time=0.2 \
   --benchmark_out="$OUT" \
@@ -39,3 +51,13 @@ OUT="$ROOT/BENCH_micro.json"
   "$@"
 
 echo "bench_snapshot: wrote $OUT"
+
+CHURN_OUT="$ROOT/BENCH_churn.json"
+
+"$CHURN_BIN" \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="$CHURN_OUT" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "bench_snapshot: wrote $CHURN_OUT"

@@ -12,6 +12,12 @@
 #                             (fault-injection + corruption torture), so
 #                             every injected failure path is leak/UB-checked
 #   4. TSan build           + the `tsan`-labeled concurrency tests
+#   4a. churn leg           + the live-index churn suites re-run by name:
+#                             churn stress under TSan and the crash torture
+#                             (every injected publish fault point) plus the
+#                             live-index lifecycle tests under ASan+UBSan,
+#                             so a mutability regression fails as its own
+#                             labeled line, not buried in a full-suite leg
 #   4b. lock-rank build     + Debug tree with -DDJ_LOCK_RANK=ON running the
 #                             death/tsan/lint labels (runtime rank
 #                             enforcement, dj_deadlock fixtures, tree scan)
@@ -108,6 +114,19 @@ if [[ "$QUICK" == "0" ]]; then
   run_profile build-asan "asan+ubsan" "" -DDJ_SANITIZE="address;undefined"
   check_kernel_tiers build-asan "asan+ubsan"
   run_profile build-tsan "tsan" "-L tsan" -DDJ_SANITIZE="thread"
+
+  # Live-index churn (DESIGN.md §12). The tsan and asan profiles above
+  # already cover these tests inside their label/full-suite runs; this leg
+  # re-selects them by test-name regex so a mutability regression fails as
+  # its own "[churn]" line. Name-based selection is deliberate: one ctest
+  # label per test (see tests/CMakeLists.txt — gtest_discover_tests cannot
+  # forward list-valued LABELS), so "churn" cannot be a second label.
+  echo "=== [churn] TSan churn stress ==="
+  (cd "$ROOT/build-tsan" && ctest --output-on-failure --no-tests=error \
+    -j "$JOBS" -R "Churn")
+  echo "=== [churn] ASan+UBSan crash torture + live-index lifecycle ==="
+  (cd "$ROOT/build-asan" && ctest --output-on-failure --no-tests=error \
+    -j "$JOBS" -R "ChurnTorture|LiveIndex")
 
   # Lock discipline (DESIGN.md §10): Debug defaults DJ_LOCK_RANK=ON, so
   # the death label exercises the runtime aborts (rank inversion,

@@ -12,6 +12,7 @@
 // Run with DJ_METRICS=off to see the kill switch: the dump comes out
 // empty because no call site recorded anything.
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,39 @@ int main(int argc, char** argv) {
                "searched %zu queries (metrics %s)\n",
                build_stats.columns, build_stats.trace.total_ms(),
                outputs.size(), metrics::Enabled() ? "on" : "off");
+
+  // Mutation episode (DESIGN.md §12): a short live-index churn — open a
+  // scratch directory, add/remove a handful of columns, compact, publish —
+  // so the dj_index_{inserts,deletes,tombstones,compactions,snapshot_swaps}
+  // series and the dj_snapshot_publish_ms histogram carry real values in
+  // the dump. HNSW only: it is the mutable backend.
+  if (sc.backend == core::AnnBackend::kHnsw) {
+    const std::string live_dir =
+        (std::filesystem::temp_directory_path() / "dj_stats_live").string();
+    std::error_code ec;
+    std::filesystem::remove_all(live_dir, ec);
+    if (auto st = searcher.OpenLive(live_dir); !st.ok()) {
+      std::fprintf(stderr, "dj_stats: OpenLive failed: %s\n",
+                   st.ToString().c_str());
+    } else {
+      std::vector<u32> added;
+      for (int i = 0; i < 8; ++i) {
+        auto id = searcher.AddColumn(repo.column(static_cast<u32>(i)));
+        if (id.ok()) added.push_back(*id);
+      }
+      for (size_t i = 0; i + 1 < added.size(); i += 2) {
+        searcher.RemoveColumn(added[i]).IgnoreError();
+      }
+      searcher.Compact().IgnoreError();
+      searcher.PublishSnapshot().IgnoreError();
+      std::fprintf(stderr,
+                   "dj_stats: churn episode done (8 adds, %zu removes, "
+                   "compact + publish; generation %llu)\n",
+                   added.size() / 2,
+                   static_cast<unsigned long long>(searcher.generation()));
+    }
+    std::filesystem::remove_all(live_dir, ec);
+  }
 
   if (per_query) {
     std::printf("--- per-query breakdown ---\n");
