@@ -414,6 +414,43 @@ void BM_SearcherSteadyStateQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_SearcherSteadyStateQuery);
 
+// Batched flat scan — the serving-layer execution path (DESIGN.md §13).
+// FlatIndex::SearchBatchInto amortises one pass over the corpus across the
+// whole batch via blocked SGEMM, so per-item time falls as Arg (the batch
+// size) grows; the Arg(1) row is the unbatched per-query baseline the
+// serving sweep's saturation_speedup figure compares against. The corpus
+// here is cache-resident, so this tracks the compute amortisation only —
+// BENCH_serve.json measures the full memory-bound regime.
+void BM_FlatSearchBatch(benchmark::State& state) {
+  const int dim = 64;
+  static ann::FlatIndex* index = [&] {
+    auto idx = std::make_unique<ann::FlatIndex>(dim);
+    Rng rng(1);
+    std::vector<float> v(dim);
+    for (int i = 0; i < 100000; ++i) {
+      for (auto& x : v) x = static_cast<float>(rng.Normal());
+      idx->Add(v.data());
+    }
+    return idx.release();
+  }();
+  const auto batch = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<float> queries(batch * static_cast<size_t>(dim));
+  for (auto& x : queries) x = static_cast<float>(rng.Normal());
+  std::vector<std::vector<ann::Neighbor>> outs(batch);
+  const ann::AnnSearchParams params;
+  index->SearchBatchInto(queries.data(), batch, 10, params, outs.data());
+  alloc_guard::ScopedAllocCount tally;
+  for (auto _ : state) {
+    index->SearchBatchInto(queries.data(), batch, 10, params, outs.data());
+    benchmark::DoNotOptimize(outs[0].data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(batch));
+  ReportAllocsPerOp(state, tally);
+}
+BENCHMARK(BM_FlatSearchBatch)->Arg(1)->Arg(8)->Arg(32)->Arg(64);
+
 void BM_JosieSearch(benchmark::State& state) {
   auto& env = SharedEnv();
   static join::JosieIndex* index =

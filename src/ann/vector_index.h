@@ -6,14 +6,18 @@
 #define DEEPJOIN_ANN_VECTOR_INDEX_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "util/common.h"
 #include "util/status.h"
+#include "util/top_k.h"
 
 namespace deepjoin {
 namespace ann {
+
+class FlatIndex;
 
 /// A search hit: squared L2 distance and the vector's insertion id.
 struct Neighbor {
@@ -84,11 +88,31 @@ class VectorIndex {
     *out = Search(query, k, params);
   }
 
+  /// Scores `nq` queries (row-major, nq x dim) in one call, writing each
+  /// query's k nearest into outs[q] (cleared first), nearest first. The
+  /// default loops SearchInto per query; FlatIndex overrides it with a
+  /// blocked-SGEMM scorer that streams the corpus once per *batch* instead
+  /// of once per query — the amortisation the serving layer's adaptive
+  /// batcher exists to exploit (DESIGN.md §13).
+  virtual void SearchBatchInto(const float* queries, size_t nq, size_t k,
+                               const AnnSearchParams& params,
+                               std::vector<Neighbor>* outs) const {
+    for (size_t q = 0; q < nq; ++q) {
+      SearchInto(queries + q * static_cast<size_t>(dim()), k, params,
+                 &outs[q]);
+    }
+  }
+
   virtual size_t size() const = 0;
   virtual int dim() const = 0;
 
   /// Human-readable name for bench output.
   virtual const char* name() const = 0;
+
+  /// Downcast hook for callers that can exploit flat-specific machinery
+  /// without RTTI — the serving layer uses it to open a cooperative
+  /// SharedScan session. nullptr for every other backend.
+  virtual const FlatIndex* AsFlat() const { return nullptr; }
 };
 
 /// Exact brute-force index; ground truth for recall tests and the fallback
@@ -99,10 +123,7 @@ class FlatIndex : public VectorIndex {
 
   using VectorIndex::Search;
 
-  void Add(const float* vec) override {
-    data_.insert(data_.end(), vec, vec + dim_);
-    tombstones_.push_back(0);
-  }
+  void Add(const float* vec) override;
   [[nodiscard]] Status Remove(u32 id) override {
     if (id >= tombstones_.size()) {
       return Status::NotFound("flat Remove: id " + std::to_string(id) +
@@ -120,19 +141,91 @@ class FlatIndex : public VectorIndex {
   size_t deleted_count() const override { return deleted_; }
   std::vector<Neighbor> Search(const float* query, size_t k,
                                const AnnSearchParams& params) const override;
+  /// Batched exact scan: one blocked SGEMM per corpus tile computes every
+  /// query·row dot product, distances recombine from cached row norms
+  /// (||q-x||^2 = ||q||^2 - 2 q·x + ||x||^2). Turns the memory-bound
+  /// per-query scan (one full corpus stream per query) into a
+  /// compute-bound pass (one corpus stream per batch).
+  void SearchBatchInto(const float* queries, size_t nq, size_t k,
+                       const AnnSearchParams& params,
+                       std::vector<Neighbor>* outs) const override;
   size_t size() const override {
     return data_.size() / static_cast<size_t>(dim_);
   }
   int dim() const override { return dim_; }
   const char* name() const override { return "flat"; }
+  const FlatIndex* AsFlat() const override { return this; }
 
   const float* vector(u32 id) const {
     return &data_[static_cast<size_t>(id) * dim_];
   }
 
+  /// Cooperative shared scan (DESIGN.md §13): the corpus is scored one
+  /// tile at a time around a circular cursor; a query boards between any
+  /// two tiles, rides exactly one wrap (every tile once), and completes.
+  /// An arrival therefore waits at most one tile (~sub-millisecond)
+  /// instead of a full in-flight corpus pass — this is what keeps the
+  /// serving layer's low-rate tail near the single-query floor — while
+  /// every rider on a tile shares its single corpus stream exactly like
+  /// SearchBatchInto (scalar row-major below the GEMM cutover, tiled
+  /// SGEMM at or above it). Results match Search(): every live row is
+  /// scored exactly once per rider.
+  ///
+  /// Single-owner (one dispatcher thread drives Board/Step/Harvest), and
+  /// the same concurrency contract as Search: no concurrent structural
+  /// mutation of the flat index. The row count is frozen at construction
+  /// — rows added later are not scanned; start a new session instead.
+  class SharedScan {
+   public:
+    explicit SharedScan(const FlatIndex* index);
+    SharedScan(const SharedScan&) = delete;
+    SharedScan& operator=(const SharedScan&) = delete;
+
+    /// Boards one query (copied out) wanting `k` results; returns the
+    /// rider's slot, valid until Harvest frees it. k == 0 or an empty
+    /// corpus completes with no hits on the next Step.
+    size_t Board(const float* query, size_t k);
+
+    /// Scores the next tile for every active rider and appends the slots
+    /// of riders that just completed their wrap to `*done` (not cleared).
+    /// Returns how many completed; 0 with no riders is a no-op.
+    size_t Step(std::vector<size_t>* done);
+
+    /// Moves rider `slot`'s results (nearest first) into `*out` (cleared
+    /// first) and recycles the slot. Call exactly once per done slot.
+    void Harvest(size_t slot, std::vector<Neighbor>* out);
+
+    size_t active() const { return active_.size(); }
+    bool empty() const { return active_.empty(); }
+    /// Tiles in one full wrap (0 for an empty corpus).
+    size_t tiles() const { return tiles_; }
+
+   private:
+    struct Rider {
+      std::vector<float> query;  ///< owned copy; capacity reused via slots
+      float qnorm = 0.0f;        ///< ||q||^2 for the GEMM recombination
+      std::optional<TopK> top;   ///< unset for k == 0 and after Harvest
+      size_t tiles_left = 0;     ///< completes when this hits 0
+    };
+
+    const FlatIndex* const index_;
+    const size_t rows_;  ///< frozen at construction (see class comment)
+    const size_t tiles_;
+    size_t cursor_ = 0;  ///< next tile to score
+
+    std::vector<Rider> riders_;   ///< slot pool
+    std::vector<size_t> free_;    ///< recycled slots
+    std::vector<size_t> active_;  ///< riding slots (order not FIFO)
+    // Per-tile scratch; capacity reused across steps.
+    std::vector<size_t> cohort_;  ///< active slots scored this tile
+    std::vector<float> qmat_;     ///< cohort queries, row-major
+    std::vector<float> scores_;   ///< cohort x tile dot products
+  };
+
  private:
   int dim_;
   std::vector<float> data_;
+  std::vector<float> norms_;    // ||row||^2 cache for the batched scorer
   std::vector<u8> tombstones_;  // 1 = removed from results
   size_t deleted_ = 0;
 };

@@ -127,6 +127,20 @@ metrics::Histogram* PublishHistogram() {
   return h;
 }
 
+metrics::Counter* WalRecordsCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricsRegistry::Global().GetCounter("dj_wal_records_total");
+  return c;
+}
+
+// Physical WAL fsyncs. records/syncs is the group-commit amortisation
+// ratio: 1.0 with per-record syncs, > 1 once commits batch.
+metrics::Counter* WalSyncsCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricsRegistry::Global().GetCounter("dj_wal_syncs_total");
+  return c;
+}
+
 // Per-thread query scratch for the allocation-free search path: every
 // buffer grows to its working size during warmup and then reuses capacity.
 struct QueryScratch {
@@ -289,6 +303,20 @@ IndexSnapshot EmbeddingSearcher::CurrentStateLocked(u64 gen) const {
 }
 
 Result<u32> EmbeddingSearcher::AddColumn(const lake::Column& column) {
+  u64 lsn = 0;
+  Result<u32> res = AddColumnImpl(column, &lsn);
+  if (res.ok() && lsn != 0) {
+    // Group commit: the record is appended and the mutation applied, but
+    // the acknowledgement waits — outside the writer token, so concurrent
+    // mutators pile onto the same fsync — until the record is durable.
+    DJ_RETURN_IF_ERROR(
+        committer_.WaitDurable(lsn, config_.wal_commit_window_ms));
+  }
+  return res;
+}
+
+Result<u32> EmbeddingSearcher::AddColumnImpl(const lake::Column& column,
+                                             u64* lsn) {
   const WriterLock writer(this);
   DJ_RETURN_IF_ERROR(EnsureIndexLocked());
   if (LiveLocked()) {
@@ -312,7 +340,7 @@ Result<u32> EmbeddingSearcher::AddColumn(const lake::Column& column) {
     // what replay handles.
     const i32 level = hnsw->DrawLevel();
     if (LiveLocked()) {
-      DJ_RETURN_IF_ERROR(WalAppendInsert(col, level, v));
+      DJ_RETURN_IF_ERROR(WalAppendInsert(col, level, v, lsn));
     }
     // IdMap before index: readers that see the published id must find its
     // mapping (the index's release-store of the count is the fence).
@@ -332,6 +360,16 @@ Result<u32> EmbeddingSearcher::AddColumn(const lake::Column& column) {
 }
 
 Status EmbeddingSearcher::RemoveColumn(u32 column_id) {
+  u64 lsn = 0;
+  DJ_RETURN_IF_ERROR(RemoveColumnImpl(column_id, &lsn));
+  if (lsn != 0) {
+    DJ_RETURN_IF_ERROR(
+        committer_.WaitDurable(lsn, config_.wal_commit_window_ms));
+  }
+  return Status::OK();
+}
+
+Status EmbeddingSearcher::RemoveColumnImpl(u32 column_id, u64* lsn) {
   const WriterLock writer(this);
   auto snap = PinSnapshot();
   if (snap == nullptr) {
@@ -349,7 +387,7 @@ Status EmbeddingSearcher::RemoveColumn(u32 column_id) {
   }
   const u32 id = it->second;
   if (LiveLocked()) {
-    DJ_RETURN_IF_ERROR(WalAppendRemove(id));
+    DJ_RETURN_IF_ERROR(WalAppendRemove(id, lsn));
   }
   DJ_RETURN_IF_ERROR(snap->index->Remove(id));
   col_to_index_.erase(it);
@@ -364,9 +402,27 @@ Status EmbeddingSearcher::RemoveColumn(u32 column_id) {
       static_cast<double>(dead) >= config_.compact_dead_fraction *
                                        static_cast<double>(
                                            snap->index->size())) {
-    CompactLocked().IgnoreError();
+    if (config_.compaction_pool != nullptr) {
+      // Off-thread: the remove returns now; a worker takes the writer
+      // token and compacts in the background (tombstoned reads stay
+      // correct in the meantime).
+      ScheduleCompaction();
+    } else {
+      CompactLocked().IgnoreError();
+    }
   }
   return Status::OK();
+}
+
+void EmbeddingSearcher::ScheduleCompaction() {
+  bool expected = false;
+  // At most one queued/running background compact; concurrent triggers
+  // collapse into it (and a later remove re-arms the trigger).
+  if (!compact_scheduled_.compare_exchange_strong(expected, true)) return;
+  config_.compaction_pool->Submit([this] {
+    Compact().IgnoreError();  // best-effort, like the inline trigger
+    compact_scheduled_.store(false);
+  });
 }
 
 Status EmbeddingSearcher::Compact() {
@@ -489,6 +545,11 @@ Status EmbeddingSearcher::OpenLive(const std::string& dir, Env* env) {
 
 Status EmbeddingSearcher::PublishGenerationLocked(const IndexSnapshot& state) {
   WallTimer timer;
+  if (config_.wal_group_commit) {
+    // Wait out any in-flight group fsync before the WAL file it targets
+    // can be retired below.
+    committer_.Drain();
+  }
   const u64 gen = state.generation;
   const std::string index_path = IndexPath(gen);
   const u64 next_col = next_column_id_;
@@ -548,6 +609,11 @@ Status EmbeddingSearcher::PublishGenerationLocked(const IndexSnapshot& state) {
     env_->RemoveFile(WalPath(prev_generation_)).IgnoreError();
   }
   wal_ = std::move(wal);
+  if (config_.wal_group_commit) {
+    // The checkpoint above captured every applied mutation, so Reset
+    // marks all outstanding LSNs durable and rebinds to the fresh WAL.
+    committer_.Reset(wal_.get());
+  }
   prev_generation_ = generation_;
   generation_ = gen;
   PublishHistogram()->Record(timer.ElapsedMillis());
@@ -555,6 +621,12 @@ Status EmbeddingSearcher::PublishGenerationLocked(const IndexSnapshot& state) {
 }
 
 Status EmbeddingSearcher::RepairWalLocked() {
+  if (config_.wal_group_commit && !committer_.Error().ok()) {
+    // A shared fsync failed after its records were appended: the log may
+    // end in frames that were never made durable. Same remedy as a torn
+    // append — roll a fresh generation.
+    wal_poisoned_ = true;
+  }
   if (!wal_poisoned_) return Status::OK();
   // A WAL append failed mid-record, so the log may end in a torn frame —
   // appending more records after it would make them unreachable on replay
@@ -718,7 +790,8 @@ Status EmbeddingSearcher::RecoverGenerationLocked(u64 gen, u64 manifest_prev) {
 }
 
 Status EmbeddingSearcher::WalAppendInsert(u32 column_id, i32 level,
-                                          const std::vector<float>& vec) {
+                                          const std::vector<float>& vec,
+                                          u64* lsn) {
   wal_buf_.clear();
   wal_buf_.append(8, '\0');  // len + crc, patched below
   wal_buf_.push_back(static_cast<char>(kWalInsert));
@@ -731,12 +804,22 @@ Status EmbeddingSearcher::WalAppendInsert(u32 column_id, i32 level,
   std::memcpy(&wal_buf_[0], &len, sizeof(len));
   std::memcpy(&wal_buf_[4], &crc, sizeof(crc));
   Status st = wal_->Append(wal_buf_.data(), wal_buf_.size());
-  if (st.ok()) st = wal_->Sync();
+  if (st.ok()) {
+    WalRecordsCounter()->Increment();
+    if (config_.wal_group_commit) {
+      // Group commit: register the LSN now, fsync later (shared). The
+      // caller acknowledges only after WaitDurable(*lsn) succeeds.
+      *lsn = committer_.RecordAppended();
+    } else {
+      st = wal_->Sync();
+      if (st.ok()) WalSyncsCounter()->Increment();
+    }
+  }
   if (!st.ok()) wal_poisoned_ = true;
   return st;
 }
 
-Status EmbeddingSearcher::WalAppendRemove(u32 index_id) {
+Status EmbeddingSearcher::WalAppendRemove(u32 index_id, u64* lsn) {
   wal_buf_.clear();
   wal_buf_.append(8, '\0');
   wal_buf_.push_back(static_cast<char>(kWalRemove));
@@ -746,9 +829,100 @@ Status EmbeddingSearcher::WalAppendRemove(u32 index_id) {
   std::memcpy(&wal_buf_[0], &len, sizeof(len));
   std::memcpy(&wal_buf_[4], &crc, sizeof(crc));
   Status st = wal_->Append(wal_buf_.data(), wal_buf_.size());
-  if (st.ok()) st = wal_->Sync();
+  if (st.ok()) {
+    WalRecordsCounter()->Increment();
+    if (config_.wal_group_commit) {
+      *lsn = committer_.RecordAppended();
+    } else {
+      st = wal_->Sync();
+      if (st.ok()) WalSyncsCounter()->Increment();
+    }
+  }
   if (!st.ok()) wal_poisoned_ = true;
   return st;
+}
+
+// ---- WalCommitter (group commit; SearcherConfig::wal_group_commit) ----
+
+void EmbeddingSearcher::WalCommitter::Reset(WritableFile* file) {
+  MutexLock lock(mu_);
+  file_ = file;
+  // Everything appended so far was applied in memory under the writer
+  // token, and the caller (PublishGenerationLocked) just checkpointed that
+  // very memory into the new generation — so every outstanding record is
+  // durable through the checkpoint even though its old-WAL frame may not
+  // be. Waiters on old LSNs are satisfied, not stranded.
+  durable_ = appended_;
+  sync_active_ = false;
+  error_ = Status::OK();
+  cv_.NotifyAll();
+}
+
+u64 EmbeddingSearcher::WalCommitter::RecordAppended() {
+  MutexLock lock(mu_);
+  return ++appended_;  // LSNs are monotonic across WAL files (see Reset)
+}
+
+Status EmbeddingSearcher::WalCommitter::WaitDurable(u64 lsn,
+                                                    double window_ms)
+    DJ_NO_THREAD_SAFETY_ANALYSIS {
+  // Leader/follower: the first waiter to find no sync in flight becomes
+  // the leader, lingers for the commit window so concurrent mutators'
+  // records join, then issues ONE fsync for everything appended. The
+  // manual Unlock around the fsync keeps blocking I/O outside the
+  // critical section (DESIGN.md §10); the annotation-free analysis cannot
+  // follow the hand-over-hand locking here.
+  mu_.Lock();
+  for (;;) {
+    if (!error_.ok()) {
+      const Status st = error_;
+      mu_.Unlock();
+      return st;
+    }
+    if (durable_ >= lsn) {
+      mu_.Unlock();
+      return Status::OK();
+    }
+    if (sync_active_) {
+      // Ride on the in-flight (or imminent) sync. Bounded wait + re-check
+      // rather than an unbounded sleep.
+      (void)cv_.WaitFor(mu_, std::chrono::milliseconds(100));
+      continue;
+    }
+    sync_active_ = true;
+    if (window_ms > 0) {
+      (void)cv_.WaitFor(
+          mu_, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::duration<double, std::milli>(window_ms)));
+    }
+    const u64 target = appended_;
+    WritableFile* file = file_;
+    mu_.Unlock();
+    Status st = file->Sync();
+    mu_.Lock();
+    sync_active_ = false;
+    if (st.ok()) {
+      WalSyncsCounter()->Increment();
+      if (target > durable_) durable_ = target;
+    } else if (error_.ok()) {
+      // Sticky: every waiter past durable_ fails, and the next mutation
+      // repairs the WAL (RepairWalLocked) before appending anything.
+      error_ = std::move(st);
+    }
+    cv_.NotifyAll();
+  }
+}
+
+void EmbeddingSearcher::WalCommitter::Drain() {
+  MutexLock lock(mu_);
+  while (sync_active_) {
+    (void)cv_.WaitFor(mu_, std::chrono::milliseconds(100));
+  }
+}
+
+Status EmbeddingSearcher::WalCommitter::Error() const {
+  MutexLock lock(mu_);
+  return error_;
 }
 
 Status EmbeddingSearcher::SaveIndex(const std::string& path,
@@ -910,6 +1084,79 @@ std::vector<EmbeddingSearcher::SearchResult> EmbeddingSearcher::SearchBatch(
   }
   SearchesCounter()->Add(queries.size());
   return outputs;
+}
+
+void EmbeddingSearcher::SearchBatchInto(const lake::Column* const* queries,
+                                        size_t n, const SearchOptions& options,
+                                        ThreadPool* pool, BatchScratch* scratch,
+                                        SearchResult* const* outs) {
+  if (n == 0) return;
+  const auto snap = PinSnapshot();
+  DJ_CHECK_MSG(
+      snap != nullptr,
+      "EmbeddingSearcher::SearchBatchInto() before BuildIndex()/AddColumn()");
+  // Encode the whole batch into the caller's scratch (capacity-reusing).
+  if (scratch->embeddings.size() < n * static_cast<size_t>(dim_)) {
+    scratch->embeddings.resize(n * static_cast<size_t>(dim_));
+  }
+  auto encode_one = [&](size_t i) {
+    encoder_->EncodeInto(*queries[i], scratch->embeddings.data() +
+                                          i * static_cast<size_t>(dim_));
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(n, encode_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) encode_one(i);
+  }
+  // One index call for the whole batch — the flat backend streams the
+  // corpus once per batch here instead of once per query.
+  if (scratch->hits.size() < n) scratch->hits.resize(n);
+  snap->index->SearchBatchInto(scratch->embeddings.data(), n, options.k,
+                               AnnParamsFrom(options), scratch->hits.data());
+  const IdMap* map = snap->to_column.get();
+  for (size_t i = 0; i < n; ++i) {
+    outs[i]->ids.clear();
+    for (const auto& h : scratch->hits[i]) {
+      outs[i]->ids.push_back(map != nullptr ? map->At(h.id) : h.id);
+    }
+  }
+  SearchesCounter()->Add(n);
+}
+
+EmbeddingSearcher::StreamScan EmbeddingSearcher::NewStreamScan() const {
+  StreamScan s;
+  s.searcher_ = this;
+  s.snap_ = PinSnapshot();
+  if (s.snap_ != nullptr) {
+    const ann::FlatIndex* const flat = s.snap_->index->AsFlat();
+    if (flat != nullptr) {
+      s.scan_ = std::make_unique<ann::FlatIndex::SharedScan>(flat);
+    }
+  }
+  return s;
+}
+
+bool EmbeddingSearcher::StreamScan::stale() const {
+  return searcher_ != nullptr && searcher_->PinSnapshot() != snap_;
+}
+
+size_t EmbeddingSearcher::StreamScan::Board(const lake::Column& query,
+                                            size_t k) {
+  DJ_CHECK_MSG(valid(), "StreamScan::Board on an invalid session");
+  const size_t d = static_cast<size_t>(searcher_->dim_);
+  if (qbuf_.size() < d) qbuf_.resize(d);
+  searcher_->encoder_->EncodeInto(query, qbuf_.data());
+  return scan_->Board(qbuf_.data(), k);
+}
+
+void EmbeddingSearcher::StreamScan::Harvest(size_t slot, SearchResult* out) {
+  scan_->Harvest(slot, &hitbuf_);
+  const IdMap* const map = snap_->to_column.get();
+  out->ids.clear();
+  for (const auto& h : hitbuf_) {
+    out->ids.push_back(map != nullptr ? map->At(h.id) : h.id);
+  }
+  SearchesCounter()->Increment();
 }
 
 size_t EmbeddingSearcher::index_size() const {

@@ -60,6 +60,24 @@ struct SearcherConfig {
   int ivfpq_m = 8;
   int ivfpq_nbits = 6;
   int ivfpq_nprobe = 8;  ///< default probe budget; override per query
+  /// Group-commit WAL (live mode): a mutation appends its record, applies
+  /// in memory, releases the writer token, and then waits on a shared
+  /// committer that issues ONE fsync for every record appended since the
+  /// last one (leader/follower). The durability contract is unchanged — a
+  /// mutation returns OK only after its record is on disk — but concurrent
+  /// mutators share fsyncs instead of paying one each. Off (default):
+  /// every record is fsync'd inline before the mutation is applied.
+  bool wal_group_commit = false;
+  /// How long a group-commit leader lingers for followers before issuing
+  /// the shared fsync. 0 = sync immediately (still batches whatever is
+  /// already appended). (Config duration, not a timing surface.)
+  double wal_commit_window_ms = 0.5;  // dj_lint: allow(adhoc-timing)
+  /// When set, the tombstone-triggered automatic Compact() is scheduled on
+  /// this pool instead of running inline on the mutating thread — the
+  /// client that happened to trip the threshold no longer pays the
+  /// compaction pause. The pool must outlive the searcher, and callers
+  /// must drain it (ThreadPool::Wait) before destroying the searcher.
+  ThreadPool* compaction_pool = nullptr;
 };
 
 /// Per-call search options. Replaces the old positional `k` — and the old
@@ -258,10 +276,70 @@ class EmbeddingSearcher {
       const std::vector<lake::Column>& queries, const SearchOptions& options,
       ThreadPool* pool);
 
+  /// Reusable buffers for SearchBatchInto. All vectors grow to the working
+  /// size on the first batches and are reused afterwards; a long-lived
+  /// caller (the serving dispatcher) allocates nothing per batch.
+  struct BatchScratch {
+    std::vector<float> embeddings;               ///< nq x dim, row-major
+    std::vector<std::vector<ann::Neighbor>> hits;  ///< per-query results
+  };
+
+  /// Zero-copy batched search for the serving layer (DESIGN.md §13):
+  /// encodes the `n` query columns into `scratch`, runs ONE
+  /// VectorIndex::SearchBatchInto over the pinned snapshot (flat backend:
+  /// blocked-SGEMM scoring that streams the corpus once per batch), and
+  /// refills each outs[i]->ids in place. `pool` parallelises the encode
+  /// stage when given. Unlike SearchBatch, no per-query trace stats are
+  /// collected (outs[i]->stats is left untouched) — the serving layer
+  /// accounts latency through MetricsRegistry instead.
+  void SearchBatchInto(const lake::Column* const* queries, size_t n,
+                       const SearchOptions& options, ThreadPool* pool,
+                       BatchScratch* scratch, SearchResult* const* outs);
+
   /// Pins the current snapshot (tests, tools, and callers that need a
   /// stable view across several operations). nullptr before the first
   /// BuildIndex/AddColumn/OpenLive.
   std::shared_ptr<const IndexSnapshot> PinSnapshot() const;
+
+  /// Streaming shared-scan session for the serving layer (DESIGN.md §13;
+  /// flat backend only). Construction pins the current snapshot; queries
+  /// Board() between corpus tiles, ride one full wrap of
+  /// FlatIndex::SharedScan, and Harvest() maps hits to repository column
+  /// ids. Single-owner (one dispatcher thread drives it). Sessions are
+  /// cheap to open; callers drain and start a fresh one when stale()
+  /// reports the searcher has published a newer snapshot.
+  class StreamScan {
+   public:
+    /// False when no index exists yet or the pinned backend has no shared
+    /// scan (HNSW/IVFPQ) — callers fall back to SearchBatchInto.
+    bool valid() const { return scan_ != nullptr; }
+    /// True once the searcher published a snapshot other than the pinned
+    /// one (compaction / rebuild): stop boarding, drain, reopen.
+    bool stale() const;
+    /// Encodes `query` and boards it wanting `k` results; returns the
+    /// rider slot. Requires valid().
+    size_t Board(const lake::Column& query, size_t k);
+    /// Scores one tile; appends completed rider slots to `*done`.
+    size_t Step(std::vector<size_t>* done) {
+      return valid() ? scan_->Step(done) : 0;
+    }
+    /// Fills out->ids (nearest first, repository column ids) for a done
+    /// rider and recycles its slot. out->stats is left untouched.
+    void Harvest(size_t slot, SearchResult* out);
+    size_t active() const { return valid() ? scan_->active() : 0; }
+    bool empty() const { return !valid() || scan_->empty(); }
+
+   private:
+    friend class EmbeddingSearcher;
+    const EmbeddingSearcher* searcher_ = nullptr;
+    std::shared_ptr<const IndexSnapshot> snap_;
+    std::unique_ptr<ann::FlatIndex::SharedScan> scan_;
+    std::vector<float> qbuf_;            // one encoded query
+    std::vector<ann::Neighbor> hitbuf_;  // Harvest staging
+  };
+
+  /// Opens a streaming scan session against the current snapshot.
+  StreamScan NewStreamScan() const;
 
   /// Published vectors in the current index, tombstones included.
   size_t index_size() const;
@@ -329,9 +407,22 @@ class EmbeddingSearcher {
   Status RecoverLocked();
   Status RecoverGenerationLocked(u64 gen, u64 manifest_prev);
 
+  /// AddColumn/RemoveColumn bodies (writer token scope). `*lsn` is 0 when
+  /// the mutation's WAL record was fsync'd inline (or there is no WAL);
+  /// nonzero = the group-commit LSN the caller must WaitDurable() on
+  /// AFTER releasing the writer token.
+  Result<u32> AddColumnImpl(const lake::Column& column, u64* lsn);
+  Status RemoveColumnImpl(u32 column_id, u64* lsn);
+
   Status WalAppendInsert(u32 column_id, i32 level,
-                         const std::vector<float>& vec);
-  Status WalAppendRemove(u32 index_id);
+                         const std::vector<float>& vec, u64* lsn);
+  Status WalAppendRemove(u32 index_id, u64* lsn);
+
+  /// Hands the tombstone-triggered auto-compact to config_.compaction_pool
+  /// (at most one scheduled at a time). The scheduled task acquires the
+  /// writer token itself; the mutator that tripped the threshold has
+  /// already moved on.
+  void ScheduleCompaction();
 
   std::string ManifestPath() const;
   std::string IndexPath(u64 gen) const;
@@ -374,6 +465,45 @@ class EmbeddingSearcher {
   /// fresh generation first (RepairWalLocked).
   bool wal_poisoned_ = false;
   std::string wal_buf_;  ///< record scratch
+
+  /// Group-commit state (config_.wal_group_commit). Appends register an
+  /// LSN under the writer token; acknowledgement waits happen AFTER the
+  /// token is released, so one leader's fsync covers every record
+  /// appended by followers in the meantime. A failed shared sync is
+  /// sticky: every waiter covering unsynced records gets the error, and
+  /// the next mutation repairs the WAL (RepairWalLocked).
+  class WalCommitter {
+   public:
+    /// Rebinds to a fresh WAL file (writer token held; callers Drain()
+    /// first so no in-flight sync touches the old file).
+    void Reset(WritableFile* file);
+    /// Registers one appended record (writer token held); returns its LSN
+    /// (1-based per WAL file).
+    u64 RecordAppended();
+    /// Blocks until every record up to `lsn` is durable or the commit
+    /// fails. Called WITHOUT the writer token. `window_ms` is how long a
+    /// leader lingers for followers before syncing.
+    [[nodiscard]] Status WaitDurable(u64 lsn, double window_ms);
+    /// Waits out any in-flight sync (writer token held; used before the
+    /// WAL file is swapped).
+    void Drain();
+    /// Sticky error from a failed shared sync (OK when healthy; cleared
+    /// by Reset).
+    Status Error() const;
+
+   private:
+    mutable Mutex mu_{"searcher.wal_commit", rank::kWalCommit};
+    mutable CondVar cv_;
+    WritableFile* file_ DJ_GUARDED_BY(mu_) = nullptr;
+    u64 appended_ DJ_GUARDED_BY(mu_) = 0;
+    u64 durable_ DJ_GUARDED_BY(mu_) = 0;
+    bool sync_active_ DJ_GUARDED_BY(mu_) = false;
+    Status error_ DJ_GUARDED_BY(mu_);
+  };
+  WalCommitter committer_;
+
+  /// True while an auto-compact is queued/running on compaction_pool.
+  std::atomic<bool> compact_scheduled_{false};
 };
 
 }  // namespace core

@@ -1,0 +1,50 @@
+// Request deadlines for the serving layer (DESIGN.md §13). A Deadline is
+// an absolute steady-clock time point: it travels with the request through
+// admission, batching, and execution, and every stage checks it — an
+// expired request short-circuits with Status::DeadlineExceeded before any
+// further work (in particular, before the encode stage).
+#ifndef DEEPJOIN_SERVE_DEADLINE_H_
+#define DEEPJOIN_SERVE_DEADLINE_H_
+
+#include <chrono>
+
+namespace deepjoin {
+namespace serve {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  /// Default: no deadline (never expires).
+  constexpr Deadline() : tp_(TimePoint::max()) {}
+  static constexpr Deadline Infinite() { return Deadline(); }
+  static constexpr Deadline At(TimePoint tp) { return Deadline(tp); }
+  /// `ms` from now. Non-positive values produce an already-expired
+  /// deadline (useful in tests).
+  static Deadline AfterMillis(double ms) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(ms)));
+  }
+
+  constexpr bool is_infinite() const { return tp_ == TimePoint::max(); }
+  bool expired(TimePoint now = Clock::now()) const {
+    return !is_infinite() && now >= tp_;
+  }
+  constexpr TimePoint time_point() const { return tp_; }
+  /// Time left; zero when expired, Clock::duration::max() when infinite.
+  Clock::duration remaining(TimePoint now = Clock::now()) const {
+    if (is_infinite()) return Clock::duration::max();
+    return now >= tp_ ? Clock::duration::zero() : tp_ - now;
+  }
+
+ private:
+  explicit constexpr Deadline(TimePoint tp) : tp_(tp) {}
+  TimePoint tp_;
+};
+
+}  // namespace serve
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_SERVE_DEADLINE_H_

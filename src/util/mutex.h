@@ -37,6 +37,7 @@
 #ifndef DEEPJOIN_UTIL_MUTEX_H_
 #define DEEPJOIN_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -212,10 +213,31 @@ class CondVar {
     lock_rank::OnAcquire(&mu, mu.name_, mu.rank_, loc.file_name(),
                          loc.line());
   }
+
+  /// Like Wait but gives up after `timeout`. Returns false on timeout,
+  /// true when notified (or spuriously woken) before it. Either way `mu`
+  /// is reacquired before returning. The serving layer's blocking waits
+  /// are all time-bounded through this overload (see dj_lint rule
+  /// `untimed-wait-in-serve`).
+  bool WaitFor(Mutex& mu, std::chrono::nanoseconds timeout,
+               std::source_location loc = std::source_location::current())
+      DJ_REQUIRES(mu) {
+    lock_rank::OnCondVarWait(&mu, loc.file_name(), loc.line());
+    const bool notified =
+        cv_.wait_for(mu.mu_, timeout) == std::cv_status::no_timeout;
+    lock_rank::OnAcquire(&mu, mu.name_, mu.rank_, loc.file_name(),
+                         loc.line());
+    return notified;
+  }
 #else
   /// Atomically releases `mu`, sleeps until notified, reacquires `mu`.
   /// Spurious wakeups happen; always re-check the condition in a loop.
   void Wait(Mutex& mu) DJ_REQUIRES(mu) { cv_.wait(mu.mu_); }
+
+  /// Like Wait but gives up after `timeout`; false on timeout.
+  bool WaitFor(Mutex& mu, std::chrono::nanoseconds timeout) DJ_REQUIRES(mu) {
+    return cv_.wait_for(mu.mu_, timeout) == std::cv_status::no_timeout;
+  }
 #endif
 
   void NotifyOne() { cv_.notify_one(); }

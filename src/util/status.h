@@ -21,6 +21,8 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kDataLoss,  ///< on-disk artifact is corrupt/truncated (unrecoverable read)
+  kResourceExhausted,  ///< admission control: queue/capacity limit hit
+  kDeadlineExceeded,   ///< request deadline expired before completion
 };
 
 /// Error-or-success carrier. Cheap to copy when OK (no message allocated).
@@ -56,6 +58,12 @@ class [[nodiscard]] Status {
   static Status DataLoss(std::string m) {
     return Status(StatusCode::kDataLoss, std::move(m));
   }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
@@ -81,6 +89,8 @@ class [[nodiscard]] Status {
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kIoError: return "IoError";
       case StatusCode::kDataLoss: return "DataLoss";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
   }

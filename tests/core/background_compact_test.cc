@@ -1,0 +1,131 @@
+// Background compaction (SearcherConfig::compaction_pool): the
+// auto-compaction trigger hands the work to a worker thread instead of
+// running it inside the remove, so the mutator returns while the
+// compaction takes the writer token off-thread. TSan-labeled, and the
+// test names carry the Churn prefix so the churn leg of tools/check.sh
+// re-selects them alongside the other live-mutability suites.
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/searcher.h"
+#include "lake/generator.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace deepjoin {
+namespace core {
+namespace {
+
+class ChurnBackgroundCompactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake::LakeGenerator gen(lake::LakeConfig::Webtable(909));
+    repo_ = gen.GenerateRepository(80);
+    queries_ = gen.GenerateQueries(4);
+    FastTextConfig fc;
+    fc.dim = 8;
+    embedder_ = std::make_unique<FastTextEmbedder>(fc);
+    encoder_ = std::make_unique<FastTextColumnEncoder>(embedder_.get(),
+                                                       TransformConfig{});
+  }
+
+  u64 Compactions() {
+    return metrics::MetricsRegistry::Global()
+        .GetCounter("dj_index_compactions")
+        ->value();
+  }
+
+  lake::Repository repo_;
+  std::vector<lake::Column> queries_;
+  std::unique_ptr<FastTextEmbedder> embedder_;
+  std::unique_ptr<FastTextColumnEncoder> encoder_;
+};
+
+TEST_F(ChurnBackgroundCompactTest, RemoveTriggersCompactionOffThread) {
+  SearcherConfig cfg;
+  cfg.compact_min_dead = 8;
+  cfg.compact_dead_fraction = 0.05;
+  ThreadPool pool(1);
+  cfg.compaction_pool = &pool;
+  // NB: the searcher outlives any queued compaction because the test
+  // drains the pool (pool.Wait()) after the last mutation — nothing
+  // re-arms the trigger afterwards.
+  EmbeddingSearcher with_pool(encoder_.get(), cfg);
+  ASSERT_TRUE(with_pool.BuildIndex(repo_).ok());
+
+  const u64 before = Compactions();
+  // Cross the dead threshold: the trigger fires on a worker, not inline.
+  for (u32 id = 0; id < 20; ++id) {
+    ASSERT_TRUE(with_pool.RemoveColumn(id).ok());
+  }
+  pool.Wait();
+  EXPECT_GT(Compactions(), before);
+  // Post-compaction correctness: removed columns stay gone at full depth.
+  for (const auto& q : queries_) {
+    const auto ids =
+        with_pool.Search(q, {.k = 30, .collect_stats = false}).ids;
+    for (const u32 id : ids) EXPECT_GE(id, 20u) << "removed id resurfaced";
+  }
+}
+
+TEST_F(ChurnBackgroundCompactTest, ChurnRacesBackgroundCompactionAndReaders) {
+  SearcherConfig cfg;
+  cfg.compact_min_dead = 6;
+  cfg.compact_dead_fraction = 0.05;
+  ThreadPool pool(1);
+  cfg.compaction_pool = &pool;
+  EmbeddingSearcher hammered(encoder_.get(), cfg);
+  ASSERT_TRUE(hammered.BuildIndex(repo_).ok());
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      size_t round = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto out = hammered.Search(
+            queries_[(round + static_cast<size_t>(t)) % queries_.size()],
+            {.k = 5, .collect_stats = false});
+        EXPECT_LE(out.ids.size(), 5u);
+        ++round;
+      }
+    });
+  }
+  // The mutator interleaves adds and removes; background compactions fire
+  // on the pool underneath both the mutator and the readers.
+  u32 next_remove = 0;
+  std::vector<u32> removed;
+  for (int it = 0; it < 180; ++it) {
+    if (it % 2 == 1) {
+      if (hammered.RemoveColumn(next_remove).ok()) {
+        removed.push_back(next_remove);
+      }
+      ++next_remove;
+    } else {
+      ASSERT_TRUE(
+          hammered.AddColumn(repo_.column(static_cast<u32>(it) % repo_.size()))
+              .ok());
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  pool.Wait();
+
+  EXPECT_GT(removed.size(), 40u);
+  for (const auto& q : queries_) {
+    const auto ids = hammered.Search(q, {.k = 20, .collect_stats = false}).ids;
+    for (const u32 id : ids) {
+      for (const u32 r : removed) {
+        EXPECT_NE(id, r) << "removed column resurfaced";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepjoin

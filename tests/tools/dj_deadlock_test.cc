@@ -123,6 +123,14 @@ TEST(DjDeadlockTest, MiscTreeFiresEveryRemainingRule) {
   EXPECT_NE(run.output.find("src/misc.cc:36: error: [wait-holding-lock]"),
             std::string::npos)
       << run.output;
+  // Timed wait on a member-access mutex (`slot_.mu`): the waited lock must
+  // resolve through the member expression — same-lock wait stays silent,
+  // waiting with a second lock held still fires.
+  EXPECT_EQ(run.output.find("src/misc.cc:63:"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/misc.cc:69: error: [wait-holding-lock]"),
+            std::string::npos)
+      << run.output;
   EXPECT_NE(run.output.find("src/misc.cc:45: error: [excludes-held]"),
             std::string::npos)
       << run.output;

@@ -181,6 +181,36 @@ TEST(DjLintTest, SleepInLibraryFiresAndSuppresses) {
       << run.output;
 }
 
+TEST(DjLintTest, UntimedWaitFiresOnlyInServe) {
+  const LintRun run = RunLint("--root " + Testdata("bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // serve/untimed_wait.cc: cv.Wait on line 7 fires; the WaitFor on line 8
+  // is bounded and must stay silent (token-boundary match, not substring);
+  // line 10 carries a suppression on line 9.
+  EXPECT_NE(
+      run.output.find(
+          "src/serve/untimed_wait.cc:7: error: [untimed-wait-in-serve]"),
+      std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("untimed_wait.cc:8:"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("untimed_wait.cc:10:"), std::string::npos)
+      << run.output;
+  // The rule is scoped to src/serve/: identical Wait( calls elsewhere in
+  // the bad tree must not carry this rule's tag.
+  EXPECT_EQ(run.output.find("concurrency.cc:8: error: [untimed-wait-in-serve]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(DjLintTest, BoundedWaitInServeStaysClean) {
+  // clean/src/serve/bounded_wait.cc uses WaitFor only; CleanTreeExitsZero
+  // covers it, but pin the file here for a sharper failure message.
+  const LintRun run = RunLint("--root " + Testdata("clean"));
+  EXPECT_EQ(run.output.find("bounded_wait.cc"), std::string::npos)
+      << run.output;
+}
+
 TEST(DjLintTest, SuppressionCommentsSilenceRules) {
   const LintRun run = RunLint("--root " + Testdata("bad"));
   // suppressed.cc holds the same violations as banned.cc, each carrying a
@@ -211,7 +241,7 @@ TEST(DjLintTest, ListRulesDocumentsEveryRule) {
                            "nondeterminism", "naked-new", "no-printf",
                            "raw-mutex", "detached-thread", "raw-file-io",
                            "simd-intrinsics", "adhoc-timing",
-                           "sleep-in-library"}) {
+                           "sleep-in-library", "untimed-wait-in-serve"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -1,0 +1,11 @@
+// Fixture for dj_lint_test: untimed waits in the serving layer — every
+// dispatcher-side block must be a WaitFor bounded by a request deadline
+// or the idle tick (rule: untimed-wait-in-serve).
+#include "util/mutex.h"
+
+void DispatcherFixture(deepjoin::CondVar& cv, deepjoin::Mutex& mu) {
+  cv.Wait(mu);
+  (void)cv.WaitFor(mu, std::chrono::milliseconds(5));
+  // dj_lint: allow(untimed-wait-in-serve)
+  cv.Wait(mu);
+}

@@ -1,0 +1,8 @@
+// Fixture for dj_lint_test: a serving-layer file whose waits are all
+// time-bounded. WaitFor( must not match the untimed-wait-in-serve token
+// scan for Wait( — the token boundary is the whole point.
+#include "util/mutex.h"
+
+void BoundedDispatcherFixture(deepjoin::CondVar& cv, deepjoin::Mutex& mu) {
+  (void)cv.WaitFor(mu, std::chrono::milliseconds(5));
+}

@@ -49,4 +49,23 @@ struct Misc {
   void MissingRequired() {
     NeedsA();  // callee requires misc.a, nothing held: must fire
   }
+
+  struct Slot {
+    Mutex mu{"misc.slot", rank::kC};
+    CondVar cv;
+  };
+  Slot slot_;
+
+  void TimedWaitOwnMemberMutex() {
+    MutexLock ls(slot_.mu);
+    // Member-access spelling: the WaitFor mutex must resolve to the held
+    // lock (not to the receiver identifier), so nothing fires here.
+    while (!done_) (void)slot_.cv.WaitFor(slot_.mu, Nanos(10));
+  }
+
+  void TimedWaitHoldingSecondLock() {
+    MutexLock la(a_);
+    MutexLock ls(slot_.mu);
+    while (!done_) (void)slot_.cv.WaitFor(slot_.mu, Nanos(10));  // must fire
+  }
 };

@@ -2,4 +2,5 @@
 namespace rank {
 inline constexpr int kA = 100;  // misc.a
 inline constexpr int kB = 200;  // misc.b
+inline constexpr int kC = 300;  // misc.slot
 }  // namespace rank

@@ -5,6 +5,7 @@
 // under the TSan profile via the `tsan` label.
 #include "util/mutex.h"
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -92,6 +93,52 @@ TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
   }
   for (auto& t : waiters) t.join();
   EXPECT_EQ(woken, kWaiters);
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool notified = cv.WaitFor(mu, std::chrono::milliseconds(20));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(notified);
+  EXPECT_GE(waited, std::chrono::milliseconds(15));
+}
+
+TEST(CondVarTest, WaitForReturnsTrueOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool entered = false;  // consumer holds mu from here until WaitFor releases
+  bool ready = false;
+  bool notified = false;
+
+  std::thread consumer([&] {
+    MutexLock lock(mu);
+    entered = true;
+    while (!ready) {
+      // A generous bound: the notify must arrive long before it, so a
+      // timeout return here is a real failure.
+      notified = cv.WaitFor(mu, std::chrono::seconds(30));
+      if (!notified) break;
+    }
+  });
+  // Observing entered==true under mu proves the consumer is inside WaitFor
+  // (it set the flag with mu held and only releases mu by waiting), so the
+  // notify below cannot be lost to a not-yet-waiting consumer.
+  for (;;) {
+    {
+      MutexLock lock(mu);
+      if (entered) {
+        ready = true;
+        cv.NotifyOne();
+        break;
+      }
+    }
+    std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_TRUE(notified);
 }
 
 }  // namespace

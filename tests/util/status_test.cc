@@ -27,6 +27,17 @@ TEST(StatusTest, AllFactoriesProduceTheirCode) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, ServingCodesRenderTheirNames) {
+  EXPECT_EQ(Status::ResourceExhausted("queue full").ToString(),
+            "ResourceExhausted: queue full");
+  EXPECT_EQ(Status::DeadlineExceeded("too late").ToString(),
+            "DeadlineExceeded: too late");
 }
 
 TEST(ResultTest, HoldsValue) {

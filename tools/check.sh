@@ -27,6 +27,11 @@
 #                             the zero-allocation steady-state search proof,
 #                             dj_alloc fixtures + tree scan) and a guarded
 #                             dj_stats smoke checking the tallies export
+#   4d. serve leg           + the serving-layer suites re-run by name: the
+#                             open-loop serve stress (clients racing the
+#                             dispatcher and a live mutator) under TSan,
+#                             and the deadline short-circuit / backpressure
+#                             suites under ASan+UBSan
 #   5. kernel tiers         + kernels_test run twice (native dispatch and
 #                             DJ_FORCE_SCALAR_KERNELS=1) in the plain AND
 #                             ASan+UBSan trees, then encoder_probe dumps
@@ -158,6 +163,17 @@ print('dj_lockgraph: %d nodes, %d edges' % (len(d['nodes']), len(d['edges'])))"
 assert g['dj_alloc_count'] > 0 and g['dj_alloc_bytes'] > 0, g; \
 print('dj_stats: dj_alloc_count=%d dj_alloc_bytes=%d' \
 % (g['dj_alloc_count'], g['dj_alloc_bytes']))"
+
+  # Serving layer (DESIGN.md §13). Like the churn leg: the tsan/asan
+  # profiles already run these inside their label/full-suite runs; this
+  # re-selects them by test-name regex so a serving regression fails as
+  # its own "[serve]" line.
+  echo "=== [serve] TSan serve stress + batcher races ==="
+  (cd "$ROOT/build-tsan" && ctest --output-on-failure --no-tests=error \
+    -j "$JOBS" -R "Serve")
+  echo "=== [serve] ASan+UBSan deadline short-circuit + backpressure + shared scan ==="
+  (cd "$ROOT/build-asan" && ctest --output-on-failure --no-tests=error \
+    -j "$JOBS" -R "ServeDeadline|ServeBackpressure|ServeBatcher|FlatSharedScan")
 
   # Optional clang-tidy leg over the checked-in .clang-tidy profile; the
   # plain build exported compile_commands.json.

@@ -506,6 +506,28 @@ class Analyzer {
       if (close != nullptr) *close = j;
       return last;
     };
+    auto resolve_args_first_ident = [&](size_t open,
+                                        size_t* close) -> std::string {
+      // Last identifier of the FIRST top-level argument in the balanced
+      // parens starting at `open` (the mutex argument of
+      // CondVar::WaitFor(mu, timeout)): member-access mutexes like
+      // `waiter.mu` resolve to `mu`, and the timeout expression's
+      // identifiers are never mistaken for the mutex.
+      int depth = 1;
+      size_t j = open + 1;
+      bool in_first_arg = true;
+      std::string ident;
+      while (j < toks.size() && depth > 0) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")") --depth;
+        if (depth == 0) break;
+        if (depth == 1 && toks[j].text == ",") in_first_arg = false;
+        if (in_first_arg && toks[j].kind == Tok::kIdent) ident = toks[j].text;
+        ++j;
+      }
+      if (close != nullptr) *close = j;
+      return ident;
+    };
     auto held_with_requires = [&]() {
       std::vector<std::string> out = held;
       const std::string fn = current_func();
@@ -687,9 +709,14 @@ class Analyzer {
             continue;
           }
         }
-        if (method == "Wait") {
+        if (method == "Wait" || method == "WaitFor") {
           size_t close = 0;
-          const std::string arg = resolve_args_last_ident(i + 1, &close);
+          // Wait(mu) carries the mutex as its only argument; the timed
+          // WaitFor(mu, timeout) carries it first (the timeout expression's
+          // identifiers must not be mistaken for the mutex).
+          const std::string arg =
+              method == "WaitFor" ? resolve_args_first_ident(i + 1, &close)
+                                  : resolve_args_last_ident(i + 1, &close);
           if (!arg.empty()) {
             // CondVar::Wait(mu): exempt from call edges, but waiting while
             // any OTHER lock is statically held is the canonical condvar

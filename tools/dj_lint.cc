@@ -150,6 +150,17 @@ class Linter {
     if (is_header && is_library && !is_util) {
       CheckAdhocTiming(path, text);
     }
+    // Serving-path waits must be time-bounded: an untimed CondVar::Wait (or
+    // ThreadPool::Wait) in src/serve/ can outlast every request deadline,
+    // so the layer's contract is that all blocking uses WaitFor (or a
+    // deadline re-check loop). Token matching gives WaitFor( a pass: the
+    // word boundary between `Wait` and `(` fails on the trailing `For`.
+    if (rel.rfind("src/serve/", 0) == 0) {
+      CheckRule(path, text, "untimed-wait-in-serve", {"Wait("},
+                "untimed wait in the serving layer; use CondVar::WaitFor "
+                "with a bound derived from the request deadline or the "
+                "batcher's idle tick");
+    }
     // The kernel layer is the one sanctioned home for vector intrinsics.
     if (rel.rfind("src/util/kernels", 0) != 0) {
       CheckSubstringRule(
@@ -355,6 +366,9 @@ void ListRules() {
          "fields in src/** headers outside src/util/\n"
       << "sleep-in-library no std::this_thread::sleep_for/sleep_until in "
          "library code (src/**)\n"
+      << "untimed-wait-in-serve\n"
+         "                 no untimed CondVar::Wait/ThreadPool::Wait in "
+         "src/serve/ (use WaitFor with a deadline-derived bound)\n"
       << "suppress with    // dj_lint: allow(<rule>)\n";
 }
 
