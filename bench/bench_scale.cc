@@ -1,0 +1,290 @@
+// bench_scale: the beyond-RAM matrix of DESIGN.md §14 — {float32, SQ8} x
+// {owned, mapped} over one flat-backend corpus, measured end to end
+// through the unified ann::SaveIndexFile / ann::OpenIndex API.
+//
+// For every matrix point it records:
+//   open_ms            wall time of OpenIndex (mapped opens must be O(1)
+//                      in the index size — compare against owned)
+//   store_memory_bytes heap bytes of the primary row store (mapped
+//                      payloads count 0: they live in the page cache)
+//   search_ms_per_query  mean exact-scan latency at k
+//   recall_at_k        against the float in-memory ground truth
+// plus a refine_factor sweep over the SQ8+refine artifact, which is the
+// recall-vs-memory trade the README table quotes.
+//
+// The headline acceptance numbers land in the derived block:
+//   sq8_memory_reduction >= 3.5   (owned float bytes / owned SQ8 bytes)
+//   mapped open_ms flat across a corpus hundreds of MB large
+//
+// Usage: bench_scale [--rows=500000] [--dim=256] [--queries=32] [--k=10]
+//                    [--dir=/tmp] [--out=BENCH_scale.json]
+// Emits JSON to --out (stdout when unset). Runs in minutes at the default
+// 500K x 256 scale; shrink --rows for a smoke run.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ann/index_io.h"
+#include "ann/vector_index.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace deepjoin {
+namespace {
+
+struct MatrixPoint {
+  std::string storage;
+  std::string map;
+  bool refine_payload = false;
+  double open_ms = 0.0;
+  u64 store_memory_bytes = 0;
+  u64 refine_memory_bytes = 0;
+  double search_ms_per_query = 0.0;
+  double recall = 0.0;
+};
+
+std::vector<float> RandomRows(u64 n, int dim, u64 seed) {
+  Rng rng(seed);
+  std::vector<float> rows(n * static_cast<u64>(dim));
+  for (float& v : rows) {
+    v = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+  }
+  return rows;
+}
+
+double Recall(const std::vector<std::vector<ann::Neighbor>>& truth,
+              const std::vector<std::vector<ann::Neighbor>>& got) {
+  size_t agree = 0, total = 0;
+  for (size_t q = 0; q < truth.size(); ++q) {
+    for (const ann::Neighbor& w : truth[q]) {
+      ++total;
+      for (const ann::Neighbor& g : got[q]) {
+        if (g.id == w.id) {
+          ++agree;
+          break;
+        }
+      }
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(agree) / static_cast<double>(total);
+}
+
+std::vector<std::vector<ann::Neighbor>> SearchAll(
+    const ann::VectorIndex& index, const std::vector<float>& queries,
+    size_t nq, int dim, size_t k, int refine_factor, double* ms_per_query) {
+  ann::AnnSearchParams params;
+  params.refine_factor = refine_factor;
+  std::vector<std::vector<ann::Neighbor>> out(nq);
+  WallTimer timer;
+  for (size_t q = 0; q < nq; ++q) {
+    index.SearchInto(queries.data() + q * static_cast<size_t>(dim), k, params,
+                     &out[q]);
+  }
+  *ms_per_query = timer.ElapsedMillis() / static_cast<double>(nq);
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  if (!flags.Parse(argc, argv)) return 2;
+  const u64 rows_n = static_cast<u64>(flags.GetInt("rows", 500000));
+  const int dim = static_cast<int>(flags.GetInt("dim", 256));
+  const size_t nq = static_cast<size_t>(flags.GetInt("queries", 32));
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  const std::string dir = flags.GetString("dir", "/tmp");
+  const std::string out_path = flags.GetString("out", "");
+  const int refine_sweep[] = {0, 2, 4, 8};
+
+  std::fprintf(stderr, "bench_scale: %llu rows x %d dims, %zu queries, k=%zu\n",
+               static_cast<unsigned long long>(rows_n), dim, nq, k);
+
+  const std::vector<float> rows = RandomRows(rows_n, dim, 42);
+  const std::vector<float> queries =
+      RandomRows(static_cast<u64>(nq), dim, 1337);
+
+  ann::FlatIndex original(dim);
+  original.AddBatch(rows.data(), rows_n);
+  double truth_ms = 0.0;
+  const auto truth =
+      SearchAll(original, queries, nq, dim, k, 0, &truth_ms);
+  std::fprintf(stderr, "bench_scale: ground truth %.2f ms/query\n", truth_ms);
+
+  struct Artifact {
+    std::string path;
+    std::string storage;
+    bool refine_payload;
+  };
+  const std::vector<Artifact> artifacts = {
+      {dir + "/bench_scale_float.djix", "float", false},
+      {dir + "/bench_scale_sq8.djix", "sq8", false},
+      {dir + "/bench_scale_sq8_refine.djix", "sq8+refine", true},
+  };
+  for (const Artifact& a : artifacts) {
+    ann::SaveOptions save;
+    if (a.storage != "float") {
+      save.storage = ann::StorageKind::kSq8;
+      save.keep_float_refine = a.refine_payload;
+    }
+    WallTimer timer;
+    const Status st = ann::SaveIndexFile(original, a.path, save);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench_scale: save %s: %s\n", a.path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "bench_scale: saved %s in %.0f ms\n",
+                 a.storage.c_str(), timer.ElapsedMillis());
+  }
+
+  std::vector<MatrixPoint> points;
+  std::vector<MatrixPoint> refine_points;
+  for (const Artifact& a : artifacts) {
+    for (const ann::MapMode map :
+         {ann::MapMode::kOwned, ann::MapMode::kMapped}) {
+      ann::OpenOptions open;
+      open.map = map;
+      WallTimer open_timer;
+      auto loaded = ann::OpenIndex(a.path, open);
+      const double open_ms = open_timer.ElapsedMillis();
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "bench_scale: open %s: %s\n", a.path.c_str(),
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      const std::unique_ptr<ann::VectorIndex> index =
+          std::move(loaded).value();
+      const ann::FlatIndex* flat = index->AsFlat();
+      MatrixPoint p;
+      p.storage = a.storage;
+      p.map = map == ann::MapMode::kOwned ? "owned" : "mapped";
+      p.refine_payload = a.refine_payload;
+      p.open_ms = open_ms;
+      p.store_memory_bytes = flat->store().memory_bytes();
+      p.refine_memory_bytes = flat->refine_store() != nullptr
+                                  ? flat->refine_store()->memory_bytes()
+                                  : 0;
+      p.recall = Recall(truth, SearchAll(*index, queries, nq, dim, k, 0,
+                                         &p.search_ms_per_query));
+      std::fprintf(stderr,
+                   "bench_scale: %-10s %-6s open %8.2f ms  mem %10llu B  "
+                   "%7.2f ms/q  recall %.3f\n",
+                   p.storage.c_str(), p.map.c_str(), p.open_ms,
+                   static_cast<unsigned long long>(p.store_memory_bytes),
+                   p.search_ms_per_query, p.recall);
+      points.push_back(p);
+
+      // The recall-vs-memory knob: rerank a growing quantized candidate
+      // pool with the exact float payload (mapped artifact only — the
+      // serving configuration).
+      if (a.refine_payload && map == ann::MapMode::kMapped) {
+        for (const int r : refine_sweep) {
+          MatrixPoint rp = p;
+          rp.recall = Recall(truth,
+                             SearchAll(*index, queries, nq, dim, k, r,
+                                       &rp.search_ms_per_query));
+          rp.map = "mapped/refine=" + std::to_string(r);
+          std::fprintf(stderr,
+                       "bench_scale: %-10s refine=%d  %7.2f ms/q  "
+                       "recall %.3f\n",
+                       p.storage.c_str(), r, rp.search_ms_per_query,
+                       rp.recall);
+          refine_points.push_back(rp);
+        }
+      }
+    }
+    std::remove(a.path.c_str());
+  }
+
+  // ---- derived acceptance figures ----
+  double float_owned_mem = 0, sq8_owned_mem = 0;
+  double float_owned_open = 0, float_mapped_open = 0;
+  double mapped_open_max = 0;
+  for (const MatrixPoint& p : points) {
+    if (p.storage == "float" && p.map == "owned") {
+      float_owned_mem = static_cast<double>(p.store_memory_bytes);
+      float_owned_open = p.open_ms;
+    }
+    if (p.storage == "sq8" && p.map == "owned") {
+      sq8_owned_mem = static_cast<double>(p.store_memory_bytes);
+    }
+    if (p.storage == "float" && p.map == "mapped") {
+      float_mapped_open = p.open_ms;
+    }
+    if (p.map == "mapped" && p.open_ms > mapped_open_max) {
+      mapped_open_max = p.open_ms;
+    }
+  }
+  const double reduction =
+      sq8_owned_mem > 0 ? float_owned_mem / sq8_owned_mem : 0.0;
+  const double open_speedup =
+      float_mapped_open > 0 ? float_owned_open / float_mapped_open : 0.0;
+
+  std::string json = "{\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"rows\": %llu,\n  \"dim\": %d,\n  \"queries\": %zu,\n"
+                "  \"k\": %zu,\n",
+                static_cast<unsigned long long>(rows_n), dim, nq, k);
+  json += buf;
+  json += "  \"matrix\": [\n";
+  const auto emit = [&](const MatrixPoint& p, bool last) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"storage\": \"%s\", \"map\": \"%s\", \"open_ms\": %.3f, "
+        "\"store_memory_bytes\": %llu, \"refine_memory_bytes\": %llu, "
+        "\"search_ms_per_query\": %.3f, \"recall_at_k\": %.4f}%s\n",
+        p.storage.c_str(), p.map.c_str(), p.open_ms,
+        static_cast<unsigned long long>(p.store_memory_bytes),
+        static_cast<unsigned long long>(p.refine_memory_bytes),
+        p.search_ms_per_query, p.recall, last ? "" : ",");
+    json += buf;
+  };
+  for (size_t i = 0; i < points.size(); ++i) {
+    emit(points[i], false);
+  }
+  for (size_t i = 0; i < refine_points.size(); ++i) {
+    emit(refine_points[i], i + 1 == refine_points.size());
+  }
+  json += "  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"derived\": {\n"
+                "    \"sq8_memory_reduction\": %.2f,\n"
+                "    \"float_owned_open_ms\": %.2f,\n"
+                "    \"float_mapped_open_ms\": %.2f,\n"
+                "    \"mapped_open_speedup\": %.1f,\n"
+                "    \"mapped_open_ms_max\": %.2f\n"
+                "  }\n}\n",
+                reduction, float_owned_open, float_mapped_open, open_speedup,
+                mapped_open_max);
+  json += buf;
+
+  if (out_path.empty()) {
+    std::printf("%s", json.c_str());
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_scale: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "bench_scale: wrote %s\n", out_path.c_str());
+  }
+  if (reduction < 3.5) {
+    std::fprintf(stderr,
+                 "bench_scale: FAIL sq8_memory_reduction %.2f < 3.5\n",
+                 reduction);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepjoin
+
+int main(int argc, char** argv) { return deepjoin::Run(argc, argv); }

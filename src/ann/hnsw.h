@@ -13,6 +13,17 @@
 // the node keeps routing traffic, but a filtered layer-0 search drops it
 // from results; `CompactedCopy` rebuilds a dead-heavy graph off to the
 // side.
+//
+// Dual storage modes (DESIGN.md §14): an index is either *live* (the
+// mutable chunked-node structure above) or *store-backed read-only* —
+// opened from a DJIX file with a packed flat graph and a VectorStore for
+// the rows (float or SQ8, owned or mapped). OpenIndex materialises the
+// live mode for {kOwned, kFloat} opens (legacy add-after-load semantics);
+// every other combination gets the read-only mode, where Insert/Add fail
+// (FailedPrecondition / DJ_CHECK) but Remove still tombstones. Packed
+// graph reads are clamped everywhere (counts to the degree caps, walks to
+// the section bounds, neighbour ids to the pinned count), so a corrupted
+// mapped graph yields wrong-but-defined results, never UB.
 #ifndef DEEPJOIN_ANN_HNSW_H_
 #define DEEPJOIN_ANN_HNSW_H_
 
@@ -130,17 +141,41 @@ class HnswIndex : public VectorIndex {
   }
   u32 capacity() const { return config_.max_elements; }
 
-  /// Persists the full graph + vectors (+ tombstones, format v2). The
-  /// offline index build of §3.3 is the expensive step; serving processes
-  /// load instead of rebuilding. Concurrent searches are safe during a
-  /// save (links are snapshotted under their stripe locks); concurrent
-  /// mutation is not — the caller serializes on its writer lock.
-  /// Errors stick to the writer; Load never aborts — wrong magic, wrong
-  /// version, truncation, or any inconsistency in the decoded graph
-  /// (dangling ids, bad entry point, level mismatches) returns DataLoss.
-  /// Loads both v2 and the pre-tombstone v1 format.
-  void Save(BinaryWriter& writer) const;
-  static Result<HnswIndex> Load(BinaryReader& reader);
+  /// Persists graph + rows as a DJIX payload (the offline index build of
+  /// §3.3 is the expensive step; serving processes load instead of
+  /// rebuilding). options.storage converts the row representation
+  /// (float -> SQ8 trains quantization; SQ8 -> float needs a float
+  /// refinement store); the graph is written as one page-aligned section
+  /// so a later open can map it zero-copy. Concurrent searches are safe
+  /// during a live-mode save (links are snapshotted under their stripe
+  /// locks); concurrent mutation is not — the caller serializes on its
+  /// writer lock.
+  [[nodiscard]] Status Save(BinaryWriter& writer,
+                            const SaveOptions& options) const override;
+
+  /// Loads the payload Save wrote, after index_io consumed the DJIX
+  /// magic/version/kind header. Never aborts: truncation or any
+  /// inconsistency in the decoded graph returns DataLoss.
+  static Result<std::unique_ptr<HnswIndex>> LoadPayload(
+      BinaryReader& reader, const OpenOptions& options);
+
+  /// Emits the pre-DJIX standalone format ("HNSW" magic, v2). Retained so
+  /// tests can generate backward-compat fixtures; new code saves through
+  /// the virtual Save. OpenIndex still reads files in this format.
+  void SaveLegacy(BinaryWriter& writer) const;
+
+  /// Decodes the legacy format after its magic word was consumed (the
+  /// index_io fallback path). Produces a live (mutable, owned-float)
+  /// index — the only mode the legacy format supports.
+  static Result<HnswIndex> LoadLegacyAfterMagic(BinaryReader& reader);
+
+  /// True for a store-backed index opened read-only (mapped and/or SQ8):
+  /// Insert/Add are unavailable; Remove still works.
+  bool read_only() const { return store_ != nullptr; }
+  /// The row store behind a read-only index (nullptr in live mode).
+  const VectorStore* store() const { return store_.get(); }
+  /// True once any lazily-validated mapped page failed its CRC.
+  bool tainted() const;
 
  private:
   // Chunked node storage: fixed-size chunks whose outer pointer arrays are
@@ -182,8 +217,18 @@ class HnswIndex : public VectorIndex {
     return node_chunks_[id >> kChunkShift].get()[id & kChunkMask];
   }
   float Dist(const float* q, u32 id) const {
-    return SquaredL2Distance(q, VectorAt(id), config_.dim);
+    return store_ != nullptr
+               ? store_->Distance(q, id)
+               : SquaredL2Distance(q, VectorAt(id), config_.dim);
   }
+  bool DeletedAt(u32 id) const {
+    return store_ != nullptr
+               ? ro_deleted_[id].load(std::memory_order_acquire) != 0
+               : NodeAt(id).deleted.load(std::memory_order_acquire);
+  }
+  /// Node's top level: live Node metadata, or the packed levels word
+  /// (clamped — a corrupt mapped word must not drive a huge walk).
+  i32 NodeLevelOf(u32 id) const;
 
   // Entry point published as one atomic word: ((level + 1) << 32) | id,
   // 0 = empty index. Readers load it BEFORE the count, so the pinned
@@ -261,6 +306,27 @@ class HnswIndex : public VectorIndex {
   Status InsertWithLevelLocked(const float* vec, i32 level, u32* id_out)
       DJ_REQUIRES(sync_->update_mu);
 
+  /// Serializes the graph into the packed flat layout (levels | level0 |
+  /// upper_off | upper, all u32) from either mode; live-mode lists are
+  /// snapshotted under their stripe locks and clamped to the degree caps.
+  void PackGraph(std::vector<u32>* words, u64* upper_len) const;
+
+  /// Rebinds g_* into a packed graph buffer (called at load and after
+  /// moves — a small owned buffer may live in the string's SSO storage,
+  /// which moves).
+  void SetGraphPointers(const void* base, u64 n, u64 upper_len);
+  /// Lazy-validates the graph pages backing `nwords` words at `p`.
+  void TouchGraph(const u32* p, u64 nwords) const;
+
+  /// Builds a live (mutable) index from decoded rows + packed graph — the
+  /// {kOwned, kFloat} open path and the legacy loader's shared tail.
+  static Result<HnswIndex> BuildLive(HnswConfig config, const float* rows,
+                                     u64 n, const std::vector<i32>& levels,
+                                     const std::vector<u32>& list_sizes,
+                                     const std::vector<u32>& all_ids,
+                                     u32 entry, i32 max_level,
+                                     const std::vector<u32>& deleted_ids);
+
   HnswConfig config_;
   double level_mult_;
   Rng rng_;  // level draws; guarded by sync_->update_mu after construction
@@ -278,6 +344,26 @@ class HnswIndex : public VectorIndex {
   std::atomic<u32> dead_{0};
   /// Packed entry point (see PackEntry); updated after the node is wired.
   std::atomic<u64> entry_point_{0};
+
+  // ---- Read-only store-backed mode (null/empty in live mode) ----
+  // Rows live in a VectorStore; the graph is the packed flat layout
+  //   levels[n] | level0[n*(1+2M)] | upper_off[n+1] | upper[upper_len]
+  // (all u32) backed by either an owned buffer or a mapped region. The
+  // shared_ptr keeps the mapping alive for as long as any snapshot chain
+  // (searcher snapshot -> index -> region) pins this index — RCU readers
+  // never observe an unmapped page.
+  std::unique_ptr<VectorStore> store_;
+  std::unique_ptr<VectorStore> refine_;  // exact floats for reranking
+  std::shared_ptr<MappedRegion> graph_region_;
+  std::string graph_owned_;
+  std::unique_ptr<LazyValidator> graph_check_;
+  const u32* g_levels_ = nullptr;
+  const u32* g_level0_ = nullptr;
+  const u32* g_upper_off_ = nullptr;
+  const u32* g_upper_ = nullptr;
+  u64 g_upper_len_ = 0;
+  /// Tombstones for the read-only mode (Remove works, Insert does not).
+  std::unique_ptr<std::atomic<u8>[]> ro_deleted_;
 
   // Held by pointer so HnswIndex stays movable (mutexes are not);
   // a moved-from index must not be used.

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "ann/vector_store.h"
+#include "util/binary_io.h"
 #include "util/common.h"
 #include "util/status.h"
 #include "util/top_k.h"
@@ -37,6 +39,11 @@ struct Neighbor {
 struct AnnSearchParams {
   int ef_search = 0;  ///< HNSW layer-0 beam width; ignored by other indexes
   int nprobe = 0;     ///< IVFPQ coarse cells scanned; ignored by others
+  /// Refinement reranking for quantized (SQ8) indexes: 0 = off; r > 0
+  /// over-fetches k*r candidates with quantized distances, then reranks
+  /// them with exact float distances when the index carries a float
+  /// refinement store (ignored otherwise). Per-call — no index mutation.
+  int refine_factor = 0;
 };
 
 class VectorIndex {
@@ -62,9 +69,25 @@ class VectorIndex {
   /// Number of tombstoned ids (live size == size() - deleted_count()).
   virtual size_t deleted_count() const { return 0; }
 
-  /// Bulk add of n row-major vectors.
-  void AddBatch(const float* data, size_t n) {
+  /// Bulk add of n row-major vectors. Virtual so quantizing backends can
+  /// treat the batch as a unit (an SQ8 store trains its per-dim lo/scale
+  /// on the first batch and encodes it in one block); the default loops
+  /// Add per row.
+  virtual void AddBatch(const float* data, size_t n) {
     for (size_t i = 0; i < n; ++i) Add(data + i * static_cast<size_t>(dim()));
+  }
+
+  /// Serializes this index into an already-Open()ed writer (the payload
+  /// after the kDjIndexMagic header, which SaveIndexFile in index_io.h
+  /// writes). options.storage can convert the representation at save time
+  /// (float -> SQ8 trains quantization; SQ8 -> float requires a float
+  /// refinement store). Backends without persistence keep the default.
+  [[nodiscard]] virtual Status Save(BinaryWriter& writer,
+                                    const SaveOptions& options) const {
+    (void)writer;
+    (void)options;
+    return Status::FailedPrecondition(std::string(name()) +
+                                      " does not support Save");
   }
 
   /// k nearest neighbours of `query` under (squared) L2, nearest first.
@@ -119,11 +142,21 @@ class VectorIndex {
 /// for tiny repositories.
 class FlatIndex : public VectorIndex {
  public:
-  explicit FlatIndex(int dim) : dim_(dim) { DJ_CHECK(dim > 0); }
+  /// Empty mutable index over an owned store of the given representation
+  /// (kFloat by default; kSq8 builds a quantized index directly — the
+  /// first AddBatch trains the quantizer).
+  explicit FlatIndex(int dim, StorageKind storage = StorageKind::kFloat);
+
+  /// Wraps already-loaded stores (the OpenIndex path). `refine` may be
+  /// null; `tombstones` must be store->size() long.
+  FlatIndex(std::unique_ptr<VectorStore> store,
+            std::unique_ptr<VectorStore> refine, std::vector<u8> tombstones,
+            size_t deleted);
 
   using VectorIndex::Search;
 
   void Add(const float* vec) override;
+  void AddBatch(const float* data, size_t n) override;
   [[nodiscard]] Status Remove(u32 id) override {
     if (id >= tombstones_.size()) {
       return Status::NotFound("flat Remove: id " + std::to_string(id) +
@@ -149,15 +182,29 @@ class FlatIndex : public VectorIndex {
   void SearchBatchInto(const float* queries, size_t nq, size_t k,
                        const AnnSearchParams& params,
                        std::vector<Neighbor>* outs) const override;
-  size_t size() const override {
-    return data_.size() / static_cast<size_t>(dim_);
-  }
-  int dim() const override { return dim_; }
+  size_t size() const override { return store_->size(); }
+  int dim() const override { return store_->dim(); }
   const char* name() const override { return "flat"; }
   const FlatIndex* AsFlat() const override { return this; }
 
+  /// The row storage being searched (float or SQ8, owned or mapped).
+  const VectorStore& store() const { return *store_; }
+  /// Exact float rows for refine_factor reranking, or nullptr.
+  const VectorStore* refine_store() const { return refine_.get(); }
+
+  [[nodiscard]] Status Save(BinaryWriter& writer,
+                            const SaveOptions& options) const override;
+  /// Loads the payload that Save wrote, after index_io has consumed the
+  /// DJIX magic/version/kind header.
+  static Result<std::unique_ptr<FlatIndex>> LoadPayload(
+      BinaryReader& reader, const OpenOptions& options);
+
+  /// Raw float row access; only valid for float-representation stores
+  /// (DJ_CHECKs that the store exposes raw floats).
   const float* vector(u32 id) const {
-    return &data_[static_cast<size_t>(id) * dim_];
+    const float* base = store_->float_base();
+    DJ_CHECK(base != nullptr);
+    return base + static_cast<size_t>(id) * static_cast<size_t>(dim());
   }
 
   /// Cooperative shared scan (DESIGN.md §13): the corpus is scored one
@@ -223,15 +270,20 @@ class FlatIndex : public VectorIndex {
   };
 
  private:
-  int dim_;
-  std::vector<float> data_;
-  std::vector<float> norms_;    // ||row||^2 cache for the batched scorer
-  std::vector<u8> tombstones_;  // 1 = removed from results
+  std::unique_ptr<VectorStore> store_;   // searched representation
+  std::unique_ptr<VectorStore> refine_;  // exact floats for reranking
+  std::vector<u8> tombstones_;           // 1 = removed from results
   size_t deleted_ = 0;
 };
 
 /// Squared Euclidean distance (the common metric of all indexes).
 float SquaredL2Distance(const float* a, const float* b, int dim);
+
+/// Reranks the candidates in `*out` (quantized distances) with exact
+/// distances from `exact`, keeping the k nearest. The refine_factor
+/// post-pass shared by flat and HNSW search.
+void RefineResults(const VectorStore& exact, const float* query, size_t k,
+                   std::vector<Neighbor>* out);
 
 }  // namespace ann
 }  // namespace deepjoin

@@ -1,0 +1,496 @@
+#include "ann/vector_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/kernels.h"
+
+namespace deepjoin {
+namespace ann {
+
+namespace {
+
+// Sanity ceiling for on-disk dims; anything larger is corruption, not a
+// real embedding width.
+constexpr i32 kMaxStoreDim = 1 << 20;
+
+Status CheckedPayloadBytes(u64 n, int dim, u64 elem_bytes, u64* out) {
+  const u64 per_row = static_cast<u64>(dim) * elem_bytes;
+  if (per_row != 0 && n > ~u64{0} / per_row) {
+    return Status::DataLoss("vector store row count overflows");
+  }
+  *out = n * per_row;
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---- LazyValidator ----
+
+LazyValidator::LazyValidator(const u8* base, SectionInfo info, bool eager)
+    : base_(base), info_(std::move(info)) {
+  const u64 npages = info_.page_crcs.size();
+  words_ = (npages + 63) / 64;
+  if (words_ > 0) {
+    seen_ = std::make_unique<std::atomic<u64>[]>(words_);
+    for (u64 w = 0; w < words_; ++w) {
+      seen_[w].store(eager ? ~u64{0} : 0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void LazyValidator::ValidatePage(u64 page) const {
+  const u64 off = page * kSectionPageSize;
+  const u64 len = std::min<u64>(kSectionPageSize, info_.length - off);
+  if (Crc32c(base_ + off, len) != info_.page_crcs[page]) {
+    tainted_.store(true, std::memory_order_release);
+  }
+  seen_[page >> 6].fetch_or(u64{1} << (page & 63), std::memory_order_acq_rel);
+}
+
+void LazyValidator::Touch(u64 off, u64 n) const {
+  if (n == 0 || info_.length == 0) return;
+  const u64 end = std::min<u64>(off + n, info_.length);
+  if (off >= end) return;
+  const u64 p0 = off / kSectionPageSize;
+  const u64 p1 = (end - 1) / kSectionPageSize;
+  for (u64 p = p0; p <= p1; ++p) {
+    if ((seen_[p >> 6].load(std::memory_order_acquire) &
+         (u64{1} << (p & 63))) != 0) {
+      continue;
+    }
+    ValidatePage(p);
+  }
+}
+
+Status LazyValidator::VerifyAll() const {
+  for (u64 p = 0; p < info_.page_crcs.size(); ++p) {
+    if ((seen_[p >> 6].load(std::memory_order_acquire) &
+         (u64{1} << (p & 63))) == 0) {
+      ValidatePage(p);
+    }
+  }
+  // Re-check every page unconditionally: eager-marked pages were verified
+  // at open, but a previously-lazy page that failed set the sticky flag.
+  for (u64 p = 0; p < info_.page_crcs.size(); ++p) {
+    const u64 off = p * kSectionPageSize;
+    const u64 len = std::min<u64>(kSectionPageSize, info_.length - off);
+    if (Crc32c(base_ + off, len) != info_.page_crcs[p]) {
+      tainted_.store(true, std::memory_order_release);
+    }
+  }
+  if (tainted()) {
+    return Status::DataLoss("mapped section failed page validation");
+  }
+  return Status::OK();
+}
+
+// ---- FloatStore ----
+
+FloatStore::FloatStore(int dim) : dim_(dim) { DJ_CHECK(dim > 0); }
+
+u64 FloatStore::memory_bytes() const {
+  if (!read_only_) {
+    return data_.capacity() * sizeof(float) +
+           norms_vec_.capacity() * sizeof(float);
+  }
+  return rows_bytes_.size() + norms_bytes_.size();
+}
+
+float FloatStore::Distance(const float* query, u32 id) const {
+  if (rows_check_ != nullptr) {
+    rows_check_->Touch(static_cast<u64>(id) * dim_ * sizeof(float),
+                       static_cast<u64>(dim_) * sizeof(float));
+  }
+  return kern::SquaredL2(query, float_base() + static_cast<u64>(id) * dim_,
+                         dim_);
+}
+
+void FloatStore::Reconstruct(u32 id, float* out) const {
+  if (rows_check_ != nullptr) {
+    rows_check_->Touch(static_cast<u64>(id) * dim_ * sizeof(float),
+                       static_cast<u64>(dim_) * sizeof(float));
+  }
+  std::memcpy(out, float_base() + static_cast<u64>(id) * dim_,
+              static_cast<size_t>(dim_) * sizeof(float));
+}
+
+Status FloatStore::AppendRow(const float* vec) {
+  if (read_only_) {
+    return Status::FailedPrecondition(
+        "float store is read-only (loaded from a file section)");
+  }
+  data_.insert(data_.end(), vec, vec + dim_);
+  norms_vec_.push_back(kern::Dot(vec, vec, dim_));
+  ++n_;
+  return Status::OK();
+}
+
+void FloatStore::TouchRows(u64 first, u64 nrows) const {
+  if (rows_check_ != nullptr) {
+    rows_check_->Touch(first * dim_ * sizeof(float),
+                       nrows * dim_ * sizeof(float));
+  }
+  if (norms_check_ != nullptr) {
+    norms_check_->Touch(first * sizeof(float), nrows * sizeof(float));
+  }
+}
+
+bool FloatStore::tainted() const {
+  return (rows_check_ != nullptr && rows_check_->tainted()) ||
+         (norms_check_ != nullptr && norms_check_->tainted());
+}
+
+Status FloatStore::VerifyAll() const {
+  if (rows_check_ != nullptr) DJ_RETURN_IF_ERROR(rows_check_->VerifyAll());
+  if (norms_check_ != nullptr) DJ_RETURN_IF_ERROR(norms_check_->VerifyAll());
+  return Status::OK();
+}
+
+Status FloatStore::Save(BinaryWriter& writer) const {
+  writer.WriteU32(static_cast<u32>(StorageKind::kFloat));
+  writer.WriteI32(dim_);
+  writer.WriteU64(n_);
+  writer.WriteAlignedSection(float_base(), n_ * dim_ * sizeof(float));
+  writer.WriteAlignedSection(norms_base(), n_ * sizeof(float));
+  return writer.status();
+}
+
+std::unique_ptr<VectorStore> FloatStore::CloneOwned() const {
+  auto out = std::make_unique<FloatStore>(dim_);
+  const u64 elems = n_ * static_cast<u64>(dim_);
+  out->data_.assign(float_base(), float_base() + elems);
+  out->norms_vec_.assign(norms_base(), norms_base() + n_);
+  out->n_ = n_;
+  return out;
+}
+
+Status FloatStore::SaveFromRows(
+    BinaryWriter& writer, int dim, u64 n,
+    const std::function<const float*(u64)>& row_fn) {
+  DJ_CHECK(dim > 0);
+  std::vector<float> rows(n * static_cast<u64>(dim));
+  std::vector<float> norms(n);
+  for (u64 i = 0; i < n; ++i) {
+    const float* row = row_fn(i);
+    std::memcpy(rows.data() + i * dim, row,
+                static_cast<size_t>(dim) * sizeof(float));
+    norms[i] = kern::Dot(row, row, dim);
+  }
+  writer.WriteU32(static_cast<u32>(StorageKind::kFloat));
+  writer.WriteI32(dim);
+  writer.WriteU64(n);
+  writer.WriteAlignedSection(rows.data(), rows.size() * sizeof(float));
+  writer.WriteAlignedSection(norms.data(), norms.size() * sizeof(float));
+  return writer.status();
+}
+
+// ---- Sq8Store ----
+
+Sq8Store::Sq8Store(int dim) : dim_(dim) { DJ_CHECK(dim > 0); }
+
+u64 Sq8Store::memory_bytes() const {
+  const u64 params = (lo_.capacity() + scale_.capacity()) * sizeof(float);
+  if (!read_only_) return params + codes_vec_.capacity();
+  return params + codes_bytes_.size();
+}
+
+float Sq8Store::Distance(const float* query, u32 id) const {
+  if (codes_check_ != nullptr) {
+    codes_check_->Touch(static_cast<u64>(id) * dim_,
+                        static_cast<u64>(dim_));
+  }
+  return kern::SquaredL2Sq8(query, code_row(id), lo_.data(), scale_.data(),
+                            dim_);
+}
+
+void Sq8Store::Reconstruct(u32 id, float* out) const {
+  if (codes_check_ != nullptr) {
+    codes_check_->Touch(static_cast<u64>(id) * dim_,
+                        static_cast<u64>(dim_));
+  }
+  const u8* row = code_row(id);
+  for (int d = 0; d < dim_; ++d) {
+    out[d] = lo_[d] + scale_[d] * static_cast<float>(row[d]);
+  }
+}
+
+void Sq8Store::TrainOn(const float* data, u64 n) {
+  DJ_CHECK(!trained_ && n > 0);
+  lo_.assign(dim_, 0.0f);
+  scale_.assign(dim_, 0.0f);
+  std::vector<float> hi(dim_);
+  for (int d = 0; d < dim_; ++d) {
+    lo_[d] = data[d];
+    hi[d] = data[d];
+  }
+  for (u64 i = 1; i < n; ++i) {
+    const float* row = data + i * static_cast<u64>(dim_);
+    for (int d = 0; d < dim_; ++d) {
+      lo_[d] = std::min(lo_[d], row[d]);
+      hi[d] = std::max(hi[d], row[d]);
+    }
+  }
+  for (int d = 0; d < dim_; ++d) {
+    scale_[d] = (hi[d] - lo_[d]) / 255.0f;
+  }
+  trained_ = true;
+}
+
+void Sq8Store::EncodeRow(const float* vec, u8* out) const {
+  for (int d = 0; d < dim_; ++d) {
+    if (scale_[d] <= 0.0f) {
+      out[d] = 0;
+      continue;
+    }
+    const float t = std::round((vec[d] - lo_[d]) / scale_[d]);
+    out[d] = static_cast<u8>(std::clamp(t, 0.0f, 255.0f));
+  }
+}
+
+Status Sq8Store::AppendRow(const float* vec) {
+  return AppendRows(vec, 1);
+}
+
+Status Sq8Store::AppendRows(const float* data, u64 n) {
+  if (read_only_) {
+    return Status::FailedPrecondition(
+        "sq8 store is read-only (loaded from a file section)");
+  }
+  if (n == 0) return Status::OK();
+  // The first batch trains lo/scale (per-dim min/max); the parameters are
+  // then frozen and later rows clamp-encode against them. Build with one
+  // big AddBatch for representative ranges.
+  if (!trained_) TrainOn(data, n);
+  const u64 old = codes_vec_.size();
+  codes_vec_.resize(old + n * static_cast<u64>(dim_));
+  for (u64 i = 0; i < n; ++i) {
+    EncodeRow(data + i * static_cast<u64>(dim_),
+              codes_vec_.data() + old + i * static_cast<u64>(dim_));
+  }
+  n_ += n;
+  return Status::OK();
+}
+
+void Sq8Store::TouchRows(u64 first, u64 nrows) const {
+  if (codes_check_ != nullptr) {
+    codes_check_->Touch(first * static_cast<u64>(dim_),
+                        nrows * static_cast<u64>(dim_));
+  }
+}
+
+bool Sq8Store::tainted() const {
+  return codes_check_ != nullptr && codes_check_->tainted();
+}
+
+Status Sq8Store::VerifyAll() const {
+  if (codes_check_ != nullptr) return codes_check_->VerifyAll();
+  return Status::OK();
+}
+
+Status Sq8Store::Save(BinaryWriter& writer) const {
+  std::vector<float> lo = lo_, scale = scale_;
+  if (!trained_) {  // empty store: consistent zeroed parameters
+    lo.assign(dim_, 0.0f);
+    scale.assign(dim_, 0.0f);
+  }
+  writer.WriteU32(static_cast<u32>(StorageKind::kSq8));
+  writer.WriteI32(dim_);
+  writer.WriteU64(n_);
+  writer.WriteFloatArray(lo.data(), lo.size());
+  writer.WriteFloatArray(scale.data(), scale.size());
+  writer.WriteAlignedSection(codes_base(), n_ * static_cast<u64>(dim_));
+  return writer.status();
+}
+
+std::unique_ptr<VectorStore> Sq8Store::CloneOwned() const {
+  auto out = std::make_unique<Sq8Store>(dim_);
+  out->lo_ = lo_;
+  out->scale_ = scale_;
+  out->trained_ = trained_;
+  const u64 bytes = n_ * static_cast<u64>(dim_);
+  out->codes_vec_.assign(codes_base(), codes_base() + bytes);
+  out->n_ = n_;
+  return out;
+}
+
+Status Sq8Store::SaveFromRows(
+    BinaryWriter& writer, int dim, u64 n,
+    const std::function<const float*(u64)>& row_fn) {
+  DJ_CHECK(dim > 0);
+  Sq8Store store(dim);
+  if (n > 0) {
+    // Pass 1: train on min/max over all rows without materialising them.
+    std::vector<float> lo(dim), hi(dim);
+    const float* first = row_fn(0);
+    for (int d = 0; d < dim; ++d) {
+      lo[d] = first[d];
+      hi[d] = first[d];
+    }
+    for (u64 i = 1; i < n; ++i) {
+      const float* row = row_fn(i);
+      for (int d = 0; d < dim; ++d) {
+        lo[d] = std::min(lo[d], row[d]);
+        hi[d] = std::max(hi[d], row[d]);
+      }
+    }
+    store.lo_ = std::move(lo);
+    store.scale_.resize(dim);
+    for (int d = 0; d < dim; ++d) {
+      store.scale_[d] = (hi[d] - store.lo_[d]) / 255.0f;
+    }
+    store.trained_ = true;
+    // Pass 2: encode.
+    store.codes_vec_.resize(n * static_cast<u64>(dim));
+    for (u64 i = 0; i < n; ++i) {
+      store.EncodeRow(row_fn(i),
+                      store.codes_vec_.data() + i * static_cast<u64>(dim));
+    }
+    store.n_ = n;
+  }
+  return store.Save(writer);
+}
+
+// ---- Load / Skip ----
+
+namespace {
+
+struct StoreHeader {
+  StorageKind kind = StorageKind::kFloat;
+  i32 dim = 0;
+  u64 n = 0;
+};
+
+Status ReadStoreHeader(BinaryReader& reader, StoreHeader* out) {
+  u32 kind_raw = 0;
+  DJ_RETURN_IF_ERROR(reader.ReadU32(&kind_raw));
+  if (kind_raw != static_cast<u32>(StorageKind::kFloat) &&
+      kind_raw != static_cast<u32>(StorageKind::kSq8)) {
+    return Status::DataLoss("unknown vector store kind " +
+                            std::to_string(kind_raw));
+  }
+  out->kind = static_cast<StorageKind>(kind_raw);
+  DJ_RETURN_IF_ERROR(reader.ReadI32(&out->dim));
+  if (out->dim <= 0 || out->dim > kMaxStoreDim) {
+    return Status::DataLoss("vector store dim " + std::to_string(out->dim) +
+                            " out of range");
+  }
+  DJ_RETURN_IF_ERROR(reader.ReadU64(&out->n));
+  return Status::OK();
+}
+
+Status ReadSectionExpecting(BinaryReader& reader, u64 expected_bytes,
+                            SectionInfo* out) {
+  DJ_RETURN_IF_ERROR(reader.ReadSection(out));
+  if (out->length != expected_bytes) {
+    return Status::DataLoss(reader.path() + ": section holds " +
+                            std::to_string(out->length) + " bytes, want " +
+                            std::to_string(expected_bytes));
+  }
+  return Status::OK();
+}
+
+// Loads one section either as owned bytes (pread + full CRC) or as a
+// mapped region with the requested verification policy. Exactly one of
+// *bytes / *region+*check is filled; *base points at the data either way.
+Status LoadSectionPayload(BinaryReader& reader, const SectionInfo& info,
+                          const OpenOptions& options, std::string* bytes,
+                          std::shared_ptr<MappedRegion>* region,
+                          std::unique_ptr<LazyValidator>* check,
+                          const u8** base) {
+  if (options.map == MapMode::kOwned) {
+    // Owned loads always verify fully — the bytes are streamed through
+    // the CPU anyway, so the check is nearly free.
+    DJ_RETURN_IF_ERROR(reader.ReadSectionBytes(info, bytes));
+    *base = reinterpret_cast<const u8*>(bytes->data());
+    return Status::OK();
+  }
+  DJ_RETURN_IF_ERROR(reader.env()->NewMappedRegion(
+      reader.path(), info.offset, info.length, region));
+  *base = static_cast<const u8*>((*region)->data());
+  const bool eager = options.verify == VerifyMode::kFull;
+  if (eager && info.length > 0) {
+    if (Crc32c(*base, info.length) != info.crc) {
+      return Status::DataLoss(reader.path() +
+                              ": mapped section checksum mismatch");
+    }
+  }
+  *check = std::make_unique<LazyValidator>(*base, info, eager);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<VectorStore>> LoadVectorStore(
+    BinaryReader& reader, const OpenOptions& options) {
+  StoreHeader h;
+  DJ_RETURN_IF_ERROR(ReadStoreHeader(reader, &h));
+  if (h.kind == StorageKind::kFloat) {
+    u64 rows_bytes = 0;
+    DJ_RETURN_IF_ERROR(
+        CheckedPayloadBytes(h.n, h.dim, sizeof(float), &rows_bytes));
+    SectionInfo rows_info, norms_info;
+    DJ_RETURN_IF_ERROR(ReadSectionExpecting(reader, rows_bytes, &rows_info));
+    DJ_RETURN_IF_ERROR(
+        ReadSectionExpecting(reader, h.n * sizeof(float), &norms_info));
+    // make_unique cannot reach the private ctor. dj_lint: allow(naked-new)
+    auto store = std::unique_ptr<FloatStore>(new FloatStore());
+    store->dim_ = h.dim;
+    store->n_ = h.n;
+    store->read_only_ = true;
+    const u8* rows_base = nullptr;
+    const u8* norms_base = nullptr;
+    DJ_RETURN_IF_ERROR(LoadSectionPayload(
+        reader, rows_info, options, &store->rows_bytes_,
+        &store->rows_region_, &store->rows_check_, &rows_base));
+    DJ_RETURN_IF_ERROR(LoadSectionPayload(
+        reader, norms_info, options, &store->norms_bytes_,
+        &store->norms_region_, &store->norms_check_, &norms_base));
+    store->rows_ = reinterpret_cast<const float*>(rows_base);
+    store->norms_ = reinterpret_cast<const float*>(norms_base);
+    return std::unique_ptr<VectorStore>(std::move(store));
+  }
+  // SQ8.
+  // make_unique cannot reach the private ctor. dj_lint: allow(naked-new)
+  auto store = std::unique_ptr<Sq8Store>(new Sq8Store());
+  store->dim_ = h.dim;
+  store->n_ = h.n;
+  store->read_only_ = true;
+  store->trained_ = true;
+  DJ_RETURN_IF_ERROR(reader.ReadFloatArray(&store->lo_));
+  DJ_RETURN_IF_ERROR(reader.ReadFloatArray(&store->scale_));
+  if (store->lo_.size() != static_cast<size_t>(h.dim) ||
+      store->scale_.size() != static_cast<size_t>(h.dim)) {
+    return Status::DataLoss(reader.path() +
+                            ": sq8 lo/scale length does not match dim");
+  }
+  u64 codes_bytes = 0;
+  DJ_RETURN_IF_ERROR(CheckedPayloadBytes(h.n, h.dim, 1, &codes_bytes));
+  SectionInfo codes_info;
+  DJ_RETURN_IF_ERROR(ReadSectionExpecting(reader, codes_bytes, &codes_info));
+  DJ_RETURN_IF_ERROR(LoadSectionPayload(
+      reader, codes_info, options, &store->codes_bytes_,
+      &store->codes_region_, &store->codes_check_, &store->codes_));
+  return std::unique_ptr<VectorStore>(std::move(store));
+}
+
+Result<StorageKind> SkipVectorStore(BinaryReader& reader) {
+  StoreHeader h;
+  DJ_RETURN_IF_ERROR(ReadStoreHeader(reader, &h));
+  SectionInfo scratch;
+  if (h.kind == StorageKind::kFloat) {
+    DJ_RETURN_IF_ERROR(reader.ReadSection(&scratch));
+    DJ_RETURN_IF_ERROR(reader.ReadSection(&scratch));
+    return StorageKind::kFloat;
+  }
+  std::vector<float> params;
+  DJ_RETURN_IF_ERROR(reader.ReadFloatArray(&params));
+  DJ_RETURN_IF_ERROR(reader.ReadFloatArray(&params));
+  DJ_RETURN_IF_ERROR(reader.ReadSection(&scratch));
+  return StorageKind::kSq8;
+}
+
+}  // namespace ann
+}  // namespace deepjoin

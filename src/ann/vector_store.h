@@ -1,0 +1,303 @@
+// Row storage behind the vector indexes (DESIGN.md §14): every backend
+// scores queries through a VectorStore instead of touching raw float
+// arrays, so the same index code serves four physical representations —
+//
+//   {float32, SQ8} x {owned memory, zero-copy mmap}
+//
+// SQ8 is per-dimension asymmetric scalar quantization: each dimension d
+// stores lo[d] and scale[d] = (max[d]-min[d])/255 and every row byte
+// decodes as v = lo[d] + scale[d]*code[d]. Distances against a float
+// query go through the fused kern::SquaredL2Sq8 kernel — quantized search
+// never materialises a decoded row. The reconstruction error per
+// dimension is bounded by scale[d]/2 (round-to-nearest), which the
+// round-trip test asserts.
+//
+// Mapped stores hold a shared_ptr<MappedRegion> (Env::NewMappedRegion)
+// over a page-aligned DJF1 section; establishing one is O(1) in the data
+// size. Integrity is validated lazily per page on first touch
+// (VerifyMode::kLazy, the mapped default): a corrupt page flips the
+// sticky tainted() flag instead of failing the search — results may be
+// wrong but never undefined, and callers that need a hard guarantee use
+// VerifyMode::kFull or VerifyAll(). Owned loads always verify fully.
+#ifndef DEEPJOIN_ANN_VECTOR_STORE_H_
+#define DEEPJOIN_ANN_VECTOR_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/binary_io.h"
+#include "util/common.h"
+#include "util/env.h"
+#include "util/status.h"
+
+namespace deepjoin {
+namespace ann {
+
+/// Container header shared by every index artifact written through the
+/// unified Save/OpenIndex API (index_io.h): magic, format version, then a
+/// kind string ("flat" / "hnsw" / "ivfpq") that dispatches the payload.
+inline constexpr u32 kDjIndexMagic = 0x444A4958;  // "DJIX"
+inline constexpr u32 kDjIndexVersion = 1;
+
+/// Physical element representation of a store.
+enum class StorageKind : u8 {
+  kFloat = 0,  ///< float32 rows + cached ||row||^2 norms
+  kSq8 = 1,    ///< u8 codes + per-dim lo/scale (asymmetric SQ8)
+  kAuto = 255  ///< save: keep current repr; open: whatever the file holds
+};
+
+/// How a store's bulk payload is brought into the process.
+enum class MapMode : u8 {
+  kOwned = 0,  ///< pread into owned memory, eagerly CRC-validated
+  kMapped = 1  ///< zero-copy mmap of the section, O(1) open
+};
+
+/// Integrity-checking policy for section payloads at open time.
+enum class VerifyMode : u8 {
+  kDefault = 0,  ///< kFull for owned, kLazy for mapped
+  kFull = 1,     ///< validate every page before the open returns
+  kLazy = 2      ///< mapped only: validate each page on first touch
+};
+
+/// Knobs for VectorIndex::Save (see index_io.h for the file layout).
+struct SaveOptions {
+  /// kAuto keeps the index's current representation. kSq8 on a float
+  /// index trains quantization at save time; kFloat on an SQ8 index
+  /// requires a float refinement store to be present.
+  StorageKind storage = StorageKind::kAuto;
+  /// When saving as kSq8 from float data, also write the exact float
+  /// rows as a refinement payload (enables refine_factor reranking and
+  /// lossless reopening as kFloat, at full float disk cost).
+  bool keep_float_refine = false;
+};
+
+/// Knobs for ann::OpenIndex / LoadIndexPayload.
+struct OpenOptions {
+  /// kAuto opens whatever the file's primary store holds. kFloat on an
+  /// SQ8 file requires the float refinement payload; kSq8 on a
+  /// float-only file is FailedPrecondition (quantize at save, not open).
+  StorageKind storage = StorageKind::kAuto;
+  MapMode map = MapMode::kOwned;
+  VerifyMode verify = VerifyMode::kDefault;
+};
+
+/// Lazy per-page CRC validation over one in-memory view of a section.
+/// Touch(range) validates not-yet-seen pages against SectionInfo's
+/// page_crcs; a mismatch sets the sticky tainted flag (it never throws or
+/// fails the read — mapped bytes are bounds-checked by construction, so a
+/// corrupt page yields wrong-but-defined results). Thread-safe: the seen
+/// bitmap is atomic and validation is idempotent.
+class LazyValidator {
+ public:
+  /// `base` must cover info.length bytes; `eager` pages are all marked
+  /// seen immediately (the caller verified them already).
+  LazyValidator(const u8* base, SectionInfo info, bool eager);
+
+  /// Validates every untouched page overlapping [off, off+n).
+  void Touch(u64 off, u64 n) const;
+  /// Validates every page; DataLoss if any (now or previously) failed.
+  [[nodiscard]] Status VerifyAll() const;
+  bool tainted() const { return tainted_.load(std::memory_order_acquire); }
+
+ private:
+  void ValidatePage(u64 page) const;
+
+  const u8* base_;
+  SectionInfo info_;
+  mutable std::unique_ptr<std::atomic<u64>[]> seen_;  // bitmap, 1 = checked
+  u64 words_ = 0;
+  mutable std::atomic<bool> tainted_{false};
+};
+
+/// Abstract row storage. Rows are fixed-dim, id-addressed [0, size());
+/// mutation (Append*) is only supported by owned stores — read_only()
+/// stores were loaded from a file section and reject it.
+class VectorStore {
+ public:
+  virtual ~VectorStore() = default;
+
+  virtual StorageKind kind() const = 0;
+  virtual int dim() const = 0;
+  virtual u64 size() const = 0;
+  virtual bool read_only() const = 0;
+  /// Heap bytes resident for row data (mapped payloads count 0: their
+  /// pages live in the kernel page cache, not the process heap).
+  virtual u64 memory_bytes() const = 0;
+
+  /// Squared L2 distance from a float query to row `id`. Allocation-free;
+  /// on the hot path of every backend.
+  virtual float Distance(const float* query, u32 id) const = 0;
+  /// Decodes row `id` into out[0, dim) (exact for float, lossy for SQ8).
+  virtual void Reconstruct(u32 id, float* out) const = 0;
+
+  [[nodiscard]] virtual Status AppendRow(const float* vec) = 0;
+  [[nodiscard]] virtual Status AppendRows(const float* data, u64 n) {
+    for (u64 i = 0; i < n; ++i) {
+      DJ_RETURN_IF_ERROR(AppendRow(data + i * static_cast<u64>(dim())));
+    }
+    return Status::OK();
+  }
+
+  /// Row-major float rows, or nullptr when the representation is not
+  /// raw float (SQ8). Gates FlatIndex's GEMM batch arm and vector().
+  virtual const float* float_base() const { return nullptr; }
+  /// Cached ||row||^2 per row, or nullptr (paired with float_base()).
+  virtual const float* norms_base() const { return nullptr; }
+
+  /// Lazily validates the pages backing rows [first, first+nrows) (no-op
+  /// for owned stores). Bulk scans call this once up front instead of
+  /// paying a per-row check.
+  virtual void TouchRows(u64 first, u64 nrows) const {
+    (void)first;
+    (void)nrows;
+  }
+  /// True once any lazy page check failed; results since are suspect.
+  virtual bool tainted() const { return false; }
+  /// Forces full validation of every payload page (the "full check"
+  /// escape hatch for lazily-opened stores).
+  [[nodiscard]] virtual Status VerifyAll() const { return Status::OK(); }
+
+  /// Writes this store's payload (kind, dim, n, then representation-
+  /// specific records/sections) — the inverse of LoadVectorStore.
+  [[nodiscard]] virtual Status Save(BinaryWriter& writer) const = 0;
+
+  /// Deep-copies into an owned, mutable store of the same representation
+  /// (same quantization parameters and codes for SQ8). How an owned open
+  /// restores legacy add-after-load semantics.
+  virtual std::unique_ptr<VectorStore> CloneOwned() const = 0;
+};
+
+/// float32 rows with cached squared norms. Owned mode is the mutable
+/// in-memory store every index builds into; section-backed modes (owned
+/// bytes or mapped region) are read-only.
+class FloatStore : public VectorStore {
+ public:
+  explicit FloatStore(int dim);
+
+  StorageKind kind() const override { return StorageKind::kFloat; }
+  int dim() const override { return dim_; }
+  u64 size() const override { return n_; }
+  bool read_only() const override { return read_only_; }
+  u64 memory_bytes() const override;
+  float Distance(const float* query, u32 id) const override;
+  void Reconstruct(u32 id, float* out) const override;
+  [[nodiscard]] Status AppendRow(const float* vec) override;
+  const float* float_base() const override {
+    return read_only_ ? rows_ : data_.data();
+  }
+  const float* norms_base() const override {
+    return read_only_ ? norms_ : norms_vec_.data();
+  }
+  void TouchRows(u64 first, u64 nrows) const override;
+  bool tainted() const override;
+  [[nodiscard]] Status VerifyAll() const override;
+  [[nodiscard]] Status Save(BinaryWriter& writer) const override;
+  std::unique_ptr<VectorStore> CloneOwned() const override;
+
+  /// Streams `n` rows (row_fn(i) -> row pointer) into writer as a float
+  /// store payload, computing norms. Used to save non-FloatStore-backed
+  /// data (e.g. a live HNSW's chunked rows) without an intermediate copy
+  /// of the store object.
+  [[nodiscard]] static Status SaveFromRows(
+      BinaryWriter& writer, int dim, u64 n,
+      const std::function<const float*(u64)>& row_fn);
+
+ private:
+  friend Result<std::unique_ptr<VectorStore>> LoadVectorStore(
+      BinaryReader& reader, const OpenOptions& options);
+  FloatStore() = default;
+
+  int dim_ = 0;
+  u64 n_ = 0;
+  bool read_only_ = false;
+  // Owned mutable mode.
+  std::vector<float> data_;
+  std::vector<float> norms_vec_;
+  // Section-backed mode: bytes live either in owned strings or in mapped
+  // regions; rows_/norms_ point into whichever is active.
+  std::string rows_bytes_, norms_bytes_;
+  std::shared_ptr<MappedRegion> rows_region_, norms_region_;
+  std::unique_ptr<LazyValidator> rows_check_, norms_check_;
+  const float* rows_ = nullptr;
+  const float* norms_ = nullptr;
+};
+
+/// SQ8 rows: u8 codes with per-dimension lo/scale. The first Append or
+/// AppendBatch trains lo/scale on that batch (per-dim min/max); later
+/// appends clamp-encode with the frozen parameters. Distances go through
+/// the fused kern::SquaredL2Sq8 kernel (no row decode).
+class Sq8Store : public VectorStore {
+ public:
+  explicit Sq8Store(int dim);
+
+  StorageKind kind() const override { return StorageKind::kSq8; }
+  int dim() const override { return dim_; }
+  u64 size() const override { return n_; }
+  bool read_only() const override { return read_only_; }
+  u64 memory_bytes() const override;
+  float Distance(const float* query, u32 id) const override;
+  void Reconstruct(u32 id, float* out) const override;
+  [[nodiscard]] Status AppendRow(const float* vec) override;
+  [[nodiscard]] Status AppendRows(const float* data, u64 n) override;
+  void TouchRows(u64 first, u64 nrows) const override;
+  bool tainted() const override;
+  [[nodiscard]] Status VerifyAll() const override;
+  [[nodiscard]] Status Save(BinaryWriter& writer) const override;
+  std::unique_ptr<VectorStore> CloneOwned() const override;
+
+  bool trained() const { return trained_; }
+  const std::vector<float>& lo() const { return lo_; }
+  const std::vector<float>& scale() const { return scale_; }
+
+  /// Two-pass SQ8 save of arbitrary float rows: pass 1 trains per-dim
+  /// min/max, pass 2 encodes. The float->SQ8 conversion path of Save.
+  [[nodiscard]] static Status SaveFromRows(
+      BinaryWriter& writer, int dim, u64 n,
+      const std::function<const float*(u64)>& row_fn);
+
+ private:
+  friend Result<std::unique_ptr<VectorStore>> LoadVectorStore(
+      BinaryReader& reader, const OpenOptions& options);
+  Sq8Store() = default;
+
+  void TrainOn(const float* data, u64 n);
+  void EncodeRow(const float* vec, u8* out) const;
+  const u8* codes_base() const {
+    return read_only_ ? codes_ : codes_vec_.data();
+  }
+  const u8* code_row(u32 id) const {
+    return codes_base() + static_cast<u64>(id) * static_cast<u64>(dim_);
+  }
+
+  int dim_ = 0;
+  u64 n_ = 0;
+  bool read_only_ = false;
+  bool trained_ = false;
+  std::vector<float> lo_, scale_;
+  // Owned mutable mode.
+  std::vector<u8> codes_vec_;
+  // Section-backed mode.
+  std::string codes_bytes_;
+  std::shared_ptr<MappedRegion> codes_region_;
+  std::unique_ptr<LazyValidator> codes_check_;
+  const u8* codes_ = nullptr;
+};
+
+/// Reads one store payload from the reader cursor, honouring options.map
+/// and options.verify (options.storage is resolved by the index loaders,
+/// which know whether a refinement payload follows). O(1) in the payload
+/// size for mapped opens.
+Result<std::unique_ptr<VectorStore>> LoadVectorStore(
+    BinaryReader& reader, const OpenOptions& options);
+
+/// Advances the reader past one store payload without loading it (cheap:
+/// sections are cursor-skipped). Returns the skipped payload's kind.
+Result<StorageKind> SkipVectorStore(BinaryReader& reader);
+
+}  // namespace ann
+}  // namespace deepjoin
+
+#endif  // DEEPJOIN_ANN_VECTOR_STORE_H_

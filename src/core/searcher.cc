@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "ann/index_io.h"
 #include "util/crc32c.h"
 #include "util/metrics.h"
 #include "util/timer.h"
@@ -22,7 +23,10 @@ namespace {
 constexpr u32 kManifestMagic = 0x444A4D46;  // "DJMF"
 constexpr u32 kManifestVersion = 1;
 // index-<gen>.dj (AtomicSave'd DJF1 container): next_column_id, the
-// optional id->column map, then the full HnswIndex::Save payload.
+// optional id->column map, then the embedded index as a DJIX payload
+// (ann::SaveIndexPayload). Checkpoints written before the unified format
+// embedded the legacy standalone-HNSW payload instead; recovery reads
+// both (ann::LoadIndexPayload dispatches on the embedded magic).
 constexpr u32 kCheckpointMagic = 0x444A434B;  // "DJCK"
 constexpr u32 kCheckpointVersion = 1;
 // wal-<gen>.log (raw appends, fsync'd per record): a 16-byte header
@@ -64,6 +68,7 @@ ann::AnnSearchParams AnnParamsFrom(const SearchOptions& options) {
   ann::AnnSearchParams params;
   params.ef_search = options.ef_search;
   params.nprobe = options.nprobe;
+  params.refine_factor = options.refine_factor;
   return params;
 }
 
@@ -212,7 +217,8 @@ Status EmbeddingSearcher::BuildIndex(const lake::Repository& repo,
       DJ_TRACE_SPAN("searcher.build_index");
       switch (config_.backend) {
         case AnnBackend::kFlat:
-          index = std::make_shared<ann::FlatIndex>(dim_);
+          index = std::make_shared<ann::FlatIndex>(dim_,
+                                                   config_.flat_storage);
           break;
         case AnnBackend::kHnsw:
           index = std::make_shared<ann::HnswIndex>(
@@ -284,7 +290,7 @@ Status EmbeddingSearcher::EnsureIndexLocked() {
   }
   std::shared_ptr<ann::VectorIndex> index;
   if (config_.backend == AnnBackend::kFlat) {
-    index = std::make_shared<ann::FlatIndex>(dim_);
+    index = std::make_shared<ann::FlatIndex>(dim_, config_.flat_storage);
   } else {
     index = std::make_shared<ann::HnswIndex>(MakeHnswConfig(config_, dim_, 0));
   }
@@ -567,8 +573,7 @@ Status EmbeddingSearcher::PublishGenerationLocked(const IndexSnapshot& state) {
           }
           w.WriteU32Array(flat.data(), flat.size());
         }
-        static_cast<const ann::HnswIndex*>(state.index.get())->Save(w);
-        return w.status();
+        return ann::SaveIndexPayload(*state.index, w);
       });
   if (!st.ok()) return st;
   // 2. Fresh WAL for the new generation (header written + fsync'd so the
@@ -691,12 +696,24 @@ Status EmbeddingSearcher::RecoverGenerationLocked(u64 gen, u64 manifest_prev) {
   if (has_map != 0) {
     DJ_RETURN_IF_ERROR(reader.ReadU32Array(&flat));
   }
-  auto loaded = ann::HnswIndex::Load(reader);
+  // The embedded index may be a DJIX payload (current checkpoints) or the
+  // legacy standalone HNSW payload (pre-DJIX checkpoints) — the dispatch
+  // handles both. Default OpenOptions produce a live owned-float index,
+  // which WAL replay below requires (InsertWithLevel).
+  auto loaded = ann::LoadIndexPayload(reader);
   if (!loaded.ok()) return loaded.status();
-  if (loaded->dim() != dim_) {
+  std::unique_ptr<ann::VectorIndex> any = std::move(loaded).value();
+  if (std::strcmp(any->name(), "hnsw") != 0) {
+    return Status::DataLoss("checkpoint: embedded index is not hnsw");
+  }
+  std::shared_ptr<ann::HnswIndex> index(
+      static_cast<ann::HnswIndex*>(any.release()));
+  if (index->read_only()) {
+    return Status::DataLoss("checkpoint: embedded index is not replayable");
+  }
+  if (index->dim() != dim_) {
     return Status::InvalidArgument("live checkpoint dimensionality mismatch");
   }
-  auto index = std::make_shared<ann::HnswIndex>(std::move(loaded).value());
   if (has_map != 0 && flat.size() != index->size()) {
     return Status::DataLoss("checkpoint: id map size mismatch");
   }
@@ -925,32 +942,39 @@ Status EmbeddingSearcher::WalCommitter::Error() const {
   return error_;
 }
 
-Status EmbeddingSearcher::SaveIndex(const std::string& path,
-                                    Env* env) const {
+Status EmbeddingSearcher::SaveIndex(const std::string& path, Env* env,
+                                    const ann::SaveOptions& save) const {
   auto snap = PinSnapshot();
-  if (config_.backend != AnnBackend::kHnsw || snap == nullptr) {
+  if (snap == nullptr) {
     return Status::FailedPrecondition(
-        "SaveIndex supports a built HNSW index only");
+        "SaveIndex before BuildIndex()/AddColumn()");
   }
-  const auto* hnsw = static_cast<const ann::HnswIndex*>(snap->index.get());
-  return AtomicSave(path, env, [hnsw](BinaryWriter& writer) -> Status {
-    hnsw->Save(writer);
-    return writer.status();
-  });
+  return ann::SaveIndexFile(*snap->index, path, save, env);
 }
 
-Status EmbeddingSearcher::LoadIndex(const std::string& path, Env* env) {
-  if (config_.backend != AnnBackend::kHnsw) {
-    return Status::FailedPrecondition("LoadIndex supports HNSW only");
-  }
-  BinaryReader reader(path, env);
-  DJ_RETURN_IF_ERROR(reader.Open());
-  auto loaded = ann::HnswIndex::Load(reader);
+Status EmbeddingSearcher::LoadIndex(const std::string& path, Env* env,
+                                    const ann::OpenOptions& open) {
+  auto loaded = ann::OpenIndex(path, open, env);
   if (!loaded.ok()) return loaded.status();
-  if (loaded->dim() != dim_) {
+  std::shared_ptr<ann::VectorIndex> index(std::move(loaded).value());
+  if (index->dim() != dim_) {
     return Status::InvalidArgument("index dimensionality mismatch");
   }
-  auto index = std::make_shared<ann::HnswIndex>(std::move(loaded).value());
+  // Mutators downcast through config_.backend, so a kind mismatch would
+  // be UB later — reject it here instead.
+  const char* kind = index->name();
+  const bool kind_matches =
+      (config_.backend == AnnBackend::kFlat &&
+       std::strcmp(kind, "flat") == 0) ||
+      (config_.backend == AnnBackend::kHnsw &&
+       std::strcmp(kind, "hnsw") == 0) ||
+      (config_.backend == AnnBackend::kIvfPq &&
+       std::strncmp(kind, "ivfpq", 5) == 0);
+  if (!kind_matches) {
+    return Status::FailedPrecondition(
+        std::string("LoadIndex: file holds a '") + kind +
+        "' index but the searcher is configured for a different backend");
+  }
   const WriterLock writer(this);
   // Legacy single-file load: the id space resets to identity (the file
   // carries the graph only, not the column mapping — see the header).

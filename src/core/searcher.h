@@ -60,6 +60,11 @@ struct SearcherConfig {
   int ivfpq_m = 8;
   int ivfpq_nbits = 6;
   int ivfpq_nprobe = 8;  ///< default probe budget; override per query
+  /// Row representation for the flat backend: StorageKind::kSq8 builds a
+  /// scalar-quantized index directly (4x smaller resident rows; the first
+  /// bulk add trains the per-dimension quantizer). The graph backends
+  /// always build float — quantize at save time via SaveIndex options.
+  ann::StorageKind flat_storage = ann::StorageKind::kFloat;
   /// Group-commit WAL (live mode): a mutation appends its record, applies
   /// in memory, releases the writer token, and then waits on a shared
   /// committer that issues ONE fsync for every record appended since the
@@ -89,6 +94,10 @@ struct SearchOptions {
   int ef_search = 0;
   /// > 0: IVFPQ coarse cells scanned for this query only.
   int nprobe = 0;
+  /// > 0: rerank k*refine_factor quantized candidates with exact float
+  /// distances for this query only (applies to SQ8 indexes that carry a
+  /// float refinement store; ignored otherwise).
+  int refine_factor = 0;
   /// Collect a per-query trace::QueryStats breakdown. Off: SearchResult
   /// carries ids only and no trace machinery runs for this query.
   bool collect_stats = true;
@@ -232,15 +241,26 @@ class EmbeddingSearcher {
   /// Current durable generation (0 until OpenLive publishes one).
   u64 generation() const;
 
-  /// Persists / restores the built index (HNSW backend only — the others
-  /// rebuild quickly). Legacy single-file path: only the graph travels;
+  /// Persists / restores the built index through the unified DJIX format
+  /// (ann::SaveIndexFile / ann::OpenIndex), any backend. `save` can
+  /// convert the representation (SaveOptions::storage = kSq8 quantizes at
+  /// save time); `open` picks the served representation and residency
+  /// (OpenOptions::map = kMapped opens zero-copy in O(1) — read-only:
+  /// subsequent mutations fail with FailedPrecondition, searches work).
+  /// The loaded kind must match the configured backend.
+  ///
+  /// Single-file semantics are unchanged: only the index travels, so
   /// loading resets column ids to identity (use OpenLive for a mapping-
   /// preserving lifecycle). Loading into a live searcher republishes the
-  /// loaded state as a new generation, like BuildIndex. Saves are atomic (tmp + fsync + rename; a
-  /// crash or failure leaves the previous artifact intact); corrupt files
-  /// load as DataLoss, never an abort. `env` nullptr → Env::Default().
-  Status SaveIndex(const std::string& path, Env* env = nullptr) const;
-  Status LoadIndex(const std::string& path, Env* env = nullptr);
+  /// loaded state as a new generation, like BuildIndex. Saves are atomic
+  /// (tmp + fsync + rename; a crash or failure leaves the previous
+  /// artifact intact); corrupt files load as DataLoss, never an abort —
+  /// pre-DJIX standalone HNSW files still load. `env` nullptr →
+  /// Env::Default().
+  Status SaveIndex(const std::string& path, Env* env = nullptr,
+                   const ann::SaveOptions& save = {}) const;
+  Status LoadIndex(const std::string& path, Env* env = nullptr,
+                   const ann::OpenOptions& open = {});
 
   struct SearchResult {
     std::vector<u32> ids;  ///< repository column ids, nearest first

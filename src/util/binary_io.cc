@@ -1,5 +1,6 @@
 #include "util/binary_io.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/crc32c.h"
@@ -18,7 +19,16 @@ enum RecordTag : u8 {
   kTagFloatArray = 7,
   kTagU32Array = 8,
   kTagI32Array = 9,
+  kTagSection = 10,
 };
+
+// Section metadata payload (after the tag byte): offset:u64 length:u64
+// full_crc:u32 page_size:u32, then one u32 CRC per page.
+constexpr size_t kSectionHeaderBytes = 8 + 8 + 4 + 4;
+
+u64 AlignUpToPage(u64 v) {
+  return (v + kSectionPageSize - 1) & ~(kSectionPageSize - 1);
+}
 
 }  // namespace
 
@@ -35,6 +45,7 @@ Status BinaryWriter::Open() {
   DJ_RETURN_IF_ERROR(env_->NewWritableFile(path_, &file_));
   const u32 header[2] = {kBinaryIoMagic, kBinaryIoVersion};
   status_ = file_->Append(header, sizeof(header));
+  if (status_.ok()) written_ = sizeof(header);
   return status_;
 }
 
@@ -54,6 +65,62 @@ void BinaryWriter::WriteRecord(u8 tag, const void* data, size_t n) {
   scratch_.push_back(static_cast<char>(tag));
   if (n > 0) scratch_.append(static_cast<const char*>(data), n);
   status_ = file_->Append(scratch_.data(), scratch_.size());
+  if (status_.ok()) written_ += scratch_.size();
+}
+
+void BinaryWriter::WriteAlignedSection(const void* data, u64 n) {
+  if (!status_.ok()) return;
+  if (file_ == nullptr) {
+    status_ = Status::FailedPrecondition("BinaryWriter used before Open()");
+    return;
+  }
+  const u64 npages = (n + kSectionPageSize - 1) / kSectionPageSize;
+  // The metadata record carries the section's absolute offset, which
+  // depends on the record's own (fixed, computable) size: frame + tag +
+  // header + one CRC per page, rounded up to the next page boundary.
+  const u64 payload_bytes = kSectionHeaderBytes + npages * sizeof(u32);
+  const u64 data_offset =
+      AlignUpToPage(written_ + kRecordFraming + 1 + payload_bytes);
+
+  std::string payload;
+  payload.reserve(payload_bytes);
+  const u64 len64 = n;
+  u32 full_crc = Crc32c(data, n);
+  const u32 page_size32 = static_cast<u32>(kSectionPageSize);
+  payload.append(reinterpret_cast<const char*>(&data_offset),
+                 sizeof(data_offset));
+  payload.append(reinterpret_cast<const char*>(&len64), sizeof(len64));
+  payload.append(reinterpret_cast<const char*>(&full_crc), sizeof(full_crc));
+  payload.append(reinterpret_cast<const char*>(&page_size32),
+                 sizeof(page_size32));
+  const char* bytes = static_cast<const char*>(data);
+  for (u64 p = 0; p < npages; ++p) {
+    const u64 page_len =
+        std::min<u64>(kSectionPageSize, n - p * kSectionPageSize);
+    const u32 page_crc = Crc32c(bytes + p * kSectionPageSize, page_len);
+    payload.append(reinterpret_cast<const char*>(&page_crc),
+                   sizeof(page_crc));
+  }
+  WriteRecord(kTagSection, payload.data(), payload.size());
+  if (!status_.ok()) return;
+
+  // Zero padding up to the promised page boundary, then the raw bytes.
+  DJ_CHECK(data_offset >= written_);
+  static constexpr char kZeros[256] = {};
+  u64 pad = data_offset - written_;
+  while (pad > 0 && status_.ok()) {
+    const u64 step = std::min<u64>(pad, sizeof(kZeros));
+    status_ = file_->Append(kZeros, step);
+    if (status_.ok()) {
+      written_ += step;
+      pad -= step;
+    }
+  }
+  if (!status_.ok()) return;
+  if (n > 0) {
+    status_ = file_->Append(data, n);
+    if (status_.ok()) written_ += n;
+  }
 }
 
 void BinaryWriter::WriteU32(u32 v) { WriteRecord(kTagU32, &v, sizeof(v)); }
@@ -209,6 +276,96 @@ Status BinaryReader::ReadU32Array(std::vector<u32>* out) {
 }
 Status BinaryReader::ReadI32Array(std::vector<i32>* out) {
   return ReadArray(kTagI32Array, out);
+}
+
+Status BinaryReader::ReadSection(SectionInfo* out) {
+  DJ_RETURN_IF_ERROR(ReadRecord(kTagSection));
+  if (payload_.size() < 1 + kSectionHeaderBytes) {
+    return Status::DataLoss(path_ + ": section record too short");
+  }
+  SectionInfo info;
+  u32 page_size = 0;
+  const char* p = payload_.data() + 1;
+  std::memcpy(&info.offset, p, sizeof(info.offset));
+  p += sizeof(info.offset);
+  std::memcpy(&info.length, p, sizeof(info.length));
+  p += sizeof(info.length);
+  std::memcpy(&info.crc, p, sizeof(info.crc));
+  p += sizeof(info.crc);
+  std::memcpy(&page_size, p, sizeof(page_size));
+  p += sizeof(page_size);
+  if (page_size != kSectionPageSize) {
+    return Status::DataLoss(path_ + ": section page size " +
+                            std::to_string(page_size) + " (want " +
+                            std::to_string(kSectionPageSize) + ")");
+  }
+  // The section must sit past this record (the cursor already advanced
+  // over it), start on a page boundary, and fit in the file. Anything
+  // else is corruption, caught before a caller maps or preads the range.
+  if (info.offset % kSectionPageSize != 0) {
+    return Status::DataLoss(path_ + ": section offset not page-aligned");
+  }
+  if (info.offset < offset_ || info.length > size_ ||
+      info.offset > size_ - info.length) {
+    return Status::DataLoss(path_ + ": section range [" +
+                            std::to_string(info.offset) + ", +" +
+                            std::to_string(info.length) +
+                            ") out of file bounds");
+  }
+  const u64 npages = (info.length + kSectionPageSize - 1) / kSectionPageSize;
+  const u64 crc_bytes = payload_.size() - 1 - kSectionHeaderBytes;
+  if (crc_bytes != npages * sizeof(u32)) {
+    return Status::DataLoss(path_ + ": section page-CRC count mismatch");
+  }
+  info.page_crcs.resize(npages);
+  if (npages > 0) std::memcpy(info.page_crcs.data(), p, crc_bytes);
+  // The zero padding between this record and the section start is the one
+  // byte range no CRC covers — verify it explicitly so every byte of the
+  // file is validated by something. The writer always pads less than one
+  // page, so this read is bounded and the open stays O(1) in the section
+  // size (which is the part that gets skipped below).
+  const u64 pad = info.offset - offset_;
+  if (pad >= kSectionPageSize) {
+    return Status::DataLoss(path_ + ": section padding exceeds one page");
+  }
+  if (pad > 0) {
+    char padbuf[kSectionPageSize];
+    size_t read = 0;
+    DJ_RETURN_IF_ERROR(file_->Read(offset_, pad, padbuf, &read));
+    if (read != pad) {
+      return Status::DataLoss(path_ + ": truncated section padding");
+    }
+    for (u64 i = 0; i < pad; ++i) {
+      if (padbuf[i] != 0) {
+        return Status::DataLoss(path_ + ": nonzero section padding");
+      }
+    }
+  }
+  // Skip the section bytes without reading them: opening a file stays
+  // O(1) in the section size.
+  offset_ = info.offset + info.length;
+  *out = std::move(info);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadSectionBytes(const SectionInfo& info,
+                                      std::string* out) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("BinaryReader used before Open()");
+  }
+  out->resize(info.length);
+  if (info.length > 0) {
+    size_t read = 0;
+    DJ_RETURN_IF_ERROR(
+        file_->Read(info.offset, info.length, out->data(), &read));
+    if (read != info.length) {
+      return Status::DataLoss(path_ + ": truncated section bytes");
+    }
+  }
+  if (Crc32c(out->data(), out->size()) != info.crc) {
+    return Status::DataLoss(path_ + ": section checksum mismatch");
+  }
+  return Status::OK();
 }
 
 // ---- AtomicSave ----

@@ -36,6 +36,24 @@ inline constexpr u32 kBinaryIoMagic = 0x444A4631;  // "DJF1"
 inline constexpr u32 kBinaryIoVersion = 1;
 /// Bytes of framing per record: len:u64 + crc:u32.
 inline constexpr u64 kRecordFraming = 12;
+/// Alignment (and CRC granularity) of raw sections. A fixed 4 KiB — the
+/// POSIX page size on every platform we target — so mapped sections start
+/// on a page boundary and lazy validation is page-granular.
+inline constexpr u64 kSectionPageSize = 4096;
+
+/// Describes one page-aligned raw section (see WriteAlignedSection): where
+/// the bytes live in the file and the checksums that validate them —
+/// one CRC32C over the whole section (the full-check option) plus one per
+/// kSectionPageSize page (lazy per-page-range validation of mapped
+/// sections). The metadata itself travels in a CRC-framed record, so a
+/// reader can trust offset/length before touching the (possibly huge,
+/// possibly unread) section bytes.
+struct SectionInfo {
+  u64 offset = 0;  ///< absolute file offset of the raw bytes (page-aligned)
+  u64 length = 0;  ///< raw byte count (not padded)
+  u32 crc = 0;     ///< CRC32C of the whole section
+  std::vector<u32> page_crcs;  ///< CRC32C per page (last may be partial)
+};
 
 class BinaryWriter {
  public:
@@ -59,6 +77,17 @@ class BinaryWriter {
   void WriteU32Array(const u32* data, size_t n);
   void WriteI32Array(const i32* data, size_t n);
 
+  /// Page-aligned raw section: emits a section metadata record (absolute
+  /// offset, length, full + per-page CRC32Cs), zero-pads the file to the
+  /// next kSectionPageSize boundary, then appends `data` verbatim. The
+  /// matching read is ReadSection, after which the section bytes can be
+  /// pread (ReadSectionBytes) or memory-mapped (Env::NewMappedRegion of
+  /// the described range — zero-copy, the offset is page-aligned).
+  void WriteAlignedSection(const void* data, u64 n);
+
+  /// Bytes appended so far (header + records + padding + sections).
+  u64 bytes_written() const { return written_; }
+
   /// First error seen by Open/Write*, or OK.
   Status status() const { return status_; }
 
@@ -73,6 +102,7 @@ class BinaryWriter {
   std::unique_ptr<WritableFile> file_;
   Status status_;
   std::string scratch_;
+  u64 written_ = 0;
 };
 
 class BinaryReader {
@@ -93,6 +123,20 @@ class BinaryReader {
   Status ReadFloatArray(std::vector<float>* out);
   Status ReadU32Array(std::vector<u32>* out);
   Status ReadI32Array(std::vector<i32>* out);
+
+  /// Reads a section metadata record and validates it against the file
+  /// (page-aligned offset past the cursor, in-bounds length, consistent
+  /// page-CRC count); the cursor advances past the section bytes without
+  /// reading them — an open stays O(1) in the section size. The bytes are
+  /// then fetched with ReadSectionBytes or mapped via env()/path().
+  Status ReadSection(SectionInfo* out);
+
+  /// Preads the whole section and verifies its full CRC32C (DataLoss on
+  /// mismatch) — the owned, eagerly-validated load path.
+  Status ReadSectionBytes(const SectionInfo& info, std::string* out);
+
+  const std::string& path() const { return path_; }
+  Env* env() const { return env_; }
 
   /// Bytes between the cursor and end of file. A loader expecting N more
   /// variable-count records can reject counts that cannot possibly fit.

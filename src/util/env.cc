@@ -1,6 +1,7 @@
 #include "util/env.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -34,6 +35,23 @@ metrics::Counter* FsyncsCounter() {
       metrics::MetricsRegistry::Global().GetCounter("dj_env_fsyncs_total");
   return c;
 }
+metrics::Counter* MmapsCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricsRegistry::Global().GetCounter("dj_env_mmaps_total");
+  return c;
+}
+
+/// Fallback region for Envs without real mapping support: the range is
+/// pread into an owned buffer (correct semantics, owned-memory cost).
+class OwnedRegion : public MappedRegion {
+ public:
+  explicit OwnedRegion(std::string bytes) : bytes_(std::move(bytes)) {}
+  const void* data() const override { return bytes_.data(); }
+  u64 length() const override { return bytes_.size(); }
+
+ private:
+  std::string bytes_;
+};
 
 class PosixWritableFile : public WritableFile {
  public:
@@ -112,6 +130,32 @@ class PosixRandomAccessFile : public RandomAccessFile {
   std::string path_;
 };
 
+/// A real read-only mmap. The map base is rounded down to a page boundary
+/// (mmap requires page-aligned file offsets); data() re-applies the delta.
+/// The fd is closed right after mapping — the mapping keeps the file
+/// contents reachable on its own.
+class PosixMappedRegion : public MappedRegion {
+ public:
+  PosixMappedRegion(void* base, size_t map_len, u64 delta, u64 length)
+      : base_(base), map_len_(map_len), delta_(delta), length_(length) {}
+  ~PosixMappedRegion() override {
+    if (base_ != nullptr) ::munmap(base_, map_len_);
+  }
+  PosixMappedRegion(const PosixMappedRegion&) = delete;
+  PosixMappedRegion& operator=(const PosixMappedRegion&) = delete;
+
+  const void* data() const override {
+    return static_cast<const char*>(base_) + delta_;
+  }
+  u64 length() const override { return length_; }
+
+ private:
+  void* base_;
+  size_t map_len_;
+  u64 delta_;
+  u64 length_;
+};
+
 class PosixEnv : public Env {
  public:
   Status NewWritableFile(const std::string& path,
@@ -158,9 +202,66 @@ class PosixEnv : public Env {
   bool FileExists(const std::string& path) override {
     return ::access(path.c_str(), F_OK) == 0;
   }
+
+  Status NewMappedRegion(const std::string& path, u64 offset, u64 length,
+                         std::shared_ptr<MappedRegion>* out) override {
+    u64 file_size = 0;
+    DJ_RETURN_IF_ERROR(GetFileSize(path, &file_size));
+    if (offset > file_size || length > file_size - offset) {
+      return Status::InvalidArgument(
+          "mmap range [" + std::to_string(offset) + ", +" +
+          std::to_string(length) + ") exceeds " + path + " size " +
+          std::to_string(file_size));
+    }
+    if (length == 0) {
+      *out = std::make_shared<PosixMappedRegion>(nullptr, 0, 0, 0);
+      MmapsCounter()->Increment();
+      return Status::OK();
+    }
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("open", path);
+    const u64 page = static_cast<u64>(::sysconf(_SC_PAGESIZE));
+    const u64 map_off = offset & ~(page - 1);
+    const u64 delta = offset - map_off;
+    const size_t map_len = static_cast<size_t>(length + delta);
+    void* base = ::mmap(nullptr, map_len, PROT_READ, MAP_PRIVATE, fd,
+                        static_cast<off_t>(map_off));
+    const int saved_errno = errno;
+    ::close(fd);
+    if (base == MAP_FAILED) {
+      errno = saved_errno;
+      return Errno("mmap", path);
+    }
+    *out = std::make_shared<PosixMappedRegion>(base, map_len, delta, length);
+    MmapsCounter()->Increment();
+    return Status::OK();
+  }
 };
 
 }  // namespace
+
+Status Env::NewMappedRegion(const std::string& path, u64 offset, u64 length,
+                            std::shared_ptr<MappedRegion>* out) {
+  u64 file_size = 0;
+  DJ_RETURN_IF_ERROR(GetFileSize(path, &file_size));
+  if (offset > file_size || length > file_size - offset) {
+    return Status::InvalidArgument(
+        "map range [" + std::to_string(offset) + ", +" +
+        std::to_string(length) + ") exceeds " + path + " size " +
+        std::to_string(file_size));
+  }
+  std::unique_ptr<RandomAccessFile> file;
+  DJ_RETURN_IF_ERROR(NewRandomAccessFile(path, &file));
+  std::string bytes;
+  bytes.resize(length);
+  size_t read = 0;
+  DJ_RETURN_IF_ERROR(file->Read(offset, length, bytes.data(), &read));
+  if (read != length) {
+    return Status::DataLoss(path + ": short read mapping fallback");
+  }
+  *out = std::make_shared<OwnedRegion>(std::move(bytes));
+  return Status::OK();
+}
 
 Env* Env::Default() {
   static PosixEnv env;
@@ -293,6 +394,19 @@ Status FaultInjectionEnv::CreateDir(const std::string& path) {
 
 bool FaultInjectionEnv::FileExists(const std::string& path) {
   return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::NewMappedRegion(
+    const std::string& path, u64 offset, u64 length,
+    std::shared_ptr<MappedRegion>* out) {
+  bool fail = false;
+  {
+    MutexLock lock(mu_);
+    const i64 idx = counters_.maps++;
+    fail = idx == plan_.fail_map_index;
+  }
+  if (fail) return Status::IoError("injected mmap failure");
+  return base_->NewMappedRegion(path, offset, length, out);
 }
 
 }  // namespace deepjoin

@@ -38,6 +38,19 @@ class RandomAccessFile {
                       size_t* bytes_read) const = 0;
 };
 
+/// An immutable view of a byte range of a file. The POSIX implementation
+/// is a real read-only mmap (demand-paged, O(1) to establish); destroying
+/// the region unmaps it. Holders share it via shared_ptr: an index
+/// snapshot keeps its store's region alive, the store keeps the index's,
+/// so RCU-pinned readers can never observe an unmapped page (DESIGN.md
+/// §14).
+class MappedRegion {
+ public:
+  virtual ~MappedRegion() = default;
+  virtual const void* data() const = 0;
+  virtual u64 length() const = 0;
+};
+
 class Env {
  public:
   virtual ~Env() = default;
@@ -58,6 +71,15 @@ class Env {
   /// Creates `path` as a directory; an existing directory is OK.
   virtual Status CreateDir(const std::string& path) = 0;
   virtual bool FileExists(const std::string& path) = 0;
+
+  /// Maps [offset, offset+length) of `path` read-only. PosixEnv overrides
+  /// this with real mmap (the only TU allowed to call mmap — dj_lint rule
+  /// `raw-mmap`); the base implementation preads the range into an owned
+  /// buffer so custom test Envs keep working, at owned-memory cost. The
+  /// range must lie within the file.
+  virtual Status NewMappedRegion(const std::string& path, u64 offset,
+                                 u64 length,
+                                 std::shared_ptr<MappedRegion>* out);
 };
 
 /// Reads the whole of `path` into `*out` through `env` (nullptr → Default).
@@ -74,6 +96,7 @@ struct FaultPlan {
   i64 fail_sync_index = -1;    ///< fail the k-th Sync
   i64 fail_rename_index = -1;  ///< fail the k-th RenameFile
   i64 fail_open_index = -1;    ///< fail the k-th NewWritableFile
+  i64 fail_map_index = -1;     ///< fail the k-th NewMappedRegion
 };
 
 /// Operation counts observed by a FaultInjectionEnv. Run once with an
@@ -84,6 +107,7 @@ struct FaultCounters {
   i64 syncs = 0;
   i64 renames = 0;
   i64 opens = 0;
+  i64 maps = 0;
 };
 
 /// Wraps a base Env and injects failures per a FaultPlan. Injected errors
@@ -114,6 +138,8 @@ class FaultInjectionEnv : public Env {
   Status RemoveFile(const std::string& path) override;
   Status CreateDir(const std::string& path) override;
   bool FileExists(const std::string& path) override;
+  Status NewMappedRegion(const std::string& path, u64 offset, u64 length,
+                         std::shared_ptr<MappedRegion>* out) override;
 
   /// Injection points for the wrapped WritableFile (env.cc): each advances
   /// the matching operation counter and reports whether this operation

@@ -58,6 +58,17 @@ float SquaredL2Scalar(const float* a, const float* b, int n) {
   return acc;
 }
 
+float SquaredL2Sq8Scalar(const float* q, const u8* codes, const float* lo,
+                         const float* scale, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    const float v = lo[i] + scale[i] * static_cast<float>(codes[i]);
+    const float d = q[i] - v;
+    acc += d * d;
+  }
+  return acc;
+}
+
 void AxpyScalar(int n, float alpha, const float* x, float* y) {
   for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
@@ -189,6 +200,55 @@ float SquaredL2Avx2(const float* a, const float* b, int n) {
   float sum = _mm_cvtss_f32(s1);
   for (; i < n; ++i) {
     const float d = a[i] - b[i];
+    sum = std::fma(d, d, sum);
+  }
+  return sum;
+}
+
+// Widens 8 SQ8 codes to floats (exact: u8 values fit a float) and decodes
+// them with a single FMA per lane — the decode never leaves registers.
+__attribute__((target("avx2,fma")))
+inline __m256 DecodeSq8Block(const u8* codes, const float* lo,
+                             const float* scale) {
+  const __m256i wide = _mm256_cvtepu8_epi32(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes)));
+  return _mm256_fmadd_ps(_mm256_loadu_ps(scale), _mm256_cvtepi32_ps(wide),
+                         _mm256_loadu_ps(lo));
+}
+
+__attribute__((target("avx2,fma")))
+float SquaredL2Sq8Avx2(const float* q, const u8* codes, const float* lo,
+                       const float* scale, int n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(q + i),
+                                    DecodeSq8Block(codes + i, lo + i,
+                                                   scale + i));
+    const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(q + i + 8),
+                                    DecodeSq8Block(codes + i + 8, lo + i + 8,
+                                                   scale + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  if (i + 8 <= n) {
+    const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(q + i),
+                                    DecodeSq8Block(codes + i, lo + i,
+                                                   scale + i));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    i += 8;
+  }
+  const __m256 acc = _mm256_add_ps(acc0, acc1);
+  const __m128 lo128 = _mm256_castps256_ps128(acc);
+  const __m128 hi128 = _mm256_extractf128_ps(acc, 1);
+  const __m128 s4 = _mm_add_ps(lo128, hi128);
+  const __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+  const __m128 s1 = _mm_add_ss(s2, _mm_movehdup_ps(s2));
+  float sum = _mm_cvtss_f32(s1);
+  for (; i < n; ++i) {
+    const float v = std::fma(scale[i], static_cast<float>(codes[i]), lo[i]);
+    const float d = q[i] - v;
     sum = std::fma(d, d, sum);
   }
   return sum;
@@ -426,6 +486,16 @@ float SquaredL2(const float* a, const float* b, int n) {
   if (ActiveTier() == Tier::kAvx2) return SquaredL2Avx2(a, b, n);
 #endif
   return SquaredL2Scalar(a, b, n);
+}
+
+float SquaredL2Sq8(const float* q, const u8* codes, const float* lo,
+                   const float* scale, int n) {
+#if DJ_KERNELS_X86
+  if (ActiveTier() == Tier::kAvx2) {
+    return SquaredL2Sq8Avx2(q, codes, lo, scale, n);
+  }
+#endif
+  return SquaredL2Sq8Scalar(q, codes, lo, scale, n);
 }
 
 void Axpy(int n, float alpha, const float* x, float* y) {

@@ -38,6 +38,18 @@
 //    With a == 1, Axpy is an exact add in both tiers (1*x is exact), so
 //    pure additions stay bit-identical across tiers. ScaleAdd with b == 0
 //    writes a*x without reading y (safe on uninitialised y).
+//  * SquaredL2Sq8 (asymmetric: float query vs SQ8 codes), scalar tier: one
+//    sequential accumulator over i ascending; per element the decode is
+//    unfused (t = scale[i]*codes[i]; v = lo[i]+t — two roundings), then
+//    d = q[i]-v and acc = acc + d*d (unfused).
+//  * SquaredL2Sq8, AVX2 tier: same two-accumulator interleaved-16 shape as
+//    SquaredL2 (acc0 takes lanes [16t, 16t+8), acc1 [16t+8, 16t+16); one
+//    optional extra 8-block into acc0). Per 8-lane block the codes are
+//    widened u8 -> i32 -> float (exact for values <= 255), decoded with a
+//    single FMA v = fma(scale, code, lo), then d = q - v and
+//    acc = fma(d, d, acc). Horizontal sum in the same fixed order
+//    ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)); the <8 tail folds in
+//    sequentially with std::fma for both the decode and the accumulate.
 //
 // Alignment: kernels never REQUIRE alignment (all loads/stores are
 // unaligned ops); nn::Matrix guarantees 64-byte-aligned storage so the
@@ -81,6 +93,13 @@ DJ_NOALLOC float Dot(const float* a, const float* b, int n);
 
 /// sum_i (a[i]-b[i])^2
 DJ_NOALLOC float SquaredL2(const float* a, const float* b, int n);
+
+/// Fused asymmetric SQ8 distance: sum_i (q[i] - (lo[i] + scale[i] *
+/// codes[i]))^2. The quantized row is decoded lane-by-lane inside the
+/// accumulation loop (never materialised), which is what lets quantized
+/// search run without a per-row decompress buffer.
+DJ_NOALLOC float SquaredL2Sq8(const float* q, const u8* codes,
+                              const float* lo, const float* scale, int n);
 
 /// y[i] += alpha * x[i]
 DJ_NOALLOC void Axpy(int n, float alpha, const float* x, float* y);

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "ann/hnsw.h"
+#include "ann/index_io.h"
 #include "util/rng.h"
 
 namespace deepjoin {
@@ -39,10 +40,13 @@ class HnswPersistenceTest : public ::testing::Test {
     return index;
   }
 
+  // The fixture exercises the pre-DJIX standalone format end to end: it
+  // both checks the legacy loader's validation and generates the
+  // backward-compat fixtures the OpenIndex tests below read.
   void SaveToPath(const HnswIndex& index) {
     BinaryWriter writer(path_);
     ASSERT_TRUE(writer.Open().ok());
-    index.Save(writer);
+    index.SaveLegacy(writer);
     ASSERT_TRUE(writer.Close().ok());
   }
 
@@ -50,7 +54,12 @@ class HnswPersistenceTest : public ::testing::Test {
     BinaryReader reader(path_);
     Status st = reader.Open();
     if (!st.ok()) return st;
-    return HnswIndex::Load(reader);
+    u32 magic = 0;
+    DJ_RETURN_IF_ERROR(reader.ReadU32(&magic));
+    if (magic != 0x484E5357) {
+      return Status::DataLoss("not an HNSW index (bad magic)");
+    }
+    return HnswIndex::LoadLegacyAfterMagic(reader);
   }
 
   HnswConfig config_;
@@ -135,6 +144,43 @@ TEST_F(HnswPersistenceTest, TruncatedHeaderIsDataLoss) {
   auto loaded = LoadFromPath();
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(HnswPersistenceTest, LegacyFileOpensThroughUnifiedApi) {
+  // Backward compat: an index saved in the pre-DJIX standalone format
+  // must still open through OpenIndex, produce identical results, and
+  // come back live (mutable).
+  HnswIndex index = BuildSmallIndex(40);
+  SaveToPath(index);
+  auto opened = OpenIndex(path_);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<VectorIndex> loaded = std::move(opened).value();
+  EXPECT_EQ(loaded->size(), index.size());
+  ASSERT_STREQ(loaded->name(), "hnsw");
+  EXPECT_FALSE(static_cast<const HnswIndex*>(loaded.get())->read_only());
+
+  Rng rng(4);
+  std::vector<float> q(config_.dim);
+  for (int trial = 0; trial < 5; ++trial) {
+    for (auto& v : q) v = static_cast<float>(rng.Normal());
+    const auto a = index.Search(q.data(), 5);
+    const auto b = loaded->Search(q.data(), 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+  }
+}
+
+TEST_F(HnswPersistenceTest, LegacyFileRejectsNonDefaultOpenOptions) {
+  // The legacy format predates aligned sections and quantized payloads:
+  // asking for them must fail loudly instead of being silently ignored.
+  HnswIndex index = BuildSmallIndex(10);
+  SaveToPath(index);
+  auto mapped = OpenIndex(path_, OpenOptions{.map = MapMode::kMapped});
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kFailedPrecondition);
+  auto sq8 = OpenIndex(path_, OpenOptions{.storage = StorageKind::kSq8});
+  ASSERT_FALSE(sq8.ok());
+  EXPECT_EQ(sq8.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST_F(HnswPersistenceTest, InconsistentGraphIsDataLoss) {

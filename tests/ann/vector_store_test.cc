@@ -1,0 +1,304 @@
+// VectorStore contract tests (DESIGN.md §14): the SQ8 reconstruction
+// bound the header promises (error per dim <= scale[d]/2), owned vs
+// mapped round trips, read-only mutation rejection, lazy taint on a
+// corrupt mapped page, and the memory accounting the beyond-RAM story
+// rests on.
+#include "ann/vector_store.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace deepjoin {
+namespace ann {
+namespace {
+
+std::vector<float> RandomRows(u64 n, int dim, u64 seed) {
+  Rng rng(seed);
+  std::vector<float> rows(n * static_cast<u64>(dim));
+  for (float& v : rows) {
+    v = static_cast<float>(rng.UniformDouble(-3.0, 3.0));
+  }
+  return rows;
+}
+
+class VectorStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test filename: ctest runs each case as its own process, so a
+    // shared name races under `ctest -j`.
+    path_ = std::string(::testing::TempDir()) + "/vstore_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void SaveStore(const VectorStore& store) {
+    BinaryWriter w(path_);
+    ASSERT_TRUE(w.Open().ok());
+    ASSERT_TRUE(store.Save(w).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+
+  Result<std::unique_ptr<VectorStore>> LoadStore(const OpenOptions& options) {
+    BinaryReader r(path_);
+    DJ_RETURN_IF_ERROR(r.Open());
+    return LoadVectorStore(r, options);
+  }
+
+  std::string path_;
+};
+
+// The bound documented in vector_store.h: with round-to-nearest encoding
+// every in-range dimension reconstructs to within scale[d]/2.
+TEST_F(VectorStoreTest, Sq8ReconstructionErrorWithinHalfScale) {
+  const int dim = 24;
+  const u64 n = 200;
+  const auto rows = RandomRows(n, dim, 11);
+  Sq8Store store(dim);
+  ASSERT_TRUE(store.AppendRows(rows.data(), n).ok());
+  ASSERT_TRUE(store.trained());
+  ASSERT_EQ(store.size(), n);
+
+  const auto& scale = store.scale();
+  ASSERT_EQ(scale.size(), static_cast<size_t>(dim));
+  std::vector<float> decoded(static_cast<size_t>(dim));
+  for (u64 i = 0; i < n; ++i) {
+    store.Reconstruct(static_cast<u32>(i), decoded.data());
+    for (int d = 0; d < dim; ++d) {
+      const float orig = rows[i * static_cast<u64>(dim) + d];
+      // Tiny epsilon: the decode rounds lo + scale*code once.
+      const float bound = scale[static_cast<size_t>(d)] * 0.5f + 1e-5f;
+      ASSERT_LE(std::fabs(decoded[static_cast<size_t>(d)] - orig), bound)
+          << "row " << i << " dim " << d;
+    }
+  }
+}
+
+// Rows appended after training clamp-encode with the frozen parameters:
+// values inside the trained range still honour the scale/2 bound.
+TEST_F(VectorStoreTest, Sq8LateAppendsReuseFrozenParameters) {
+  const int dim = 8;
+  const auto rows = RandomRows(64, dim, 5);
+  Sq8Store store(dim);
+  ASSERT_TRUE(store.AppendRows(rows.data(), 32).ok());
+  const auto lo_before = store.lo();
+  const auto scale_before = store.scale();
+  for (u64 i = 32; i < 64; ++i) {
+    ASSERT_TRUE(store.AppendRow(rows.data() + i * dim).ok());
+  }
+  EXPECT_EQ(store.lo(), lo_before);
+  EXPECT_EQ(store.scale(), scale_before);
+  EXPECT_EQ(store.size(), 64u);
+}
+
+TEST_F(VectorStoreTest, Sq8DistanceMatchesDecodedReference) {
+  const int dim = 40;
+  const u64 n = 50;
+  const auto rows = RandomRows(n, dim, 23);
+  const auto query = RandomRows(1, dim, 99);
+  Sq8Store store(dim);
+  ASSERT_TRUE(store.AppendRows(rows.data(), n).ok());
+  std::vector<float> decoded(static_cast<size_t>(dim));
+  for (u64 i = 0; i < n; ++i) {
+    store.Reconstruct(static_cast<u32>(i), decoded.data());
+    double want = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      const double diff = static_cast<double>(query[static_cast<size_t>(d)]) -
+                          static_cast<double>(decoded[static_cast<size_t>(d)]);
+      want += diff * diff;
+    }
+    const float got = store.Distance(query.data(), static_cast<u32>(i));
+    EXPECT_NEAR(got, static_cast<float>(want), 1e-3f * (1.0f + got))
+        << "row " << i;
+  }
+}
+
+TEST_F(VectorStoreTest, OwnedAndMappedRoundTripsAreIdentical) {
+  const int dim = 16;
+  const u64 n = 300;  // > one 4096-byte page of codes and of floats
+  const auto rows = RandomRows(n, dim, 3);
+  const auto query = RandomRows(1, dim, 71);
+  for (const StorageKind kind : {StorageKind::kFloat, StorageKind::kSq8}) {
+    std::unique_ptr<VectorStore> built;
+    if (kind == StorageKind::kFloat) {
+      built = std::make_unique<FloatStore>(dim);
+    } else {
+      built = std::make_unique<Sq8Store>(dim);
+    }
+    ASSERT_TRUE(built->AppendRows(rows.data(), n).ok());
+    SaveStore(*built);
+
+    for (const MapMode map : {MapMode::kOwned, MapMode::kMapped}) {
+      OpenOptions open;
+      open.map = map;
+      auto loaded = LoadStore(open);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      const auto& store = *loaded.value();
+      EXPECT_EQ(store.kind(), kind);
+      EXPECT_EQ(store.dim(), dim);
+      EXPECT_EQ(store.size(), n);
+      EXPECT_TRUE(store.read_only());
+      std::vector<float> a(static_cast<size_t>(dim));
+      std::vector<float> b(static_cast<size_t>(dim));
+      for (u64 i = 0; i < n; i += 17) {
+        built->Reconstruct(static_cast<u32>(i), a.data());
+        store.Reconstruct(static_cast<u32>(i), b.data());
+        EXPECT_EQ(a, b) << "row " << i;
+        EXPECT_EQ(built->Distance(query.data(), static_cast<u32>(i)),
+                  store.Distance(query.data(), static_cast<u32>(i)));
+      }
+      EXPECT_FALSE(store.tainted());
+      EXPECT_TRUE(store.VerifyAll().ok());
+    }
+  }
+}
+
+TEST_F(VectorStoreTest, LoadedStoresRejectAppends) {
+  const int dim = 4;
+  const auto rows = RandomRows(10, dim, 1);
+  FloatStore built(dim);
+  ASSERT_TRUE(built.AppendRows(rows.data(), 10).ok());
+  SaveStore(built);
+  for (const MapMode map : {MapMode::kOwned, MapMode::kMapped}) {
+    OpenOptions open;
+    open.map = map;
+    auto loaded = LoadStore(open);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value()->AppendRow(rows.data()).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(loaded.value()->AppendRows(rows.data(), 2).code(),
+              StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_F(VectorStoreTest, CloneOwnedIsMutableAndFaithful) {
+  const int dim = 12;
+  const u64 n = 80;
+  const auto rows = RandomRows(n, dim, 9);
+  for (const StorageKind kind : {StorageKind::kFloat, StorageKind::kSq8}) {
+    std::unique_ptr<VectorStore> built;
+    if (kind == StorageKind::kFloat) {
+      built = std::make_unique<FloatStore>(dim);
+    } else {
+      built = std::make_unique<Sq8Store>(dim);
+    }
+    ASSERT_TRUE(built->AppendRows(rows.data(), n).ok());
+    SaveStore(*built);
+    OpenOptions open;
+    open.map = MapMode::kMapped;
+    auto loaded = LoadStore(open);
+    ASSERT_TRUE(loaded.ok());
+
+    auto clone = loaded.value()->CloneOwned();
+    ASSERT_NE(clone, nullptr);
+    EXPECT_EQ(clone->kind(), kind);
+    EXPECT_EQ(clone->size(), n);
+    EXPECT_FALSE(clone->read_only());
+    std::vector<float> a(static_cast<size_t>(dim));
+    std::vector<float> b(static_cast<size_t>(dim));
+    for (u64 i = 0; i < n; ++i) {
+      loaded.value()->Reconstruct(static_cast<u32>(i), a.data());
+      clone->Reconstruct(static_cast<u32>(i), b.data());
+      ASSERT_EQ(a, b) << "row " << i;
+    }
+    // The clone accepts new rows (SQ8 keeps its frozen quantization).
+    ASSERT_TRUE(clone->AppendRow(rows.data()).ok());
+    EXPECT_EQ(clone->size(), n + 1);
+  }
+}
+
+// The headline number: an SQ8 store holds one byte per dimension instead
+// of four, so resident bytes shrink by >= 3.5x (lo/scale overhead keeps
+// it just under 4x at small dims), and a mapped store owns no heap rows
+// at all.
+TEST_F(VectorStoreTest, Sq8AndMappedMemoryAccounting) {
+  const int dim = 64;
+  const u64 n = 512;
+  const auto rows = RandomRows(n, dim, 4);
+  FloatStore fstore(dim);
+  Sq8Store qstore(dim);
+  ASSERT_TRUE(fstore.AppendRows(rows.data(), n).ok());
+  ASSERT_TRUE(qstore.AppendRows(rows.data(), n).ok());
+  EXPECT_GE(fstore.memory_bytes(), n * static_cast<u64>(dim) * sizeof(float));
+  EXPECT_GE(static_cast<double>(fstore.memory_bytes()),
+            3.5 * static_cast<double>(qstore.memory_bytes()));
+
+  SaveStore(qstore);
+  OpenOptions open;
+  open.map = MapMode::kMapped;
+  auto mapped = LoadStore(open);
+  ASSERT_TRUE(mapped.ok());
+  // Mapped pages live in the page cache, not the heap: only the small
+  // lo/scale vectors count.
+  EXPECT_LT(mapped.value()->memory_bytes(), qstore.memory_bytes() / 4);
+}
+
+// A corrupt page under a lazily-verified mapped store must taint, not
+// crash: searches keep returning defined (if wrong) results and
+// VerifyAll reports DataLoss.
+TEST_F(VectorStoreTest, CorruptMappedPageTaintsInsteadOfFailing) {
+  const int dim = 16;
+  const u64 n = 600;  // ~38 KiB of float rows: several pages
+  const auto rows = RandomRows(n, dim, 2);
+  FloatStore built(dim);
+  ASSERT_TRUE(built.AppendRows(rows.data(), n).ok());
+  SaveStore(built);
+
+  // Flip one byte late in the file — inside the last section's payload
+  // (the norms), past every metadata record.
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<long>(f.tellg());
+    f.seekg(size - 16);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.seekp(size - 16);
+    f.write(&byte, 1);
+  }
+
+  // An owned (eagerly verified) open refuses the file outright.
+  {
+    OpenOptions open;
+    open.map = MapMode::kOwned;
+    auto owned = LoadStore(open);
+    ASSERT_FALSE(owned.ok());
+    EXPECT_EQ(owned.status().code(), StatusCode::kDataLoss);
+  }
+  // A full-verify mapped open refuses it too.
+  {
+    OpenOptions open;
+    open.map = MapMode::kMapped;
+    open.verify = VerifyMode::kFull;
+    auto full = LoadStore(open);
+    ASSERT_FALSE(full.ok());
+    EXPECT_EQ(full.status().code(), StatusCode::kDataLoss);
+  }
+  // The lazy mapped open succeeds in O(1), then taints on first touch.
+  OpenOptions open;
+  open.map = MapMode::kMapped;
+  auto lazy = LoadStore(open);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+  const auto& store = *lazy.value();
+  const auto query = RandomRows(1, dim, 8);
+  std::vector<float> sink(static_cast<size_t>(dim));
+  store.TouchRows(0, n);
+  for (u64 i = 0; i < n; ++i) {
+    (void)store.Distance(query.data(), static_cast<u32>(i));
+    store.Reconstruct(static_cast<u32>(i), sink.data());
+  }
+  EXPECT_TRUE(store.tainted());
+  EXPECT_EQ(store.VerifyAll().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace ann
+}  // namespace deepjoin

@@ -111,12 +111,78 @@ TEST_F(IndexLifecycleTest, SaveLoadRoundTripPreservesResults) {
   }
 }
 
-TEST_F(IndexLifecycleTest, SaveRequiresHnswBackend) {
+TEST_F(IndexLifecycleTest, FlatBackendRoundTripsThroughUnifiedFormat) {
+  // The unified DJIX path persists every backend; pre-DJIX this returned
+  // FailedPrecondition for anything but HNSW.
   SearcherConfig sc;
   sc.backend = AnnBackend::kFlat;
-  EmbeddingSearcher searcher(encoder_.get(), sc);
-  ASSERT_TRUE(searcher.BuildIndex(repo_).ok());
-  EXPECT_EQ(searcher.SaveIndex(path_).code(),
+  EmbeddingSearcher original(encoder_.get(), sc);
+  ASSERT_TRUE(original.BuildIndex(repo_).ok());
+  ASSERT_TRUE(original.SaveIndex(path_).ok());
+
+  EmbeddingSearcher restored(encoder_.get(), sc);
+  ASSERT_TRUE(restored.LoadIndex(path_).ok());
+  EXPECT_EQ(restored.index_size(), repo_.size());
+  for (const auto& q : queries_) {
+    EXPECT_EQ(restored.Search(q, {.k = 10}).ids,
+              original.Search(q, {.k = 10}).ids);
+  }
+}
+
+TEST_F(IndexLifecycleTest, LoadRejectsBackendKindMismatch) {
+  SearcherConfig flat_sc;
+  flat_sc.backend = AnnBackend::kFlat;
+  EmbeddingSearcher original(encoder_.get(), flat_sc);
+  ASSERT_TRUE(original.BuildIndex(repo_).ok());
+  ASSERT_TRUE(original.SaveIndex(path_).ok());
+
+  SearcherConfig hnsw_sc;  // default backend: HNSW
+  EmbeddingSearcher mismatched(encoder_.get(), hnsw_sc);
+  EXPECT_EQ(mismatched.LoadIndex(path_).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IndexLifecycleTest, QuantizedSaveServesMappedSearches) {
+  // The beyond-RAM path end to end: save SQ8 with a float refinement
+  // payload, reopen zero-copy mapped, and check refined results against
+  // the float original.
+  SearcherConfig sc;
+  EmbeddingSearcher original(encoder_.get(), sc);
+  ASSERT_TRUE(original.BuildIndex(repo_).ok());
+  ann::SaveOptions save;
+  save.storage = ann::StorageKind::kSq8;
+  save.keep_float_refine = true;
+  ASSERT_TRUE(original.SaveIndex(path_, nullptr, save).ok());
+
+  EmbeddingSearcher served(encoder_.get(), sc);
+  ann::OpenOptions open;
+  open.map = ann::MapMode::kMapped;
+  ASSERT_TRUE(served.LoadIndex(path_, nullptr, open).ok());
+  EXPECT_EQ(served.index_size(), repo_.size());
+  size_t agree = 0, total = 0;
+  for (const auto& q : queries_) {
+    const auto want = original.Search(q, {.k = 5}).ids;
+    const auto got = served.Search(q, {.k = 5, .refine_factor = 4}).ids;
+    ASSERT_EQ(got.size(), want.size());
+    for (const u32 id : want) {
+      ++total;
+      for (const u32 g : got) {
+        if (g == id) {
+          ++agree;
+          break;
+        }
+      }
+    }
+  }
+  // SQ8 + exact reranking should agree with the float index almost
+  // always; demand a conservative floor so the test is not flaky.
+  EXPECT_GE(agree * 10, total * 8)
+      << agree << "/" << total << " results matched";
+
+  // A mapped open is read-only: mutations surface as status, searches
+  // keep working.
+  lake::Column extra = repo_.column(0);
+  EXPECT_EQ(served.AddColumn(extra).status().code(),
             StatusCode::kFailedPrecondition);
 }
 

@@ -211,6 +211,32 @@ TEST(DjLintTest, BoundedWaitInServeStaysClean) {
       << run.output;
 }
 
+TEST(DjLintTest, RawMmapFiresOutsideEnvImpl) {
+  const LintRun run = RunLint("--root " + Testdata("bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // mapping.cc: #include <sys/mman.h> (4), ::mmap (7), ::munmap (8). The
+  // call on line 10 carries a suppression on line 9 and must stay silent.
+  EXPECT_NE(run.output.find("src/mapping.cc:4: error: [raw-mmap]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/mapping.cc:7: error: [raw-mmap]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/mapping.cc:8: error: [raw-mmap]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("src/mapping.cc:10:"), std::string::npos)
+      << run.output;
+}
+
+TEST(DjLintTest, RawMmapAllowedInEnvImpl) {
+  // clean/src/util/env.cc calls mmap and munmap; the rule must stay
+  // silent there (CleanTreeExitsZero covers it, but pin the file here for
+  // a sharper failure message).
+  const LintRun run = RunLint("--root " + Testdata("clean"));
+  EXPECT_EQ(run.output.find("env.cc"), std::string::npos) << run.output;
+}
+
 TEST(DjLintTest, SuppressionCommentsSilenceRules) {
   const LintRun run = RunLint("--root " + Testdata("bad"));
   // suppressed.cc holds the same violations as banned.cc, each carrying a

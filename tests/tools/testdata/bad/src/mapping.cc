@@ -1,0 +1,11 @@
+// Fixture for dj_lint_test: raw mmap/munmap outside src/util/env.cc —
+// zero-copy mappings must flow through Env::NewMappedRegion so region
+// lifetime, bounds checks, and fault injection stay centralised.
+#include <sys/mman.h>
+
+void* MappingFixture(int fd, unsigned long len) {
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::munmap(base, len);
+  // dj_lint: allow(raw-mmap)
+  return ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+}

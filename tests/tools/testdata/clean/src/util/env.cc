@@ -1,0 +1,13 @@
+// Fixture for dj_lint_test: src/util/env.cc is the one TU allowed to call
+// mmap — it implements Env::NewMappedRegion for everything else.
+#include <sys/mman.h>
+
+namespace deepjoin_fixture {
+
+inline void* EnvMayMap(int fd, unsigned long len) {
+  return ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+}
+
+inline void EnvMayUnmap(void* base, unsigned long len) { ::munmap(base, len); }
+
+}  // namespace deepjoin_fixture

@@ -241,6 +241,118 @@ TEST_F(BinaryIoTest, CorruptPayloadFailsChecksum) {
   EXPECT_NE(st.message().find("checksum"), std::string::npos);
 }
 
+TEST_F(BinaryIoTest, AlignedSectionRoundTrip) {
+  std::string big(3 * kSectionPageSize + 123, '\0');
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>(i * 31 + 7);
+  }
+  {
+    BinaryWriter w(path_);
+    ASSERT_TRUE(w.Open().ok());
+    w.WriteU32(77);
+    w.WriteAlignedSection(big.data(), big.size());
+    w.WriteAlignedSection("tiny", 4);
+    w.WriteString("after");
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path_);
+  ASSERT_TRUE(r.Open().ok());
+  u32 v = 0;
+  ASSERT_TRUE(r.ReadU32(&v).ok());
+  EXPECT_EQ(v, 77u);
+  SectionInfo a;
+  ASSERT_TRUE(r.ReadSection(&a).ok());
+  EXPECT_EQ(a.offset % kSectionPageSize, 0u);
+  EXPECT_EQ(a.length, big.size());
+  // One CRC per page, last page partial.
+  EXPECT_EQ(a.page_crcs.size(), 4u);
+  SectionInfo b;
+  ASSERT_TRUE(r.ReadSection(&b).ok());
+  EXPECT_EQ(b.offset % kSectionPageSize, 0u);
+  EXPECT_EQ(b.length, 4u);
+  EXPECT_GE(b.offset, a.offset + a.length);
+  // Records keep flowing after the sections.
+  std::string tail;
+  ASSERT_TRUE(r.ReadString(&tail).ok());
+  EXPECT_EQ(tail, "after");
+  EXPECT_TRUE(r.AtEnd());
+  // The payload preads back intact (and CRC-verified).
+  std::string got;
+  ASSERT_TRUE(r.ReadSectionBytes(a, &got).ok());
+  EXPECT_EQ(got, big);
+  ASSERT_TRUE(r.ReadSectionBytes(b, &got).ok());
+  EXPECT_EQ(got, "tiny");
+}
+
+TEST_F(BinaryIoTest, SectionPayloadCorruptionFailsFullCrc) {
+  std::string data(2 * kSectionPageSize, 'x');
+  {
+    BinaryWriter w(path_);
+    ASSERT_TRUE(w.Open().ok());
+    w.WriteAlignedSection(data.data(), data.size());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  SectionInfo info;
+  {
+    BinaryReader r(path_);
+    ASSERT_TRUE(r.Open().ok());
+    ASSERT_TRUE(r.ReadSection(&info).ok());
+  }
+  // Flip one byte inside the second page of the section.
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekp(static_cast<long>(info.offset + kSectionPageSize + 9));
+    f.put(static_cast<char>('x' ^ 0x10));
+  }
+  BinaryReader r(path_);
+  ASSERT_TRUE(r.Open().ok());
+  SectionInfo again;
+  // ReadSection itself stays O(1) — it never reads the payload.
+  ASSERT_TRUE(r.ReadSection(&again).ok());
+  std::string got;
+  Status st = r.ReadSectionBytes(again, &got);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+}
+
+// The pad gap between a section's metadata record and its page-aligned
+// payload is the one byte range no CRC covers — ReadSection requires it
+// to be all zeros so a flipped bit there cannot hide.
+TEST_F(BinaryIoTest, NonzeroSectionPaddingIsDataLoss) {
+  {
+    BinaryWriter w(path_);
+    ASSERT_TRUE(w.Open().ok());
+    w.WriteU32(1);  // ensures the cursor is not page-aligned
+    w.WriteAlignedSection("payload", 7);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  SectionInfo info;
+  {
+    BinaryReader r(path_);
+    ASSERT_TRUE(r.Open().ok());
+    u32 v = 0;
+    ASSERT_TRUE(r.ReadU32(&v).ok());
+    ASSERT_TRUE(r.ReadSection(&info).ok());
+  }
+  ASSERT_GT(info.offset, 0u);
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekp(static_cast<long>(info.offset - 1));  // last pad byte
+    f.put('\x01');
+  }
+  BinaryReader r(path_);
+  ASSERT_TRUE(r.Open().ok());
+  u32 v = 0;
+  ASSERT_TRUE(r.ReadU32(&v).ok());
+  SectionInfo again;
+  Status st = r.ReadSection(&again);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_NE(st.message().find("padding"), std::string::npos) << st.ToString();
+}
+
 TEST_F(BinaryIoTest, UnopenableWriterReportsError) {
   BinaryWriter w("/no/such/dir/file.bin");
   EXPECT_FALSE(w.Open().ok());

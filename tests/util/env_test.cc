@@ -160,5 +160,67 @@ TEST_F(EnvTest, FaultEnvFailsSyncRenameAndOpen) {
   EXPECT_FALSE(fenv.NewWritableFile(path_, &f2).ok());
 }
 
+TEST_F(EnvTest, MappedRegionSeesFileBytes) {
+  Env* env = Env::Default();
+  std::string payload(10000, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + (i % 26));
+  }
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env->NewWritableFile(path_, &file).ok());
+    ASSERT_TRUE(file->Append(payload.data(), payload.size()).ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  // Whole file.
+  std::shared_ptr<MappedRegion> whole;
+  ASSERT_TRUE(env->NewMappedRegion(path_, 0, payload.size(), &whole).ok());
+  ASSERT_EQ(whole->length(), payload.size());
+  EXPECT_EQ(0, std::memcmp(whole->data(), payload.data(), payload.size()));
+  // A page-aligned interior window (the shape DJF1 sections use).
+  std::shared_ptr<MappedRegion> window;
+  ASSERT_TRUE(env->NewMappedRegion(path_, 4096, 2048, &window).ok());
+  ASSERT_EQ(window->length(), 2048u);
+  EXPECT_EQ(0, std::memcmp(window->data(), payload.data() + 4096, 2048));
+  // The region stays readable after its sibling is released.
+  whole.reset();
+  EXPECT_EQ(static_cast<const char*>(window->data())[0], payload[4096]);
+}
+
+TEST_F(EnvTest, MappedRegionRejectsOutOfRangeAndMissing) {
+  Env* env = Env::Default();
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env->NewWritableFile(path_, &file).ok());
+    ASSERT_TRUE(file->Append("short", 5).ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  std::shared_ptr<MappedRegion> region;
+  EXPECT_FALSE(env->NewMappedRegion(path_, 0, 4096, &region).ok());
+  EXPECT_FALSE(env->NewMappedRegion(path_, 4096, 1, &region).ok());
+  EXPECT_FALSE(
+      env->NewMappedRegion("/no/such/file", 0, 1, &region).ok());
+}
+
+TEST_F(EnvTest, FaultEnvFailsTheNthMap) {
+  FaultInjectionEnv fenv(Env::Default());
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(fenv.NewWritableFile(path_, &file).ok());
+    ASSERT_TRUE(file->Append("0123456789", 10).ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  fenv.plan().fail_map_index = 1;
+  std::shared_ptr<MappedRegion> region;
+  ASSERT_TRUE(fenv.NewMappedRegion(path_, 0, 10, &region).ok());
+  Status st = fenv.NewMappedRegion(path_, 0, 10, &region);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("injected"), std::string::npos);
+  // Fires once; the next map succeeds and the counter kept advancing.
+  ASSERT_TRUE(fenv.NewMappedRegion(path_, 0, 10, &region).ok());
+  EXPECT_EQ(fenv.counters().maps, 3);
+}
+
 }  // namespace
 }  // namespace deepjoin

@@ -105,6 +105,41 @@ float RefSquaredL2Avx2(const float* a, const float* b, int n) {
   });
 }
 
+// SQ8 references per the documented orders: scalar decodes unfused
+// (t = scale*code; v = lo + t — two roundings) and accumulates unfused;
+// AVX2 decodes with one FMA and accumulates with one FMA in the standard
+// two-accumulator interleaved-16 shape.
+float RefSquaredL2Sq8Scalar(const float* q, const u8* codes, const float* lo,
+                            const float* scale, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    const float t = scale[i] * static_cast<float>(codes[i]);
+    const float v = lo[i] + t;
+    const float d = q[i] - v;
+    acc = acc + d * d;
+  }
+  return acc;
+}
+
+float RefSquaredL2Sq8Avx2(const float* q, const u8* codes, const float* lo,
+                          const float* scale, int n) {
+  return RefAvx2Reduce(n, [q, codes, lo, scale](int i, float acc) {
+    const float v = std::fma(scale[i], static_cast<float>(codes[i]), lo[i]);
+    const float d = q[i] - v;
+    return std::fma(d, d, acc);
+  });
+}
+
+std::vector<u8> MakeCodes(int n, int salt) {
+  std::vector<u8> c(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Covers 0 and 255 plus a scattered interior.
+    c[static_cast<size_t>(i)] =
+        static_cast<u8>(((i + salt) * 2654435761u) % 256);
+  }
+  return c;
+}
+
 // Double-precision GEMM reference (tolerance comparisons only).
 enum class Variant { kNN, kNT, kTN };
 
@@ -185,6 +220,61 @@ TEST(KernelsTest, SquaredL2MatchesDocumentedOrderExactly) {
       EXPECT_GE(got, 0.0f);
     }
   }
+}
+
+// The fused asymmetric kernel behind Sq8Store::Distance: each tier must
+// match its documented reduction order bit for bit, so a given machine
+// scores quantized rows deterministically (and the vector_store round
+// trips can compare owned vs mapped results with EXPECT_EQ).
+TEST(KernelsTest, SquaredL2Sq8MatchesDocumentedOrderExactly) {
+  for (Tier tier : AvailableTiers()) {
+    ForcedTier forced(tier);
+    for (int n = 1; n <= 129; ++n) {
+      const auto q = MakeVector(n, 29);
+      const auto codes = MakeCodes(n, 3);
+      const auto lo = MakeVector(n, 401);
+      auto scale = MakeVector(n, 733);
+      // Scales are non-negative in real stores; keep the reference honest.
+      for (float& s : scale) s = std::fabs(s) * 0.01f;
+      const float got =
+          SquaredL2Sq8(q.data(), codes.data(), lo.data(), scale.data(), n);
+      const float want =
+          (tier == Tier::kAvx2)
+              ? RefSquaredL2Sq8Avx2(q.data(), codes.data(), lo.data(),
+                                    scale.data(), n)
+              : RefSquaredL2Sq8Scalar(q.data(), codes.data(), lo.data(),
+                                      scale.data(), n);
+      ASSERT_EQ(0, std::memcmp(&got, &want, sizeof(float)))
+          << TierName(tier) << " n=" << n << " got=" << got
+          << " want=" << want;
+      EXPECT_GE(got, 0.0f);
+    }
+  }
+}
+
+// Cross-tier agreement within quantization-level tolerance: the two tiers
+// round differently (fused vs unfused decode), so results are not
+// bitwise-equal across tiers, but they must describe the same distance.
+TEST(KernelsTest, SquaredL2Sq8TiersAgreeWithinTolerance) {
+  if (DetectedTier() != Tier::kAvx2) {
+    GTEST_SKIP() << "single-tier machine";
+  }
+  const int n = 96;
+  const auto q = MakeVector(n, 5);
+  const auto codes = MakeCodes(n, 17);
+  const auto lo = MakeVector(n, 211);
+  auto scale = MakeVector(n, 97);
+  for (float& s : scale) s = std::fabs(s) * 0.01f;
+  float scalar = 0, avx2 = 0;
+  {
+    ForcedTier forced(Tier::kScalar);
+    scalar = SquaredL2Sq8(q.data(), codes.data(), lo.data(), scale.data(), n);
+  }
+  {
+    ForcedTier forced(Tier::kAvx2);
+    avx2 = SquaredL2Sq8(q.data(), codes.data(), lo.data(), scale.data(), n);
+  }
+  EXPECT_NEAR(scalar, avx2, 1e-4f * (1.0f + scalar));
 }
 
 TEST(KernelsTest, DotHandlesUnalignedPointers) {

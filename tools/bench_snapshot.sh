@@ -81,3 +81,22 @@ SERVE_OUT="$ROOT/BENCH_serve.json"
   --rates=0.25,1,2,4,8 --max-batch=64} --metrics --out="$SERVE_OUT"
 
 echo "bench_snapshot: wrote $SERVE_OUT"
+
+# BENCH_scale.json (DESIGN.md §14): the beyond-RAM matrix — {float,SQ8} x
+# {owned,mapped} open latency, resident bytes, and recall (plus the
+# refine_factor sweep) through the unified SaveIndexFile/OpenIndex API at
+# 500K x 256. Acceptance: sq8_memory_reduction >= 3.5 (the binary exits
+# nonzero below it) and mapped opens staying O(1) — milliseconds against
+# the owned path's full-file read+CRC. Override with DJ_SCALE_ARGS
+# (e.g. --rows=20000) for quick smokes.
+SCALE_BIN="$BUILD/bench/bench_scale"
+if [[ ! -x "$SCALE_BIN" ]]; then
+  echo "bench_snapshot: $SCALE_BIN not built (cmake --build $BUILD --target bench_scale)" >&2
+  exit 1
+fi
+SCALE_OUT="$ROOT/BENCH_scale.json"
+# shellcheck disable=SC2086
+"$SCALE_BIN" ${DJ_SCALE_ARGS:---rows=500000 --dim=256 --queries=32} \
+  --out="$SCALE_OUT"
+
+echo "bench_snapshot: wrote $SCALE_OUT"

@@ -38,6 +38,11 @@
 //                    either a poll loop (use CondVar::Wait on a real
 //                    condition) or a timing assumption (a latent flake);
 //                    tests may sleep, the library may not
+//   raw-mmap         no mmap / munmap (or <sys/mman.h>) outside
+//                    src/util/env.cc — zero-copy mappings flow through
+//                    Env::NewMappedRegion so region lifetime (shared_ptr
+//                    pinning under RCU), bounds validation, and fault
+//                    injection stay in one audited TU
 //
 // A violation is suppressed by `// dj_lint: allow(<rule>)` on the same line
 // or on the line directly above it. Comment and string-literal contents are
@@ -131,6 +136,12 @@ class Linter {
     CheckRule(path, text, "detached-thread", {"detach("},
               "detached thread outlives every shutdown contract; join it "
               "or submit to ThreadPool");
+    if (rel != "src/util/env.cc") {
+      CheckRule(path, text, "raw-mmap", {"mmap(", "munmap(", "sys/mman.h"},
+                "raw memory mapping outside src/util/env.cc; use "
+                "Env::NewMappedRegion (src/util/env.h) so region lifetime, "
+                "bounds checks, and fault injection stay centralised");
+    }
     CheckNakedNew(path, text);
     if (is_library) {
       CheckRule(path, text, "no-printf", {"std::cout", "printf("},
@@ -366,6 +377,8 @@ void ListRules() {
          "fields in src/** headers outside src/util/\n"
       << "sleep-in-library no std::this_thread::sleep_for/sleep_until in "
          "library code (src/**)\n"
+      << "raw-mmap         no mmap/munmap/<sys/mman.h> outside "
+         "src/util/env.cc (use Env::NewMappedRegion)\n"
       << "untimed-wait-in-serve\n"
          "                 no untimed CondVar::Wait/ThreadPool::Wait in "
          "src/serve/ (use WaitFor with a deadline-derived bound)\n"
